@@ -1,0 +1,50 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark does two things:
+
+1. runs a deterministic parameter sweep on the cooperative runtime and
+   prints a paper-style table (the rows EXPERIMENTS.md records); sweeps
+   use scheduler steps / logical ticks as their time unit, so the shapes
+   are machine-independent;
+2. hands one representative configuration to pytest-benchmark for a
+   wall-clock datum.
+"""
+
+from repro.common.codec import decode_int, encode_int
+from repro.core.manager import TransactionManager
+from repro.runtime.coop import CooperativeRuntime
+
+
+def fresh_runtime(seed=1234, conflicts=None, storage=None):
+    """A deterministic runtime with its own manager."""
+    manager = TransactionManager(conflicts=conflicts, storage=storage)
+    return CooperativeRuntime(manager, seed=seed)
+
+
+def make_counters(runtime, count, initial=0):
+    def setup(tx):
+        oids = []
+        for index in range(count):
+            oid = yield tx.create(encode_int(initial), name=f"b{index}")
+            oids.append(oid)
+        return oids
+
+    return runtime.run(setup).value
+
+
+def read_counter(runtime, oid):
+    def body(tx):
+        return decode_int((yield tx.read(oid)))
+
+    return runtime.run(body).value
+
+
+def incrementer(oid, delta=1, fail=False):
+    def body(tx):
+        value = decode_int((yield tx.read(oid)))
+        yield tx.write(oid, encode_int(value + delta))
+        if fail:
+            yield tx.abort()
+        return value + delta
+
+    return body

@@ -1,0 +1,71 @@
+"""EX1 (3.1.1) — atomic transaction throughput under contention.
+
+Sweep: a fixed population of read-modify-write transactions over a
+shrinking object pool.  Expected shape: fewer objects → more conflicts →
+more deadlock aborts and lower committed throughput per scheduler step.
+"""
+
+from conftest import fresh_runtime
+
+from repro.bench.harness import run_interleaved, run_sequential
+from repro.bench.report import print_table
+from repro.bench.workload import WorkloadSpec, bodies_for, populate_objects
+
+
+def _run(n_objects, transactions=12, seed=7):
+    rt = fresh_runtime(seed=seed)
+    spec = WorkloadSpec(
+        transactions=transactions,
+        ops_per_txn=4,
+        n_objects=n_objects,
+        write_ratio=0.5,
+        seed=seed,
+    )
+    oids = populate_objects(rt, n_objects)
+    return run_interleaved(rt, bodies_for(spec, oids))
+
+
+def test_bench_atomic_contention_sweep(benchmark):
+    rows = []
+    for n_objects in (32, 16, 8, 4, 2, 1):
+        metrics = _run(n_objects)
+        rows.append(
+            [
+                n_objects,
+                metrics.committed,
+                metrics.aborted,
+                metrics.steps,
+                metrics.throughput,
+            ]
+        )
+    print_table(
+        "EX1: atomic throughput vs contention (12 txns, 4 ops, 50% writes)",
+        ["objects", "committed", "aborted", "steps", "commits/1k-steps"],
+        rows,
+    )
+    # Shape assertions: the hottest pool aborts more and commits less
+    # than the coolest.
+    assert rows[-1][2] >= rows[0][2]
+    assert rows[-1][1] <= rows[0][1]
+    benchmark(lambda: _run(8))
+
+
+def test_bench_atomic_sequential_baseline(benchmark):
+    """The zero-contention baseline: everything commits, no aborts."""
+
+    def run():
+        rt = fresh_runtime()
+        spec = WorkloadSpec(
+            transactions=12, ops_per_txn=4, n_objects=16, seed=3
+        )
+        oids = populate_objects(rt, 16)
+        return run_sequential(rt, bodies_for(spec, oids))
+
+    metrics = run()
+    print_table(
+        "EX1b: sequential baseline",
+        ["committed", "aborted", "steps"],
+        [[metrics.committed, metrics.aborted, metrics.steps]],
+    )
+    assert metrics.committed == 12 and metrics.aborted == 0
+    benchmark(run)

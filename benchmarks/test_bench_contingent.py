@@ -1,0 +1,66 @@
+"""EX3 (3.1.3) — contingent transaction cost vs alternative depth.
+
+Sweep: chains of alternatives where the first k fail.  Expected shape:
+cost grows linearly with the number of failed attempts; exactly one
+alternative ever commits.
+"""
+
+from conftest import fresh_runtime, incrementer, make_counters
+
+from repro.bench.report import print_table
+from repro.models.contingent import run_contingent
+
+
+def _run(failures_before_success, total=8, seed=3):
+    rt = fresh_runtime(seed=seed)
+    oids = make_counters(rt, total)
+    bodies = [
+        incrementer(oid, fail=(index < failures_before_success))
+        for index, oid in enumerate(oids)
+    ]
+    steps_before = rt.steps
+    committed_before = rt.manager.stats["committed"]
+    result = run_contingent(rt, bodies)
+    return (
+        result,
+        rt.steps - steps_before,
+        rt.manager.stats["committed"] - committed_before,
+    )
+
+
+def test_bench_contingent_depth_sweep(benchmark):
+    rows = []
+    for failures in (0, 1, 2, 4, 7):
+        result, steps, commits = _run(failures)
+        assert result.committed
+        assert result.chosen_index == failures
+        assert commits == 1  # at most one alternative commits
+        rows.append([failures + 1, steps, len(result.attempts)])
+    print_table(
+        "EX3: contingent cost vs attempts needed (8 alternatives)",
+        ["attempts", "steps", "initiated"],
+        rows,
+    )
+    assert rows[-1][1] > rows[0][1]  # linear-ish growth
+    benchmark(lambda: _run(4))
+
+
+def test_bench_contingent_total_failure(benchmark):
+    """All alternatives fail: every attempt is paid, nothing commits."""
+
+    def run():
+        rt = fresh_runtime(seed=4)
+        oids = make_counters(rt, 6)
+        return run_contingent(
+            rt, [incrementer(oid, fail=True) for oid in oids]
+        )
+
+    result = run()
+    assert not result.committed
+    assert len(result.attempts) == 6
+    print_table(
+        "EX3b: contingent all-fail",
+        ["alternatives", "attempts", "committed"],
+        [[6, len(result.attempts), int(result.committed)]],
+    )
+    benchmark(run)

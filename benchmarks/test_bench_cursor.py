@@ -1,0 +1,97 @@
+"""EX8 (3.2.2) — cursor stability vs repeatable read: writer latency.
+
+A reader scans N records; a writer wants to update the first record.
+Under cursor stability the reader permits writes as the cursor moves on,
+so the writer proceeds almost immediately; under repeatable read the
+writer waits for the reader's commit.
+
+Expected shape: writer completion under cursor stability is flat in scan
+length; under repeatable read it grows with it.
+"""
+
+from conftest import fresh_runtime, make_counters
+
+from repro.bench.report import print_table
+from repro.common.codec import encode_int
+from repro.models.cursor import cursor_scan
+
+
+def _writer_wait_rounds(stable, scan_length, seed=12):
+    rt = fresh_runtime(seed=seed)
+    manager = rt.manager
+    oids = make_counters(rt, scan_length)
+
+    def reader(tx):
+        yield from cursor_scan(tx, oids, stable=stable)
+
+    def writer(tx):
+        yield tx.write(oids[0], encode_int(777))
+
+    reader_tid = rt.spawn(reader)
+    rt.round()  # the reader locks record 0
+    rt.round()  # (stable) cursor leaves record 0: permit issued
+    writer_tid = rt.spawn(writer)
+    rounds = 0
+    while manager.wait_outcome(writer_tid) is None:
+        progressed = rt.round()
+        rounds += 1
+        if not progressed:
+            if manager.wait_outcome(reader_tid):
+                manager.try_commit(reader_tid)
+        assert rounds < 10_000
+    rt.run_until_quiescent()
+    rt.commit_all([reader_tid, writer_tid])
+    return rounds
+
+
+def test_bench_cursor_stability_writer_latency(benchmark):
+    rows = []
+    for scan_length in (2, 4, 8, 16, 32):
+        stable = _writer_wait_rounds(True, scan_length)
+        repeatable = _writer_wait_rounds(False, scan_length)
+        rows.append([scan_length, stable, repeatable])
+    print_table(
+        "EX8: writer completion rounds — cursor stability vs repeatable read",
+        ["scan length", "cursor stability", "repeatable read"],
+        rows,
+    )
+    for row in rows:
+        assert row[1] <= row[2]
+    # Repeatable-read latency grows with scan length; stability stays flat.
+    assert rows[-1][2] > rows[0][2]
+    assert rows[-1][1] <= rows[0][1] + 3
+    benchmark(lambda: _writer_wait_rounds(True, 16))
+
+
+def test_bench_cursor_throughput_mixed(benchmark):
+    """Several scanners + several writers on a shared table."""
+
+    def run(stable):
+        rt = fresh_runtime(seed=13)
+        oids = make_counters(rt, 8)
+
+        def reader(tx):
+            yield from cursor_scan(tx, oids, stable=stable)
+
+        def writer(index):
+            def body(tx):
+                yield tx.write(oids[index % 8], encode_int(index))
+
+            return body
+
+        tids = [rt.spawn(reader) for __ in range(2)]
+        tids += [rt.spawn(writer(i)) for i in range(4)]
+        steps_before = rt.steps
+        rt.run_until_quiescent()
+        rt.commit_all(tids)
+        return rt.steps - steps_before
+
+    stable_steps = run(True)
+    repeatable_steps = run(False)
+    print_table(
+        "EX8b: mixed scan/write workload steps",
+        ["mode", "steps"],
+        [["cursor stability", stable_steps],
+         ["repeatable read", repeatable_steps]],
+    )
+    benchmark(lambda: run(True))

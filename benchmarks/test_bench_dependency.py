@@ -1,0 +1,109 @@
+"""EX10 (4.2) — commit-time dependency resolution and abort cascades.
+
+Sweeps: (a) CD chains of growing length committed from the tail — each
+commit must wait for its dependee, so draining the chain costs O(n)
+try-commit passes; (b) AD cascade chains — aborting the head takes the
+whole chain down in one call, with undo work linear in chain length.
+"""
+
+import time
+
+from conftest import fresh_runtime, incrementer, make_counters
+
+from repro.bench.report import print_table
+from repro.core.dependency import DependencyType
+from repro.core.outcomes import CommitStatus
+
+
+def _build_chain(dep_type, length, seed=33):
+    """length transactions, each dependent on the previous."""
+    rt = fresh_runtime(seed=seed)
+    oids = make_counters(rt, length)
+    tids = []
+    for oid in oids:
+        tid = rt.spawn(incrementer(oid))
+        rt.run_until_quiescent()
+        tids.append(tid)
+    for earlier, later in zip(tids, tids[1:]):
+        rt.manager.form_dependency(dep_type, earlier, later)
+    return rt, tids
+
+
+def test_bench_commit_chain_resolution(benchmark):
+    rows = []
+    for length in (2, 4, 8, 16, 32):
+        rt, tids = _build_chain(DependencyType.CD, length)
+        # Drive commits from the TAIL: every attempt on a non-ready
+        # transaction reports BLOCKED until its dependee commits.
+        blocked_attempts = 0
+        outstanding = list(reversed(tids))
+        while outstanding:
+            for tid in list(outstanding):
+                outcome = rt.manager.try_commit(tid)
+                if outcome.is_final:
+                    outstanding.remove(tid)
+                elif outcome.status is CommitStatus.BLOCKED:
+                    blocked_attempts += 1
+        rows.append([length, blocked_attempts])
+    print_table(
+        "EX10: CD chain drained tail-first — blocked commit attempts",
+        ["chain length", "blocked attempts"],
+        rows,
+    )
+    assert rows[-1][1] > rows[0][1]
+
+    def representative():
+        rt, tids = _build_chain(DependencyType.CD, 8)
+        return rt.commit_all(tids)
+
+    benchmark(representative)
+
+
+def test_bench_abort_cascade(benchmark):
+    rows = []
+    for length in (2, 4, 8, 16, 32):
+        rt, tids = _build_chain(DependencyType.AD, length)
+        start = time.perf_counter()
+        rt.abort(tids[0])  # the head: everyone depends on it transitively
+        elapsed = (time.perf_counter() - start) * 1e6
+        aborted = rt.manager.stats["aborted"]
+        assert aborted == length
+        assert rt.manager.stats["cascaded_aborts"] == length - 1
+        rows.append([length, aborted, elapsed])
+    print_table(
+        "EX10b: AD cascade from the head",
+        ["chain length", "aborted", "us"],
+        rows,
+    )
+
+    def representative():
+        rt, tids = _build_chain(DependencyType.AD, 8)
+        rt.abort(tids[0])
+        return rt.manager.stats["aborted"]
+
+    benchmark(representative)
+
+
+def test_bench_gc_group_resolution(benchmark):
+    """Group-commit resolution scales with group size: one try_commit on
+    any member resolves the whole component."""
+    rows = []
+    for size in (2, 4, 8, 16, 32):
+        rt, tids = _build_chain(DependencyType.GC, size)
+        start = time.perf_counter()
+        outcome = rt.manager.try_commit(tids[0])
+        elapsed = (time.perf_counter() - start) * 1e6
+        assert outcome.status is CommitStatus.COMMITTED
+        assert len(outcome.group) == size
+        rows.append([size, elapsed, elapsed / size])
+    print_table(
+        "EX10c: GC component committed by ONE call",
+        ["group size", "us", "us/member"],
+        rows,
+    )
+
+    def representative():
+        rt, tids = _build_chain(DependencyType.GC, 8)
+        return rt.manager.try_commit(tids[0])
+
+    benchmark(representative)

@@ -1,0 +1,74 @@
+"""EX2 (3.1.2) — group commit cost vs group size.
+
+Sweep: distributed transactions of growing component count.  Expected
+shape: one commit call commits the whole group; total scheduler steps grow
+roughly linearly with group size, and the log carries exactly ONE commit
+record per group regardless of size.
+"""
+
+from conftest import fresh_runtime, incrementer, make_counters
+
+from repro.bench.report import print_table
+from repro.models.distributed import run_distributed
+from repro.storage.log import CommitRecord
+
+
+def _run(group_size, seed=5):
+    rt = fresh_runtime(seed=seed)
+    oids = make_counters(rt, group_size)
+    steps_before = rt.steps
+    result = run_distributed(rt, [incrementer(oid) for oid in oids])
+    commit_records = [
+        r
+        for r in rt.manager.storage.log.records()
+        if isinstance(r, CommitRecord)
+    ]
+    return result, rt.steps - steps_before, len(commit_records)
+
+
+def test_bench_group_commit_size_sweep(benchmark):
+    rows = []
+    for size in (1, 2, 4, 8, 16):
+        result, steps, commit_count = _run(size)
+        assert result.committed
+        rows.append(
+            [size, steps, steps / size, commit_count - 1]  # -1 for setup
+        )
+    print_table(
+        "EX2: group commit vs group size",
+        ["group size", "steps", "steps/member", "group commit records"],
+        rows,
+    )
+    # One commit record per group, independent of size.
+    assert all(row[3] == 1 for row in rows)
+    # Per-member cost roughly flat: within 4x of the smallest.
+    per_member = [row[2] for row in rows]
+    assert max(per_member) <= 4 * min(per_member)
+    benchmark(lambda: _run(8))
+
+
+def test_bench_group_abort_cost(benchmark):
+    """Group abort: one failing member takes the whole group down; undo
+    work grows with group size."""
+
+    def run(size):
+        rt = fresh_runtime(seed=9)
+        oids = make_counters(rt, size)
+        bodies = [incrementer(oid) for oid in oids[:-1]]
+        bodies.append(incrementer(oids[-1], fail=True))
+        steps_before = rt.steps
+        result = run_distributed(rt, bodies)
+        return result, rt.steps - steps_before
+
+    rows = []
+    for size in (2, 4, 8, 16):
+        result, steps = run(size)
+        assert not result.committed
+        rows.append([size, steps])
+    print_table(
+        "EX2b: group abort cost vs group size",
+        ["group size", "steps"],
+        rows,
+    )
+    assert rows[-1][1] > rows[0][1]
+    benchmark(lambda: run(8))

@@ -1,0 +1,95 @@
+"""EX16 (extension) — large objects through the full transaction stack.
+
+EOS-style segment chains let objects exceed a page.  Sweep the object
+size through the page boundary and measure transactional read/write cost
+(locks + latches + before/after-image logging included).  Expected
+shape: cost is linear in size with a step at the chunking threshold
+(one page → several), and abort/recovery semantics are size-independent.
+"""
+
+import time
+
+from conftest import fresh_runtime
+
+from repro.bench.report import print_table
+from repro.storage.page import PAGE_SIZE
+
+
+def _round_trip_ms(size, writes=4, seed=41):
+    rt = fresh_runtime(seed=seed)
+    payload = bytes(index % 251 for index in range(size))
+
+    def setup(tx):
+        return (yield tx.create(payload, name="blob"))
+
+    oid = rt.run(setup).value
+    start = time.perf_counter()
+
+    def writer(tx):
+        for round_number in range(writes):
+            current = yield tx.read(oid)
+            yield tx.write(oid, current[::-1])
+
+    tid = rt.spawn(writer)
+    rt.commit(tid)
+    elapsed = (time.perf_counter() - start) * 1e3
+
+    def reader(tx):
+        return (yield tx.read(oid))
+
+    final = rt.run(reader).value
+    expected = payload[::-1] if writes % 2 else payload
+    assert final == expected
+    return elapsed
+
+
+def test_bench_large_object_size_sweep(benchmark):
+    rows = []
+    for size in (512, PAGE_SIZE // 2, PAGE_SIZE * 2, PAGE_SIZE * 8):
+        elapsed = _round_trip_ms(size)
+        rows.append([size, size > PAGE_SIZE - 64, elapsed])
+    print_table(
+        "EX16: transactional RMW cost vs object size (4 rewrites)",
+        ["bytes", "chunked", "ms"],
+        rows,
+    )
+    assert rows[-1][2] > rows[0][2]  # bigger costs more
+    benchmark(lambda: _round_trip_ms(PAGE_SIZE * 2, writes=1))
+
+
+def test_bench_large_object_abort_and_recovery(benchmark):
+    """Failure atomicity is size-independent: a multi-page object rolls
+    back exactly like a small one, in memory and across a crash."""
+
+    def run():
+        rt = fresh_runtime(seed=42)
+        storage = rt.manager.storage
+        payload = b"big" * 5000  # ~15KB: four chunks
+
+        def setup(tx):
+            return (yield tx.create(payload, name="blob"))
+
+        oid = rt.run(setup).value
+
+        def doomed(tx):
+            yield tx.write(oid, b"overwritten" * 2000)
+            yield tx.abort()
+
+        tid = rt.spawn(doomed)
+        rt.wait(tid)
+
+        def reader(tx):
+            return (yield tx.read(oid))
+
+        assert rt.run(reader).value == payload
+
+        storage.log.flush()
+        storage.crash()
+        storage.recover()
+        assert storage.read_object(None, oid) == payload
+        return True
+
+    assert run()
+    print_table("EX16b: large-object abort + crash recovery",
+                ["outcome"], [["intact"]])
+    benchmark(run)

@@ -1,0 +1,88 @@
+"""EX11 (4.1) — the EOS S/X latch under thread contention.
+
+Sweeps: reader-only, writer-only, and mixed thread populations hammering
+one latch.  Expected shape: shared acquisitions scale (they coexist);
+exclusive acquisitions serialize; the X-bit keeps writers from starving
+in the mixed case (verified by bounding writer completion).
+"""
+
+import threading
+import time
+
+from repro.bench.report import print_table
+from repro.common.latch import Latch, LatchMode
+
+
+def _hammer(readers, writers, iterations=300):
+    latch = Latch("bench")
+    done = []
+    writer_finish_times = []
+    start = time.perf_counter()
+
+    def reader():
+        for __ in range(iterations):
+            latch.acquire(LatchMode.SHARED)
+            latch.release(LatchMode.SHARED)
+        done.append("r")
+
+    def writer():
+        for __ in range(iterations):
+            latch.acquire(LatchMode.EXCLUSIVE)
+            latch.release(LatchMode.EXCLUSIVE)
+        writer_finish_times.append(time.perf_counter() - start)
+        done.append("w")
+
+    threads = [threading.Thread(target=reader) for __ in range(readers)]
+    threads += [threading.Thread(target=writer) for __ in range(writers)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=30)
+    elapsed = time.perf_counter() - start
+    assert len(done) == readers + writers, "a latch user never finished"
+    total_ops = (readers + writers) * iterations
+    return elapsed, total_ops, writer_finish_times
+
+
+def test_bench_latch_population_sweep(benchmark):
+    rows = []
+    for label, readers, writers in (
+        ("4 readers", 4, 0),
+        ("4 writers", 0, 4),
+        ("3R + 1W", 3, 1),
+        ("2R + 2W", 2, 2),
+    ):
+        elapsed, total_ops, __ = _hammer(readers, writers)
+        rows.append([label, total_ops, elapsed * 1e3,
+                     total_ops / elapsed / 1000])
+    print_table(
+        "EX11: latch throughput by population (300 ops each)",
+        ["population", "ops", "ms", "kops/s"],
+        rows,
+    )
+    benchmark(lambda: _hammer(2, 1, iterations=100))
+
+
+def test_bench_latch_writer_not_starved(benchmark):
+    """With a steady reader stream, the X-bit bounds writer completion:
+    the writer finishes while readers are still running."""
+    elapsed, __, writer_times = _hammer(6, 1, iterations=200)
+    print_table(
+        "EX11b: writer completion vs run end (6 readers, 1 writer)",
+        ["writer done (ms)", "whole run (ms)"],
+        [[writer_times[0] * 1e3, elapsed * 1e3]],
+    )
+    assert writer_times, "writer never finished: starved"
+    assert writer_times[0] <= elapsed + 1e-9
+    benchmark(lambda: _hammer(3, 1, iterations=50))
+
+
+def test_bench_latch_uncontended_cost(benchmark):
+    """The baseline: one thread, no contention."""
+    latch = Latch()
+
+    def one_pair():
+        latch.acquire(LatchMode.EXCLUSIVE)
+        latch.release(LatchMode.EXCLUSIVE)
+
+    benchmark(one_pair)

@@ -1,0 +1,130 @@
+"""EX4 (3.1.4) — nested transaction cost vs nesting depth and fanout.
+
+Sweeps: (a) a chain of subtransactions nested k deep; (b) a flat parent
+with k children.  Expected shape: cost per subtransaction is roughly
+constant (each level pays one initiate/permit/begin/wait/delegate/commit
+sequence), so total steps grow linearly in the number of subtransactions
+either way.  A failure at the deepest level unwinds the entire nest.
+"""
+
+from conftest import fresh_runtime, make_counters, read_counter
+
+from repro.bench.report import print_table
+from repro.common.codec import decode_int, encode_int
+from repro.models.atomic import run_atomic
+from repro.models.nested import require_subtransaction
+
+
+def chain_body(oids, depth, fail_at_leaf=False):
+    """A nest of transactions, each level wrapping the next."""
+
+    def level(index):
+        def body(tx):
+            value = decode_int((yield tx.read(oids[index])))
+            yield tx.write(oids[index], encode_int(value + 1))
+            if index + 1 < depth:
+                yield from require_subtransaction(tx, level(index + 1))
+            elif fail_at_leaf:
+                yield tx.abort()
+
+        return body
+
+    return level(0)
+
+
+def fanout_body(oids, children):
+    def child(oid):
+        def body(tx):
+            value = decode_int((yield tx.read(oid)))
+            yield tx.write(oid, encode_int(value + 1))
+
+        return body
+
+    def parent(tx):
+        for oid in oids[:children]:
+            yield from require_subtransaction(tx, child(oid))
+
+    return parent
+
+
+def test_bench_nested_depth_sweep(benchmark):
+    rows = []
+    for depth in (1, 2, 4, 8):
+        rt = fresh_runtime(seed=2)
+        oids = make_counters(rt, depth)
+        steps_before = rt.steps
+        result = run_atomic(rt, chain_body(oids, depth))
+        steps = rt.steps - steps_before
+        assert result.committed
+        assert all(read_counter(rt, oid) == 1 for oid in oids)
+        rows.append([depth, steps, steps / depth])
+    print_table(
+        "EX4: nested chain cost vs depth",
+        ["depth", "steps", "steps/level"],
+        rows,
+    )
+    # Each blocked ancestor retries its wait every round, so a depth-d
+    # chain costs O(d^2) scheduler steps — linear manager work per level
+    # plus the polling discipline's quadratic retry overhead.  Assert the
+    # quadratic envelope (and that cost does grow with depth).
+    for depth, steps, __ in rows:
+        assert steps <= 6 * depth * depth + 10
+    assert rows[-1][1] > rows[0][1]
+
+    def representative():
+        rt = fresh_runtime(seed=2)
+        oids = make_counters(rt, 4)
+        return run_atomic(rt, chain_body(oids, 4))
+
+    benchmark(representative)
+
+
+def test_bench_nested_fanout_sweep(benchmark):
+    rows = []
+    for children in (1, 2, 4, 8, 16):
+        rt = fresh_runtime(seed=2)
+        oids = make_counters(rt, children)
+        steps_before = rt.steps
+        result = run_atomic(rt, fanout_body(oids, children))
+        assert result.committed
+        rows.append([children, rt.steps - steps_before])
+    print_table(
+        "EX4b: nested fanout cost vs children",
+        ["children", "steps"],
+        rows,
+    )
+    assert rows[-1][1] > rows[0][1]
+
+    def representative():
+        rt = fresh_runtime(seed=2)
+        oids = make_counters(rt, 8)
+        return run_atomic(rt, fanout_body(oids, 8))
+
+    benchmark(representative)
+
+
+def test_bench_nested_deep_failure_unwind(benchmark):
+    """Failure at the deepest leaf: the undo grows with the nest size."""
+    rows = []
+    for depth in (2, 4, 8):
+        rt = fresh_runtime(seed=2)
+        oids = make_counters(rt, depth)
+        steps_before = rt.steps
+        result = run_atomic(
+            rt, chain_body(oids, depth, fail_at_leaf=True)
+        )
+        assert not result.committed
+        assert all(read_counter(rt, oid) == 0 for oid in oids)
+        rows.append([depth, rt.steps - steps_before])
+    print_table(
+        "EX4c: deep-failure unwind cost",
+        ["depth", "steps"],
+        rows,
+    )
+
+    def representative():
+        rt = fresh_runtime(seed=2)
+        oids = make_counters(rt, 4)
+        return run_atomic(rt, chain_body(oids, 4, fail_at_leaf=True))
+
+    benchmark(representative)

@@ -1,0 +1,99 @@
+"""EX14 (ablation) — the permit transitive-sharing rule's cost.
+
+Section 2.2's rule — permit(t_i,t_j) ∘ permit(t_j,t_k) implies
+permit(t_i,t_k) — is materialized eagerly at grant time.  Sweeps:
+
+* a permit *chain* t_1→t_2→...→t_n on one object: inserting the n-th
+  link derives O(n) permits (the full closure is O(n²) descriptors);
+* a permit *star* (one giver, many receivers): no composition exists, so
+  grants stay O(1).
+
+The payoff side: after the closure, ``allows()`` is a single list scan —
+no graph search at lock time, which is the design's point (the lock path
+is the hot path; grant time is not).
+"""
+
+import time
+
+from repro.bench.report import print_table
+from repro.common.ids import ObjectId, Tid
+from repro.core.locks import ObjectRegistry
+from repro.core.permits import PermitTable
+from repro.core.semantics import WRITE
+
+OB = ObjectId(1)
+
+
+def _build_chain(length):
+    registry = ObjectRegistry()
+    permits = PermitTable(registry)
+    start = time.perf_counter()
+    for value in range(1, length):
+        permits.grant(
+            OB, Tid(value), receiver=Tid(value + 1), operation=WRITE
+        )
+    elapsed = (time.perf_counter() - start) * 1e3
+    return permits, elapsed
+
+
+def _build_star(receivers):
+    registry = ObjectRegistry()
+    permits = PermitTable(registry)
+    start = time.perf_counter()
+    for value in range(receivers):
+        permits.grant(
+            OB, Tid(1), receiver=Tid(value + 2), operation=WRITE
+        )
+    elapsed = (time.perf_counter() - start) * 1e3
+    return permits, elapsed
+
+
+def test_bench_closure_chain_vs_star(benchmark):
+    rows = []
+    for size in (8, 16, 32, 64):
+        chain_permits, chain_ms = _build_chain(size)
+        star_permits, star_ms = _build_star(size)
+        rows.append(
+            [
+                size,
+                chain_ms,
+                len(chain_permits),
+                star_ms,
+                len(star_permits),
+            ]
+        )
+    print_table(
+        "EX14: permit materialization — chain (O(n^2) closure) vs star",
+        ["links", "chain ms", "chain PDs", "star ms", "star PDs"],
+        rows,
+    )
+    # The chain materializes the quadratic closure; the star stays linear.
+    last = rows[-1]
+    assert last[2] > last[4]
+    assert last[2] == 64 * 63 // 2  # all ordered pairs i<j: n(n-1)/2
+    benchmark(lambda: _build_chain(32))
+
+
+def test_bench_allows_after_closure_is_flat(benchmark):
+    """The hot-path payoff: end-to-end permission checks cost one list
+    scan regardless of how long the chain that produced them was."""
+    rows = []
+    for size in (8, 32, 64):
+        permits, __ = _build_chain(size)
+
+        def probe():
+            for __ in range(1000):
+                permits.allows(OB, Tid(1), Tid(size), WRITE)
+
+        start = time.perf_counter()
+        probe()
+        elapsed = (time.perf_counter() - start) * 1e6
+        assert permits.allows(OB, Tid(1), Tid(size), WRITE)
+        rows.append([size, elapsed])
+    print_table(
+        "EX14b: allows(t_1 -> t_n) — 1000 checks after closure",
+        ["chain length", "us"],
+        rows,
+    )
+    permits, __ = _build_chain(32)
+    benchmark(lambda: permits.allows(OB, Tid(1), Tid(32), WRITE))

@@ -1,0 +1,92 @@
+"""EX13 (ablation) — restart recovery time vs log length.
+
+Recovery scans the whole durable log (analysis + redo + undo), so its
+cost grows with accumulated history.  The sharp checkpoint (flush all
+pages, truncate the log when quiescent) bounds it.  Sweep the number of
+committed transactions before the crash, with and without a checkpoint.
+
+Expected shape: recovery time linear in log length without checkpoints,
+flat with them; recovered state identical either way.
+"""
+
+import time
+
+from conftest import fresh_runtime, incrementer, make_counters
+
+from repro.bench.report import print_table
+
+
+def _workload(history_length, checkpoint, seed=27):
+    rt = fresh_runtime(seed=seed)
+    storage = rt.manager.storage
+    oids = make_counters(rt, 4)
+    for index in range(history_length):
+        tid = rt.spawn(incrementer(oids[index % 4]))
+        rt.commit(tid)
+    if checkpoint:
+        rt.manager.checkpoint(truncate=True)
+    storage.log.flush()
+    storage.crash()
+    start = time.perf_counter()
+    storage.recover()
+    elapsed = (time.perf_counter() - start) * 1e3
+    finals = [
+        int(storage.read_object(None, oid).decode("ascii")) for oid in oids
+    ]
+    return elapsed, finals, len(storage.log.records())
+
+
+def test_bench_recovery_log_length_sweep(benchmark):
+    rows = []
+    for history in (8, 32, 128, 512):
+        plain_ms, plain_state, __ = _workload(history, checkpoint=False)
+        ckpt_ms, ckpt_state, __ = _workload(history, checkpoint=True)
+        assert plain_state == ckpt_state  # same recovered data
+        expected = [
+            len([i for i in range(history) if i % 4 == slot])
+            for slot in range(4)
+        ]
+        assert plain_state == expected
+        rows.append([history, plain_ms, ckpt_ms])
+    print_table(
+        "EX13: recovery time vs history length — with/without checkpoint",
+        ["committed txns", "no checkpoint (ms)", "sharp checkpoint (ms)"],
+        rows,
+    )
+    # Without checkpoints recovery grows with history; with them it
+    # stays (near) flat — the longest run shows a clear win.
+    assert rows[-1][1] > rows[-1][2]
+    benchmark(lambda: _workload(64, checkpoint=False))
+
+
+def test_bench_recovery_loser_heavy(benchmark):
+    """Undo-heavy recovery: many uncommitted writers at crash time."""
+
+    def run(losers):
+        rt = fresh_runtime(seed=28)
+        storage = rt.manager.storage
+        oids = make_counters(rt, losers)
+        committed = rt.spawn(incrementer(oids[0]))
+        rt.commit(committed)
+        for oid in oids:
+            rt.spawn(incrementer(oid, delta=100))
+        rt.run_until_quiescent()  # all complete, none commit
+        storage.log.flush()
+        storage.crash()
+        start = time.perf_counter()
+        report = storage.recover()
+        elapsed = (time.perf_counter() - start) * 1e3
+        return elapsed, report.undone
+
+    rows = []
+    for losers in (2, 8, 32):
+        elapsed, undone = run(losers)
+        assert undone >= losers
+        rows.append([losers, undone, elapsed])
+    print_table(
+        "EX13b: undo-heavy recovery",
+        ["in-flight writers", "updates undone", "ms"],
+        rows,
+    )
+    assert rows[-1][1] > rows[0][1]
+    benchmark(lambda: run(8))

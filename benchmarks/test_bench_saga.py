@@ -1,0 +1,141 @@
+"""EX6 (3.1.6) — sagas vs one long atomic transaction.
+
+The saga motivation: a long-lived activity run as a single transaction
+holds its locks end to end, starving competitors; as a saga each
+component commits (and releases) as it goes.  Measured here:
+
+* competitor blocked-time — the logical tick at which a competitor
+  touching the FIRST object can commit, under saga vs monolith;
+* compensation cost vs failure point (deeper failures undo more).
+
+Expected shape: the competitor finishes (len-1)x earlier under the saga;
+compensation work grows linearly with the committed prefix.
+"""
+
+from conftest import fresh_runtime, make_counters
+
+from repro.acta.history import HistoryRecorder
+from repro.bench.report import print_table
+from repro.common.codec import decode_int, encode_int
+from repro.common.events import EventKind
+from repro.models.saga import Saga, run_saga
+
+
+def bump_body(oid, delta=1, fail=False):
+    def body(tx):
+        value = decode_int((yield tx.read(oid)))
+        yield tx.write(oid, encode_int(value + delta))
+        if fail:
+            yield tx.abort()
+
+    return body
+
+
+def saga_over(oids, fail_at=None):
+    saga = Saga()
+    for index, oid in enumerate(oids):
+        fail = fail_at is not None and index == fail_at
+        is_last = index == len(oids) - 1
+        saga.step(
+            bump_body(oid, fail=fail),
+            None if is_last else bump_body(oid, delta=-1),
+            name=f"t{index + 1}",
+        )
+    return saga
+
+
+def monolith_over(oids):
+    def body(tx):
+        for oid in oids:
+            value = decode_int((yield tx.read(oid)))
+            yield tx.write(oid, encode_int(value + 1))
+
+    return body
+
+
+def blind_write(oid, value=99):
+    """A write without a preceding read: no upgrade, it just queues."""
+
+    def body(tx):
+        yield tx.write(oid, encode_int(value))
+
+    return body
+
+
+def _competitor_commit_tick(use_saga, length, seed=8):
+    """Tick at which a competitor wanting the FIRST object commits.
+
+    The long activity acquires object 0 first (one scheduler round), then
+    the competitor arrives and waits.  Under the saga the wait ends when
+    component t1 commits; under the monolith, only at the very end.
+    """
+    rt = fresh_runtime(seed=seed)
+    recorder = HistoryRecorder(rt.manager)
+    oids = make_counters(rt, length)
+
+    if use_saga:
+        first_step = rt.spawn(bump_body(oids[0]))
+        rt.round()  # t1 holds object 0
+        competitor = rt.spawn(blind_write(oids[0]))
+        rt.commit(first_step)  # t1 commits; the competitor may proceed
+        for oid in oids[1:]:
+            step = rt.spawn(bump_body(oid))
+            rt.commit(step)
+    else:
+        long_tid = rt.spawn(monolith_over(oids))
+        rt.round()  # the monolith holds object 0
+        competitor = rt.spawn(blind_write(oids[0]))
+        rt.run_until_quiescent()
+        rt.commit(long_tid)
+    rt.run_until_quiescent()
+    rt.commit_all([competitor])
+
+    # The competitor's COMPLETE tick is when its blocked write finally
+    # executed (commit timing is the driver's choice, not the system's).
+    for event in recorder.events:
+        if event.kind is EventKind.COMPLETE and event.tid == competitor:
+            return event.tick
+    raise AssertionError("competitor never completed")
+
+
+def test_bench_saga_vs_monolith_blocking(benchmark):
+    rows = []
+    for length in (2, 4, 8, 16):
+        saga_tick = _competitor_commit_tick(True, length)
+        mono_tick = _competitor_commit_tick(False, length)
+        rows.append([length, saga_tick, mono_tick, mono_tick / saga_tick])
+    print_table(
+        "EX6: competitor commit tick — saga vs monolithic transaction",
+        ["saga length", "saga tick", "monolith tick", "monolith/saga"],
+        rows,
+    )
+    # The monolith penalty grows with length; saga stays ~flat.
+    assert rows[-1][2] > rows[-1][1]
+    benchmark(lambda: _competitor_commit_tick(True, 8))
+
+
+def test_bench_saga_compensation_cost(benchmark):
+    rows = []
+    length = 8
+    for fail_at in (1, 2, 4, 7):
+        rt = fresh_runtime(seed=8)
+        oids = make_counters(rt, length)
+        steps_before = rt.steps
+        result = run_saga(rt, saga_over(oids, fail_at=fail_at))
+        steps = rt.steps - steps_before
+        assert not result.committed
+        assert result.compensated_steps == fail_at
+        rows.append([fail_at, steps, result.compensated_steps])
+    print_table(
+        "EX6b: saga compensation cost vs failure point (length 8)",
+        ["failure at step", "steps", "compensations run"],
+        rows,
+    )
+    assert rows[-1][1] > rows[0][1]
+
+    def representative():
+        rt = fresh_runtime(seed=8)
+        oids = make_counters(rt, 8)
+        return run_saga(rt, saga_over(oids, fail_at=4))
+
+    benchmark(representative)

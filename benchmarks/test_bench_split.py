@@ -1,0 +1,88 @@
+"""EX5 (3.1.5) — split cost vs delegated-set size.
+
+The section 4.2 delegate algorithm moves one LRD per object and rewrites
+the giver's permits: O(|X|).  Sweep the size of the delegated set and
+measure the wall-clock of the ``delegate`` call itself (the one place a
+logical-step count cannot see the data-structure work).
+"""
+
+import time
+
+from conftest import fresh_runtime, make_counters
+
+from repro.bench.report import print_table
+from repro.common.codec import encode_int
+
+
+def _prepare(n_objects, seed=6):
+    rt = fresh_runtime(seed=seed)
+    oids = make_counters(rt, n_objects)
+
+    def toucher(tx):
+        for oid in oids:
+            yield tx.write(oid, encode_int(1))
+
+    worker = rt.spawn(toucher)
+    rt.run_until_quiescent()
+    target = rt.manager.initiate()
+    return rt, worker, target, oids
+
+
+def _timed_delegate(n_objects):
+    rt, worker, target, oids = _prepare(n_objects)
+    start = time.perf_counter()
+    moved = rt.manager.delegate(worker, target)
+    elapsed = time.perf_counter() - start
+    assert len(moved) == n_objects
+    return elapsed
+
+
+def test_bench_split_delegation_size_sweep(benchmark):
+    rows = []
+    for n_objects in (1, 8, 64, 256):
+        # Median of a few runs to steady the tiny timings.
+        timings = sorted(_timed_delegate(n_objects) for __ in range(5))
+        micros = timings[2] * 1e6
+        rows.append([n_objects, micros, micros / n_objects])
+    print_table(
+        "EX5: delegate(t_i, t_j, X) cost vs |X|",
+        ["|X|", "median us", "us/object"],
+        rows,
+    )
+    # O(|X|): per-object cost must not blow up with size (allow noise).
+    assert rows[-1][2] <= 50 * rows[0][2]
+
+    rt, worker, target, __ = _prepare(64)
+    state = {"giver": worker, "receiver": target}
+
+    def delegate_back_and_forth():
+        moved = rt.manager.delegate(state["giver"], state["receiver"])
+        state["giver"], state["receiver"] = (
+            state["receiver"], state["giver"],
+        )
+        return moved
+
+    benchmark(delegate_back_and_forth)
+
+
+def test_bench_split_partial_vs_full(benchmark):
+    """Delegating a subset costs proportionally less than everything."""
+    rows = []
+    for fraction_label, count in (("1/8", 32), ("1/2", 128), ("all", 256)):
+        rt, worker, target, oids = _prepare(256)
+        start = time.perf_counter()
+        moved = rt.manager.delegate(worker, target, oids=set(oids[:count]))
+        elapsed = (time.perf_counter() - start) * 1e6
+        assert len(moved) == count
+        rows.append([fraction_label, count, elapsed])
+    print_table(
+        "EX5b: partial delegation cost (256 locks held)",
+        ["fraction", "objects moved", "us"],
+        rows,
+    )
+
+    def representative():
+        rt, worker, target, oids = _prepare(64)
+        return rt.manager.delegate(worker, target)
+
+    benchmark(representative)

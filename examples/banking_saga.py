@@ -1,0 +1,111 @@
+"""A multi-step funds movement as a saga (section 3.1.6).
+
+Moving payroll across three banks is long-lived: locking all three for
+one atomic transaction would block every teller for the duration.  As a
+saga, each hop commits immediately (releasing its locks) and carries a
+compensating transaction; if a later hop fails, the committed prefix is
+compensated in reverse order.
+
+Run:  python examples/banking_saga.py
+"""
+
+from repro import CooperativeRuntime, decode_int, encode_int
+from repro.models import Saga, run_saga
+
+
+def withdraw(tx, account, amount):
+    balance = decode_int((yield tx.read(account)))
+    if balance < amount:
+        yield tx.abort()
+    yield tx.write(account, encode_int(balance - amount))
+    return balance - amount
+
+
+def deposit(tx, account, amount):
+    balance = decode_int((yield tx.read(account)))
+    yield tx.write(account, encode_int(balance + amount))
+    return balance + amount
+
+
+def build_saga(source, clearing, destination, amount):
+    """withdraw(source) -> clear -> deposit(destination)."""
+    return (
+        Saga()
+        .step(
+            withdraw, deposit,
+            args=(source, amount), compensation_args=(source, amount),
+            name="t1",
+        )
+        .step(
+            deposit, withdraw,
+            args=(clearing, amount), compensation_args=(clearing, amount),
+            name="t2",
+        )
+        .step(
+            # Final hop: moves out of clearing into the destination; no
+            # compensation needed ("commitment of t_n implies the
+            # commitment of the whole saga").
+            _final_hop, None,
+            args=(clearing, destination, amount),
+            name="t3",
+        )
+    )
+
+
+def _final_hop(tx, clearing, destination, amount):
+    cleared = decode_int((yield tx.read(clearing)))
+    if cleared < amount:
+        yield tx.abort()
+    yield tx.write(clearing, encode_int(cleared - amount))
+    balance = decode_int((yield tx.read(destination)))
+    yield tx.write(destination, encode_int(balance + amount))
+    return balance + amount
+
+
+def balances(rt, oids):
+    def body(tx):
+        values = []
+        for oid in oids:
+            values.append(decode_int((yield tx.read(oid))))
+        return values
+
+    return rt.run(body).value
+
+
+def main():
+    rt = CooperativeRuntime(seed=9)
+
+    def setup(tx):
+        src = yield tx.create(encode_int(500), name="source")
+        clr = yield tx.create(encode_int(0), name="clearing")
+        dst = yield tx.create(encode_int(100), name="destination")
+        return src, clr, dst
+
+    source, clearing, destination = rt.run(setup).value
+    oids = [source, clearing, destination]
+
+    # -- a successful run ----------------------------------------------------
+    result = run_saga(rt, build_saga(source, clearing, destination, 200))
+    print("success run:", result.execution_order, "->", balances(rt, oids))
+
+    # -- a failing run: overdraw the source on the first hop -----------------
+    result = run_saga(rt, build_saga(source, clearing, destination, 9999))
+    print("overdraw run:", result.execution_order, "->", balances(rt, oids))
+
+    # -- fail at the last hop: the committed prefix gets compensated ----------
+    # Drain the clearing account between hops by sabotaging the amount.
+    saga = build_saga(source, clearing, destination, 250)
+    saga.steps[2] = type(saga.steps[2])(
+        body=_final_hop, compensation=None,
+        args=(clearing, destination, 100000), name="t3",
+    )
+    result = run_saga(rt, saga)
+    print(
+        "late-failure :", result.execution_order,
+        "->", balances(rt, oids),
+        f"(compensated {result.compensated_steps} steps)",
+    )
+
+
+if __name__ == "__main__":
+    main()

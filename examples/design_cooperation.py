@@ -1,0 +1,88 @@
+"""Cooperative design editing (section 3.2.1's motivating scenario).
+
+Two designers refine the same design object.  Under plain two-phase
+locking the second designer would block until the first commits; with the
+permit ping-pong they alternate edits on the live object, and a group
+commit ensures the design is published only "if the final state of the
+object is considered to be acceptable in the eyes of the cooperating
+designers" — both sign off, or neither's work commits.
+
+Run:  python examples/design_cooperation.py
+"""
+
+from repro import CooperativeRuntime, decode_json, encode_json
+from repro.models import couple_commits, establish_cooperation
+
+
+def designer(tx, design_oid, name, edits, approve):
+    """Apply ``edits`` strokes to the design; abort unless approving.
+
+    Each stroke is an atomic read-modify-write (one ``operation``), so
+    interleaved designers never lose each other's updates — they build on
+    whatever the live object holds when their turn comes.
+    """
+
+    def apply_stroke(stroke):
+        def transform(raw):
+            design = decode_json(raw)
+            design["strokes"].append(f"{name}:{stroke}")
+            design["revision"] += 1
+            return encode_json(design), design["revision"]
+
+        return transform
+
+    for stroke in edits:
+        yield tx.operation(design_oid, "write", apply_stroke(stroke))
+    if not approve:
+        yield tx.abort()
+    return name
+
+
+def run_session(approve_a, approve_b, seed=5):
+    rt = CooperativeRuntime(seed=seed)
+
+    def setup(tx):
+        value = encode_json({"strokes": [], "revision": 0})
+        return (yield tx.create(value, name="design"))
+
+    design = rt.run(setup).value
+
+    alice = rt.spawn(
+        designer, args=(design, "alice", ["outline", "shade"], approve_a)
+    )
+    bob = rt.spawn(
+        designer, args=(design, "bob", ["color", "label"], approve_b)
+    )
+
+    # Mutual cooperation: both may conflict on the design object, and
+    # their commits are coupled (both or neither).
+    establish_cooperation(
+        rt.manager, alice, bob, oids=[design], mutual=False
+    )
+    rt.manager.permit(bob, tj=alice, oids=[design])
+    couple_commits(rt.manager, alice, bob)
+
+    rt.run_until_quiescent()
+    committed = rt.commit(alice)
+    rt.commit(bob)
+
+    def read_design(tx):
+        return decode_json((yield tx.read(design)))
+
+    final = rt.run(read_design).value
+    return committed, final
+
+
+def main():
+    committed, design = run_session(approve_a=True, approve_b=True)
+    print("both approve  -> published:", bool(committed))
+    print("  strokes:", design["strokes"])
+    print("  revision:", design["revision"])
+
+    committed, design = run_session(approve_a=True, approve_b=False)
+    print("bob rejects   -> published:", bool(committed))
+    print("  strokes:", design["strokes"], "(all edits rolled back)")
+
+
+if __name__ == "__main__":
+    main()

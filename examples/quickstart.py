@@ -1,0 +1,105 @@
+"""Quickstart: the ASSET primitives in one file.
+
+Shows the basic primitives (initiate / begin / commit / wait / abort) and
+each of the three novel ones — permit, delegate, form_dependency — on a
+two-account bank built over the storage manager.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    CooperativeRuntime,
+    DependencyType,
+    decode_int,
+    encode_int,
+)
+
+
+def main():
+    rt = CooperativeRuntime(seed=42)
+
+    # -- create two accounts inside a setup transaction -----------------
+    def setup(tx):
+        checking = yield tx.create(encode_int(100), name="checking")
+        savings = yield tx.create(encode_int(250), name="savings")
+        return checking, savings
+
+    result = rt.run(setup)
+    checking, savings = result.value
+    print(f"accounts created (committed={result.committed})")
+
+    # -- an atomic transfer: initiate / begin / commit -------------------
+    def transfer(tx, src, dst, amount):
+        balance = decode_int((yield tx.read(src)))
+        if balance < amount:
+            yield tx.abort()  # insufficient funds: undo everything
+        yield tx.write(src, encode_int(balance - amount))
+        other = decode_int((yield tx.read(dst)))
+        yield tx.write(dst, encode_int(other + amount))
+        return amount
+
+    tid = rt.initiate(transfer, args=(checking, savings, 30))
+    rt.begin(tid)
+    committed = rt.commit(tid)
+    print(f"transfer committed={bool(committed)}")
+
+    # -- permit: let an auditor read uncommitted state --------------------
+    def long_update(tx):
+        balance = decode_int((yield tx.read(checking)))
+        yield tx.write(checking, encode_int(balance + 1000))
+        # Let anyone read our uncommitted write (relaxed isolation):
+        yield tx.permit(oids=[checking], operations=["read"])
+        return balance
+
+    def auditor(tx):
+        return decode_int((yield tx.read(checking)))
+
+    updater = rt.spawn(long_update)
+    rt.run_until_quiescent()  # updater completed; still holds its locks
+    audit = rt.spawn(auditor)  # ... yet the audit read proceeds (permit)
+    rt.run_until_quiescent()
+    rt.commit(audit)
+    rt.commit(updater)
+    print(f"auditor saw uncommitted balance: {rt.result_of(audit)}")
+
+    # -- delegate: hand uncommitted work to another transaction -------------
+    def worker(tx):
+        balance = decode_int((yield tx.read(savings)))
+        yield tx.write(savings, encode_int(balance + 5))
+        # do NOT commit; the collector will own this update
+
+    def collector(tx):
+        yield tx.status_of(tx.tid)  # any request; real work was delegated
+
+    worker_tid = rt.spawn(worker)
+    collector_tid = rt.spawn(collector)
+    rt.run_until_quiescent()
+    rt.manager.delegate(worker_tid, collector_tid)  # responsibility moves
+    rt.abort(worker_tid)  # aborting the worker no longer undoes the +5
+    rt.commit(collector_tid)  # ... committing the collector persists it
+
+    def read_savings(tx):
+        return decode_int((yield tx.read(savings)))
+
+    print(f"savings after delegated commit: {rt.run(read_savings).value}")
+
+    # -- form_dependency: group commit ------------------------------------------
+    def deposit(tx, oid, amount):
+        balance = decode_int((yield tx.read(oid)))
+        yield tx.write(oid, encode_int(balance + amount))
+
+    first = rt.initiate(deposit, args=(checking, 1))
+    second = rt.initiate(deposit, args=(savings, 1))
+    rt.manager.form_dependency(DependencyType.GC, first, second)
+    rt.begin(first, second)
+    rt.commit(first)  # commits BOTH (group commit)
+    print(
+        "group commit:",
+        rt.manager.status_of(first).value,
+        "/",
+        rt.manager.status_of(second).value,
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+"""Cursor stability over a relation (section 3.2.2, end to end).
+
+An analyst scans the whole orders relation while a teller updates an
+order the cursor has already passed.  Under cursor stability the teller
+never waits; under repeatable read the same update would block until the
+analyst commits.  The directory lock still protects the scan from
+phantoms — a concurrent INSERT waits for the analyst.
+
+Run:  python examples/relations_cursor.py
+"""
+
+from repro import CooperativeRuntime
+from repro.models.relation import (
+    create_relation,
+    insert_record,
+    record_oids,
+    scan_relation,
+    update_record,
+)
+
+
+def main():
+    rt = CooperativeRuntime(seed=29)
+
+    def setup(tx):
+        orders = yield from create_relation(tx, name="orders")
+        for number in range(1, 5):
+            yield from insert_record(
+                tx, orders, {"order": number, "status": "open"}
+            )
+        return orders
+
+    orders = rt.run(setup).value
+
+    analyst_view = {}
+
+    def analyst(tx):
+        analyst_view["rows"] = yield from scan_relation(
+            tx, orders, process=lambda r: (r["order"], r["status"])
+        )
+
+    def teller(tx):
+        records = yield from record_oids(tx, orders)
+        yield from update_record(
+            tx, records[0], lambda r: {**r, "status": "shipped"}
+        )
+
+    def late_insert(tx):
+        yield from insert_record(tx, orders, {"order": 99, "status": "open"})
+
+    analyst_tid = rt.spawn(analyst)
+    for __ in range(4):
+        rt.round()  # the cursor has moved past order #1
+    teller_tid = rt.spawn(teller)
+    inserter_tid = rt.spawn(late_insert)
+    for __ in range(4):
+        rt.round()
+
+    teller_done = rt.manager.wait_outcome(teller_tid)
+    inserter_done = rt.manager.wait_outcome(inserter_tid)
+    print(f"teller finished mid-scan: {teller_done is True}")
+    print(f"inserter blocked by the scan (no phantoms): {inserter_done is None}")
+
+    rt.run_until_quiescent()
+    rt.commit_all([analyst_tid, teller_tid, inserter_tid])
+
+    print(f"analyst saw: {analyst_view['rows']}")
+
+    def final(tx):
+        return (
+            yield from scan_relation(
+                tx, orders, process=lambda r: (r["order"], r["status"])
+            )
+        )
+
+    print(f"final state: {rt.run(final).value}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+"""Semantic concurrency (section 5's future work, implemented).
+
+A payroll system: raising one employee's salary, moving another between
+departments, and adding a new hire all commute — so they run concurrently
+without blocking, where plain read/write locking would serialize (or
+deadlock) them.
+
+Run:  python examples/semantic_counters.py
+"""
+
+from repro import CooperativeRuntime, TransactionManager, encode_int, encode_json
+from repro.core.typedobjects import (
+    Counter,
+    TxRecord,
+    TxSet,
+    register_record_fields,
+    semantic_conflict_table,
+)
+
+
+def main():
+    table = semantic_conflict_table()
+    register_record_fields(table, ["salary", "department"])
+    rt = CooperativeRuntime(TransactionManager(conflicts=table), seed=7)
+
+    def setup(tx):
+        employee = yield tx.create(
+            encode_json({"salary": 50_000, "department": "storage"}),
+            name="employee",
+        )
+        department = yield tx.create(encode_json([]), name="department")
+        headcount = yield tx.create(encode_int(0), name="headcount")
+        return employee, department, headcount
+
+    employee_oid, department_oid, headcount_oid = rt.run(setup).value
+    employee = TxRecord(employee_oid)
+    department = TxSet(department_oid)
+    headcount = Counter(headcount_oid)
+
+    # Three concurrent transactions touching the same employee record,
+    # department set, and headcount counter — all commute.
+    def give_raise(tx):
+        new_salary = yield employee.apply(tx, "salary", lambda v: v + 5_000)
+        return new_salary
+
+    def transfer(tx):
+        yield employee.update(tx, "department", "transactions")
+        return "moved"
+
+    def hire(tx, name):
+        yield department.insert(tx, name)
+        yield headcount.increment(tx)
+        return name
+
+    tids = [
+        rt.spawn(give_raise),
+        rt.spawn(transfer),
+        rt.spawn(hire, args=("alice",)),
+        rt.spawn(hire, args=("bob",)),
+    ]
+    rt.run_until_quiescent()
+    outcomes = rt.commit_all(tids)
+
+    blocks = rt.manager.lock_manager.stats["blocks"]
+    print(f"committed: {sum(outcomes.values())}/4, lock blocks: {blocks}")
+
+    def report(tx):
+        record = yield employee.get(tx)
+        members = yield department.members(tx)
+        count = yield headcount.get(tx)
+        return record, members, count
+
+    record, members, count = rt.run(report).value
+    print(f"employee : {record}")
+    print(f"dept set : {members} (headcount counter: {count})")
+    assert blocks == 0, "commuting operations should never block"
+
+
+if __name__ == "__main__":
+    main()

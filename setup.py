@@ -1,0 +1,10 @@
+"""Setup shim: enables legacy editable installs where `wheel` is absent.
+
+The project metadata lives in pyproject.toml; this file only lets
+``pip install -e . --no-build-isolation --no-use-pep517`` work in offline
+environments whose setuptools cannot build PEP 660 wheels.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,70 @@
+"""repro — a reproduction of ASSET (Biliris et al., SIGMOD 1994).
+
+ASSET is a flexible transaction facility: a small set of primitives
+(``initiate``, ``begin``, ``commit``, ``wait``, ``abort``, plus the novel
+``delegate``, ``permit``, and ``form_dependency``) from which arbitrary
+extended transaction models are composed.  This package provides:
+
+* :mod:`repro.core` — the transaction manager implementing the primitives
+  over the section 4 data structures and algorithms;
+* :mod:`repro.storage` — the EOS-like storage substrate (pages, buffer
+  cache, write-ahead log, recovery);
+* :mod:`repro.runtime` — deterministic-cooperative and threaded runtimes
+  for transaction programs;
+* :mod:`repro.models` — the section 3 transaction models (atomic,
+  distributed, contingent, nested, split/join, sagas, cooperative groups,
+  cursor stability) built from the primitives;
+* :mod:`repro.workflow` — the section 3.2.3 / appendix workflow engine;
+* :mod:`repro.lang` — a mini transaction-specification language compiled
+  to primitive programs (the paper's envisioned compiler path);
+* :mod:`repro.acta` — history recording and serializability analysis in
+  the spirit of the ACTA framework the primitives derive from;
+* :mod:`repro.bench` — workload generation and the experiment harness.
+
+Quickstart: see ``examples/quickstart.py``.
+"""
+
+from repro.common.codec import (
+    decode_int,
+    decode_json,
+    decode_str,
+    encode_int,
+    encode_json,
+    encode_str,
+)
+from repro.common.errors import AssetError, TransactionAborted
+from repro.common.ids import NULL_TID, ObjectId, Tid
+from repro.core.dependency import DependencyType
+from repro.core.manager import TransactionManager
+from repro.core.semantics import READ, WRITE, ConflictTable
+from repro.core.status import TransactionStatus
+from repro.runtime.coop import CooperativeRuntime, RunResult
+from repro.runtime.threaded import ThreadedRuntime
+from repro.storage.store import StorageManager
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AssetError",
+    "ConflictTable",
+    "CooperativeRuntime",
+    "DependencyType",
+    "NULL_TID",
+    "ObjectId",
+    "READ",
+    "RunResult",
+    "StorageManager",
+    "ThreadedRuntime",
+    "Tid",
+    "TransactionAborted",
+    "TransactionManager",
+    "TransactionStatus",
+    "WRITE",
+    "decode_int",
+    "decode_json",
+    "decode_str",
+    "encode_int",
+    "encode_json",
+    "encode_str",
+    "__version__",
+]

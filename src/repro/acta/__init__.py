@@ -1,0 +1,40 @@
+"""ACTA-style analysis of executed histories.
+
+The ASSET primitives are "inspired by the ACTA transaction framework, a
+formal framework designed to specify, analyze and synthesize extended
+transaction models".  This package supplies the *analyze* part for the
+reproduction:
+
+* :mod:`repro.acta.history` — records the significant events the
+  transaction manager emits (operation invocations, delegations, permits,
+  dependencies, terminations) into an analyzable history;
+* :mod:`repro.acta.serializability` — builds the conflict (serialization)
+  graph from a history, honouring delegation (responsibility transfer)
+  and permits (edge suppression), and tests for acyclicity;
+* :mod:`repro.acta.checker` — per-model property checkers (group
+  atomicity, saga compensation shape, visibility rules) used by the test
+  and property suites.
+"""
+
+from repro.acta.checker import (
+    check_compensation_shape,
+    check_group_atomicity,
+    final_fate,
+)
+from repro.acta.history import HistoryRecorder, OperationEvent
+from repro.acta.serializability import (
+    ConflictGraph,
+    build_conflict_graph,
+    is_conflict_serializable,
+)
+
+__all__ = [
+    "ConflictGraph",
+    "HistoryRecorder",
+    "OperationEvent",
+    "build_conflict_graph",
+    "check_compensation_shape",
+    "check_group_atomicity",
+    "final_fate",
+    "is_conflict_serializable",
+]

@@ -1,0 +1,98 @@
+"""Model-property checkers.
+
+Small predicates over recorded histories that state, in executable form,
+the guarantees each section 3 model claims.  The test and property suites
+assert these after every run.
+"""
+
+from __future__ import annotations
+
+from repro.common.events import EventKind
+
+
+def final_fate(recorder, tid):
+    """``"committed"``, ``"aborted"``, or ``"active"`` for ``tid``."""
+    fate = "active"
+    for event in recorder.events:
+        if event.tid != tid:
+            continue
+        if event.kind is EventKind.COMMITTED:
+            fate = "committed"
+        elif event.kind is EventKind.ABORTED:
+            fate = "aborted"
+    return fate
+
+
+def check_group_atomicity(recorder):
+    """Every GC-linked pair shares one fate: both commit or neither.
+
+    Returns the list of violating pairs (empty when the property holds).
+    """
+    violations = []
+    for __, dep_type, ti, tj in recorder.dependencies():
+        if dep_type != "GC":
+            continue
+        fate_i = final_fate(recorder, ti)
+        fate_j = final_fate(recorder, tj)
+        if "active" in (fate_i, fate_j):
+            continue  # not yet decided; nothing to check
+        if fate_i != fate_j:
+            violations.append((ti, fate_i, tj, fate_j))
+    return violations
+
+
+def check_abort_dependencies(recorder):
+    """For every AD ``(ti, tj)``: ``ti`` aborted implies ``tj`` aborted.
+
+    Returns violating pairs.
+    """
+    violations = []
+    for __, dep_type, ti, tj in recorder.dependencies():
+        if dep_type != "AD":
+            continue
+        if (
+            final_fate(recorder, ti) == "aborted"
+            and final_fate(recorder, tj) == "committed"
+        ):
+            violations.append((ti, tj))
+    return violations
+
+
+def check_commit_order(recorder):
+    """For every CD ``(ti, tj)`` where both committed, ``tj`` did not
+    commit before ``ti``.  Returns violating pairs."""
+    commit_tick = {}
+    for event in recorder.events:
+        if event.kind is EventKind.COMMITTED:
+            commit_tick[event.tid] = event.tick
+    violations = []
+    for __, dep_type, ti, tj in recorder.dependencies():
+        if dep_type != "CD":
+            continue
+        if ti in commit_tick and tj in commit_tick:
+            if commit_tick[tj] < commit_tick[ti]:
+                violations.append((ti, tj))
+    return violations
+
+
+def check_compensation_shape(execution_order, total_steps):
+    """Verify a saga trace has the ``t1 .. tk ct_k .. ct_1`` shape.
+
+    ``execution_order`` is the :class:`~repro.models.saga.SagaResult`
+    trace (labels ``t<i>`` forward, ``ct<i>`` backward).  Returns ``True``
+    for a committed saga (all ``total_steps`` forward labels, no
+    compensation) or a correctly compensated prefix.
+    """
+    execution_order = [
+        label for label in execution_order if not label.startswith("retry-")
+    ]  # forward-recovery retries do not affect the shape
+    forward = [label for label in execution_order if not label.startswith("c")]
+    backward = [label for label in execution_order if label.startswith("c")]
+    if execution_order != forward + backward:
+        return False  # interleaved forward/backward work
+    k = len(forward)
+    if forward != [f"t{i}" for i in range(1, k + 1)]:
+        return False
+    if k == total_steps:
+        return backward == []
+    return backward == [f"ct{i}" for i in range(k, 0, -1)]

@@ -1,0 +1,152 @@
+"""History recording.
+
+ACTA reasons about histories of *significant events*: operation
+invocations plus transaction-management events (begin, commit, abort,
+delegate, permit).  :class:`HistoryRecorder` subscribes to a transaction
+manager's event bus and accumulates exactly those, offering typed views
+the serializability builder and checkers consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.events import EventKind
+from repro.core.semantics import READ, WRITE
+
+
+@dataclass(frozen=True)
+class OperationEvent:
+    """One operation invocation on one object."""
+
+    tick: int
+    tid: object
+    oid: object
+    operation: str
+
+
+@dataclass(frozen=True)
+class DelegationEvent:
+    """A transfer of responsibility for ``oids`` from ``source`` to ``target``."""
+
+    tick: int
+    source: object
+    target: object
+    oids: tuple
+
+
+@dataclass(frozen=True)
+class PermitEvent:
+    """A permit grant (``receiver``/``operation`` of ``None`` mean "any")."""
+
+    tick: int
+    giver: object
+    receiver: object
+    oid: object
+    operation: object
+
+
+class HistoryRecorder:
+    """Collects a manager's emitted events into an analyzable history."""
+
+    def __init__(self, manager=None):
+        self.events = []
+        if manager is not None:
+            self.attach(manager)
+
+    def attach(self, manager):
+        """Subscribe to ``manager``'s event bus."""
+        manager.events.subscribe(self._on_event)
+        return self
+
+    def _on_event(self, event):
+        self.events.append(event)
+
+    def clear(self):
+        """Forget everything recorded so far."""
+        self.events.clear()
+
+    # -- typed views ---------------------------------------------------------
+
+    def operations(self):
+        """All operation invocations, in tick order."""
+        out = []
+        for event in self.events:
+            if event.kind is EventKind.READ:
+                out.append(
+                    OperationEvent(
+                        event.tick, event.tid, event.detail["oid"], READ
+                    )
+                )
+            elif event.kind is EventKind.WRITE:
+                out.append(
+                    OperationEvent(
+                        event.tick, event.tid, event.detail["oid"], WRITE
+                    )
+                )
+            elif event.kind is EventKind.OPERATION:
+                out.append(
+                    OperationEvent(
+                        event.tick,
+                        event.tid,
+                        event.detail["oid"],
+                        event.detail["operation"],
+                    )
+                )
+        return out
+
+    def delegations(self):
+        """All delegations, in tick order."""
+        return [
+            DelegationEvent(
+                event.tick,
+                event.tid,
+                event.detail["to"],
+                tuple(event.detail["oids"]),
+            )
+            for event in self.events
+            if event.kind is EventKind.DELEGATE
+        ]
+
+    def permits(self):
+        """All permit grants, in tick order."""
+        return [
+            PermitEvent(
+                event.tick,
+                event.tid,
+                event.detail.get("receiver"),
+                event.detail["oid"],
+                event.detail.get("operation"),
+            )
+            for event in self.events
+            if event.kind is EventKind.PERMIT
+        ]
+
+    def committed(self):
+        """Tids that committed, in commit order."""
+        return [
+            event.tid
+            for event in self.events
+            if event.kind is EventKind.COMMITTED
+        ]
+
+    def aborted(self):
+        """Tids that aborted, in abort order."""
+        return [
+            event.tid
+            for event in self.events
+            if event.kind is EventKind.ABORTED
+        ]
+
+    def dependencies(self):
+        """Formed dependencies as ``(tick, type-name, ti, tj)`` tuples."""
+        return [
+            (event.tick, event.detail["dep_type"], event.tid,
+             event.detail["other"])
+            for event in self.events
+            if event.kind is EventKind.FORM_DEPENDENCY
+        ]
+
+    def of_kind(self, kind):
+        """Raw events of one kind, in order."""
+        return [event for event in self.events if event.kind is kind]

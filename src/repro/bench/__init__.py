@@ -1,0 +1,23 @@
+"""Benchmark support: workload generation, harness, and reporting.
+
+The paper carries no quantitative evaluation, so the experiments here
+characterize the *implementation* the paper describes: each benchmark in
+``benchmarks/`` builds a synthetic workload with :mod:`repro.bench.workload`,
+runs it through the harness (:mod:`repro.bench.harness`) on the
+deterministic runtime, and prints paper-style rows via
+:mod:`repro.bench.report`.  EXPERIMENTS.md records the resulting shapes.
+"""
+
+from repro.bench.harness import Metrics, latency_stats, run_interleaved
+from repro.bench.report import format_table, print_table
+from repro.bench.workload import WorkloadSpec, populate_objects
+
+__all__ = [
+    "Metrics",
+    "WorkloadSpec",
+    "format_table",
+    "latency_stats",
+    "populate_objects",
+    "print_table",
+    "run_interleaved",
+]

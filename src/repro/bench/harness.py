@@ -1,0 +1,114 @@
+"""The experiment harness.
+
+Runs a batch of transaction bodies concurrently on the deterministic
+runtime and collects the metrics the experiment tables report: commit and
+abort counts, scheduler steps (the deterministic time unit), lock-manager
+blocking/suspension counts, and per-transaction latency in logical ticks
+derived from the recorded history.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.events import EventKind
+
+
+@dataclass
+class Metrics:
+    """What one harness run produced."""
+
+    committed: int = 0
+    aborted: int = 0
+    steps: int = 0
+    lock_blocks: int = 0
+    suspensions: int = 0
+    commit_blocks: int = 0
+    cascaded_aborts: int = 0
+    latencies: list = field(default_factory=list)
+
+    @property
+    def throughput(self):
+        """Committed transactions per 1000 scheduler steps."""
+        if self.steps == 0:
+            return 0.0
+        return 1000.0 * self.committed / self.steps
+
+    @property
+    def mean_latency(self):
+        """Mean begin→commit latency in logical ticks."""
+        if not self.latencies:
+            return 0.0
+        return sum(self.latencies) / len(self.latencies)
+
+    @property
+    def max_latency(self):
+        """Worst begin→commit latency in logical ticks."""
+        return max(self.latencies, default=0)
+
+
+def latency_stats(recorder, tids=None):
+    """Begin→commit latencies (logical ticks) from a recorded history."""
+    begins = {}
+    latencies = []
+    wanted = set(tids) if tids is not None else None
+    for event in recorder.events:
+        if wanted is not None and event.tid not in wanted:
+            continue
+        if event.kind is EventKind.BEGIN:
+            begins[event.tid] = event.tick
+        elif event.kind is EventKind.COMMITTED and event.tid in begins:
+            latencies.append(event.tick - begins[event.tid])
+    return latencies
+
+
+def run_interleaved(runtime, bodies, recorder=None):
+    """Run ``bodies`` concurrently under the scheduler; returns Metrics.
+
+    All transactions are spawned, scheduled to quiescence (deadlock
+    victims aborted along the way), then committed in spawn order — the
+    simplest "open all, then close all" discipline, which maximizes
+    concurrent lock footprints and is what the contention experiments
+    want.
+    """
+    manager = runtime.manager
+    steps_before = runtime.steps
+    stats_before = dict(manager.stats)
+    lock_before = dict(manager.lock_manager.stats)
+
+    tids = [runtime.spawn(body) for body in bodies]
+    runtime.run_until_quiescent()
+    runtime.commit_all(tids)
+
+    metrics = Metrics(
+        committed=manager.stats["committed"] - stats_before["committed"],
+        aborted=manager.stats["aborted"] - stats_before["aborted"],
+        steps=runtime.steps - steps_before,
+        lock_blocks=manager.lock_manager.stats["blocks"]
+        - lock_before["blocks"],
+        suspensions=manager.lock_manager.stats["suspensions"]
+        - lock_before["suspensions"],
+        commit_blocks=manager.stats["commit_blocks"]
+        - stats_before["commit_blocks"],
+        cascaded_aborts=manager.stats["cascaded_aborts"]
+        - stats_before["cascaded_aborts"],
+    )
+    if recorder is not None:
+        metrics.latencies = latency_stats(recorder, tids=tids)
+    return metrics
+
+
+def run_sequential(runtime, bodies):
+    """Run ``bodies`` one after another (the zero-contention baseline)."""
+    manager = runtime.manager
+    steps_before = runtime.steps
+    committed_before = manager.stats["committed"]
+    aborted_before = manager.stats["aborted"]
+    for body in bodies:
+        tid = runtime.spawn(body)
+        runtime.commit(tid)
+    return Metrics(
+        committed=manager.stats["committed"] - committed_before,
+        aborted=manager.stats["aborted"] - aborted_before,
+        steps=runtime.steps - steps_before,
+    )

@@ -1,0 +1,39 @@
+"""Paper-style table rendering for benchmark output.
+
+Every benchmark prints its series through these helpers so that the rows
+recorded in EXPERIMENTS.md come from one consistent format.
+"""
+
+from __future__ import annotations
+
+
+def _format_cell(value):
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def format_table(title, headers, rows):
+    """Render a fixed-width table as a string."""
+    string_rows = [[_format_cell(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in string_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = [title, "-" * len(title)]
+    lines.append(
+        "  ".join(header.ljust(widths[i]) for i, header in enumerate(headers))
+    )
+    lines.append("  ".join("-" * width for width in widths))
+    for row in string_rows:
+        lines.append(
+            "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row))
+        )
+    return "\n".join(lines)
+
+
+def print_table(title, headers, rows):
+    """Print a table (with a leading blank line so pytest output stays
+    readable)."""
+    print()
+    print(format_table(title, headers, rows))

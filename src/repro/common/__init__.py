@@ -1,0 +1,48 @@
+"""Shared infrastructure for the ASSET reproduction.
+
+This package holds the small building blocks every other subsystem uses:
+identifier types (:mod:`repro.common.ids`), the exception hierarchy
+(:mod:`repro.common.errors`), a logical clock (:mod:`repro.common.clock`),
+structured event tracing (:mod:`repro.common.events`), and the EOS-style
+shared/exclusive latch (:mod:`repro.common.latch`).
+"""
+
+from repro.common.clock import LogicalClock
+from repro.common.errors import (
+    AssetError,
+    DependencyCycleError,
+    InvalidStateError,
+    LatchError,
+    RecoveryError,
+    ResourceExhaustedError,
+    StorageError,
+    TransactionAborted,
+    UnknownObjectError,
+    UnknownTransactionError,
+)
+from repro.common.events import Event, EventBus, EventKind
+from repro.common.ids import NULL_TID, Lsn, ObjectId, Tid
+from repro.common.latch import Latch, LatchMode
+
+__all__ = [
+    "AssetError",
+    "DependencyCycleError",
+    "Event",
+    "EventBus",
+    "EventKind",
+    "InvalidStateError",
+    "Latch",
+    "LatchError",
+    "LatchMode",
+    "LogicalClock",
+    "Lsn",
+    "NULL_TID",
+    "ObjectId",
+    "RecoveryError",
+    "ResourceExhaustedError",
+    "StorageError",
+    "Tid",
+    "TransactionAborted",
+    "UnknownObjectError",
+    "UnknownTransactionError",
+]

@@ -1,0 +1,43 @@
+"""A logical clock for deterministic timestamps.
+
+Benchmarks and the cooperative runtime need a notion of time that does not
+depend on the wall clock, so that runs are reproducible.  The logical clock
+ticks once per scheduler step (or whenever a component asks it to) and every
+event carries the tick at which it occurred.
+"""
+
+from __future__ import annotations
+
+import threading
+
+
+class LogicalClock:
+    """A monotonically increasing integer clock.
+
+    Thread-safe: the threaded runtime ticks it from many threads.  ``now``
+    reads without advancing; ``tick`` advances and returns the new value.
+    """
+
+    def __init__(self, start=0):
+        self._value = start
+        self._lock = threading.Lock()
+
+    def now(self):
+        """Return the current tick without advancing the clock."""
+        with self._lock:
+            return self._value
+
+    def tick(self, amount=1):
+        """Advance the clock by ``amount`` ticks and return the new value."""
+        if amount < 0:
+            raise ValueError("clock cannot move backwards")
+        with self._lock:
+            self._value += amount
+            return self._value
+
+    def advance_to(self, value):
+        """Move the clock forward to ``value`` if it is ahead of now."""
+        with self._lock:
+            if value > self._value:
+                self._value = value
+            return self._value

@@ -1,0 +1,40 @@
+"""Value codecs: typed Python values <-> the byte objects storage holds.
+
+The storage layer stores raw bytes (as EOS does).  Examples, models, and
+tests mostly manipulate integers, strings, and small records; these
+helpers keep that encoding in one place.
+"""
+
+from __future__ import annotations
+
+import json
+
+
+def encode_int(value):
+    """Encode an integer (arbitrary size, signed) as bytes."""
+    return str(int(value)).encode("ascii")
+
+
+def decode_int(raw):
+    """Decode bytes produced by :func:`encode_int`."""
+    return int(raw.decode("ascii"))
+
+
+def encode_str(value):
+    """Encode a string as UTF-8 bytes."""
+    return value.encode("utf-8")
+
+
+def decode_str(raw):
+    """Decode UTF-8 bytes into a string."""
+    return raw.decode("utf-8")
+
+
+def encode_json(value):
+    """Encode a JSON-serializable value (records, lists) as bytes."""
+    return json.dumps(value, sort_keys=True).encode("utf-8")
+
+
+def decode_json(raw):
+    """Decode bytes produced by :func:`encode_json`."""
+    return json.loads(raw.decode("utf-8"))

@@ -1,0 +1,86 @@
+"""Exception hierarchy for the ASSET reproduction.
+
+Every exception raised by the library derives from :class:`AssetError`, so
+applications can catch one type at the boundary.  Storage-level failures
+derive from :class:`StorageError`; transaction-facility failures derive
+directly from :class:`AssetError`.
+"""
+
+
+class AssetError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class InvalidStateError(AssetError):
+    """An operation was attempted in a transaction state that forbids it.
+
+    For example calling ``begin`` on a transaction that is already running,
+    or delegating from a transaction that has terminated.
+    """
+
+
+class UnknownTransactionError(AssetError):
+    """A transaction identifier does not name a registered transaction."""
+
+    def __init__(self, tid):
+        super().__init__(f"unknown transaction: {tid!r}")
+        self.tid = tid
+
+
+class UnknownObjectError(AssetError):
+    """An object identifier does not name a stored object."""
+
+    def __init__(self, oid):
+        super().__init__(f"unknown object: {oid!r}")
+        self.oid = oid
+
+
+class ResourceExhaustedError(AssetError):
+    """The transaction manager ran out of a configured resource.
+
+    The paper's ``initiate`` returns the null tid when "the number of
+    transactions exceed a predetermined number"; this exception carries the
+    same meaning for callers who prefer exceptions over null checks.
+    """
+
+
+class TransactionAborted(AssetError):
+    """Raised inside a transaction program when its transaction was aborted.
+
+    Runtimes deliver this into a running program whose transaction has been
+    aborted from the outside (an abort cascade, a deadlock victim, or an
+    explicit ``abort`` call), unwinding the program immediately.
+    """
+
+    def __init__(self, tid, reason=""):
+        detail = f"transaction {tid!r} aborted"
+        if reason:
+            detail = f"{detail}: {reason}"
+        super().__init__(detail)
+        self.tid = tid
+        self.reason = reason
+
+
+class DependencyCycleError(AssetError):
+    """Forming a dependency would create a forbidden cycle.
+
+    The paper's ``form_dependency`` performs "a check ... to prevent certain
+    dependency cycles"; this error reports the offending cycle.
+    """
+
+    def __init__(self, cycle):
+        path = " -> ".join(repr(t) for t in cycle)
+        super().__init__(f"dependency cycle: {path}")
+        self.cycle = list(cycle)
+
+
+class StorageError(AssetError):
+    """Base class for storage-manager failures."""
+
+
+class LatchError(StorageError):
+    """A latch was used incorrectly (released without being held, etc.)."""
+
+
+class RecoveryError(StorageError):
+    """Restart recovery found an inconsistency it could not repair."""

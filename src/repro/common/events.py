@@ -1,0 +1,139 @@
+"""Structured event tracing.
+
+The transaction manager emits an :class:`Event` for every significant event
+in the ACTA sense — initiation, begin, operation invocation, delegation,
+permit grants, dependency formation, commit, and abort.  Subscribers include:
+
+* the ACTA history recorder (:mod:`repro.acta.history`), which replays the
+  events into formal histories for serializability analysis;
+* the benchmark harness, which derives blocked-time and abort-rate metrics;
+* tests, which assert on exact event sequences.
+
+Tracing is pull-free and cheap: when no subscriber is attached, ``emit``
+only performs a truth test.
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+from dataclasses import dataclass, field
+
+
+class EventKind(enum.Enum):
+    """The kinds of significant events the transaction manager emits."""
+
+    INITIATE = "initiate"
+    BEGIN = "begin"
+    COMPLETE = "complete"
+
+    READ_LOCK = "read_lock"
+    WRITE_LOCK = "write_lock"
+    LOCK_BLOCKED = "lock_blocked"
+    LOCK_SUSPENDED = "lock_suspended"
+
+    READ = "read"
+    WRITE = "write"
+    OPERATION = "operation"
+
+    DELEGATE = "delegate"
+    PERMIT = "permit"
+    FORM_DEPENDENCY = "form_dependency"
+
+    PARTIAL_ROLLBACK = "partial_rollback"
+
+    COMMIT_REQUESTED = "commit_requested"
+    COMMIT_BLOCKED = "commit_blocked"
+    COMMITTED = "committed"
+    ABORT_REQUESTED = "abort_requested"
+    ABORTED = "aborted"
+
+    DEADLOCK_VICTIM = "deadlock_victim"
+
+
+@dataclass(frozen=True)
+class Event:
+    """One traced event.
+
+    ``tid`` is the transaction the event concerns; ``detail`` carries
+    kind-specific payload (object ids, peer tids, dependency types).
+    ``tick`` is the logical-clock value at emission, giving a total order.
+    """
+
+    kind: EventKind
+    tid: object
+    tick: int
+    detail: dict = field(default_factory=dict)
+
+    def __repr__(self):
+        extras = ", ".join(f"{k}={v!r}" for k, v in sorted(self.detail.items()))
+        return f"Event({self.kind.value}, {self.tid!r}, t={self.tick}" + (
+            f", {extras})" if extras else ")"
+        )
+
+
+class EventBus:
+    """Fan-out of events to any number of subscribers.
+
+    Subscribers are callables taking one :class:`Event`.  Subscription order
+    is delivery order.  Thread-safe for the threaded runtime.
+    """
+
+    def __init__(self, clock=None):
+        self._subscribers = []
+        self._clock = clock
+        self._lock = threading.Lock()
+
+    def subscribe(self, callback):
+        """Register ``callback`` to receive every subsequent event."""
+        with self._lock:
+            self._subscribers.append(callback)
+        return callback
+
+    def unsubscribe(self, callback):
+        """Stop delivering events to ``callback`` (no-op if unknown)."""
+        with self._lock:
+            if callback in self._subscribers:
+                self._subscribers.remove(callback)
+
+    def emit(self, kind, tid, **detail):
+        """Build an :class:`Event` and deliver it to all subscribers."""
+        if not self._subscribers:
+            return None
+        tick = self._clock.tick() if self._clock is not None else 0
+        event = Event(kind=kind, tid=tid, tick=tick, detail=detail)
+        with self._lock:
+            subscribers = list(self._subscribers)
+        for callback in subscribers:
+            callback(event)
+        return event
+
+
+class EventRecorder:
+    """A simple subscriber that accumulates events into a list.
+
+    Convenient in tests::
+
+        recorder = EventRecorder()
+        bus.subscribe(recorder)
+        ...
+        assert recorder.kinds() == [EventKind.INITIATE, EventKind.BEGIN]
+    """
+
+    def __init__(self):
+        self.events = []
+
+    def __call__(self, event):
+        self.events.append(event)
+
+    def kinds(self):
+        """Return the list of event kinds in emission order."""
+        return [event.kind for event in self.events]
+
+    def of_kind(self, kind):
+        """Return only the events of the given kind, in order."""
+        return [event for event in self.events if event.kind is kind]
+
+    def clear(self):
+        """Forget all recorded events."""
+        self.events.clear()

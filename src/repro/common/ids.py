@@ -1,0 +1,99 @@
+"""Identifier types: transaction ids, object ids, and log sequence numbers.
+
+The paper manipulates three kinds of identifiers:
+
+* ``tid`` — a transaction identifier, returned by ``initiate`` and consumed
+  by every other primitive.  The *null tid* signals failure.
+* object ids — EOS object identifiers naming persistent objects.
+* LSNs — log sequence numbers ordering write-ahead-log records.
+
+All three are small immutable value types so they hash and compare cheaply
+and print readably in traces and test failures.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True, order=True)
+class Tid:
+    """A transaction identifier.
+
+    ``Tid(0)`` is the *null tid* (see :data:`NULL_TID`): ``initiate`` returns
+    it on failure and ``parent()`` returns it for top-level transactions.
+    The null tid is falsy, so paper-style code such as
+    ``if (t = initiate(f)) != NULL`` translates to ``if t:``.
+    """
+
+    value: int
+
+    def __bool__(self):
+        return self.value != 0
+
+    def __repr__(self):
+        if self.value == 0:
+            return "Tid(null)"
+        return f"Tid({self.value})"
+
+
+NULL_TID = Tid(0)
+"""The null transaction identifier: falsy, returned on failure."""
+
+
+@dataclass(frozen=True, order=True)
+class ObjectId:
+    """A persistent object identifier.
+
+    ``name`` exists purely for readability of traces and assertion messages;
+    identity (equality/hash) is the ``value`` alone so renaming an object id
+    does not change which object it names.
+    """
+
+    value: int
+    name: str = field(default="", compare=False)
+
+    def __repr__(self):
+        if self.name:
+            return f"ObjectId({self.value}:{self.name})"
+        return f"ObjectId({self.value})"
+
+
+@dataclass(frozen=True, order=True)
+class Lsn:
+    """A log sequence number.  Totally ordered; ``Lsn(0)`` precedes all."""
+
+    value: int
+
+    def __repr__(self):
+        return f"Lsn({self.value})"
+
+
+ZERO_LSN = Lsn(0)
+
+
+class IdGenerator:
+    """Hands out monotonically increasing identifiers of a given type.
+
+    One generator instance per id space (tids, object ids, LSNs).  Starts at
+    1 so that 0 remains reserved for the null/zero value.
+    """
+
+    def __init__(self, factory, start=1):
+        self._factory = factory
+        self._counter = itertools.count(start)
+
+    def next(self):
+        """Return the next identifier in sequence."""
+        return self._factory(next(self._counter))
+
+
+def tid_generator():
+    """Return a fresh generator of :class:`Tid` values starting at 1."""
+    return IdGenerator(Tid)
+
+
+def lsn_generator():
+    """Return a fresh generator of :class:`Lsn` values starting at 1."""
+    return IdGenerator(Lsn)

@@ -1,0 +1,48 @@
+"""The ASSET transaction facility — the paper's primary contribution.
+
+This package implements the transaction primitives of section 2 over the
+data structures and algorithms of section 4:
+
+* :mod:`repro.core.status` — the transaction status machine;
+* :mod:`repro.core.descriptors` — TD / OD / LRD / PD descriptor structures
+  (Figure 1) and their hash-table indexes;
+* :mod:`repro.core.semantics` — the operation conflict table (read/write by
+  default, extensible with commuting method operations per section 5);
+* :mod:`repro.core.permits` — the permit table with transitive sharing;
+* :mod:`repro.core.locks` — the lock manager with permit-driven suspension;
+* :mod:`repro.core.dependency` — the transaction dependency graph
+  (CD / AD / GC and extensions);
+* :mod:`repro.core.deadlock` — waits-for analysis and victim selection;
+* :mod:`repro.core.manager` — :class:`~repro.core.manager.TransactionManager`,
+  the full primitive set.
+"""
+
+from repro.core.dependency import DependencyType
+from repro.core.manager import TransactionManager
+from repro.core.outcomes import CommitOutcome, CommitStatus, LockOutcome
+from repro.core.semantics import READ, WRITE, ConflictTable
+from repro.core.status import TransactionStatus
+from repro.core.typedobjects import (
+    Counter,
+    TxRecord,
+    TxSet,
+    register_record_fields,
+    semantic_conflict_table,
+)
+
+__all__ = [
+    "CommitOutcome",
+    "CommitStatus",
+    "ConflictTable",
+    "Counter",
+    "DependencyType",
+    "LockOutcome",
+    "READ",
+    "TransactionManager",
+    "TransactionStatus",
+    "TxRecord",
+    "TxSet",
+    "WRITE",
+    "register_record_fields",
+    "semantic_conflict_table",
+]

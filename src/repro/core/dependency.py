@@ -1,0 +1,193 @@
+"""The transaction dependencies graph (section 4.1).
+
+Nodes are transactions; an edge from the *dependent* to the *dependee*
+carries a dependency type.  ``form_dependency(type, t_i, t_j)`` always
+constrains ``t_j`` relative to ``t_i``:
+
+* **CD** (commit dependency) — if both commit, ``t_j`` cannot commit
+  before ``t_i``; ``t_j``'s commit blocks until ``t_i`` terminates.
+* **AD** (abort dependency) — if ``t_i`` aborts, ``t_j`` must abort; AD
+  covers CD, so ``t_j``'s commit also waits for ``t_i`` to terminate.
+* **GC** (group commit) — both commit or neither; symmetric, and a set of
+  pairwise GC edges forms a commit *group*.
+
+Two extension types from the ACTA repertoire (the paper notes "many types
+of dependency can be formed [8]"):
+
+* **BCD** (begin-on-commit) — ``t_j`` cannot begin until ``t_i`` commits;
+* **BAD** (begin-on-abort) — ``t_j`` cannot begin until ``t_i`` aborts
+  (the natural trigger for compensating transactions);
+* **ED** (exclusion) — at most one of the two commits: ``t_i``'s commit
+  forces ``t_j`` to abort (the primitive behind contingent alternatives
+  and racing reservations).
+
+``form_dependency`` performs "a check ... to prevent certain dependency
+cycles": a cycle of CD/AD edges would block every member's commit forever
+(GC cycles are fine — that is what a group is), so those are refused.
+
+Edges are doubly hashed on the two tids involved so dependencies
+emanating from or incoming to a transaction are located efficiently.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.common.errors import DependencyCycleError
+from repro.common.hashtable import DoubleHashIndex
+
+
+class DependencyType(enum.Enum):
+    """The dependency types ``form_dependency`` accepts."""
+
+    CD = "commit"
+    AD = "abort"
+    GC = "group_commit"
+    BCD = "begin_on_commit"
+    BAD = "begin_on_abort"
+    ED = "exclusion"
+
+    @property
+    def blocks_commit(self):
+        """Whether a dependent's commit must wait on the dependee."""
+        return self in (DependencyType.CD, DependencyType.AD)
+
+    @property
+    def blocks_begin(self):
+        """Whether a dependent's begin must wait on the dependee."""
+        return self in (DependencyType.BCD, DependencyType.BAD)
+
+    @property
+    def aborts_dependent(self):
+        """Whether the dependee's abort forces the dependent to abort."""
+        return self in (DependencyType.AD, DependencyType.GC)
+
+    @property
+    def aborts_dependent_on_commit(self):
+        """Whether the dependee's COMMIT forces the dependent to abort.
+
+        True for exclusion, and for begin-on-abort (the dependent waited
+        for an abort that can no longer happen).
+        """
+        return self in (DependencyType.ED, DependencyType.BAD)
+
+
+@dataclass
+class DependencyEdge:
+    """One dependency: ``dependent`` constrained relative to ``dependee``."""
+
+    dependent: object
+    dependee: object
+    dep_type: DependencyType
+    # Group-commit marks: tids that announced "waiting for the other to
+    # commit" on this edge (the section 4.2 commit step 2c protocol).
+    marks: set = field(default_factory=set)
+
+    def other(self, tid):
+        """The endpoint that is not ``tid``."""
+        return self.dependee if tid == self.dependent else self.dependent
+
+    def __repr__(self):
+        return (
+            f"Edge({self.dependent!r} -{self.dep_type.name}-> "
+            f"{self.dependee!r})"
+        )
+
+
+class DependencyGraph:
+    """All dependency edges, indexed by both endpoints."""
+
+    def __init__(self):
+        self._index = DoubleHashIndex()  # (dependent, dependee) -> edges
+
+    def add(self, dep_type, ti, tj):
+        """Form a dependency of ``dep_type`` between ``ti`` and ``tj``.
+
+        Follows the paper's argument convention: the new edge constrains
+        ``tj`` relative to ``ti``.  Refuses commit-blocking cycles.
+        Duplicate edges are idempotent.  Returns the edge.
+        """
+        if ti == tj:
+            raise DependencyCycleError([ti, tj])
+        for existing in self._index.by_left(tj):
+            if existing.dependee == ti and existing.dep_type is dep_type:
+                return existing
+        if dep_type.blocks_commit and self._reaches(ti, tj):
+            raise DependencyCycleError([tj, ti])
+        edge = DependencyEdge(dependent=tj, dependee=ti, dep_type=dep_type)
+        self._index.add(tj, ti, edge)
+        return edge
+
+    def _reaches(self, start, goal):
+        """Whether ``goal`` is reachable from ``start`` via CD/AD edges."""
+        seen = {start}
+        stack = [start]
+        while stack:
+            node = stack.pop()
+            for edge in self._index.by_left(node):
+                if not edge.dep_type.blocks_commit:
+                    continue
+                nxt = edge.dependee
+                if nxt == goal:
+                    return True
+                if nxt not in seen:
+                    seen.add(nxt)
+                    stack.append(nxt)
+        return False
+
+    # -- queries -----------------------------------------------------------------
+
+    def outgoing(self, tid):
+        """Edges where ``tid`` is the dependent (commit-time scan)."""
+        return self._index.by_left(tid)
+
+    def incoming(self, tid):
+        """Edges where ``tid`` is the dependee (abort-time scan)."""
+        return self._index.by_right(tid)
+
+    def edges_involving(self, tid):
+        """Every edge touching ``tid``."""
+        return self._index.involving(tid)
+
+    def gc_group(self, tid):
+        """The group-commit component of ``tid`` (always contains it).
+
+        GC edges are symmetric, so the component is the connected
+        component of the GC-only subgraph.
+        """
+        group = {tid}
+        stack = [tid]
+        while stack:
+            node = stack.pop()
+            for edge in self.edges_involving(node):
+                if edge.dep_type is not DependencyType.GC:
+                    continue
+                other = edge.other(node)
+                if other not in group:
+                    group.add(other)
+                    stack.append(other)
+        return group
+
+    def gc_edges_within(self, group):
+        """The GC edges among a group's members."""
+        edges = []
+        for tid in group:
+            for edge in self._index.by_left(tid):
+                if edge.dep_type is DependencyType.GC and edge not in edges:
+                    edges.append(edge)
+        return edges
+
+    # -- removal -----------------------------------------------------------------
+
+    def remove(self, edge):
+        """Remove one edge."""
+        self._index.remove(edge.dependent, edge.dependee, edge)
+
+    def remove_involving(self, tid):
+        """Remove all edges touching ``tid`` (post-termination cleanup)."""
+        for edge in self.edges_involving(tid):
+            self.remove(edge)
+
+    def __len__(self):
+        return len(self._index)

@@ -1,0 +1,209 @@
+"""The descriptor structures of section 4.1 (Figure 1).
+
+* :class:`TransactionDescriptor` (TD) — tid, parent, status, and the list
+  of the transaction's lock requests.  TDs live in a chained hash table
+  keyed by tid.
+* :class:`ObjectDescriptor` (OD) — per locked object: lists of granted and
+  pending lock requests plus the list of permits on the object.  "Each
+  object in the cache points to its own descriptor so no searching is
+  needed" — here the lock manager keeps an OD map and hands ODs to
+  callers, which cache them on typed object wrappers.
+* :class:`LockRequestDescriptor` (LRD) — one transaction's lock on one
+  object: pointers to its TD and OD, the operations held, the request
+  status (granted / pending / upgrading), and the *suspended* flag the
+  permit mechanism sets.
+* :class:`PermitDescriptor` (PD) — a ``(t_i, t_j, op)`` triple on an OD:
+  even if the object is locked by ``t_i`` in a conflicting mode, ``t_j``
+  may still perform ``op``.  ``t_j`` or ``op`` of ``None`` means "any".
+
+PDs and dependency edges are doubly hashed on the two tids involved (the
+:class:`~repro.common.hashtable.DoubleHashIndex`) so permissions given by
+or to a transaction are located efficiently.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.common.errors import UnknownTransactionError
+from repro.common.hashtable import ChainedHashTable
+from repro.common.ids import NULL_TID
+from repro.core.status import TransactionStatus, check_transition
+
+
+class LockRequestStatus(enum.Enum):
+    """Status of a lock request (granted, pending, or upgrading)."""
+
+    GRANTED = "granted"
+    PENDING = "pending"
+    UPGRADING = "upgrading"
+
+
+@dataclass
+class TransactionDescriptor:
+    """The TD: identity, lineage, status, and held lock requests."""
+
+    tid: object
+    parent: object = NULL_TID
+    status: TransactionStatus = TransactionStatus.INITIATED
+    function: object = None
+    args: tuple = ()
+    locks: list = field(default_factory=list)  # granted LRDs (incl. suspended)
+    abort_reason: str = ""
+    savepoints: list = field(default_factory=list)  # active rollback marks
+
+    def set_status(self, target):
+        """Transition to ``target``, enforcing the status machine."""
+        self.status = check_transition(self.status, target)
+        return self.status
+
+    def lock_on(self, oid):
+        """This transaction's granted LRD on ``oid``, or ``None``."""
+        for lrd in self.locks:
+            if lrd.oid == oid:
+                return lrd
+        return None
+
+    def locked_object_ids(self):
+        """Object ids this transaction holds locks on, in acquisition order."""
+        return [lrd.oid for lrd in self.locks]
+
+    def __repr__(self):
+        return (
+            f"TD({self.tid!r}, {self.status.value}, locks={len(self.locks)})"
+        )
+
+
+@dataclass
+class LockRequestDescriptor:
+    """The LRD: one transaction's (requested or held) lock on one object."""
+
+    td: TransactionDescriptor
+    od: "ObjectDescriptor"
+    operations: set = field(default_factory=set)
+    status: LockRequestStatus = LockRequestStatus.GRANTED
+    suspended: bool = False
+    requested: set = field(default_factory=set)  # ops awaited while pending
+
+    @property
+    def tid(self):
+        """The owning transaction's tid."""
+        return self.td.tid
+
+    @property
+    def oid(self):
+        """The locked object's id."""
+        return self.od.oid
+
+    def __repr__(self):
+        flags = []
+        if self.suspended:
+            flags.append("suspended")
+        if self.status is not LockRequestStatus.GRANTED:
+            flags.append(self.status.value)
+        suffix = f" [{','.join(flags)}]" if flags else ""
+        return (
+            f"LRD({self.tid!r} on {self.oid!r},"
+            f" ops={sorted(self.operations)}{suffix})"
+        )
+
+
+@dataclass(frozen=True)
+class PermitDescriptor:
+    """The PD: ``giver`` lets ``receiver`` perform ``operation`` on ``oid``.
+
+    ``receiver is None`` — any transaction; ``operation is None`` — any
+    operation.  ``derived`` marks permits synthesized by the transitive
+    sharing rule of section 2.2.
+    """
+
+    oid: object
+    giver: object
+    receiver: object = None
+    operation: object = None
+    derived: bool = False
+
+    def covers(self, requester, operation):
+        """Whether this permit lets ``requester`` perform ``operation``."""
+        receiver_ok = self.receiver is None or self.receiver == requester
+        operation_ok = self.operation is None or self.operation == operation
+        return receiver_ok and operation_ok
+
+    def __repr__(self):
+        receiver = "any" if self.receiver is None else repr(self.receiver)
+        operation = "any" if self.operation is None else self.operation
+        origin = ", derived" if self.derived else ""
+        return (
+            f"PD({self.giver!r} -> {receiver} : {operation}"
+            f" on {self.oid!r}{origin})"
+        )
+
+
+class ObjectDescriptor:
+    """The OD: granted locks, pending requests, and permits on one object."""
+
+    def __init__(self, oid):
+        self.oid = oid
+        self.granted = []  # LRDs with status GRANTED (incl. suspended)
+        self.pending = []  # LRDs with status PENDING / UPGRADING
+        self.permits = []  # PermitDescriptors
+
+    def granted_for(self, tid):
+        """The granted LRD of ``tid`` on this object, or ``None``."""
+        for lrd in self.granted:
+            if lrd.tid == tid:
+                return lrd
+        return None
+
+    def pending_for(self, tid):
+        """The pending LRD of ``tid`` on this object, or ``None``."""
+        for lrd in self.pending:
+            if lrd.tid == tid:
+                return lrd
+        return None
+
+    def is_idle(self):
+        """No locks, no pending requests, no permits: the OD can be freed."""
+        return not self.granted and not self.pending and not self.permits
+
+    def __repr__(self):
+        return (
+            f"OD({self.oid!r}, granted={len(self.granted)},"
+            f" pending={len(self.pending)}, permits={len(self.permits)})"
+        )
+
+
+class TransactionTable:
+    """The chained hash table of TDs, keyed by tid (section 4.1)."""
+
+    def __init__(self):
+        self._table = ChainedHashTable()
+
+    def add(self, descriptor):
+        """Register a new TD."""
+        self._table.put(descriptor.tid, descriptor)
+
+    def get(self, tid):
+        """Return the TD for ``tid``; raise if unknown."""
+        descriptor = self._table.get(tid)
+        if descriptor is None:
+            raise UnknownTransactionError(tid)
+        return descriptor
+
+    def maybe_get(self, tid):
+        """Return the TD for ``tid`` or ``None``."""
+        return self._table.get(tid)
+
+    def remove(self, tid):
+        """Forget a TD (post-termination cleanup)."""
+        self._table.remove(tid)
+
+    def __contains__(self, tid):
+        return tid in self._table
+
+    def __iter__(self):
+        return iter(self._table.values())
+
+    def __len__(self):
+        return len(self._table)

@@ -1,0 +1,270 @@
+"""The lock manager: section 4.2's ``read-lock`` / ``write-lock`` algorithm.
+
+Locking is operation-based (the conflict table defaults to read/write but
+extends to commuting methods, section 5).  The algorithm is the paper's,
+step for step:
+
+1. Scan the granted lock requests on the object's OD.
+
+   a. A granted lock of the requester that is not suspended and covers the
+      request → success.
+   b. A conflicting granted lock held by ``t_j``: scan the object's
+      permits.  If ``t_j`` permits the requester, *suspend* that granted
+      lock; with no permission the requester blocks (the core returns a
+      blocked outcome and the runtimes retry from step 1).
+
+2. The requester can now lock: create its LRD (or extend / un-suspend an
+   existing one), and apply the suspensions decided in 1b.
+
+Suspension is what allows controlled conflicting access: a suspended lock
+stops excluding others but continues to represent the holder's
+responsibility for its past operations.  The system-wide invariant — two
+granted, *unsuspended* lock requests never conflict — is enforced here and
+verified by property tests.
+"""
+
+from __future__ import annotations
+
+from repro.common.events import EventKind
+from repro.core.descriptors import (
+    LockRequestDescriptor,
+    LockRequestStatus,
+    ObjectDescriptor,
+)
+from repro.core.outcomes import LockOutcome
+from repro.core.semantics import ConflictTable
+
+
+class ObjectRegistry:
+    """The live object descriptors, keyed by object id.
+
+    ODs are created on first lock/permit and freed when idle, mirroring
+    the paper's cache-attached descriptors.
+    """
+
+    def __init__(self):
+        self._descriptors = {}
+
+    def get_or_create(self, oid):
+        """The OD for ``oid``, creating it if this is the first interest."""
+        od = self._descriptors.get(oid)
+        if od is None:
+            od = ObjectDescriptor(oid)
+            self._descriptors[oid] = od
+        return od
+
+    def maybe_get(self, oid):
+        """The OD for ``oid`` or ``None``."""
+        return self._descriptors.get(oid)
+
+    def release_if_idle(self, oid):
+        """Free the OD when nothing references the object any more."""
+        od = self._descriptors.get(oid)
+        if od is not None and od.is_idle():
+            del self._descriptors[oid]
+
+    def all_descriptors(self):
+        """Snapshot of live ODs (tests and deadlock analysis)."""
+        return list(self._descriptors.values())
+
+    def __len__(self):
+        return len(self._descriptors)
+
+
+class LockManager:
+    """Grants, blocks, suspends, delegates, and releases locks."""
+
+    def __init__(self, registry, permits, conflicts=None, events=None):
+        self.registry = registry
+        self.permits = permits
+        self.conflicts = conflicts if conflicts is not None else ConflictTable()
+        self._events = events
+        self._pending_by_tid = {}
+        self.stats = {"grants": 0, "blocks": 0, "suspensions": 0}
+
+    # -- acquisition -------------------------------------------------------------
+
+    def acquire(self, td, oid, operation):
+        """Request an ``operation`` lock on ``oid`` for ``td``.
+
+        Returns a :class:`LockOutcome`; on a blocked outcome a pending LRD
+        is registered (for the deadlock detector) and the caller retries
+        later, re-entering at step 1 as the paper specifies.
+        """
+        od = self.registry.get_or_create(oid)
+        to_suspend = []
+        blockers = []
+        for gl in od.granted:
+            if gl.td is td:
+                continue  # own locks never conflict with oneself
+            if gl.suspended:
+                continue  # suspended locks stop excluding others
+            if not self.conflicts.conflicts_any(gl.operations, operation):
+                continue
+            if self.permits.allows(oid, gl.tid, td.tid, operation):
+                to_suspend.append(gl)
+            else:
+                blockers.append(gl.tid)
+
+        if blockers:
+            self._note_pending(td, od, operation)
+            self.stats["blocks"] += 1
+            if self._events is not None:
+                self._events.emit(
+                    EventKind.LOCK_BLOCKED,
+                    td.tid,
+                    oid=oid,
+                    operation=operation,
+                    blockers=tuple(blockers),
+                )
+            return LockOutcome(granted=False, blockers=tuple(blockers))
+
+        for gl in to_suspend:
+            gl.suspended = True
+            self.stats["suspensions"] += 1
+            if self._events is not None:
+                self._events.emit(
+                    EventKind.LOCK_SUSPENDED,
+                    gl.tid,
+                    oid=oid,
+                    for_tid=td.tid,
+                    operation=operation,
+                )
+        self._grant(td, od, operation)
+        return LockOutcome(granted=True)
+
+    def holds(self, td, oid, operation):
+        """Whether ``td`` already holds an unsuspended lock covering ``operation``."""
+        lrd = td.lock_on(oid)
+        return (
+            lrd is not None
+            and not lrd.suspended
+            and self.conflicts.covers(lrd.operations, operation)
+        )
+
+    def _grant(self, td, od, operation):
+        lrd = od.granted_for(td.tid)
+        if lrd is None:
+            lrd = LockRequestDescriptor(
+                td=td, od=od, operations={operation},
+                status=LockRequestStatus.GRANTED,
+            )
+            od.granted.append(lrd)
+            td.locks.append(lrd)
+        else:
+            lrd.operations.add(operation)
+            lrd.suspended = False
+            lrd.status = LockRequestStatus.GRANTED
+        self._clear_pending(td, od)
+        self.stats["grants"] += 1
+        if self._events is not None:
+            kind = (
+                EventKind.WRITE_LOCK
+                if self.conflicts.conflicts(operation, "read")
+                else EventKind.READ_LOCK
+            )
+            self._events.emit(kind, td.tid, oid=od.oid, operation=operation)
+        return lrd
+
+    # -- pending bookkeeping --------------------------------------------------------
+
+    def _note_pending(self, td, od, operation):
+        pending = od.pending_for(td.tid)
+        if pending is None:
+            status = (
+                LockRequestStatus.UPGRADING
+                if od.granted_for(td.tid) is not None
+                else LockRequestStatus.PENDING
+            )
+            pending = LockRequestDescriptor(
+                td=td, od=od, operations=set(), status=status,
+            )
+            od.pending.append(pending)
+            self._pending_by_tid.setdefault(td.tid, []).append(pending)
+        pending.requested.add(operation)
+
+    def _clear_pending(self, td, od):
+        pending = od.pending_for(td.tid)
+        if pending is not None:
+            od.pending.remove(pending)
+            mine = self._pending_by_tid.get(td.tid, [])
+            if pending in mine:
+                mine.remove(pending)
+
+    def pending_requests(self, tid=None):
+        """Pending LRDs, optionally for one transaction (deadlock input)."""
+        if tid is not None:
+            return list(self._pending_by_tid.get(tid, ()))
+        return [lrd for lrds in self._pending_by_tid.values() for lrd in lrds]
+
+    def blockers_of(self, pending):
+        """Recompute who currently blocks a pending request."""
+        blockers = []
+        for gl in pending.od.granted:
+            if gl.td is pending.td or gl.suspended:
+                continue
+            for operation in pending.requested:
+                if self.conflicts.conflicts_any(
+                    gl.operations, operation
+                ) and not self.permits.allows(
+                    pending.oid, gl.tid, pending.tid, operation
+                ):
+                    blockers.append(gl.tid)
+                    break
+        return blockers
+
+    # -- delegation (section 4.2, delegate step a) -------------------------------------
+
+    def delegate(self, td_from, td_to, oids=None):
+        """Move granted LRDs from ``td_from`` to ``td_to``.
+
+        ``oids`` of ``None`` moves everything.  When the delegatee already
+        holds a lock on the same object, the requests merge (operations
+        union; unsuspended wins).  Returns the object ids affected.
+        """
+        moved = []
+        for lrd in list(td_from.locks):
+            if oids is not None and lrd.oid not in oids:
+                continue
+            td_from.locks.remove(lrd)
+            existing = td_to.lock_on(lrd.oid)
+            if existing is not None:
+                existing.operations |= lrd.operations
+                existing.suspended = existing.suspended and lrd.suspended
+                lrd.od.granted.remove(lrd)
+            else:
+                lrd.td = td_to
+                td_to.locks.append(lrd)
+            moved.append(lrd.oid)
+        return moved
+
+    # -- release --------------------------------------------------------------------
+
+    def release_all(self, td):
+        """Release every lock and pending request of ``td`` (termination)."""
+        for lrd in list(td.locks):
+            lrd.od.granted.remove(lrd)
+            self.registry.release_if_idle(lrd.oid)
+        td.locks.clear()
+        for pending in self._pending_by_tid.pop(td.tid, []):
+            pending.od.pending.remove(pending)
+            self.registry.release_if_idle(pending.oid)
+
+    # -- invariants (tests) ------------------------------------------------------------
+
+    def check_invariants(self):
+        """Assert the no-two-unsuspended-conflicting-locks invariant.
+
+        Returns the list of violations (empty when healthy); tests assert
+        emptiness, and the property suite calls this after every step.
+        """
+        violations = []
+        for od in self.registry.all_descriptors():
+            active = [gl for gl in od.granted if not gl.suspended]
+            for i, first in enumerate(active):
+                for second in active[i + 1 :]:
+                    for op in second.operations:
+                        if self.conflicts.conflicts_any(first.operations, op):
+                            violations.append((od.oid, first.tid, second.tid))
+                            break
+        return violations

@@ -1,0 +1,700 @@
+"""The transaction manager: ASSET's primitive set (sections 2 and 4.2).
+
+:class:`TransactionManager` is a *synchronous, non-blocking core*.  The
+paper's primitives block and retry ("t_i blocks and retries later starting
+at step 1"); here each primitive either completes or returns a would-block
+outcome naming the transactions being waited on, and the runtimes
+(:mod:`repro.runtime`) supply the blocking and the retrying.  This split
+keeps the semantics runtime-independent: the deterministic cooperative
+scheduler and the threaded runtime drive exactly the same code.
+
+Concurrency note: EOS guards its shared control structures with latches;
+the Python-appropriate equivalent is one reentrant mutex around the
+manager's public methods (CPython's GIL would serialize most of them
+anyway).  Object *data* accesses still take the per-frame S/X latches via
+the storage manager, as section 4.2's read/write algorithms specify.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.common.clock import LogicalClock
+from repro.common.errors import InvalidStateError, TransactionAborted
+from repro.common.events import EventBus, EventKind
+from repro.common.ids import NULL_TID, IdGenerator, Tid
+from repro.core.dependency import DependencyGraph, DependencyType
+from repro.core.descriptors import TransactionDescriptor, TransactionTable
+from repro.core.locks import LockManager, ObjectRegistry
+from repro.core.outcomes import CommitOutcome, CommitStatus, LockOutcome
+from repro.core.permits import PermitTable
+from repro.core.semantics import READ, WRITE, ConflictTable
+from repro.core.status import TransactionStatus
+from repro.storage.store import StorageManager
+
+
+class TransactionManager:
+    """The full ASSET primitive set over a storage manager."""
+
+    def __init__(
+        self,
+        storage=None,
+        conflicts=None,
+        max_transactions=None,
+        events=None,
+        clock=None,
+    ):
+        self.storage = storage if storage is not None else StorageManager()
+        self.clock = clock if clock is not None else LogicalClock()
+        self.events = events if events is not None else EventBus(self.clock)
+        self.conflicts = conflicts if conflicts is not None else ConflictTable()
+        self.max_transactions = max_transactions
+
+        self.table = TransactionTable()
+        self.registry = ObjectRegistry()
+        self.permits = PermitTable(self.registry, events=self.events)
+        self.lock_manager = LockManager(
+            self.registry, self.permits, conflicts=self.conflicts,
+            events=self.events,
+        )
+        self.dependencies = DependencyGraph()
+
+        # Resume tid allocation above anything the (possibly pre-existing)
+        # log has seen: a reused tid would entangle this incarnation's
+        # undo/redo with a previous one's.
+        self._tids = IdGenerator(
+            Tid, start=self.storage.log.max_tid_value() + 1
+        )
+        self._mutex = threading.RLock()
+        self.stats = {
+            "initiated": 0,
+            "committed": 0,
+            "aborted": 0,
+            "cascaded_aborts": 0,
+            "delegations": 0,
+            "commit_blocks": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # basic primitives (section 2.1)
+    # ------------------------------------------------------------------
+
+    def initiate(self, function=None, args=(), initiator=NULL_TID):
+        """Register a new transaction; returns its tid, or the null tid.
+
+        The transaction does not start executing — ``begin`` does that.
+        The null tid is returned when the configured transaction limit is
+        exceeded, as section 4.2 specifies.
+        """
+        with self._mutex:
+            if self.max_transactions is not None:
+                live = sum(
+                    1 for td in self.table if not td.status.is_terminated
+                )
+                if live >= self.max_transactions:
+                    return NULL_TID
+            tid = self._tids.next()
+            td = TransactionDescriptor(
+                tid=tid, parent=initiator, function=function, args=tuple(args)
+            )
+            self.table.add(td)
+            self.stats["initiated"] += 1
+            self.events.emit(EventKind.INITIATE, tid, parent=initiator)
+            return tid
+
+    def begin(self, *tids):
+        """Start execution of one or more initiated transactions.
+
+        Returns ``True`` only if every named transaction transitioned to
+        running.  A transaction blocked by a begin dependency (BCD/BAD) or
+        already begun/terminated leaves ``begin`` returning ``False``;
+        use :meth:`begin_blockers` to distinguish "retry later" from
+        "never".
+        """
+        with self._mutex:
+            startable = []
+            for tid in tids:
+                td = self.table.get(tid)
+                if td.status is not TransactionStatus.INITIATED:
+                    return False
+                if self.begin_blockers(tid):
+                    return False
+                startable.append(td)
+            for td in startable:
+                td.set_status(TransactionStatus.RUNNING)
+                self.events.emit(EventKind.BEGIN, td.tid)
+            return True
+
+    def begin_blockers(self, tid):
+        """Transactions whose termination must precede ``tid``'s begin."""
+        blockers = []
+        for edge in self.dependencies.outgoing(tid):
+            if not edge.dep_type.blocks_begin:
+                continue
+            status = self.table.get(edge.dependee).status
+            if (
+                edge.dep_type is DependencyType.BCD
+                and status is not TransactionStatus.COMMITTED
+            ):
+                blockers.append(edge.dependee)
+            elif (
+                edge.dep_type is DependencyType.BAD
+                and status is not TransactionStatus.ABORTED
+            ):
+                blockers.append(edge.dependee)
+        return blockers
+
+    def note_completed(self, tid):
+        """Record that ``tid``'s code finished executing.
+
+        Locks are retained and changes stay volatile — commitment is a
+        separate, explicit act (section 2.1).
+        """
+        with self._mutex:
+            td = self.table.get(tid)
+            if td.status.is_abort_bound:
+                return False
+            td.set_status(TransactionStatus.COMPLETED)
+            self.events.emit(EventKind.COMPLETE, tid)
+            return True
+
+    def wait_outcome(self, tid):
+        """The paper's ``wait``: ``True`` once execution completed (or the
+        transaction committed), ``False`` if it aborted, ``None`` while it
+        is still executing (the runtime keeps waiting)."""
+        with self._mutex:
+            status = self.table.get(tid).status
+            if status in (
+                TransactionStatus.COMPLETED,
+                TransactionStatus.COMMITTING,
+                TransactionStatus.COMMITTED,
+            ):
+                return True
+            if status.is_abort_bound:
+                return False
+            return None
+
+    def parent_of(self, tid):
+        """The initiating transaction of ``tid`` (null for top level)."""
+        with self._mutex:
+            return self.table.get(tid).parent
+
+    def status_of(self, tid):
+        """Current :class:`TransactionStatus` of ``tid``."""
+        with self._mutex:
+            return self.table.get(tid).status
+
+    def has_aborted(self, tid):
+        """Status query: has ``tid`` aborted (or is it bound to)?"""
+        with self._mutex:
+            return self.table.get(tid).status.is_abort_bound
+
+    def has_committed(self, tid):
+        """Status query: has ``tid`` committed?"""
+        with self._mutex:
+            return self.table.get(tid).status is TransactionStatus.COMMITTED
+
+    def transactions(self):
+        """Snapshot of all transaction descriptors."""
+        with self._mutex:
+            return list(self.table)
+
+    # ------------------------------------------------------------------
+    # object operations
+    # ------------------------------------------------------------------
+
+    def _active_td(self, tid):
+        td = self.table.get(tid)
+        if td.status.is_abort_bound:
+            raise TransactionAborted(tid, td.abort_reason)
+        if td.status not in (
+            TransactionStatus.RUNNING,
+            TransactionStatus.COMPLETED,
+        ):
+            raise InvalidStateError(
+                f"{tid!r} is {td.status.value}; cannot operate on objects"
+            )
+        return td
+
+    def create_object(self, tid, value, name=""):
+        """Create a persistent object owned (write-locked) by ``tid``."""
+        with self._mutex:
+            td = self._active_td(tid)
+            oid = self.storage.create_object(tid, value, name=name)
+            od = self.registry.get_or_create(oid)
+            self.lock_manager._grant(td, od, WRITE)
+            self.events.emit(EventKind.WRITE, tid, oid=oid, created=True)
+            return oid
+
+    def try_read(self, tid, oid):
+        """Read ``oid`` for ``tid``; section 4.2 ``read``.
+
+        Returns ``(outcome, value)``; ``value`` is ``None`` on a blocked
+        outcome.
+        """
+        with self._mutex:
+            td = self._active_td(tid)
+            if not self.lock_manager.holds(td, oid, READ):
+                outcome = self.lock_manager.acquire(td, oid, READ)
+                if not outcome:
+                    return outcome, None
+            value = self.storage.read_object(tid, oid)
+            self.events.emit(EventKind.READ, tid, oid=oid)
+            return LockOutcome(granted=True), value
+
+    def try_write(self, tid, oid, value):
+        """Write ``oid`` for ``tid``; section 4.2 ``write`` (logs images)."""
+        with self._mutex:
+            td = self._active_td(tid)
+            if not self.lock_manager.holds(td, oid, WRITE):
+                outcome = self.lock_manager.acquire(td, oid, WRITE)
+                if not outcome:
+                    return outcome
+            self.storage.write_object(tid, oid, value)
+            self.events.emit(EventKind.WRITE, tid, oid=oid)
+            return LockOutcome(granted=True)
+
+    def try_operation(self, tid, oid, operation, transform):
+        """Invoke a semantic operation on ``oid`` (section 5 direction).
+
+        ``transform`` maps the current value to ``(new_value, result)``;
+        a ``new_value`` of ``None`` means read-only.  The lock taken is the
+        named ``operation``, so operations the conflict table declares
+        commutative proceed concurrently.  Returns ``(outcome, result)``.
+        """
+        with self._mutex:
+            td = self._active_td(tid)
+            if not self.lock_manager.holds(td, oid, operation):
+                outcome = self.lock_manager.acquire(td, oid, operation)
+                if not outcome:
+                    return outcome, None
+            value = self.storage.read_object(tid, oid)
+            new_value, result = transform(value)
+            if new_value is not None:
+                self.storage.write_object(tid, oid, new_value)
+            self.events.emit(
+                EventKind.OPERATION, tid, oid=oid, operation=operation
+            )
+            return LockOutcome(granted=True), result
+
+    # ------------------------------------------------------------------
+    # savepoints (extension: partial rollback within one transaction)
+    # ------------------------------------------------------------------
+
+    def savepoint(self, tid):
+        """Mark the current point in ``tid``'s update history.
+
+        Returns an opaque token for :meth:`rollback_to`.  Cheap: no log
+        record is written; the token is the log's current high LSN,
+        registered on the transaction so stale tokens can be refused.
+        """
+        with self._mutex:
+            td = self._active_td(tid)
+            token = self.storage.log.last_lsn_value
+            td.savepoints.append(token)
+            return token
+
+    def rollback_to(self, tid, savepoint):
+        """Undo ``tid``'s updates made after ``savepoint``.
+
+        Before images are installed newest-first (compensations logged),
+        exactly like an abort restricted to the savepoint suffix — but
+        the transaction stays live and keeps all its locks, so it can
+        retry along another path.  Returns the number of undone updates.
+
+        Rolling back **destroys savepoints taken after the target** (as
+        in SQL): a later ``rollback_to`` with a destroyed token would
+        re-install before images of updates already undone, resurrecting
+        intermediate values — so it raises
+        :class:`~repro.common.errors.InvalidStateError` instead (a bug
+        class found by the savepoint property test).
+        """
+        with self._mutex:
+            td = self._active_td(tid)
+            if savepoint not in td.savepoints:
+                raise InvalidStateError(
+                    f"savepoint {savepoint!r} of {tid!r} does not exist"
+                    " (never taken, or destroyed by an earlier rollback)"
+                )
+            undone = self.storage.undo_to(tid, savepoint)
+            # Keep the target itself (re-rollback is legal); drop later.
+            position = td.savepoints.index(savepoint)
+            del td.savepoints[position + 1 :]
+            self.events.emit(
+                EventKind.PARTIAL_ROLLBACK, tid,
+                savepoint=savepoint, undone=undone,
+            )
+            return undone
+
+    # ------------------------------------------------------------------
+    # the new primitives (section 2.2)
+    # ------------------------------------------------------------------
+
+    def delegate(self, ti, tj, oids=None):
+        """Transfer responsibility for ``ti``'s operations to ``tj``.
+
+        ``oids`` of ``None`` delegates everything ``ti`` is responsible
+        for.  Lock requests move between TDs, permits given by ``ti`` on
+        the delegated objects are rewritten to ``tj``, and a delegation
+        record reaches the log so recovery attributes undo to ``tj``.
+        """
+        with self._mutex:
+            td_i = self.table.get(ti)
+            td_j = self.table.get(tj)
+            if td_i.status.is_terminated:
+                raise InvalidStateError(f"{ti!r} has terminated; cannot delegate")
+            if td_j.status.is_terminated:
+                raise InvalidStateError(f"{tj!r} has terminated; cannot receive")
+            oid_set = set(oids) if oids is not None else None
+            moved = self.lock_manager.delegate(td_i, td_j, oids=oid_set)
+            self.permits.rewrite_giver(ti, tj, oids=oid_set)
+            if moved:
+                self.storage.log_delegate(ti, tj, moved)
+            self.stats["delegations"] += 1
+            self.events.emit(
+                EventKind.DELEGATE, ti, to=tj, oids=tuple(moved)
+            )
+            return moved
+
+    def permit(self, ti, tj=None, oids=None, operations=None):
+        """Allow conflicting access: all four forms of section 2.2.
+
+        * ``permit(ti, tj, oids, ops)`` — the fully specific form;
+        * ``permit(ti, tj, operations=ops)`` — any object ``ti`` accessed
+          or holds permissions on (expanded at call time, per section 4.2);
+        * ``permit(ti, tj)`` — any operation on any such object;
+        * ``permit(ti, oids=…, operations=…)`` — any transaction
+          (``tj`` omitted).
+        """
+        with self._mutex:
+            td_i = self.table.get(ti)
+            if td_i.status.is_terminated:
+                raise InvalidStateError(
+                    f"{ti!r} has terminated; its permits are gone"
+                )
+            if tj is not None:
+                td_j = self.table.get(tj)
+                if td_j.status.is_terminated:
+                    raise InvalidStateError(
+                        f"{tj!r} has terminated; permitting it is moot"
+                    )
+            if oids is None:
+                oid_list = list(
+                    dict.fromkeys(
+                        td_i.locked_object_ids()
+                        + self.permits.objects_permitted_to(ti)
+                    )
+                )
+            else:
+                oid_list = list(oids)
+            op_list = list(operations) if operations is not None else [None]
+            granted = []
+            for oid in oid_list:
+                for operation in op_list:
+                    granted.extend(
+                        self.permits.grant(
+                            oid, ti, receiver=tj, operation=operation
+                        )
+                    )
+            return granted
+
+    def form_dependency(self, dep_type, ti, tj):
+        """Form a dependency of ``dep_type`` between ``ti`` and ``tj``.
+
+        Cycle-creating commit dependencies are refused
+        (:class:`~repro.common.errors.DependencyCycleError`).  When either
+        party has already terminated, no edge is stored (it could never be
+        cleaned up): the dependency is *resolved on the spot* — satisfied
+        constraints are a no-op returning ``None``, constraints that now
+        force the dependent to abort do so immediately, and constraints
+        that are already violated (or unenforceable) raise
+        :class:`~repro.common.errors.InvalidStateError`.
+        """
+        with self._mutex:
+            td_i = self.table.get(ti)
+            td_j = self.table.get(tj)
+            if td_i.status.is_terminated or td_j.status.is_terminated:
+                return self._resolve_terminated_dependency(
+                    dep_type, td_i, td_j
+                )
+            edge = self.dependencies.add(dep_type, ti, tj)
+            self.events.emit(
+                EventKind.FORM_DEPENDENCY, ti, other=tj, dep_type=dep_type.name
+            )
+            return edge
+
+    def _resolve_terminated_dependency(self, dep_type, td_i, td_j):
+        """Resolve form_dependency(dep_type, ti, tj) with a dead party.
+
+        Convention reminder: the constrained (dependent) party is ``tj``;
+        ``ti`` is the dependee.
+        """
+        ti, tj = td_i.tid, td_j.tid
+        D = DependencyType
+        if td_j.status is TransactionStatus.ABORTED:
+            return None  # every constraint on an aborted dependent is moot
+        if td_j.status is TransactionStatus.COMMITTED:
+            if dep_type is D.GC and (
+                td_i.status is TransactionStatus.COMMITTED
+            ):
+                return None  # both committed: the group constraint held
+            raise InvalidStateError(
+                f"{tj!r} already committed; cannot constrain it with"
+                f" {dep_type.name} now"
+            )
+        # The dependent is live; the dependee terminated.
+        if td_i.status is TransactionStatus.COMMITTED:
+            if dep_type in (D.CD, D.AD, D.BCD):
+                return None  # satisfied: the dependee committed
+            if dep_type in (D.ED, D.BAD):
+                self.abort(tj, reason=f"{dep_type.name}: {ti!r} committed")
+                return None
+            raise InvalidStateError(
+                f"cannot join {tj!r} into a commit group with already-"
+                f"committed {ti!r}"
+            )
+        # The dependee aborted.
+        if dep_type in (D.AD, D.GC, D.BCD):
+            self.abort(tj, reason=f"{dep_type.name} on aborted {ti!r}")
+            return None
+        return None  # CD, BAD, ED: satisfied by the dependee's abort
+
+    # ------------------------------------------------------------------
+    # commit (section 4.2)
+    # ------------------------------------------------------------------
+
+    def try_commit(self, tid):
+        """One pass of the commit algorithm; never blocks.
+
+        Returns a :class:`CommitOutcome`.  BLOCKED outcomes name the
+        transactions being waited for; the runtimes retry "starting at
+        step 1".
+        """
+        with self._mutex:
+            td = self.table.get(tid)
+            # Step 1: status checks.
+            if td.status is TransactionStatus.COMMITTED:
+                return CommitOutcome(CommitStatus.ALREADY_COMMITTED)
+            if td.status.is_abort_bound:
+                # Aborting is transient inside abort(); either way the
+                # paper's step 1 answer is the same: commit returns 0.
+                return CommitOutcome(CommitStatus.ABORTED)
+            if td.status in (
+                TransactionStatus.INITIATED,
+                TransactionStatus.RUNNING,
+            ):
+                return CommitOutcome(CommitStatus.NOT_COMPLETED)
+            if td.status is TransactionStatus.COMPLETED:
+                td.set_status(TransactionStatus.COMMITTING)
+                self.events.emit(EventKind.COMMIT_REQUESTED, tid)
+
+            # Steps 2-3: resolve the group and its dependencies.
+            group = self.dependencies.gc_group(tid)
+            waiting = []
+            for member in sorted(group, key=lambda t: t.value):
+                member_td = self.table.get(member)
+                if member_td.status.is_abort_bound:
+                    self.abort(tid, reason=f"GC member {member!r} aborted")
+                    return CommitOutcome(CommitStatus.ABORTED)
+                if member_td.status in (
+                    TransactionStatus.INITIATED,
+                    TransactionStatus.RUNNING,
+                ):
+                    waiting.append(member)
+                    continue
+                waiting.extend(
+                    self._dependency_waits(member, group, mark=True)
+                )
+            if waiting:
+                self.stats["commit_blocks"] += 1
+                self.events.emit(
+                    EventKind.COMMIT_BLOCKED, tid, waiting=tuple(waiting)
+                )
+                return CommitOutcome(
+                    CommitStatus.BLOCKED, waiting_for=tuple(sorted(
+                        set(waiting), key=lambda t: t.value
+                    ))
+                )
+
+            # Check for abort dependencies on dependees that aborted.
+            for member in group:
+                for edge in self.dependencies.outgoing(member):
+                    if edge.dep_type is DependencyType.AD:
+                        dependee = self.table.get(edge.dependee)
+                        if dependee.status.is_abort_bound:
+                            self.abort(
+                                tid,
+                                reason=f"AD on aborted {edge.dependee!r}",
+                            )
+                            return CommitOutcome(CommitStatus.ABORTED)
+
+            # Steps 4-6: commit the whole group atomically.
+            ordered = sorted(group, key=lambda t: t.value)
+            others = tuple(t for t in ordered if t != tid)
+            self.storage.log_commit(tid, group=others)
+            for member in ordered:
+                member_td = self.table.get(member)
+                if member_td.status is TransactionStatus.COMPLETED:
+                    member_td.set_status(TransactionStatus.COMMITTING)
+                member_td.set_status(TransactionStatus.COMMITTED)
+            never_beginnable = []
+            for member in ordered:
+                # A BAD dependent waited for this member to abort (it
+                # never will now); an ED dependent is excluded by this
+                # member's commit.  Both must abort.
+                for edge in self.dependencies.incoming(member):
+                    if edge.dep_type.aborts_dependent_on_commit:
+                        never_beginnable.append(edge.dependent)
+                self.dependencies.remove_involving(member)
+                member_td = self.table.get(member)
+                self.lock_manager.release_all(member_td)
+                self.permits.remove_involving(member)
+                self.stats["committed"] += 1
+                self.events.emit(EventKind.COMMITTED, member, group=others)
+            for dependent in never_beginnable:
+                dep_td = self.table.maybe_get(dependent)
+                if dep_td is not None and not dep_td.status.is_terminated:
+                    self.abort(
+                        dependent, reason="excluded by dependee's commit"
+                    )
+            return CommitOutcome(
+                CommitStatus.COMMITTED, group=tuple(ordered)
+            )
+
+    def _dependency_waits(self, member, group, mark=False):
+        """Outside-group dependees whose termination ``member`` awaits."""
+        waiting = []
+        for edge in self.dependencies.outgoing(member):
+            if mark and edge.dep_type is DependencyType.GC:
+                edge.marks.add(member)
+            if not edge.dep_type.blocks_commit:
+                continue
+            if edge.dependee in group:
+                continue  # simultaneous commit satisfies in-group CD/AD
+            dependee = self.table.maybe_get(edge.dependee)
+            if dependee is None or dependee.status.is_terminated:
+                continue
+            waiting.append(edge.dependee)
+        return waiting
+
+    def is_commit_requested(self, tid):
+        """Whether ``tid`` is mid-commit (for the deadlock detector)."""
+        with self._mutex:
+            td = self.table.maybe_get(tid)
+            return td is not None and td.status is TransactionStatus.COMMITTING
+
+    def commit_waits_of(self, tid):
+        """Current commit-wait targets of ``tid`` (deadlock detector)."""
+        with self._mutex:
+            group = self.dependencies.gc_group(tid)
+            waiting = set()
+            for member in group:
+                member_td = self.table.get(member)
+                if member != tid and member_td.status in (
+                    TransactionStatus.INITIATED,
+                    TransactionStatus.RUNNING,
+                ):
+                    waiting.add(member)
+                waiting.update(self._dependency_waits(member, group))
+            return sorted(waiting, key=lambda t: t.value)
+
+    # ------------------------------------------------------------------
+    # abort (section 4.2)
+    # ------------------------------------------------------------------
+
+    def abort(self, tid, reason=""):
+        """Abort ``tid``: undo, release, cascade.  Returns ``False`` only
+        when ``tid`` has already committed (the paper's return 0).
+
+        The abort *closure* — GC group members and (transitive) AD/BCD
+        dependents — aborts together: all members' updates are undone in
+        one pass in global reverse-LSN order, so interleaved cooperative
+        updates cannot resurrect an aborted value mid-cascade.
+        """
+        with self._mutex:
+            td = self.table.get(tid)
+            if td.status is TransactionStatus.COMMITTED:
+                return False
+            if td.status.is_abort_bound:
+                return True
+            closure = self._abort_closure(tid)
+            for member_td in closure:
+                if member_td.tid == tid:
+                    member_td.abort_reason = reason
+                else:
+                    member_td.abort_reason = f"cascade from {tid!r}"
+                    self.stats["cascaded_aborts"] += 1
+                member_td.set_status(TransactionStatus.ABORTING)
+                self.events.emit(
+                    EventKind.ABORT_REQUESTED,
+                    member_td.tid,
+                    reason=member_td.abort_reason,
+                )
+            self._finish_abort_group(closure)
+            return True
+
+    def _abort_closure(self, tid):
+        """All TDs that must abort with ``tid``.
+
+        GC is symmetric (the whole group aborts); AD cascades from
+        dependee to dependent; a BCD dependent can never begin once its
+        dependee aborted, so it is aborted too.  CD and BAD edges do not
+        propagate aborts (a BAD dependent becomes free to begin).
+        """
+        closure = []
+        seen = set()
+        stack = [tid]
+        while stack:
+            current = stack.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            current_td = self.table.maybe_get(current)
+            if current_td is None or current_td.status.is_terminated:
+                continue
+            if current_td.status is TransactionStatus.ABORTING:
+                continue  # already being torn down higher in the stack
+            closure.append(current_td)
+            for edge in self.dependencies.edges_involving(current):
+                if edge.dep_type is DependencyType.GC:
+                    stack.append(edge.other(current))
+                elif (
+                    edge.dep_type in (DependencyType.AD, DependencyType.BCD)
+                    and edge.dependee == current
+                ):
+                    stack.append(edge.dependent)
+        return closure
+
+    def _finish_abort_group(self, closure):
+        tids = [td.tid for td in closure]
+        # Step 2: coordinated undo across the whole closure.
+        self.storage.undo_many(tids)
+        for td in closure:
+            tid = td.tid
+            # Step 3: release all locks held by the member.
+            self.lock_manager.release_all(td)
+            # Steps 4-5: drop every dependency edge touching the member
+            # (cascades were already captured by the closure).
+            self.dependencies.remove_involving(tid)
+            self.permits.remove_involving(tid)
+            # Step 6: terminal state, log completion.
+            self.storage.log_abort(tid)
+            td.set_status(TransactionStatus.ABORTED)
+            self.stats["aborted"] += 1
+            self.events.emit(EventKind.ABORTED, tid, reason=td.abort_reason)
+
+    # ------------------------------------------------------------------
+    # maintenance
+    # ------------------------------------------------------------------
+
+    def checkpoint(self, truncate=False):
+        """Flush pages and write a checkpoint record naming active tids.
+
+        ``truncate=True`` discards the log when the system is quiescent
+        (no active transactions), bounding restart-recovery time.
+        """
+        with self._mutex:
+            active = [
+                td.tid for td in self.table if td.status.is_active
+            ]
+            return self.storage.checkpoint(active=active, truncate=truncate)

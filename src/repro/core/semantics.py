@@ -1,0 +1,108 @@
+"""Operation semantics: what conflicts with what.
+
+Section 2 treats operations abstractly ("operations that conflict with
+t_i's operations"); section 4 concretizes to ``read`` / ``write`` lock
+modes.  Section 5 sketches the future-work direction — exploiting
+commutativity of class-specific methods ("operations to increase an
+existing employee's salary and to add a new employee to a department
+commute").
+
+This module supports both: a :class:`ConflictTable` whose default entries
+are the classic read/write matrix, extensible with new operation names and
+commutativity declarations.  The lock manager consults the table, so
+semantic concurrency (EX12) falls out of the same locking algorithm.
+"""
+
+from __future__ import annotations
+
+READ = "read"
+WRITE = "write"
+
+
+class ConflictTable:
+    """Conflict and coverage relations over named operations.
+
+    Two operations *conflict* unless declared compatible.  The default
+    table knows ``read`` and ``write``: read/read is compatible, every pair
+    involving write conflicts.  ``covers`` says when a held operation lock
+    also satisfies a new request (``write`` covers ``read``).
+
+    Unknown operation names default to conflicting with everything except
+    themselves when declared commutative — callers register operations
+    explicitly to avoid surprises.
+    """
+
+    def __init__(self):
+        self._compatible = set()
+        self._covers = set()
+        self._operations = set()
+        self.register(READ)
+        self.register(WRITE)
+        self.declare_compatible(READ, READ)
+        self.declare_covers(WRITE, READ)
+
+    def register(self, operation):
+        """Make ``operation`` a known name (idempotent)."""
+        self._operations.add(operation)
+        # Every operation covers (and trivially does not need) itself.
+        self._covers.add((operation, operation))
+        return operation
+
+    @property
+    def operations(self):
+        """The registered operation names."""
+        return frozenset(self._operations)
+
+    def declare_compatible(self, op_a, op_b):
+        """Declare that ``op_a`` and ``op_b`` do not conflict (symmetric)."""
+        self.register(op_a)
+        self.register(op_b)
+        self._compatible.add((op_a, op_b))
+        self._compatible.add((op_b, op_a))
+
+    def declare_commutative(self, operation):
+        """Declare ``operation`` compatible with itself (e.g. increment)."""
+        self.declare_compatible(operation, operation)
+
+    def declare_covers(self, held, requested):
+        """Declare that holding ``held`` satisfies a request for ``requested``."""
+        self.register(held)
+        self.register(requested)
+        self._covers.add((held, requested))
+
+    def conflicts(self, op_a, op_b):
+        """Whether the two operations conflict."""
+        return (op_a, op_b) not in self._compatible
+
+    def conflicts_any(self, held_ops, requested):
+        """Whether ``requested`` conflicts with any operation in ``held_ops``."""
+        return any(self.conflicts(held, requested) for held in held_ops)
+
+    def covers(self, held_ops, requested):
+        """Whether operations already held satisfy the new request."""
+        return any((held, requested) in self._covers for held in held_ops)
+
+    @classmethod
+    def with_counter_ops(cls):
+        """A table extended with commuting ``increment``/``decrement``.
+
+        The section 5 example: increments commute with each other (and with
+        decrements) but conflict with plain reads and writes.
+        """
+        table = cls()
+        table.declare_commutative("increment")
+        table.declare_commutative("decrement")
+        table.declare_compatible("increment", "decrement")
+        return table
+
+    @classmethod
+    def with_set_ops(cls):
+        """A table extended with commuting set insertions.
+
+        Section 5: "operations ... to add a new employee to a department
+        commute"; insertions of distinct elements commute, which this
+        coarse table approximates by declaring ``insert`` self-commutative.
+        """
+        table = cls()
+        table.declare_commutative("insert")
+        return table

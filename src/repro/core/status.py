@@ -1,0 +1,87 @@
+"""The transaction status machine.
+
+Section 2.1 defines the vocabulary this enum captures:
+
+* *initiated* — registered via ``initiate`` but not yet begun;
+* *running* — executing its code;
+* *completed* — its code has finished; locks are retained and changes are
+  not yet persistent ("the transaction manager records the completion");
+* *committing* / *aborting* — transitional states used by the section 4.2
+  commit and abort algorithms;
+* *committed* / *aborted* — terminated.
+
+A transaction is **active** if it has begun and not terminated (running or
+completed, possibly mid-commit/mid-abort).
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.common.errors import InvalidStateError
+
+
+class TransactionStatus(enum.Enum):
+    """Lifecycle states of a transaction."""
+
+    INITIATED = "initiated"
+    RUNNING = "running"
+    COMPLETED = "completed"
+    COMMITTING = "committing"
+    COMMITTED = "committed"
+    ABORTING = "aborting"
+    ABORTED = "aborted"
+
+    @property
+    def is_terminated(self):
+        """Committed or aborted (section 2.1's *terminated*)."""
+        return self in (TransactionStatus.COMMITTED, TransactionStatus.ABORTED)
+
+    @property
+    def is_active(self):
+        """Begun but not terminated."""
+        return self in (
+            TransactionStatus.RUNNING,
+            TransactionStatus.COMPLETED,
+            TransactionStatus.COMMITTING,
+            TransactionStatus.ABORTING,
+        )
+
+    @property
+    def is_abort_bound(self):
+        """Aborting or already aborted."""
+        return self in (TransactionStatus.ABORTING, TransactionStatus.ABORTED)
+
+
+_ALLOWED = {
+    TransactionStatus.INITIATED: {
+        TransactionStatus.RUNNING,
+        TransactionStatus.ABORTING,
+        TransactionStatus.ABORTED,
+    },
+    TransactionStatus.RUNNING: {
+        TransactionStatus.COMPLETED,
+        TransactionStatus.ABORTING,
+    },
+    TransactionStatus.COMPLETED: {
+        TransactionStatus.COMMITTING,
+        TransactionStatus.ABORTING,
+    },
+    TransactionStatus.COMMITTING: {
+        TransactionStatus.COMMITTED,
+        TransactionStatus.COMPLETED,  # commit blocked: back off and retry
+        TransactionStatus.ABORTING,
+    },
+    TransactionStatus.ABORTING: {TransactionStatus.ABORTED},
+    TransactionStatus.COMMITTED: set(),
+    TransactionStatus.ABORTED: set(),
+}
+
+
+def check_transition(current, target):
+    """Raise :class:`InvalidStateError` unless ``current -> target`` is legal."""
+    if target not in _ALLOWED[current]:
+        raise InvalidStateError(
+            f"illegal status transition {current.value} -> {target.value}"
+        )
+    return target

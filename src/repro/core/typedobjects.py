@@ -1,0 +1,191 @@
+"""Typed object views: the section 5 programme, made usable.
+
+The paper's future work is to "capitalize on the semantics of objects
+... by taking into account the compatibility of class specific operations
+(methods)".  The machinery exists in :mod:`repro.core.semantics` (the
+conflict table) and :meth:`TransactionManager.try_operation` (operation
+locks); this module packages it as typed object wrappers a transaction
+body can call directly:
+
+* :class:`Counter` — ``increment``/``decrement`` commute with each other
+  (the paper's salary-raise example) but conflict with plain read/write;
+* :class:`TxRecord` — a field-structured record where updates to
+  *disjoint field sets* commute ("operations that update an employee's
+  salary and change the employee's department commute");
+* :class:`TxSet` — a set where insertions commute (the add-an-employee
+  example).
+
+Each wrapper's methods build :class:`~repro.runtime.program.Operation`
+requests, so bodies use them with ``yield``::
+
+    counter = Counter(oid)
+    new_value = yield counter.increment(tx, 5)
+
+Use :func:`semantic_conflict_table` (or compose your own) when building
+the :class:`~repro.core.manager.TransactionManager`, so the lock manager
+knows which of these operations commute.
+"""
+
+from __future__ import annotations
+
+from repro.common.codec import decode_int, decode_json, encode_int, encode_json
+from repro.core.semantics import READ, WRITE, ConflictTable
+
+
+def semantic_conflict_table():
+    """A conflict table covering every operation this module issues.
+
+    * ``increment``/``decrement`` commute (counters);
+    * ``insert`` commutes with itself (sets);
+    * ``update:<field>`` operations commute when their field names
+      differ — a one-table approximation registered lazily by
+      :meth:`TxRecord.update`; call :func:`register_record_fields` up
+      front for the fields your records use.
+    """
+    table = ConflictTable()
+    table.declare_commutative("increment")
+    table.declare_commutative("decrement")
+    table.declare_compatible("increment", "decrement")
+    table.declare_commutative("insert")
+    return table
+
+
+def register_record_fields(table, fields):
+    """Declare that updates to distinct ``fields`` commute.
+
+    Each field gets an ``update:<field>`` operation; different fields'
+    updates are compatible, same-field updates conflict.
+    """
+    operations = [f"update:{field}" for field in fields]
+    for op in operations:
+        table.register(op)
+    for i, first in enumerate(operations):
+        for second in operations[i + 1 :]:
+            table.declare_compatible(first, second)
+    return table
+
+
+class Counter:
+    """An integer counter with commuting increments."""
+
+    def __init__(self, oid):
+        self.oid = oid
+
+    def increment(self, tx, amount=1):
+        """Request: add ``amount``; result is the new value."""
+
+        def transform(raw):
+            value = decode_int(raw) + amount
+            return encode_int(value), value
+
+        return tx.operation(self.oid, "increment", transform)
+
+    def decrement(self, tx, amount=1):
+        """Request: subtract ``amount``; result is the new value."""
+
+        def transform(raw):
+            value = decode_int(raw) - amount
+            return encode_int(value), value
+
+        return tx.operation(self.oid, "decrement", transform)
+
+    def get(self, tx):
+        """Request: read the current value (a plain read lock)."""
+
+        def transform(raw):
+            return None, decode_int(raw)
+
+        return tx.operation(self.oid, READ, transform)
+
+    def set(self, tx, value):
+        """Request: overwrite the counter (a plain write lock)."""
+
+        def transform(raw):
+            return encode_int(value), value
+
+        return tx.operation(self.oid, WRITE, transform)
+
+
+class TxRecord:
+    """A JSON record whose per-field updates commute across fields."""
+
+    def __init__(self, oid):
+        self.oid = oid
+
+    def update(self, tx, field, value):
+        """Request: set one field under an ``update:<field>`` lock."""
+
+        def transform(raw):
+            record = decode_json(raw)
+            record[field] = value
+            return encode_json(record), record
+
+        return tx.operation(self.oid, f"update:{field}", transform)
+
+    def apply(self, tx, field, function):
+        """Request: transform one field under its field lock."""
+
+        def transform(raw):
+            record = decode_json(raw)
+            record[field] = function(record.get(field))
+            return encode_json(record), record[field]
+
+        return tx.operation(self.oid, f"update:{field}", transform)
+
+    def get(self, tx, field=None):
+        """Request: read the record (or one field) under a read lock."""
+
+        def transform(raw):
+            record = decode_json(raw)
+            return None, record if field is None else record.get(field)
+
+        return tx.operation(self.oid, READ, transform)
+
+
+class TxSet:
+    """A set (stored as a sorted JSON list) with commuting inserts."""
+
+    def __init__(self, oid):
+        self.oid = oid
+
+    def insert(self, tx, element):
+        """Request: add ``element``; result says whether it was new."""
+
+        def transform(raw):
+            elements = decode_json(raw)
+            if element in elements:
+                return None, False
+            elements.append(element)
+            elements.sort()
+            return encode_json(elements), True
+
+        return tx.operation(self.oid, "insert", transform)
+
+    def remove(self, tx, element):
+        """Request: remove ``element`` (a plain write: removals do not
+        commute with membership checks)."""
+
+        def transform(raw):
+            elements = decode_json(raw)
+            if element not in elements:
+                return None, False
+            elements.remove(element)
+            return encode_json(elements), True
+
+        return tx.operation(self.oid, WRITE, transform)
+
+    def contains(self, tx, element):
+        """Request: membership test under a read lock."""
+
+        def transform(raw):
+            return None, element in decode_json(raw)
+
+        return tx.operation(self.oid, READ, transform)
+
+    def members(self, tx):
+        """Request: the full membership list under a read lock."""
+
+        def transform(raw):
+            return None, list(decode_json(raw))
+
+        return tx.operation(self.oid, READ, transform)

@@ -1,0 +1,170 @@
+"""Abstract syntax tree for the transaction mini-language."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+# -- expressions -------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Expr:
+    """Base class for expressions."""
+
+
+@dataclass(frozen=True)
+class Number(Expr):
+    value: int = 0
+
+
+@dataclass(frozen=True)
+class String(Expr):
+    value: str = ""
+
+
+@dataclass(frozen=True)
+class Var(Expr):
+    name: str = ""
+
+
+@dataclass(frozen=True)
+class ReadExpr(Expr):
+    """``read(obj)`` — a locked read of a named object."""
+
+    obj: str = ""
+
+
+@dataclass(frozen=True)
+class BinOp(Expr):
+    op: str = ""
+    left: Expr = None
+    right: Expr = None
+
+
+@dataclass(frozen=True)
+class Neg(Expr):
+    operand: Expr = None
+
+
+# -- statements -----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Stmt:
+    """Base class for statements."""
+
+
+@dataclass(frozen=True)
+class WriteStmt(Stmt):
+    """``write(obj, expr);``"""
+
+    obj: str = ""
+    value: Expr = None
+
+
+@dataclass(frozen=True)
+class AssignStmt(Stmt):
+    """``var = expr;``"""
+
+    name: str = ""
+    value: Expr = None
+
+
+@dataclass(frozen=True)
+class AbortStmt(Stmt):
+    """``abort;`` — abort the enclosing transaction."""
+
+
+@dataclass(frozen=True)
+class ReturnStmt(Stmt):
+    """``return expr;`` — the transaction body's value."""
+
+    value: Expr = None
+
+
+@dataclass(frozen=True)
+class IfStmt(Stmt):
+    """``if (cond) { ... } else { ... }``"""
+
+    condition: Expr = None
+    then_block: tuple = ()
+    else_block: tuple = ()
+
+
+@dataclass(frozen=True)
+class SubTransStmt(Stmt):
+    """A nested ``trans { ... }``.
+
+    ``required`` selects between the trip semantics (child failure aborts
+    the parent) and ``try trans`` (the parent survives; the variable
+    ``bound_to``, when set by ``var = try trans {...}`` syntax, receives
+    1/0).
+    """
+
+    body: tuple = ()
+    required: bool = True
+    bound_to: str = ""
+
+
+# -- top-level units --------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TransUnit:
+    """One ``trans { ... }`` block at top level."""
+
+    body: tuple = ()
+
+
+@dataclass(frozen=True)
+class ParallelUnit:
+    """``trans{} || trans{} || ...`` — a distributed transaction."""
+
+    components: tuple = ()
+
+
+@dataclass(frozen=True)
+class ContingentUnit:
+    """``trans{} else trans{} else ...`` — a contingent transaction."""
+
+    alternatives: tuple = ()
+
+
+@dataclass(frozen=True)
+class SagaStepNode:
+    """One saga component with an optional compensation block."""
+
+    body: tuple = ()
+    compensation: tuple = None
+
+
+@dataclass(frozen=True)
+class SagaUnit:
+    """``saga { trans{} compensating trans{} ... }``"""
+
+    steps: tuple = ()
+
+
+@dataclass(frozen=True)
+class WorkflowTaskNode:
+    """One workflow task declaration.
+
+    ``alternatives`` are statement blocks tried contingently (or raced
+    with ``race``); ``compensation`` is an optional statement block run
+    during backward recovery.
+    """
+
+    name: str = ""
+    optional: bool = False
+    race: bool = False
+    requires: tuple = ()
+    alternatives: tuple = ()
+    compensation: tuple = None
+
+
+@dataclass(frozen=True)
+class WorkflowUnit:
+    """``workflow { task a {...} optional race task b {...} ... }``"""
+
+    tasks: tuple = ()

@@ -1,0 +1,229 @@
+"""Compiler: mini-language AST → primitive programs.
+
+Each ``trans`` block compiles to a transaction body (a generator function
+over the :class:`~repro.runtime.program.TxnContext` request vocabulary);
+top-level composition compiles to the section 3 translation schemes in
+:mod:`repro.models`.  Object names are bound to object ids at execution
+time through the environment, so one compiled unit can run against many
+databases.
+
+Values the language manipulates (integers and strings) are stored in
+objects JSON-encoded.
+"""
+
+from __future__ import annotations
+
+from repro.common.codec import decode_json, encode_json
+from repro.common.errors import AssetError
+from repro.lang import ast_nodes as ast
+from repro.lang.parser import parse
+from repro.models.atomic import run_atomic
+from repro.models.contingent import run_contingent
+from repro.models.distributed import run_distributed
+from repro.models.nested import attempt_subtransaction, require_subtransaction
+from repro.models.saga import Saga, run_saga
+from repro.workflow.engine import WorkflowEngine
+from repro.workflow.spec import WorkflowSpec
+
+
+class _Environment:
+    """Execution-time bindings: object name → oid, initial variables."""
+
+    def __init__(self, objects=None, variables=None):
+        self.objects = dict(objects or {})
+        self.variables = dict(variables or {})
+
+    def oid_of(self, name):
+        try:
+            return self.objects[name]
+        except KeyError:
+            raise AssetError(
+                f"program references unknown object {name!r}"
+            ) from None
+
+
+# ---------------------------------------------------------------------------
+# the statement/expression interpreter (a generator over requests)
+# ---------------------------------------------------------------------------
+
+_RETURN = "return"
+
+
+def _evaluate(tx, env, scope, expr):
+    """Evaluate ``expr``; a generator so ``read`` can issue requests."""
+    if isinstance(expr, ast.Number):
+        return expr.value
+    if isinstance(expr, ast.String):
+        return expr.value
+    if isinstance(expr, ast.Var):
+        if expr.name not in scope:
+            raise AssetError(f"undefined variable {expr.name!r}")
+        return scope[expr.name]
+    if isinstance(expr, ast.ReadExpr):
+        raw = yield tx.read(env.oid_of(expr.obj))
+        return decode_json(raw)
+    if isinstance(expr, ast.Neg):
+        value = yield from _evaluate(tx, env, scope, expr.operand)
+        return -value
+    if isinstance(expr, ast.BinOp):
+        left = yield from _evaluate(tx, env, scope, expr.left)
+        if expr.op == "and":
+            if not left:
+                return left
+            return (yield from _evaluate(tx, env, scope, expr.right))
+        if expr.op == "or":
+            if left:
+                return left
+            return (yield from _evaluate(tx, env, scope, expr.right))
+        right = yield from _evaluate(tx, env, scope, expr.right)
+        if expr.op == "+":
+            return left + right
+        if expr.op == "-":
+            return left - right
+        if expr.op == "*":
+            return left * right
+        if expr.op == "==":
+            return 1 if left == right else 0
+        if expr.op == "!=":
+            return 1 if left != right else 0
+        if expr.op == "<":
+            return 1 if left < right else 0
+        if expr.op == ">":
+            return 1 if left > right else 0
+        if expr.op == "<=":
+            return 1 if left <= right else 0
+        if expr.op == ">=":
+            return 1 if left >= right else 0
+    raise AssetError(f"cannot evaluate {expr!r}")
+
+
+def _execute_block(tx, env, scope, block):
+    """Execute statements; returns ``(_RETURN, value)`` or ``None``."""
+    for statement in block:
+        if isinstance(statement, ast.WriteStmt):
+            value = yield from _evaluate(tx, env, scope, statement.value)
+            yield tx.write(env.oid_of(statement.obj), encode_json(value))
+        elif isinstance(statement, ast.AssignStmt):
+            scope[statement.name] = yield from _evaluate(
+                tx, env, scope, statement.value
+            )
+        elif isinstance(statement, ast.AbortStmt):
+            yield tx.abort()
+            return (_RETURN, None)  # the runtime stops the program here
+        elif isinstance(statement, ast.ReturnStmt):
+            value = yield from _evaluate(tx, env, scope, statement.value)
+            return (_RETURN, value)
+        elif isinstance(statement, ast.IfStmt):
+            condition = yield from _evaluate(
+                tx, env, scope, statement.condition
+            )
+            chosen = statement.then_block if condition else statement.else_block
+            result = yield from _execute_block(tx, env, scope, chosen)
+            if result is not None:
+                return result
+        elif isinstance(statement, ast.SubTransStmt):
+            child_body = _make_body(env, statement.body, dict(scope))
+            helper = (
+                require_subtransaction
+                if statement.required
+                else attempt_subtransaction
+            )
+            outcome = yield from helper(tx, child_body)
+            if statement.bound_to:
+                scope[statement.bound_to] = 1 if outcome else 0
+        else:
+            raise AssetError(f"cannot execute {statement!r}")
+    return None
+
+
+def _make_body(env, block, initial_scope=None):
+    """Compile a statement block into a transaction body."""
+
+    def body(tx):
+        scope = dict(env.variables)
+        if initial_scope:
+            scope.update(initial_scope)
+        result = yield from _execute_block(tx, env, scope, block)
+        if result is not None:
+            return result[1]
+        return None
+
+    return body
+
+
+# ---------------------------------------------------------------------------
+# compiled units
+# ---------------------------------------------------------------------------
+
+
+class CompiledUnit:
+    """A compiled top-level program, executable against a runtime."""
+
+    def __init__(self, unit):
+        self.unit = unit
+
+    @property
+    def model(self):
+        """Which translation scheme this unit uses (for introspection)."""
+        return {
+            ast.TransUnit: "atomic",
+            ast.ParallelUnit: "distributed",
+            ast.ContingentUnit: "contingent",
+            ast.SagaUnit: "saga",
+            ast.WorkflowUnit: "workflow",
+        }[type(self.unit)]
+
+    def execute(self, runtime, objects=None, variables=None):
+        """Run the program.  ``objects`` maps language object names to
+        object ids; ``variables`` seeds each body's scope.  Returns the
+        underlying model's result object."""
+        env = _Environment(objects=objects, variables=variables)
+        unit = self.unit
+        if isinstance(unit, ast.TransUnit):
+            return run_atomic(runtime, _make_body(env, unit.body))
+        if isinstance(unit, ast.ParallelUnit):
+            return run_distributed(
+                runtime,
+                [_make_body(env, comp.body) for comp in unit.components],
+            )
+        if isinstance(unit, ast.ContingentUnit):
+            return run_contingent(
+                runtime,
+                [_make_body(env, alt.body) for alt in unit.alternatives],
+            )
+        if isinstance(unit, ast.SagaUnit):
+            saga = Saga()
+            for index, step in enumerate(unit.steps):
+                compensation = (
+                    _make_body(env, step.compensation)
+                    if step.compensation is not None
+                    else None
+                )
+                saga.step(
+                    _make_body(env, step.body),
+                    compensation,
+                    name=f"t{index + 1}",
+                )
+            return run_saga(runtime, saga)
+        if isinstance(unit, ast.WorkflowUnit):
+            spec = WorkflowSpec(name="compiled-workflow")
+            for node in unit.tasks:
+                task = spec.task(
+                    node.name,
+                    optional=node.optional,
+                    race=node.race,
+                    depends_on=node.requires,
+                )
+                for index, block in enumerate(node.alternatives):
+                    task.alternative(
+                        _make_body(env, block), label=f"alt{index}"
+                    )
+                if node.compensation is not None:
+                    task.compensate_with(_make_body(env, node.compensation))
+            return WorkflowEngine(runtime).execute(spec)
+        raise AssetError(f"cannot execute unit {unit!r}")
+
+
+def compile_source(source):
+    """Parse and compile a mini-language program."""
+    return CompiledUnit(parse(source))

@@ -1,0 +1,91 @@
+"""Tokenizer for the transaction mini-language."""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.common.errors import AssetError
+
+KEYWORDS = {
+    "trans",
+    "else",
+    "saga",
+    "compensating",
+    "if",
+    "abort",
+    "write",
+    "read",
+    "return",
+    "try",
+    "and",
+    "or",
+    "workflow",
+    "task",
+    "optional",
+    "race",
+    "requires",
+}
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+|//[^\n]*)
+  | (?P<number>\d+)
+  | (?P<string>"(?:[^"\\]|\\.)*")
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<op>\|\||==|!=|<=|>=|[{}();,=+\-*<>])
+    """,
+    re.VERBOSE,
+)
+
+
+class LangSyntaxError(AssetError):
+    """A lexing or parsing error, with position information."""
+
+    def __init__(self, message, line, column):
+        super().__init__(f"line {line}, column {column}: {message}")
+        self.line = line
+        self.column = column
+
+
+@dataclass(frozen=True)
+class Token:
+    """One token: a kind, its text, and its source position."""
+
+    kind: str  # "number" | "string" | "ident" | "keyword" | "op" | "eof"
+    text: str
+    line: int
+    column: int
+
+    def __repr__(self):
+        return f"Token({self.kind}, {self.text!r}, {self.line}:{self.column})"
+
+
+def tokenize(source):
+    """Tokenize ``source``; raises :class:`LangSyntaxError` on bad input."""
+    tokens = []
+    line = 1
+    line_start = 0
+    position = 0
+    while position < len(source):
+        match = _TOKEN_RE.match(source, position)
+        if match is None:
+            raise LangSyntaxError(
+                f"unexpected character {source[position]!r}",
+                line,
+                position - line_start + 1,
+            )
+        column = match.start() - line_start + 1
+        text = match.group()
+        if match.lastgroup == "ws":
+            line += text.count("\n")
+            if "\n" in text:
+                line_start = match.start() + text.rindex("\n") + 1
+        elif match.lastgroup == "ident":
+            kind = "keyword" if text in KEYWORDS else "ident"
+            tokens.append(Token(kind, text, line, column))
+        else:
+            tokens.append(Token(match.lastgroup, text, line, column))
+        position = match.end()
+    tokens.append(Token("eof", "", line, len(source) - line_start + 1))
+    return tokens

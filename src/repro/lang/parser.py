@@ -1,0 +1,299 @@
+"""Recursive-descent parser for the transaction mini-language."""
+
+from __future__ import annotations
+
+from repro.lang import ast_nodes as ast
+from repro.lang.lexer import LangSyntaxError, tokenize
+
+
+class _Parser:
+    def __init__(self, tokens):
+        self.tokens = tokens
+        self.position = 0
+
+    # -- token plumbing ------------------------------------------------------
+
+    def peek(self, offset=0):
+        index = min(self.position + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def advance(self):
+        token = self.peek()
+        if token.kind != "eof":
+            self.position += 1
+        return token
+
+    def check(self, kind, text=None):
+        token = self.peek()
+        return token.kind == kind and (text is None or token.text == text)
+
+    def accept(self, kind, text=None):
+        if self.check(kind, text):
+            return self.advance()
+        return None
+
+    def expect(self, kind, text=None):
+        token = self.peek()
+        if not self.check(kind, text):
+            want = text if text is not None else kind
+            raise LangSyntaxError(
+                f"expected {want!r}, found {token.text or token.kind!r}",
+                token.line,
+                token.column,
+            )
+        return self.advance()
+
+    # -- top level ----------------------------------------------------------------
+
+    def parse_unit(self):
+        if self.check("keyword", "saga"):
+            unit = self.parse_saga()
+        elif self.check("keyword", "workflow"):
+            unit = self.parse_workflow()
+        else:
+            unit = self.parse_chain()
+        self.expect("eof")
+        return unit
+
+    def parse_workflow(self):
+        self.expect("keyword", "workflow")
+        self.expect("op", "{")
+        tasks = []
+        while not self.check("op", "}"):
+            tasks.append(self.parse_task())
+        self.expect("op", "}")
+        if not tasks:
+            token = self.peek()
+            raise LangSyntaxError("empty workflow", token.line, token.column)
+        return ast.WorkflowUnit(tasks=tuple(tasks))
+
+    def parse_task(self):
+        optional = bool(self.accept("keyword", "optional"))
+        race = bool(self.accept("keyword", "race"))
+        if not optional:  # modifiers accepted in either order
+            optional = bool(self.accept("keyword", "optional"))
+        self.expect("keyword", "task")
+        name = self.expect("ident").text
+        requires = []
+        if self.accept("keyword", "requires"):
+            requires.append(self.expect("ident").text)
+            while self.accept("op", ","):
+                requires.append(self.expect("ident").text)
+        self.expect("op", "{")
+        alternatives = [self.parse_trans_block()]
+        while self.accept("keyword", "else"):
+            alternatives.append(self.parse_trans_block())
+        self.expect("op", "}")
+        compensation = None
+        if self.accept("keyword", "compensating"):
+            compensation = self.parse_trans_block()
+        return ast.WorkflowTaskNode(
+            name=name,
+            optional=optional,
+            race=race,
+            requires=tuple(requires),
+            alternatives=tuple(alternatives),
+            compensation=compensation,
+        )
+
+    def parse_chain(self):
+        first = ast.TransUnit(body=self.parse_trans_block())
+        if self.check("op", "||"):
+            components = [first]
+            while self.accept("op", "||"):
+                components.append(
+                    ast.TransUnit(body=self.parse_trans_block())
+                )
+            return ast.ParallelUnit(components=tuple(components))
+        if self.check("keyword", "else"):
+            alternatives = [first]
+            while self.accept("keyword", "else"):
+                alternatives.append(
+                    ast.TransUnit(body=self.parse_trans_block())
+                )
+            return ast.ContingentUnit(alternatives=tuple(alternatives))
+        return first
+
+    def parse_saga(self):
+        self.expect("keyword", "saga")
+        self.expect("op", "{")
+        steps = []
+        while not self.check("op", "}"):
+            body = self.parse_trans_block()
+            compensation = None
+            if self.accept("keyword", "compensating"):
+                compensation = self.parse_trans_block()
+            steps.append(
+                ast.SagaStepNode(body=body, compensation=compensation)
+            )
+        self.expect("op", "}")
+        if not steps:
+            token = self.peek()
+            raise LangSyntaxError("empty saga", token.line, token.column)
+        return ast.SagaUnit(steps=tuple(steps))
+
+    def parse_trans_block(self):
+        self.expect("keyword", "trans")
+        return self.parse_block()
+
+    def parse_block(self):
+        self.expect("op", "{")
+        statements = []
+        while not self.check("op", "}"):
+            statements.append(self.parse_statement())
+        self.expect("op", "}")
+        return tuple(statements)
+
+    # -- statements -----------------------------------------------------------------
+
+    def parse_statement(self):
+        if self.check("keyword", "abort"):
+            self.advance()
+            self.expect("op", ";")
+            return ast.AbortStmt()
+        if self.check("keyword", "return"):
+            self.advance()
+            value = self.parse_expression()
+            self.expect("op", ";")
+            return ast.ReturnStmt(value=value)
+        if self.check("keyword", "write"):
+            self.advance()
+            self.expect("op", "(")
+            obj = self.expect("ident").text
+            self.expect("op", ",")
+            value = self.parse_expression()
+            self.expect("op", ")")
+            self.expect("op", ";")
+            return ast.WriteStmt(obj=obj, value=value)
+        if self.check("keyword", "if"):
+            return self.parse_if()
+        if self.check("keyword", "trans"):
+            body = self.parse_trans_block()
+            return ast.SubTransStmt(body=body, required=True)
+        if self.check("keyword", "try"):
+            self.advance()
+            body = self.parse_trans_block()
+            return ast.SubTransStmt(body=body, required=False)
+        if self.check("ident") and self.peek(1).kind == "op" and (
+            self.peek(1).text == "="
+        ):
+            name = self.advance().text
+            self.advance()  # '='
+            if self.check("keyword", "try"):
+                self.advance()
+                body = self.parse_trans_block()
+                self.expect("op", ";")
+                return ast.SubTransStmt(
+                    body=body, required=False, bound_to=name
+                )
+            value = self.parse_expression()
+            self.expect("op", ";")
+            return ast.AssignStmt(name=name, value=value)
+        token = self.peek()
+        raise LangSyntaxError(
+            f"unexpected {token.text or token.kind!r} at statement start",
+            token.line,
+            token.column,
+        )
+
+    def parse_if(self):
+        self.expect("keyword", "if")
+        self.expect("op", "(")
+        condition = self.parse_expression()
+        self.expect("op", ")")
+        then_block = self.parse_block()
+        else_block = ()
+        if self.accept("keyword", "else"):
+            else_block = self.parse_block()
+        return ast.IfStmt(
+            condition=condition, then_block=then_block, else_block=else_block
+        )
+
+    # -- expressions --------------------------------------------------------------------
+
+    def parse_expression(self):
+        return self.parse_or()
+
+    def parse_or(self):
+        left = self.parse_and()
+        while self.accept("keyword", "or"):
+            left = ast.BinOp(op="or", left=left, right=self.parse_and())
+        return left
+
+    def parse_and(self):
+        left = self.parse_comparison()
+        while self.accept("keyword", "and"):
+            left = ast.BinOp(op="and", left=left, right=self.parse_comparison())
+        return left
+
+    _COMPARISONS = ("==", "!=", "<=", ">=", "<", ">")
+
+    def parse_comparison(self):
+        left = self.parse_additive()
+        token = self.peek()
+        if token.kind == "op" and token.text in self._COMPARISONS:
+            self.advance()
+            return ast.BinOp(
+                op=token.text, left=left, right=self.parse_additive()
+            )
+        return left
+
+    def parse_additive(self):
+        left = self.parse_multiplicative()
+        while True:
+            token = self.peek()
+            if token.kind == "op" and token.text in ("+", "-"):
+                self.advance()
+                left = ast.BinOp(
+                    op=token.text, left=left,
+                    right=self.parse_multiplicative(),
+                )
+            else:
+                return left
+
+    def parse_multiplicative(self):
+        left = self.parse_unary()
+        while self.check("op", "*"):
+            self.advance()
+            left = ast.BinOp(op="*", left=left, right=self.parse_unary())
+        return left
+
+    def parse_unary(self):
+        if self.accept("op", "-"):
+            return ast.Neg(operand=self.parse_unary())
+        return self.parse_primary()
+
+    def parse_primary(self):
+        token = self.peek()
+        if token.kind == "number":
+            self.advance()
+            return ast.Number(value=int(token.text))
+        if token.kind == "string":
+            self.advance()
+            raw = token.text[1:-1]
+            return ast.String(
+                value=raw.replace('\\"', '"').replace("\\\\", "\\")
+            )
+        if self.check("keyword", "read"):
+            self.advance()
+            self.expect("op", "(")
+            obj = self.expect("ident").text
+            self.expect("op", ")")
+            return ast.ReadExpr(obj=obj)
+        if token.kind == "ident":
+            self.advance()
+            return ast.Var(name=token.text)
+        if self.accept("op", "("):
+            inner = self.parse_expression()
+            self.expect("op", ")")
+            return inner
+        raise LangSyntaxError(
+            f"unexpected {token.text or token.kind!r} in expression",
+            token.line,
+            token.column,
+        )
+
+
+def parse(source):
+    """Parse ``source`` into a top-level unit node."""
+    return _Parser(tokenize(source)).parse_unit()

@@ -1,0 +1,153 @@
+"""Pretty-printer: AST → mini-language source.
+
+The inverse of the parser, up to formatting: ``parse(to_source(unit)) ==
+unit`` for every AST (the round-trip property the test suite checks with
+hypothesis-generated programs).  Useful for storing compiled programs in
+canonical form, for error messages, and as an executable definition of
+the concrete syntax.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import AssetError
+from repro.lang import ast_nodes as ast
+
+_INDENT = "  "
+
+# Parenthesization levels, loosest binding first.
+_LEVELS = {
+    "or": 1,
+    "and": 2,
+    "==": 3, "!=": 3, "<": 3, ">": 3, "<=": 3, ">=": 3,
+    "+": 4, "-": 4,
+    "*": 5,
+}
+_UNARY_LEVEL = 6
+_ATOM_LEVEL = 7
+
+
+def _expr(node, parent_level=0):
+    if isinstance(node, ast.Number):
+        text, level = str(node.value), _ATOM_LEVEL
+    elif isinstance(node, ast.String):
+        escaped = node.value.replace("\\", "\\\\").replace('"', '\\"')
+        text, level = f'"{escaped}"', _ATOM_LEVEL
+    elif isinstance(node, ast.Var):
+        text, level = node.name, _ATOM_LEVEL
+    elif isinstance(node, ast.ReadExpr):
+        text, level = f"read({node.obj})", _ATOM_LEVEL
+    elif isinstance(node, ast.Neg):
+        text = f"-{_expr(node.operand, _UNARY_LEVEL)}"
+        level = _UNARY_LEVEL
+    elif isinstance(node, ast.BinOp):
+        level = _LEVELS[node.op]
+        # Comparisons do not chain in the grammar (non-associative), so
+        # BOTH operands need parens at the same level; the other
+        # operators are left-associative, so only the right side binds
+        # one tighter.
+        comparison = level == 3
+        left = _expr(node.left, level + 1 if comparison else level)
+        right = _expr(node.right, level + 1)
+        text = f"{left} {node.op} {right}"
+    else:
+        raise AssetError(f"cannot print expression {node!r}")
+    if level < parent_level:
+        return f"({text})"
+    return text
+
+
+def _statements(block, depth):
+    pad = _INDENT * depth
+    lines = []
+    for statement in block:
+        if isinstance(statement, ast.WriteStmt):
+            lines.append(
+                f"{pad}write({statement.obj}, {_expr(statement.value)});"
+            )
+        elif isinstance(statement, ast.AssignStmt):
+            lines.append(
+                f"{pad}{statement.name} = {_expr(statement.value)};"
+            )
+        elif isinstance(statement, ast.AbortStmt):
+            lines.append(f"{pad}abort;")
+        elif isinstance(statement, ast.ReturnStmt):
+            lines.append(f"{pad}return {_expr(statement.value)};")
+        elif isinstance(statement, ast.IfStmt):
+            lines.append(f"{pad}if ({_expr(statement.condition)}) {{")
+            lines.extend(_statements(statement.then_block, depth + 1))
+            if statement.else_block:
+                lines.append(f"{pad}}} else {{")
+                lines.extend(_statements(statement.else_block, depth + 1))
+            lines.append(f"{pad}}}")
+        elif isinstance(statement, ast.SubTransStmt):
+            keyword = "trans" if statement.required else "try trans"
+            prefix = (
+                f"{statement.bound_to} = " if statement.bound_to else ""
+            )
+            suffix = ";" if statement.bound_to else ""
+            lines.append(f"{pad}{prefix}{keyword} {{")
+            lines.extend(_statements(statement.body, depth + 1))
+            lines.append(f"{pad}}}{suffix}")
+        else:
+            raise AssetError(f"cannot print statement {statement!r}")
+    return lines
+
+
+def _trans_block(block, depth):
+    pad = _INDENT * depth
+    lines = [f"{pad}trans {{"]
+    lines.extend(_statements(block, depth + 1))
+    lines.append(f"{pad}}}")
+    return lines
+
+
+def to_source(unit):
+    """Render a top-level unit back to mini-language source."""
+    if isinstance(unit, ast.TransUnit):
+        return "\n".join(_trans_block(unit.body, 0))
+    if isinstance(unit, ast.ParallelUnit):
+        parts = [
+            "\n".join(_trans_block(component.body, 0))
+            for component in unit.components
+        ]
+        return "\n||\n".join(parts)
+    if isinstance(unit, ast.ContingentUnit):
+        parts = [
+            "\n".join(_trans_block(alternative.body, 0))
+            for alternative in unit.alternatives
+        ]
+        return "\nelse\n".join(parts)
+    if isinstance(unit, ast.SagaUnit):
+        lines = ["saga {"]
+        for step in unit.steps:
+            lines.extend(_trans_block(step.body, 1))
+            if step.compensation is not None:
+                lines.append(f"{_INDENT}compensating")
+                lines.extend(_trans_block(step.compensation, 1))
+        lines.append("}")
+        return "\n".join(lines)
+    if isinstance(unit, ast.WorkflowUnit):
+        lines = ["workflow {"]
+        for task in unit.tasks:
+            modifiers = ""
+            if task.optional:
+                modifiers += "optional "
+            if task.race:
+                modifiers += "race "
+            requires = (
+                f" requires {', '.join(task.requires)}"
+                if task.requires
+                else ""
+            )
+            lines.append(f"{_INDENT}{modifiers}task {task.name}{requires} {{")
+            for index, block in enumerate(task.alternatives):
+                if index:
+                    lines.append(f"{_INDENT * 2}else")
+                lines.extend(_trans_block(block, 2))
+            lines.append(f"{_INDENT}}}")
+            if task.compensation is not None:
+                lines.append(f"{_INDENT}compensating")
+                lines.extend(_trans_block(task.compensation, 1))
+        lines.append("}")
+        return "\n".join(lines)
+    raise AssetError(f"cannot print unit {unit!r}")

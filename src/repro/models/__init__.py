@@ -1,0 +1,74 @@
+"""The section 3 transaction models, built from the ASSET primitives.
+
+Each module encodes one of the paper's translation schemes — the code the
+envisioned O++ compiler would generate — as a reusable library function:
+
+* :mod:`repro.models.atomic` — standard atomic transactions (3.1.1);
+* :mod:`repro.models.distributed` — group-commit distributed
+  transactions (3.1.2);
+* :mod:`repro.models.contingent` — ordered alternatives, at most one
+  commits (3.1.3);
+* :mod:`repro.models.nested` — nested transactions via permit + delegate
+  (3.1.4);
+* :mod:`repro.models.split` — split/join transactions (3.1.5);
+* :mod:`repro.models.saga` — sagas with compensation (3.1.6);
+* :mod:`repro.models.cooperative` — cooperating transactions with permit
+  ping-pong (3.2.1);
+* :mod:`repro.models.cursor` — cursor stability (3.2.2);
+* :mod:`repro.models.relation` — ordered record collections ("records
+  within a relation") with phantom-protected scans, the substrate the
+  cursor model ranges over.
+"""
+
+from repro.models.atomic import run_atomic
+from repro.models.contingent import ContingentResult, run_contingent
+from repro.models.cooperative import (
+    cooperate,
+    couple_commits,
+    establish_cooperation,
+)
+from repro.models.cursor import cursor_scan, release_record
+from repro.models.distributed import DistributedResult, run_distributed
+from repro.models.nested import (
+    attempt_subtransaction,
+    parallel_subtransactions,
+    require_subtransaction,
+)
+from repro.models.relation import (
+    create_relation,
+    delete_record,
+    insert_record,
+    record_oids,
+    scan_relation,
+    update_record,
+)
+from repro.models.saga import Saga, SagaResult, SagaStep, run_saga
+from repro.models.split import join_transaction, split_transaction
+
+__all__ = [
+    "ContingentResult",
+    "DistributedResult",
+    "Saga",
+    "SagaResult",
+    "SagaStep",
+    "attempt_subtransaction",
+    "cooperate",
+    "couple_commits",
+    "create_relation",
+    "cursor_scan",
+    "delete_record",
+    "establish_cooperation",
+    "insert_record",
+    "join_transaction",
+    "parallel_subtransactions",
+    "record_oids",
+    "release_record",
+    "scan_relation",
+    "update_record",
+    "require_subtransaction",
+    "run_atomic",
+    "run_contingent",
+    "run_distributed",
+    "run_saga",
+    "split_transaction",
+]

@@ -1,0 +1,37 @@
+"""Atomic transactions (section 3.1.1).
+
+The O++ compiler takes ``trans { body }`` and emits::
+
+    tid t;
+    if ((t = initiate(f)) != NULL) {
+        if (begin(t)) {
+            commit(t);
+        }
+    }
+
+:func:`run_atomic` is that exact skeleton.  Serializability comes from the
+lock manager (no permits involved); failure atomicity from before-image
+undo on abort.
+"""
+
+from __future__ import annotations
+
+from repro.runtime.coop import RunResult
+
+
+def run_atomic(runtime, body, args=()):
+    """Execute ``body`` as a standard atomic transaction.
+
+    Returns a :class:`~repro.runtime.coop.RunResult`; ``committed`` is
+    False when initiation failed (resource limit), the body aborted
+    itself, it was chosen as a deadlock victim, or it raised.
+    """
+    tid = runtime.initiate(body, args=args)
+    if not tid:
+        return RunResult(tid=tid, committed=False)
+    if not runtime.begin(tid):
+        return RunResult(tid=tid, committed=False)
+    committed = runtime.commit(tid)
+    return RunResult(
+        tid=tid, committed=bool(committed), value=runtime.result_of(tid)
+    )

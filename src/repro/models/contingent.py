@@ -1,0 +1,55 @@
+"""Contingent transactions (section 3.1.3).
+
+``trans {f1()} else trans {f2()} else ... else trans {fn()}`` — the
+alternatives are executed *in the order specified* and **at most one**
+commits.  The paper's translation tries each in turn::
+
+    t1 = initiate(f1); begin(t1);
+    if (commit(t1)); else { t2 = initiate(f2); ... }
+
+:func:`run_contingent` reproduces the scheme and reports which
+alternative (if any) committed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class ContingentResult:
+    """Outcome of a contingent transaction."""
+
+    committed: bool
+    chosen_index: int = -1  # which alternative committed; -1 = none
+    tid: object = None
+    value: object = None
+    attempts: tuple = ()  # tids tried, in order
+
+    def __bool__(self):
+        return self.committed
+
+
+def run_contingent(runtime, alternatives):
+    """Try ``alternatives`` (callables or ``(callable, args)`` pairs) in
+    order until one commits.  At most one commits."""
+    attempts = []
+    for index, alternative in enumerate(alternatives):
+        function, args = (
+            alternative if isinstance(alternative, tuple) else (alternative, ())
+        )
+        tid = runtime.initiate(function, args=args)
+        if not tid:
+            continue
+        attempts.append(tid)
+        if not runtime.begin(tid):
+            continue
+        if runtime.commit(tid):
+            return ContingentResult(
+                committed=True,
+                chosen_index=index,
+                tid=tid,
+                value=runtime.result_of(tid),
+                attempts=tuple(attempts),
+            )
+    return ContingentResult(committed=False, attempts=tuple(attempts))

@@ -1,0 +1,65 @@
+"""Cooperating transactions (section 3.2.1).
+
+Two transactions work on a shared (design) object by exchanging permits —
+"ping-ponging" — while dependencies keep the outcome coherent::
+
+    form_dependency(CD, t_i, t_j);   // t_j cannot commit before t_i ends
+    permit(t_i, t_j, ob, op);        // t_j may conflict with t_i on ob
+    ...
+    permit(t_j, t_i, ob, op);        // and back
+
+The paper adds that a second CD in the opposite direction would make the
+pair commit together or not at all — a CD cycle, which is exactly the
+group-commit dependency; :func:`couple_commits` uses GC for that, and the
+dependency graph's cycle check is why the literal CD-cycle form is
+refused.
+
+Helpers come in two flavours: *body-level* generator fragments
+(:func:`cooperate`) yielded from inside a transaction program, and a
+*manager-level* call (:func:`establish_cooperation`) a coordinator can
+apply to two live transactions.
+"""
+
+from __future__ import annotations
+
+from repro.core.dependency import DependencyType
+
+
+def cooperate(tx, other, oids, operations=None):
+    """Body-level: let ``other`` conflict with me on ``oids``.
+
+    Forms the CD (``other`` cannot commit before I terminate) and issues
+    the permit — one half of the ping-pong; the peer calls the same
+    helper to complete it.
+    """
+    yield tx.form_dependency(DependencyType.CD, tx.tid, other)
+    yield tx.permit(receiver=other, oids=oids, operations=operations)
+
+
+def establish_cooperation(manager, ti, tj, oids, operations=None,
+                          mutual=True):
+    """Manager-level: set up (one- or two-way) cooperation between two
+    live transactions on ``oids``.
+
+    One-way (``mutual=False``) is the paper's first code fragment; mutual
+    cooperation issues both permits and both commit orderings.  The
+    second CD would close a cycle, so the mutual form couples the commits
+    with GC instead (see :func:`couple_commits`).
+    """
+    manager.form_dependency(DependencyType.CD, ti, tj)
+    manager.permit(ti, tj=tj, oids=oids, operations=operations)
+    if mutual:
+        manager.permit(tj, tj=ti, oids=oids, operations=operations)
+        couple_commits(manager, ti, tj)
+
+
+def couple_commits(manager, ti, tj):
+    """Make two cooperating transactions commit together or not at all.
+
+    The paper: "another CD could be established between t_j and t_i if we
+    desire that the two cooperating transactions must both commit or
+    neither" — mutual commit dependency *is* group commit, which is how
+    it is realized here (a CD cycle would block both forever and is
+    refused by the dependency graph).
+    """
+    return manager.form_dependency(DependencyType.GC, ti, tj)

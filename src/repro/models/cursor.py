@@ -1,0 +1,43 @@
+"""Cursor stability (section 3.2.2).
+
+Cursor stability lets a writer ``t_j`` update a record that a reading
+transaction ``t_i`` has *finished* reading, before ``t_i`` commits —
+giving up repeatable reads for concurrency.  In ASSET terms, before the
+cursor moves off a record, the reader executes::
+
+    permit(t_i, record, write)
+
+— the any-transaction form of ``permit``, with no dependency formed, "so
+that t_i and t_j may commit in any order".
+
+:func:`cursor_scan` is a body-level scan with that discipline;
+:func:`release_record` is the single-record primitive for hand-rolled
+cursors.  A repeatable-read scan is just the same loop without the
+permit, which is what the EX8 benchmark compares against.
+"""
+
+from __future__ import annotations
+
+from repro.core.semantics import WRITE
+
+
+def release_record(tx, oid):
+    """Permit any transaction to write ``oid`` (cursor moved past it)."""
+    yield tx.permit(oids=[oid], operations=[WRITE])
+
+
+def cursor_scan(tx, oids, process=None, stable=True):
+    """Scan ``oids`` in order, reading each record.
+
+    With ``stable=True`` (cursor stability) the scan issues the
+    write-permit as the cursor leaves each record; with ``stable=False``
+    it behaves as a repeatable-read scan (read locks held to commit).
+    Returns the list of (processed) values.
+    """
+    results = []
+    for oid in oids:
+        value = yield tx.read(oid)
+        results.append(process(value) if process is not None else value)
+        if stable:
+            yield from release_record(tx, oid)
+    return results

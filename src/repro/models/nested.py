@@ -1,0 +1,143 @@
+"""Nested transactions (section 3.1.4).
+
+The paper's trip example synthesizes, for each subtransaction::
+
+    t1 = initiate(make_airline_reservation);
+    permit(self(), t1);          // child may access parent's objects
+    begin(t1);
+    if (!wait(t1))
+        abort(self());           // child failure cancels the parent
+    delegate(t1, self());        // child's effects become the parent's
+    commit(t1);
+
+Two helpers encode this as composable generator fragments used *inside* a
+parent body via ``yield from``:
+
+* :func:`require_subtransaction` — the trip semantics: child failure
+  aborts the parent (and the whole nest unwinds via before-image undo);
+* :func:`attempt_subtransaction` — the general nested-model semantics:
+  subtransactions "can abort without causing the whole transaction to
+  abort"; the caller sees ``None`` and decides.
+
+On success the child's updates are delegated to the parent, so they become
+permanent only when the topmost root commits — exactly the nested commit
+visibility rule.  Arbitrary nesting depth works because each level issues
+its own permits and receives its own delegations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ChildOutcome:
+    """A successfully absorbed subtransaction: its tid and return value.
+
+    Always truthy, so callers can write ``if not (yield from
+    attempt_subtransaction(...))``.
+    """
+
+    tid: object
+    value: object = None
+
+    def __bool__(self):
+        return True
+
+
+def _spawn_child(tx, body, args):
+    """initiate + permit + begin, shared by both helpers."""
+    child = yield tx.initiate(body, args=args)
+    if not child:
+        return None
+    # permit(self(), t1): the child may perform conflicting operations on
+    # anything the parent currently has access to.
+    yield tx.permit(receiver=child)
+    yield tx.begin(child)
+    return child
+
+
+def attempt_subtransaction(tx, body, args=()):
+    """Run ``body`` as a subtransaction; ``None`` if it aborted.
+
+    On success the child's effects are delegated to the parent and a
+    :class:`ChildOutcome` carrying the child's return value is returned.
+    The parent survives a child abort (failure atomicity *with respect to
+    the parent*).
+    """
+    child = yield from _spawn_child(tx, body, args)
+    if child is None:
+        return None
+    ok = yield tx.wait(child)
+    if not ok:
+        return None
+    yield tx.delegate(tx.tid, source=child)
+    yield tx.commit(child)
+    value = yield tx.result_of(child)
+    return ChildOutcome(tid=child, value=value)
+
+
+def parallel_subtransactions(tx, bodies, require_all=True):
+    """Run sibling subtransactions concurrently.
+
+    The nested model's siblings "execute atomically with respect to"
+    each other; nothing requires them to run one at a time.  This helper
+    initiates, permits, and begins every child before waiting on any, so
+    siblings overlap (on the threaded runtime, genuinely in parallel).
+
+    ``bodies`` is a list of callables or ``(callable, args)`` pairs.
+    With ``require_all`` (the trip semantics) any child failure aborts
+    the parent; otherwise failed children yield ``None`` entries and the
+    survivors' effects are delegated to the parent.  Returns the list of
+    :class:`ChildOutcome`/``None``, in order.
+    """
+    normalized = [
+        body if isinstance(body, tuple) else (body, ()) for body in bodies
+    ]
+    children = []
+    for body, args in normalized:
+        child = yield tx.initiate(body, args=args)
+        if child:
+            yield tx.permit(receiver=child)
+            yield tx.begin(child)
+        children.append(child)
+
+    outcomes = []
+    for child in children:
+        ok = 0 if not child else (yield tx.wait(child))
+        if not ok:
+            if require_all:
+                # Take down in-flight siblings first (a committed one
+                # just answers 0), or they would outlive the parent
+                # holding their locks.
+                for sibling in children:
+                    if sibling and sibling != child:
+                        yield tx.abort(sibling)
+                yield tx.abort()  # abort(self()): the nest unwinds
+                return None
+            outcomes.append(None)
+            continue
+        yield tx.delegate(tx.tid, source=child)
+        yield tx.commit(child)
+        value = yield tx.result_of(child)
+        outcomes.append(ChildOutcome(tid=child, value=value))
+    return outcomes
+
+
+def require_subtransaction(tx, body, args=()):
+    """Run ``body`` as a subtransaction; abort the parent if it fails.
+
+    This is the paper's trip translation verbatim: ``if (!wait(t1))
+    abort(self())``.  After the abort, the parent program stops (nothing
+    after an abort-of-self runs), so the ``return None`` is unreachable in
+    practice.
+    """
+    child = yield from _spawn_child(tx, body, args)
+    ok = 0 if child is None else (yield tx.wait(child))
+    if not ok:
+        yield tx.abort()  # abort(self()) — unwinds the whole nest
+        return None
+    yield tx.delegate(tx.tid, source=child)
+    yield tx.commit(child)
+    value = yield tx.result_of(child)
+    return ChildOutcome(tid=child, value=value)

@@ -1,0 +1,186 @@
+"""Sagas (section 3.1.6).
+
+A saga is a sequence of component transactions ``t_1 ... t_n``, each with
+a compensating transaction ``ct_i`` (the final component needs none:
+"the commitment of t_n implies the commitment of the whole saga").
+Components commit as they go — isolation holds only at component level —
+and an aborted saga must run the compensations of its committed prefix in
+reverse order::
+
+    t_1 t_2 ... t_k ct_k ct_{k-1} ... ct_1
+
+The paper's translation executes components with the standard
+initiate/begin/commit skeleton, counts how many committed, then falls
+through a ``switch`` running compensations newest-first, each retried
+"until it finally commits".
+
+:func:`run_saga` reproduces this, recording the execution order so tests
+can assert the exact ``t_1 ... t_k ct_k ... ct_1`` shape.  A configurable
+retry bound guards against a compensation that can never commit (the
+paper assumes compensations eventually succeed; we surface violations of
+that assumption instead of looping forever).
+
+**Forward recovery** (an extension from the cited SAGAS paper,
+Garcia-Molina & Salem 1987): with ``recovery="forward"`` a failed
+component is *retried* instead of triggering compensation — appropriate
+when every component must eventually succeed (pure sagas).  Retries are
+bounded by ``max_forward_retries``; exhausting them falls back to
+backward recovery so the saga never partially executes either way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import AssetError
+
+
+@dataclass(frozen=True)
+class SagaStep:
+    """One saga component: a body and (except the last) a compensation."""
+
+    body: object
+    compensation: object = None
+    args: tuple = ()
+    compensation_args: tuple = ()
+    name: str = ""
+
+    def label(self, index):
+        """A readable name for execution traces."""
+        return self.name or f"t{index + 1}"
+
+
+@dataclass
+class SagaResult:
+    """Outcome of a saga execution."""
+
+    committed: bool
+    completed_steps: int = 0
+    compensated_steps: int = 0
+    execution_order: list = field(default_factory=list)
+    step_tids: list = field(default_factory=list)
+    compensation_tids: list = field(default_factory=list)
+    values: list = field(default_factory=list)
+
+    def __bool__(self):
+        return self.committed
+
+
+class Saga:
+    """A saga definition: ordered steps with compensations.
+
+    ``recovery`` selects the failure discipline: ``"backward"`` (the
+    paper's — compensate the committed prefix) or ``"forward"`` (retry
+    the failed component up to ``max_forward_retries`` times, falling
+    back to backward recovery if it never commits).
+    """
+
+    def __init__(self, steps=(), max_compensation_retries=100,
+                 recovery="backward", max_forward_retries=10):
+        if recovery not in ("backward", "forward"):
+            raise AssetError(
+                f"unknown recovery discipline: {recovery!r}"
+            )
+        self.steps = list(steps)
+        self.max_compensation_retries = max_compensation_retries
+        self.recovery = recovery
+        self.max_forward_retries = max_forward_retries
+
+    def step(self, body, compensation=None, args=(), compensation_args=(),
+             name=""):
+        """Append a component (fluent: returns self)."""
+        self.steps.append(
+            SagaStep(
+                body=body,
+                compensation=compensation,
+                args=tuple(args),
+                compensation_args=tuple(compensation_args),
+                name=name,
+            )
+        )
+        return self
+
+    def validate(self):
+        """Every non-final step needs a compensation."""
+        for index, step in enumerate(self.steps[:-1]):
+            if step.compensation is None:
+                raise AssetError(
+                    f"saga step {step.label(index)} lacks a compensating"
+                    " transaction (only the final step may)"
+                )
+
+    def run(self, runtime):
+        """Execute the saga on ``runtime``; see :func:`run_saga`."""
+        return run_saga(runtime, self)
+
+
+def run_saga(runtime, saga):
+    """Execute a :class:`Saga` (or a list of :class:`SagaStep`).
+
+    Components run sequentially; the first component that fails to commit
+    stops forward progress and triggers backward recovery: compensations
+    of all committed components, in reverse order, each retried until it
+    commits.
+    """
+    if not isinstance(saga, Saga):
+        saga = Saga(saga)
+    saga.validate()
+    result = SagaResult(committed=False)
+
+    # Forward phase: t_1 t_2 ... until one fails to commit (with
+    # optional forward-recovery retries of the failing component).
+    committed_count = 0
+    for index, step in enumerate(saga.steps):
+        attempts_left = (
+            1 + saga.max_forward_retries
+            if saga.recovery == "forward"
+            else 1
+        )
+        step_committed = False
+        while attempts_left > 0 and not step_committed:
+            attempts_left -= 1
+            tid = runtime.initiate(step.body, args=step.args)
+            result.step_tids.append(tid)
+            if not tid or not runtime.begin(tid):
+                continue
+            if runtime.commit(tid):
+                step_committed = True
+            elif attempts_left > 0:
+                result.execution_order.append(
+                    f"retry-{step.label(index)}"
+                )
+        if not step_committed:
+            break
+        committed_count += 1
+        result.execution_order.append(step.label(index))
+        result.values.append(runtime.result_of(tid))
+    result.completed_steps = committed_count
+
+    if committed_count == len(saga.steps):
+        result.committed = True
+        return result
+
+    # Backward phase: ct_k ct_{k-1} ... ct_1, each retried until commit.
+    for index in range(committed_count - 1, -1, -1):
+        step = saga.steps[index]
+        attempts = 0
+        while True:
+            attempts += 1
+            if attempts > saga.max_compensation_retries:
+                raise AssetError(
+                    f"compensation for {step.label(index)} failed"
+                    f" {saga.max_compensation_retries} times; sagas assume"
+                    " compensations eventually commit"
+                )
+            ct = runtime.initiate(
+                step.compensation, args=step.compensation_args
+            )
+            if not ct:
+                continue
+            runtime.begin(ct)
+            if runtime.commit(ct):
+                result.compensation_tids.append(ct)
+                break
+        result.compensated_steps += 1
+        result.execution_order.append("c" + step.label(index))
+    return result

@@ -1,0 +1,53 @@
+"""Split and join transactions (section 3.1.5).
+
+A transaction ``t_a`` *splits* into ``t_a`` and ``t_b``: the operations it
+performed on an object set ``X`` (up to the split point) are delegated to
+``t_b``, and the two then "commit or abort independently".  The paper's
+translation::
+
+    s = initiate(f);
+    delegate(parent(s), s, X);   // the splitting transaction is s's parent
+    begin(s);
+
+Conversely ``join(s, t)``::
+
+    wait(s);
+    delegate(s, t);
+
+Both are generator fragments used inside a transaction body with
+``yield from``.
+"""
+
+from __future__ import annotations
+
+
+def split_transaction(tx, body, oids, args=()):
+    """Split the calling transaction: spawn ``body`` and delegate ``oids``.
+
+    Returns the new transaction's tid.  The caller keeps responsibility
+    for everything outside ``oids``; the two halves commit or abort
+    independently from here on.
+    """
+    split = yield tx.initiate(body, args=args)
+    if not split:
+        return split
+    # delegate(parent(s), s, X): parent(s) is the caller.
+    yield tx.delegate(split, oids=oids)
+    yield tx.begin(split)
+    return split
+
+
+def join_transaction(tx, source, target=None):
+    """Join ``source`` into ``target`` (default: the caller).
+
+    Waits for ``source`` to complete, then delegates everything it is
+    responsible for.  Returns the paper's ``wait`` result (1 completed,
+    0 aborted — in which case nothing was delegated because the abort
+    already undid it).
+    """
+    ok = yield tx.wait(source)
+    if ok:
+        yield tx.delegate(
+            target if target is not None else tx.tid, source=source
+        )
+    return ok

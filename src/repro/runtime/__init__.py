@@ -1,0 +1,27 @@
+"""Runtimes: executing transaction programs over the synchronous core.
+
+Transaction bodies are written once, as generator functions that yield
+*requests* (:mod:`repro.runtime.program`), and run on either runtime:
+
+* :class:`~repro.runtime.coop.CooperativeRuntime` — a deterministic
+  scheduler that interleaves programs step by step (round-robin or
+  seeded-random), used by tests, benchmarks, and the property suite for
+  reproducible concurrency;
+* :class:`~repro.runtime.threaded.ThreadedRuntime` — a thread per
+  transaction with real blocking, the "live" configuration.
+
+Both translate the paper's "blocks and retries later starting at step 1"
+into their own waiting discipline around the same core outcomes, so a
+program's semantics do not depend on the runtime that executes it.
+"""
+
+from repro.runtime.coop import CooperativeRuntime, SchedulerStalledError
+from repro.runtime.program import TxnContext
+from repro.runtime.threaded import ThreadedRuntime
+
+__all__ = [
+    "CooperativeRuntime",
+    "SchedulerStalledError",
+    "ThreadedRuntime",
+    "TxnContext",
+]

@@ -1,0 +1,304 @@
+"""The deterministic cooperative runtime.
+
+Transactions run as generator tasks; the scheduler interleaves them one
+request at a time, either round-robin or in a seeded-random order.  The
+same seed always yields the same interleaving, which is what the property
+tests and benchmarks need from a concurrency substrate (the paper ran on
+OS processes; determinism is this reproduction's substitute for wall-clock
+racing — see DESIGN.md).
+
+Blocked requests are retried every round, "starting at step 1" as the
+section 4.2 algorithms specify.  When a full round makes no progress the
+runtime asks the deadlock detector for a victim; a stall with no deadlock
+cycle raises :class:`SchedulerStalledError` — in a correct program that
+means a dependency that can never resolve, which is a bug worth surfacing
+loudly.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.common.errors import AssetError, TransactionAborted
+from repro.common.ids import NULL_TID
+from repro.core.deadlock import DeadlockDetector
+from repro.core.manager import TransactionManager
+from repro.runtime.program import BLOCKED, TxnContext, execute_request
+
+
+class SchedulerStalledError(AssetError):
+    """No task can make progress and no deadlock cycle explains it."""
+
+
+@dataclass
+class RunResult:
+    """Outcome of a top-level :meth:`CooperativeRuntime.run` call."""
+
+    tid: object
+    committed: bool
+    value: object = None
+
+    def __bool__(self):
+        return self.committed
+
+
+class _Task:
+    """One running transaction program."""
+
+    __slots__ = ("tid", "gen", "pending", "to_send", "finished", "result",
+                 "error", "abort_delivered")
+
+    def __init__(self, tid, gen):
+        self.tid = tid
+        self.gen = gen
+        self.pending = None  # request awaiting retry
+        self.to_send = None  # result to send into the generator
+        self.finished = False
+        self.result = None
+        self.error = None
+        self.abort_delivered = False
+
+
+class CooperativeRuntime:
+    """Deterministic scheduler over a :class:`TransactionManager`."""
+
+    def __init__(self, manager=None, seed=None, max_idle_rounds=2):
+        self.manager = manager if manager is not None else TransactionManager()
+        self._tasks = {}
+        self._order = []  # tids in spawn order (round-robin basis)
+        self._rng = random.Random(seed) if seed is not None else None
+        self._max_idle_rounds = max_idle_rounds
+        self._detector = DeadlockDetector(self.manager)
+        self.steps = 0
+
+    # ------------------------------------------------------------------
+    # the paper-style driver API
+    # ------------------------------------------------------------------
+
+    def initiate(self, function, args=(), initiator=NULL_TID):
+        """Register a transaction that will execute ``function``."""
+        return self.manager.initiate(
+            function=function, args=args, initiator=initiator
+        )
+
+    def begin(self, *tids):
+        """Start initiated transactions, driving the scheduler while their
+        begin dependencies are unresolved.  Returns 1 or 0."""
+        while True:
+            blockers = []
+            for tid in tids:
+                blockers.extend(self.manager.begin_blockers(tid))
+            if not blockers:
+                ok = self.manager.begin(*tids)
+                if ok:
+                    for tid in tids:
+                        self.on_begun(tid)
+                return 1 if ok else 0
+            self._make_progress_or_die(f"begin of {tids!r}")
+
+    def commit(self, tid):
+        """Commit ``tid``: block (by scheduling others) until final."""
+        while True:
+            outcome = self.manager.try_commit(tid)
+            if outcome.is_final:
+                return 1 if outcome else 0
+            self._make_progress_or_die(f"commit of {tid!r}")
+
+    def wait(self, tid):
+        """The paper's ``wait``: 1 once completed, 0 if aborted."""
+        while True:
+            result = self.manager.wait_outcome(tid)
+            if result is not None:
+                return 1 if result else 0
+            self._make_progress_or_die(f"wait for {tid!r}")
+
+    def abort(self, tid):
+        """Abort ``tid``; 1 on success, 0 if already committed."""
+        return 1 if self.manager.abort(tid) else 0
+
+    def commit_all(self, tids):
+        """Commit a batch in *completion order*, returning {tid: 0/1}.
+
+        Committing a fixed list in spawn order can wait forever on a
+        transaction blocked behind a later, uncommitted one; draining
+        completions avoids that driver-order deadlock.
+        """
+        outcomes = {}
+        pending = list(tids)
+        while pending:
+            progressed = False
+            for tid in list(pending):
+                outcome = self.manager.try_commit(tid)
+                if outcome.is_final:
+                    outcomes[tid] = 1 if outcome else 0
+                    pending.remove(tid)
+                    progressed = True
+            if pending and not progressed:
+                self._make_progress_or_die(f"commit_all of {pending!r}")
+        return outcomes
+
+    def run(self, function, args=()):
+        """The standard transaction skeleton of section 3.1.1.
+
+        ``initiate``, ``begin``, ``commit`` — and return a
+        :class:`RunResult` with the program's return value.
+        """
+        tid = self.initiate(function, args=args)
+        if not tid:
+            return RunResult(tid=tid, committed=False)
+        self.begin(tid)
+        committed = self.commit(tid)
+        return RunResult(
+            tid=tid, committed=bool(committed), value=self.result_of(tid)
+        )
+
+    def spawn(self, function, args=(), initiator=NULL_TID):
+        """``initiate`` + ``begin`` without committing; returns the tid."""
+        tid = self.initiate(function, args=args, initiator=initiator)
+        if tid:
+            self.begin(tid)
+        return tid
+
+    # ------------------------------------------------------------------
+    # task management
+    # ------------------------------------------------------------------
+
+    def on_begun(self, tid):
+        """Create the task for a transaction that just began."""
+        if tid in self._tasks:
+            return
+        td = self.manager.table.get(tid)
+        if td.function is None:
+            # A transaction with no program (driver-managed); no task.
+            self.manager.note_completed(tid)
+            return
+        ctx = TxnContext(tid, parent=td.parent)
+        gen = td.function(ctx, *td.args)
+        self._tasks[tid] = _Task(tid, gen)
+        self._order.append(tid)
+
+    def result_of(self, tid):
+        """The return value of ``tid``'s program (None if none)."""
+        task = self._tasks.get(tid)
+        return task.result if task is not None else None
+
+    def error_of(self, tid):
+        """The exception that aborted ``tid``'s program, if any."""
+        task = self._tasks.get(tid)
+        return task.error if task is not None else None
+
+    def active_tasks(self):
+        """Tids of tasks that have not finished."""
+        return [t for t in self._order if not self._tasks[t].finished]
+
+    # ------------------------------------------------------------------
+    # the scheduler
+    # ------------------------------------------------------------------
+
+    def _runnable(self):
+        return [self._tasks[t] for t in self._order
+                if not self._tasks[t].finished]
+
+    def round(self):
+        """Give every unfinished task one step; return whether any moved."""
+        tasks = self._runnable()
+        if self._rng is not None:
+            self._rng.shuffle(tasks)
+        progress = False
+        for task in tasks:
+            progress |= self._step(task)
+        return progress
+
+    def poll(self):
+        """Let the system advance briefly; ``True`` if anything moved.
+
+        Used by pollers (the workflow engine's race) that wait on a
+        condition no single ``wait`` call expresses.
+        """
+        if self.round():
+            return True
+        return self._detector.resolve_one() is not None
+
+    def run_until_quiescent(self):
+        """Schedule until no task can move (deadlocks get resolved)."""
+        while True:
+            if not self.round():
+                if self._detector.resolve_one() is None:
+                    return
+
+    def _make_progress_or_die(self, why):
+        if self.round():
+            return
+        if self._detector.resolve_one() is not None:
+            return
+        idle = 0
+        while idle < self._max_idle_rounds:
+            if self.round() or self._detector.resolve_one() is not None:
+                return
+            idle += 1
+        raise SchedulerStalledError(
+            f"stalled while driving {why}; active tasks:"
+            f" {self.active_tasks()!r}"
+        )
+
+    def _step(self, task):
+        """Advance one task by (at most) one request.  True on progress."""
+        self.steps += 1
+        manager = self.manager
+
+        # Deliver an externally caused abort into the program once.
+        if (
+            not task.finished
+            and not task.abort_delivered
+            and manager.has_aborted(task.tid)
+        ):
+            task.abort_delivered = True
+            task.pending = None
+            try:
+                task.gen.throw(TransactionAborted(task.tid))
+            except (StopIteration, TransactionAborted):
+                pass
+            except Exception as exc:  # program mishandled the signal
+                task.error = exc
+            task.finished = True
+            return True
+
+        if task.pending is not None:
+            state, value = execute_request(manager, self, task.tid, task.pending)
+            if state is BLOCKED:
+                return False
+            task.pending = None
+            task.to_send = value
+            return True
+
+        # Advance the generator to its next request.
+        try:
+            request = task.gen.send(task.to_send)
+            task.to_send = None
+        except StopIteration as stop:
+            task.result = stop.value
+            task.finished = True
+            manager.note_completed(task.tid)
+            return True
+        except TransactionAborted:
+            task.finished = True
+            return True
+        except Exception as exc:
+            task.error = exc
+            task.finished = True
+            manager.abort(task.tid, reason=f"program raised {exc!r}")
+            return True
+
+        state, value = execute_request(manager, self, task.tid, request)
+        if state is BLOCKED:
+            task.pending = request
+        else:
+            task.to_send = value
+        # Aborting oneself ends the program: nothing after the abort of
+        # self should run (the paper's abort(self()) idiom).
+        if manager.has_aborted(task.tid) and not task.finished:
+            task.pending = None
+            task.finished = True
+            task.gen.close()
+        return True

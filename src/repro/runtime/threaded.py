@@ -1,0 +1,223 @@
+"""The threaded runtime: a thread per transaction, real blocking.
+
+Each begun transaction gets a worker thread that advances its program and
+executes requests against the shared :class:`TransactionManager`.  Blocked
+requests wait on a condition variable that is notified whenever the
+manager emits any event (every state change emits one), then retry from
+step 1 — the paper's blocking discipline with notifications instead of
+spinning.
+
+A daemon watchdog periodically runs the deadlock detector and aborts a
+victim, mirroring what a lock-timeout or detector thread does in a real
+transaction manager.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.common.errors import TransactionAborted
+from repro.common.ids import NULL_TID
+from repro.core.deadlock import DeadlockDetector
+from repro.core.manager import TransactionManager
+from repro.runtime.program import BLOCKED, TxnContext, execute_request
+
+
+class ThreadedRuntime:
+    """Thread-per-transaction execution over the shared core."""
+
+    def __init__(self, manager=None, watchdog_interval=0.05, poll_timeout=0.05):
+        self.manager = manager if manager is not None else TransactionManager()
+        self._cond = threading.Condition()
+        self._threads = {}
+        self._results = {}
+        self._errors = {}
+        self._poll_timeout = poll_timeout
+        self._watchdog_interval = watchdog_interval
+        self._watchdog = None
+        self._closing = threading.Event()
+        self._detector = DeadlockDetector(self.manager)
+        # Every manager event may unblock someone: wake all waiters.
+        self.manager.events.subscribe(self._on_event)
+
+    def _on_event(self, event):
+        with self._cond:
+            self._cond.notify_all()
+
+    def _wait_a_moment(self):
+        with self._cond:
+            self._cond.wait(timeout=self._poll_timeout)
+
+    def _ensure_watchdog(self):
+        if self._watchdog is None or not self._watchdog.is_alive():
+            self._watchdog = threading.Thread(
+                target=self._watchdog_loop, daemon=True,
+                name="asset-deadlock-watchdog",
+            )
+            self._watchdog.start()
+
+    def _watchdog_loop(self):
+        while not self._closing.wait(self._watchdog_interval):
+            self._detector.resolve_one()
+
+    # ------------------------------------------------------------------
+    # the paper-style driver API
+    # ------------------------------------------------------------------
+
+    def initiate(self, function, args=(), initiator=NULL_TID):
+        """Register a transaction that will execute ``function``."""
+        return self.manager.initiate(
+            function=function, args=args, initiator=initiator
+        )
+
+    def begin(self, *tids):
+        """Start initiated transactions, blocking on begin dependencies."""
+        self._ensure_watchdog()
+        while True:
+            blockers = []
+            for tid in tids:
+                blockers.extend(self.manager.begin_blockers(tid))
+            if not blockers:
+                ok = self.manager.begin(*tids)
+                if ok:
+                    for tid in tids:
+                        self.on_begun(tid)
+                return 1 if ok else 0
+            if any(self.manager.has_aborted(tid) for tid in tids):
+                return 0
+            self._wait_a_moment()
+
+    def commit(self, tid):
+        """Commit ``tid``, blocking until the outcome is final."""
+        while True:
+            outcome = self.manager.try_commit(tid)
+            if outcome.is_final:
+                return 1 if outcome else 0
+            self._wait_a_moment()
+
+    def wait(self, tid):
+        """Block until ``tid`` completes (1) or aborts (0)."""
+        while True:
+            result = self.manager.wait_outcome(tid)
+            if result is not None:
+                return 1 if result else 0
+            self._wait_a_moment()
+
+    def abort(self, tid):
+        """Abort ``tid``; 1 on success, 0 if already committed."""
+        return 1 if self.manager.abort(tid) else 0
+
+    def commit_all(self, tids):
+        """Commit a batch in *completion order*, returning {tid: 0/1}.
+
+        Avoids the driver-order deadlock of committing a fixed list while
+        earlier members are lock-blocked behind later, uncommitted ones.
+        """
+        outcomes = {}
+        pending = list(tids)
+        while pending:
+            progressed = False
+            for tid in list(pending):
+                outcome = self.manager.try_commit(tid)
+                if outcome.is_final:
+                    outcomes[tid] = 1 if outcome else 0
+                    pending.remove(tid)
+                    progressed = True
+            if pending and not progressed:
+                self._wait_a_moment()
+        return outcomes
+
+    def poll(self):
+        """Yield briefly to worker threads; always reports progress
+        possible (the threads run on their own)."""
+        self._wait_a_moment()
+        return True
+
+    def run(self, function, args=()):
+        """``initiate`` + ``begin`` + ``commit``; returns (committed, value)."""
+        tid = self.initiate(function, args=args)
+        if not tid:
+            return False, None
+        self.begin(tid)
+        committed = self.commit(tid)
+        self.join_all()
+        return bool(committed), self._results.get(tid)
+
+    # ------------------------------------------------------------------
+    # workers
+    # ------------------------------------------------------------------
+
+    def on_begun(self, tid):
+        """Spawn the worker thread for a transaction that just began."""
+        if tid in self._threads:
+            return
+        td = self.manager.table.get(tid)
+        if td.function is None:
+            self.manager.note_completed(tid)
+            return
+        thread = threading.Thread(
+            target=self._worker, args=(tid, td),
+            name=f"asset-txn-{tid.value}", daemon=True,
+        )
+        self._threads[tid] = thread
+        thread.start()
+
+    def _worker(self, tid, td):
+        ctx = TxnContext(tid, parent=td.parent)
+        gen = td.function(ctx, *td.args)
+        to_send = None
+        try:
+            while True:
+                if self.manager.has_aborted(tid):
+                    gen.throw(TransactionAborted(tid))
+                    return
+                try:
+                    request = gen.send(to_send)
+                except StopIteration as stop:
+                    self._results[tid] = stop.value
+                    self.manager.note_completed(tid)
+                    return
+                while True:
+                    state, value = execute_request(
+                        self.manager, self, tid, request
+                    )
+                    if state is not BLOCKED:
+                        break
+                    if self.manager.has_aborted(tid):
+                        gen.throw(TransactionAborted(tid))
+                        return
+                    self._wait_a_moment()
+                to_send = value
+                if self.manager.has_aborted(tid):
+                    # abort(self()) ends the program here.
+                    gen.close()
+                    return
+        except (StopIteration, TransactionAborted):
+            pass
+        except Exception as exc:
+            self._errors[tid] = exc
+            self.manager.abort(tid, reason=f"program raised {exc!r}")
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def result_of(self, tid):
+        """The return value of ``tid``'s program (None if none)."""
+        return self._results.get(tid)
+
+    def error_of(self, tid):
+        """The exception that aborted ``tid``'s program, if any."""
+        return self._errors.get(tid)
+
+    def join_all(self, timeout=10.0):
+        """Wait for all worker threads to finish."""
+        for thread in list(self._threads.values()):
+            thread.join(timeout=timeout)
+
+    def close(self):
+        """Stop the watchdog and join workers."""
+        self._closing.set()
+        self.join_all()
+        if self._watchdog is not None:
+            self._watchdog.join(timeout=1.0)

@@ -1,0 +1,426 @@
+"""The write-ahead log.
+
+The section 4.2 ``write`` algorithm logs the *before image* of an object,
+performs the write, then logs the *after image*; ``commit`` places a commit
+record; ``abort`` scans the log installing before images.  Delegation moves
+undo responsibility between transactions, so the log also carries delegate
+records — recovery uses them to attribute each update to the transaction
+that was responsible for it at the end of the log.
+
+Records are encoded to a compact length-prefixed binary form and can be
+persisted to a file (:class:`FileLogDevice`) or kept in memory
+(:class:`MemoryLogDevice`).  Either way records round-trip bytes, so crash
+simulation replays exactly what a real restart would see.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import threading
+from dataclasses import dataclass
+
+from repro.common.errors import StorageError
+from repro.common.ids import Lsn, ObjectId, Tid
+
+_HEADER = struct.Struct("<BQQ")  # record type, lsn, tid
+_U32 = struct.Struct("<I")
+_U64 = struct.Struct("<Q")
+
+_TYPE_BEFORE = 1
+_TYPE_AFTER = 2
+_TYPE_COMMIT = 3
+_TYPE_ABORT = 4
+_TYPE_DELEGATE = 5
+_TYPE_CHECKPOINT = 6
+
+_ABSENT = 0xFFFFFFFF  # length marker: image of a not-yet-existing object
+
+
+@dataclass(frozen=True)
+class LogRecord:
+    """Base class for all log records."""
+
+    lsn: Lsn
+    tid: Tid
+
+
+@dataclass(frozen=True)
+class BeforeImageRecord(LogRecord):
+    """Image of ``oid`` before an update by ``tid``.
+
+    ``image is None`` means the object did not exist — the update is a
+    creation, and its undo is a deletion.
+    """
+
+    oid: ObjectId = None
+    image: bytes = None
+
+
+@dataclass(frozen=True)
+class AfterImageRecord(LogRecord):
+    """Image of ``oid`` after an update by ``tid``."""
+
+    oid: ObjectId = None
+    image: bytes = None
+
+
+@dataclass(frozen=True)
+class CommitRecord(LogRecord):
+    """Commitment of ``tid`` and (for group commit) its group members."""
+
+    group: tuple = ()
+
+    def committed_tids(self):
+        """All tids committed by this record (the writer plus its group)."""
+        return {self.tid, *self.group}
+
+
+@dataclass(frozen=True)
+class AbortRecord(LogRecord):
+    """Abort completion of ``tid`` (undo already applied and logged)."""
+
+
+@dataclass(frozen=True)
+class DelegateRecord(LogRecord):
+    """``tid`` delegated responsibility for ``oids`` to ``delegatee``."""
+
+    delegatee: Tid = None
+    oids: tuple = ()
+
+
+@dataclass(frozen=True)
+class CheckpointRecord(LogRecord):
+    """A fuzzy checkpoint marker recording the then-active transactions."""
+
+    active: tuple = ()
+
+
+def _pack_image(image):
+    if image is None:
+        return _U32.pack(_ABSENT)
+    return _U32.pack(len(image)) + image
+
+
+def _unpack_image(raw, offset):
+    (length,) = _U32.unpack_from(raw, offset)
+    offset += _U32.size
+    if length == _ABSENT:
+        return None, offset
+    return bytes(raw[offset : offset + length]), offset + length
+
+
+def encode_record(record):
+    """Serialize a record to bytes (without the device length prefix)."""
+    if isinstance(record, BeforeImageRecord):
+        rtype, body = _TYPE_BEFORE, _U64.pack(record.oid.value) + _pack_image(
+            record.image
+        )
+    elif isinstance(record, AfterImageRecord):
+        rtype, body = _TYPE_AFTER, _U64.pack(record.oid.value) + _pack_image(
+            record.image
+        )
+    elif isinstance(record, CommitRecord):
+        body = _U32.pack(len(record.group)) + b"".join(
+            _U64.pack(t.value) for t in record.group
+        )
+        rtype = _TYPE_COMMIT
+    elif isinstance(record, AbortRecord):
+        rtype, body = _TYPE_ABORT, b""
+    elif isinstance(record, DelegateRecord):
+        body = (
+            _U64.pack(record.delegatee.value)
+            + _U32.pack(len(record.oids))
+            + b"".join(_U64.pack(o.value) for o in record.oids)
+        )
+        rtype = _TYPE_DELEGATE
+    elif isinstance(record, CheckpointRecord):
+        body = _U32.pack(len(record.active)) + b"".join(
+            _U64.pack(t.value) for t in record.active
+        )
+        rtype = _TYPE_CHECKPOINT
+    else:
+        raise StorageError(f"unknown record type: {type(record).__name__}")
+    return _HEADER.pack(rtype, record.lsn.value, record.tid.value) + body
+
+
+def decode_record(raw):
+    """Reconstruct a record from bytes produced by :func:`encode_record`."""
+    rtype, lsn_value, tid_value = _HEADER.unpack_from(raw, 0)
+    lsn, tid = Lsn(lsn_value), Tid(tid_value)
+    offset = _HEADER.size
+    if rtype in (_TYPE_BEFORE, _TYPE_AFTER):
+        (oid_value,) = _U64.unpack_from(raw, offset)
+        offset += _U64.size
+        image, offset = _unpack_image(raw, offset)
+        cls = BeforeImageRecord if rtype == _TYPE_BEFORE else AfterImageRecord
+        return cls(lsn=lsn, tid=tid, oid=ObjectId(oid_value), image=image)
+    if rtype == _TYPE_COMMIT:
+        (count,) = _U32.unpack_from(raw, offset)
+        offset += _U32.size
+        group = []
+        for __ in range(count):
+            (value,) = _U64.unpack_from(raw, offset)
+            offset += _U64.size
+            group.append(Tid(value))
+        return CommitRecord(lsn=lsn, tid=tid, group=tuple(group))
+    if rtype == _TYPE_ABORT:
+        return AbortRecord(lsn=lsn, tid=tid)
+    if rtype == _TYPE_DELEGATE:
+        (delegatee_value,) = _U64.unpack_from(raw, offset)
+        offset += _U64.size
+        (count,) = _U32.unpack_from(raw, offset)
+        offset += _U32.size
+        oids = []
+        for __ in range(count):
+            (value,) = _U64.unpack_from(raw, offset)
+            offset += _U64.size
+            oids.append(ObjectId(value))
+        return DelegateRecord(
+            lsn=lsn, tid=tid, delegatee=Tid(delegatee_value), oids=tuple(oids)
+        )
+    if rtype == _TYPE_CHECKPOINT:
+        (count,) = _U32.unpack_from(raw, offset)
+        offset += _U32.size
+        active = []
+        for __ in range(count):
+            (value,) = _U64.unpack_from(raw, offset)
+            offset += _U64.size
+            active.append(Tid(value))
+        return CheckpointRecord(lsn=lsn, tid=tid, active=tuple(active))
+    raise StorageError(f"unknown record type byte: {rtype}")
+
+
+class MemoryLogDevice:
+    """Log persistence in memory: a list of encoded records."""
+
+    def __init__(self):
+        self._records = []
+        self._durable_count = 0
+
+    def append(self, raw):
+        self._records.append(bytes(raw))
+
+    def flush(self):
+        self._durable_count = len(self._records)
+
+    def read_all(self, durable_only=False):
+        """Iterate over encoded records, optionally only the flushed ones."""
+        upto = self._durable_count if durable_only else len(self._records)
+        return iter(self._records[:upto])
+
+    def crash(self):
+        """Drop every record not yet flushed (crash simulation)."""
+        del self._records[self._durable_count :]
+
+    def reset(self):
+        """Discard the whole log (sharp-checkpoint truncation)."""
+        self._records.clear()
+        self._durable_count = 0
+
+    def close(self):
+        """Nothing to release for the in-memory device."""
+
+
+class FileLogDevice:
+    """Log persistence in a file of length-prefixed records."""
+
+    def __init__(self, path):
+        self.path = str(path)
+        mode = "r+b" if os.path.exists(self.path) else "w+b"
+        self._file = open(self.path, mode)
+        self._file.seek(0, os.SEEK_END)
+
+    def append(self, raw):
+        self._file.write(_U32.pack(len(raw)))
+        self._file.write(raw)
+
+    def flush(self):
+        self._file.flush()
+        os.fsync(self._file.fileno())
+
+    def read_all(self, durable_only=False):
+        self._file.flush()
+        with open(self.path, "rb") as reader:
+            while True:
+                prefix = reader.read(_U32.size)
+                if len(prefix) < _U32.size:
+                    return
+                (length,) = _U32.unpack(prefix)
+                raw = reader.read(length)
+                if len(raw) < length:
+                    return  # torn tail write: ignore, as a real restart would
+                yield raw
+
+    def reset(self):
+        """Discard the whole log (sharp-checkpoint truncation)."""
+        self._file.seek(0)
+        self._file.truncate()
+        self._file.flush()
+        os.fsync(self._file.fileno())
+
+    def close(self):
+        self._file.close()
+
+
+class WriteAheadLog:
+    """Appends records, assigns LSNs, and replays for abort/recovery."""
+
+    def __init__(self, device=None):
+        self.device = device if device is not None else MemoryLogDevice()
+        self._lock = threading.Lock()
+        self._next_lsn = 1
+        self.flush_count = 0
+        # Decoded-record cache: the live system reads the log on every
+        # abort (updates_by) and at each delegation; re-decoding the whole
+        # device each time would make abort cost quadratic in history.
+        self._decoded = []
+        self.resync()
+
+    def resync(self):
+        """Rebuild the decoded cache from the device.
+
+        Called at open and after anything changes the device underneath
+        us (crash simulation dropping unflushed records, truncation by
+        another handle).
+        """
+        with self._lock:
+            self._decoded = [
+                decode_record(raw) for raw in self.device.read_all()
+            ]
+            for record in self._decoded:
+                self._next_lsn = max(self._next_lsn, record.lsn.value + 1)
+
+    def _append(self, build):
+        with self._lock:
+            lsn = Lsn(self._next_lsn)
+            self._next_lsn += 1
+            record = build(lsn)
+            self.device.append(encode_record(record))
+            self._decoded.append(record)
+            return record
+
+    # -- record writers --------------------------------------------------------
+
+    def log_before_image(self, tid, oid, image):
+        """Write a before-image record; returns the record."""
+        return self._append(
+            lambda lsn: BeforeImageRecord(lsn=lsn, tid=tid, oid=oid, image=image)
+        )
+
+    def log_after_image(self, tid, oid, image):
+        """Write an after-image record; returns the record."""
+        return self._append(
+            lambda lsn: AfterImageRecord(lsn=lsn, tid=tid, oid=oid, image=image)
+        )
+
+    def log_commit(self, tid, group=()):
+        """Write a commit record (with group members, if a group commit)."""
+        record = self._append(
+            lambda lsn: CommitRecord(lsn=lsn, tid=tid, group=tuple(group))
+        )
+        self.flush()
+        return record
+
+    def log_abort(self, tid):
+        """Write an abort-completion record."""
+        return self._append(lambda lsn: AbortRecord(lsn=lsn, tid=tid))
+
+    def log_delegate(self, tid, delegatee, oids):
+        """Write a delegation record so recovery can re-attribute undo."""
+        return self._append(
+            lambda lsn: DelegateRecord(
+                lsn=lsn, tid=tid, delegatee=delegatee, oids=tuple(oids)
+            )
+        )
+
+    def log_checkpoint(self, active):
+        """Write a fuzzy checkpoint marker."""
+        record = self._append(
+            lambda lsn: CheckpointRecord(
+                lsn=lsn, tid=Tid(0), active=tuple(active)
+            )
+        )
+        self.flush()
+        return record
+
+    # -- reading ----------------------------------------------------------------
+
+    @property
+    def last_lsn_value(self):
+        """The LSN of the most recent record (0 when the log is empty)."""
+        with self._lock:
+            return self._next_lsn - 1
+
+    def flush(self):
+        """Force the log to stable storage (commit durability point)."""
+        self.device.flush()
+        self.flush_count += 1
+
+    def truncate(self):
+        """Discard all records (LSNs keep counting upward).
+
+        Only valid at a *sharp checkpoint*: every page flushed and no
+        active transactions, so nothing in the log is still needed for
+        redo or undo.  The storage manager enforces that precondition.
+        """
+        with self._lock:
+            self.device.reset()
+            self._decoded = []
+
+    def records(self, durable_only=False):
+        """All records in LSN order (optionally only durable ones).
+
+        The durable view always re-reads the device (that is the whole
+        point — it is what a restart would see); the live view is served
+        from the decoded cache.
+        """
+        if durable_only:
+            return [
+                decode_record(raw) for raw in self.device.read_all(True)
+            ]
+        with self._lock:
+            return list(self._decoded)
+
+    def max_tid_value(self):
+        """The highest transaction id appearing anywhere in the log.
+
+        A restarted transaction manager must allocate tids above this
+        value; reusing a logged tid would let a new transaction's abort
+        undo (or its commit revive) a previous incarnation's updates.
+        """
+        highest = 0
+        for record in self.records():
+            highest = max(highest, record.tid.value)
+            if isinstance(record, CommitRecord):
+                for member in record.group:
+                    highest = max(highest, member.value)
+            elif isinstance(record, DelegateRecord):
+                highest = max(highest, record.delegatee.value)
+            elif isinstance(record, CheckpointRecord):
+                for active in record.active:
+                    highest = max(highest, active.value)
+        return highest
+
+    def updates_by(self, tid):
+        """Before-image records currently attributed to ``tid``, in order.
+
+        Applies delegation records: an update whose responsibility was
+        delegated away no longer belongs to ``tid``; one delegated to
+        ``tid`` does.  This is the log-side view used by recovery; the
+        live transaction manager tracks the same attribution in memory.
+        """
+        responsible = {}
+        mine = []
+        for record in self.records():
+            if isinstance(record, BeforeImageRecord):
+                responsible[record.lsn] = record.tid
+                mine.append(record)
+            elif isinstance(record, DelegateRecord):
+                for update in mine:
+                    if (
+                        responsible[update.lsn] == record.tid
+                        and update.oid in record.oids
+                    ):
+                        responsible[update.lsn] = record.delegatee
+        return [r for r in mine if responsible[r.lsn] == tid]

@@ -1,0 +1,194 @@
+"""The storage manager facade.
+
+:class:`StorageManager` wires the disk manager, buffer cache, object store,
+and write-ahead log together and exposes exactly the operations the
+transaction manager's section 4.2 algorithms need:
+
+* ``read_object`` — S-latch the object's frame, read, release (the paper's
+  ``read`` steps 2-4; step 1, locking, is the transaction manager's job);
+* ``write_object`` — X-latch, log before image, write, log after image,
+  release (the paper's ``write`` steps 2-6);
+* ``create_object`` / ``delete_object`` — updates with an absent image on
+  one side;
+* ``undo`` — install before images for an aborting transaction, logging
+  compensation records (used by ``abort`` step 2);
+* ``log_commit`` / ``log_delegate`` — the log entries ``commit`` step 4 and
+  ``delegate`` require;
+* ``crash`` / ``recover`` — crash simulation and restart recovery;
+* ``checkpoint`` — flush pages and, when quiescent, reset the log.
+"""
+
+from __future__ import annotations
+
+from repro.common.latch import LatchMode
+from repro.storage.buffer import BufferPool
+from repro.storage.disk import InMemoryDiskManager
+from repro.storage.log import WriteAheadLog
+from repro.storage.objects import ObjectStore
+from repro.storage.recovery import RecoveryManager
+
+
+class StorageManager:
+    """Facade over pages, cache, objects, and the log."""
+
+    def __init__(self, disk=None, log=None, capacity=256):
+        self.disk = disk if disk is not None else InMemoryDiskManager()
+        self.log = log if log is not None else WriteAheadLog()
+        self.pool = BufferPool(self.disk, capacity=capacity)
+        self.objects = ObjectStore(self.pool)
+
+    # -- object operations (latched + logged) ----------------------------------
+
+    def create_object(self, tid, value, name=""):
+        """Create an object on behalf of ``tid``; returns its id.
+
+        Logged as an update whose before image is absent, so aborting
+        ``tid`` deletes the object again.
+        """
+        oid = self.objects.create(value, name=name)
+        self.log.log_before_image(tid, oid, None)
+        self.log.log_after_image(tid, oid, value)
+        return oid
+
+    def read_object(self, tid, oid):
+        """Read ``oid`` under an S latch (lock already held by ``tid``)."""
+        frame = self.objects.frame_for(oid)
+        try:
+            with frame.latch.held(LatchMode.SHARED):
+                return self.objects.read(oid)
+        finally:
+            self.pool.unpin(frame.page.page_id)
+
+    def write_object(self, tid, oid, value):
+        """Write ``oid`` under an X latch, logging before and after images."""
+        frame = self.objects.frame_for(oid)
+        try:
+            with frame.latch.held(LatchMode.EXCLUSIVE):
+                before = self.objects.read(oid)
+                self.log.log_before_image(tid, oid, before)
+                self.objects.write(oid, value)
+                self.log.log_after_image(tid, oid, value)
+        finally:
+            self.pool.unpin(frame.page.page_id, dirty=True)
+
+    def delete_object(self, tid, oid):
+        """Delete ``oid``, logging images so the deletion is undoable."""
+        frame = self.objects.frame_for(oid)
+        try:
+            with frame.latch.held(LatchMode.EXCLUSIVE):
+                before = self.objects.read(oid)
+                self.log.log_before_image(tid, oid, before)
+                self.objects.delete(oid)
+                self.log.log_after_image(tid, oid, None)
+        finally:
+            self.pool.unpin(frame.page.page_id, dirty=True)
+
+    # -- transaction-manager hooks ----------------------------------------------
+
+    def undo(self, tid):
+        """Install before images for every update ``tid`` is responsible for.
+
+        Scans the log (as the paper's abort step 2 does), honouring
+        delegation, installs images newest-first, and logs each restoration
+        as a compensation after-image.  Returns the number of undone
+        updates.
+        """
+        return self.undo_many([tid])
+
+    def undo_many(self, tids):
+        """Undo several transactions' updates in one coordinated pass.
+
+        An abort cascade (AD chains, GC groups) takes down transactions
+        whose updates interleave on shared objects; undoing each member
+        separately could re-install one member's aborted values over
+        another's undo.  Merging all their updates and installing before
+        images in global reverse-LSN order restores exactly the state the
+        group found.  Returns the number of undone updates.
+        """
+        wanted = set(tids)
+        updates = [
+            record
+            for tid in wanted
+            for record in self.log.updates_by(tid)
+        ]
+        updates.sort(key=lambda record: record.lsn.value, reverse=True)
+        for record in updates:
+            self._install(record.oid, record.image)
+            self.log.log_after_image(record.tid, record.oid, record.image)
+        return len(updates)
+
+    def undo_to(self, tid, savepoint_lsn_value):
+        """Partial rollback: undo ``tid``'s updates newer than a savepoint.
+
+        Installs before images (newest first) for updates ``tid`` is
+        responsible for whose LSN exceeds ``savepoint_lsn_value``,
+        logging each restoration as a compensation after-image.  Locks
+        are untouched — savepoint semantics, not abort.  Returns the
+        number of undone updates.
+        """
+        undone = 0
+        for record in reversed(self.log.updates_by(tid)):
+            if record.lsn.value <= savepoint_lsn_value:
+                continue
+            self._install(record.oid, record.image)
+            self.log.log_after_image(tid, record.oid, record.image)
+            undone += 1
+        return undone
+
+    def _install(self, oid, image):
+        if image is None:
+            if self.objects.exists(oid):
+                self.objects.delete(oid)
+            return
+        if self.objects.exists(oid):
+            self.objects.write(oid, image)
+        else:
+            self.objects.create(image, oid=oid)
+
+    def log_commit(self, tid, group=()):
+        """Durably log the commit of ``tid`` (plus group members)."""
+        return self.log.log_commit(tid, group=group)
+
+    def log_abort(self, tid):
+        """Log completion of ``tid``'s abort."""
+        return self.log.log_abort(tid)
+
+    def log_delegate(self, tid, delegatee, oids):
+        """Log a delegation so recovery attributes undo correctly."""
+        return self.log.log_delegate(tid, delegatee, oids)
+
+    # -- durability control --------------------------------------------------------
+
+    def checkpoint(self, active=(), truncate=False):
+        """Flush all dirty pages and write a checkpoint marker.
+
+        With ``truncate=True`` and no active transactions, this is a
+        *sharp* checkpoint: every effect in the log is already on disk,
+        so the log is discarded — bounding restart-recovery time (the
+        EX13 ablation benchmark measures the effect).
+        """
+        self.pool.flush_all()
+        if truncate and not active:
+            self.log.truncate()
+        return self.log.log_checkpoint(active)
+
+    def crash(self):
+        """Simulate a crash: lose the cache and all unflushed log records."""
+        self.pool.drop_all()
+        device_crash = getattr(self.log.device, "crash", None)
+        if device_crash is not None:
+            device_crash()
+        self.log.resync()  # the decoded cache must match the device now
+
+    def recover(self):
+        """Rebuild the object table and run restart recovery."""
+        self.objects._rebuild_table()
+        report = RecoveryManager(self.log, self.objects).recover()
+        return report
+
+    def close(self):
+        """Flush everything and release file handles."""
+        self.pool.flush_all()
+        self.log.flush()
+        self.log.device.close()
+        self.disk.close()

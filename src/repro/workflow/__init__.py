@@ -1,0 +1,31 @@
+"""Workflows (section 3.2.3 and the appendix).
+
+Workflows are "long-lived activities with transaction-like components
+having inter-related dependencies".  The paper shows one written directly
+against the primitives (the X_conference travel program); this package
+provides both:
+
+* :mod:`repro.workflow.spec` — a declarative workflow description:
+  tasks with ordered alternatives, optional tasks, racing alternatives,
+  compensations, and inter-task dependencies ("it is possible to design a
+  language to specify workflows", as the paper notes);
+* :mod:`repro.workflow.engine` — executes a spec over a runtime using
+  the same translation schemes as section 3;
+* :mod:`repro.workflow.travel` — the appendix scenario: inventory-backed
+  flight/hotel/car reservations, plus :func:`x_conference`, a literal
+  transcription of the appendix program.
+"""
+
+from repro.workflow.engine import TaskStatus, WorkflowEngine, WorkflowResult
+from repro.workflow.spec import TaskSpec, WorkflowSpec
+from repro.workflow.travel import TravelAgency, x_conference
+
+__all__ = [
+    "TaskSpec",
+    "TaskStatus",
+    "TravelAgency",
+    "WorkflowEngine",
+    "WorkflowResult",
+    "WorkflowSpec",
+    "x_conference",
+]

@@ -1,0 +1,360 @@
+"""The workflow engine.
+
+Executes a :class:`~repro.workflow.spec.WorkflowSpec` over a runtime using
+the section 3 translation schemes:
+
+* sequential alternatives → the contingent scheme (try in order until one
+  commits);
+* racing alternatives → the appendix's car-rental pattern (begin all,
+  first to complete wins, losers aborted, winner committed);
+* required-task failure → backward recovery: compensations of committed
+  tasks, in reverse order, retried until they commit (the saga
+  discipline);
+* optional-task failure → the workflow proceeds.
+
+The engine needs only the paper-style driver API (``initiate``, ``begin``,
+``commit``, ``wait``, ``abort``) plus ``poll``, so it runs on either
+runtime.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.common.errors import AssetError
+
+
+class TaskStatus(enum.Enum):
+    """Terminal status of one workflow task."""
+
+    COMMITTED = "committed"
+    FAILED = "failed"
+    SKIPPED = "skipped"
+    COMPENSATED = "compensated"
+
+
+@dataclass
+class TaskOutcome:
+    """What happened to one task."""
+
+    name: str
+    status: TaskStatus
+    label: str = ""  # which alternative won
+    value: object = None
+    tid: object = None
+
+
+@dataclass
+class WorkflowResult:
+    """Outcome of a workflow execution."""
+
+    name: str
+    success: bool
+    outcomes: dict = field(default_factory=dict)
+    compensation_order: list = field(default_factory=list)
+
+    def __bool__(self):
+        return self.success
+
+    def status_of(self, task_name):
+        """The :class:`TaskStatus` of ``task_name``."""
+        return self.outcomes[task_name].status
+
+
+class WorkflowEngine:
+    """Runs workflow specs over a transaction runtime.
+
+    With ``parallel=True``, tasks whose dependencies are satisfied run
+    *concurrently* (alternatives stay ordered within each task); the
+    default executes tasks strictly in declaration order.  On success the
+    two modes are outcome-identical.  On failure they can differ for
+    tasks *independent* of the failing one: the sequential engine never
+    starts them (SKIPPED), while the parallel engine may have already
+    committed them — and then compensates those that carry a
+    compensation.  The equivalence boundary is pinned down by the
+    workflow property suite.
+    """
+
+    def __init__(self, runtime, max_compensation_retries=100,
+                 max_idle_polls=1000, parallel=False):
+        self.runtime = runtime
+        self.max_compensation_retries = max_compensation_retries
+        self.max_idle_polls = max_idle_polls
+        self.parallel = parallel
+
+    # -- task strategies -----------------------------------------------------
+
+    def _try_sequential(self, task):
+        """Contingent semantics over the task's alternatives."""
+        for alternative in task.alternatives:
+            tid = self.runtime.initiate(alternative.body, args=alternative.args)
+            if not tid or not self.runtime.begin(tid):
+                continue
+            if self.runtime.commit(tid):
+                return TaskOutcome(
+                    name=task.name,
+                    status=TaskStatus.COMMITTED,
+                    label=alternative.label,
+                    value=self.runtime.result_of(tid),
+                    tid=tid,
+                )
+        return TaskOutcome(name=task.name, status=TaskStatus.FAILED)
+
+    def _try_race(self, task):
+        """Race all alternatives; first completion wins, losers abort."""
+        entries = []
+        for alternative in task.alternatives:
+            tid = self.runtime.initiate(alternative.body, args=alternative.args)
+            if tid and self.runtime.begin(tid):
+                entries.append((tid, alternative))
+        manager = self.runtime.manager
+        idle = 0
+        while entries:
+            winner = None
+            still_running = []
+            for tid, alternative in entries:
+                outcome = manager.wait_outcome(tid)
+                if outcome is True:
+                    winner = (tid, alternative)
+                    break
+                if outcome is None:
+                    still_running.append((tid, alternative))
+                # outcome False: that racer aborted; drop it.
+            if winner is not None:
+                tid, alternative = winner
+                for other_tid, __ in entries:
+                    if other_tid != tid:
+                        self.runtime.abort(other_tid)
+                if self.runtime.commit(tid):
+                    return TaskOutcome(
+                        name=task.name,
+                        status=TaskStatus.COMMITTED,
+                        label=alternative.label,
+                        value=self.runtime.result_of(tid),
+                        tid=tid,
+                    )
+                entries = []  # winner failed to commit: everyone is gone
+                break
+            entries = still_running
+            if entries:
+                if not self.runtime.poll():
+                    idle += 1
+                    if idle > self.max_idle_polls:
+                        raise AssetError(
+                            f"race in task {task.name!r} made no progress"
+                        )
+        return TaskOutcome(name=task.name, status=TaskStatus.FAILED)
+
+    # -- the engine ---------------------------------------------------------------
+
+    def execute(self, spec):
+        """Run ``spec``; returns a :class:`WorkflowResult`."""
+        spec.validate()
+        if self.parallel:
+            return self._execute_parallel(spec)
+        result = WorkflowResult(name=spec.name, success=True)
+        committed = []  # (task, outcome) pairs, commit order
+
+        for task in spec:
+            unmet = [
+                dep
+                for dep in task.depends_on
+                if result.outcomes[dep].status is not TaskStatus.COMMITTED
+            ]
+            if unmet:
+                outcome = TaskOutcome(
+                    name=task.name, status=TaskStatus.SKIPPED
+                )
+                result.outcomes[task.name] = outcome
+                if not task.optional:
+                    return self._fail(spec, result, committed)
+                continue
+
+            strategy = self._try_race if task.race else self._try_sequential
+            outcome = strategy(task)
+            result.outcomes[task.name] = outcome
+
+            if outcome.status is TaskStatus.COMMITTED:
+                committed.append((task, outcome))
+            elif not task.optional:
+                return self._fail(spec, result, committed)
+        return result
+
+    # -- parallel execution ----------------------------------------------------
+
+    def _execute_parallel(self, spec):
+        """Overlap independent tasks; see the class docstring.
+
+        Each task is a little state machine: WAITING (dependencies
+        unresolved) → RUNNING (an alternative's transaction is live) →
+        COMMITTED / FAILED / SKIPPED.  One driver loop advances every
+        task, polling the runtime when nothing transitions.
+        """
+        manager = self.runtime.manager
+        result = WorkflowResult(name=spec.name, success=True)
+        committed = []  # (task, outcome) in commit order
+        runs = {
+            task.name: {
+                "task": task, "state": "waiting", "alt": 0, "tids": [],
+            }
+            for task in spec
+        }
+
+        def start_next_alternative(run):
+            task = run["task"]
+            if task.race:
+                entrants = list(task.alternatives)  # race: begin them all
+            else:
+                entrants = [task.alternatives[run["alt"]]]
+            run["tids"] = []
+            for alternative in entrants:
+                tid = self.runtime.initiate(
+                    alternative.body, args=alternative.args
+                )
+                if tid and self.runtime.begin(tid):
+                    run["tids"].append((tid, alternative))
+            run["state"] = "running" if run["tids"] else "failed"
+
+        def settle(run):
+            """Advance a running task; True when its state changed."""
+            task = run["task"]
+            still = []
+            winner = None
+            for tid, alternative in run["tids"]:
+                ready = manager.wait_outcome(tid)
+                if ready is True and winner is None:
+                    winner = (tid, alternative)
+                elif ready is None:
+                    still.append((tid, alternative))
+                # ready False: that alternative aborted; drop it.
+            if winner is not None:
+                tid, alternative = winner
+                for other_tid, __ in run["tids"]:
+                    if other_tid != tid:
+                        self.runtime.abort(other_tid)
+                outcome_obj = manager.try_commit(tid)
+                if not outcome_obj.is_final:
+                    return False  # commit blocked: try again next round
+                if outcome_obj:
+                    run["state"] = "committed"
+                    run["outcome"] = TaskOutcome(
+                        name=task.name,
+                        status=TaskStatus.COMMITTED,
+                        label=alternative.label,
+                        value=self.runtime.result_of(tid),
+                        tid=tid,
+                    )
+                    return True
+                still = []  # the winner aborted at commit time
+            run["tids"] = still
+            if still:
+                return False
+            # Everyone in flight died: next alternative, or fail.
+            if not task.race and run["alt"] + 1 < len(task.alternatives):
+                run["alt"] += 1
+                start_next_alternative(run)
+                return True
+            run["state"] = "failed"
+            return True
+
+        idle = 0
+        abandoned = False
+        while True:
+            progressed = False
+            for run in runs.values():
+                task = run["task"]
+                if run["state"] == "waiting":
+                    dep_states = [runs[d]["state"] for d in task.depends_on]
+                    if all(state == "committed" for state in dep_states):
+                        start_next_alternative(run)
+                        progressed = True
+                    elif any(
+                        state in ("failed", "skipped")
+                        for state in dep_states
+                    ):
+                        run["state"] = "skipped"
+                        progressed = True
+                elif run["state"] == "running":
+                    progressed |= settle(run)
+            pending = [
+                r for r in runs.values()
+                if r["state"] in ("waiting", "running")
+            ]
+            required_failure = any(
+                r["state"] in ("failed", "skipped")
+                and not r["task"].optional
+                for r in runs.values()
+            )
+            if required_failure:
+                abandoned = True
+                for run in pending:
+                    for tid, __ in run.get("tids", ()):
+                        self.runtime.abort(tid)
+                    if run["state"] in ("waiting", "running"):
+                        run["state"] = "skipped"
+                break
+            if not pending:
+                break
+            if not progressed:
+                if not self.runtime.poll():
+                    idle += 1
+                    if idle > self.max_idle_polls:
+                        raise AssetError(
+                            f"parallel workflow {spec.name!r} stalled"
+                        )
+
+        # Assemble outcomes in declaration order; track commit order for
+        # compensation by the order tasks reached "committed".
+        for task in spec:
+            run = runs[task.name]
+            if run["state"] == "committed":
+                result.outcomes[task.name] = run["outcome"]
+                committed.append((task, run["outcome"]))
+            elif run["state"] == "failed":
+                result.outcomes[task.name] = TaskOutcome(
+                    name=task.name, status=TaskStatus.FAILED
+                )
+            else:
+                result.outcomes[task.name] = TaskOutcome(
+                    name=task.name, status=TaskStatus.SKIPPED
+                )
+        if abandoned:
+            self._compensate(result, committed)
+            result.success = False
+        return result
+
+    def _fail(self, spec, result, committed):
+        """Abandon the workflow: compensate, and mark untried tasks."""
+        self._compensate(result, committed)
+        for task in spec:
+            if task.name not in result.outcomes:
+                result.outcomes[task.name] = TaskOutcome(
+                    name=task.name, status=TaskStatus.SKIPPED
+                )
+        result.success = False
+        return result
+
+    def _compensate(self, result, committed):
+        """Backward recovery: undo committed tasks, newest first."""
+        for task, outcome in reversed(committed):
+            if task.compensation is None:
+                continue
+            attempts = 0
+            while True:
+                attempts += 1
+                if attempts > self.max_compensation_retries:
+                    raise AssetError(
+                        f"compensation of task {task.name!r} failed"
+                        f" {self.max_compensation_retries} times"
+                    )
+                ct = self.runtime.initiate(
+                    task.compensation, args=task.compensation_args
+                )
+                if not ct:
+                    continue
+                self.runtime.begin(ct)
+                if self.runtime.commit(ct):
+                    break
+            outcome.status = TaskStatus.COMPENSATED
+            result.compensation_order.append(task.name)

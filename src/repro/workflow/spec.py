@@ -1,0 +1,104 @@
+"""Declarative workflow specifications.
+
+A workflow is an ordered collection of tasks.  Each task has:
+
+* **alternatives** — transaction bodies tried in preference order
+  (contingent semantics: "X prefers to fly on Delta, United, or American
+  in that order"), or *raced* in parallel with first-completion-wins
+  (the appendix's National/Avis car rental);
+* an optional **compensation** — run if the workflow later fails after
+  this task committed (the flight is cancelled when no hotel exists);
+* an **optional** flag — failure does not fail the workflow ("if a car
+  cannot be rented, the trip can still proceed");
+* **depends_on** — names of tasks that must succeed first.
+
+The engine (:mod:`repro.workflow.engine`) translates all of this into the
+primitives, exactly as the hand-written appendix program does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import AssetError
+
+
+@dataclass(frozen=True)
+class Alternative:
+    """One way to accomplish a task: a body, its args, and a label."""
+
+    body: object
+    args: tuple = ()
+    label: str = ""
+
+
+@dataclass
+class TaskSpec:
+    """One workflow task; see the module docstring for field meanings."""
+
+    name: str
+    alternatives: list = field(default_factory=list)
+    compensation: object = None
+    compensation_args: tuple = ()
+    optional: bool = False
+    race: bool = False
+    depends_on: tuple = ()
+
+    def alternative(self, body, args=(), label=""):
+        """Append an alternative (fluent: returns self)."""
+        self.alternatives.append(
+            Alternative(body=body, args=tuple(args), label=label)
+        )
+        return self
+
+    def compensate_with(self, body, args=()):
+        """Attach the compensating transaction (fluent: returns self)."""
+        self.compensation = body
+        self.compensation_args = tuple(args)
+        return self
+
+
+class WorkflowSpec:
+    """An ordered, dependency-checked set of tasks."""
+
+    def __init__(self, name="workflow"):
+        self.name = name
+        self.tasks = []
+
+    def task(self, name, optional=False, race=False, depends_on=()):
+        """Add a task and return its :class:`TaskSpec` for chaining."""
+        spec = TaskSpec(
+            name=name,
+            optional=optional,
+            race=race,
+            depends_on=tuple(depends_on),
+        )
+        self.tasks.append(spec)
+        return spec
+
+    def validate(self):
+        """Check names are unique, dependencies exist and look backwards.
+
+        Tasks run in declaration order, so a dependency must name an
+        earlier task; that also rules out cycles.
+        """
+        seen = set()
+        for task in self.tasks:
+            if task.name in seen:
+                raise AssetError(f"duplicate task name: {task.name!r}")
+            if not task.alternatives:
+                raise AssetError(f"task {task.name!r} has no alternatives")
+            for dep in task.depends_on:
+                if dep not in seen:
+                    raise AssetError(
+                        f"task {task.name!r} depends on {dep!r}, which is"
+                        " not an earlier task"
+                    )
+            seen.add(task.name)
+        return self
+
+    def __iter__(self):
+        return iter(self.tasks)
+
+    def __len__(self):
+        return len(self.tasks)

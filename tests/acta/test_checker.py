@@ -1,0 +1,121 @@
+"""Model-property checkers."""
+
+import pytest
+
+from repro.acta.checker import (
+    check_abort_dependencies,
+    check_commit_order,
+    check_compensation_shape,
+    check_group_atomicity,
+    final_fate,
+)
+from repro.acta.history import HistoryRecorder
+from repro.common.clock import LogicalClock
+from repro.common.events import EventBus, EventKind
+from repro.common.ids import Tid
+
+
+def make_recorder():
+    bus = EventBus(LogicalClock())
+    recorder = HistoryRecorder()
+    bus.subscribe(recorder._on_event)
+    return bus, recorder
+
+
+class TestFinalFate:
+    def test_fates(self):
+        bus, recorder = make_recorder()
+        bus.emit(EventKind.COMMITTED, Tid(1))
+        bus.emit(EventKind.ABORTED, Tid(2))
+        assert final_fate(recorder, Tid(1)) == "committed"
+        assert final_fate(recorder, Tid(2)) == "aborted"
+        assert final_fate(recorder, Tid(3)) == "active"
+
+
+class TestGroupAtomicity:
+    def test_violation_detected(self):
+        bus, recorder = make_recorder()
+        bus.emit(EventKind.FORM_DEPENDENCY, Tid(1), other=Tid(2),
+                 dep_type="GC")
+        bus.emit(EventKind.COMMITTED, Tid(1))
+        bus.emit(EventKind.ABORTED, Tid(2))
+        assert len(check_group_atomicity(recorder)) == 1
+
+    def test_both_commit_ok(self):
+        bus, recorder = make_recorder()
+        bus.emit(EventKind.FORM_DEPENDENCY, Tid(1), other=Tid(2),
+                 dep_type="GC")
+        bus.emit(EventKind.COMMITTED, Tid(1))
+        bus.emit(EventKind.COMMITTED, Tid(2))
+        assert check_group_atomicity(recorder) == []
+
+    def test_undecided_pairs_ignored(self):
+        bus, recorder = make_recorder()
+        bus.emit(EventKind.FORM_DEPENDENCY, Tid(1), other=Tid(2),
+                 dep_type="GC")
+        bus.emit(EventKind.COMMITTED, Tid(1))
+        assert check_group_atomicity(recorder) == []
+
+
+class TestAbortDependencies:
+    def test_violation(self):
+        bus, recorder = make_recorder()
+        bus.emit(EventKind.FORM_DEPENDENCY, Tid(1), other=Tid(2),
+                 dep_type="AD")
+        bus.emit(EventKind.ABORTED, Tid(1))
+        bus.emit(EventKind.COMMITTED, Tid(2))
+        assert check_abort_dependencies(recorder) == [(Tid(1), Tid(2))]
+
+    def test_ok_when_both_abort(self):
+        bus, recorder = make_recorder()
+        bus.emit(EventKind.FORM_DEPENDENCY, Tid(1), other=Tid(2),
+                 dep_type="AD")
+        bus.emit(EventKind.ABORTED, Tid(1))
+        bus.emit(EventKind.ABORTED, Tid(2))
+        assert check_abort_dependencies(recorder) == []
+
+
+class TestCommitOrder:
+    def test_violation(self):
+        bus, recorder = make_recorder()
+        bus.emit(EventKind.FORM_DEPENDENCY, Tid(1), other=Tid(2),
+                 dep_type="CD")
+        bus.emit(EventKind.COMMITTED, Tid(2))  # tj first: violation
+        bus.emit(EventKind.COMMITTED, Tid(1))
+        assert check_commit_order(recorder) == [(Tid(1), Tid(2))]
+
+    def test_correct_order(self):
+        bus, recorder = make_recorder()
+        bus.emit(EventKind.FORM_DEPENDENCY, Tid(1), other=Tid(2),
+                 dep_type="CD")
+        bus.emit(EventKind.COMMITTED, Tid(1))
+        bus.emit(EventKind.COMMITTED, Tid(2))
+        assert check_commit_order(recorder) == []
+
+
+class TestCompensationShape:
+    def test_committed_saga(self):
+        assert check_compensation_shape(["t1", "t2", "t3"], 3)
+
+    def test_compensated_prefix(self):
+        assert check_compensation_shape(["t1", "t2", "ct2", "ct1"], 3)
+
+    def test_empty_run(self):
+        assert check_compensation_shape([], 3)
+
+    def test_wrong_compensation_order(self):
+        assert not check_compensation_shape(["t1", "t2", "ct1", "ct2"], 3)
+
+    def test_missing_compensation(self):
+        assert not check_compensation_shape(["t1", "t2", "ct2"], 3)
+
+    def test_interleaved_rejected(self):
+        assert not check_compensation_shape(["t1", "ct1", "t2"], 3)
+
+    def test_committed_saga_with_trailing_comp_rejected(self):
+        assert not check_compensation_shape(
+            ["t1", "t2", "t3", "ct3"], 3
+        )
+
+    def test_forward_gap_rejected(self):
+        assert not check_compensation_shape(["t1", "t3"], 3)

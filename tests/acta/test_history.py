@@ -1,0 +1,82 @@
+"""History recording from manager events."""
+
+import pytest
+
+from tests.conftest import incrementer, make_counters
+
+from repro.acta.history import HistoryRecorder
+from repro.common.events import EventKind
+from repro.core.semantics import READ, WRITE
+
+
+class TestRecording:
+    def test_operations_in_tick_order(self, rt):
+        recorder = HistoryRecorder(rt.manager)
+        [oid] = make_counters(rt, 1)
+        tid = rt.spawn(incrementer(oid))
+        rt.commit(tid)
+        operations = recorder.operations()
+        ticks = [op.tick for op in operations]
+        assert ticks == sorted(ticks)
+        mine = [op for op in operations if op.tid == tid]
+        assert [op.operation for op in mine] == [READ, WRITE]
+
+    def test_committed_and_aborted_lists(self, rt):
+        recorder = HistoryRecorder(rt.manager)
+        [oid] = make_counters(rt, 1)
+        good = rt.spawn(incrementer(oid))
+        rt.commit(good)
+        bad = rt.spawn(incrementer(oid, fail=True))
+        rt.wait(bad)
+        assert good in recorder.committed()
+        assert bad in recorder.aborted()
+
+    def test_delegations_recorded(self, rt):
+        recorder = HistoryRecorder(rt.manager)
+        [oid] = make_counters(rt, 1)
+        worker = rt.spawn(incrementer(oid))
+        rt.wait(worker)
+        target = rt.manager.initiate()
+        rt.manager.delegate(worker, target)
+        [delegation] = recorder.delegations()
+        assert delegation.source == worker
+        assert delegation.target == target
+        assert delegation.oids == (oid,)
+
+    def test_permits_recorded(self, rt):
+        recorder = HistoryRecorder(rt.manager)
+        [oid] = make_counters(rt, 1)
+        holder = rt.spawn(incrementer(oid))
+        rt.wait(holder)
+        rt.manager.permit(holder, oids=[oid], operations=[WRITE])
+        [permit] = recorder.permits()
+        assert permit.giver == holder
+        assert permit.receiver is None
+        assert permit.operation == WRITE
+
+    def test_dependencies_recorded(self, rt):
+        from repro.core.dependency import DependencyType
+
+        recorder = HistoryRecorder(rt.manager)
+        a = rt.manager.initiate()
+        b = rt.manager.initiate()
+        rt.manager.form_dependency(DependencyType.GC, a, b)
+        [(__, dep_type, ti, tj)] = recorder.dependencies()
+        assert dep_type == "GC"
+        assert (ti, tj) == (a, b)
+
+    def test_clear(self, rt):
+        recorder = HistoryRecorder(rt.manager)
+        make_counters(rt, 1)
+        assert recorder.events
+        recorder.clear()
+        assert recorder.events == []
+
+    def test_of_kind_filter(self, rt):
+        recorder = HistoryRecorder(rt.manager)
+        [oid] = make_counters(rt, 1)
+        tid = rt.spawn(incrementer(oid))
+        rt.commit(tid)
+        commits = recorder.of_kind(EventKind.COMMITTED)
+        assert all(e.kind is EventKind.COMMITTED for e in commits)
+        assert len(commits) >= 2  # setup + incrementer

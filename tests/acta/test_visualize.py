@@ -1,0 +1,75 @@
+"""History visualization output."""
+
+import pytest
+
+from tests.conftest import incrementer, make_counters
+
+from repro.acta.history import HistoryRecorder
+from repro.acta.visualize import (
+    format_history,
+    format_object_timeline,
+    summarize,
+)
+from repro.common.events import EventKind
+
+
+@pytest.fixture
+def run(rt):
+    recorder = HistoryRecorder(rt.manager)
+    [oid] = make_counters(rt, 1)
+    good = rt.spawn(incrementer(oid))
+    rt.commit(good)
+    bad = rt.spawn(incrementer(oid, fail=True))
+    rt.wait(bad)
+    return recorder, oid, good, bad
+
+
+class TestFormatHistory:
+    def test_every_event_is_one_line(self, run):
+        recorder, *_ = run
+        text = format_history(recorder)
+        assert len(text.splitlines()) == len(recorder.events)
+
+    def test_filter_by_tid(self, run):
+        recorder, __, good, bad = run
+        text = format_history(recorder, tids=[bad])
+        assert f"T{bad.value}" in text
+        assert f"T{good.value} " not in text
+
+    def test_filter_by_kind(self, run):
+        recorder, *_ = run
+        text = format_history(recorder, kinds=[EventKind.COMMITTED])
+        assert all("committed" in line for line in text.splitlines())
+
+    def test_ticks_ascend(self, run):
+        recorder, *_ = run
+        ticks = [
+            int(line.split()[0].split("=")[1])
+            for line in format_history(recorder).splitlines()
+        ]
+        assert ticks == sorted(ticks)
+
+    def test_abort_reason_shown(self, run):
+        recorder, __, __, bad = run
+        text = format_history(recorder, tids=[bad],
+                              kinds=[EventKind.ABORTED])
+        assert "aborted" in text
+
+
+class TestObjectTimeline:
+    def test_operations_only(self, run):
+        recorder, oid, *_ = run
+        text = format_object_timeline(recorder, oid)
+        for line in text.splitlines():
+            assert ("read" in line) or ("write" in line)
+        assert len(text.splitlines()) == len(
+            [op for op in recorder.operations() if op.oid == oid]
+        )
+
+
+class TestSummary:
+    def test_counts(self, run):
+        recorder, *_ = run
+        text = summarize(recorder)
+        assert "2 committed, 1 aborted" in text  # setup + good, bad
+        assert "1 objects" in text

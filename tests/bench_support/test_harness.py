@@ -1,0 +1,99 @@
+"""The experiment harness: metrics collection over deterministic runs."""
+
+import pytest
+
+from repro.acta.history import HistoryRecorder
+from repro.bench.harness import (
+    Metrics,
+    latency_stats,
+    run_interleaved,
+    run_sequential,
+)
+from repro.bench.workload import WorkloadSpec, bodies_for, populate_objects
+from repro.runtime.coop import CooperativeRuntime
+
+
+class TestMetrics:
+    def test_throughput(self):
+        metrics = Metrics(committed=10, steps=500)
+        assert metrics.throughput == 20.0
+
+    def test_zero_steps_throughput(self):
+        assert Metrics().throughput == 0.0
+
+    def test_latency_stats(self):
+        metrics = Metrics(latencies=[2, 4, 6])
+        assert metrics.mean_latency == 4.0
+        assert metrics.max_latency == 6
+
+    def test_empty_latencies(self):
+        assert Metrics().mean_latency == 0.0
+        assert Metrics().max_latency == 0
+
+
+class TestRuns:
+    def _setup(self, seed=5, **spec_kwargs):
+        rt = CooperativeRuntime(seed=seed)
+        spec = WorkloadSpec(seed=seed, **spec_kwargs)
+        oids = populate_objects(rt, spec.n_objects)
+        return rt, bodies_for(spec, oids)
+
+    def test_sequential_all_commit(self):
+        rt, bodies = self._setup(transactions=6, n_objects=8)
+        metrics = run_sequential(rt, bodies)
+        assert metrics.committed == 6
+        assert metrics.aborted == 0
+
+    def test_interleaved_accounts_everything(self):
+        rt, bodies = self._setup(
+            transactions=6, n_objects=2, write_ratio=1.0
+        )
+        metrics = run_interleaved(rt, bodies)
+        assert metrics.committed + metrics.aborted == 6
+        assert metrics.steps > 0
+
+    def test_interleaved_with_recorder_collects_latency(self):
+        rt, bodies = self._setup(transactions=4, n_objects=8)
+        recorder = HistoryRecorder(rt.manager)
+        metrics = run_interleaved(rt, bodies, recorder=recorder)
+        assert len(metrics.latencies) == metrics.committed
+        assert all(lat > 0 for lat in metrics.latencies)
+
+    def test_contention_raises_aborts(self):
+        """All writers on one object deadlock far more than spread-out
+        writers (lock_blocks counts per-round retries, so the abort count
+        is the cleaner contention signal)."""
+        quiet_rt, quiet = self._setup(
+            transactions=8, n_objects=64, write_ratio=1.0
+        )
+        hot_rt, hot = self._setup(
+            transactions=8, n_objects=1, write_ratio=1.0
+        )
+        quiet_metrics = run_interleaved(quiet_rt, quiet)
+        hot_metrics = run_interleaved(hot_rt, hot)
+        assert hot_metrics.aborted > quiet_metrics.aborted
+        assert hot_metrics.committed < quiet_metrics.committed
+
+    def test_determinism_of_metrics(self):
+        first_rt, first = self._setup(transactions=5, n_objects=2)
+        second_rt, second = self._setup(transactions=5, n_objects=2)
+        a = run_interleaved(first_rt, first)
+        b = run_interleaved(second_rt, second)
+        assert (a.committed, a.aborted, a.steps) == (
+            b.committed, b.aborted, b.steps,
+        )
+
+
+class TestLatencyStats:
+    def test_only_requested_tids(self):
+        rt = CooperativeRuntime()
+        recorder = HistoryRecorder(rt.manager)
+        oids = populate_objects(rt, 2)
+        spec = WorkloadSpec(transactions=2, n_objects=2)
+        bodies = bodies_for(spec, oids)
+        first = rt.spawn(bodies[0])
+        rt.commit(first)
+        second = rt.spawn(bodies[1])
+        rt.commit(second)
+        assert len(latency_stats(recorder, tids=[first])) == 1
+        assert len(latency_stats(recorder)) >= 2

@@ -1,0 +1,26 @@
+"""Table rendering."""
+
+from repro.bench.report import format_table
+
+
+class TestFormatTable:
+    def test_contains_everything(self):
+        table = format_table(
+            "My Table",
+            ["col_a", "col_b"],
+            [[1, 2.5], ["long value", 3]],
+        )
+        assert "My Table" in table
+        assert "col_a" in table and "col_b" in table
+        assert "2.50" in table  # floats get two decimals
+        assert "long value" in table
+
+    def test_column_alignment(self):
+        table = format_table("T", ["x"], [[1], [22], [333]])
+        lines = table.splitlines()
+        data = lines[-3:]
+        assert len({len(line) for line in data}) == 1  # equal widths
+
+    def test_empty_rows(self):
+        table = format_table("Empty", ["a"], [])
+        assert "Empty" in table

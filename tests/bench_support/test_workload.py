@@ -1,0 +1,77 @@
+"""Workload generation: determinism, skew, body behaviour."""
+
+import pytest
+
+from tests.conftest import read_counter
+
+from repro.bench.workload import (
+    WorkloadSpec,
+    bodies_for,
+    body_for,
+    populate_objects,
+)
+from repro.core.semantics import READ, WRITE
+
+
+class TestGeneration:
+    def test_deterministic_for_same_seed(self):
+        spec = WorkloadSpec(transactions=5, ops_per_txn=3, seed=42)
+        assert spec.generate() == spec.generate()
+
+    def test_different_seeds_differ(self):
+        a = WorkloadSpec(transactions=10, ops_per_txn=5, seed=1).generate()
+        b = WorkloadSpec(transactions=10, ops_per_txn=5, seed=2).generate()
+        assert a != b
+
+    def test_shape(self):
+        spec = WorkloadSpec(transactions=7, ops_per_txn=4, n_objects=3)
+        workload = spec.generate()
+        assert len(workload) == 7
+        for ops in workload:
+            assert len(ops) == 4
+            for op, index in ops:
+                assert op in (READ, WRITE)
+                assert 0 <= index < 3
+
+    def test_write_ratio_extremes(self):
+        all_reads = WorkloadSpec(write_ratio=0.0, seed=3).generate()
+        assert all(op == READ for ops in all_reads for op, __ in ops)
+        all_writes = WorkloadSpec(write_ratio=1.0, seed=3).generate()
+        assert all(op == WRITE for ops in all_writes for op, __ in ops)
+
+    def test_zipf_skews_to_low_indexes(self):
+        spec = WorkloadSpec(
+            transactions=200, ops_per_txn=5, n_objects=20,
+            zipf_theta=1.5, seed=5,
+        )
+        counts = [0] * 20
+        for ops in spec.generate():
+            for __, index in ops:
+                counts[index] += 1
+        assert counts[0] > counts[10]
+        assert sum(counts[:5]) > sum(counts[15:])
+
+    def test_uniform_weights(self):
+        spec = WorkloadSpec(n_objects=4, zipf_theta=0.0)
+        assert spec.access_weights() == [1.0] * 4
+
+
+class TestBodies:
+    def test_populate_objects(self, rt):
+        oids = populate_objects(rt, 5, initial=3)
+        assert len(oids) == 5
+        assert all(read_counter(rt, oid) == 3 for oid in oids)
+
+    def test_body_executes_ops(self, rt):
+        oids = populate_objects(rt, 2, initial=10)
+        body = body_for([(READ, 0), (WRITE, 1), (READ, 1)], oids)
+        result = rt.run(body)
+        assert result.committed
+        assert read_counter(rt, oids[1]) == 11
+        # total = read(10) + read-for-write(10) is internal + read(11)
+        assert result.value == 21
+
+    def test_bodies_for_count(self, rt):
+        spec = WorkloadSpec(transactions=4)
+        oids = populate_objects(rt, spec.n_objects)
+        assert len(bodies_for(spec, oids)) == 4

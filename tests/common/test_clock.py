@@ -1,0 +1,52 @@
+"""Logical clock behaviour."""
+
+import threading
+
+import pytest
+
+from repro.common.clock import LogicalClock
+
+
+class TestLogicalClock:
+    def test_starts_at_zero(self):
+        assert LogicalClock().now() == 0
+
+    def test_custom_start(self):
+        assert LogicalClock(start=10).now() == 10
+
+    def test_tick_advances_and_returns(self):
+        clock = LogicalClock()
+        assert clock.tick() == 1
+        assert clock.tick(5) == 6
+        assert clock.now() == 6
+
+    def test_now_does_not_advance(self):
+        clock = LogicalClock()
+        clock.now()
+        clock.now()
+        assert clock.now() == 0
+
+    def test_negative_tick_rejected(self):
+        with pytest.raises(ValueError):
+            LogicalClock().tick(-1)
+
+    def test_advance_to_moves_forward_only(self):
+        clock = LogicalClock()
+        clock.advance_to(10)
+        assert clock.now() == 10
+        clock.advance_to(5)
+        assert clock.now() == 10
+
+    def test_thread_safety_no_lost_ticks(self):
+        clock = LogicalClock()
+
+        def spin():
+            for __ in range(1000):
+                clock.tick()
+
+        threads = [threading.Thread(target=spin) for __ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert clock.now() == 4000

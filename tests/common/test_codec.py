@@ -1,0 +1,52 @@
+"""Value codecs round-trip correctly."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.codec import (
+    decode_int,
+    decode_json,
+    decode_str,
+    encode_int,
+    encode_json,
+    encode_str,
+)
+
+
+class TestIntCodec:
+    def test_round_trip(self):
+        for value in (0, 1, -1, 10**30, -(10**30)):
+            assert decode_int(encode_int(value)) == value
+
+    @given(st.integers())
+    def test_round_trip_property(self, value):
+        assert decode_int(encode_int(value)) == value
+
+
+class TestStrCodec:
+    @given(st.text())
+    def test_round_trip_property(self, value):
+        assert decode_str(encode_str(value)) == value
+
+
+class TestJsonCodec:
+    def test_round_trip_records(self):
+        record = {"name": "Delta", "available": 3, "bookings": [["a", "b"]]}
+        assert decode_json(encode_json(record)) == record
+
+    def test_deterministic_encoding(self):
+        """Sorted keys: equal dicts encode identically (stable images)."""
+        a = encode_json({"x": 1, "y": 2})
+        b = encode_json({"y": 2, "x": 1})
+        assert a == b
+
+    @given(
+        st.recursive(
+            st.none() | st.booleans() | st.integers() | st.text(),
+            lambda children: st.lists(children)
+            | st.dictionaries(st.text(), children),
+            max_leaves=10,
+        )
+    )
+    def test_round_trip_property(self, value):
+        assert decode_json(encode_json(value)) == value

@@ -1,0 +1,72 @@
+"""Event bus and recorder behaviour."""
+
+from repro.common.clock import LogicalClock
+from repro.common.events import Event, EventBus, EventKind, EventRecorder
+from repro.common.ids import Tid
+
+
+class TestEventBus:
+    def test_emit_without_subscribers_is_cheap(self):
+        bus = EventBus()
+        assert bus.emit(EventKind.BEGIN, Tid(1)) is None
+
+    def test_delivery_order(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe(lambda e: seen.append(("first", e.kind)))
+        bus.subscribe(lambda e: seen.append(("second", e.kind)))
+        bus.emit(EventKind.BEGIN, Tid(1))
+        assert seen == [
+            ("first", EventKind.BEGIN),
+            ("second", EventKind.BEGIN),
+        ]
+
+    def test_unsubscribe(self):
+        bus = EventBus()
+        recorder = EventRecorder()
+        bus.subscribe(recorder)
+        bus.emit(EventKind.BEGIN, Tid(1))
+        bus.unsubscribe(recorder)
+        bus.emit(EventKind.ABORTED, Tid(1))
+        assert recorder.kinds() == [EventKind.BEGIN]
+
+    def test_unsubscribe_unknown_is_noop(self):
+        EventBus().unsubscribe(lambda e: None)
+
+    def test_ticks_come_from_the_clock(self):
+        clock = LogicalClock()
+        bus = EventBus(clock)
+        recorder = EventRecorder()
+        bus.subscribe(recorder)
+        bus.emit(EventKind.BEGIN, Tid(1))
+        bus.emit(EventKind.COMMITTED, Tid(1))
+        ticks = [event.tick for event in recorder.events]
+        assert ticks == sorted(ticks)
+        assert ticks[0] < ticks[1]
+
+    def test_detail_payload(self):
+        bus = EventBus()
+        recorder = EventRecorder()
+        bus.subscribe(recorder)
+        bus.emit(EventKind.DELEGATE, Tid(1), to=Tid(2), oids=(1, 2))
+        event = recorder.events[0]
+        assert event.detail["to"] == Tid(2)
+        assert event.detail["oids"] == (1, 2)
+
+    def test_repr_is_readable(self):
+        event = Event(EventKind.READ, Tid(3), tick=7, detail={"oid": 1})
+        assert "read" in repr(event)
+        assert "t=7" in repr(event)
+
+
+class TestEventRecorder:
+    def test_of_kind_and_clear(self):
+        bus = EventBus()
+        recorder = EventRecorder()
+        bus.subscribe(recorder)
+        bus.emit(EventKind.BEGIN, Tid(1))
+        bus.emit(EventKind.COMMITTED, Tid(1))
+        bus.emit(EventKind.BEGIN, Tid(2))
+        assert len(recorder.of_kind(EventKind.BEGIN)) == 2
+        recorder.clear()
+        assert recorder.events == []

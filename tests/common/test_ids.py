@@ -1,0 +1,83 @@
+"""Identifier types: null tid semantics, ordering, generators."""
+
+import pytest
+
+from repro.common.ids import (
+    NULL_TID,
+    IdGenerator,
+    Lsn,
+    ObjectId,
+    Tid,
+    lsn_generator,
+    tid_generator,
+)
+
+
+class TestTid:
+    def test_null_tid_is_falsy(self):
+        assert not NULL_TID
+        assert not Tid(0)
+
+    def test_nonnull_tid_is_truthy(self):
+        assert Tid(1)
+        assert Tid(10**9)
+
+    def test_equality_and_hash(self):
+        assert Tid(3) == Tid(3)
+        assert Tid(3) != Tid(4)
+        assert len({Tid(3), Tid(3), Tid(4)}) == 2
+
+    def test_ordering_follows_value(self):
+        assert Tid(1) < Tid(2) < Tid(10)
+
+    def test_repr_marks_null(self):
+        assert "null" in repr(NULL_TID)
+        assert "7" in repr(Tid(7))
+
+    def test_paper_style_null_check(self):
+        # if ((t = initiate(f)) != NULL) translates to `if t:`
+        t = NULL_TID
+        assert (t or "failed") == "failed"
+
+
+class TestObjectId:
+    def test_name_is_cosmetic(self):
+        assert ObjectId(5, name="a") == ObjectId(5, name="b")
+        assert hash(ObjectId(5, name="a")) == hash(ObjectId(5, name="b"))
+
+    def test_name_shows_in_repr(self):
+        assert "acct" in repr(ObjectId(1, name="acct"))
+
+    def test_ordering(self):
+        assert ObjectId(1) < ObjectId(2)
+
+
+class TestLsn:
+    def test_total_order(self):
+        assert Lsn(0) < Lsn(1) < Lsn(100)
+
+    def test_equality(self):
+        assert Lsn(4) == Lsn(4)
+
+
+class TestGenerators:
+    def test_tid_generator_starts_at_one(self):
+        gen = tid_generator()
+        assert gen.next() == Tid(1)
+        assert gen.next() == Tid(2)
+
+    def test_lsn_generator_monotone(self):
+        gen = lsn_generator()
+        values = [gen.next() for __ in range(5)]
+        assert values == sorted(values)
+        assert values[0] == Lsn(1)
+
+    def test_custom_start(self):
+        gen = IdGenerator(Tid, start=100)
+        assert gen.next() == Tid(100)
+
+    def test_generators_are_independent(self):
+        first, second = tid_generator(), tid_generator()
+        first.next()
+        first.next()
+        assert second.next() == Tid(1)

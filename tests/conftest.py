@@ -1,0 +1,85 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.acta.history import HistoryRecorder
+from repro.common.codec import decode_int, encode_int
+from repro.core.manager import TransactionManager
+from repro.runtime.coop import CooperativeRuntime
+from repro.runtime.threaded import ThreadedRuntime
+
+
+@pytest.fixture
+def manager():
+    """A fresh transaction manager over in-memory storage."""
+    return TransactionManager()
+
+
+@pytest.fixture
+def rt():
+    """A deterministic cooperative runtime (round-robin)."""
+    return CooperativeRuntime()
+
+
+@pytest.fixture
+def seeded_rt():
+    """A deterministic cooperative runtime with a fixed random seed."""
+    return CooperativeRuntime(seed=1234)
+
+
+@pytest.fixture
+def threaded_rt():
+    """A threaded runtime; closed after the test."""
+    runtime = ThreadedRuntime(watchdog_interval=0.01, poll_timeout=0.005)
+    yield runtime
+    runtime.close()
+
+
+@pytest.fixture
+def recorder(rt):
+    """A history recorder attached to the cooperative runtime's manager."""
+    return HistoryRecorder(rt.manager)
+
+
+# -- plain helpers (imported via conftest namespace in tests) ------------
+
+
+def make_counters(runtime, count, initial=0):
+    """Create ``count`` integer objects via a setup transaction."""
+
+    def setup(tx):
+        oids = []
+        for index in range(count):
+            oid = yield tx.create(encode_int(initial), name=f"c{index}")
+            oids.append(oid)
+        return oids
+
+    result = runtime.run(setup)
+    assert result.committed
+    return result.value
+
+
+def read_counter(runtime, oid):
+    """Read one integer object via a fresh transaction."""
+
+    def body(tx):
+        return decode_int((yield tx.read(oid)))
+
+    result = runtime.run(body)
+    assert result.committed
+    return result.value
+
+
+def incrementer(oid, delta=1, fail=False):
+    """A body that increments ``oid`` by ``delta`` (optionally aborting)."""
+
+    def body(tx):
+        value = decode_int((yield tx.read(oid)))
+        yield tx.write(oid, encode_int(value + delta))
+        if fail:
+            yield tx.abort()
+        return value + delta
+
+    return body

@@ -1,0 +1,118 @@
+"""Deadlock detection: waits-for graph, cycles, victims."""
+
+import pytest
+
+from repro.common.ids import Tid
+from repro.core.deadlock import DeadlockDetector, WaitsForGraph
+from repro.core.dependency import DependencyType
+from repro.core.manager import TransactionManager
+from repro.core.status import TransactionStatus
+
+
+class TestWaitsForGraph:
+    def test_no_cycle(self):
+        graph = WaitsForGraph()
+        graph.add(Tid(1), Tid(2))
+        graph.add(Tid(2), Tid(3))
+        assert graph.cycles() == []
+
+    def test_two_cycle(self):
+        graph = WaitsForGraph()
+        graph.add(Tid(1), Tid(2))
+        graph.add(Tid(2), Tid(1))
+        cycles = graph.cycles()
+        assert len(cycles) == 1
+        assert set(cycles[0]) == {Tid(1), Tid(2)}
+
+    def test_self_edge_ignored(self):
+        graph = WaitsForGraph()
+        graph.add(Tid(1), Tid(1))
+        assert graph.cycles() == []
+
+    def test_long_cycle(self):
+        graph = WaitsForGraph()
+        for value in range(1, 5):
+            graph.add(Tid(value), Tid(value % 4 + 1))
+        cycles = graph.cycles()
+        assert len(cycles) == 1
+        assert set(cycles[0]) == {Tid(1), Tid(2), Tid(3), Tid(4)}
+
+    def test_two_disjoint_cycles(self):
+        graph = WaitsForGraph()
+        graph.add(Tid(1), Tid(2))
+        graph.add(Tid(2), Tid(1))
+        graph.add(Tid(3), Tid(4))
+        graph.add(Tid(4), Tid(3))
+        assert len(graph.cycles()) == 2
+
+    def test_victim_is_youngest(self):
+        assert DeadlockDetector.choose_victim([Tid(3), Tid(9), Tid(5)]) == Tid(9)
+
+
+@pytest.fixture
+def manager():
+    return TransactionManager()
+
+
+def running(manager):
+    tid = manager.initiate()
+    manager.begin(tid)
+    return tid
+
+
+class TestLockDeadlocks:
+    def test_classic_two_transaction_deadlock(self, manager):
+        a, b = running(manager), running(manager)
+        oid_x = manager.create_object(a, b"x")
+        oid_y = manager.create_object(b, b"y")
+        assert not manager.try_write(a, oid_y, b"ay")
+        assert not manager.try_write(b, oid_x, b"bx")
+        detector = DeadlockDetector(manager)
+        cycles = detector.find_deadlocks()
+        assert len(cycles) == 1
+        assert set(cycles[0]) == {a, b}
+
+    def test_resolve_one_aborts_youngest(self, manager):
+        setup = running(manager)
+        oid_x = manager.create_object(setup, b"x")
+        oid_y = manager.create_object(setup, b"y")
+        manager.note_completed(setup)
+        manager.try_commit(setup)
+        a, b = running(manager), running(manager)
+        manager.try_write(a, oid_x, b"ax")
+        manager.try_write(b, oid_y, b"by")
+        manager.try_write(a, oid_y, b"ay")
+        manager.try_write(b, oid_x, b"bx")
+        victim = DeadlockDetector(manager).resolve_one()
+        assert victim == b  # youngest
+        assert manager.status_of(b) is TransactionStatus.ABORTED
+        assert manager.try_write(a, oid_y, b"ay")
+
+    def test_no_deadlock_returns_none(self, manager):
+        running(manager)
+        assert DeadlockDetector(manager).resolve_one() is None
+
+
+class TestCommitDeadlocks:
+    def test_commit_wait_cycle_via_gc_and_cd(self, manager):
+        """t1 GC-grouped with a running t2; t2's completion never comes
+        because t2 waits (CD) on t1's lock-holder... simplified: a commit
+        wait on a transaction that itself lock-waits on a group member."""
+        t1, t2 = running(manager), running(manager)
+        manager.note_completed(t1)
+        manager.form_dependency(DependencyType.GC, t1, t2)
+        # t1's commit waits for t2 (group member still running).
+        manager.try_commit(t1)
+        assert manager.is_commit_requested(t1)
+        assert manager.commit_waits_of(t1) == [t2]
+        graph = DeadlockDetector(manager).build_graph()
+        assert Tid(t2.value) in graph.edges.get(t1, set())
+
+    def test_cd_commit_wait_edges(self, manager):
+        ti, tj = running(manager), running(manager)
+        manager.note_completed(ti)
+        manager.note_completed(tj)
+        manager.form_dependency(DependencyType.CD, ti, tj)
+        manager.try_commit(tj)  # blocked on ti
+        waits = manager.commit_waits_of(tj)
+        assert waits == [ti]

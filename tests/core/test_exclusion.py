@@ -1,0 +1,89 @@
+"""The ED (exclusion) dependency: at most one of the pair commits."""
+
+import pytest
+
+from repro.core.dependency import DependencyType
+from repro.core.manager import TransactionManager
+from repro.core.status import TransactionStatus
+
+D = DependencyType
+
+
+@pytest.fixture
+def manager():
+    return TransactionManager()
+
+
+def completed(manager):
+    tid = manager.initiate()
+    manager.begin(tid)
+    manager.note_completed(tid)
+    return tid
+
+
+class TestExclusion:
+    def test_commit_aborts_excluded_dependent(self, manager):
+        ti, tj = completed(manager), completed(manager)
+        manager.form_dependency(D.ED, ti, tj)
+        assert manager.try_commit(ti)
+        assert manager.status_of(tj) is TransactionStatus.ABORTED
+
+    def test_dependent_commit_does_not_abort_dependee(self, manager):
+        ti, tj = completed(manager), completed(manager)
+        manager.form_dependency(D.ED, ti, tj)
+        assert manager.try_commit(tj)  # the dependent goes first: fine
+        assert manager.try_commit(ti)  # one-way exclusion: ti unaffected
+
+    def test_mutual_exclusion(self, manager):
+        """ED both ways: whichever commits first wins, the other dies."""
+        ti, tj = completed(manager), completed(manager)
+        manager.form_dependency(D.ED, ti, tj)
+        manager.form_dependency(D.ED, tj, ti)
+        assert manager.try_commit(tj)
+        assert manager.status_of(ti) is TransactionStatus.ABORTED
+
+    def test_abort_of_dependee_frees_dependent(self, manager):
+        ti, tj = completed(manager), completed(manager)
+        manager.form_dependency(D.ED, ti, tj)
+        manager.abort(ti)
+        assert manager.try_commit(tj)
+
+    def test_ed_does_not_block_commit(self, manager):
+        ti, tj = completed(manager), completed(manager)
+        manager.form_dependency(D.ED, ti, tj)
+        outcome = manager.try_commit(tj)
+        assert outcome  # no waiting involved
+
+    def test_race_idiom(self, manager):
+        """Three racers, pairwise mutual exclusion: exactly one commits."""
+        racers = [completed(manager) for __ in range(3)]
+        for i, first in enumerate(racers):
+            for second in racers[i + 1 :]:
+                manager.form_dependency(D.ED, first, second)
+                manager.form_dependency(D.ED, second, first)
+        manager.try_commit(racers[1])
+        fates = [manager.status_of(r) for r in racers]
+        assert fates.count(TransactionStatus.COMMITTED) == 1
+        assert fates.count(TransactionStatus.ABORTED) == 2
+
+    def test_ed_undoes_excluded_work(self, manager):
+        setup = manager.initiate()
+        manager.begin(setup)
+        oid = manager.create_object(setup, b"base")
+        manager.note_completed(setup)
+        manager.try_commit(setup)
+
+        winner = manager.initiate()
+        manager.begin(winner)
+        loser = manager.initiate()
+        manager.begin(loser)
+        manager.try_write(loser, oid, b"loser-wrote")
+        manager.note_completed(loser)
+        manager.note_completed(winner)
+        manager.form_dependency(D.ED, winner, loser)
+        manager.try_commit(winner)
+
+        reader = manager.initiate()
+        manager.begin(reader)
+        __, value = manager.try_read(reader, oid)
+        assert value == b"base"

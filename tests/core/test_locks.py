@@ -1,0 +1,230 @@
+"""The lock manager: the section 4.2 read-lock/write-lock algorithm."""
+
+import pytest
+
+from repro.common.ids import ObjectId, Tid
+from repro.core.descriptors import TransactionDescriptor
+from repro.core.locks import LockManager, ObjectRegistry
+from repro.core.permits import PermitTable
+from repro.core.semantics import READ, WRITE, ConflictTable
+
+
+@pytest.fixture
+def registry():
+    return ObjectRegistry()
+
+
+@pytest.fixture
+def permits(registry):
+    return PermitTable(registry)
+
+
+@pytest.fixture
+def locks(registry, permits):
+    return LockManager(registry, permits)
+
+
+def td(value):
+    return TransactionDescriptor(tid=Tid(value))
+
+
+OB = ObjectId(1)
+OB2 = ObjectId(2)
+
+
+class TestBasicLocking:
+    def test_read_read_share(self, locks):
+        a, b = td(1), td(2)
+        assert locks.acquire(a, OB, READ)
+        assert locks.acquire(b, OB, READ)
+
+    def test_write_blocks_write(self, locks):
+        a, b = td(1), td(2)
+        assert locks.acquire(a, OB, WRITE)
+        outcome = locks.acquire(b, OB, WRITE)
+        assert not outcome
+        assert outcome.blockers == (Tid(1),)
+
+    def test_write_blocks_read(self, locks):
+        a, b = td(1), td(2)
+        locks.acquire(a, OB, WRITE)
+        assert not locks.acquire(b, OB, READ)
+
+    def test_read_blocks_write(self, locks):
+        a, b = td(1), td(2)
+        locks.acquire(a, OB, READ)
+        assert not locks.acquire(b, OB, WRITE)
+
+    def test_reacquire_is_idempotent(self, locks):
+        a = td(1)
+        locks.acquire(a, OB, WRITE)
+        assert locks.acquire(a, OB, WRITE)
+        assert len(a.locks) == 1
+
+    def test_upgrade_read_to_write(self, locks):
+        a = td(1)
+        locks.acquire(a, OB, READ)
+        assert locks.acquire(a, OB, WRITE)
+        assert locks.holds(a, OB, WRITE)
+
+    def test_upgrade_blocked_by_other_reader(self, locks):
+        a, b = td(1), td(2)
+        locks.acquire(a, OB, READ)
+        locks.acquire(b, OB, READ)
+        assert not locks.acquire(a, OB, WRITE)
+
+    def test_holds_semantics(self, locks):
+        a = td(1)
+        locks.acquire(a, OB, WRITE)
+        assert locks.holds(a, OB, READ)  # write covers read
+        assert not locks.holds(a, OB2, READ)
+
+    def test_independent_objects(self, locks):
+        a, b = td(1), td(2)
+        assert locks.acquire(a, OB, WRITE)
+        assert locks.acquire(b, OB2, WRITE)
+
+
+class TestPendingAndRelease:
+    def test_blocked_request_registers_pending(self, locks):
+        a, b = td(1), td(2)
+        locks.acquire(a, OB, WRITE)
+        locks.acquire(b, OB, WRITE)
+        pending = locks.pending_requests(Tid(2))
+        assert len(pending) == 1
+        assert locks.blockers_of(pending[0]) == [Tid(1)]
+
+    def test_release_unblocks(self, locks):
+        a, b = td(1), td(2)
+        locks.acquire(a, OB, WRITE)
+        locks.acquire(b, OB, WRITE)
+        locks.release_all(a)
+        assert locks.acquire(b, OB, WRITE)
+        assert locks.pending_requests(Tid(2)) == []
+
+    def test_release_clears_pending_too(self, locks, registry):
+        a, b = td(1), td(2)
+        locks.acquire(a, OB, WRITE)
+        locks.acquire(b, OB, WRITE)
+        locks.release_all(b)  # b gives up while pending
+        assert locks.pending_requests(Tid(2)) == []
+
+    def test_od_freed_when_idle(self, locks, registry):
+        a = td(1)
+        locks.acquire(a, OB, WRITE)
+        assert registry.maybe_get(OB) is not None
+        locks.release_all(a)
+        assert registry.maybe_get(OB) is None
+
+
+class TestPermitsAndSuspension:
+    def test_permit_suspends_holder_lock(self, locks, permits):
+        a, b = td(1), td(2)
+        locks.acquire(a, OB, WRITE)
+        permits.grant(OB, Tid(1), receiver=Tid(2), operation=WRITE)
+        assert locks.acquire(b, OB, WRITE)
+        assert a.lock_on(OB).suspended
+        assert not b.lock_on(OB).suspended
+
+    def test_permit_for_wrong_op_does_not_help(self, locks, permits):
+        a, b = td(1), td(2)
+        locks.acquire(a, OB, WRITE)
+        permits.grant(OB, Tid(1), receiver=Tid(2), operation=READ)
+        assert not locks.acquire(b, OB, WRITE)
+        assert locks.acquire(b, OB, READ)
+
+    def test_ping_pong(self, locks, permits):
+        """Cooperating transactions alternate via mutual permits."""
+        a, b = td(1), td(2)
+        permits.grant(OB, Tid(1), receiver=Tid(2), operation=WRITE)
+        permits.grant(OB, Tid(2), receiver=Tid(1), operation=WRITE)
+        assert locks.acquire(a, OB, WRITE)
+        assert locks.acquire(b, OB, WRITE)  # a suspended
+        assert locks.acquire(a, OB, WRITE)  # b suspended, a resumed
+        assert locks.acquire(b, OB, WRITE)
+        assert a.lock_on(OB).suspended
+        assert not b.lock_on(OB).suspended
+
+    def test_suspended_third_party_does_not_block(self, locks, permits):
+        a, b, c = td(1), td(2), td(3)
+        locks.acquire(a, OB, WRITE)
+        permits.grant(OB, Tid(1), receiver=Tid(2), operation=WRITE)
+        locks.acquire(b, OB, WRITE)
+        # c has no permission from b (the active holder) -> blocked by b
+        # only (a's suspended lock no longer excludes).
+        outcome = locks.acquire(c, OB, WRITE)
+        assert not outcome
+        assert outcome.blockers == (Tid(2),)
+
+    def test_invariant_no_two_active_conflicting(self, locks, permits):
+        a, b = td(1), td(2)
+        permits.grant(OB, Tid(1), receiver=Tid(2), operation=WRITE)
+        locks.acquire(a, OB, WRITE)
+        locks.acquire(b, OB, WRITE)
+        assert locks.check_invariants() == []
+
+    def test_stats_track_suspensions(self, locks, permits):
+        a, b = td(1), td(2)
+        locks.acquire(a, OB, WRITE)
+        permits.grant(OB, Tid(1), receiver=Tid(2), operation=WRITE)
+        locks.acquire(b, OB, WRITE)
+        assert locks.stats["suspensions"] == 1
+
+
+class TestDelegation:
+    def test_delegate_moves_lock(self, locks):
+        a, b = td(1), td(2)
+        locks.acquire(a, OB, WRITE)
+        moved = locks.delegate(a, b)
+        assert moved == [OB]
+        assert a.lock_on(OB) is None
+        assert b.lock_on(OB) is not None
+        assert b.lock_on(OB).td is b
+
+    def test_delegate_scoped_to_oids(self, locks):
+        a, b = td(1), td(2)
+        locks.acquire(a, OB, WRITE)
+        locks.acquire(a, OB2, WRITE)
+        moved = locks.delegate(a, b, oids={OB})
+        assert moved == [OB]
+        assert a.lock_on(OB2) is not None
+        assert b.lock_on(OB) is not None
+
+    def test_delegate_merges_with_existing(self, locks):
+        a, b = td(1), td(2)
+        locks.acquire(a, OB, READ)
+        locks.acquire(b, OB, READ)
+        locks.delegate(a, b)
+        assert a.lock_on(OB) is None
+        merged = b.lock_on(OB)
+        assert merged.operations == {READ}
+        od = locks.registry.maybe_get(OB)
+        assert len(od.granted) == 1
+
+    def test_delegated_lock_conflicts_with_delegator(self, locks):
+        """After delegation, the delegator's new request can conflict
+        with its own past operations (section 2.2)."""
+        a, b = td(1), td(2)
+        locks.acquire(a, OB, WRITE)
+        locks.delegate(a, b)
+        outcome = locks.acquire(a, OB, WRITE)
+        assert not outcome
+        assert outcome.blockers == (Tid(2),)
+
+
+class TestSemanticLocking:
+    def test_commuting_increments_share(self, registry, permits):
+        locks = LockManager(
+            registry, permits, conflicts=ConflictTable.with_counter_ops()
+        )
+        a, b = td(1), td(2)
+        assert locks.acquire(a, OB, "increment")
+        assert locks.acquire(b, OB, "increment")
+
+    def test_increment_blocks_reader(self, registry, permits):
+        locks = LockManager(
+            registry, permits, conflicts=ConflictTable.with_counter_ops()
+        )
+        a, b = td(1), td(2)
+        locks.acquire(a, OB, "increment")
+        assert not locks.acquire(b, OB, READ)

@@ -1,0 +1,239 @@
+"""TransactionManager: the basic primitives (section 2.1)."""
+
+import pytest
+
+from repro.common.errors import (
+    InvalidStateError,
+    TransactionAborted,
+    UnknownTransactionError,
+)
+from repro.common.ids import NULL_TID, Tid
+from repro.core.manager import TransactionManager
+from repro.core.outcomes import CommitStatus
+from repro.core.status import TransactionStatus
+
+
+@pytest.fixture
+def manager():
+    return TransactionManager()
+
+
+class TestInitiate:
+    def test_returns_fresh_tids(self, manager):
+        first = manager.initiate()
+        second = manager.initiate()
+        assert first and second and first != second
+
+    def test_records_parent(self, manager):
+        parent = manager.initiate()
+        child = manager.initiate(initiator=parent)
+        assert manager.parent_of(child) == parent
+        assert manager.parent_of(parent) == NULL_TID
+
+    def test_initial_status(self, manager):
+        tid = manager.initiate()
+        assert manager.status_of(tid) is TransactionStatus.INITIATED
+
+    def test_resource_limit_returns_null_tid(self):
+        manager = TransactionManager(max_transactions=2)
+        assert manager.initiate()
+        assert manager.initiate()
+        assert manager.initiate() == NULL_TID
+
+    def test_limit_frees_after_termination(self):
+        manager = TransactionManager(max_transactions=1)
+        tid = manager.initiate()
+        manager.abort(tid)
+        assert manager.initiate()
+
+    def test_unknown_tid_raises(self, manager):
+        with pytest.raises(UnknownTransactionError):
+            manager.status_of(Tid(404))
+
+
+class TestBegin:
+    def test_begin_transitions_to_running(self, manager):
+        tid = manager.initiate()
+        assert manager.begin(tid)
+        assert manager.status_of(tid) is TransactionStatus.RUNNING
+
+    def test_double_begin_fails(self, manager):
+        tid = manager.initiate()
+        manager.begin(tid)
+        assert not manager.begin(tid)
+
+    def test_multi_begin_all_or_nothing(self, manager):
+        first = manager.initiate()
+        second = manager.initiate()
+        manager.begin(first)
+        # first is already running: the joint begin must refuse both.
+        third = manager.initiate()
+        assert not manager.begin(first, third)
+        assert manager.status_of(third) is TransactionStatus.INITIATED
+        assert manager.begin(second, third)
+
+    def test_begin_aborted_transaction_fails(self, manager):
+        tid = manager.initiate()
+        manager.abort(tid)
+        assert not manager.begin(tid)
+
+
+class TestWaitAndComplete:
+    def test_wait_running_is_none(self, manager):
+        tid = manager.initiate()
+        manager.begin(tid)
+        assert manager.wait_outcome(tid) is None
+
+    def test_wait_after_completion(self, manager):
+        tid = manager.initiate()
+        manager.begin(tid)
+        manager.note_completed(tid)
+        assert manager.wait_outcome(tid) is True
+
+    def test_wait_after_abort(self, manager):
+        tid = manager.initiate()
+        manager.begin(tid)
+        manager.abort(tid)
+        assert manager.wait_outcome(tid) is False
+
+    def test_wait_after_commit(self, manager):
+        tid = manager.initiate()
+        manager.begin(tid)
+        manager.note_completed(tid)
+        manager.try_commit(tid)
+        assert manager.wait_outcome(tid) is True
+
+    def test_note_completed_on_aborting_returns_false(self, manager):
+        tid = manager.initiate()
+        manager.begin(tid)
+        manager.abort(tid)
+        assert not manager.note_completed(tid)
+
+
+class TestCommitBasics:
+    def test_commit_before_completion_not_ready(self, manager):
+        tid = manager.initiate()
+        manager.begin(tid)
+        outcome = manager.try_commit(tid)
+        assert outcome.status is CommitStatus.NOT_COMPLETED
+
+    def test_commit_after_completion(self, manager):
+        tid = manager.initiate()
+        manager.begin(tid)
+        manager.note_completed(tid)
+        outcome = manager.try_commit(tid)
+        assert outcome.status is CommitStatus.COMMITTED
+        assert manager.status_of(tid) is TransactionStatus.COMMITTED
+
+    def test_commit_twice_reports_already(self, manager):
+        tid = manager.initiate()
+        manager.begin(tid)
+        manager.note_completed(tid)
+        manager.try_commit(tid)
+        assert manager.try_commit(tid).status is CommitStatus.ALREADY_COMMITTED
+
+    def test_commit_aborted_reports_aborted(self, manager):
+        tid = manager.initiate()
+        manager.abort(tid)
+        outcome = manager.try_commit(tid)
+        assert outcome.status is CommitStatus.ABORTED
+        assert not outcome
+
+
+class TestAbortBasics:
+    def test_abort_returns_true(self, manager):
+        tid = manager.initiate()
+        assert manager.abort(tid)
+        assert manager.status_of(tid) is TransactionStatus.ABORTED
+
+    def test_abort_committed_returns_false(self, manager):
+        tid = manager.initiate()
+        manager.begin(tid)
+        manager.note_completed(tid)
+        manager.try_commit(tid)
+        assert not manager.abort(tid)
+
+    def test_abort_is_idempotent(self, manager):
+        tid = manager.initiate()
+        manager.abort(tid)
+        assert manager.abort(tid)
+
+    def test_status_queries(self, manager):
+        tid = manager.initiate()
+        assert not manager.has_aborted(tid)
+        assert not manager.has_committed(tid)
+        manager.abort(tid)
+        assert manager.has_aborted(tid)
+
+
+class TestObjectOperations:
+    def test_create_read_write(self, manager):
+        tid = manager.initiate()
+        manager.begin(tid)
+        oid = manager.create_object(tid, b"v0")
+        outcome, value = manager.try_read(tid, oid)
+        assert outcome and value == b"v0"
+        assert manager.try_write(tid, oid, b"v1")
+        __, value = manager.try_read(tid, oid)
+        assert value == b"v1"
+
+    def test_creator_holds_write_lock(self, manager):
+        tid = manager.initiate()
+        manager.begin(tid)
+        oid = manager.create_object(tid, b"v0")
+        other = manager.initiate()
+        manager.begin(other)
+        outcome, __ = manager.try_read(other, oid)
+        assert not outcome
+        assert outcome.blockers == (tid,)
+
+    def test_operations_on_aborted_raise(self, manager):
+        tid = manager.initiate()
+        manager.begin(tid)
+        oid = manager.create_object(tid, b"v0")
+        manager.abort(tid)
+        with pytest.raises(TransactionAborted):
+            manager.try_read(tid, oid)
+
+    def test_operations_before_begin_raise(self, manager):
+        tid = manager.initiate()
+        with pytest.raises(InvalidStateError):
+            manager.create_object(tid, b"v0")
+
+    def test_abort_undoes_writes(self, manager):
+        setup = manager.initiate()
+        manager.begin(setup)
+        oid = manager.create_object(setup, b"base")
+        manager.note_completed(setup)
+        manager.try_commit(setup)
+
+        writer = manager.initiate()
+        manager.begin(writer)
+        manager.try_write(writer, oid, b"dirty")
+        manager.abort(writer)
+
+        reader = manager.initiate()
+        manager.begin(reader)
+        __, value = manager.try_read(reader, oid)
+        assert value == b"base"
+
+    def test_abort_deletes_created_objects(self, manager):
+        tid = manager.initiate()
+        manager.begin(tid)
+        oid = manager.create_object(tid, b"temp")
+        manager.abort(tid)
+        assert not manager.storage.objects.exists(oid)
+
+    def test_semantic_operation(self, manager):
+        from repro.common.codec import decode_int, encode_int
+
+        tid = manager.initiate()
+        manager.begin(tid)
+        oid = manager.create_object(tid, encode_int(10))
+
+        def bump(raw):
+            value = decode_int(raw) + 5
+            return encode_int(value), value
+
+        outcome, result = manager.try_operation(tid, oid, "write", bump)
+        assert outcome and result == 15

@@ -1,0 +1,240 @@
+"""EX10: the section 4.2 commit and abort algorithms with dependencies."""
+
+import pytest
+
+from repro.common.errors import DependencyCycleError
+from repro.core.dependency import DependencyType
+from repro.core.manager import TransactionManager
+from repro.core.outcomes import CommitStatus
+from repro.core.status import TransactionStatus
+
+D = DependencyType
+
+
+@pytest.fixture
+def manager():
+    return TransactionManager()
+
+
+def completed(manager):
+    tid = manager.initiate()
+    manager.begin(tid)
+    manager.note_completed(tid)
+    return tid
+
+
+def running(manager):
+    tid = manager.initiate()
+    manager.begin(tid)
+    return tid
+
+
+class TestCommitDependency:
+    def test_cd_blocks_until_dependee_terminates(self, manager):
+        ti, tj = completed(manager), completed(manager)
+        manager.form_dependency(D.CD, ti, tj)
+        # tj cannot commit before ti terminates.
+        outcome = manager.try_commit(tj)
+        assert outcome.status is CommitStatus.BLOCKED
+        assert outcome.waiting_for == (ti,)
+        manager.try_commit(ti)
+        assert manager.try_commit(tj)
+
+    def test_cd_satisfied_by_dependee_abort(self, manager):
+        ti, tj = completed(manager), completed(manager)
+        manager.form_dependency(D.CD, ti, tj)
+        manager.abort(ti)
+        # "if t_i aborts, t_j may still commit"
+        assert manager.try_commit(tj)
+
+    def test_cd_does_not_constrain_dependee(self, manager):
+        ti, tj = completed(manager), completed(manager)
+        manager.form_dependency(D.CD, ti, tj)
+        assert manager.try_commit(ti)
+
+
+class TestAbortDependency:
+    def test_ad_blocks_commit_until_dependee_terminates(self, manager):
+        ti, tj = completed(manager), completed(manager)
+        manager.form_dependency(D.AD, ti, tj)
+        assert manager.try_commit(tj).status is CommitStatus.BLOCKED
+        manager.try_commit(ti)
+        assert manager.try_commit(tj)
+
+    def test_ad_cascades_abort(self, manager):
+        ti, tj = completed(manager), running(manager)
+        manager.form_dependency(D.AD, ti, tj)
+        manager.abort(ti)
+        assert manager.status_of(tj) is TransactionStatus.ABORTED
+
+    def test_ad_cascade_is_transitive(self, manager):
+        t1, t2, t3 = (completed(manager) for __ in range(3))
+        manager.form_dependency(D.AD, t1, t2)
+        manager.form_dependency(D.AD, t2, t3)
+        manager.abort(t1)
+        assert manager.status_of(t2) is TransactionStatus.ABORTED
+        assert manager.status_of(t3) is TransactionStatus.ABORTED
+        assert manager.stats["cascaded_aborts"] == 2
+
+    def test_ad_does_not_cascade_upstream(self, manager):
+        ti, tj = completed(manager), completed(manager)
+        manager.form_dependency(D.AD, ti, tj)
+        manager.abort(tj)  # the DEPENDENT aborts
+        assert manager.status_of(ti) is TransactionStatus.COMPLETED
+        assert manager.try_commit(ti)
+
+    def test_dependency_on_already_aborted(self, manager):
+        ti = completed(manager)
+        manager.abort(ti)
+        tj = completed(manager)
+        manager.form_dependency(D.AD, ti, tj)
+        # Forming an AD on an aborted dependee aborts the dependent now.
+        assert manager.status_of(tj) is TransactionStatus.ABORTED
+
+
+class TestGroupCommit:
+    def test_commit_one_commits_all(self, manager):
+        t1, t2, t3 = (completed(manager) for __ in range(3))
+        manager.form_dependency(D.GC, t1, t2)
+        manager.form_dependency(D.GC, t1, t3)
+        outcome = manager.try_commit(t1)
+        assert outcome.status is CommitStatus.COMMITTED
+        assert set(outcome.group) == {t1, t2, t3}
+        for tid in (t1, t2, t3):
+            assert manager.status_of(tid) is TransactionStatus.COMMITTED
+
+    def test_later_commits_return_already(self, manager):
+        t1, t2 = completed(manager), completed(manager)
+        manager.form_dependency(D.GC, t1, t2)
+        manager.try_commit(t1)
+        assert manager.try_commit(t2).status is CommitStatus.ALREADY_COMMITTED
+
+    def test_group_blocks_on_running_member(self, manager):
+        t1 = completed(manager)
+        t2 = running(manager)
+        manager.form_dependency(D.GC, t1, t2)
+        outcome = manager.try_commit(t1)
+        assert outcome.status is CommitStatus.BLOCKED
+        assert outcome.waiting_for == (t2,)
+        manager.note_completed(t2)
+        assert manager.try_commit(t1)
+
+    def test_group_aborts_together(self, manager):
+        t1, t2 = completed(manager), completed(manager)
+        manager.form_dependency(D.GC, t1, t2)
+        manager.abort(t2)
+        assert manager.status_of(t1) is TransactionStatus.ABORTED
+
+    def test_commit_on_group_with_aborted_member_fails(self, manager):
+        t1, t2 = completed(manager), running(manager)
+        manager.form_dependency(D.GC, t1, t2)
+        manager.abort(t2)
+        outcome = manager.try_commit(t1)
+        assert outcome.status is CommitStatus.ABORTED
+
+    def test_group_commit_is_one_log_record(self, manager):
+        from repro.storage.log import CommitRecord
+
+        t1, t2 = completed(manager), completed(manager)
+        manager.form_dependency(D.GC, t1, t2)
+        manager.try_commit(t1)
+        commits = [
+            r
+            for r in manager.storage.log.records()
+            if isinstance(r, CommitRecord)
+        ]
+        assert len(commits) == 1
+        assert commits[0].committed_tids() == {t1, t2}
+
+    def test_group_waits_for_external_dependency(self, manager):
+        t1, t2 = completed(manager), completed(manager)
+        outsider = completed(manager)
+        manager.form_dependency(D.GC, t1, t2)
+        manager.form_dependency(D.CD, outsider, t2)
+        outcome = manager.try_commit(t1)
+        assert outcome.status is CommitStatus.BLOCKED
+        assert outcome.waiting_for == (outsider,)
+        manager.try_commit(outsider)
+        assert manager.try_commit(t1)
+
+    def test_ingroup_cd_satisfied_by_simultaneity(self, manager):
+        t1, t2 = completed(manager), completed(manager)
+        manager.form_dependency(D.GC, t1, t2)
+        manager.form_dependency(D.CD, t1, t2)
+        assert manager.try_commit(t1)
+
+
+class TestCyclePrevention:
+    def test_cd_cycle_refused_via_manager(self, manager):
+        ti, tj = completed(manager), completed(manager)
+        manager.form_dependency(D.CD, ti, tj)
+        with pytest.raises(DependencyCycleError):
+            manager.form_dependency(D.CD, tj, ti)
+
+
+class TestBeginDependencies:
+    def test_bcd_blocks_begin_until_commit(self, manager):
+        ti = completed(manager)
+        tj = manager.initiate()
+        manager.form_dependency(D.BCD, ti, tj)
+        assert manager.begin_blockers(tj) == [ti]
+        assert not manager.begin(tj)
+        manager.try_commit(ti)
+        assert manager.begin_blockers(tj) == []
+        assert manager.begin(tj)
+
+    def test_bad_blocks_begin_until_abort(self, manager):
+        ti = completed(manager)
+        tj = manager.initiate()
+        manager.form_dependency(D.BAD, ti, tj)
+        assert manager.begin_blockers(tj) == [ti]
+        manager.abort(ti)
+        assert manager.begin_blockers(tj) == []
+        assert manager.begin(tj)
+
+    def test_bcd_dependent_aborted_when_dependee_aborts(self, manager):
+        ti = completed(manager)
+        tj = manager.initiate()
+        manager.form_dependency(D.BCD, ti, tj)
+        manager.abort(ti)
+        assert manager.status_of(tj) is TransactionStatus.ABORTED
+
+    def test_bad_dependent_aborted_when_dependee_commits(self, manager):
+        ti = completed(manager)
+        tj = manager.initiate()
+        manager.form_dependency(D.BAD, ti, tj)
+        manager.try_commit(ti)
+        assert manager.status_of(tj) is TransactionStatus.ABORTED
+
+
+class TestAbortReleasesEverything:
+    def test_abort_releases_locks(self, manager):
+        writer = running(manager)
+        oid = manager.create_object(writer, b"v")
+        other = running(manager)
+        assert not manager.try_read(other, oid)[0]
+        manager.abort(writer)
+        # The object is gone (created by the aborted transaction) — but
+        # the lock no longer blocks; re-check against a fresh object.
+        survivor = running(manager)
+        oid2 = manager.create_object(survivor, b"v")
+        manager.abort(survivor)
+        outcome, __ = manager.try_read(other, oid2) if manager.storage.objects.exists(oid2) else (None, None)
+        assert outcome is None  # object deleted by the abort
+
+    def test_commit_releases_locks_and_permits(self, manager):
+        writer = running(manager)
+        oid = manager.create_object(writer, b"v")
+        manager.permit(writer, oids=[oid])
+        manager.note_completed(writer)
+        manager.try_commit(writer)
+        assert len(manager.permits) == 0
+        other = running(manager)
+        outcome, value = manager.try_read(other, oid)
+        assert outcome and value == b"v"
+
+    def test_commit_removes_dependencies(self, manager):
+        ti, tj = completed(manager), completed(manager)
+        manager.form_dependency(D.CD, ti, tj)
+        manager.try_commit(ti)
+        assert len(manager.dependencies) == 0

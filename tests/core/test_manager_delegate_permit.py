@@ -1,0 +1,181 @@
+"""The new primitives at the manager level: delegate and permit forms."""
+
+import pytest
+
+from repro.common.errors import InvalidStateError
+from repro.core.manager import TransactionManager
+from repro.core.semantics import READ, WRITE
+from repro.core.status import TransactionStatus
+
+
+@pytest.fixture
+def manager():
+    return TransactionManager()
+
+
+def running(manager):
+    tid = manager.initiate()
+    manager.begin(tid)
+    return tid
+
+
+def committed_object(manager, value=b"base"):
+    setup = running(manager)
+    oid = manager.create_object(setup, value)
+    manager.note_completed(setup)
+    manager.try_commit(setup)
+    return oid
+
+
+class TestDelegate:
+    def test_delegate_moves_undo_responsibility(self, manager):
+        oid = committed_object(manager)
+        worker = running(manager)
+        manager.try_write(worker, oid, b"work")
+        collector = running(manager)
+        manager.delegate(worker, collector)
+
+        manager.abort(worker)  # no longer undoes the write
+        reader = running(manager)
+        assert not manager.try_read(reader, oid)[0]  # collector holds lock
+
+        manager.note_completed(collector)
+        manager.try_commit(collector)
+        outcome, value = manager.try_read(reader, oid)
+        assert outcome and value == b"work"
+
+    def test_delegatee_abort_undoes_delegated_work(self, manager):
+        oid = committed_object(manager)
+        worker = running(manager)
+        manager.try_write(worker, oid, b"work")
+        collector = running(manager)
+        manager.delegate(worker, collector)
+        manager.abort(collector)
+
+        reader = running(manager)
+        outcome, value = manager.try_read(reader, oid)
+        assert outcome and value == b"base"
+
+    def test_delegate_to_initiated_transaction(self, manager):
+        """The initiate/begin separation exists so one can delegate to a
+        not-yet-begun transaction (section 2.2 design note)."""
+        oid = committed_object(manager)
+        worker = running(manager)
+        manager.try_write(worker, oid, b"work")
+        target = manager.initiate()  # never begun
+        moved = manager.delegate(worker, target)
+        assert moved == [oid]
+        assert manager.status_of(target) is TransactionStatus.INITIATED
+
+    def test_delegate_subset(self, manager):
+        oid_a = committed_object(manager)
+        oid_b = committed_object(manager)
+        worker = running(manager)
+        manager.try_write(worker, oid_a, b"a")
+        manager.try_write(worker, oid_b, b"b")
+        collector = running(manager)
+        manager.delegate(worker, collector, oids={oid_a})
+        manager.abort(worker)  # undoes only oid_b
+
+        manager.note_completed(collector)
+        manager.try_commit(collector)
+        reader = running(manager)
+        assert manager.try_read(reader, oid_a)[1] == b"a"
+        assert manager.try_read(reader, oid_b)[1] == b"base"
+
+    def test_delegate_from_terminated_refused(self, manager):
+        worker = running(manager)
+        manager.abort(worker)
+        other = running(manager)
+        with pytest.raises(InvalidStateError):
+            manager.delegate(worker, other)
+
+    def test_delegate_to_terminated_refused(self, manager):
+        worker = running(manager)
+        dead = running(manager)
+        manager.abort(dead)
+        with pytest.raises(InvalidStateError):
+            manager.delegate(worker, dead)
+
+    def test_delegation_rewrites_permits(self, manager):
+        oid = committed_object(manager)
+        worker = running(manager)
+        manager.try_write(worker, oid, b"w")
+        outsider = running(manager)
+        manager.permit(worker, tj=outsider, oids=[oid], operations=[READ])
+        collector = running(manager)
+        manager.delegate(worker, collector)
+        # The permit is now given by the collector.
+        assert manager.permits.allows(oid, collector, outsider, READ)
+        assert not manager.permits.allows(oid, worker, outsider, READ)
+
+    def test_delegate_nothing_is_fine(self, manager):
+        worker = running(manager)
+        collector = running(manager)
+        assert manager.delegate(worker, collector) == []
+
+
+class TestPermitForms:
+    def test_fully_specific_form(self, manager):
+        oid = committed_object(manager)
+        holder = running(manager)
+        manager.try_write(holder, oid, b"x")
+        peer = running(manager)
+        manager.permit(holder, tj=peer, oids=[oid], operations=[WRITE])
+        assert manager.try_write(peer, oid, b"y")
+
+    def test_any_object_form_expands_held_locks(self, manager):
+        oid_a = committed_object(manager)
+        oid_b = committed_object(manager)
+        holder = running(manager)
+        manager.try_write(holder, oid_a, b"a")
+        manager.try_write(holder, oid_b, b"b")
+        peer = running(manager)
+        manager.permit(holder, tj=peer, operations=[WRITE])
+        assert manager.try_write(peer, oid_a, b"pa")
+        assert manager.try_write(peer, oid_b, b"pb")
+
+    def test_any_object_any_op_form(self, manager):
+        oid = committed_object(manager)
+        holder = running(manager)
+        manager.try_write(holder, oid, b"x")
+        peer = running(manager)
+        manager.permit(holder, tj=peer)
+        assert manager.try_read(peer, oid)[0]
+        assert manager.try_write(peer, oid, b"y")
+
+    def test_any_transaction_form(self, manager):
+        oid = committed_object(manager)
+        holder = running(manager)
+        manager.try_write(holder, oid, b"x")
+        manager.permit(holder, oids=[oid], operations=[READ])
+        for __ in range(3):
+            peer = running(manager)
+            assert manager.try_read(peer, oid)[0]
+
+    def test_permit_covers_later_acquired_objects_not(self, manager):
+        """Call-time expansion: objects locked after the permit are not
+        covered (matches the section 4.2 implementation)."""
+        oid_a = committed_object(manager)
+        oid_b = committed_object(manager)
+        holder = running(manager)
+        manager.try_write(holder, oid_a, b"a")
+        peer = running(manager)
+        manager.permit(holder, tj=peer, operations=[WRITE])
+        manager.try_write(holder, oid_b, b"b")  # acquired afterwards
+        assert manager.try_write(peer, oid_a, b"pa")
+        assert not manager.try_write(peer, oid_b, b"pb")
+
+    def test_permit_expansion_includes_received_permissions(self, manager):
+        """The any-object form also covers objects the giver holds
+        permissions on (section 4.2: 'accessed or has permission to
+        access')."""
+        oid = committed_object(manager)
+        holder = running(manager)
+        manager.try_write(holder, oid, b"x")
+        middle = running(manager)
+        manager.permit(holder, tj=middle, oids=[oid], operations=[WRITE])
+        # middle never locked oid, but holds a permission on it.
+        peer = running(manager)
+        manager.permit(middle, tj=peer, operations=[WRITE])
+        assert manager.try_write(peer, oid, b"y")

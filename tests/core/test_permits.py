@@ -1,0 +1,190 @@
+"""The permit table: four forms, transitive sharing, rewriting."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.ids import ObjectId, Tid
+from repro.core.locks import ObjectRegistry
+from repro.core.permits import PermitTable, _op_intersection
+from repro.core.semantics import READ, WRITE
+
+
+@pytest.fixture
+def registry():
+    return ObjectRegistry()
+
+
+@pytest.fixture
+def permits(registry):
+    return PermitTable(registry)
+
+
+OB = ObjectId(1)
+OB2 = ObjectId(2)
+
+
+class TestOpIntersection:
+    def test_none_is_all(self):
+        assert _op_intersection(None, None) == (True, None)
+        assert _op_intersection(None, "read") == (True, "read")
+        assert _op_intersection("write", None) == (True, "write")
+
+    def test_equal_ops(self):
+        assert _op_intersection("read", "read") == (True, "read")
+
+    def test_disjoint_ops(self):
+        assert _op_intersection("read", "write") == (False, None)
+
+
+class TestGrantAndAllow:
+    def test_specific_permit(self, permits):
+        permits.grant(OB, Tid(1), receiver=Tid(2), operation=WRITE)
+        assert permits.allows(OB, Tid(1), Tid(2), WRITE)
+        assert not permits.allows(OB, Tid(1), Tid(2), READ)
+        assert not permits.allows(OB, Tid(1), Tid(3), WRITE)
+        assert not permits.allows(OB2, Tid(1), Tid(2), WRITE)
+
+    def test_wildcard_receiver(self, permits):
+        permits.grant(OB, Tid(1), operation=WRITE)
+        assert permits.allows(OB, Tid(1), Tid(2), WRITE)
+        assert permits.allows(OB, Tid(1), Tid(42), WRITE)
+
+    def test_wildcard_operation(self, permits):
+        permits.grant(OB, Tid(1), receiver=Tid(2))
+        assert permits.allows(OB, Tid(1), Tid(2), READ)
+        assert permits.allows(OB, Tid(1), Tid(2), WRITE)
+
+    def test_wrong_giver_does_not_allow(self, permits):
+        permits.grant(OB, Tid(1), receiver=Tid(2))
+        assert not permits.allows(OB, Tid(9), Tid(2), READ)
+
+    def test_duplicate_grants_are_deduplicated(self, permits):
+        permits.grant(OB, Tid(1), receiver=Tid(2), operation=WRITE)
+        added = permits.grant(OB, Tid(1), receiver=Tid(2), operation=WRITE)
+        assert added == []
+        assert len(permits.permits_on(OB)) == 1
+
+
+class TestTransitivity:
+    """permit(ti,tj) then permit(tj,tk) implies permit(ti,tk) (2.2)."""
+
+    def test_basic_chain(self, permits):
+        permits.grant(OB, Tid(1), receiver=Tid(2), operation=WRITE)
+        permits.grant(OB, Tid(2), receiver=Tid(3), operation=WRITE)
+        assert permits.allows(OB, Tid(1), Tid(3), WRITE)
+
+    def test_chain_added_in_reverse_order(self, permits):
+        permits.grant(OB, Tid(2), receiver=Tid(3), operation=WRITE)
+        permits.grant(OB, Tid(1), receiver=Tid(2), operation=WRITE)
+        assert permits.allows(OB, Tid(1), Tid(3), WRITE)
+
+    def test_operation_intersection(self, permits):
+        permits.grant(OB, Tid(1), receiver=Tid(2), operation=WRITE)
+        permits.grant(OB, Tid(2), receiver=Tid(3), operation=READ)
+        # write ∩ read = empty: no derived permission.
+        assert not permits.allows(OB, Tid(1), Tid(3), READ)
+        assert not permits.allows(OB, Tid(1), Tid(3), WRITE)
+
+    def test_wildcard_op_intersection(self, permits):
+        permits.grant(OB, Tid(1), receiver=Tid(2))  # any op
+        permits.grant(OB, Tid(2), receiver=Tid(3), operation=READ)
+        assert permits.allows(OB, Tid(1), Tid(3), READ)
+        assert not permits.allows(OB, Tid(1), Tid(3), WRITE)
+
+    def test_object_scoping(self, permits):
+        permits.grant(OB, Tid(1), receiver=Tid(2), operation=WRITE)
+        permits.grant(OB2, Tid(2), receiver=Tid(3), operation=WRITE)
+        # Different objects: intersection of object sets is empty.
+        assert not permits.allows(OB, Tid(1), Tid(3), WRITE)
+        assert not permits.allows(OB2, Tid(1), Tid(3), WRITE)
+
+    def test_long_chain_closure(self, permits):
+        for index in range(1, 6):
+            permits.grant(
+                OB, Tid(index), receiver=Tid(index + 1), operation=WRITE
+            )
+        assert permits.allows(OB, Tid(1), Tid(6), WRITE)
+
+    def test_derived_permits_marked(self, permits):
+        permits.grant(OB, Tid(1), receiver=Tid(2), operation=WRITE)
+        added = permits.grant(OB, Tid(2), receiver=Tid(3), operation=WRITE)
+        derived = [pd for pd in added if pd.derived]
+        assert len(derived) == 1
+        assert derived[0].giver == Tid(1)
+        assert derived[0].receiver == Tid(3)
+
+    @given(st.lists(
+        st.tuples(
+            st.integers(min_value=1, max_value=5),
+            st.integers(min_value=1, max_value=5),
+        ),
+        min_size=1, max_size=12,
+    ))
+    @settings(max_examples=60, deadline=None)
+    def test_closure_property(self, chain):
+        """Property: allows() equals reachability in the permit digraph."""
+        registry = ObjectRegistry()
+        permits = PermitTable(registry)
+        edges = set()
+        for giver, receiver in chain:
+            if giver == receiver:
+                continue
+            permits.grant(OB, Tid(giver), receiver=Tid(receiver),
+                          operation=WRITE)
+            edges.add((giver, receiver))
+        # reachability closure over the explicit edges
+        closure = set(edges)
+        changed = True
+        while changed:
+            changed = False
+            for a, b in list(closure):
+                for c, d in list(closure):
+                    if b == c and (a, d) not in closure and a != d:
+                        closure.add((a, d))
+                        changed = True
+        for a in range(1, 6):
+            for b in range(1, 6):
+                if a == b:
+                    continue
+                expected = (a, b) in closure
+                actual = permits.allows(OB, Tid(a), Tid(b), WRITE)
+                assert actual == expected, (a, b, sorted(closure))
+
+
+class TestRemovalAndRewrite:
+    def test_remove_involving_drops_both_directions(self, permits):
+        permits.grant(OB, Tid(1), receiver=Tid(2), operation=WRITE)
+        permits.grant(OB, Tid(3), receiver=Tid(1), operation=WRITE)
+        permits.grant(OB, Tid(3), receiver=Tid(4), operation=WRITE)
+        permits.remove_involving(Tid(1))
+        assert not permits.allows(OB, Tid(1), Tid(2), WRITE)
+        assert not permits.allows(OB, Tid(3), Tid(1), WRITE)
+        assert permits.allows(OB, Tid(3), Tid(4), WRITE)
+
+    def test_derived_permit_survives_intermediary_removal(self, permits):
+        """Materialized transitive permits stand on their own."""
+        permits.grant(OB, Tid(1), receiver=Tid(2), operation=WRITE)
+        permits.grant(OB, Tid(2), receiver=Tid(3), operation=WRITE)
+        permits.remove_involving(Tid(2))
+        assert permits.allows(OB, Tid(1), Tid(3), WRITE)
+
+    def test_rewrite_giver_for_delegation(self, permits):
+        permits.grant(OB, Tid(1), receiver=Tid(5), operation=WRITE)
+        permits.rewrite_giver(Tid(1), Tid(2))
+        assert not permits.allows(OB, Tid(1), Tid(5), WRITE)
+        assert permits.allows(OB, Tid(2), Tid(5), WRITE)
+
+    def test_rewrite_scoped_to_oids(self, permits):
+        permits.grant(OB, Tid(1), receiver=Tid(5), operation=WRITE)
+        permits.grant(OB2, Tid(1), receiver=Tid(5), operation=WRITE)
+        permits.rewrite_giver(Tid(1), Tid(2), oids={OB})
+        assert permits.allows(OB2, Tid(1), Tid(5), WRITE)
+        assert permits.allows(OB, Tid(2), Tid(5), WRITE)
+        assert not permits.allows(OB, Tid(1), Tid(5), WRITE)
+
+    def test_objects_permitted_to(self, permits):
+        permits.grant(OB, Tid(1), receiver=Tid(2), operation=WRITE)
+        permits.grant(OB2, Tid(3), receiver=Tid(2))
+        assert permits.objects_permitted_to(Tid(2)) == [OB, OB2]
+        assert permits.objects_permitted_to(Tid(1)) == []

@@ -1,0 +1,163 @@
+"""Savepoints: partial rollback within one transaction."""
+
+import pytest
+
+from tests.conftest import make_counters, read_counter
+
+from repro.common.codec import decode_int, encode_int
+from repro.common.errors import TransactionAborted
+from repro.core.manager import TransactionManager
+
+
+@pytest.fixture
+def manager():
+    return TransactionManager()
+
+
+def live_with_object(manager, value=b"v0"):
+    tid = manager.initiate()
+    manager.begin(tid)
+    oid = manager.create_object(tid, value)
+    return tid, oid
+
+
+class TestManagerLevel:
+    def test_rollback_undoes_suffix_only(self, manager):
+        tid, oid = live_with_object(manager)
+        manager.try_write(tid, oid, b"v1")
+        savepoint = manager.savepoint(tid)
+        manager.try_write(tid, oid, b"v2")
+        manager.try_write(tid, oid, b"v3")
+        undone = manager.rollback_to(tid, savepoint)
+        assert undone == 2
+        __, value = manager.try_read(tid, oid)
+        assert value == b"v1"
+
+    def test_locks_survive_rollback(self, manager):
+        tid, oid = live_with_object(manager)
+        savepoint = manager.savepoint(tid)
+        manager.try_write(tid, oid, b"dirty")
+        manager.rollback_to(tid, savepoint)
+        other = manager.initiate()
+        manager.begin(other)
+        outcome, __ = manager.try_read(other, oid)
+        assert not outcome  # the write lock is still held
+
+    def test_transaction_continues_and_commits(self, manager):
+        tid, oid = live_with_object(manager, value=encode_int(0))
+        savepoint = manager.savepoint(tid)
+        manager.try_write(tid, oid, encode_int(99))
+        manager.rollback_to(tid, savepoint)
+        manager.try_write(tid, oid, encode_int(7))
+        manager.note_completed(tid)
+        assert manager.try_commit(tid)
+        reader = manager.initiate()
+        manager.begin(reader)
+        __, value = manager.try_read(reader, oid)
+        assert decode_int(value) == 7
+
+    def test_repeated_rollback_is_idempotent(self, manager):
+        tid, oid = live_with_object(manager)
+        savepoint = manager.savepoint(tid)
+        manager.try_write(tid, oid, b"x")
+        manager.rollback_to(tid, savepoint)
+        assert manager.rollback_to(tid, savepoint) in (0, 1)
+        __, value = manager.try_read(tid, oid)
+        assert value == b"v0"
+
+    def test_nested_savepoints(self, manager):
+        tid, oid = live_with_object(manager)
+        outer = manager.savepoint(tid)
+        manager.try_write(tid, oid, b"a")
+        inner = manager.savepoint(tid)
+        manager.try_write(tid, oid, b"b")
+        manager.rollback_to(tid, inner)
+        assert manager.try_read(tid, oid)[1] == b"a"
+        manager.rollback_to(tid, outer)
+        assert manager.try_read(tid, oid)[1] == b"v0"
+
+    def test_full_abort_after_rollback_is_correct(self, manager):
+        tid, oid = live_with_object(manager)
+        # Commit an anchor so the object survives the abort.
+        manager.note_completed(tid)
+        manager.try_commit(tid)
+
+        writer = manager.initiate()
+        manager.begin(writer)
+        manager.try_write(writer, oid, b"w1")
+        savepoint = manager.savepoint(writer)
+        manager.try_write(writer, oid, b"w2")
+        manager.rollback_to(writer, savepoint)
+        manager.try_write(writer, oid, b"w3")
+        manager.abort(writer)
+        reader = manager.initiate()
+        manager.begin(reader)
+        assert manager.try_read(reader, oid)[1] == b"v0"
+
+    def test_rollback_destroys_later_savepoints(self, manager):
+        """SQL semantics: ROLLBACK TO destroys savepoints taken after the
+        target; using one afterwards is an error (it would resurrect
+        already-undone values)."""
+        from repro.common.errors import InvalidStateError
+
+        tid, oid = live_with_object(manager)
+        outer = manager.savepoint(tid)
+        manager.try_write(tid, oid, b"a")
+        inner = manager.savepoint(tid)
+        manager.try_write(tid, oid, b"b")
+        manager.rollback_to(tid, outer)
+        assert manager.try_read(tid, oid)[1] == b"v0"
+        with pytest.raises(InvalidStateError, match="destroyed"):
+            manager.rollback_to(tid, inner)
+        assert manager.try_read(tid, oid)[1] == b"v0"  # state untouched
+
+    def test_unknown_savepoint_rejected(self, manager):
+        from repro.common.errors import InvalidStateError
+
+        tid, __ = live_with_object(manager)
+        with pytest.raises(InvalidStateError, match="does not exist"):
+            manager.rollback_to(tid, 424242)
+
+    def test_savepoint_on_terminated_raises(self, manager):
+        tid, __ = live_with_object(manager)
+        manager.abort(tid)
+        with pytest.raises(TransactionAborted):
+            manager.savepoint(tid)
+
+
+class TestBodyLevel:
+    def test_savepoint_requests_in_program(self, rt):
+        [oid] = make_counters(rt, 1)
+
+        def body(tx):
+            value = decode_int((yield tx.read(oid)))
+            yield tx.write(oid, encode_int(value + 1))
+            savepoint = yield tx.savepoint()
+            yield tx.write(oid, encode_int(999))
+            undone = yield tx.rollback_to(savepoint)
+            assert undone == 1
+            return decode_int((yield tx.read(oid)))
+
+        result = rt.run(body)
+        assert result.committed
+        assert result.value == 1
+        assert read_counter(rt, oid) == 1
+
+    def test_try_alternative_path_idiom(self, rt):
+        """The savepoint idiom: attempt a risky path, fall back cheaply
+        without losing earlier work."""
+        oids = make_counters(rt, 2)
+
+        def body(tx):
+            yield tx.write(oids[0], encode_int(10))  # keep this work
+            savepoint = yield tx.savepoint()
+            yield tx.write(oids[1], encode_int(777))  # risky path
+            risky_ok = False
+            if not risky_ok:
+                yield tx.rollback_to(savepoint)
+                yield tx.write(oids[1], encode_int(1))  # safe path
+
+        result = rt.run(body)
+        assert result.committed
+        assert read_counter(rt, oids[0]) == 10
+        assert read_counter(rt, oids[1]) == 1

@@ -1,0 +1,69 @@
+"""Operation conflict tables (read/write default + section 5 extensions)."""
+
+from repro.core.semantics import READ, WRITE, ConflictTable
+
+
+class TestDefaultTable:
+    def test_read_read_compatible(self):
+        table = ConflictTable()
+        assert not table.conflicts(READ, READ)
+
+    def test_write_conflicts_with_everything(self):
+        table = ConflictTable()
+        assert table.conflicts(WRITE, WRITE)
+        assert table.conflicts(WRITE, READ)
+        assert table.conflicts(READ, WRITE)
+
+    def test_write_covers_read(self):
+        table = ConflictTable()
+        assert table.covers({WRITE}, READ)
+        assert table.covers({WRITE}, WRITE)
+        assert not table.covers({READ}, WRITE)
+
+    def test_every_op_covers_itself(self):
+        table = ConflictTable()
+        assert table.covers({READ}, READ)
+
+    def test_conflicts_any(self):
+        table = ConflictTable()
+        assert table.conflicts_any({READ, WRITE}, READ)
+        assert not table.conflicts_any({READ}, READ)
+        assert not table.conflicts_any(set(), WRITE)
+
+
+class TestExtensions:
+    def test_counter_ops_commute(self):
+        table = ConflictTable.with_counter_ops()
+        assert not table.conflicts("increment", "increment")
+        assert not table.conflicts("increment", "decrement")
+        assert not table.conflicts("decrement", "decrement")
+
+    def test_counter_ops_conflict_with_rw(self):
+        table = ConflictTable.with_counter_ops()
+        assert table.conflicts("increment", READ)
+        assert table.conflicts("increment", WRITE)
+        assert table.conflicts(WRITE, "increment")
+
+    def test_set_insert_commutes(self):
+        table = ConflictTable.with_set_ops()
+        assert not table.conflicts("insert", "insert")
+        assert table.conflicts("insert", WRITE)
+
+    def test_custom_coverage(self):
+        table = ConflictTable()
+        table.declare_covers("admin", READ)
+        table.declare_covers("admin", WRITE)
+        assert table.covers({"admin"}, READ)
+        assert table.covers({"admin"}, WRITE)
+
+    def test_unknown_ops_conflict_by_default(self):
+        table = ConflictTable()
+        table.register("mystery")
+        assert table.conflicts("mystery", "mystery")
+        assert table.conflicts("mystery", READ)
+
+    def test_operations_listing(self):
+        table = ConflictTable.with_counter_ops()
+        assert {"read", "write", "increment", "decrement"} <= set(
+            table.operations
+        )

@@ -1,0 +1,65 @@
+"""The transaction status machine (section 2.1 vocabulary)."""
+
+import pytest
+
+from repro.common.errors import InvalidStateError
+from repro.core.status import TransactionStatus, check_transition
+
+S = TransactionStatus
+
+
+class TestPredicates:
+    def test_terminated(self):
+        assert S.COMMITTED.is_terminated
+        assert S.ABORTED.is_terminated
+        for status in (S.INITIATED, S.RUNNING, S.COMPLETED, S.COMMITTING,
+                       S.ABORTING):
+            assert not status.is_terminated
+
+    def test_active_matches_paper_definition(self):
+        """Active = has begun executing and has not terminated."""
+        assert S.RUNNING.is_active
+        assert S.COMPLETED.is_active
+        assert S.COMMITTING.is_active
+        assert S.ABORTING.is_active
+        assert not S.INITIATED.is_active
+        assert not S.COMMITTED.is_active
+        assert not S.ABORTED.is_active
+
+    def test_abort_bound(self):
+        assert S.ABORTING.is_abort_bound
+        assert S.ABORTED.is_abort_bound
+        assert not S.RUNNING.is_abort_bound
+
+
+class TestTransitions:
+    def test_happy_path(self):
+        sequence = [S.INITIATED, S.RUNNING, S.COMPLETED, S.COMMITTING,
+                    S.COMMITTED]
+        for current, target in zip(sequence, sequence[1:]):
+            assert check_transition(current, target) is target
+
+    def test_abort_path_from_each_live_state(self):
+        for current in (S.INITIATED, S.RUNNING, S.COMPLETED, S.COMMITTING):
+            assert check_transition(current, S.ABORTING) is S.ABORTING
+        assert check_transition(S.ABORTING, S.ABORTED) is S.ABORTED
+
+    def test_commit_backoff_allowed(self):
+        """A blocked commit retreats COMMITTING -> COMPLETED to retry."""
+        assert check_transition(S.COMMITTING, S.COMPLETED) is S.COMPLETED
+
+    def test_terminal_states_are_final(self):
+        for terminal in (S.COMMITTED, S.ABORTED):
+            for target in S:
+                with pytest.raises(InvalidStateError):
+                    check_transition(terminal, target)
+
+    def test_cannot_skip_running(self):
+        with pytest.raises(InvalidStateError):
+            check_transition(S.INITIATED, S.COMPLETED)
+        with pytest.raises(InvalidStateError):
+            check_transition(S.INITIATED, S.COMMITTED)
+
+    def test_cannot_commit_while_running(self):
+        with pytest.raises(InvalidStateError):
+            check_transition(S.RUNNING, S.COMMITTING)

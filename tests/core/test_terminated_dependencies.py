@@ -1,0 +1,139 @@
+"""form_dependency with an already-terminated party.
+
+No edge may be stored against a terminated transaction (its cleanup has
+already run, so the edge would dangle forever — a bug class found by the
+manager fuzzer).  Instead the dependency is resolved on the spot:
+satisfied → no-op (None), now-unsatisfiable for the dependent → immediate
+abort, violated/unenforceable → InvalidStateError.
+"""
+
+import pytest
+
+from repro.common.errors import InvalidStateError
+from repro.core.dependency import DependencyType
+from repro.core.manager import TransactionManager
+from repro.core.status import TransactionStatus
+
+D = DependencyType
+
+
+@pytest.fixture
+def manager():
+    return TransactionManager()
+
+
+def committed(manager):
+    tid = manager.initiate()
+    manager.begin(tid)
+    manager.note_completed(tid)
+    manager.try_commit(tid)
+    return tid
+
+
+def aborted(manager):
+    tid = manager.initiate()
+    manager.abort(tid)
+    return tid
+
+
+def live(manager):
+    tid = manager.initiate()
+    manager.begin(tid)
+    manager.note_completed(tid)
+    return tid
+
+
+class TestDependeeTerminated:
+    def test_cd_on_committed_dependee_is_satisfied(self, manager):
+        ti, tj = committed(manager), live(manager)
+        assert manager.form_dependency(D.CD, ti, tj) is None
+        assert len(manager.dependencies) == 0
+        assert manager.try_commit(tj)
+
+    def test_ad_on_committed_dependee_is_satisfied(self, manager):
+        ti, tj = committed(manager), live(manager)
+        assert manager.form_dependency(D.AD, ti, tj) is None
+        assert manager.try_commit(tj)
+
+    def test_ad_on_aborted_dependee_aborts_now(self, manager):
+        ti, tj = aborted(manager), live(manager)
+        manager.form_dependency(D.AD, ti, tj)
+        assert manager.status_of(tj) is TransactionStatus.ABORTED
+        assert len(manager.dependencies) == 0
+
+    def test_cd_on_aborted_dependee_is_satisfied(self, manager):
+        ti, tj = aborted(manager), live(manager)
+        assert manager.form_dependency(D.CD, ti, tj) is None
+        assert manager.try_commit(tj)
+
+    def test_gc_with_committed_dependee_refused(self, manager):
+        ti, tj = committed(manager), live(manager)
+        with pytest.raises(InvalidStateError, match="commit group"):
+            manager.form_dependency(D.GC, ti, tj)
+
+    def test_gc_with_aborted_dependee_aborts_dependent(self, manager):
+        ti, tj = aborted(manager), live(manager)
+        manager.form_dependency(D.GC, ti, tj)
+        assert manager.status_of(tj) is TransactionStatus.ABORTED
+
+    def test_ed_on_committed_dependee_aborts_dependent(self, manager):
+        ti, tj = committed(manager), live(manager)
+        manager.form_dependency(D.ED, ti, tj)
+        assert manager.status_of(tj) is TransactionStatus.ABORTED
+
+    def test_ed_on_aborted_dependee_is_satisfied(self, manager):
+        ti, tj = aborted(manager), live(manager)
+        assert manager.form_dependency(D.ED, ti, tj) is None
+        assert manager.try_commit(tj)
+
+    def test_bad_on_committed_dependee_aborts_dependent(self, manager):
+        ti = committed(manager)
+        tj = manager.initiate()
+        manager.form_dependency(D.BAD, ti, tj)
+        assert manager.status_of(tj) is TransactionStatus.ABORTED
+
+    def test_bcd_on_aborted_dependee_aborts_dependent(self, manager):
+        ti = aborted(manager)
+        tj = manager.initiate()
+        manager.form_dependency(D.BCD, ti, tj)
+        assert manager.status_of(tj) is TransactionStatus.ABORTED
+
+
+class TestDependentTerminated:
+    def test_aborted_dependent_is_moot(self, manager):
+        ti, tj = live(manager), aborted(manager)
+        for dep_type in D:
+            assert manager.form_dependency(dep_type, ti, tj) is None
+        assert len(manager.dependencies) == 0
+
+    def test_committed_dependent_refused(self, manager):
+        ti, tj = live(manager), committed(manager)
+        with pytest.raises(InvalidStateError, match="already committed"):
+            manager.form_dependency(D.CD, ti, tj)
+
+    def test_gc_between_two_committed_is_vacuous(self, manager):
+        ti, tj = committed(manager), committed(manager)
+        assert manager.form_dependency(D.GC, ti, tj) is None
+
+
+class TestPermitsWithTerminatedParties:
+    def test_permit_from_terminated_giver_refused(self, manager):
+        ti = aborted(manager)
+        tj = live(manager)
+        with pytest.raises(InvalidStateError, match="terminated"):
+            manager.permit(ti, tj=tj)
+
+    def test_permit_to_terminated_receiver_refused(self, manager):
+        ti = live(manager)
+        tj = committed(manager)
+        with pytest.raises(InvalidStateError, match="moot"):
+            manager.permit(ti, tj=tj)
+
+    def test_no_dangling_permits_after_refusal(self, manager):
+        ti = aborted(manager)
+        tj = live(manager)
+        try:
+            manager.permit(ti, tj=tj)
+        except InvalidStateError:
+            pass
+        assert len(manager.permits) == 0

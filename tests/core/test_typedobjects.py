@@ -1,0 +1,215 @@
+"""Typed semantic objects: counters, records, sets (section 5)."""
+
+import pytest
+
+from repro.common.codec import encode_int, encode_json
+from repro.core.manager import TransactionManager
+from repro.core.typedobjects import (
+    Counter,
+    TxRecord,
+    TxSet,
+    register_record_fields,
+    semantic_conflict_table,
+)
+from repro.runtime.coop import CooperativeRuntime
+
+
+@pytest.fixture
+def rt():
+    table = semantic_conflict_table()
+    register_record_fields(table, ["salary", "department"])
+    return CooperativeRuntime(TransactionManager(conflicts=table), seed=4)
+
+
+class TestCounter:
+    def test_increment_decrement_get(self, rt):
+        def setup(tx):
+            return (yield tx.create(encode_int(10), name="counter"))
+
+        counter = Counter(rt.run(setup).value)
+
+        def body(tx):
+            yield counter.increment(tx, 5)
+            yield counter.decrement(tx, 2)
+            return (yield counter.get(tx))
+
+        result = rt.run(body)
+        assert result.committed and result.value == 13
+
+    def test_concurrent_increments_commute(self, rt):
+        def setup(tx):
+            return (yield tx.create(encode_int(0), name="counter"))
+
+        counter = Counter(rt.run(setup).value)
+
+        def inc(tx):
+            yield counter.increment(tx)
+
+        tids = [rt.spawn(inc) for __ in range(6)]
+        rt.run_until_quiescent()
+        outcomes = rt.commit_all(tids)
+        assert sum(outcomes.values()) == 6
+        assert rt.manager.lock_manager.stats["blocks"] == 0
+
+        def read(tx):
+            return (yield counter.get(tx))
+
+        assert rt.run(read).value == 6
+
+    def test_set_conflicts_with_increment(self, rt):
+        def setup(tx):
+            return (yield tx.create(encode_int(0), name="counter"))
+
+        counter = Counter(rt.run(setup).value)
+
+        def incrementer(tx):
+            yield counter.increment(tx)
+
+        def setter(tx):
+            yield counter.set(tx, 100)
+
+        first = rt.spawn(incrementer)
+        rt.round()
+        second = rt.spawn(setter)
+        rt.round()
+        assert rt.manager.wait_outcome(second) is None  # blocked
+        rt.run_until_quiescent()
+        rt.commit_all([first, second])
+
+    def test_aborted_increment_undone(self, rt):
+        def setup(tx):
+            return (yield tx.create(encode_int(7), name="counter"))
+
+        counter = Counter(rt.run(setup).value)
+
+        def doomed(tx):
+            yield counter.increment(tx, 100)
+            yield tx.abort()
+
+        tid = rt.spawn(doomed)
+        rt.wait(tid)
+
+        def read(tx):
+            return (yield counter.get(tx))
+
+        assert rt.run(read).value == 7
+
+
+class TestTxRecord:
+    def _employee(self, rt):
+        def setup(tx):
+            value = encode_json({"salary": 100, "department": "db"})
+            return (yield tx.create(value, name="employee"))
+
+        return TxRecord(rt.run(setup).value)
+
+    def test_field_update_and_get(self, rt):
+        record = self._employee(rt)
+
+        def body(tx):
+            yield record.update(tx, "salary", 120)
+            return (yield record.get(tx, "salary"))
+
+        assert rt.run(body).value == 120
+
+    def test_disjoint_field_updates_commute(self, rt):
+        """The paper: salary update and department change commute."""
+        record = self._employee(rt)
+
+        def raise_salary(tx):
+            yield record.apply(tx, "salary", lambda v: v + 10)
+
+        def move_department(tx):
+            yield record.update(tx, "department", "os")
+
+        first = rt.spawn(raise_salary)
+        second = rt.spawn(move_department)
+        rt.run_until_quiescent()
+        outcomes = rt.commit_all([first, second])
+        assert sum(outcomes.values()) == 2
+        assert rt.manager.lock_manager.stats["blocks"] == 0
+
+        def read(tx):
+            return (yield record.get(tx))
+
+        final = rt.run(read).value
+        assert final == {"salary": 110, "department": "os"}
+
+    def test_same_field_updates_conflict(self, rt):
+        record = self._employee(rt)
+
+        def raise_salary(tx):
+            yield record.apply(tx, "salary", lambda v: v + 10)
+
+        first = rt.spawn(raise_salary)
+        rt.round()
+        second = rt.spawn(raise_salary)
+        rt.round()
+        assert rt.manager.wait_outcome(second) is None
+        rt.run_until_quiescent()
+        rt.commit_all([first, second])
+
+        def read(tx):
+            return (yield record.get(tx, "salary"))
+
+        assert rt.run(read).value == 120  # both landed, serialized
+
+
+class TestTxSet:
+    def _department(self, rt):
+        def setup(tx):
+            return (yield tx.create(encode_json([]), name="dept"))
+
+        return TxSet(rt.run(setup).value)
+
+    def test_insert_contains_members(self, rt):
+        dept = self._department(rt)
+
+        def body(tx):
+            added = yield dept.insert(tx, "alice")
+            again = yield dept.insert(tx, "alice")
+            present = yield dept.contains(tx, "alice")
+            return added, again, present
+
+        assert rt.run(body).value == (True, False, True)
+
+    def test_concurrent_inserts_commute(self, rt):
+        dept = self._department(rt)
+        names = ["alice", "bob", "carol", "dave"]
+
+        def inserter(name):
+            def body(tx):
+                yield dept.insert(tx, name)
+
+            return body
+
+        tids = [rt.spawn(inserter(name)) for name in names]
+        rt.run_until_quiescent()
+        outcomes = rt.commit_all(tids)
+        assert sum(outcomes.values()) == 4
+        assert rt.manager.lock_manager.stats["blocks"] == 0
+
+        def read(tx):
+            return (yield dept.members(tx))
+
+        assert rt.run(read).value == sorted(names)
+
+    def test_remove_is_exclusive(self, rt):
+        dept = self._department(rt)
+
+        def fill(tx):
+            yield dept.insert(tx, "alice")
+
+        tid = rt.spawn(fill)
+        rt.commit(tid)
+
+        def remove(tx):
+            return (yield dept.remove(tx, "alice"))
+
+        first = rt.spawn(remove)
+        rt.round()
+        second = rt.spawn(remove)
+        rt.round()
+        assert rt.manager.wait_outcome(second) is None  # write lock held
+        rt.run_until_quiescent()
+        rt.commit_all([first, second])

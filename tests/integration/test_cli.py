@@ -1,0 +1,159 @@
+"""The command-line interface end to end."""
+
+import pytest
+
+from repro.cli import Database, main
+
+
+@pytest.fixture
+def db(tmp_path):
+    return str(tmp_path / "db")
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    return code, capsys.readouterr().out
+
+
+class TestLifecycle:
+    def test_init_creates_files(self, db, capsys, tmp_path):
+        code, out = run_cli(capsys, "init", "--db", db)
+        assert code == 0
+        assert (tmp_path / "db" / "pages.db").exists()
+        assert (tmp_path / "db" / "wal.log").exists()
+
+    def test_create_and_get(self, db, capsys):
+        run_cli(capsys, "init", "--db", db)
+        code, out = run_cli(
+            capsys, "create", "--db", db, "stock", "5", "paid", "0"
+        )
+        assert code == 0
+        code, out = run_cli(capsys, "get", "--db", db, "stock")
+        assert code == 0
+        assert "stock = 5" in out
+
+    def test_get_all(self, db, capsys):
+        run_cli(capsys, "create", "--db", db, "a", "1", "b", "2")
+        __, out = run_cli(capsys, "get", "--db", db)
+        assert "a = 1" in out and "b = 2" in out
+        assert "__catalog__" not in out
+
+    def test_duplicate_create_rejected(self, db, capsys):
+        run_cli(capsys, "create", "--db", db, "a", "1")
+        with pytest.raises(SystemExit):
+            run_cli(capsys, "create", "--db", db, "a", "2")
+
+    def test_string_values(self, db, capsys):
+        run_cli(capsys, "create", "--db", db, "name", '"Delta"')
+        __, out = run_cli(capsys, "get", "--db", db, "name")
+        assert 'name = "Delta"' in out
+
+
+class TestRunPrograms:
+    def test_atomic_program(self, db, capsys, tmp_path):
+        run_cli(capsys, "create", "--db", db, "x", "10")
+        program = tmp_path / "p.asset"
+        program.write_text("trans { write(x, read(x) + 5); return read(x); }")
+        code, out = run_cli(capsys, "run", "--db", db, str(program))
+        assert code == 0
+        assert "committed: True" in out
+        assert "value: 15" in out
+        __, out = run_cli(capsys, "get", "--db", db, "x")
+        assert "x = 15" in out
+
+    def test_saga_program_with_variables(self, db, capsys, tmp_path):
+        run_cli(capsys, "create", "--db", db, "stock", "3", "paid", "0")
+        program = tmp_path / "order.asset"
+        program.write_text(
+            """
+            saga {
+              trans { write(stock, read(stock) - 1); }
+              compensating trans { write(stock, read(stock) + 1); }
+              trans {
+                if (price > 100) { abort; }
+                write(paid, read(paid) + price);
+              }
+            }
+            """
+        )
+        code, out = run_cli(
+            capsys, "run", "--db", db, str(program), "--var", "price=30"
+        )
+        assert code == 0 and "t1 t2" in out
+        # An overpriced order aborts and compensates.
+        code, out = run_cli(
+            capsys, "run", "--db", db, str(program), "--var", "price=200"
+        )
+        assert code == 1
+        assert "t1 ct1" in out
+        __, out = run_cli(capsys, "get", "--db", db, "stock")
+        assert "stock = 2" in out  # one sale, the failed one rolled back
+
+    def test_workflow_program(self, db, capsys, tmp_path):
+        run_cli(capsys, "create", "--db", db, "stock", "2", "backup", "9")
+        program = tmp_path / "flow.asset"
+        program.write_text(
+            """
+            workflow {
+              task reserve {
+                trans { if (read(stock) == 0) { abort; }
+                        write(stock, read(stock) - 1); }
+                else trans { write(backup, read(backup) - 1); }
+              }
+            }
+            """
+        )
+        code, out = run_cli(capsys, "run", "--db", db, str(program))
+        assert code == 0
+        assert "model: workflow" in out
+        __, out = run_cli(capsys, "get", "--db", db, "stock")
+        assert "stock = 1" in out
+
+    def test_failed_program_returns_nonzero(self, db, capsys, tmp_path):
+        run_cli(capsys, "create", "--db", db, "x", "1")
+        program = tmp_path / "p.asset"
+        program.write_text("trans { abort; }")
+        code, __ = run_cli(capsys, "run", "--db", db, str(program))
+        assert code == 1
+
+    def test_syntax_error_is_a_clean_exit(self, db, capsys, tmp_path):
+        run_cli(capsys, "init", "--db", db)
+        program = tmp_path / "bad.asset"
+        program.write_text("trans { write(x 1); }")
+        with pytest.raises(SystemExit) as exc:
+            run_cli(capsys, "run", "--db", db, str(program))
+        assert "bad.asset" in str(exc.value)
+
+    def test_missing_program_file_is_a_clean_exit(self, db, capsys):
+        run_cli(capsys, "init", "--db", db)
+        with pytest.raises(SystemExit, match="cannot read program"):
+            run_cli(capsys, "run", "--db", db, "/nonexistent.asset")
+
+
+class TestMaintenance:
+    def test_log_dump(self, db, capsys):
+        run_cli(capsys, "create", "--db", db, "x", "1")
+        __, out = run_cli(capsys, "log", "--db", db)
+        assert "CommitRecord" in out
+        assert "records)" in out
+
+    def test_checkpoint_truncate(self, db, capsys):
+        run_cli(capsys, "create", "--db", db, "x", "1")
+        __, out = run_cli(capsys, "checkpoint", "--db", db, "--truncate")
+        assert "truncated" in out
+        __, out = run_cli(capsys, "log", "--db", db)
+        assert "(1 records)" in out  # just the checkpoint marker
+
+    def test_recover(self, db, capsys):
+        run_cli(capsys, "create", "--db", db, "x", "1")
+        code, out = run_cli(capsys, "recover", "--db", db)
+        assert code == 0
+        assert "RecoveryReport" in out
+
+    def test_data_survives_reopen(self, db, capsys):
+        run_cli(capsys, "create", "--db", db, "x", "42")
+        database = Database(db)
+        try:
+            assert database.get("x") == 42
+        finally:
+            database.close()

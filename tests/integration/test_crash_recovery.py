@@ -1,0 +1,169 @@
+"""Crash recovery through the full transaction-manager stack."""
+
+import pytest
+
+from repro.common.codec import decode_int, encode_int
+from repro.core.dependency import DependencyType
+from repro.core.manager import TransactionManager
+from repro.runtime.coop import CooperativeRuntime
+from repro.storage.disk import InMemoryDiskManager
+from repro.storage.log import MemoryLogDevice, WriteAheadLog
+from repro.storage.store import StorageManager
+
+
+def build_stack():
+    disk = InMemoryDiskManager()
+    log = WriteAheadLog(MemoryLogDevice())
+    storage = StorageManager(disk=disk, log=log)
+    manager = TransactionManager(storage=storage)
+    return CooperativeRuntime(manager), storage
+
+
+def bump(oid, fail=False):
+    def body(tx):
+        value = decode_int((yield tx.read(oid)))
+        yield tx.write(oid, encode_int(value + 1))
+        if fail:
+            yield tx.abort()
+
+    return body
+
+
+class TestCrashCycles:
+    def test_committed_transactions_survive_crash(self):
+        rt, storage = build_stack()
+
+        def setup(tx):
+            return (yield tx.create(encode_int(0), name="x"))
+
+        oid = rt.run(setup).value
+        for __ in range(3):
+            tid = rt.spawn(bump(oid))
+            rt.commit(tid)
+
+        storage.crash()
+        report = storage.recover()
+        assert decode_int(storage.read_object(None, oid)) == 3
+
+    def test_in_flight_transaction_rolled_back_at_restart(self):
+        rt, storage = build_stack()
+
+        def setup(tx):
+            return (yield tx.create(encode_int(0), name="x"))
+
+        oid = rt.run(setup).value
+        committed = rt.spawn(bump(oid))
+        rt.commit(committed)
+
+        # A transaction completes but never commits, then we crash with
+        # its update records durable (flushed) — restart must undo it.
+        hanging = rt.spawn(bump(oid))
+        rt.run_until_quiescent()
+        storage.log.flush()
+        storage.crash()
+        report = storage.recover()
+        assert report.losers
+        assert decode_int(storage.read_object(None, oid)) == 1
+
+    def test_group_commit_is_atomic_across_crash(self):
+        rt, storage = build_stack()
+
+        def setup(tx):
+            a = yield tx.create(encode_int(0), name="a")
+            b = yield tx.create(encode_int(0), name="b")
+            return a, b
+
+        oid_a, oid_b = rt.run(setup).value
+        first = rt.initiate(bump(oid_a))
+        second = rt.initiate(bump(oid_b))
+        rt.manager.form_dependency(DependencyType.GC, first, second)
+        rt.begin(first, second)
+        rt.commit(first)
+
+        storage.crash()
+        storage.recover()
+        assert decode_int(storage.read_object(None, oid_a)) == 1
+        assert decode_int(storage.read_object(None, oid_b)) == 1
+
+    def test_delegated_work_attribution_across_crash(self):
+        rt, storage = build_stack()
+
+        def setup(tx):
+            return (yield tx.create(encode_int(0), name="x"))
+
+        oid = rt.run(setup).value
+        worker = rt.spawn(bump(oid))
+        rt.run_until_quiescent()
+        collector = rt.manager.initiate()
+        rt.manager.delegate(worker, collector)
+        rt.abort(worker)
+        rt.begin(collector)
+        rt.commit(collector)
+
+        storage.crash()
+        storage.recover()
+        assert decode_int(storage.read_object(None, oid)) == 1
+
+    def test_saga_prefix_survives_crash_mid_saga(self):
+        """Committed saga components are durable even if the process dies
+        before the saga finishes (that is the POINT of sagas)."""
+        rt, storage = build_stack()
+
+        def setup(tx):
+            a = yield tx.create(encode_int(0), name="a")
+            b = yield tx.create(encode_int(0), name="b")
+            return a, b
+
+        oid_a, oid_b = rt.run(setup).value
+        t1 = rt.spawn(bump(oid_a))
+        rt.commit(t1)  # component 1 committed
+        t2 = rt.spawn(bump(oid_b))
+        rt.run_until_quiescent()  # component 2 completed, NOT committed
+        storage.log.flush()
+        storage.crash()
+        storage.recover()
+        assert decode_int(storage.read_object(None, oid_a)) == 1
+        assert decode_int(storage.read_object(None, oid_b)) == 0
+
+    def test_repeated_crashes(self):
+        rt, storage = build_stack()
+
+        def setup(tx):
+            return (yield tx.create(encode_int(0), name="x"))
+
+        oid = rt.run(setup).value
+        tid = rt.spawn(bump(oid))
+        rt.commit(tid)
+        for __ in range(3):
+            storage.crash()
+            storage.recover()
+        assert decode_int(storage.read_object(None, oid)) == 1
+
+
+class TestFileBackedStack:
+    def test_full_persistence_round_trip(self, tmp_path):
+        from repro.storage.disk import FileDiskManager
+        from repro.storage.log import FileLogDevice
+
+        disk = FileDiskManager(tmp_path / "pages.db")
+        log = WriteAheadLog(FileLogDevice(tmp_path / "wal.log"))
+        storage = StorageManager(disk=disk, log=log)
+        rt = CooperativeRuntime(TransactionManager(storage=storage))
+
+        def setup(tx):
+            return (yield tx.create(encode_int(10), name="x"))
+
+        oid = rt.run(setup).value
+        tid = rt.spawn(bump(oid))
+        rt.commit(tid)
+        storage.pool.flush_all()
+        storage.log.flush()
+        storage.close()
+
+        # A brand new process over the same files.
+        disk2 = FileDiskManager(tmp_path / "pages.db")
+        log2 = WriteAheadLog(FileLogDevice(tmp_path / "wal.log"))
+        storage2 = StorageManager(disk=disk2, log=log2)
+        storage2.recover()
+        assert decode_int(storage2.read_object(None, oid)) == 11
+        storage2.close()

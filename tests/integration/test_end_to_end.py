@@ -1,0 +1,167 @@
+"""Cross-cutting scenarios exercising several subsystems at once."""
+
+import pytest
+
+from tests.conftest import make_counters, read_counter
+
+from repro.acta.checker import check_group_atomicity
+from repro.acta.history import HistoryRecorder
+from repro.acta.serializability import is_conflict_serializable
+from repro.common.codec import decode_int, encode_int, encode_json
+from repro.lang import compile_source
+from repro.models import (
+    Saga,
+    require_subtransaction,
+    run_atomic,
+    run_distributed,
+    run_saga,
+)
+from repro.runtime.coop import CooperativeRuntime
+from repro.workflow import TravelAgency, WorkflowEngine, x_conference
+from repro.workflow.travel import build_x_conference_spec
+
+
+class TestMixedModels:
+    def test_saga_of_nested_transactions(self, rt):
+        """Saga components can themselves be nested transactions."""
+        oids = make_counters(rt, 4)
+
+        def nested_step(first, second, fail_inner=False):
+            def inner(tx):
+                value = decode_int((yield tx.read(second)))
+                yield tx.write(second, encode_int(value + 1))
+                if fail_inner:
+                    yield tx.abort()
+
+            def body(tx):
+                value = decode_int((yield tx.read(first)))
+                yield tx.write(first, encode_int(value + 1))
+                yield from require_subtransaction(tx, inner)
+
+            return body
+
+        def comp(first, second):
+            def body(tx):
+                for oid in (first, second):
+                    value = decode_int((yield tx.read(oid)))
+                    yield tx.write(oid, encode_int(value - 1))
+
+            return body
+
+        saga = Saga()
+        saga.step(
+            nested_step(oids[0], oids[1]), comp(oids[0], oids[1]), name="t1"
+        )
+        saga.step(
+            nested_step(oids[2], oids[3], fail_inner=True), None, name="t2"
+        )
+        result = run_saga(rt, saga)
+        assert not result.committed
+        assert result.execution_order == ["t1", "ct1"]
+        assert all(read_counter(rt, oid) == 0 for oid in oids)
+
+    def test_distributed_group_with_nested_members(self, rt):
+        oids = make_counters(rt, 2)
+
+        def member(oid):
+            def inner(tx):
+                value = decode_int((yield tx.read(oid)))
+                yield tx.write(oid, encode_int(value + 1))
+
+            def body(tx):
+                yield from require_subtransaction(tx, inner)
+
+            return body
+
+        result = run_distributed(rt, [member(oid) for oid in oids])
+        assert result.committed
+        assert all(read_counter(rt, oid) == 1 for oid in oids)
+
+    def test_minilang_program_against_travel_objects(self):
+        """The compiler and the workflow domain compose."""
+        rt = CooperativeRuntime(seed=3)
+        agency = TravelAgency(rt, availability={"Delta": 2})
+
+        program = compile_source(
+            """
+            trans {
+              write(marker, 1);
+              return read(marker);
+            }
+            """
+        )
+
+        def setup(tx):
+            return (yield tx.create(encode_json(0), name="marker"))
+
+        marker = rt.run(setup).value
+        result = program.execute(rt, objects={"marker": marker})
+        assert result.committed and result.value == 1
+        assert x_conference(rt, agency) == 1
+
+
+class TestHistoriesStayHealthy:
+    def test_full_scenario_invariants(self):
+        """A busy mixed run keeps group atomicity and (permit-aware)
+        serializability."""
+        rt = CooperativeRuntime(seed=99)
+        recorder = HistoryRecorder(rt.manager)
+        oids = make_counters(rt, 4)
+
+        def bump(oid):
+            def body(tx):
+                value = decode_int((yield tx.read(oid)))
+                yield tx.write(oid, encode_int(value + 1))
+
+            return body
+
+        run_atomic(rt, bump(oids[0]))
+        run_distributed(rt, [bump(oids[1]), bump(oids[2])])
+        saga = Saga()
+        saga.step(bump(oids[3]), bump(oids[3]), name="t1")
+        saga.step(
+            lambda tx: (yield tx.abort()), None, name="t2"
+        )
+        run_saga(rt, saga)
+
+        assert check_group_atomicity(recorder) == []
+        ok, cycle = is_conflict_serializable(recorder)
+        assert ok, cycle
+        assert rt.manager.lock_manager.check_invariants() == []
+
+    def test_workflow_and_literal_agree(self):
+        """Engine-run and hand-written X_conference end in identical
+        inventory states from identical starts."""
+        availability = {"Delta": 1, "Equator": 1, "National": 1, "Avis": 0}
+
+        rt_a = CooperativeRuntime(seed=5)
+        agency_a = TravelAgency(rt_a, availability=dict(availability))
+        literal = x_conference(rt_a, agency_a)
+
+        rt_b = CooperativeRuntime(seed=5)
+        agency_b = TravelAgency(rt_b, availability=dict(availability))
+        engine = WorkflowEngine(rt_b).execute(
+            build_x_conference_spec(agency_b)
+        )
+
+        assert bool(literal) == bool(engine.success)
+        for name in ("Delta", "Equator", "National", "Avis"):
+            assert agency_a.availability(name) == agency_b.availability(name)
+
+
+class TestResourceLimits:
+    def test_transaction_cap_applies_across_models(self):
+        from repro.core.manager import TransactionManager
+
+        manager = TransactionManager(max_transactions=3)
+        rt = CooperativeRuntime(manager)
+        oids = make_counters(rt, 1)
+
+        def bump(tx):
+            value = decode_int((yield tx.read(oids[0])))
+            yield tx.write(oids[0], encode_int(value + 1))
+
+        # Distributed with 4 components cannot even initiate (cap 3,
+        # one slot used by nothing since setup committed).
+        result = run_distributed(rt, [bump] * 4)
+        assert not result.committed

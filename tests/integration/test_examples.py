@@ -1,0 +1,34 @@
+"""Every example script must run cleanly (they double as acceptance
+tests for the public API)."""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).resolve().parents[2] / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize(
+    "path", EXAMPLES, ids=[path.stem for path in EXAMPLES]
+)
+def test_example_runs(path, capsys):
+    spec = importlib.util.spec_from_file_location(
+        f"example_{path.stem}", path
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+        module.main()
+    finally:
+        sys.modules.pop(spec.name, None)
+    out = capsys.readouterr().out
+    assert out.strip(), "examples must narrate what they demonstrate"
+
+
+def test_we_ship_enough_examples():
+    assert len(EXAMPLES) >= 3

@@ -1,0 +1,81 @@
+"""Transaction identity across restarts.
+
+Regression tests for a subtle recovery bug: a restarted manager that
+reuses transaction ids already present in the write-ahead log would
+entangle the new incarnation's undo/redo with the old one's — e.g. a new
+session's abort of Tid(2) deleting an object CREATED by the previous
+session's Tid(2).
+"""
+
+import pytest
+
+from repro.common.codec import decode_int, encode_int
+from repro.core.manager import TransactionManager
+from repro.runtime.coop import CooperativeRuntime
+from repro.storage.log import MemoryLogDevice, WriteAheadLog
+from repro.storage.store import StorageManager
+
+
+def new_session(device, disk):
+    from repro.storage.store import StorageManager
+
+    storage = StorageManager(disk=disk, log=WriteAheadLog(device))
+    manager = TransactionManager(storage=storage)
+    return CooperativeRuntime(manager), storage
+
+
+class TestTidHighWaterMark:
+    def test_fresh_manager_skips_logged_tids(self):
+        from repro.storage.disk import InMemoryDiskManager
+
+        device = MemoryLogDevice()
+        disk = InMemoryDiskManager()
+        rt1, storage1 = new_session(device, disk)
+
+        def setup(tx):
+            return (yield tx.create(encode_int(5), name="x"))
+
+        oid = rt1.run(setup).value
+        storage1.pool.flush_all()
+
+        rt2, storage2 = new_session(device, disk)
+        fresh = rt2.manager.initiate()
+        logged = {record.tid for record in storage2.log.records()}
+        assert fresh not in logged
+
+    def test_new_sessions_abort_cannot_undo_old_work(self):
+        from repro.storage.disk import InMemoryDiskManager
+
+        device = MemoryLogDevice()
+        disk = InMemoryDiskManager()
+        rt1, storage1 = new_session(device, disk)
+
+        def setup(tx):
+            return (yield tx.create(encode_int(5), name="x"))
+
+        oid = rt1.run(setup).value
+        storage1.pool.flush_all()
+
+        # Second session: start a transaction and abort it immediately.
+        rt2, storage2 = new_session(device, disk)
+        doomed = rt2.manager.initiate()
+        rt2.begin(doomed)
+        rt2.abort(doomed)
+
+        # The old session's object must be untouched.
+        def read(tx):
+            return decode_int((yield tx.read(oid)))
+
+        assert rt2.run(read).value == 5
+
+    def test_max_tid_covers_groups_and_delegations(self):
+        from repro.common.ids import ObjectId, Tid
+
+        log = WriteAheadLog(MemoryLogDevice())
+        log.log_commit(Tid(3), group=[Tid(90)])
+        log.log_delegate(Tid(4), Tid(70), [ObjectId(1)])
+        assert log.max_tid_value() == 90
+
+    def test_empty_log_starts_at_one(self):
+        manager = TransactionManager()
+        assert manager.initiate().value == 1

@@ -1,0 +1,130 @@
+"""Runtime conformance: every model behaves identically on both runtimes.
+
+The model library only uses the paper-style driver API, so each
+translation scheme must produce the same outcomes whether the programs
+run under the deterministic scheduler or real threads.
+"""
+
+import pytest
+
+from repro.common.codec import decode_int, encode_int
+from repro.models import (
+    Saga,
+    require_subtransaction,
+    run_atomic,
+    run_contingent,
+    run_distributed,
+    run_saga,
+)
+from repro.runtime.coop import CooperativeRuntime
+from repro.runtime.threaded import ThreadedRuntime
+
+
+@pytest.fixture(params=["coop", "threaded"])
+def rt(request):
+    if request.param == "coop":
+        yield CooperativeRuntime(seed=77)
+    else:
+        runtime = ThreadedRuntime(
+            watchdog_interval=0.01, poll_timeout=0.002
+        )
+        yield runtime
+        runtime.close()
+
+
+def make_counters(runtime, count):
+    def setup(tx):
+        oids = []
+        for index in range(count):
+            oids.append(
+                (yield tx.create(encode_int(0), name=f"c{index}"))
+            )
+        return oids
+
+    result = runtime.run(setup)
+    return result.value if hasattr(result, "value") else result[1]
+
+
+def read_counter(runtime, oid):
+    def body(tx):
+        return decode_int((yield tx.read(oid)))
+
+    result = runtime.run(body)
+    return result.value if hasattr(result, "value") else result[1]
+
+
+def incrementer(oid, fail=False):
+    def body(tx):
+        value = decode_int((yield tx.read(oid)))
+        yield tx.write(oid, encode_int(value + 1))
+        if fail:
+            yield tx.abort()
+        return value + 1
+
+    return body
+
+
+class TestModelConformance:
+    def test_atomic(self, rt):
+        [oid] = make_counters(rt, 1)
+        assert run_atomic(rt, incrementer(oid)).committed
+        assert not run_atomic(rt, incrementer(oid, fail=True)).committed
+        assert read_counter(rt, oid) == 1
+
+    def test_distributed(self, rt):
+        oids = make_counters(rt, 2)
+        assert run_distributed(
+            rt, [incrementer(oid) for oid in oids]
+        ).committed
+        assert not run_distributed(
+            rt, [incrementer(oids[0]), incrementer(oids[1], fail=True)]
+        ).committed
+        assert [read_counter(rt, oid) for oid in oids] == [1, 1]
+
+    def test_contingent(self, rt):
+        oids = make_counters(rt, 2)
+        result = run_contingent(
+            rt, [incrementer(oids[0], fail=True), incrementer(oids[1])]
+        )
+        assert result.committed and result.chosen_index == 1
+        assert [read_counter(rt, oid) for oid in oids] == [0, 1]
+
+    def test_saga(self, rt):
+        oids = make_counters(rt, 2)
+        saga = Saga()
+        saga.step(
+            incrementer(oids[0]),
+            incrementer(oids[0]),  # "compensation": bumps again (visible)
+            name="t1",
+        )
+        saga.step(incrementer(oids[1], fail=True), None, name="t2")
+        result = run_saga(rt, saga)
+        assert not result.committed
+        assert result.execution_order == ["t1", "ct1"]
+        assert read_counter(rt, oids[0]) == 2  # step + compensation
+
+    def test_nested(self, rt):
+        oids = make_counters(rt, 2)
+
+        def parent(tx):
+            first = yield from require_subtransaction(
+                tx, incrementer(oids[0])
+            )
+            second = yield from require_subtransaction(
+                tx, incrementer(oids[1])
+            )
+            return (first.value, second.value)
+
+        result = run_atomic(rt, parent)
+        assert result.committed
+        assert result.value == (1, 1)
+
+        def failing_parent(tx):
+            yield from require_subtransaction(tx, incrementer(oids[0]))
+            yield from require_subtransaction(
+                tx, incrementer(oids[1], fail=True)
+            )
+
+        result = run_atomic(rt, failing_parent)
+        assert not result.committed
+        assert [read_counter(rt, oid) for oid in oids] == [1, 1]

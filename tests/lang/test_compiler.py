@@ -1,0 +1,156 @@
+"""The compiler: compiled programs behave like hand-written models."""
+
+import pytest
+
+from repro.common.codec import decode_json, encode_json
+from repro.lang import compile_source
+
+
+@pytest.fixture
+def env(rt):
+    def setup(tx):
+        objects = {}
+        for name, value in [("x", 10), ("y", 0), ("z", 100)]:
+            objects[name] = yield tx.create(encode_json(value), name=name)
+        return objects
+
+    return rt.run(setup).value
+
+
+def value_of(rt, env, name):
+    def body(tx):
+        return decode_json((yield tx.read(env[name])))
+
+    return rt.run(body).value
+
+
+class TestAtomicPrograms:
+    def test_arithmetic_write(self, rt, env):
+        result = compile_source(
+            "trans { write(x, read(x) * 2 + 1); return read(x); }"
+        ).execute(rt, objects=env)
+        assert result.committed and result.value == 21
+        assert value_of(rt, env, "x") == 21
+
+    def test_variables_and_if(self, rt, env):
+        result = compile_source(
+            """
+            trans {
+              v = read(x);
+              if (v >= 10) { write(y, 1); } else { write(y, 2); }
+              return read(y);
+            }
+            """
+        ).execute(rt, objects=env)
+        assert result.value == 1
+
+    def test_abort_rolls_back(self, rt, env):
+        result = compile_source(
+            "trans { write(x, 999); abort; }"
+        ).execute(rt, objects=env)
+        assert not result.committed
+        assert value_of(rt, env, "x") == 10
+
+    def test_seeded_variables(self, rt, env):
+        result = compile_source(
+            "trans { write(y, price * 2); return read(y); }"
+        ).execute(rt, objects=env, variables={"price": 21})
+        assert result.value == 42
+
+    def test_strings(self, rt, env):
+        result = compile_source(
+            'trans { write(y, "hello"); return read(y); }'
+        ).execute(rt, objects=env)
+        assert result.value == "hello"
+
+    def test_logic_operators(self, rt, env):
+        result = compile_source(
+            "trans { return (read(x) == 10 and 1) or 99; }"
+        ).execute(rt, objects=env)
+        assert result.value == 1
+
+    def test_unknown_object_raises(self, rt, env):
+        program = compile_source("trans { write(ghost, 1); }")
+        result = program.execute(rt, objects=env)
+        # The body raised inside the transaction: it aborted.
+        assert not result.committed
+
+    def test_undefined_variable_aborts(self, rt, env):
+        result = compile_source("trans { write(y, ghost_var); }").execute(
+            rt, objects=env
+        )
+        assert not result.committed
+
+
+class TestComposedPrograms:
+    def test_distributed_commits_together(self, rt, env):
+        result = compile_source(
+            "trans { write(x, 1); } || trans { write(y, 2); }"
+        ).execute(rt, objects=env)
+        assert result.committed
+        assert value_of(rt, env, "x") == 1
+        assert value_of(rt, env, "y") == 2
+
+    def test_distributed_aborts_together(self, rt, env):
+        result = compile_source(
+            "trans { write(x, 1); } || trans { write(y, 2); abort; }"
+        ).execute(rt, objects=env)
+        assert not result.committed
+        assert value_of(rt, env, "x") == 10
+        assert value_of(rt, env, "y") == 0
+
+    def test_contingent_falls_through(self, rt, env):
+        result = compile_source(
+            "trans { abort; } else trans { write(y, 5); return 5; }"
+        ).execute(rt, objects=env)
+        assert result.committed and result.chosen_index == 1
+
+    def test_saga_compensates(self, rt, env):
+        result = compile_source(
+            """
+            saga {
+              trans { write(x, read(x) + 1); }
+              compensating trans { write(x, read(x) - 1); }
+              trans { abort; }
+            }
+            """
+        ).execute(rt, objects=env)
+        assert not result.committed
+        assert result.execution_order == ["t1", "ct1"]
+        assert value_of(rt, env, "x") == 10
+
+    def test_nested_required_failure(self, rt, env):
+        result = compile_source(
+            "trans { write(x, 50); trans { abort; } }"
+        ).execute(rt, objects=env)
+        assert not result.committed
+        assert value_of(rt, env, "x") == 10
+
+    def test_nested_try_binding(self, rt, env):
+        result = compile_source(
+            """
+            trans {
+              ok = try trans { write(y, 1); abort; };
+              good = try trans { write(z, 7); };
+              return ok * 10 + good;
+            }
+            """
+        ).execute(rt, objects=env)
+        assert result.committed
+        assert result.value == 1  # ok=0, good=1
+        assert value_of(rt, env, "z") == 7
+        assert value_of(rt, env, "y") == 0
+
+    def test_model_introspection(self):
+        assert compile_source("trans { abort; }").model == "atomic"
+        assert (
+            compile_source("trans { abort; } || trans { abort; }").model
+            == "distributed"
+        )
+        assert (
+            compile_source("trans { abort; } else trans { abort; }").model
+            == "contingent"
+        )
+        assert (
+            compile_source("saga { trans { abort; } }").model == "saga"
+        )

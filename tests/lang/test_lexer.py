@@ -1,0 +1,58 @@
+"""The mini-language tokenizer."""
+
+import pytest
+
+from repro.lang.lexer import LangSyntaxError, tokenize
+
+
+def kinds(source):
+    return [token.kind for token in tokenize(source)]
+
+
+def texts(source):
+    return [token.text for token in tokenize(source) if token.kind != "eof"]
+
+
+class TestTokenKinds:
+    def test_keywords_vs_identifiers(self):
+        tokens = tokenize("trans foo saga bar")
+        assert [t.kind for t in tokens[:-1]] == [
+            "keyword", "ident", "keyword", "ident",
+        ]
+
+    def test_numbers(self):
+        [token, __] = tokenize("12345")
+        assert token.kind == "number" and token.text == "12345"
+
+    def test_strings(self):
+        [token, __] = tokenize('"hello world"')
+        assert token.kind == "string"
+
+    def test_operators(self):
+        assert texts("|| == != <= >= { } ( ) ; , = + - * < >") == [
+            "||", "==", "!=", "<=", ">=", "{", "}", "(", ")", ";", ",",
+            "=", "+", "-", "*", "<", ">",
+        ]
+
+    def test_comments_skipped(self):
+        assert texts("trans // a comment\n foo") == ["trans", "foo"]
+
+    def test_eof_token_present(self):
+        assert tokenize("")[-1].kind == "eof"
+
+
+class TestPositions:
+    def test_line_tracking(self):
+        tokens = tokenize("trans\n  foo")
+        assert tokens[0].line == 1
+        assert tokens[1].line == 2
+        assert tokens[1].column == 3
+
+    def test_error_carries_position(self):
+        with pytest.raises(LangSyntaxError) as exc:
+            tokenize("trans\n  @")
+        assert exc.value.line == 2
+
+    def test_unexpected_character(self):
+        with pytest.raises(LangSyntaxError, match="unexpected character"):
+            tokenize("$")

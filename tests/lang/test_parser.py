@@ -1,0 +1,129 @@
+"""The mini-language parser: units, statements, expressions."""
+
+import pytest
+
+from repro.lang import ast_nodes as ast
+from repro.lang.lexer import LangSyntaxError
+from repro.lang.parser import parse
+
+
+class TestUnits:
+    def test_single_trans(self):
+        unit = parse("trans { abort; }")
+        assert isinstance(unit, ast.TransUnit)
+        assert isinstance(unit.body[0], ast.AbortStmt)
+
+    def test_parallel_unit(self):
+        unit = parse("trans { abort; } || trans { abort; } || trans { abort; }")
+        assert isinstance(unit, ast.ParallelUnit)
+        assert len(unit.components) == 3
+
+    def test_contingent_unit(self):
+        unit = parse("trans { abort; } else trans { abort; }")
+        assert isinstance(unit, ast.ContingentUnit)
+        assert len(unit.alternatives) == 2
+
+    def test_saga_unit(self):
+        unit = parse(
+            "saga { trans { abort; } compensating trans { abort; }"
+            " trans { abort; } }"
+        )
+        assert isinstance(unit, ast.SagaUnit)
+        assert len(unit.steps) == 2
+        assert unit.steps[0].compensation is not None
+        assert unit.steps[1].compensation is None
+
+    def test_empty_saga_rejected(self):
+        with pytest.raises(LangSyntaxError, match="empty saga"):
+            parse("saga { }")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(LangSyntaxError):
+            parse("trans { abort; } extra")
+
+
+class TestStatements:
+    def test_write_statement(self):
+        unit = parse("trans { write(x, 5); }")
+        stmt = unit.body[0]
+        assert isinstance(stmt, ast.WriteStmt)
+        assert stmt.obj == "x"
+        assert stmt.value == ast.Number(value=5)
+
+    def test_assignment(self):
+        unit = parse("trans { v = read(x); }")
+        stmt = unit.body[0]
+        assert isinstance(stmt, ast.AssignStmt)
+        assert stmt.name == "v"
+        assert isinstance(stmt.value, ast.ReadExpr)
+
+    def test_return_statement(self):
+        unit = parse("trans { return 1 + 2; }")
+        assert isinstance(unit.body[0], ast.ReturnStmt)
+
+    def test_if_else(self):
+        unit = parse("trans { if (read(x) > 0) { abort; } else { return 1; } }")
+        stmt = unit.body[0]
+        assert isinstance(stmt, ast.IfStmt)
+        assert isinstance(stmt.then_block[0], ast.AbortStmt)
+        assert isinstance(stmt.else_block[0], ast.ReturnStmt)
+
+    def test_nested_trans(self):
+        unit = parse("trans { trans { abort; } }")
+        stmt = unit.body[0]
+        assert isinstance(stmt, ast.SubTransStmt)
+        assert stmt.required
+
+    def test_try_trans(self):
+        unit = parse("trans { try trans { abort; } }")
+        assert not unit.body[0].required
+
+    def test_bound_try_trans(self):
+        unit = parse("trans { ok = try trans { abort; }; }")
+        stmt = unit.body[0]
+        assert isinstance(stmt, ast.SubTransStmt)
+        assert stmt.bound_to == "ok"
+
+    def test_missing_semicolon(self):
+        with pytest.raises(LangSyntaxError):
+            parse("trans { abort }")
+
+    def test_bad_statement_start(self):
+        with pytest.raises(LangSyntaxError, match="statement start"):
+            parse("trans { 5; }")
+
+
+class TestExpressions:
+    def _expr(self, text):
+        return parse(f"trans {{ v = {text}; }}").body[0].value
+
+    def test_precedence_mul_over_add(self):
+        expr = self._expr("1 + 2 * 3")
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_parentheses(self):
+        expr = self._expr("(1 + 2) * 3")
+        assert expr.op == "*"
+        assert expr.left.op == "+"
+
+    def test_comparison(self):
+        expr = self._expr("read(x) >= 10")
+        assert expr.op == ">="
+
+    def test_logical_and_or(self):
+        expr = self._expr("1 and 2 or 3")
+        assert expr.op == "or"
+        assert expr.left.op == "and"
+
+    def test_unary_minus(self):
+        expr = self._expr("-5")
+        assert isinstance(expr, ast.Neg)
+
+    def test_string_literal(self):
+        expr = self._expr('"Delta"')
+        assert expr == ast.String(value="Delta")
+
+    def test_variables(self):
+        expr = self._expr("price")
+        assert expr == ast.Var(name="price")

@@ -1,0 +1,151 @@
+"""The pretty-printer, including the parse∘print round-trip property."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lang import ast_nodes as ast
+from repro.lang.parser import parse
+from repro.lang.printer import to_source
+
+# -- hypothesis AST generators ------------------------------------------------
+
+identifiers = st.sampled_from(["x", "y", "stock", "paid", "v1"])
+
+expressions = st.recursive(
+    st.one_of(
+        st.builds(ast.Number, value=st.integers(0, 999)),
+        st.builds(
+            ast.String,
+            value=st.text(
+                alphabet=st.characters(
+                    blacklist_characters='"\\',
+                    min_codepoint=32,
+                    max_codepoint=126,
+                ),
+                max_size=8,
+            ),
+        ),
+        st.builds(ast.Var, name=identifiers),
+        st.builds(ast.ReadExpr, obj=identifiers),
+    ),
+    lambda children: st.one_of(
+        st.builds(ast.Neg, operand=children),
+        st.builds(
+            ast.BinOp,
+            op=st.sampled_from(
+                ["+", "-", "*", "==", "!=", "<", ">", "<=", ">=",
+                 "and", "or"]
+            ),
+            left=children,
+            right=children,
+        ),
+    ),
+    max_leaves=8,
+)
+
+
+def statements(depth=2):
+    base = st.one_of(
+        st.builds(ast.WriteStmt, obj=identifiers, value=expressions),
+        st.builds(ast.AssignStmt, name=identifiers, value=expressions),
+        st.just(ast.AbortStmt()),
+        st.builds(ast.ReturnStmt, value=expressions),
+    )
+    if depth <= 0:
+        return base
+    inner = statements(depth - 1)
+    blocks = st.lists(inner, min_size=1, max_size=3).map(tuple)
+    return st.one_of(
+        base,
+        st.builds(
+            ast.IfStmt,
+            condition=expressions,
+            then_block=blocks,
+            else_block=st.one_of(st.just(()), blocks),
+        ),
+        st.builds(
+            ast.SubTransStmt,
+            body=blocks,
+            required=st.booleans(),
+            bound_to=st.just(""),
+        ),
+    )
+
+
+blocks = st.lists(statements(), min_size=1, max_size=4).map(tuple)
+
+units = st.one_of(
+    st.builds(ast.TransUnit, body=blocks),
+    st.builds(
+        ast.ParallelUnit,
+        components=st.lists(
+            st.builds(ast.TransUnit, body=blocks), min_size=2, max_size=3
+        ).map(tuple),
+    ),
+    st.builds(
+        ast.ContingentUnit,
+        alternatives=st.lists(
+            st.builds(ast.TransUnit, body=blocks), min_size=2, max_size=3
+        ).map(tuple),
+    ),
+    st.builds(
+        ast.SagaUnit,
+        steps=st.lists(
+            st.builds(
+                ast.SagaStepNode,
+                body=blocks,
+                compensation=st.one_of(st.none(), blocks),
+            ),
+            min_size=1,
+            max_size=3,
+        ).map(tuple),
+    ),
+)
+
+
+class TestRoundTrip:
+    @given(unit=units)
+    @settings(max_examples=150, deadline=None)
+    def test_parse_print_round_trip(self, unit):
+        """parse(to_source(ast)) == ast, for generated programs."""
+        assert parse(to_source(unit)) == unit
+
+    def test_hand_written_examples_round_trip(self):
+        sources = [
+            "trans { write(x, read(x) + 1); }",
+            "trans { abort; } else trans { return 1; }",
+            "trans { v1 = 2 * (3 + 4); } || trans { abort; }",
+            """saga {
+                trans { write(stock, read(stock) - 1); }
+                compensating trans { write(stock, read(stock) + 1); }
+                trans { abort; }
+            }""",
+            """workflow {
+                task flight { trans { abort; } else trans { return 1; } }
+                compensating trans { write(x, 0); }
+                optional race task car requires flight {
+                    trans { abort; }
+                    else trans { return 2; }
+                }
+            }""",
+        ]
+        for source in sources:
+            unit = parse(source)
+            assert parse(to_source(unit)) == unit
+
+    def test_precedence_preserved(self):
+        unit = parse("trans { v1 = (1 + 2) * 3; }")
+        printed = to_source(unit)
+        assert "(1 + 2) * 3" in printed
+        assert parse(printed) == unit
+
+    def test_bound_try_round_trip(self):
+        unit = parse("trans { y = try trans { abort; }; }")
+        assert parse(to_source(unit)) == unit
+
+    def test_nested_if_round_trip(self):
+        unit = parse(
+            "trans { if (x > 1) { if (y) { abort; } } else { return 0; } }"
+        )
+        assert parse(to_source(unit)) == unit

@@ -1,0 +1,111 @@
+"""EX1 (3.1.1): atomic transactions — serializable and failure atomic."""
+
+import pytest
+
+from tests.conftest import incrementer, make_counters, read_counter
+
+from repro.acta.history import HistoryRecorder
+from repro.acta.serializability import is_conflict_serializable
+from repro.common.codec import decode_int, encode_int
+from repro.models.atomic import run_atomic
+
+
+class TestCommitPath:
+    def test_commit_applies_effects(self, rt):
+        [oid] = make_counters(rt, 1)
+        result = run_atomic(rt, incrementer(oid))
+        assert result.committed
+        assert result.value == 1
+        assert read_counter(rt, oid) == 1
+
+    def test_result_carries_tid(self, rt):
+        [oid] = make_counters(rt, 1)
+        result = run_atomic(rt, incrementer(oid))
+        assert rt.manager.has_committed(result.tid)
+
+    def test_sequence_of_transactions(self, rt):
+        [oid] = make_counters(rt, 1)
+        for expected in range(1, 6):
+            result = run_atomic(rt, incrementer(oid))
+            assert result.committed and result.value == expected
+
+
+class TestAbortPath:
+    def test_self_abort_undoes_everything(self, rt):
+        oids = make_counters(rt, 3)
+
+        def body(tx):
+            for oid in oids:
+                value = decode_int((yield tx.read(oid)))
+                yield tx.write(oid, encode_int(value + 10))
+            yield tx.abort()
+
+        result = run_atomic(rt, body)
+        assert not result.committed
+        assert all(read_counter(rt, oid) == 0 for oid in oids)
+
+    def test_exception_aborts(self, rt):
+        [oid] = make_counters(rt, 1)
+
+        def body(tx):
+            yield tx.write(oid, encode_int(5))
+            raise RuntimeError("bug in application code")
+
+        result = run_atomic(rt, body)
+        assert not result.committed
+        assert read_counter(rt, oid) == 0
+
+    def test_initiation_failure_reported(self):
+        from repro.core.manager import TransactionManager
+        from repro.runtime.coop import CooperativeRuntime
+
+        rt = CooperativeRuntime(TransactionManager(max_transactions=0))
+        result = run_atomic(rt, incrementer(None))
+        assert not result.committed
+        assert not result.tid
+
+
+class TestSerializability:
+    def test_concurrent_atomic_transactions_serializable(self, seeded_rt):
+        rt = seeded_rt
+        recorder = HistoryRecorder(rt.manager)
+        oids = make_counters(rt, 4)
+
+        def mover(src, dst):
+            def body(tx):
+                a = decode_int((yield tx.read(src)))
+                yield tx.write(src, encode_int(a - 1))
+                b = decode_int((yield tx.read(dst)))
+                yield tx.write(dst, encode_int(b + 1))
+
+            return body
+
+        tids = [
+            rt.spawn(mover(oids[i % 4], oids[(i + 1) % 4])) for i in range(6)
+        ]
+        rt.run_until_quiescent()
+        rt.commit_all(tids)
+        ok, cycle = is_conflict_serializable(recorder)
+        assert ok, f"conflict cycle: {cycle}"
+
+    def test_money_is_conserved_under_contention(self, seeded_rt):
+        rt = seeded_rt
+        oids = make_counters(rt, 3, initial=100)
+
+        def mover(src, dst, amount):
+            def body(tx):
+                a = decode_int((yield tx.read(src)))
+                yield tx.write(src, encode_int(a - amount))
+                b = decode_int((yield tx.read(dst)))
+                yield tx.write(dst, encode_int(b + amount))
+
+            return body
+
+        tids = [
+            rt.spawn(mover(oids[i % 3], oids[(i + 1) % 3], 7))
+            for i in range(5)
+        ]
+        rt.run_until_quiescent()
+        rt.commit_all(tids)
+        total = sum(read_counter(rt, oid) for oid in oids)
+        assert total == 300

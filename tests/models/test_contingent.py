@@ -1,0 +1,65 @@
+"""EX3 (3.1.3): contingent transactions — ordered, at most one commits."""
+
+import pytest
+
+from tests.conftest import incrementer, make_counters, read_counter
+
+from repro.models.contingent import run_contingent
+
+
+class TestOrdering:
+    def test_first_success_wins(self, rt):
+        oids = make_counters(rt, 3)
+        result = run_contingent(rt, [incrementer(oid) for oid in oids])
+        assert result.committed
+        assert result.chosen_index == 0
+        # Only the first alternative ran at all.
+        assert [read_counter(rt, oid) for oid in oids] == [1, 0, 0]
+
+    def test_fallback_on_failure(self, rt):
+        oids = make_counters(rt, 3)
+        bodies = [
+            incrementer(oids[0], fail=True),
+            incrementer(oids[1], fail=True),
+            incrementer(oids[2]),
+        ]
+        result = run_contingent(rt, bodies)
+        assert result.committed
+        assert result.chosen_index == 2
+        assert [read_counter(rt, oid) for oid in oids] == [0, 0, 1]
+
+    def test_at_most_one_commits(self, rt):
+        oids = make_counters(rt, 3)
+        committed_before = rt.manager.stats["committed"]
+        run_contingent(rt, [incrementer(oid) for oid in oids])
+        assert rt.manager.stats["committed"] == committed_before + 1
+
+    def test_all_fail(self, rt):
+        oids = make_counters(rt, 2)
+        result = run_contingent(
+            rt, [incrementer(oid, fail=True) for oid in oids]
+        )
+        assert not result.committed
+        assert result.chosen_index == -1
+        assert len(result.attempts) == 2
+        assert all(read_counter(rt, oid) == 0 for oid in oids)
+
+    def test_value_from_winner(self, rt):
+        oids = make_counters(rt, 2)
+        result = run_contingent(
+            rt,
+            [incrementer(oids[0], fail=True), incrementer(oids[1], delta=9)],
+        )
+        assert result.value == 9
+
+    def test_failed_attempts_left_no_effects(self, rt):
+        """Aborted alternatives are fully undone before the next tries."""
+        [oid] = make_counters(rt, 1)
+        bodies = [incrementer(oid, delta=100, fail=True), incrementer(oid)]
+        result = run_contingent(rt, bodies)
+        assert result.committed
+        assert read_counter(rt, oid) == 1
+
+    def test_empty_alternatives(self, rt):
+        result = run_contingent(rt, [])
+        assert not result.committed

@@ -1,0 +1,142 @@
+"""EX7 (3.2.1): cooperating transactions — permit ping-pong + coupling."""
+
+import pytest
+
+from tests.conftest import make_counters, read_counter
+
+from repro.acta.checker import check_commit_order, check_group_atomicity
+from repro.acta.history import HistoryRecorder
+from repro.common.codec import decode_int, encode_int
+from repro.models.cooperative import (
+    cooperate,
+    couple_commits,
+    establish_cooperation,
+)
+
+
+def appender(oid, items, approve=True):
+    """Append items one at a time via atomic operations."""
+
+    def body(tx):
+        for item in items:
+            def add(raw, item=item):
+                values = decode_int(raw)
+                return encode_int(values * 10 + item), None
+
+            yield tx.operation(oid, "write", add)
+        if not approve:
+            yield tx.abort()
+
+    return body
+
+
+class TestOneWayCooperation:
+    def test_paper_fragment_allows_conflict(self, rt):
+        """form_dependency(CD, ti, tj); permit(ti, tj, ob, op)."""
+        [oid] = make_counters(rt, 1)
+        ti = rt.spawn(appender(oid, [1]))
+        rt.round()  # ti holds the write lock now
+        tj = rt.spawn(appender(oid, [2]))
+        establish_cooperation(
+            rt.manager, ti, tj, oids=[oid], mutual=False
+        )
+        rt.run_until_quiescent()
+        # tj could proceed despite ti's lock; both completed.
+        assert rt.manager.wait_outcome(ti) is True
+        assert rt.manager.wait_outcome(tj) is True
+        rt.commit_all([ti, tj])
+
+    def test_cd_orders_commits(self, rt):
+        recorder = HistoryRecorder(rt.manager)
+        [oid] = make_counters(rt, 1)
+        ti = rt.spawn(appender(oid, [1]))
+        rt.round()
+        tj = rt.spawn(appender(oid, [2]))
+        establish_cooperation(rt.manager, ti, tj, oids=[oid], mutual=False)
+        rt.run_until_quiescent()
+        # Commit tj first: it must block until ti terminates.
+        outcomes = rt.commit_all([tj, ti])
+        assert outcomes[ti] == 1 and outcomes[tj] == 1
+        assert check_commit_order(recorder) == []
+
+
+class TestMutualCooperation:
+    def test_ping_pong_interleaves_edits(self, seeded_rt):
+        rt = seeded_rt
+        [oid] = make_counters(rt, 1)
+        ti = rt.spawn(appender(oid, [1, 1]))
+        tj = rt.spawn(appender(oid, [2, 2]))
+        establish_cooperation(rt.manager, ti, tj, oids=[oid], mutual=True)
+        rt.run_until_quiescent()
+        rt.commit_all([ti, tj])
+        final = read_counter(rt, oid)
+        # All four digits landed (no lost updates), in some interleaving.
+        digits = sorted(str(final))
+        assert digits == ["1", "1", "2", "2"]
+        assert rt.manager.lock_manager.stats["suspensions"] >= 1
+
+    def test_couple_commits_is_group(self, rt):
+        [oid] = make_counters(rt, 1)
+        ti = rt.spawn(appender(oid, [1]))
+        tj = rt.spawn(appender(oid, [2], approve=False))
+        establish_cooperation(rt.manager, ti, tj, oids=[oid], mutual=True)
+        rt.run_until_quiescent()
+        outcomes = rt.commit_all([ti, tj])
+        # tj aborted, so the coupled ti must abort too.
+        assert outcomes[ti] == 0 and outcomes[tj] == 0
+        assert read_counter(rt, oid) == 0
+
+    def test_group_atomicity_checked(self, rt):
+        recorder = HistoryRecorder(rt.manager)
+        [oid] = make_counters(rt, 1)
+        ti = rt.spawn(appender(oid, [1]))
+        tj = rt.spawn(appender(oid, [2]))
+        establish_cooperation(rt.manager, ti, tj, oids=[oid], mutual=True)
+        rt.run_until_quiescent()
+        rt.commit_all([ti, tj])
+        assert check_group_atomicity(recorder) == []
+
+    def test_abort_wipes_both_sides_work(self, rt):
+        """The paper's caveat: undo installs before images, so
+        'subsequent updates done by cooperating transactions will also
+        be lost'."""
+        [oid] = make_counters(rt, 1)
+        ti = rt.spawn(appender(oid, [1]))
+        tj = rt.spawn(appender(oid, [2]))
+        establish_cooperation(rt.manager, ti, tj, oids=[oid], mutual=True)
+        rt.run_until_quiescent()
+        rt.abort(ti)
+        rt.commit_all([tj])
+        assert read_counter(rt, oid) == 0
+
+
+class TestBodyLevelHelper:
+    def test_cooperate_fragment(self, rt):
+        [oid] = make_counters(rt, 1)
+        done = {}
+
+        def leader(tx):
+            def set1(raw):
+                return encode_int(1), None
+
+            yield tx.operation(oid, "write", set1)
+            peer_tid = done["peer"]
+            yield from cooperate(tx, peer_tid, oids=[oid])
+            # hold the lock; the peer can now conflict
+
+        def peer(tx):
+            def set2(raw):
+                return encode_int(decode_int(raw) + 20), None
+
+            yield tx.operation(oid, "write", set2)
+
+        leader_tid = rt.initiate(leader)
+        peer_tid = rt.initiate(peer)
+        done["peer"] = peer_tid
+        rt.begin(leader_tid)
+        rt.round()
+        rt.begin(peer_tid)
+        rt.run_until_quiescent()
+        outcomes = rt.commit_all([peer_tid, leader_tid])
+        assert outcomes[leader_tid] == 1 and outcomes[peer_tid] == 1
+        assert read_counter(rt, oid) == 21

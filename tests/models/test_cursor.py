@@ -1,0 +1,123 @@
+"""EX8 (3.2.2): cursor stability — writers follow readers mid-scan."""
+
+import pytest
+
+from tests.conftest import make_counters, read_counter
+
+from repro.common.codec import decode_int, encode_int
+from repro.models.cursor import cursor_scan, release_record
+
+
+class TestCursorStability:
+    def test_writer_proceeds_behind_the_cursor(self, rt):
+        oids = make_counters(rt, 3)
+        scanned = {}
+
+        def reader(tx):
+            values = yield from cursor_scan(tx, oids, process=decode_int)
+            scanned["values"] = values
+
+        def writer(tx):
+            # Overwrite the FIRST record — the cursor has moved past it.
+            yield tx.write(oids[0], encode_int(99))
+
+        reader_tid = rt.spawn(reader)
+        rt.round()  # reader locks record 0
+        rt.round()  # reader permits record 0, moves on
+        writer_tid = rt.spawn(writer)
+        rt.run_until_quiescent()
+        outcomes = rt.commit_all([writer_tid, reader_tid])
+        assert outcomes[writer_tid] == 1 and outcomes[reader_tid] == 1
+        assert read_counter(rt, oids[0]) == 99
+
+    def test_no_dependency_commits_any_order(self, rt):
+        """'No dependencies are formed, so that t_i and t_j may commit in
+        any order.'"""
+        oids = make_counters(rt, 2)
+
+        def reader(tx):
+            yield from cursor_scan(tx, oids)
+
+        def writer(tx):
+            yield tx.write(oids[0], encode_int(7))
+
+        reader_tid = rt.spawn(reader)
+        rt.run_until_quiescent()
+        writer_tid = rt.spawn(writer)
+        rt.run_until_quiescent()
+        # The WRITER commits first, then the reader: no blocking.
+        assert rt.commit(writer_tid) == 1
+        assert rt.commit(reader_tid) == 1
+        assert len(rt.manager.dependencies) == 0
+
+    def test_current_record_still_protected(self, rt):
+        """Cursor stability protects the record UNDER the cursor."""
+        oids = make_counters(rt, 2)
+        progress = []
+
+        def reader(tx):
+            value = yield tx.read(oids[0])
+            progress.append("read0")
+            # Cursor still on record 0: no permit yet. Pause here by
+            # reading record 1 next round.
+            value = yield tx.read(oids[1])
+            progress.append("read1")
+
+        reader_tid = rt.spawn(reader)
+        rt.round()
+        writer_tid = rt.spawn(
+            lambda tx: (yield tx.write(oids[0], encode_int(7)))
+        )
+        rt.round()
+        # The writer is blocked: no permit was issued for record 0.
+        assert rt.manager.wait_outcome(writer_tid) is None
+        rt.run_until_quiescent()
+        rt.commit_all([reader_tid, writer_tid])
+        assert read_counter(rt, oids[0]) == 7  # after the reader finished
+
+    def test_non_repeatable_read_is_the_price(self, rt):
+        """The relaxation's documented anomaly, demonstrated."""
+        oids = make_counters(rt, 1)
+        observations = []
+
+        def reader(tx):
+            observations.append(decode_int((yield tx.read(oids[0]))))
+            yield from release_record(tx, oids[0])
+            # ... writer slips in here ...
+            yield tx.read(oids[0])  # lock still held; value changed under it
+            observations.append(decode_int((yield tx.read(oids[0]))))
+
+        def writer(tx):
+            yield tx.write(oids[0], encode_int(55))
+
+        reader_tid = rt.spawn(reader)
+        rt.round()  # first read
+        rt.round()  # permit released
+        writer_tid = rt.spawn(writer)
+        rt.round()
+        rt.run_until_quiescent()
+        rt.commit_all([writer_tid, reader_tid])
+        assert observations[0] == 0
+        assert observations[-1] == 55  # non-repeatable read
+
+    def test_stable_false_is_repeatable_read(self, rt):
+        oids = make_counters(rt, 2)
+
+        def reader(tx):
+            return (
+                yield from cursor_scan(
+                    tx, oids, process=decode_int, stable=False
+                )
+            )
+
+        reader_tid = rt.spawn(reader)
+        rt.run_until_quiescent()
+        writer_tid = rt.spawn(
+            lambda tx: (yield tx.write(oids[0], encode_int(7)))
+        )
+        rt.run_until_quiescent()
+        # The writer is blocked until the reader commits.
+        assert rt.manager.wait_outcome(writer_tid) is None
+        assert rt.commit(reader_tid) == 1
+        rt.run_until_quiescent()
+        assert rt.commit(writer_tid) == 1

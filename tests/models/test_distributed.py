@@ -1,0 +1,88 @@
+"""EX2 (3.1.2): distributed transactions commit as a group."""
+
+import pytest
+
+from tests.conftest import incrementer, make_counters, read_counter
+
+from repro.acta.checker import check_group_atomicity
+from repro.acta.history import HistoryRecorder
+from repro.models.distributed import run_distributed
+
+
+class TestGroupCommit:
+    def test_all_commit_together(self, rt):
+        oids = make_counters(rt, 3)
+        result = run_distributed(rt, [incrementer(oid) for oid in oids])
+        assert result.committed
+        # The paper: later commit calls "simply return 1".
+        assert result.commit_returns == (1, 1, 1)
+        assert all(read_counter(rt, oid) == 1 for oid in oids)
+
+    def test_component_values_collected(self, rt):
+        oids = make_counters(rt, 2)
+        result = run_distributed(
+            rt, [incrementer(oids[0], delta=5), incrementer(oids[1], delta=7)]
+        )
+        assert result.values == (5, 7)
+
+    def test_single_component_degenerates_to_atomic(self, rt):
+        [oid] = make_counters(rt, 1)
+        result = run_distributed(rt, [incrementer(oid)])
+        assert result.committed
+        assert read_counter(rt, oid) == 1
+
+
+class TestGroupAbort:
+    def test_one_failure_aborts_all(self, rt):
+        oids = make_counters(rt, 3)
+        bodies = [
+            incrementer(oids[0]),
+            incrementer(oids[1], fail=True),  # this one aborts
+            incrementer(oids[2]),
+        ]
+        result = run_distributed(rt, bodies)
+        assert not result.committed
+        # The paper: "Later commit invocations simply return 0."
+        assert all(ret == 0 for ret in result.commit_returns)
+        assert all(read_counter(rt, oid) == 0 for oid in oids)
+
+    def test_group_atomicity_in_history(self, rt):
+        recorder = HistoryRecorder(rt.manager)
+        oids = make_counters(rt, 2)
+        run_distributed(
+            rt, [incrementer(oids[0]), incrementer(oids[1], fail=True)]
+        )
+        run_distributed(rt, [incrementer(oid) for oid in oids])
+        assert check_group_atomicity(recorder) == []
+
+    def test_failure_in_every_position(self, rt):
+        """The group aborts regardless of which member fails."""
+        for failing_index in range(3):
+            oids = make_counters(rt, 3)
+            bodies = [
+                incrementer(oid, fail=(index == failing_index))
+                for index, oid in enumerate(oids)
+            ]
+            result = run_distributed(rt, bodies)
+            assert not result.committed
+            assert all(read_counter(rt, oid) == 0 for oid in oids)
+
+
+class TestEdgeCases:
+    def test_initiation_failure_aborts_earlier_components(self):
+        from repro.core.manager import TransactionManager
+        from repro.runtime.coop import CooperativeRuntime
+
+        rt = CooperativeRuntime(TransactionManager(max_transactions=4))
+        oids = make_counters(rt, 1)
+        bodies = [incrementer(oids[0]) for __ in range(6)]
+        result = run_distributed(rt, bodies)
+        assert not result.committed
+
+    def test_components_see_independent_objects(self, rt):
+        oids = make_counters(rt, 4)
+        result = run_distributed(
+            rt, [incrementer(oid, delta=i + 1) for i, oid in enumerate(oids)]
+        )
+        assert result.committed
+        assert [read_counter(rt, oid) for oid in oids] == [1, 2, 3, 4]

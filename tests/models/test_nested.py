@@ -1,0 +1,188 @@
+"""EX4 (3.1.4): nested transactions — the trip example and beyond."""
+
+import pytest
+
+from tests.conftest import incrementer, make_counters, read_counter
+
+from repro.common.codec import decode_int, encode_int
+from repro.models.atomic import run_atomic
+from repro.models.nested import attempt_subtransaction, require_subtransaction
+
+
+class TestTripTranslation:
+    """The paper's two-level trip: airline + hotel reservations."""
+
+    def _trip(self, rt, airline_ok, hotel_ok):
+        oids = make_counters(rt, 2, initial=5)
+        airline, hotel = oids
+
+        def reserve(oid, ok):
+            def body(tx):
+                seats = decode_int((yield tx.read(oid)))
+                yield tx.write(oid, encode_int(seats - 1))
+                if not ok:
+                    yield tx.abort()
+
+            return body
+
+        def trip(tx):
+            yield from require_subtransaction(tx, reserve(airline, airline_ok))
+            yield from require_subtransaction(tx, reserve(hotel, hotel_ok))
+
+        result = run_atomic(rt, trip)
+        return result, [read_counter(rt, oid) for oid in oids]
+
+    def test_both_succeed(self, rt):
+        result, counts = self._trip(rt, True, True)
+        assert result.committed
+        assert counts == [4, 4]
+
+    def test_hotel_failure_undoes_airline(self, rt):
+        """'The effects of the airline reservation transaction must be
+        undone in that case.'"""
+        result, counts = self._trip(rt, True, False)
+        assert not result.committed
+        assert counts == [5, 5]
+
+    def test_airline_failure_cancels_trip(self, rt):
+        result, counts = self._trip(rt, False, True)
+        assert not result.committed
+        assert counts == [5, 5]
+
+
+class TestVisibilityRules:
+    def test_child_accesses_parent_objects(self, rt):
+        """permit(self(), t1) lets the child conflict with the parent."""
+        [oid] = make_counters(rt, 1)
+
+        def child(tx):
+            value = decode_int((yield tx.read(oid)))
+            yield tx.write(oid, encode_int(value + 1))
+
+        def parent(tx):
+            yield tx.write(oid, encode_int(10))  # parent holds a write lock
+            yield from require_subtransaction(tx, child)
+            return decode_int((yield tx.read(oid)))
+
+        result = run_atomic(rt, parent)
+        assert result.committed
+        assert result.value == 11
+
+    def test_child_effects_visible_to_parent_before_root_commit(self, rt):
+        [oid] = make_counters(rt, 1)
+        seen = {}
+
+        def child(tx):
+            yield tx.write(oid, encode_int(42))
+
+        def parent(tx):
+            yield from require_subtransaction(tx, child)
+            seen["value"] = decode_int((yield tx.read(oid)))
+
+        run_atomic(rt, parent)
+        assert seen["value"] == 42
+
+    def test_child_effects_not_durable_until_root_commits(self, rt):
+        """Effects 'are made permanent only upon the commit of the topmost
+        root transaction'."""
+        [oid] = make_counters(rt, 1)
+
+        def child(tx):
+            yield tx.write(oid, encode_int(42))
+
+        def parent(tx):
+            yield from require_subtransaction(tx, child)
+            yield tx.abort()  # root aborts AFTER the child "committed"
+
+        result = run_atomic(rt, parent)
+        assert not result.committed
+        assert read_counter(rt, oid) == 0
+
+    def test_outsider_blocked_during_nest(self, rt):
+        """Subtransaction effects stay isolated from non-ancestors."""
+        [oid] = make_counters(rt, 1)
+        outsider_saw = []
+
+        def child(tx):
+            yield tx.write(oid, encode_int(99))
+
+        def parent(tx):
+            yield tx.write(oid, encode_int(1))  # lock before the child runs
+            yield from require_subtransaction(tx, child)
+            yield tx.read(oid)
+
+        def outsider(tx):
+            outsider_saw.append(decode_int((yield tx.read(oid))))
+
+        parent_tid = rt.spawn(parent)
+        rt.round()  # the parent's write lock is now held
+        outsider_tid = rt.spawn(outsider)
+        rt.run_until_quiescent()
+        rt.commit_all([parent_tid, outsider_tid])
+        # The outsider read only after the root committed: it saw 99,
+        # never an intermediate uncommitted state.
+        assert outsider_saw == [99]
+
+
+class TestAttemptSemantics:
+    def test_failed_attempt_spares_parent(self, rt):
+        oids = make_counters(rt, 2)
+
+        def parent(tx):
+            first = yield from attempt_subtransaction(
+                tx, incrementer(oids[0], fail=True)
+            )
+            second = yield from attempt_subtransaction(
+                tx, incrementer(oids[1])
+            )
+            return (first, second.value)
+
+        result = run_atomic(rt, parent)
+        assert result.committed
+        assert result.value == (None, 1)
+        assert read_counter(rt, oids[0]) == 0
+        assert read_counter(rt, oids[1]) == 1
+
+
+class TestDeepNesting:
+    def test_three_levels(self, rt):
+        [oid] = make_counters(rt, 1)
+
+        def leaf(tx):
+            value = decode_int((yield tx.read(oid)))
+            yield tx.write(oid, encode_int(value + 1))
+
+        def middle(tx):
+            yield from require_subtransaction(tx, leaf)
+            yield from require_subtransaction(tx, leaf)
+
+        def root(tx):
+            yield from require_subtransaction(tx, middle)
+            yield from require_subtransaction(tx, leaf)
+
+        result = run_atomic(rt, root)
+        assert result.committed
+        assert read_counter(rt, oid) == 3
+
+    def test_deep_failure_unwinds_everything(self, rt):
+        [oid] = make_counters(rt, 1)
+
+        def leaf_ok(tx):
+            value = decode_int((yield tx.read(oid)))
+            yield tx.write(oid, encode_int(value + 1))
+
+        def leaf_bad(tx):
+            yield tx.write(oid, encode_int(1000))
+            yield tx.abort()
+
+        def middle(tx):
+            yield from require_subtransaction(tx, leaf_ok)
+            yield from require_subtransaction(tx, leaf_bad)
+
+        def root(tx):
+            yield from require_subtransaction(tx, leaf_ok)
+            yield from require_subtransaction(tx, middle)
+
+        result = run_atomic(rt, root)
+        assert not result.committed
+        assert read_counter(rt, oid) == 0

@@ -1,0 +1,166 @@
+"""Parallel sibling subtransactions and saga forward recovery."""
+
+import pytest
+
+from tests.conftest import incrementer, make_counters, read_counter
+
+from repro.acta.checker import check_compensation_shape
+from repro.acta.history import HistoryRecorder
+from repro.common.codec import decode_int, encode_int
+from repro.common.events import EventKind
+from repro.models.atomic import run_atomic
+from repro.models.nested import parallel_subtransactions
+from repro.models.saga import Saga, run_saga
+
+
+class TestParallelSiblings:
+    def test_all_siblings_land(self, rt):
+        oids = make_counters(rt, 3)
+
+        def parent(tx):
+            outcomes = yield from parallel_subtransactions(
+                tx, [incrementer(oid) for oid in oids]
+            )
+            return [outcome.value for outcome in outcomes]
+
+        result = run_atomic(rt, parent)
+        assert result.committed
+        assert result.value == [1, 1, 1]
+        assert all(read_counter(rt, oid) == 1 for oid in oids)
+
+    def test_siblings_actually_overlap(self, rt):
+        """All children begin before any child completes."""
+        recorder = HistoryRecorder(rt.manager)
+        oids = make_counters(rt, 3)
+
+        def slow_child(oid):
+            def body(tx):
+                for __ in range(8):
+                    value = decode_int((yield tx.read(oid)))
+                    yield tx.write(oid, encode_int(value + 1))
+
+            return body
+
+        def parent(tx):
+            yield from parallel_subtransactions(
+                tx, [slow_child(oid) for oid in oids]
+            )
+
+        result = run_atomic(rt, parent)
+        assert result.committed
+        begins = [
+            event.tick for event in recorder.events
+            if event.kind is EventKind.BEGIN and event.tid.value > result.tid.value
+        ]
+        completes = [
+            event.tick for event in recorder.events
+            if event.kind is EventKind.COMPLETE
+            and event.tid.value > result.tid.value
+        ]
+        assert len(begins) == 3
+        assert max(begins) < min(completes)
+
+    def test_required_failure_aborts_parent(self, rt):
+        oids = make_counters(rt, 3)
+
+        def parent(tx):
+            yield from parallel_subtransactions(
+                tx,
+                [
+                    incrementer(oids[0]),
+                    incrementer(oids[1], fail=True),
+                    incrementer(oids[2]),
+                ],
+            )
+
+        result = run_atomic(rt, parent)
+        assert not result.committed
+        assert all(read_counter(rt, oid) == 0 for oid in oids)
+
+    def test_tolerant_mode_keeps_survivors(self, rt):
+        oids = make_counters(rt, 3)
+
+        def parent(tx):
+            outcomes = yield from parallel_subtransactions(
+                tx,
+                [
+                    incrementer(oids[0]),
+                    incrementer(oids[1], fail=True),
+                    incrementer(oids[2]),
+                ],
+                require_all=False,
+            )
+            return [outcome is not None for outcome in outcomes]
+
+        result = run_atomic(rt, parent)
+        assert result.committed
+        assert result.value == [True, False, True]
+        assert [read_counter(rt, oid) for oid in oids] == [1, 0, 1]
+
+    def test_args_pairs_accepted(self, rt):
+        oids = make_counters(rt, 1)
+
+        def child(tx, oid, delta):
+            value = decode_int((yield tx.read(oid)))
+            yield tx.write(oid, encode_int(value + delta))
+            return delta
+
+        def parent(tx):
+            outcomes = yield from parallel_subtransactions(
+                tx, [(child, (oids[0], 5))]
+            )
+            return outcomes[0].value
+
+        result = run_atomic(rt, parent)
+        assert result.committed and result.value == 5
+        assert read_counter(rt, oids[0]) == 5
+
+
+class TestForwardRecoverySaga:
+    def _flaky_step(self, oid, fail_times, counter):
+        def body(tx):
+            value = decode_int((yield tx.read(oid)))
+            yield tx.write(oid, encode_int(value + 1))
+            counter["attempts"] += 1
+            if counter["attempts"] <= fail_times:
+                yield tx.abort()
+
+        return body
+
+    def test_flaky_component_retried_to_success(self, rt):
+        oids = make_counters(rt, 2)
+        counter = {"attempts": 0}
+        saga = Saga(recovery="forward", max_forward_retries=5)
+        saga.step(incrementer(oids[0]), incrementer(oids[0], delta=-1),
+                  name="t1")
+        saga.step(self._flaky_step(oids[1], 2, counter), None, name="t2")
+        result = run_saga(rt, saga)
+        assert result.committed
+        assert counter["attempts"] == 3  # two failures + the success
+        assert result.execution_order == [
+            "t1", "retry-t2", "retry-t2", "t2",
+        ]
+        assert read_counter(rt, oids[1]) == 1  # aborted attempts undone
+
+    def test_exhausted_retries_fall_back_to_backward(self, rt):
+        oids = make_counters(rt, 2)
+        saga = Saga(recovery="forward", max_forward_retries=2)
+        saga.step(incrementer(oids[0]), incrementer(oids[0], delta=-1),
+                  name="t1")
+        saga.step(incrementer(oids[1], fail=True), None, name="t2")
+        result = run_saga(rt, saga)
+        assert not result.committed
+        assert result.compensated_steps == 1
+        assert check_compensation_shape(result.execution_order, 2)
+        assert all(read_counter(rt, oid) == 0 for oid in oids)
+
+    def test_backward_remains_default(self, rt):
+        oids = make_counters(rt, 2)
+        saga = Saga()
+        assert saga.recovery == "backward"
+
+    def test_unknown_recovery_rejected(self):
+        from repro.common.errors import AssetError
+
+        with pytest.raises(AssetError, match="recovery"):
+            Saga(recovery="sideways")

@@ -1,0 +1,153 @@
+"""Relations: cursor scans, phantom protection, record-level sharing."""
+
+import pytest
+
+from repro.models.relation import (
+    create_relation,
+    delete_record,
+    insert_record,
+    record_oids,
+    scan_relation,
+    update_record,
+)
+
+
+@pytest.fixture
+def relation(rt):
+    def setup(tx):
+        rel = yield from create_relation(tx, name="employees")
+        for value in ({"name": "alice"}, {"name": "bob"},
+                      {"name": "carol"}):
+            yield from insert_record(tx, rel, value)
+        return rel
+
+    result = rt.run(setup)
+    assert result.committed
+    return result.value
+
+
+class TestBasics:
+    def test_scan_in_insertion_order(self, rt, relation):
+        def body(tx):
+            return (
+                yield from scan_relation(
+                    tx, relation, process=lambda r: r["name"]
+                )
+            )
+
+        assert rt.run(body).value == ["alice", "bob", "carol"]
+
+    def test_update_record(self, rt, relation):
+        def body(tx):
+            records = yield from record_oids(tx, relation)
+            yield from update_record(
+                tx, records[1], lambda r: {**r, "name": "robert"}
+            )
+            return (
+                yield from scan_relation(
+                    tx, relation, process=lambda r: r["name"]
+                )
+            )
+
+        assert rt.run(body).value == ["alice", "robert", "carol"]
+
+    def test_delete_record(self, rt, relation):
+        def body(tx):
+            records = yield from record_oids(tx, relation)
+            removed = yield from delete_record(tx, relation, records[0])
+            assert removed
+            return (
+                yield from scan_relation(
+                    tx, relation, process=lambda r: r["name"]
+                )
+            )
+
+        assert rt.run(body).value == ["bob", "carol"]
+
+    def test_delete_missing_record_reports_false(self, rt, relation):
+        def body(tx):
+            records = yield from record_oids(tx, relation)
+            yield from delete_record(tx, relation, records[0])
+            return (yield from delete_record(tx, relation, records[0]))
+
+        assert rt.run(body).value is False
+
+
+class TestPhantomProtection:
+    def test_insert_blocked_during_scan(self, rt, relation):
+        """The directory read lock keeps the record set stable."""
+        seen = []
+
+        def scanner(tx):
+            values = yield from scan_relation(
+                tx, relation, process=lambda r: r["name"]
+            )
+            seen.extend(values)
+
+        def inserter(tx):
+            yield from insert_record(tx, relation, {"name": "mallory"})
+
+        scan_tid = rt.spawn(scanner)
+        rt.round()  # scanner holds the directory read lock
+        insert_tid = rt.spawn(inserter)
+        rt.round()
+        rt.round()
+        # The inserter cannot commit its directory update mid-scan.
+        assert rt.manager.wait_outcome(insert_tid) is None
+        rt.run_until_quiescent()
+        rt.commit_all([scan_tid, insert_tid])
+        assert seen == ["alice", "bob", "carol"]  # no phantom
+
+
+class TestCursorStabilityOverRelation:
+    def test_writer_updates_behind_cursor(self, rt, relation):
+        scanned = {}
+
+        def scanner(tx):
+            scanned["rows"] = yield from scan_relation(
+                tx, relation, process=lambda r: r["name"]
+            )
+
+        def writer(tx):
+            records = yield from record_oids(tx, relation)
+            yield from update_record(
+                tx, records[0], lambda r: {**r, "name": "ALICE"}
+            )
+
+        scan_tid = rt.spawn(scanner)
+        for __ in range(4):
+            rt.round()  # the cursor has passed record 0 by now
+        writer_tid = rt.spawn(writer)
+        rt.run_until_quiescent()
+        outcomes = rt.commit_all([writer_tid, scan_tid])
+        assert outcomes[writer_tid] == 1 and outcomes[scan_tid] == 1
+
+        def check(tx):
+            return (
+                yield from scan_relation(
+                    tx, relation, process=lambda r: r["name"]
+                )
+            )
+
+        assert rt.run(check).value == ["ALICE", "bob", "carol"]
+
+    def test_repeatable_read_scan_blocks_writer(self, rt, relation):
+        def scanner(tx):
+            return (
+                yield from scan_relation(tx, relation, stable=False)
+            )
+
+        def writer(tx):
+            records = yield from record_oids(tx, relation)
+            yield from update_record(
+                tx, records[0], lambda r: {**r, "name": "X"}
+            )
+
+        scan_tid = rt.spawn(scanner)
+        rt.run_until_quiescent()
+        writer_tid = rt.spawn(writer)
+        rt.run_until_quiescent()
+        assert rt.manager.wait_outcome(writer_tid) is None  # blocked
+        rt.commit(scan_tid)
+        rt.run_until_quiescent()
+        rt.commit(writer_tid)

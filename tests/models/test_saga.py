@@ -1,0 +1,195 @@
+"""EX6 (3.1.6): sagas — forward commits, reverse compensation."""
+
+import pytest
+
+from tests.conftest import make_counters, read_counter
+
+from repro.acta.checker import check_compensation_shape
+from repro.common.codec import decode_int, encode_int
+from repro.common.errors import AssetError
+from repro.models.saga import Saga, SagaStep, run_saga
+
+
+def add_step(tx, oid, delta, fail=False):
+    value = decode_int((yield tx.read(oid)))
+    yield tx.write(oid, encode_int(value + delta))
+    if fail:
+        yield tx.abort()
+    return value + delta
+
+
+def build(rt, oids, fail_at=None):
+    """A saga of len(oids) steps, each adding 10 to its object."""
+    saga = Saga()
+    for index, oid in enumerate(oids):
+        fail = fail_at is not None and index == fail_at
+
+        def body(tx, oid=oid, fail=fail):
+            return (yield from add_step(tx, oid, 10, fail))
+
+        def comp(tx, oid=oid):
+            return (yield from add_step(tx, oid, -10))
+
+        is_last = index == len(oids) - 1
+        saga.step(body, None if is_last else comp, name=f"t{index + 1}")
+    return saga
+
+
+class TestForwardPath:
+    def test_all_steps_commit(self, rt):
+        oids = make_counters(rt, 3)
+        result = run_saga(rt, build(rt, oids))
+        assert result.committed
+        assert result.completed_steps == 3
+        assert result.execution_order == ["t1", "t2", "t3"]
+        assert all(read_counter(rt, oid) == 10 for oid in oids)
+
+    def test_components_commit_as_they_go(self, rt):
+        """Component effects are visible before the saga finishes."""
+        oids = make_counters(rt, 2)
+        observed = []
+
+        def spy_step(tx):
+            # t1 committed already, so this independent component can read
+            # its effect right away.
+            observed.append(decode_int((yield tx.read(oids[0]))))
+            value = decode_int((yield tx.read(oids[1])))
+            yield tx.write(oids[1], encode_int(value + 10))
+
+        saga = Saga()
+        saga.step(
+            lambda tx: (yield from add_step(tx, oids[0], 10)),
+            lambda tx: (yield from add_step(tx, oids[0], -10)),
+            name="t1",
+        )
+        saga.step(spy_step, None, name="t2")
+        result = run_saga(rt, saga)
+        assert result.committed
+        assert observed == [10]  # t1's effect already durable
+
+    def test_values_collected(self, rt):
+        oids = make_counters(rt, 2)
+        result = run_saga(rt, build(rt, oids))
+        assert result.values == [10, 10]
+
+
+class TestCompensation:
+    @pytest.mark.parametrize("fail_at", [0, 1, 2, 3])
+    def test_shape_for_every_failure_point(self, rt, fail_at):
+        """t1 .. tk ct_k .. ct_1 for failure at step k+1."""
+        oids = make_counters(rt, 4)
+        result = run_saga(rt, build(rt, oids, fail_at=fail_at))
+        assert not result.committed
+        assert result.completed_steps == fail_at
+        assert check_compensation_shape(result.execution_order, 4)
+        # All effects compensated: back to initial state.
+        assert all(read_counter(rt, oid) == 0 for oid in oids)
+
+    def test_compensation_runs_in_reverse_order(self, rt):
+        oids = make_counters(rt, 3)
+        result = run_saga(rt, build(rt, oids, fail_at=2))
+        assert result.execution_order == ["t1", "t2", "ct2", "ct1"]
+        assert result.compensated_steps == 2
+
+    def test_compensation_retried_until_commit(self, rt):
+        [oid] = make_counters(rt, 1)
+        attempts = {"count": 0}
+
+        def flaky_comp(tx):
+            attempts["count"] += 1
+            if attempts["count"] < 3:
+                yield tx.abort()
+            value = decode_int((yield tx.read(oid)))
+            yield tx.write(oid, encode_int(value - 10))
+
+        saga = Saga()
+        saga.step(
+            lambda tx: (yield from add_step(tx, oid, 10)),
+            flaky_comp,
+            name="t1",
+        )
+        saga.step(
+            lambda tx: (yield from add_step(tx, oid, 0, fail=True)),
+            None,
+            name="t2",
+        )
+        result = run_saga(rt, saga)
+        assert not result.committed
+        assert attempts["count"] == 3
+        assert read_counter(rt, oid) == 0
+
+    def test_hopeless_compensation_surfaces(self, rt):
+        [oid] = make_counters(rt, 1)
+
+        def always_fails(tx):
+            yield tx.abort()
+
+        saga = Saga(max_compensation_retries=3)
+        saga.step(
+            lambda tx: (yield from add_step(tx, oid, 10)),
+            always_fails,
+            name="t1",
+        )
+        saga.step(always_fails, None, name="t2")
+        with pytest.raises(AssetError, match="compensation"):
+            run_saga(rt, saga)
+
+
+class TestValidation:
+    def test_missing_compensation_rejected(self, rt):
+        saga = Saga()
+        saga.step(lambda tx: (yield tx.abort()), None, name="t1")
+        saga.step(lambda tx: (yield tx.abort()), None, name="t2")
+        with pytest.raises(AssetError, match="lacks a compensating"):
+            run_saga(rt, saga)
+
+    def test_last_step_needs_no_compensation(self, rt):
+        [oid] = make_counters(rt, 1)
+        saga = Saga()
+        saga.step(
+            lambda tx: (yield from add_step(tx, oid, 1)),
+            lambda tx: (yield from add_step(tx, oid, -1)),
+        )
+        saga.step(lambda tx: (yield from add_step(tx, oid, 1)), None)
+        assert run_saga(rt, saga).committed
+
+    def test_list_of_steps_accepted(self, rt):
+        [oid] = make_counters(rt, 1)
+        steps = [
+            SagaStep(body=lambda tx: (yield from add_step(tx, oid, 1))),
+        ]
+        assert run_saga(rt, steps).committed
+
+
+class TestIsolationRelaxation:
+    def test_other_transactions_see_partial_saga(self, rt):
+        """Sagas expose partial results: isolation is per component."""
+        oids = make_counters(rt, 2)
+        mid_values = []
+
+        def peeker(tx):
+            mid_values.append(decode_int((yield tx.read(oids[0]))))
+
+        saga = Saga()
+        saga.step(
+            lambda tx: (yield from add_step(tx, oids[0], 10)),
+            lambda tx: (yield from add_step(tx, oids[0], -10)),
+            name="t1",
+        )
+
+        def step_two(tx):
+            # Run the peeker as an independent transaction mid-saga by
+            # hand: component t1 already committed, so it may read.
+            value = decode_int((yield tx.read(oids[1])))
+            yield tx.write(oids[1], encode_int(value + 10))
+
+        saga.step(step_two, None, name="t2")
+
+        # Interleave: run t1, peek, then t2 via the saga machinery being
+        # sequential — emulate by running the peeker after the saga's
+        # t1 using a fresh runtime pass.
+        result = run_saga(rt, saga)
+        assert result.committed
+        peek = rt.run(peeker)
+        assert peek.committed
+        assert mid_values == [10]

@@ -1,0 +1,155 @@
+"""EX5 (3.1.5): split and join transactions."""
+
+import pytest
+
+from tests.conftest import make_counters, read_counter
+
+from repro.common.codec import decode_int, encode_int
+from repro.models.atomic import run_atomic
+from repro.models.split import join_transaction, split_transaction
+
+
+def bump(tx, oid, delta):
+    value = decode_int((yield tx.read(oid)))
+    yield tx.write(oid, encode_int(value + delta))
+
+
+class TestSplit:
+    def test_split_commits_independently(self, rt):
+        oids = make_counters(rt, 2)
+
+        def body(tx):
+            yield from bump(tx, oids[0], 1)
+            yield from bump(tx, oids[1], 1)
+
+            def noop(tx2):
+                if False:  # pragma: no cover
+                    yield None
+
+            split = yield from split_transaction(tx, noop, oids=[oids[0]])
+            yield tx.commit(split)  # delegated work commits NOW
+            # the parent continues and eventually aborts
+            yield tx.abort()
+
+        result = run_atomic(rt, body)
+        assert not result.committed
+        assert read_counter(rt, oids[0]) == 1  # survived via the split
+        assert read_counter(rt, oids[1]) == 0  # undone with the parent
+
+    def test_split_abort_spares_parent(self, rt):
+        oids = make_counters(rt, 2)
+
+        def body(tx):
+            yield from bump(tx, oids[0], 1)
+            yield from bump(tx, oids[1], 1)
+
+            def noop(tx2):
+                if False:  # pragma: no cover
+                    yield None
+
+            split = yield from split_transaction(tx, noop, oids=[oids[0]])
+            yield tx.abort(split)  # the split half dies
+
+        result = run_atomic(rt, body)
+        assert result.committed
+        assert read_counter(rt, oids[0]) == 0  # the split's share undone
+        assert read_counter(rt, oids[1]) == 1  # the parent's share kept
+
+    def test_split_body_continues_work(self, rt):
+        """The split transaction can keep operating on delegated objects."""
+        oids = make_counters(rt, 1)
+
+        def extra_work(tx2):
+            yield from bump(tx2, oids[0], 10)
+
+        def body(tx):
+            yield from bump(tx, oids[0], 1)
+            split = yield from split_transaction(
+                tx, extra_work, oids=[oids[0]]
+            )
+            ok = yield tx.wait(split)
+            assert ok
+            yield tx.commit(split)
+
+        result = run_atomic(rt, body)
+        assert result.committed
+        assert read_counter(rt, oids[0]) == 11
+
+    def test_split_parent_is_caller(self, rt):
+        recorded = {}
+
+        def noop(tx2):
+            recorded["parent"] = tx2.parent_tid()
+            if False:  # pragma: no cover
+                yield None
+
+        def body(tx):
+            recorded["self"] = tx.self_tid()
+            split = yield from split_transaction(tx, noop, oids=[])
+            yield tx.wait(split)
+            yield tx.commit(split)
+
+        result = run_atomic(rt, body)
+        assert result.committed
+        assert recorded["parent"] == recorded["self"]
+
+
+class TestJoin:
+    def test_join_merges_effects(self, rt):
+        oids = make_counters(rt, 2)
+
+        def side_work(tx2):
+            yield from bump(tx2, oids[1], 5)
+
+        def body(tx):
+            yield from bump(tx, oids[0], 1)
+            side = yield tx.initiate(side_work)
+            yield tx.permit(receiver=side)
+            yield tx.begin(side)
+            ok = yield from join_transaction(tx, side)
+            assert ok == 1
+            # side's +5 now belongs to me; abort side harmlessly:
+            yield tx.abort(side)
+
+        result = run_atomic(rt, body)
+        assert result.committed
+        assert read_counter(rt, oids[0]) == 1
+        assert read_counter(rt, oids[1]) == 5
+
+    def test_join_aborted_source_reports_zero(self, rt):
+        oids = make_counters(rt, 1)
+
+        def failing(tx2):
+            yield from bump(tx2, oids[0], 5)
+            yield tx2.abort()
+
+        def body(tx):
+            side = yield tx.initiate(failing)
+            yield tx.begin(side)
+            ok = yield from join_transaction(tx, side)
+            return ok
+
+        result = run_atomic(rt, body)
+        assert result.committed
+        assert result.value == 0
+        assert read_counter(rt, oids[0]) == 0
+
+    def test_paper_split_then_join_round_trip(self, rt):
+        """The section 3.1.5 example: s splits from t, then joins back."""
+        oids = make_counters(rt, 1)
+
+        def split_body(tx2):
+            yield from bump(tx2, oids[0], 100)
+
+        def body(tx):
+            yield from bump(tx, oids[0], 1)
+            s = yield from split_transaction(
+                tx, split_body, oids=[oids[0]]
+            )
+            ok = yield from join_transaction(tx, s)  # join(s, t)
+            assert ok == 1
+            yield tx.abort(s)  # s delegated everything; its fate is moot
+
+        result = run_atomic(rt, body)
+        assert result.committed
+        assert read_counter(rt, oids[0]) == 101

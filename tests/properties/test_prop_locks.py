@@ -1,0 +1,102 @@
+"""Property: the lock-manager invariant survives arbitrary histories.
+
+Random sequences of lock requests, permits, delegations, and releases must
+never leave two *unsuspended* conflicting granted locks on one object —
+the structural invariant behind the paper's claim that "only one
+transaction can perform an (update) operation at any given time".
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.ids import ObjectId, Tid
+from repro.core.descriptors import TransactionDescriptor
+from repro.core.locks import LockManager, ObjectRegistry
+from repro.core.permits import PermitTable
+from repro.core.semantics import READ, WRITE
+
+N_TXNS = 4
+N_OBJECTS = 3
+
+command = st.one_of(
+    st.tuples(
+        st.just("lock"),
+        st.integers(0, N_TXNS - 1),
+        st.integers(0, N_OBJECTS - 1),
+        st.sampled_from([READ, WRITE]),
+    ),
+    st.tuples(
+        st.just("permit"),
+        st.integers(0, N_TXNS - 1),
+        st.integers(0, N_TXNS - 1),
+        st.sampled_from([READ, WRITE, None]),
+    ),
+    st.tuples(
+        st.just("delegate"),
+        st.integers(0, N_TXNS - 1),
+        st.integers(0, N_TXNS - 1),
+        st.just(None),
+    ),
+    st.tuples(
+        st.just("release"),
+        st.integers(0, N_TXNS - 1),
+        st.just(None),
+        st.just(None),
+    ),
+)
+
+
+class TestLockInvariantProperty:
+    @given(st.lists(command, max_size=60))
+    @settings(max_examples=150, deadline=None)
+    def test_no_conflicting_active_grants(self, commands):
+        registry = ObjectRegistry()
+        permits = PermitTable(registry)
+        locks = LockManager(registry, permits)
+        tds = [TransactionDescriptor(tid=Tid(i + 1)) for i in range(N_TXNS)]
+        oids = [ObjectId(i + 1) for i in range(N_OBJECTS)]
+
+        for name, a, b, c in commands:
+            if name == "lock":
+                locks.acquire(tds[a], oids[b], c)
+            elif name == "permit":
+                if a != b:
+                    # Permit on every object the giver holds (any form).
+                    for oid in tds[a].locked_object_ids():
+                        permits.grant(
+                            oid, tds[a].tid,
+                            receiver=tds[b].tid, operation=c,
+                        )
+            elif name == "delegate":
+                if a != b:
+                    locks.delegate(tds[a], tds[b])
+            else:
+                locks.release_all(tds[a])
+            assert locks.check_invariants() == []
+
+    @given(st.lists(command, max_size=60))
+    @settings(max_examples=100, deadline=None)
+    def test_td_and_od_lists_stay_consistent(self, commands):
+        """Every granted LRD appears in exactly one TD list and its OD."""
+        registry = ObjectRegistry()
+        permits = PermitTable(registry)
+        locks = LockManager(registry, permits)
+        tds = [TransactionDescriptor(tid=Tid(i + 1)) for i in range(N_TXNS)]
+        oids = [ObjectId(i + 1) for i in range(N_OBJECTS)]
+
+        for name, a, b, c in commands:
+            if name == "lock":
+                locks.acquire(tds[a], oids[b], c)
+            elif name == "delegate":
+                if a != b:
+                    locks.delegate(tds[a], tds[b])
+            elif name == "release":
+                locks.release_all(tds[a])
+
+            for td in tds:
+                for lrd in td.locks:
+                    assert lrd.td is td
+                    assert lrd in lrd.od.granted
+            for od in registry.all_descriptors():
+                for lrd in od.granted:
+                    assert lrd in lrd.td.locks

@@ -1,0 +1,68 @@
+"""Property: sagas always produce t1..tk ct_k..ct_1 and restore state."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.acta.checker import check_compensation_shape
+from repro.bench.workload import populate_objects
+from repro.common.codec import decode_int, encode_int
+from repro.models.saga import Saga, run_saga
+from repro.runtime.coop import CooperativeRuntime
+
+
+def build_saga(oids, deltas, fail_at):
+    saga = Saga()
+    for index, (oid, delta) in enumerate(zip(oids, deltas)):
+        fail = fail_at is not None and index == fail_at
+
+        def body(tx, oid=oid, delta=delta, fail=fail):
+            value = decode_int((yield tx.read(oid)))
+            yield tx.write(oid, encode_int(value + delta))
+            if fail:
+                yield tx.abort()
+
+        def comp(tx, oid=oid, delta=delta):
+            value = decode_int((yield tx.read(oid)))
+            yield tx.write(oid, encode_int(value - delta))
+
+        is_last = index == len(oids) - 1
+        saga.step(body, None if is_last else comp, name=f"t{index + 1}")
+    return saga
+
+
+class TestSagaProperty:
+    @given(
+        n_steps=st.integers(1, 6),
+        fail_at=st.one_of(st.none(), st.integers(0, 5)),
+        deltas=st.lists(st.integers(-50, 50), min_size=6, max_size=6),
+        seed=st.integers(0, 1000),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_shape_and_state(self, n_steps, fail_at, deltas, seed):
+        if fail_at is not None and fail_at >= n_steps:
+            fail_at = None
+        rt = CooperativeRuntime(seed=seed)
+        oids = populate_objects(rt, n_steps, initial=100)
+        saga = build_saga(oids, deltas[:n_steps], fail_at)
+        result = run_saga(rt, saga)
+
+        assert check_compensation_shape(result.execution_order, n_steps)
+
+        def read_all(tx):
+            values = []
+            for oid in oids:
+                values.append(decode_int((yield tx.read(oid))))
+            return values
+
+        finals = rt.run(read_all).value
+        if fail_at is None:
+            assert result.committed
+            assert result.completed_steps == n_steps
+            expected = [100 + delta for delta in deltas[:n_steps]]
+            assert finals == expected
+        else:
+            assert not result.committed
+            assert result.completed_steps == fail_at
+            assert result.compensated_steps == fail_at
+            # Fully compensated: back to the initial state everywhere.
+            assert finals == [100] * n_steps

@@ -1,0 +1,107 @@
+"""Property: savepoint/rollback matches a reference journal model.
+
+Random interleavings of writes, savepoints, and rollbacks within one
+transaction must leave object state exactly where a simple journal model
+says: rollback restores, in reverse order, the before images of writes
+made after the savepoint.  A final random choice of commit or abort
+checks the end-to-end fate too.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.codec import decode_int, encode_int
+from repro.common.errors import InvalidStateError
+from repro.core.manager import TransactionManager
+
+N_OBJECTS = 3
+
+action = st.one_of(
+    st.tuples(
+        st.just("write"),
+        st.integers(0, N_OBJECTS - 1),
+        st.integers(1, 99),
+    ),
+    st.tuples(st.just("savepoint"), st.just(0), st.just(0)),
+    st.tuples(
+        st.just("rollback"),
+        st.integers(0, 5),  # which saved savepoint (modulo available)
+        st.just(0),
+    ),
+)
+
+
+class TestSavepointProperty:
+    @given(
+        actions=st.lists(action, max_size=20),
+        commit=st.booleans(),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_journal_model_equivalence(self, actions, commit):
+        manager = TransactionManager()
+        setup = manager.initiate()
+        manager.begin(setup)
+        oids = [
+            manager.create_object(setup, encode_int(0))
+            for __ in range(N_OBJECTS)
+        ]
+        manager.note_completed(setup)
+        manager.try_commit(setup)
+
+        tid = manager.initiate()
+        manager.begin(tid)
+
+        # Reference model: current state, a journal of (obj, before), and
+        # savepoints as (token, journal mark, alive) — a rollback destroys
+        # the savepoints taken after its target, exactly as SQL does.
+        state = [0] * N_OBJECTS
+        journal = []
+        savepoints = []  # [token, mark, alive]
+
+        for name, a, value in actions:
+            if name == "write":
+                manager.try_write(tid, oids[a], encode_int(value))
+                journal.append((a, state[a]))
+                state[a] = value
+            elif name == "savepoint":
+                token = manager.savepoint(tid)
+                savepoints.append([token, len(journal), True])
+            elif name == "rollback" and savepoints:
+                index = a % len(savepoints)
+                token, mark, alive = savepoints[index]
+                if not alive:
+                    with pytest.raises(InvalidStateError):
+                        manager.rollback_to(tid, token)
+                    continue
+                manager.rollback_to(tid, token)
+                for obj, before in reversed(journal[mark:]):
+                    state[obj] = before
+                del journal[mark:]
+                for later in savepoints[index + 1 :]:
+                    # Equal tokens are the same savepoint; only strictly
+                    # later ones are destroyed.
+                    if later[0] != token:
+                        later[2] = False
+
+            __, raw = manager.try_read(tid, oids[0])
+            # spot-check one object every step, all objects at the end
+            assert decode_int(raw) == state[0]
+
+        for obj, oid in enumerate(oids):
+            __, raw = manager.try_read(tid, oid)
+            assert decode_int(raw) == state[obj], (actions,)
+
+        if commit:
+            manager.note_completed(tid)
+            assert manager.try_commit(tid)
+            expected = state
+        else:
+            manager.abort(tid)
+            expected = [0] * N_OBJECTS
+
+        reader = manager.initiate()
+        manager.begin(reader)
+        for obj, oid in enumerate(oids):
+            __, raw = manager.try_read(reader, oid)
+            assert decode_int(raw) == expected[obj], (actions, commit)

@@ -1,0 +1,167 @@
+"""The request vocabulary and the shared request interpreter."""
+
+import pytest
+
+from repro.common.ids import NULL_TID, Tid
+from repro.core.manager import TransactionManager
+from repro.runtime import program as prog
+from repro.runtime.program import BLOCKED, DONE, TxnContext, execute_request
+
+
+class _NullRuntime:
+    """A runtime stub for interpreter tests."""
+
+    def __init__(self):
+        self.begun = []
+        self.results = {}
+
+    def on_begun(self, tid):
+        self.begun.append(tid)
+
+    def result_of(self, tid):
+        return self.results.get(tid)
+
+
+@pytest.fixture
+def manager():
+    return TransactionManager()
+
+
+@pytest.fixture
+def runtime():
+    return _NullRuntime()
+
+
+class TestTxnContext:
+    def test_identity(self):
+        ctx = TxnContext(Tid(5), parent=Tid(2))
+        assert ctx.self_tid() == Tid(5)
+        assert ctx.parent_tid() == Tid(2)
+
+    def test_top_level_parent_is_null(self):
+        assert TxnContext(Tid(5)).parent_tid() == NULL_TID
+
+    def test_commit_defaults_to_self(self):
+        ctx = TxnContext(Tid(5))
+        assert ctx.commit().tid == Tid(5)
+        assert ctx.commit(Tid(9)).tid == Tid(9)
+
+    def test_abort_defaults_to_self(self):
+        ctx = TxnContext(Tid(5))
+        assert ctx.abort().tid == Tid(5)
+
+    def test_delegate_defaults_source_to_self(self):
+        ctx = TxnContext(Tid(5))
+        request = ctx.delegate(Tid(9))
+        assert request.source == Tid(5)
+        assert request.target == Tid(9)
+        assert request.oids is None
+
+    def test_permit_defaults_giver_to_self(self):
+        ctx = TxnContext(Tid(5))
+        request = ctx.permit()
+        assert request.giver == Tid(5)
+        assert request.receiver is None
+
+    def test_requests_are_frozen(self):
+        request = TxnContext(Tid(1)).read("oid")
+        with pytest.raises(Exception):
+            request.oid = "other"
+
+
+class TestInterpreter:
+    def test_initiate_records_parent(self, manager, runtime):
+        parent = manager.initiate()
+        state, child = execute_request(
+            manager, runtime, parent, prog.Initiate(function=None)
+        )
+        assert state is DONE
+        assert manager.parent_of(child) == parent
+
+    def test_begin_notifies_runtime(self, manager, runtime):
+        tid = manager.initiate()
+        state, result = execute_request(
+            manager, runtime, NULL_TID, prog.Begin(tids=(tid,))
+        )
+        assert state is DONE and result == 1
+        assert runtime.begun == [tid]
+
+    def test_begin_blocked_by_dependency(self, manager, runtime):
+        from repro.core.dependency import DependencyType
+
+        gate = manager.initiate()
+        manager.begin(gate)
+        tid = manager.initiate()
+        manager.form_dependency(DependencyType.BCD, gate, tid)
+        state, who = execute_request(
+            manager, runtime, NULL_TID, prog.Begin(tids=(tid,))
+        )
+        assert state is BLOCKED
+        assert who == (gate,)
+        assert runtime.begun == []
+
+    def test_commit_blocks_until_completed(self, manager, runtime):
+        tid = manager.initiate()
+        manager.begin(tid)
+        state, who = execute_request(
+            manager, runtime, NULL_TID, prog.Commit(tid=tid)
+        )
+        assert state is BLOCKED and who == (tid,)
+        manager.note_completed(tid)
+        state, result = execute_request(
+            manager, runtime, NULL_TID, prog.Commit(tid=tid)
+        )
+        assert state is DONE and result == 1
+
+    def test_commit_of_aborted_returns_zero(self, manager, runtime):
+        tid = manager.initiate()
+        manager.abort(tid)
+        state, result = execute_request(
+            manager, runtime, NULL_TID, prog.Commit(tid=tid)
+        )
+        assert state is DONE and result == 0
+
+    def test_wait_blocks_then_reports(self, manager, runtime):
+        tid = manager.initiate()
+        manager.begin(tid)
+        state, __ = execute_request(
+            manager, runtime, NULL_TID, prog.Wait(tid=tid)
+        )
+        assert state is BLOCKED
+        manager.abort(tid)
+        state, result = execute_request(
+            manager, runtime, NULL_TID, prog.Wait(tid=tid)
+        )
+        assert state is DONE and result == 0
+
+    def test_read_write_block_on_conflict(self, manager, runtime):
+        a = manager.initiate()
+        manager.begin(a)
+        oid = manager.create_object(a, b"v")
+        b = manager.initiate()
+        manager.begin(b)
+        state, who = execute_request(
+            manager, runtime, b, prog.Read(oid=oid)
+        )
+        assert state is BLOCKED and who == (a,)
+
+    def test_get_status_and_result(self, manager, runtime):
+        tid = manager.initiate()
+        runtime.results[tid] = "payload"
+        state, status = execute_request(
+            manager, runtime, NULL_TID, prog.GetStatus(tid=tid)
+        )
+        assert state is DONE
+        state, value = execute_request(
+            manager, runtime, NULL_TID, prog.GetResult(tid=tid)
+        )
+        assert value == "payload"
+
+    def test_unknown_request_raises(self, manager, runtime):
+        from repro.common.errors import AssetError
+
+        class Strange(prog.Request):
+            pass
+
+        with pytest.raises(AssetError):
+            execute_request(manager, runtime, NULL_TID, Strange())

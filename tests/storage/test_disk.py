@@ -1,0 +1,90 @@
+"""Disk managers: allocation, IO, persistence, snapshots."""
+
+import pytest
+
+from repro.common.errors import StorageError
+from repro.storage.disk import FileDiskManager, InMemoryDiskManager
+from repro.storage.page import Page
+
+
+@pytest.fixture(params=["memory", "file"])
+def disk(request, tmp_path):
+    if request.param == "memory":
+        yield InMemoryDiskManager()
+    else:
+        manager = FileDiskManager(tmp_path / "pages.db")
+        yield manager
+        manager.close()
+
+
+class TestDiskManagers:
+    def test_allocate_sequential_ids(self, disk):
+        assert disk.allocate_page() == 1
+        assert disk.allocate_page() == 2
+
+    def test_new_page_is_zeroed(self, disk):
+        page_id = disk.allocate_page()
+        assert disk.read_page(page_id) == bytes(disk.page_size)
+
+    def test_write_read_round_trip(self, disk):
+        page_id = disk.allocate_page()
+        page = Page(page_id)
+        page.insert(1, b"payload")
+        disk.write_page(page_id, page.to_bytes())
+        clone = Page.from_bytes(disk.read_page(page_id))
+        assert clone.read(0) == (1, b"payload")
+
+    def test_unknown_page_rejected(self, disk):
+        with pytest.raises(StorageError):
+            disk.read_page(99)
+        with pytest.raises(StorageError):
+            disk.write_page(99, bytes(disk.page_size))
+
+    def test_wrong_image_size_rejected(self, disk):
+        page_id = disk.allocate_page()
+        with pytest.raises(StorageError):
+            disk.write_page(page_id, b"short")
+
+    def test_page_ids_enumerates(self, disk):
+        for __ in range(3):
+            disk.allocate_page()
+        assert list(disk.page_ids()) == [1, 2, 3]
+
+
+class TestFilePersistence:
+    def test_reopen_preserves_pages(self, tmp_path):
+        path = tmp_path / "pages.db"
+        manager = FileDiskManager(path)
+        page_id = manager.allocate_page()
+        page = Page(page_id)
+        page.insert(5, b"durable")
+        manager.write_page(page_id, page.to_bytes())
+        manager.sync()
+        manager.close()
+
+        reopened = FileDiskManager(path)
+        clone = Page.from_bytes(reopened.read_page(page_id))
+        assert clone.read(0) == (5, b"durable")
+        reopened.close()
+
+    def test_corrupt_size_rejected(self, tmp_path):
+        path = tmp_path / "bad.db"
+        path.write_bytes(b"x" * 100)
+        with pytest.raises(StorageError):
+            FileDiskManager(path)
+
+
+class TestSnapshots:
+    def test_snapshot_restore(self):
+        disk = InMemoryDiskManager()
+        page_id = disk.allocate_page()
+        page = Page(page_id)
+        page.insert(1, b"before")
+        disk.write_page(page_id, page.to_bytes())
+        snapshot = disk.snapshot()
+
+        page.update(0, b"after!")
+        disk.write_page(page_id, page.to_bytes())
+        disk.restore(snapshot)
+        clone = Page.from_bytes(disk.read_page(page_id))
+        assert clone.read(0) == (1, b"before")

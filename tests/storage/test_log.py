@@ -1,0 +1,187 @@
+"""The write-ahead log: record encoding, devices, delegation attribution."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.ids import Lsn, ObjectId, Tid
+from repro.storage.log import (
+    AbortRecord,
+    AfterImageRecord,
+    BeforeImageRecord,
+    CheckpointRecord,
+    CommitRecord,
+    DelegateRecord,
+    FileLogDevice,
+    MemoryLogDevice,
+    WriteAheadLog,
+    decode_record,
+    encode_record,
+)
+
+
+class TestRecordCodec:
+    def test_before_image_round_trip(self):
+        record = BeforeImageRecord(
+            lsn=Lsn(1), tid=Tid(2), oid=ObjectId(3), image=b"old"
+        )
+        assert decode_record(encode_record(record)) == record
+
+    def test_absent_image_round_trip(self):
+        record = BeforeImageRecord(
+            lsn=Lsn(1), tid=Tid(2), oid=ObjectId(3), image=None
+        )
+        decoded = decode_record(encode_record(record))
+        assert decoded.image is None
+
+    def test_commit_with_group(self):
+        record = CommitRecord(lsn=Lsn(9), tid=Tid(1), group=(Tid(2), Tid(3)))
+        decoded = decode_record(encode_record(record))
+        assert decoded == record
+        assert decoded.committed_tids() == {Tid(1), Tid(2), Tid(3)}
+
+    def test_delegate_round_trip(self):
+        record = DelegateRecord(
+            lsn=Lsn(5),
+            tid=Tid(1),
+            delegatee=Tid(7),
+            oids=(ObjectId(1), ObjectId(2)),
+        )
+        assert decode_record(encode_record(record)) == record
+
+    def test_abort_and_checkpoint(self):
+        abort = AbortRecord(lsn=Lsn(2), tid=Tid(4))
+        assert decode_record(encode_record(abort)) == abort
+        checkpoint = CheckpointRecord(
+            lsn=Lsn(3), tid=Tid(0), active=(Tid(1),)
+        )
+        assert decode_record(encode_record(checkpoint)) == checkpoint
+
+    @given(
+        st.integers(min_value=1, max_value=2**40),
+        st.integers(min_value=1, max_value=2**40),
+        st.integers(min_value=1, max_value=2**40),
+        st.one_of(st.none(), st.binary(max_size=200)),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_image_record_property(self, lsn, tid, oid, image):
+        record = AfterImageRecord(
+            lsn=Lsn(lsn), tid=Tid(tid), oid=ObjectId(oid), image=image
+        )
+        assert decode_record(encode_record(record)) == record
+
+
+class TestWriteAheadLog:
+    def test_lsns_are_monotone(self):
+        log = WriteAheadLog()
+        records = [
+            log.log_before_image(Tid(1), ObjectId(1), b"a"),
+            log.log_after_image(Tid(1), ObjectId(1), b"b"),
+            log.log_commit(Tid(1)),
+        ]
+        lsns = [record.lsn for record in records]
+        assert lsns == sorted(lsns)
+        assert len(set(lsns)) == 3
+
+    def test_records_returns_in_order(self):
+        log = WriteAheadLog()
+        log.log_before_image(Tid(1), ObjectId(1), b"a")
+        log.log_commit(Tid(1))
+        kinds = [type(record) for record in log.records()]
+        assert kinds == [BeforeImageRecord, CommitRecord]
+
+    def test_commit_flushes(self):
+        log = WriteAheadLog()
+        before = log.flush_count
+        log.log_commit(Tid(1))
+        assert log.flush_count == before + 1
+
+    def test_durable_only_view(self):
+        log = WriteAheadLog()
+        log.log_before_image(Tid(1), ObjectId(1), b"a")
+        assert log.records(durable_only=True) == []
+        log.flush()
+        assert len(log.records(durable_only=True)) == 1
+
+    def test_crash_drops_unflushed(self):
+        log = WriteAheadLog()
+        log.log_before_image(Tid(1), ObjectId(1), b"a")
+        log.flush()
+        log.log_before_image(Tid(1), ObjectId(2), b"b")
+        log.device.crash()
+        log.resync()  # whoever crashes the device must resync the cache
+        assert len(log.records()) == 1
+
+    def test_resync_rebuilds_cache(self):
+        device = MemoryLogDevice()
+        log = WriteAheadLog(device)
+        log.log_commit(Tid(1))
+        # A second handle appends behind our back.
+        other = WriteAheadLog(device)
+        other.log_commit(Tid(2))
+        log.resync()
+        assert len(log.records()) == 2
+
+    def test_reopen_resumes_lsn(self):
+        device = MemoryLogDevice()
+        log = WriteAheadLog(device)
+        last = log.log_commit(Tid(1))
+        reopened = WriteAheadLog(device)
+        fresh = reopened.log_commit(Tid(2))
+        assert fresh.lsn.value > last.lsn.value
+
+
+class TestDelegationAttribution:
+    def test_updates_by_follows_delegation(self):
+        log = WriteAheadLog()
+        a, b = ObjectId(1), ObjectId(2)
+        log.log_before_image(Tid(1), a, b"va")
+        log.log_before_image(Tid(1), b, b"vb")
+        log.log_delegate(Tid(1), Tid(2), [a])
+        assert [r.oid for r in log.updates_by(Tid(1))] == [b]
+        assert [r.oid for r in log.updates_by(Tid(2))] == [a]
+
+    def test_chained_delegation(self):
+        log = WriteAheadLog()
+        a = ObjectId(1)
+        log.log_before_image(Tid(1), a, b"v")
+        log.log_delegate(Tid(1), Tid(2), [a])
+        log.log_delegate(Tid(2), Tid(3), [a])
+        assert log.updates_by(Tid(1)) == []
+        assert log.updates_by(Tid(2)) == []
+        assert [r.oid for r in log.updates_by(Tid(3))] == [a]
+
+    def test_updates_after_delegation_stay_with_writer(self):
+        log = WriteAheadLog()
+        a = ObjectId(1)
+        log.log_before_image(Tid(1), a, b"v1")
+        log.log_delegate(Tid(1), Tid(2), [a])
+        log.log_before_image(Tid(1), a, b"v2")  # a NEW update by Tid(1)
+        assert [r.image for r in log.updates_by(Tid(1))] == [b"v2"]
+        assert [r.image for r in log.updates_by(Tid(2))] == [b"v1"]
+
+
+class TestFileDevice:
+    def test_file_round_trip(self, tmp_path):
+        device = FileLogDevice(tmp_path / "wal.log")
+        log = WriteAheadLog(device)
+        log.log_before_image(Tid(1), ObjectId(1), b"x")
+        log.log_commit(Tid(1))
+        device.close()
+
+        reopened = WriteAheadLog(FileLogDevice(tmp_path / "wal.log"))
+        kinds = [type(record) for record in reopened.records()]
+        assert kinds == [BeforeImageRecord, CommitRecord]
+
+    def test_torn_tail_ignored(self, tmp_path):
+        path = tmp_path / "wal.log"
+        device = FileLogDevice(path)
+        log = WriteAheadLog(device)
+        log.log_commit(Tid(1))
+        device.flush()
+        device.close()
+        # Simulate a torn write: append garbage length prefix + short body.
+        with open(path, "ab") as handle:
+            handle.write(b"\xff\xff\x00\x00partial")
+        reopened = WriteAheadLog(FileLogDevice(path))
+        assert len(reopened.records()) == 1

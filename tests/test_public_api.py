@@ -1,0 +1,73 @@
+"""The public API surface: exports exist and resolve.
+
+Guards against broken ``__all__`` lists and accidental removals — the
+kind of regression a downstream user hits first.
+"""
+
+import importlib
+
+import pytest
+
+PUBLIC_MODULES = [
+    "repro",
+    "repro.acta",
+    "repro.bench",
+    "repro.cli",
+    "repro.common",
+    "repro.core",
+    "repro.lang",
+    "repro.models",
+    "repro.runtime",
+    "repro.storage",
+    "repro.workflow",
+]
+
+
+@pytest.mark.parametrize("name", PUBLIC_MODULES)
+def test_module_imports_and_all_resolves(name):
+    module = importlib.import_module(name)
+    for export in getattr(module, "__all__", ()):
+        assert hasattr(module, export), f"{name}.{export} missing"
+
+
+def test_top_level_convenience_names():
+    import repro
+
+    for export in (
+        "TransactionManager",
+        "CooperativeRuntime",
+        "ThreadedRuntime",
+        "DependencyType",
+        "TransactionAborted",
+        "encode_int",
+        "decode_json",
+    ):
+        assert hasattr(repro, export)
+
+
+def test_version_is_set():
+    import repro
+
+    major, minor, patch = repro.__version__.split(".")
+    assert int(major) >= 1
+
+
+def test_docstrings_everywhere_public():
+    """Every public module, class, and function carries a docstring."""
+    import inspect
+
+    missing = []
+    for name in PUBLIC_MODULES:
+        module = importlib.import_module(name)
+        if not (module.__doc__ or "").strip():
+            missing.append(name)
+        for attr_name in dir(module):
+            if attr_name.startswith("_"):
+                continue
+            attr = getattr(module, attr_name)
+            if not (inspect.isclass(attr) or inspect.isfunction(attr)):
+                continue
+            if getattr(attr, "__module__", "").startswith("repro"):
+                if not (attr.__doc__ or "").strip():
+                    missing.append(f"{name}.{attr_name}")
+    assert missing == [], f"missing docstrings: {missing}"

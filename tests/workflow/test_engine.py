@@ -1,0 +1,136 @@
+"""The workflow engine: alternatives, races, compensation, dependencies."""
+
+import pytest
+
+from tests.conftest import incrementer, make_counters, read_counter
+
+from repro.workflow.engine import TaskStatus, WorkflowEngine
+from repro.workflow.spec import WorkflowSpec
+
+
+@pytest.fixture
+def engine(rt):
+    return WorkflowEngine(rt)
+
+
+class TestSequentialAlternatives:
+    def test_preference_order(self, rt, engine):
+        oids = make_counters(rt, 2)
+        spec = WorkflowSpec("prefs")
+        task = spec.task("choice")
+        task.alternative(incrementer(oids[0], fail=True), label="first")
+        task.alternative(incrementer(oids[1]), label="second")
+        result = engine.execute(spec)
+        assert result.success
+        assert result.outcomes["choice"].label == "second"
+        assert read_counter(rt, oids[1]) == 1
+
+    def test_value_captured(self, rt, engine):
+        [oid] = make_counters(rt, 1)
+        spec = WorkflowSpec()
+        spec.task("inc").alternative(incrementer(oid, delta=7))
+        result = engine.execute(spec)
+        assert result.outcomes["inc"].value == 7
+
+
+class TestOptionalAndDependencies:
+    def _spec(self, rt, first_fails, optional_second):
+        oids = make_counters(rt, 3)
+        spec = WorkflowSpec()
+        spec.task("first").alternative(
+            incrementer(oids[0], fail=first_fails)
+        )
+        spec.task(
+            "second", optional=optional_second, depends_on=("first",)
+        ).alternative(incrementer(oids[1]))
+        spec.task("third", depends_on=("first",)).alternative(
+            incrementer(oids[2])
+        )
+        return spec, oids
+
+    def test_required_failure_fails_workflow(self, rt, engine):
+        spec, oids = self._spec(rt, first_fails=True, optional_second=False)
+        result = engine.execute(spec)
+        assert not result.success
+        assert result.status_of("first") is TaskStatus.FAILED
+
+    def test_dependent_of_failed_task_skipped(self, rt, engine):
+        spec, oids = self._spec(rt, first_fails=True, optional_second=True)
+        result = engine.execute(spec)
+        assert not result.success  # "third" is required and skipped
+        assert result.status_of("second") is TaskStatus.SKIPPED
+        assert read_counter(rt, oids[1]) == 0
+
+    def test_optional_failure_does_not_fail_workflow(self, rt, engine):
+        oids = make_counters(rt, 2)
+        spec = WorkflowSpec()
+        spec.task("maybe", optional=True).alternative(
+            incrementer(oids[0], fail=True)
+        )
+        spec.task("must").alternative(incrementer(oids[1]))
+        result = engine.execute(spec)
+        assert result.success
+        assert result.status_of("maybe") is TaskStatus.FAILED
+        assert result.status_of("must") is TaskStatus.COMMITTED
+
+
+class TestCompensation:
+    def test_reverse_order_compensation(self, rt, engine):
+        oids = make_counters(rt, 3)
+        spec = WorkflowSpec()
+        spec.task("a").alternative(incrementer(oids[0])).compensate_with(
+            incrementer(oids[0], delta=-1)
+        )
+        spec.task("b").alternative(incrementer(oids[1])).compensate_with(
+            incrementer(oids[1], delta=-1)
+        )
+        spec.task("c").alternative(incrementer(oids[2], fail=True))
+        result = engine.execute(spec)
+        assert not result.success
+        assert result.compensation_order == ["b", "a"]
+        assert result.status_of("a") is TaskStatus.COMPENSATED
+        assert result.status_of("b") is TaskStatus.COMPENSATED
+        assert all(read_counter(rt, oid) == 0 for oid in oids)
+
+    def test_task_without_compensation_left_committed(self, rt, engine):
+        oids = make_counters(rt, 2)
+        spec = WorkflowSpec()
+        spec.task("keep").alternative(incrementer(oids[0]))  # no comp
+        spec.task("fail").alternative(incrementer(oids[1], fail=True))
+        result = engine.execute(spec)
+        assert not result.success
+        assert result.status_of("keep") is TaskStatus.COMMITTED
+        assert read_counter(rt, oids[0]) == 1
+
+
+class TestRace:
+    def test_winner_commits_losers_abort(self, rt, engine):
+        oids = make_counters(rt, 3)
+        spec = WorkflowSpec()
+        task = spec.task("race", race=True)
+        for index, oid in enumerate(oids):
+            task.alternative(incrementer(oid), label=f"r{index}")
+        result = engine.execute(spec)
+        assert result.success
+        total = sum(read_counter(rt, oid) for oid in oids)
+        assert total == 1  # exactly one racer's effect persists
+
+    def test_race_with_failing_entrants(self, rt, engine):
+        oids = make_counters(rt, 2)
+        spec = WorkflowSpec()
+        task = spec.task("race", race=True)
+        task.alternative(incrementer(oids[0], fail=True), label="bad")
+        task.alternative(incrementer(oids[1]), label="good")
+        result = engine.execute(spec)
+        assert result.success
+        assert result.outcomes["race"].label == "good"
+
+    def test_race_all_fail(self, rt, engine):
+        oids = make_counters(rt, 2)
+        spec = WorkflowSpec()
+        task = spec.task("race", race=True)
+        for oid in oids:
+            task.alternative(incrementer(oid, fail=True))
+        result = engine.execute(spec)
+        assert not result.success
+        assert result.status_of("race") is TaskStatus.FAILED

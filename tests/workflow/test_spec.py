@@ -1,0 +1,65 @@
+"""Workflow specifications: construction and validation."""
+
+import pytest
+
+from repro.common.errors import AssetError
+from repro.workflow.spec import TaskSpec, WorkflowSpec
+
+
+def noop(tx):
+    if False:  # pragma: no cover
+        yield None
+
+
+class TestTaskSpec:
+    def test_fluent_alternatives(self):
+        task = TaskSpec(name="t").alternative(noop, label="a").alternative(
+            noop, label="b"
+        )
+        assert [alt.label for alt in task.alternatives] == ["a", "b"]
+
+    def test_compensation_binding(self):
+        task = TaskSpec(name="t").compensate_with(noop, args=(1,))
+        assert task.compensation is noop
+        assert task.compensation_args == (1,)
+
+
+class TestWorkflowSpec:
+    def test_order_preserved(self):
+        spec = WorkflowSpec()
+        spec.task("a").alternative(noop)
+        spec.task("b").alternative(noop)
+        assert [task.name for task in spec] == ["a", "b"]
+        assert len(spec) == 2
+
+    def test_duplicate_names_rejected(self):
+        spec = WorkflowSpec()
+        spec.task("a").alternative(noop)
+        spec.task("a").alternative(noop)
+        with pytest.raises(AssetError, match="duplicate"):
+            spec.validate()
+
+    def test_empty_task_rejected(self):
+        spec = WorkflowSpec()
+        spec.task("a")
+        with pytest.raises(AssetError, match="no alternatives"):
+            spec.validate()
+
+    def test_forward_dependency_rejected(self):
+        spec = WorkflowSpec()
+        spec.task("a", depends_on=("b",)).alternative(noop)
+        spec.task("b").alternative(noop)
+        with pytest.raises(AssetError, match="not an earlier task"):
+            spec.validate()
+
+    def test_unknown_dependency_rejected(self):
+        spec = WorkflowSpec()
+        spec.task("a", depends_on=("ghost",)).alternative(noop)
+        with pytest.raises(AssetError):
+            spec.validate()
+
+    def test_valid_spec_returns_self(self):
+        spec = WorkflowSpec()
+        spec.task("a").alternative(noop)
+        spec.task("b", depends_on=("a",)).alternative(noop)
+        assert spec.validate() is spec
