@@ -8,11 +8,59 @@ Every benchmark does two things:
    are machine-independent;
 2. hands one representative configuration to pytest-benchmark for a
    wall-clock datum.
+
+The session-level hooks below additionally record every bench's wall
+time (and pytest-benchmark's calibrated ops/sec where available) into
+the shared :data:`repro.bench.report.RECORDER` and write the whole
+trajectory — one row per printed series plus one row per bench — to
+``BENCH_PR1.json`` at session end, so future PRs can diff perf against
+this baseline.
 """
 
+import time
+
+import pytest
+
+from repro.bench.report import RECORDER
 from repro.common.codec import decode_int, encode_int
 from repro.core.manager import TransactionManager
 from repro.runtime.coop import CooperativeRuntime
+
+BENCH_TRAJECTORY_FILE = "BENCH_PR1.json"
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item):
+    start = time.perf_counter()
+    yield
+    item._bench_wall_time_s = time.perf_counter() - start
+
+
+def _calibrated_ops(session):
+    """pytest-benchmark's mean-derived ops/sec per bench, when it ran."""
+    bench_session = getattr(session.config, "_benchmarksession", None)
+    if bench_session is None:
+        return {}
+    ops = {}
+    for bench in getattr(bench_session, "benchmarks", ()):
+        stats = getattr(bench, "stats", None)
+        mean = getattr(stats, "mean", None)
+        if mean is None:  # some versions nest the stats object
+            mean = getattr(getattr(stats, "stats", None), "mean", None)
+        if mean:
+            ops[bench.fullname.split("::")[-1]] = 1.0 / mean
+    return ops
+
+
+def pytest_sessionfinish(session, exitstatus):
+    ops = _calibrated_ops(session)
+    for item in session.items:
+        wall = getattr(item, "_bench_wall_time_s", None)
+        if wall is None:
+            continue
+        RECORDER.add_timing(item.name, wall, ops_per_sec=ops.get(item.name))
+    if RECORDER.rows():
+        RECORDER.write_json(session.config.rootpath / BENCH_TRAJECTORY_FILE)
 
 
 def fresh_runtime(seed=1234, conflicts=None, storage=None):

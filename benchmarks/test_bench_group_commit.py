@@ -1,16 +1,22 @@
-"""EX2 (3.1.2) — group commit cost vs group size.
+"""EX2 (3.1.2) — group commit cost vs group size, and flush coalescing.
 
 Sweep: distributed transactions of growing component count.  Expected
 shape: one commit call commits the whole group; total scheduler steps grow
 roughly linearly with group size, and the log carries exactly ONE commit
 record per group regardless of size.
+
+The flush-coalescer sweep measures the storage-side analogue: N
+independent commits enrolled in one flush batch produce ONE device
+``fsync`` (asserted via ``flush_count``), with the amortization factor
+growing linearly in the batch bound.
 """
 
 from conftest import fresh_runtime, incrementer, make_counters
 
 from repro.bench.report import print_table
+from repro.common.ids import Tid
 from repro.models.distributed import run_distributed
-from repro.storage.log import CommitRecord
+from repro.storage.log import CommitRecord, FlushCoalescer, WriteAheadLog
 
 
 def _run(group_size, seed=5):
@@ -45,6 +51,41 @@ def test_bench_group_commit_size_sweep(benchmark):
     per_member = [row[2] for row in rows]
     assert max(per_member) <= 4 * min(per_member)
     benchmark(lambda: _run(8))
+
+
+def test_bench_flush_coalescing(benchmark):
+    """EX2c: the flush coalescer amortises one fsync over a whole batch.
+
+    400 commits under growing batch bounds; flushes drop from one-per-
+    commit (batch=1) to one-per-batch, and a full batch of N enrolled
+    commits costs exactly 1 device flush.
+    """
+    commits = 400
+
+    def run(batch):
+        log = WriteAheadLog(
+            group_commit=(
+                FlushCoalescer(max_commits=batch) if batch > 1 else None
+            )
+        )
+        before = log.flush_count
+        for value in range(1, commits + 1):
+            log.log_commit(Tid(value))
+        return log.flush_count - before
+
+    rows = []
+    for batch in (1, 2, 4, 8, 16, 32):
+        flushes = run(batch)
+        rows.append([batch, commits, flushes, commits / flushes])
+    print_table(
+        "EX2c: flush coalescing — 400 commits vs batch bound",
+        ["batch", "commits", "fsyncs", "commits/fsync"],
+        rows,
+    )
+    # N enrolled commits -> exactly commits/N device flushes.
+    for batch, total, flushes, __ in rows:
+        assert flushes == total // batch if batch > 1 else total
+    benchmark(lambda: run(8))
 
 
 def test_bench_group_abort_cost(benchmark):

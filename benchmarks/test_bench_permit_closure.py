@@ -97,3 +97,45 @@ def test_bench_allows_after_closure_is_flat(benchmark):
     )
     permits, __ = _build_chain(32)
     benchmark(lambda: permits.allows(OB, Tid(1), Tid(32), WRITE))
+
+
+def test_bench_allows_probe_flat_in_foreign_permits(benchmark):
+    """EX14c: ``allows`` probes the giver's bucket, not the whole OD.
+
+    An OD carrying N permits from N *distinct* givers: a check against
+    one giver touches that giver's bucket (size 1) regardless of N —
+    the dict probe the Figure 1 structures promise.  The structural
+    assertion is the acceptance criterion; the timing series shows the
+    flat shape.
+    """
+    rows = []
+    for total in (64, 256, 1024):
+        registry = ObjectRegistry()
+        permits = PermitTable(registry)
+        for value in range(total):
+            permits.grant(
+                OB, Tid(value + 1),
+                receiver=Tid(10_000 + value), operation=WRITE,
+            )
+        od = registry.maybe_get(OB)
+        assert len(od.permits) == total
+        # The probe sees one permit while the OD carries `total`.
+        assert len(od.permits_from(Tid(1))) == 1
+
+        start = time.perf_counter()
+        for __ in range(1000):
+            permits.allows(OB, Tid(1), Tid(10_000), WRITE)
+        elapsed = (time.perf_counter() - start) * 1e6
+        rows.append([total, elapsed])
+    print_table(
+        "EX14c: allows() probe — 1000 checks vs foreign permits on the OD",
+        ["permits on OD", "us"],
+        rows,
+    )
+    registry = ObjectRegistry()
+    permits = PermitTable(registry)
+    for value in range(256):
+        permits.grant(
+            OB, Tid(value + 1), receiver=Tid(10_000 + value), operation=WRITE
+        )
+    benchmark(lambda: permits.allows(OB, Tid(1), Tid(10_000), WRITE))

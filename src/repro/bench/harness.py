@@ -9,6 +9,7 @@ derived from the recorded history.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 from repro.common.events import EventKind
@@ -26,6 +27,7 @@ class Metrics:
     commit_blocks: int = 0
     cascaded_aborts: int = 0
     latencies: list = field(default_factory=list)
+    wall_time_s: float = 0.0
 
     @property
     def throughput(self):
@@ -33,6 +35,17 @@ class Metrics:
         if self.steps == 0:
             return 0.0
         return 1000.0 * self.committed / self.steps
+
+    @property
+    def ops_per_sec(self):
+        """Committed transactions per wall-clock second.
+
+        The machine-dependent companion to :attr:`throughput` (which is
+        deterministic); the JSON perf trajectory records both.
+        """
+        if self.wall_time_s <= 0.0:
+            return 0.0
+        return self.committed / self.wall_time_s
 
     @property
     def mean_latency(self):
@@ -76,11 +89,14 @@ def run_interleaved(runtime, bodies, recorder=None):
     stats_before = dict(manager.stats)
     lock_before = dict(manager.lock_manager.stats)
 
+    start = time.perf_counter()
     tids = [runtime.spawn(body) for body in bodies]
     runtime.run_until_quiescent()
     runtime.commit_all(tids)
+    wall_time_s = time.perf_counter() - start
 
     metrics = Metrics(
+        wall_time_s=wall_time_s,
         committed=manager.stats["committed"] - stats_before["committed"],
         aborted=manager.stats["aborted"] - stats_before["aborted"],
         steps=runtime.steps - steps_before,
@@ -104,6 +120,7 @@ def run_sequential(runtime, bodies):
     steps_before = runtime.steps
     committed_before = manager.stats["committed"]
     aborted_before = manager.stats["aborted"]
+    start = time.perf_counter()
     for body in bodies:
         tid = runtime.spawn(body)
         runtime.commit(tid)
@@ -111,4 +128,5 @@ def run_sequential(runtime, bodies):
         committed=manager.stats["committed"] - committed_before,
         aborted=manager.stats["aborted"] - aborted_before,
         steps=runtime.steps - steps_before,
+        wall_time_s=time.perf_counter() - start,
     )

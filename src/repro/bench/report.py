@@ -1,10 +1,76 @@
-"""Paper-style table rendering for benchmark output.
+"""Paper-style table rendering and machine-readable benchmark capture.
 
 Every benchmark prints its series through these helpers so that the rows
-recorded in EXPERIMENTS.md come from one consistent format.
+recorded in EXPERIMENTS.md come from one consistent format.  Printing a
+table also records the series in the module-level :data:`RECORDER`, and
+the benchmark suite's conftest writes everything out as JSON
+(``BENCH_PR<N>.json``) at session end — one row per benchmark series
+plus one timing row per bench — turning the suite into a tracked perf
+trajectory that future PRs diff against.
 """
 
 from __future__ import annotations
+
+import json
+
+
+class BenchRecorder:
+    """Accumulates benchmark series and per-bench timings for JSON export.
+
+    A *series* is one printed sweep table (title, headers, data rows); a
+    *timing* is one bench's wall-clock datum (seconds, and ops/sec when
+    a calibrated measurement exists).  ``rows()`` flattens both into the
+    one-row-per-entry shape the perf-trajectory files use.
+    """
+
+    def __init__(self):
+        self.series = []
+        self.timings = []
+
+    def add_series(self, title, headers, rows):
+        """Record one printed sweep table."""
+        self.series.append(
+            {
+                "kind": "series",
+                "series": title,
+                "headers": list(headers),
+                "rows": [list(row) for row in rows],
+            }
+        )
+
+    def add_timing(self, name, wall_time_s, ops_per_sec=None):
+        """Record one bench's wall time (and calibrated ops/sec)."""
+        self.timings.append(
+            {
+                "kind": "timing",
+                "bench": name,
+                "wall_time_s": round(float(wall_time_s), 6),
+                "ops_per_sec": (
+                    round(float(ops_per_sec), 3)
+                    if ops_per_sec is not None
+                    else None
+                ),
+            }
+        )
+
+    def rows(self):
+        """All recorded entries, series first, one dict per row."""
+        return list(self.series) + list(self.timings)
+
+    def write_json(self, path):
+        """Write the recorded rows to ``path`` as indented JSON."""
+        with open(path, "w") as handle:
+            json.dump(self.rows(), handle, indent=2, default=str)
+            handle.write("\n")
+
+    def clear(self):
+        """Forget everything (test isolation)."""
+        self.series = []
+        self.timings = []
+
+
+RECORDER = BenchRecorder()
+"""The process-wide recorder ``print_table`` feeds."""
 
 
 def _format_cell(value):
@@ -34,6 +100,7 @@ def format_table(title, headers, rows):
 
 def print_table(title, headers, rows):
     """Print a table (with a leading blank line so pytest output stays
-    readable)."""
+    readable) and record the series in :data:`RECORDER`."""
+    RECORDER.add_series(title, headers, rows)
     print()
     print(format_table(title, headers, rows))

@@ -61,6 +61,23 @@ class ChainedHashTable:
                 return value
         return default
 
+    def get_or_insert(self, key, factory):
+        """Return the value under ``key``, inserting ``factory()`` if absent.
+
+        One bucket walk instead of the get-then-put double walk the
+        index hot paths would otherwise pay.
+        """
+        chain = self._bucket_for(key)
+        for existing, value in chain:
+            if existing == key:
+                return value
+        value = factory()
+        chain.append((key, value))
+        self._size += 1
+        if self._size > self._max_load * len(self._buckets):
+            self._resize()
+        return value
+
     def remove(self, key):
         """Remove and return the value under ``key``; ``None`` if absent."""
         chain = self._bucket_for(key)
@@ -125,11 +142,7 @@ class DoubleHashIndex:
     def add(self, left, right, item):
         """Index ``item`` under the pair ``(left, right)``."""
         for table, key in ((self._by_left, left), (self._by_right, right)):
-            slot = table.get(key)
-            if slot is None:
-                slot = []
-                table.put(key, slot)
-            slot.append(item)
+            table.get_or_insert(key, list).append(item)
 
     def remove(self, left, right, item):
         """Remove one previously added ``item``; missing items are ignored."""
@@ -149,12 +162,21 @@ class DoubleHashIndex:
         return list(self._by_right.get(right) or ())
 
     def involving(self, tid):
-        """All items where ``tid`` appears on either side (deduplicated)."""
-        seen = []
+        """All items where ``tid`` appears on either side (deduplicated).
+
+        Deduplication is by identity: the only way an item appears twice
+        is the very same object indexed under ``(tid, tid)``, and the
+        identity set keeps the call linear where the old membership-scan
+        approach went quadratic on wide fan-outs (commit/abort cleanup of
+        a transaction with thousands of permits).
+        """
+        seen = set()
+        out = []
         for item in self.by_left(tid) + self.by_right(tid):
-            if item not in seen:
-                seen.append(item)
-        return seen
+            if id(item) not in seen:
+                seen.add(id(item))
+                out.append(item)
+        return out
 
     def __len__(self):
         return sum(len(slot) for __, slot in self._by_left.items())

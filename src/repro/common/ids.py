@@ -17,7 +17,7 @@ import itertools
 from dataclasses import dataclass, field
 
 
-@dataclass(frozen=True, order=True)
+@dataclass(frozen=True, order=True, slots=True)
 class Tid:
     """A transaction identifier.
 
@@ -32,6 +32,12 @@ class Tid:
     def __bool__(self):
         return self.value != 0
 
+    def __hash__(self):
+        # The generated hash allocates and hashes a field tuple per call;
+        # tids key every descriptor table and hot-path index, so hash the
+        # value directly.
+        return hash(self.value)
+
     def __repr__(self):
         if self.value == 0:
             return "Tid(null)"
@@ -42,7 +48,7 @@ NULL_TID = Tid(0)
 """The null transaction identifier: falsy, returned on failure."""
 
 
-@dataclass(frozen=True, order=True)
+@dataclass(frozen=True, order=True, slots=True)
 class ObjectId:
     """A persistent object identifier.
 
@@ -54,17 +60,23 @@ class ObjectId:
     value: int
     name: str = field(default="", compare=False)
 
+    def __hash__(self):
+        return hash(self.value)
+
     def __repr__(self):
         if self.name:
             return f"ObjectId({self.value}:{self.name})"
         return f"ObjectId({self.value})"
 
 
-@dataclass(frozen=True, order=True)
+@dataclass(frozen=True, order=True, slots=True)
 class Lsn:
     """A log sequence number.  Totally ordered; ``Lsn(0)`` precedes all."""
 
     value: int
+
+    def __hash__(self):
+        return hash(self.value)
 
     def __repr__(self):
         return f"Lsn({self.value})"

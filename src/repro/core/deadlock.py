@@ -75,11 +75,9 @@ class DeadlockDetector:
         for pending in locks.pending_requests():
             for blocker in locks.blockers_of(pending):
                 graph.add(pending.tid, blocker)
-        for td in self.manager.transactions():
-            if not self.manager.is_commit_requested(td.tid):
-                continue
-            for other in self.manager.commit_waits_of(td.tid):
-                graph.add(td.tid, other)
+        for tid in self.manager.committing_transactions():
+            for other in self.manager.commit_waits_of(tid):
+                graph.add(tid, other)
         return graph
 
     def find_deadlocks(self):

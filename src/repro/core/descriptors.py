@@ -141,27 +141,128 @@ class PermitDescriptor:
 
 
 class ObjectDescriptor:
-    """The OD: granted locks, pending requests, and permits on one object."""
+    """The OD: granted locks, pending requests, and permits on one object.
+
+    Beyond the Figure 1 lists, the OD keeps hot-path indexes so the lock
+    and permit algorithms probe instead of scan:
+
+    * granted and pending LRDs are also keyed by tid (``granted_for`` /
+      ``pending_for`` are dict probes);
+    * a live count of *unsuspended* granted locks, so ``acquire`` can
+      skip conflict/permit evaluation entirely on uncontended objects;
+    * permits keyed by giver (the ``allows`` probe) and by explicit
+      receiver (the transitive-closure worklist probe).
+
+    The lists remain the source of truth; every mutation must go through
+    the ``attach_*`` / ``detach_*`` / ``set_suspended`` methods so the
+    indexes never diverge (the permit property suite checks this).
+    """
 
     def __init__(self, oid):
         self.oid = oid
         self.granted = []  # LRDs with status GRANTED (incl. suspended)
         self.pending = []  # LRDs with status PENDING / UPGRADING
         self.permits = []  # PermitDescriptors
+        self._granted_by_tid = {}
+        self._pending_by_tid = {}
+        self._active_granted = 0  # granted and not suspended
+        self._permits_by_giver = {}
+        self._permits_by_receiver = {}  # explicit receivers only
+
+    # -- granted locks ------------------------------------------------------
+
+    def attach_granted(self, lrd):
+        """Register a granted LRD (list + tid index + active count)."""
+        self.granted.append(lrd)
+        self._granted_by_tid[lrd.tid] = lrd
+        if not lrd.suspended:
+            self._active_granted += 1
+
+    def detach_granted(self, lrd):
+        """Unregister a granted LRD (release / delegation merge)."""
+        self.granted.remove(lrd)
+        del self._granted_by_tid[lrd.tid]
+        if not lrd.suspended:
+            self._active_granted -= 1
+
+    def rekey_granted(self, lrd, new_td):
+        """Move an LRD to a new owner in place (delegation).
+
+        Keeps the list position and suspension state; only the tid key
+        changes.
+        """
+        del self._granted_by_tid[lrd.tid]
+        lrd.td = new_td
+        self._granted_by_tid[lrd.tid] = lrd
+
+    def set_suspended(self, lrd, flag):
+        """Flip an LRD's suspended bit, keeping the active count true."""
+        if lrd.suspended == flag:
+            return
+        lrd.suspended = flag
+        self._active_granted += -1 if flag else 1
+
+    def foreign_active_count(self, tid):
+        """Unsuspended granted locks held by transactions other than ``tid``.
+
+        Zero means nothing can conflict with a request by ``tid`` — the
+        lock manager's contention fast path.
+        """
+        count = self._active_granted
+        own = self._granted_by_tid.get(tid)
+        if own is not None and not own.suspended:
+            count -= 1
+        return count
 
     def granted_for(self, tid):
         """The granted LRD of ``tid`` on this object, or ``None``."""
-        for lrd in self.granted:
-            if lrd.tid == tid:
-                return lrd
-        return None
+        return self._granted_by_tid.get(tid)
+
+    # -- pending requests ---------------------------------------------------
+
+    def attach_pending(self, lrd):
+        """Register a pending LRD."""
+        self.pending.append(lrd)
+        self._pending_by_tid[lrd.tid] = lrd
+
+    def detach_pending(self, lrd):
+        """Unregister a pending LRD (grant or termination)."""
+        self.pending.remove(lrd)
+        del self._pending_by_tid[lrd.tid]
 
     def pending_for(self, tid):
         """The pending LRD of ``tid`` on this object, or ``None``."""
-        for lrd in self.pending:
-            if lrd.tid == tid:
-                return lrd
-        return None
+        return self._pending_by_tid.get(tid)
+
+    # -- permits ------------------------------------------------------------
+
+    def attach_permit(self, pd):
+        """Register a PD (list + giver index + explicit-receiver index)."""
+        self.permits.append(pd)
+        self._permits_by_giver.setdefault(pd.giver, []).append(pd)
+        if pd.receiver is not None:
+            self._permits_by_receiver.setdefault(pd.receiver, []).append(pd)
+
+    def detach_permit(self, pd):
+        """Unregister a PD, dropping emptied index buckets."""
+        self.permits.remove(pd)
+        bucket = self._permits_by_giver[pd.giver]
+        bucket.remove(pd)
+        if not bucket:
+            del self._permits_by_giver[pd.giver]
+        if pd.receiver is not None:
+            bucket = self._permits_by_receiver[pd.receiver]
+            bucket.remove(pd)
+            if not bucket:
+                del self._permits_by_receiver[pd.receiver]
+
+    def permits_from(self, giver):
+        """PDs on this object whose giver is ``giver`` (the live bucket)."""
+        return self._permits_by_giver.get(giver, _NO_PERMITS)
+
+    def permits_to_receiver(self, receiver):
+        """PDs whose *explicit* receiver is ``receiver`` (the live bucket)."""
+        return self._permits_by_receiver.get(receiver, _NO_PERMITS)
 
     def is_idle(self):
         """No locks, no pending requests, no permits: the OD can be freed."""
@@ -172,6 +273,10 @@ class ObjectDescriptor:
             f"OD({self.oid!r}, granted={len(self.granted)},"
             f" pending={len(self.pending)}, permits={len(self.permits)})"
         )
+
+
+_NO_PERMITS = ()
+"""Shared empty bucket, so index misses allocate nothing."""
 
 
 class TransactionTable:

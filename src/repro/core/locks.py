@@ -80,7 +80,9 @@ class LockManager:
         self.conflicts = conflicts if conflicts is not None else ConflictTable()
         self._events = events
         self._pending_by_tid = {}
-        self.stats = {"grants": 0, "blocks": 0, "suspensions": 0}
+        self.stats = {
+            "grants": 0, "blocks": 0, "suspensions": 0, "fast_grants": 0,
+        }
 
     # -- acquisition -------------------------------------------------------------
 
@@ -92,6 +94,13 @@ class LockManager:
         later, re-entering at step 1 as the paper specifies.
         """
         od = self.registry.get_or_create(oid)
+        if od.foreign_active_count(td.tid) == 0:
+            # Contention fast path: every granted lock is either the
+            # requester's own or suspended, so nothing can conflict —
+            # skip conflict and permit evaluation entirely.
+            self.stats["fast_grants"] += 1
+            self._grant(td, od, operation)
+            return LockOutcome(granted=True)
         to_suspend = []
         blockers = []
         for gl in od.granted:
@@ -120,7 +129,7 @@ class LockManager:
             return LockOutcome(granted=False, blockers=tuple(blockers))
 
         for gl in to_suspend:
-            gl.suspended = True
+            od.set_suspended(gl, True)
             self.stats["suspensions"] += 1
             if self._events is not None:
                 self._events.emit(
@@ -149,11 +158,11 @@ class LockManager:
                 td=td, od=od, operations={operation},
                 status=LockRequestStatus.GRANTED,
             )
-            od.granted.append(lrd)
+            od.attach_granted(lrd)
             td.locks.append(lrd)
         else:
             lrd.operations.add(operation)
-            lrd.suspended = False
+            od.set_suspended(lrd, False)
             lrd.status = LockRequestStatus.GRANTED
         self._clear_pending(td, od)
         self.stats["grants"] += 1
@@ -179,17 +188,22 @@ class LockManager:
             pending = LockRequestDescriptor(
                 td=td, od=od, operations=set(), status=status,
             )
-            od.pending.append(pending)
+            od.attach_pending(pending)
             self._pending_by_tid.setdefault(td.tid, []).append(pending)
         pending.requested.add(operation)
 
     def _clear_pending(self, td, od):
         pending = od.pending_for(td.tid)
         if pending is not None:
-            od.pending.remove(pending)
-            mine = self._pending_by_tid.get(td.tid, [])
-            if pending in mine:
-                mine.remove(pending)
+            od.detach_pending(pending)
+            mine = self._pending_by_tid.get(td.tid)
+            if mine is not None:
+                if pending in mine:
+                    mine.remove(pending)
+                if not mine:
+                    # Emptied per-tid lists must go, or the dict grows
+                    # with every transaction that ever blocked.
+                    del self._pending_by_tid[td.tid]
 
     def pending_requests(self, tid=None):
         """Pending LRDs, optionally for one transaction (deadlock input)."""
@@ -199,6 +213,8 @@ class LockManager:
 
     def blockers_of(self, pending):
         """Recompute who currently blocks a pending request."""
+        if pending.od.foreign_active_count(pending.tid) == 0:
+            return []  # nothing unsuspended and foreign: nothing blocks
         blockers = []
         for gl in pending.od.granted:
             if gl.td is pending.td or gl.suspended:
@@ -230,10 +246,12 @@ class LockManager:
             existing = td_to.lock_on(lrd.oid)
             if existing is not None:
                 existing.operations |= lrd.operations
-                existing.suspended = existing.suspended and lrd.suspended
-                lrd.od.granted.remove(lrd)
+                existing.od.set_suspended(
+                    existing, existing.suspended and lrd.suspended
+                )
+                lrd.od.detach_granted(lrd)
             else:
-                lrd.td = td_to
+                lrd.od.rekey_granted(lrd, td_to)
                 td_to.locks.append(lrd)
             moved.append(lrd.oid)
         return moved
@@ -243,11 +261,11 @@ class LockManager:
     def release_all(self, td):
         """Release every lock and pending request of ``td`` (termination)."""
         for lrd in list(td.locks):
-            lrd.od.granted.remove(lrd)
+            lrd.od.detach_granted(lrd)
             self.registry.release_if_idle(lrd.oid)
         td.locks.clear()
         for pending in self._pending_by_tid.pop(td.tid, []):
-            pending.od.pending.remove(pending)
+            pending.od.detach_pending(pending)
             self.registry.release_if_idle(pending.oid)
 
     # -- invariants (tests) ------------------------------------------------------------

@@ -43,8 +43,13 @@ class TransactionManager:
         max_transactions=None,
         events=None,
         clock=None,
+        group_commit=None,
     ):
-        self.storage = storage if storage is not None else StorageManager()
+        if storage is None:
+            # ``group_commit`` batches commit-record flushes: the GC
+            # dependency's grouped durability point, applied to fsync.
+            storage = StorageManager(group_commit=group_commit)
+        self.storage = storage
         self.clock = clock if clock is not None else LogicalClock()
         self.events = events if events is not None else EventBus(self.clock)
         self.conflicts = conflicts if conflicts is not None else ConflictTable()
@@ -198,6 +203,20 @@ class TransactionManager:
         """Snapshot of all transaction descriptors."""
         with self._mutex:
             return list(self.table)
+
+    def committing_transactions(self):
+        """Tids currently mid-commit, in one table pass (deadlock input).
+
+        The detector used to snapshot every TD and probe each status
+        through the mutex separately; quiescence checks run it often
+        enough that the per-transaction round trips dominated.
+        """
+        with self._mutex:
+            return [
+                td.tid
+                for td in self.table
+                if td.status is TransactionStatus.COMMITTING
+            ]
 
     # ------------------------------------------------------------------
     # object operations
@@ -686,6 +705,16 @@ class TransactionManager:
     # ------------------------------------------------------------------
     # maintenance
     # ------------------------------------------------------------------
+
+    def sync(self):
+        """Make every logged commit durable now.
+
+        With a group-commit coalescer, commits between batch boundaries
+        sit in the deferral window; ``sync`` drains it (one flush).
+        Without one this is a plain extra flush.
+        """
+        with self._mutex:
+            self.storage.sync_log()
 
     def checkpoint(self, truncate=False):
         """Flush pages and write a checkpoint record naming active tids.

@@ -72,10 +72,9 @@ class PermitTable:
 
     def _insert(self, oid, giver, receiver, operation, derived):
         od = self._registry.get_or_create(oid)
-        for existing in od.permits:
+        for existing in od.permits_from(giver):
             if (
-                existing.giver == giver
-                and existing.receiver == receiver
+                existing.receiver == receiver
                 and existing.operation == operation
             ):
                 return None
@@ -86,7 +85,7 @@ class PermitTable:
             operation=operation,
             derived=derived,
         )
-        od.permits.append(pd)
+        od.attach_permit(pd)
         self._index.add(giver, receiver, pd)
         if self._events is not None:
             self._events.emit(
@@ -103,20 +102,25 @@ class PermitTable:
         """Transitive compositions enabled by a newly inserted PD.
 
         A wildcard receiver already covers every transaction, so chains
-        through a wildcard need no materialization.
+        through a wildcard need no materialization.  Both directions are
+        index probes on the OD: permits *received by* ``pd``'s giver
+        compose on the left, permits *given by* ``pd``'s receiver on the
+        right — no scan of unrelated permits.
         """
         od = self._registry.get_or_create(pd.oid)
         results = []
-        for other in od.permits:
+        # other ∘ pd : other's (explicit) receiver is pd's giver.
+        for other in od.permits_to_receiver(pd.giver):
             if other is pd:
                 continue
-            # other ∘ pd : other's receiver is pd's giver.
-            if other.receiver is not None and other.receiver == pd.giver:
-                ok, op = _op_intersection(other.operation, pd.operation)
-                if ok:
-                    results.append((pd.oid, other.giver, pd.receiver, op))
-            # pd ∘ other : pd's receiver is other's giver.
-            if pd.receiver is not None and pd.receiver == other.giver:
+            ok, op = _op_intersection(other.operation, pd.operation)
+            if ok:
+                results.append((pd.oid, other.giver, pd.receiver, op))
+        # pd ∘ other : pd's receiver is other's giver.
+        if pd.receiver is not None:
+            for other in od.permits_from(pd.receiver):
+                if other is pd:
+                    continue
                 ok, op = _op_intersection(pd.operation, other.operation)
                 if ok:
                     results.append((pd.oid, pd.giver, other.receiver, op))
@@ -129,14 +133,17 @@ class PermitTable:
 
         This is the check lock acquisition performs against each
         conflicting granted lock (section 4.2 read-lock/write-lock step
-        1b).
+        1b).  The OD keys its permits by giver, so the check probes one
+        (typically tiny) bucket instead of scanning every permit on the
+        object — giver is never a wildcard, which is what makes the key
+        exact.
         """
         od = self._registry.maybe_get(oid)
         if od is None:
             return False
         return any(
-            pd.giver == holder and pd.covers(requester, operation)
-            for pd in od.permits
+            pd.covers(requester, operation)
+            for pd in od.permits_from(holder)
         )
 
     def given_by(self, tid):
@@ -173,8 +180,8 @@ class PermitTable:
 
     def _discard(self, pd):
         od = self._registry.maybe_get(pd.oid)
-        if od is not None and pd in od.permits:
-            od.permits.remove(pd)
+        if od is not None and pd in od.permits_from(pd.giver):
+            od.detach_permit(pd)
             self._registry.release_if_idle(pd.oid)
         self._index.remove(pd.giver, pd.receiver, pd)
 

@@ -29,11 +29,20 @@ from repro.storage.recovery import RecoveryManager
 
 
 class StorageManager:
-    """Facade over pages, cache, objects, and the log."""
+    """Facade over pages, cache, objects, and the log.
 
-    def __init__(self, disk=None, log=None, capacity=256):
+    ``group_commit`` (an int batch size or a
+    :class:`~repro.storage.log.FlushCoalescer`) enables commit flush
+    coalescing on a default-constructed log: N commits share one device
+    ``fsync``.  When an explicit ``log`` is supplied its own policy
+    wins.
+    """
+
+    def __init__(self, disk=None, log=None, capacity=256, group_commit=None):
         self.disk = disk if disk is not None else InMemoryDiskManager()
-        self.log = log if log is not None else WriteAheadLog()
+        self.log = (
+            log if log is not None else WriteAheadLog(group_commit=group_commit)
+        )
         self.pool = BufferPool(self.disk, capacity=capacity)
         self.objects = ObjectStore(self.pool)
 
@@ -158,6 +167,15 @@ class StorageManager:
         return self.log.log_delegate(tid, delegatee, oids)
 
     # -- durability control --------------------------------------------------------
+
+    def sync_log(self):
+        """Force the log durable *now*, draining any group-commit batch.
+
+        The escape hatch for callers that cannot tolerate the coalescer's
+        deferral window (e.g. before acknowledging a client).  A no-op
+        flush when nothing is pending.
+        """
+        self.log.flush()
 
     def checkpoint(self, active=(), truncate=False):
         """Flush all dirty pages and write a checkpoint marker.

@@ -1,6 +1,8 @@
-"""Table rendering."""
+"""Table rendering and the machine-readable bench recorder."""
 
-from repro.bench.report import format_table
+import json
+
+from repro.bench.report import BenchRecorder, RECORDER, format_table, print_table
 
 
 class TestFormatTable:
@@ -24,3 +26,42 @@ class TestFormatTable:
     def test_empty_rows(self):
         table = format_table("Empty", ["a"], [])
         assert "Empty" in table
+
+
+class TestBenchRecorder:
+    def test_series_and_timings_flatten_to_rows(self):
+        recorder = BenchRecorder()
+        recorder.add_series("S1", ["a"], [[1], [2]])
+        recorder.add_timing("bench_x", 0.25, ops_per_sec=4000.0)
+        recorder.add_timing("bench_y", 1.5)
+        rows = recorder.rows()
+        assert [row["kind"] for row in rows] == ["series", "timing", "timing"]
+        assert rows[0]["series"] == "S1"
+        assert rows[0]["rows"] == [[1], [2]]
+        assert rows[1]["ops_per_sec"] == 4000.0
+        assert rows[2]["ops_per_sec"] is None
+
+    def test_write_json_round_trips(self, tmp_path):
+        recorder = BenchRecorder()
+        recorder.add_series("S", ["n", "us"], [[8, 1.25]])
+        recorder.add_timing("bench_z", 0.125, ops_per_sec=8.0)
+        path = tmp_path / "bench.json"
+        recorder.write_json(path)
+        rows = json.loads(path.read_text())
+        assert len(rows) == 2
+        assert rows[0]["headers"] == ["n", "us"]
+        assert rows[1]["bench"] == "bench_z"
+
+    def test_clear_empties_everything(self):
+        recorder = BenchRecorder()
+        recorder.add_series("S", ["a"], [])
+        recorder.add_timing("b", 1.0)
+        recorder.clear()
+        assert recorder.rows() == []
+
+    def test_print_table_records_into_global_recorder(self, capsys):
+        before = len(RECORDER.series)
+        print_table("Recorded", ["col"], [[1]])
+        assert "Recorded" in capsys.readouterr().out
+        assert len(RECORDER.series) == before + 1
+        assert RECORDER.series[-1]["series"] == "Recorded"

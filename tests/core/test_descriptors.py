@@ -67,7 +67,7 @@ class TestObjectDescriptor:
         od = ObjectDescriptor(ObjectId(1))
         td = TransactionDescriptor(tid=Tid(1))
         lrd = LockRequestDescriptor(td=td, od=od, operations={"read"})
-        od.granted.append(lrd)
+        od.attach_granted(lrd)
         assert od.granted_for(Tid(1)) is lrd
         assert od.granted_for(Tid(2)) is None
         assert od.pending_for(Tid(1)) is None
@@ -75,10 +75,47 @@ class TestObjectDescriptor:
     def test_idle_detection(self):
         od = ObjectDescriptor(ObjectId(1))
         assert od.is_idle()
-        od.permits.append(
+        od.attach_permit(
             PermitDescriptor(oid=ObjectId(1), giver=Tid(1))
         )
         assert not od.is_idle()
+
+    def test_active_count_tracks_suspension(self):
+        od = ObjectDescriptor(ObjectId(1))
+        a = LockRequestDescriptor(
+            td=TransactionDescriptor(tid=Tid(1)), od=od, operations={"w"}
+        )
+        b = LockRequestDescriptor(
+            td=TransactionDescriptor(tid=Tid(2)), od=od, operations={"r"}
+        )
+        od.attach_granted(a)
+        od.attach_granted(b)
+        assert od.foreign_active_count(Tid(1)) == 1
+        assert od.foreign_active_count(Tid(3)) == 2
+        od.set_suspended(b, True)
+        assert od.foreign_active_count(Tid(1)) == 0
+        od.set_suspended(b, True)  # idempotent: no double decrement
+        od.set_suspended(b, False)
+        assert od.foreign_active_count(Tid(1)) == 1
+        od.detach_granted(a)
+        assert od.foreign_active_count(Tid(2)) == 0
+
+    def test_permit_buckets_by_giver_and_receiver(self):
+        od = ObjectDescriptor(ObjectId(1))
+        explicit = PermitDescriptor(
+            oid=ObjectId(1), giver=Tid(1), receiver=Tid(2)
+        )
+        wildcard = PermitDescriptor(oid=ObjectId(1), giver=Tid(1))
+        od.attach_permit(explicit)
+        od.attach_permit(wildcard)
+        assert list(od.permits_from(Tid(1))) == [explicit, wildcard]
+        assert list(od.permits_to_receiver(Tid(2))) == [explicit]
+        assert list(od.permits_to_receiver(Tid(9))) == []
+        od.detach_permit(explicit)
+        assert list(od.permits_to_receiver(Tid(2))) == []
+        od.detach_permit(wildcard)
+        assert list(od.permits_from(Tid(1))) == []
+        assert od.is_idle()
 
 
 class TestLockRequestDescriptor:

@@ -228,3 +228,78 @@ class TestSemanticLocking:
         a, b = td(1), td(2)
         locks.acquire(a, OB, "increment")
         assert not locks.acquire(b, OB, READ)
+
+
+class TestPendingIndexHygiene:
+    def test_pending_by_tid_drops_emptied_entries(self, locks):
+        """Regression: granting a previously blocked request must delete
+        the transaction's (now empty) per-tid pending list, or the index
+        grows with every transaction that ever blocked."""
+        a, b = td(1), td(2)
+        locks.acquire(a, OB, WRITE)
+        assert not locks.acquire(b, OB, WRITE)
+        assert Tid(2) in locks._pending_by_tid
+        locks.release_all(a)
+        assert locks.acquire(b, OB, WRITE)
+        assert Tid(2) not in locks._pending_by_tid
+        assert locks.pending_requests() == []
+
+    def test_pending_index_stays_bounded_over_many_transactions(self, locks):
+        """A stream of block-then-grant transactions leaves no residue."""
+        for value in range(2, 50):
+            holder, waiter = td(1), td(value)
+            locks.acquire(holder, OB, WRITE)
+            assert not locks.acquire(waiter, OB, WRITE)
+            locks.release_all(holder)
+            assert locks.acquire(waiter, OB, WRITE)
+            locks.release_all(waiter)
+        assert locks._pending_by_tid == {}
+
+    def test_release_all_clears_pending_entry(self, locks):
+        a, b = td(1), td(2)
+        locks.acquire(a, OB, WRITE)
+        assert not locks.acquire(b, OB, WRITE)
+        locks.release_all(b)  # the *waiter* terminates
+        assert Tid(2) not in locks._pending_by_tid
+
+
+class TestContentionFastPath:
+    def test_uncontended_acquire_takes_fast_path(self, locks):
+        a = td(1)
+        assert locks.acquire(a, OB, WRITE)
+        assert locks.stats["fast_grants"] == 1
+        # Re-acquiring over one's own lock is also foreign-free.
+        assert locks.acquire(a, OB, READ)
+        assert locks.stats["fast_grants"] == 2
+
+    def test_foreign_lock_disables_fast_path(self, locks):
+        a, b = td(1), td(2)
+        locks.acquire(a, OB, READ)
+        before = locks.stats["fast_grants"]
+        assert locks.acquire(b, OB, READ)  # shared, but must be evaluated
+        assert locks.stats["fast_grants"] == before
+
+    def test_fast_path_over_suspended_foreign_lock(self, locks, permits):
+        """Suspended foreign locks stop excluding others, so a third
+        requester sees zero foreign-active locks and grants fast."""
+        a, b = td(1), td(2)
+        locks.acquire(a, OB, WRITE)
+        permits.grant(OB, Tid(1), receiver=Tid(2), operation=WRITE)
+        assert locks.acquire(b, OB, WRITE)  # suspends a's lock
+        assert a.lock_on(OB).suspended
+        locks.release_all(b)
+        before = locks.stats["fast_grants"]
+        c = td(3)
+        assert locks.acquire(c, OB, WRITE)
+        assert locks.stats["fast_grants"] == before + 1
+        # Invariant still holds: a is suspended, c is the active writer.
+        assert locks.check_invariants() == []
+
+    def test_fast_path_preserves_blockers_of_semantics(self, locks):
+        a, b = td(1), td(2)
+        locks.acquire(a, OB, WRITE)
+        assert not locks.acquire(b, OB, WRITE)
+        pending = locks.pending_requests(Tid(2))[0]
+        assert locks.blockers_of(pending) == [Tid(1)]
+        locks.release_all(a)
+        assert locks.blockers_of(pending) == []

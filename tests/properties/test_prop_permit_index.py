@@ -1,0 +1,126 @@
+"""Property: the indexed permit table agrees with a linear-scan oracle.
+
+``PermitTable.allows`` is now a giver-keyed dict probe on the OD; this
+suite drives random permit histories — all four permit forms, the
+transitive closure, ``remove_involving``, and ``rewrite_giver`` — and
+checks after every step that
+
+* every ``allows(oid, holder, requester, op)`` answer matches a naive
+  scan over ``od.permits`` (the pre-index semantics), and
+* the per-OD giver/receiver buckets are exactly partitions of the
+  ``od.permits`` list (index-consistency: nothing leaked, nothing lost).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.ids import ObjectId, Tid
+from repro.core.locks import ObjectRegistry
+from repro.core.permits import PermitTable
+from repro.core.semantics import READ, WRITE
+
+N_TXNS = 4
+N_OBJECTS = 3
+
+tids = st.integers(1, N_TXNS)
+oids = st.integers(1, N_OBJECTS)
+operations = st.sampled_from([READ, WRITE, None])
+
+command = st.one_of(
+    st.tuples(st.just("grant"), oids, tids, tids | st.none(), operations),
+    st.tuples(
+        st.just("remove"), tids, st.none(), st.none(), st.none()
+    ),
+    st.tuples(st.just("rewrite"), tids, tids, st.none(), st.none()),
+)
+
+
+def allows_oracle(permits, oid, holder, requester, operation):
+    """The pre-index implementation: scan every permit on the OD."""
+    return any(
+        pd.giver == holder and pd.covers(requester, operation)
+        for pd in permits.permits_on(oid)
+    )
+
+
+def assert_index_consistent(registry):
+    """The giver/receiver buckets must partition ``od.permits`` exactly."""
+    for od in registry.all_descriptors():
+        by_giver = [
+            pd for bucket in od._permits_by_giver.values() for pd in bucket
+        ]
+        assert sorted(by_giver, key=id) == sorted(od.permits, key=id)
+        for giver, bucket in od._permits_by_giver.items():
+            assert bucket, "empty bucket left behind"
+            assert all(pd.giver == giver for pd in bucket)
+        explicit = [pd for pd in od.permits if pd.receiver is not None]
+        by_receiver = [
+            pd
+            for bucket in od._permits_by_receiver.values()
+            for pd in bucket
+        ]
+        assert sorted(by_receiver, key=id) == sorted(explicit, key=id)
+        for receiver, bucket in od._permits_by_receiver.items():
+            assert bucket, "empty receiver bucket left behind"
+            assert all(pd.receiver == receiver for pd in bucket)
+
+
+def assert_agrees_with_oracle(permits):
+    for oid_value in range(1, N_OBJECTS + 1):
+        oid = ObjectId(oid_value)
+        for holder in range(1, N_TXNS + 1):
+            for requester in range(1, N_TXNS + 1):
+                for operation in (READ, WRITE):
+                    indexed = permits.allows(
+                        oid, Tid(holder), Tid(requester), operation
+                    )
+                    naive = allows_oracle(
+                        permits, oid, Tid(holder), Tid(requester), operation
+                    )
+                    assert indexed == naive
+
+
+class TestPermitIndexAgreesWithOracle:
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(command, max_size=30))
+    def test_random_histories(self, commands):
+        registry = ObjectRegistry()
+        permits = PermitTable(registry)
+        for kind, first, second, third, fourth in commands:
+            if kind == "grant":
+                receiver = Tid(third) if third is not None else None
+                permits.grant(
+                    ObjectId(first), Tid(second),
+                    receiver=receiver, operation=fourth,
+                )
+            elif kind == "remove":
+                permits.remove_involving(Tid(first))
+            elif kind == "rewrite":
+                permits.rewrite_giver(Tid(first), Tid(second))
+            assert_index_consistent(registry)
+            assert_agrees_with_oracle(permits)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(3, 8))
+    def test_transitive_chain_closure_probes_match(self, length):
+        """After materializing a t_1→…→t_n chain closure, every derived
+        pair answers identically through the index and the scan."""
+        registry = ObjectRegistry()
+        permits = PermitTable(registry)
+        ob = ObjectId(1)
+        for value in range(1, length):
+            permits.grant(
+                ob, Tid(value), receiver=Tid(value + 1), operation=WRITE
+            )
+        assert len(permits) == length * (length - 1) // 2
+        for giver in range(1, length + 1):
+            for receiver in range(1, length + 1):
+                expected = giver < receiver
+                assert (
+                    permits.allows(ob, Tid(giver), Tid(receiver), WRITE)
+                    == expected
+                )
+                assert allows_oracle(
+                    permits, ob, Tid(giver), Tid(receiver), WRITE
+                ) == expected
+        assert_index_consistent(registry)
