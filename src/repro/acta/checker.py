@@ -3,6 +3,16 @@
 Small predicates over recorded histories that state, in executable form,
 the guarantees each section 3 model claims.  The test and property suites
 assert these after every run.
+
+Each checker is parameterized so the same predicate serves two oracles:
+
+* the *live* oracle — dependencies and fates read off a
+  :class:`~repro.acta.history.HistoryRecorder` (the defaults, and the
+  original behaviour);
+* the *durable* oracle — the chaos harness passes an explicit
+  ``dependencies`` list (the scenario's *intended* dependency set, which
+  survives even if the buggy code under test never formed the edge) and a
+  ``fates`` mapping computed from the durable log after crash recovery.
 """
 
 from __future__ import annotations
@@ -23,17 +33,45 @@ def final_fate(recorder, tid):
     return fate
 
 
-def check_group_atomicity(recorder):
+def _normalize_dependencies(recorder, dependencies):
+    """``(type_name, ti, tj)`` triples from either source.
+
+    ``dependencies`` may carry :class:`~repro.core.dependency.DependencyType`
+    values or plain type-name strings, in ``(type, ti, tj)`` or the
+    recorder's ``(tick, type, ti, tj)`` shape.
+    """
+    if dependencies is None:
+        dependencies = recorder.dependencies()
+    out = []
+    for dep in dependencies:
+        if len(dep) == 4:
+            __, dep_type, ti, tj = dep
+        else:
+            dep_type, ti, tj = dep
+        out.append((getattr(dep_type, "name", dep_type), ti, tj))
+    return out
+
+
+def _fate_of(recorder, fates):
+    if fates is None:
+        return lambda tid: final_fate(recorder, tid)
+    if callable(fates):
+        return fates
+    return lambda tid: fates.get(tid, "active")
+
+
+def check_group_atomicity(recorder, dependencies=None, fates=None):
     """Every GC-linked pair shares one fate: both commit or neither.
 
     Returns the list of violating pairs (empty when the property holds).
     """
+    fate = _fate_of(recorder, fates)
     violations = []
-    for __, dep_type, ti, tj in recorder.dependencies():
+    for dep_type, ti, tj in _normalize_dependencies(recorder, dependencies):
         if dep_type != "GC":
             continue
-        fate_i = final_fate(recorder, ti)
-        fate_j = final_fate(recorder, tj)
+        fate_i = fate(ti)
+        fate_j = fate(tj)
         if "active" in (fate_i, fate_j):
             continue  # not yet decided; nothing to check
         if fate_i != fate_j:
@@ -41,36 +79,40 @@ def check_group_atomicity(recorder):
     return violations
 
 
-def check_abort_dependencies(recorder):
+def check_abort_dependencies(recorder, dependencies=None, fates=None):
     """For every AD ``(ti, tj)``: ``ti`` aborted implies ``tj`` aborted.
 
     Returns violating pairs.
     """
+    fate = _fate_of(recorder, fates)
     violations = []
-    for __, dep_type, ti, tj in recorder.dependencies():
+    for dep_type, ti, tj in _normalize_dependencies(recorder, dependencies):
         if dep_type != "AD":
             continue
-        if (
-            final_fate(recorder, ti) == "aborted"
-            and final_fate(recorder, tj) == "committed"
-        ):
+        if fate(ti) == "aborted" and fate(tj) == "committed":
             violations.append((ti, tj))
     return violations
 
 
-def check_commit_order(recorder):
+def check_commit_order(recorder, dependencies=None, commit_ticks=None):
     """For every CD ``(ti, tj)`` where both committed, ``tj`` did not
-    commit before ``ti``.  Returns violating pairs."""
-    commit_tick = {}
-    for event in recorder.events:
-        if event.kind is EventKind.COMMITTED:
-            commit_tick[event.tid] = event.tick
+    commit before ``ti``.  Returns violating pairs.
+
+    ``commit_ticks`` maps tid to commit position; by default it is read
+    from the recorder's COMMITTED events (the durable oracle passes
+    positions of commit records in the recovered log instead).
+    """
+    if commit_ticks is None:
+        commit_ticks = {}
+        for event in recorder.events:
+            if event.kind is EventKind.COMMITTED:
+                commit_ticks[event.tid] = event.tick
     violations = []
-    for __, dep_type, ti, tj in recorder.dependencies():
+    for dep_type, ti, tj in _normalize_dependencies(recorder, dependencies):
         if dep_type != "CD":
             continue
-        if ti in commit_tick and tj in commit_tick:
-            if commit_tick[tj] < commit_tick[ti]:
+        if ti in commit_ticks and tj in commit_ticks:
+            if commit_ticks[tj] < commit_ticks[ti]:
                 violations.append((ti, tj))
     return violations
 

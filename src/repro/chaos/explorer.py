@@ -1,0 +1,254 @@
+"""Schedule exploration: enumerate, record, replay, and minimize
+interleavings of the cooperative runtime.
+
+The cooperative runtime steps every runnable task once per *round*; the
+order of steps within the round is the entire interleaving decision
+(yield points are exactly the primitive invocations, and blocked requests
+retry each round).  A :class:`ScheduleController` plugs into
+``CooperativeRuntime(schedule=...)`` and decides that order — while
+*recording* every decision as a permutation of the round's runnable-task
+indices, so any schedule, however it was produced, replays exactly from
+its recorded choice list.
+
+:class:`ScheduleExplorer` drives a deterministic scenario through many
+controllers:
+
+* the round-robin baseline (identity permutations);
+* a *systematic* phase that enumerates every permutation-tuple of the
+  first ``depth`` rounds (bounded — the classic "reorder near the root"
+  strategy, where most ordering bugs live);
+* a *sampled* phase of seeded-random schedules for the long tail.
+
+On a failing schedule it *minimizes*: truncate the choice list to the
+shortest failing prefix, then revert each remaining round to identity
+wherever the failure persists — the surviving deviations are the
+counterexample's essence, printed as a one-command replay recipe.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass, field
+
+
+class ScheduleController:
+    """Decides — and records — the task order of every scheduler round.
+
+    ``choices`` replays a previous recording: entry *r* is a tuple of
+    indices into round *r*'s runnable list.  Replay is tolerant of
+    arity drift (a recorded permutation longer or shorter than the
+    round's actual task count is trimmed/extended in order), which lets
+    minimization splice identity rounds in without re-deriving the rest.
+    Rounds beyond the recorded prefix fall back to ``rng`` shuffling when
+    a seed was given, else to identity (round-robin).
+    """
+
+    def __init__(self, choices=None, seed=None):
+        self.recorded = []
+        self._choices = [tuple(c) for c in choices] if choices is not None else None
+        self._rng = random.Random(seed) if seed is not None else None
+        self._round = 0
+
+    def arrange(self, tids):
+        count = len(tids)
+        order = None
+        if self._choices is not None and self._round < len(self._choices):
+            wanted = [i for i in self._choices[self._round] if i < count]
+            seen = set(wanted)
+            order = wanted + [i for i in range(count) if i not in seen]
+        elif self._rng is not None:
+            order = list(range(count))
+            self._rng.shuffle(order)
+        else:
+            order = list(range(count))
+        self._round += 1
+        self.recorded.append(tuple(order))
+        return [tids[i] for i in order]
+
+
+def identity(arity):
+    return tuple(range(arity))
+
+
+def _is_identity(choices):
+    return all(perm == identity(len(perm)) for perm in choices)
+
+
+@dataclass
+class ScheduleFailure:
+    """One schedule under which the oracle was violated."""
+
+    choices: list  # the (minimized) per-round permutations
+    violations: list
+    label: str = ""
+
+    def replay_arg(self):
+        """The ``--schedule`` value that reproduces this interleaving."""
+        return encode_choices(self.choices)
+
+    def describe(self):
+        lines = [
+            f"schedule failure ({self.label})" if self.label else "schedule failure",
+            f"  rounds deviating from round-robin: "
+            f"{[i for i, p in enumerate(self.choices) if p != identity(len(p))]}",
+            f"  schedule: {self.replay_arg()}",
+        ]
+        lines += [f"  - {v}" for v in self.violations]
+        return "\n".join(lines)
+
+
+def encode_choices(choices):
+    """``[(1,0),(0,1,2)]`` -> ``"1,0;0,1,2"`` (the CLI replay format)."""
+    return ";".join(",".join(str(i) for i in perm) for perm in choices)
+
+
+def decode_choices(text):
+    """Inverse of :func:`encode_choices`; empty string means no rounds."""
+    if not text:
+        return []
+    return [
+        tuple(int(i) for i in part.split(",") if i != "")
+        for part in text.split(";")
+    ]
+
+
+@dataclass
+class ExplorationResult:
+    """What an exploration pass covered and what it found."""
+
+    schedules_run: int = 0
+    systematic_run: int = 0
+    sampled_run: int = 0
+    failures: list = field(default_factory=list)
+
+    @property
+    def ok(self):
+        return not self.failures
+
+
+class ScheduleExplorer:
+    """Explores interleavings of one deterministic scenario.
+
+    ``run_one`` is a callable taking a :class:`ScheduleController` and
+    returning a list of violation strings (empty when the oracle holds).
+    It must build a fresh system each call and be deterministic given the
+    controller — which every chaos scenario is.
+    """
+
+    def __init__(self, run_one, depth=3, samples=25, seed=0,
+                 systematic_budget=200):
+        self.run_one = run_one
+        self.depth = depth
+        self.samples = samples
+        self.seed = seed
+        self.systematic_budget = systematic_budget
+
+    def explore(self, stop_at_first=False):
+        """Run baseline + systematic + sampled phases; minimize failures."""
+        result = ExplorationResult()
+
+        baseline = ScheduleController()
+        violations = self.run_one(baseline)
+        result.schedules_run += 1
+        if violations:
+            result.failures.append(
+                self._minimized(baseline.recorded, violations, "round-robin")
+            )
+            if stop_at_first:
+                return result
+
+        arities = [len(perm) for perm in baseline.recorded]
+        for prefix in self._systematic_prefixes(arities):
+            controller = ScheduleController(choices=prefix)
+            violations = self.run_one(controller)
+            result.schedules_run += 1
+            result.systematic_run += 1
+            if violations:
+                result.failures.append(
+                    self._minimized(controller.recorded, violations, "systematic")
+                )
+                if stop_at_first:
+                    return result
+
+        for sample in range(self.samples):
+            controller = ScheduleController(seed=self.seed + sample)
+            violations = self.run_one(controller)
+            result.schedules_run += 1
+            result.sampled_run += 1
+            if violations:
+                result.failures.append(
+                    self._minimized(
+                        controller.recorded, violations, f"sampled seed={self.seed + sample}"
+                    )
+                )
+                if stop_at_first:
+                    return result
+        return result
+
+    def _systematic_prefixes(self, arities):
+        """Every permutation-tuple of the first *branching* rounds.
+
+        Rounds with fewer than two runnable tasks have exactly one order;
+        they are pinned to identity so ``depth`` counts only rounds where
+        an actual scheduling decision exists — otherwise a scenario with
+        a single-task setup preamble would exhaust the depth before the
+        contention it was written for.
+        """
+        spaces = []
+        branching = 0
+        for arity in arities:
+            if branching == self.depth:
+                break
+            if arity < 2:
+                spaces.append([identity(arity)])
+            else:
+                spaces.append(list(itertools.permutations(range(arity))))
+                branching += 1
+        emitted = 0
+        for combo in itertools.product(*spaces):
+            prefix = list(combo)
+            if _is_identity(prefix):
+                continue  # the baseline already ran it
+            yield prefix
+            emitted += 1
+            if emitted >= self.systematic_budget:
+                return
+
+    # -- minimization -------------------------------------------------------
+
+    def _minimized(self, choices, violations, label):
+        """Shrink a failing choice list to its essential deviations."""
+        choices = [tuple(perm) for perm in choices]
+
+        def still_fails(candidate):
+            return bool(self.run_one(ScheduleController(choices=candidate)))
+
+        # 1. shortest failing prefix: rounds past it revert to round-robin.
+        low, high = 0, len(choices)
+        while low < high:
+            mid = (low + high) // 2
+            if still_fails(choices[:mid]):
+                high = mid
+            else:
+                low = mid + 1
+        trimmed = choices[:high]
+
+        # 2. revert each remaining round to identity where possible.
+        for index in range(len(trimmed)):
+            ident = identity(len(trimmed[index]))
+            if trimmed[index] == ident:
+                continue
+            candidate = list(trimmed)
+            candidate[index] = ident
+            if still_fails(candidate):
+                trimmed = candidate
+
+        # Re-run the minimized schedule for its own violation list (the
+        # shrunk counterexample may fail differently from the original).
+        final = self.run_one(ScheduleController(choices=trimmed))
+        return ScheduleFailure(
+            choices=trimmed,
+            violations=final if final else violations,
+            label=label,
+        )

@@ -1,0 +1,279 @@
+"""Deterministic fault injection: numbered I/O steps and fault plans.
+
+Every instrumented I/O site in the storage stack — page writes, page-file
+syncs, log appends, log flushes, buffer write-back boundaries, and
+group-commit enrollments — reports to a :class:`FaultInjector` before it
+performs its effect.  The injector numbers the steps (1, 2, 3, …), records
+them as a trace, and consults its :class:`FaultPlan`:
+
+* ``crash_at=k`` — raise :class:`CrashPoint` *instead of* performing step
+  ``k``; the step's effect (and everything after) never happens, exactly
+  like a process death between two system calls;
+* ``torn_page_at=k`` — step ``k`` must be a page write; only a prefix of
+  the new image reaches the platter (the old tail survives), then the
+  process dies — the classic torn-write failure;
+* ``lose_fsync_at={k, …}`` — step ``k`` must be a flush; it *reports
+  success without making anything durable* — the lying-fsync failure mode
+  of consumer drives and some virtualized block devices;
+* ``crash_at_failpoint=(name, nth)`` — crash at the *nth* occurrence of a
+  named semantic failpoint (the transaction manager's failure hooks),
+  letting sweeps cut between semantic steps of commit/abort, not only
+  between I/O calls.
+
+Crash tail behaviour is controlled by ``keep_tail``: on a real crash the
+OS may or may not have written back volatile buffers, so the harness
+models both extremes — ``keep_tail=False`` (default) loses every
+unflushed log record, ``keep_tail=True`` persists them all.
+
+Because step numbering is deterministic (the whole stack is), a plan plus
+a scenario name is a complete reproduction recipe; :mod:`repro.chaos.replay`
+turns one into a command line.
+
+:class:`CrashPoint` derives from ``BaseException`` on purpose: the
+simulated process death must not be swallowed by ``except Exception``
+handlers in the code under test (the same reason ``KeyboardInterrupt``
+does).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+
+class CrashPoint(BaseException):
+    """The simulated process death injected by a :class:`FaultInjector`."""
+
+    def __init__(self, step, kind, detail=""):
+        self.step = step
+        self.kind = kind
+        self.detail = detail
+        super().__init__(f"injected crash at step {step} ({kind}{': ' + detail if detail else ''})")
+
+
+# The fault-point taxonomy (see docs/internals.md, "The chaos harness").
+PAGE_WRITE = "page_write"  # DiskManager.write_page
+PAGE_SYNC = "page_sync"  # DiskManager.sync
+LOG_APPEND = "log_append"  # log device append
+LOG_FLUSH = "log_flush"  # log device flush (the durability point)
+POOL_FLUSH = "pool_flush"  # buffer-pool write-back boundary
+GC_ENROLL = "gc_enroll"  # FlushCoalescer commit enrollment
+IO_KINDS = (PAGE_WRITE, PAGE_SYNC, LOG_APPEND, LOG_FLUSH, POOL_FLUSH, GC_ENROLL)
+
+
+@dataclass(frozen=True)
+class IoStep:
+    """One numbered I/O step as observed by the injector."""
+
+    number: int
+    kind: str
+    detail: str = ""
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A deterministic description of what should go wrong, and when.
+
+    The default plan injects nothing — running under it only *counts*
+    steps, which is how sweeps learn the step universe they must cover.
+    """
+
+    crash_at: int = None
+    torn_page_at: int = None
+    lose_fsync_at: frozenset = frozenset()
+    crash_at_failpoint: tuple = None  # (name, nth occurrence)
+    keep_tail: bool = False
+    label: str = ""
+
+    def __post_init__(self):
+        object.__setattr__(
+            self, "lose_fsync_at", frozenset(self.lose_fsync_at)
+        )
+
+    @property
+    def is_noop(self):
+        return (
+            self.crash_at is None
+            and self.torn_page_at is None
+            and not self.lose_fsync_at
+            and self.crash_at_failpoint is None
+        )
+
+    def describe(self):
+        parts = []
+        if self.crash_at is not None:
+            parts.append(f"crash_at={self.crash_at}")
+        if self.torn_page_at is not None:
+            parts.append(f"torn_page_at={self.torn_page_at}")
+        if self.lose_fsync_at:
+            parts.append(f"lose_fsync_at={sorted(self.lose_fsync_at)}")
+        if self.crash_at_failpoint is not None:
+            parts.append(f"crash_at_failpoint={self.crash_at_failpoint}")
+        if self.keep_tail:
+            parts.append("keep_tail=True")
+        return ", ".join(parts) if parts else "no faults"
+
+    def to_dict(self):
+        """JSON-serializable form (the replay artifact format)."""
+        return {
+            "crash_at": self.crash_at,
+            "torn_page_at": self.torn_page_at,
+            "lose_fsync_at": sorted(self.lose_fsync_at),
+            "crash_at_failpoint": (
+                list(self.crash_at_failpoint)
+                if self.crash_at_failpoint is not None
+                else None
+            ),
+            "keep_tail": self.keep_tail,
+            "label": self.label,
+        }
+
+    @classmethod
+    def from_dict(cls, data):
+        failpoint = data.get("crash_at_failpoint")
+        return cls(
+            crash_at=data.get("crash_at"),
+            torn_page_at=data.get("torn_page_at"),
+            lose_fsync_at=frozenset(data.get("lose_fsync_at", ())),
+            crash_at_failpoint=tuple(failpoint) if failpoint else None,
+            keep_tail=bool(data.get("keep_tail", False)),
+            label=data.get("label", ""),
+        )
+
+    def with_(self, **changes):
+        """A copy with fields replaced (sweep convenience)."""
+        return replace(self, **changes)
+
+
+# How much of a torn page survives: the first sector's worth of the new
+# image lands, the rest of the page keeps its previous contents.
+TORN_PREFIX = 512
+
+
+@dataclass
+class FaultInjector:
+    """Counts I/O steps, records a trace, and fires the planned faults.
+
+    One injector instruments one storage stack.  After a fault fires the
+    injector *disarms*: post-mortem inspection and restart recovery run
+    over the same devices without re-triggering the plan (arm a fresh
+    injector to chaos-test recovery itself).
+    """
+
+    plan: FaultPlan = field(default_factory=FaultPlan)
+    step_count: int = 0
+    trace: list = field(default_factory=list)
+    fired: IoStep = None
+    armed: bool = True
+    lied_fsyncs: int = 0
+    failpoint_counts: dict = field(default_factory=dict)
+
+    # -- bookkeeping -------------------------------------------------------
+
+    def disarm(self):
+        """Stop injecting; steps are no longer counted either."""
+        self.armed = False
+
+    def _next(self, kind, detail=""):
+        self.step_count += 1
+        step = IoStep(self.step_count, kind, detail)
+        self.trace.append(step)
+        return step
+
+    def _crash(self, step):
+        self.fired = step
+        self.armed = False
+        raise CrashPoint(step.number, step.kind, step.detail)
+
+    def _check_crash(self, step):
+        if self.plan.crash_at == step.number:
+            self._crash(step)
+
+    # -- instrumented sites ------------------------------------------------
+
+    def page_write(self, page_id, raw, install):
+        """A page write: ``install(image)`` performs the actual store.
+
+        ``install`` must accept an image *shorter* than a full page and
+        overlay it onto the current on-disk image (the old tail survives)
+        — that is how the torn write reaches the platter.
+        """
+        if not self.armed:
+            install(raw)
+            return
+        step = self._next(PAGE_WRITE, f"page={page_id}")
+        self._check_crash(step)
+        if self.plan.torn_page_at == step.number:
+            install(bytes(raw[:TORN_PREFIX]))  # the old tail survives
+            self.fired = step
+            self.armed = False
+            raise CrashPoint(step.number, "torn_" + PAGE_WRITE, step.detail)
+        install(raw)
+
+    def page_sync(self, do_sync):
+        """A page-file fsync."""
+        if not self.armed:
+            do_sync()
+            return
+        step = self._next(PAGE_SYNC)
+        self._check_crash(step)
+        do_sync()
+
+    def log_append(self, nbytes, do_append):
+        """A log-device append."""
+        if not self.armed:
+            do_append()
+            return
+        step = self._next(LOG_APPEND, f"bytes={nbytes}")
+        self._check_crash(step)
+        do_append()
+
+    def log_flush(self, do_flush):
+        """A log-device flush; may be *lied about* (lost fsync)."""
+        if not self.armed:
+            do_flush()
+            return
+        step = self._next(LOG_FLUSH)
+        self._check_crash(step)
+        if step.number in self.plan.lose_fsync_at:
+            self.lied_fsyncs += 1
+            return  # report success, make nothing durable
+        do_flush()
+
+    def pool_flush(self, dirty_count):
+        """The boundary before a buffer pool writes back dirty pages."""
+        if not self.armed:
+            return
+        step = self._next(POOL_FLUSH, f"dirty={dirty_count}")
+        self._check_crash(step)
+
+    def gc_enroll(self, pending_commits):
+        """A commit enrolling in the group-commit flush batch."""
+        if not self.armed:
+            return
+        step = self._next(GC_ENROLL, f"pending={pending_commits}")
+        self._check_crash(step)
+
+    def failpoint(self, name):
+        """A named semantic failpoint (transaction-manager failure hook).
+
+        Failpoints have their own per-name occurrence numbering, separate
+        from the I/O step counter: ``crash_at_failpoint=("abort.undone", 2)``
+        crashes at the second time that point is reached.
+        """
+        if not self.armed:
+            return
+        count = self.failpoint_counts.get(name, 0) + 1
+        self.failpoint_counts[name] = count
+        target = self.plan.crash_at_failpoint
+        if target is not None and target == (name, count):
+            step = IoStep(self.step_count, f"failpoint:{name}", f"nth={count}")
+            self._crash(step)
+
+    # -- accounting --------------------------------------------------------
+
+    def steps_of_kind(self, *kinds):
+        """The numbers of recorded steps matching ``kinds`` (all if empty)."""
+        if not kinds:
+            return [step.number for step in self.trace]
+        wanted = set(kinds)
+        return [step.number for step in self.trace if step.kind in wanted]

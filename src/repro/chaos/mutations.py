@@ -1,0 +1,112 @@
+"""Self-validation mutations: break the system on purpose.
+
+A chaos harness that never fails is indistinguishable from one that
+checks nothing.  These context managers knock out exactly one known
+correctness mechanism, in process and reversibly; the sensitivity tests
+run a sweep (or a schedule exploration) under each mutation and assert
+the oracles *do* fire — proving the harness can see the class of bug the
+mechanism exists to prevent.
+
+None of these are reachable from production code paths: they patch
+classes at test time and restore them on exit, even on error.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from repro.core.manager import TransactionManager
+from repro.storage.buffer import BufferPool
+from repro.storage.recovery import RecoveryManager
+
+
+@contextmanager
+def undo_disabled():
+    """Recovery skips its undo phase: losers keep their effects.
+
+    The crash sweep must report exact-state violations for any crash
+    that leaves a loser's after image in the durable log.
+    """
+    original = RecoveryManager._undo
+
+    def skip_undo(self, updates, responsibility, losers, report):
+        return None
+
+    RecoveryManager._undo = skip_undo
+    try:
+        yield
+    finally:
+        RecoveryManager._undo = original
+
+
+@contextmanager
+def wal_ordering_broken():
+    """Dirty pages reach disk without forcing the log first.
+
+    Breaks the write-ahead rule everywhere at once by making the pool's
+    ``wal_flush`` hook unsettable (the storage manager *thinks* it wired
+    the log force, but the pool discards it): a crash after a page
+    write-back but before the next log flush leaves an effect on disk
+    that the durable log cannot attribute or undo.  The sweep must catch
+    the window.
+    """
+
+    def read_none(self):
+        return None
+
+    def discard(self, value):
+        pass
+
+    BufferPool.wal_flush = property(read_none, discard)
+    try:
+        yield
+    finally:
+        # Back to a plain data attribute: new pools assign their own
+        # instance value in __init__; the class default stays None.
+        del BufferPool.wal_flush
+        BufferPool.wal_flush = None
+
+
+@contextmanager
+def dependency_dropped(dep_type):
+    """``form_dependency`` silently ignores edges of ``dep_type``.
+
+    The caller believes the edge exists; the scenario's *intent* list
+    still records it; the ACTA oracles must notice the fate mismatch.
+    """
+    original = TransactionManager.form_dependency
+    dropped_name = getattr(dep_type, "name", dep_type)
+
+    def dropping(self, dt, ti, tj):
+        if getattr(dt, "name", dt) == dropped_name:
+            return None  # claim success, form nothing
+        return original(self, dt, ti, tj)
+
+    TransactionManager.form_dependency = dropping
+    try:
+        yield
+    finally:
+        TransactionManager.form_dependency = original
+
+
+@contextmanager
+def delegation_unlogged():
+    """Delegations happen in memory but never reach the log.
+
+    Restart recovery then mis-attributes delegated updates to the
+    delegator: an update delegated from an aborting transaction to a
+    committing one gets undone anyway.  The sweep's exact-state oracle
+    must flag the divergence.
+    """
+    from repro.storage.store import StorageManager
+
+    original = StorageManager.log_delegate
+
+    def unlogged(self, tid, delegatee, oids):
+        return None
+
+    StorageManager.log_delegate = unlogged
+    try:
+        yield
+    finally:
+        StorageManager.log_delegate = original

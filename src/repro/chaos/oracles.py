@@ -1,0 +1,241 @@
+"""Oracles: what must be true after any crash, schedule, or fault.
+
+Every predicate here is *independent* of the code it judges.  The
+expected post-recovery state is computed by a small pure-function replay
+of the durable log — no buffer pool, no recovery manager, just the record
+semantics — so a bug in recovery cannot also hide in its oracle.  The
+ACTA model properties reuse :mod:`repro.acta.checker`, fed with the
+scenario's *intended* dependency set and fates derived from the durable
+log, so even a mutated primitive that never formed its edge is judged
+against what the scenario meant.
+
+The invariants, stated once:
+
+1. **Durability** — every commit the system durably acknowledged is a
+   recovery winner (``acks ⊆ winners``).
+2. **Atomicity of loss** — every transaction without a durable commit
+   record has *no* effect in the recovered state: lost commits are
+   indistinguishable from never-requested ones.
+3. **Exact state** — the recovered store equals the pure replay of the
+   durable log (winners' effects present, losers' undone, delegation
+   honoured).
+4. **ACTA model properties over durable fates** — group atomicity for GC
+   pairs, abort propagation for AD pairs, commit order for CD pairs.
+5. **Recovery idempotence** — running recovery again changes nothing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.acta.checker import (
+    check_abort_dependencies,
+    check_commit_order,
+    check_group_atomicity,
+)
+from repro.storage.log import (
+    AbortRecord,
+    AfterImageRecord,
+    BeforeImageRecord,
+    CommitRecord,
+    DelegateRecord,
+)
+
+
+@dataclass
+class LogAnalysis:
+    """The durable log, digested: who won, who lost, who owns what."""
+
+    winners: set = field(default_factory=set)
+    losers: set = field(default_factory=set)
+    already_aborted: set = field(default_factory=set)
+    updates: list = field(default_factory=list)
+    responsibility: dict = field(default_factory=dict)  # lsn -> tid
+    commit_positions: dict = field(default_factory=dict)  # tid -> index
+
+    def fate(self, tid):
+        """Durable fate of ``tid``: committed / aborted / active."""
+        if tid in self.winners:
+            return "committed"
+        if (
+            tid in self.losers
+            or tid in self.already_aborted
+        ):
+            return "aborted"
+        return "active"
+
+
+def analyze_log(records):
+    """Digest durable records into a :class:`LogAnalysis`.
+
+    This deliberately re-implements the recovery manager's analysis from
+    the record definitions alone — the independence is the point.
+    """
+    analysis = LogAnalysis()
+    for index, record in enumerate(records):
+        if isinstance(record, CommitRecord):
+            for tid in record.committed_tids():
+                analysis.winners.add(tid)
+                analysis.commit_positions.setdefault(tid, index)
+        elif isinstance(record, AbortRecord):
+            analysis.already_aborted.add(record.tid)
+        elif isinstance(record, BeforeImageRecord):
+            analysis.updates.append(record)
+            analysis.responsibility[record.lsn] = record.tid
+        elif isinstance(record, DelegateRecord):
+            wanted = set(record.oids)
+            for update in analysis.updates:
+                if (
+                    analysis.responsibility[update.lsn] == record.tid
+                    and update.oid in wanted
+                ):
+                    analysis.responsibility[update.lsn] = record.delegatee
+    responsible = set(analysis.responsibility.values())
+    analysis.losers = (
+        responsible - analysis.winners - analysis.already_aborted
+    )
+    return analysis
+
+
+def expected_state(records, analysis=None, baseline=None):
+    """Pure replay: the object state the durable log *implies*.
+
+    Start from ``baseline`` (the committed state at the last truncating
+    checkpoint — empty when the log holds the full history), repeat
+    history (install every after image in order), then undo the losers
+    (install their before images, newest first).  ``None`` images mean
+    the object is absent.  Returns ``{oid_value: bytes}``.
+    """
+    if analysis is None:
+        analysis = analyze_log(records)
+    state = dict(baseline) if baseline else {}
+    for record in records:
+        if isinstance(record, AfterImageRecord):
+            state[record.oid.value] = record.image
+    for record in reversed(analysis.updates):
+        if analysis.responsibility[record.lsn] in analysis.losers:
+            state[record.oid.value] = record.image
+    return {oid: image for oid, image in state.items() if image is not None}
+
+
+@dataclass
+class OracleReport:
+    """The verdict of one oracle evaluation."""
+
+    violations: list = field(default_factory=list)
+    analysis: LogAnalysis = None
+    label: str = ""
+
+    @property
+    def ok(self):
+        return not self.violations
+
+    def __bool__(self):
+        return self.ok
+
+    def fail(self, invariant, detail):
+        self.violations.append(f"{invariant}: {detail}")
+
+    def describe(self):
+        if self.ok:
+            return f"oracle OK ({self.label})" if self.label else "oracle OK"
+        header = f"oracle VIOLATED ({self.label})" if self.label else "oracle VIOLATED"
+        return "\n".join([header] + [f"  - {v}" for v in self.violations])
+
+
+def evaluate_recovery(system, intent, durable_acks, label=""):
+    """Run invariants 1-4 against a :class:`RestartedSystem`.
+
+    ``system`` is what :meth:`ChaosStack.restart` returned; ``intent``
+    the scenario's declared intentions; ``durable_acks`` the commits the
+    stack acknowledged with a genuinely durable commit record.
+    """
+    from repro.chaos.stack import read_state
+
+    report = OracleReport(label=label)
+    records = system.durable_records
+    analysis = analyze_log(records)
+    report.analysis = analysis
+
+    # 1. durability: every durable ack is a winner.
+    for tid in durable_acks:
+        if tid not in analysis.winners:
+            report.fail(
+                "durability",
+                f"commit of {tid!r} was durably acknowledged but is not a"
+                f" recovery winner",
+            )
+
+    # 2 + 3. exact state: the recovered store equals the pure replay.
+    #    (Atomicity of loss is subsumed: a lost commit's transaction is a
+    #    replay loser, so any surviving effect shows up as a mismatch.)
+    expected = expected_state(records, analysis, baseline=intent.baseline)
+    actual = read_state(system.storage)
+    for oid_value in sorted(set(expected) | set(actual)):
+        want = expected.get(oid_value)
+        got = actual.get(oid_value)
+        if want != got:
+            report.fail(
+                "state",
+                f"object {oid_value}: recovered "
+                f"{got!r}, durable log implies {want!r}",
+            )
+
+    # 4. ACTA model properties over durable fates and intended edges.
+    fates = {}
+    for __, ti, tj in intent.dependencies:
+        fates.setdefault(ti, analysis.fate(ti))
+        fates.setdefault(tj, analysis.fate(tj))
+    deps = intent.dependencies
+    for ti, fi, tj, fj in check_group_atomicity(None, deps, fates):
+        report.fail(
+            "group-atomicity",
+            f"GC pair split: {ti!r} is {fi}, {tj!r} is {fj}",
+        )
+    for ti, tj in check_abort_dependencies(None, deps, fates):
+        report.fail(
+            "abort-dependency",
+            f"AD({ti!r} -> {tj!r}): {ti!r} aborted but {tj!r} committed",
+        )
+    ticks = {
+        tid: pos for tid, pos in analysis.commit_positions.items()
+    }
+    for ti, tj in check_commit_order(None, deps, ticks):
+        report.fail(
+            "commit-order",
+            f"CD({ti!r} -> {tj!r}): {tj!r}'s commit record precedes {ti!r}'s",
+        )
+    return report
+
+
+def check_idempotent(system, report=None):
+    """Invariant 5: running recovery a second time changes nothing.
+
+    Appends to ``report`` (or returns a fresh one).  The second pass must
+    also report zero redo-able surprises on the undo side: every loser it
+    sees was already finished with an abort record by the first pass.
+    """
+    from repro.chaos.stack import read_state
+
+    if report is None:
+        report = OracleReport(label="idempotence")
+    before = read_state(system.storage)
+    second = system.storage.recover()
+    after = read_state(system.storage)
+    if before != after:
+        changed = sorted(
+            oid
+            for oid in set(before) | set(after)
+            if before.get(oid) != after.get(oid)
+        )
+        report.fail(
+            "idempotence",
+            f"second recovery pass changed objects {changed}",
+        )
+    if second.losers:
+        report.fail(
+            "idempotence",
+            f"second recovery pass still sees losers {sorted(t.value for t in second.losers)}"
+            f" — the first pass did not finish them with abort records",
+        )
+    return report

@@ -1,0 +1,356 @@
+"""Chaos scenarios: deterministic workloads with declared intent.
+
+A scenario is a named, deterministic driver over a
+:class:`~repro.chaos.stack.ChaosStack`.  Determinism is load-bearing: the
+crash sweep replays the same workload once per numbered I/O step, and a
+fault plan is only a reproduction recipe if step *k* always lands on the
+same system call.  Scenarios therefore use the cooperative runtime's
+round-robin scheduler (or an explicit schedule controller) and never
+consult wall clocks or OS randomness.
+
+Each driver records its *intent* on the stack as it goes — dependencies
+before forming them, acknowledgements as the system issues them, the
+expected clean-run state at the end — which is what lets the oracles
+judge a crashed, half-finished, or deliberately mutated run against what
+the scenario meant to happen.
+
+The registry maps names to :class:`ScenarioSpec`; the sweep, the
+exploration tests, and the ``repro.chaos.replay`` command line all
+resolve scenarios through it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.acta.checker import (
+    check_abort_dependencies,
+    check_commit_order,
+    check_group_atomicity,
+)
+from repro.chaos.stack import ChaosStack
+from repro.core.dependency import DependencyType
+from repro.storage.log import FlushCoalescer
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A named deterministic workload plus its stack configuration."""
+
+    name: str
+    description: str
+    drive: object  # callable(stack)
+    group_commit: object = None  # callable() -> FlushCoalescer, or None
+
+    def build_stack(self, plan=None, seed=None, schedule=None):
+        coalescer = self.group_commit() if self.group_commit else None
+        return ChaosStack(
+            plan=plan, group_commit=coalescer, seed=seed, schedule=schedule
+        )
+
+
+SCENARIOS = {}
+
+
+def register(name, description, group_commit=None):
+    """Decorator: register ``drive`` under ``name``."""
+
+    def wrap(drive):
+        SCENARIOS[name] = ScenarioSpec(
+            name=name,
+            description=description,
+            drive=drive,
+            group_commit=group_commit,
+        )
+        return drive
+
+    return wrap
+
+
+def get(name):
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown chaos scenario {name!r}; known: {sorted(SCENARIOS)}"
+        ) from None
+
+
+def names():
+    return sorted(SCENARIOS)
+
+
+# ---------------------------------------------------------------------------
+# program bodies
+# ---------------------------------------------------------------------------
+
+
+def _writer(tx, oid, value):
+    yield tx.write(oid, value)
+
+
+def _double_writer(tx, oid1, value1, oid2, value2):
+    yield tx.write(oid1, value1)
+    yield tx.write(oid2, value2)
+
+
+def _read_then_write(tx, read_oid, write_oid, value):
+    yield tx.read(read_oid)
+    yield tx.write(write_oid, value)
+
+
+# ---------------------------------------------------------------------------
+# EX10: the section 4.2 commit/abort machinery, end to end
+# ---------------------------------------------------------------------------
+
+
+@register(
+    "ex10_commit_abort",
+    "GC group commit, AD cascade, delegation survival, explicit abort,"
+    " CD-ordered commits, and a mid-run page flush (EX10 scenario)",
+)
+def ex10_commit_abort(stack):
+    rt, manager = stack.runtime, stack.manager
+    names_ = ["a", "b", "c", "d", "e", "f", "g", "h"]
+    oids = {}
+
+    def setup(tx):
+        for name in names_:
+            oids[name] = yield tx.create(name.encode() + b"0")
+
+    result = rt.run(setup)
+    stack.note_ack(result.tid)
+    stack.intent.oids = dict(oids)
+    a, b, c, d, e, f, g, h = (oids[n] for n in names_)
+
+    # A GC pair: t1 and t2 commit (or abort) as one unit.
+    t1 = rt.spawn(_writer, (a, b"a1"))
+    t2 = rt.spawn(_writer, (b, b"b1"))
+    stack.intend_dependency(DependencyType.GC, t1, t2)
+    manager.form_dependency(DependencyType.GC, t1, t2)
+
+    # Delegation: t3 writes c and f, hands c to t2, then aborts — the
+    # delegated update must survive t3's abort and commit with t2.
+    t3 = rt.spawn(_double_writer, (c, b"c1", f, b"f1"))
+    rt.wait(t3)
+    stack.intend_delegation(t3, t2, (c,))
+    manager.delegate(t3, t2, oids={c})
+    manager.abort(t3)  # undoes f only; c now rides with t2
+
+    # An AD chain: aborting t4 must take t5 down with it.
+    t4 = rt.spawn(_writer, (d, b"d1"))
+    t5 = rt.spawn(_writer, (e, b"e1"))
+    rt.wait(t4)
+    rt.wait(t5)
+    stack.intend_dependency(DependencyType.AD, t4, t5)
+    manager.form_dependency(DependencyType.AD, t4, t5)
+
+    # A mid-run page write-back, as any real system performs under memory
+    # pressure: dirty pages carrying *uncommitted* updates head to disk,
+    # which is exactly the window the WAL rule exists for.
+    stack.storage.pool.flush_all()
+
+    manager.abort(t4)  # cascades to t5 over the AD edge
+
+    stack.commit(t1, t2)  # the GC group commits as one unit
+
+    # A CD pair committed in the required order.
+    t6 = rt.spawn(_writer, (g, b"g1"))
+    t7 = rt.spawn(_writer, (h, b"h1"))
+    stack.intend_dependency(DependencyType.CD, t6, t7)
+    manager.form_dependency(DependencyType.CD, t6, t7)
+    stack.commit(t6)
+    stack.commit(t7)
+
+    stack.intent.expected_clean = {
+        a.value: b"a1",
+        b.value: b"b1",
+        c.value: b"c1",  # delegated to (committed) t2 before t3's abort
+        d.value: b"d0",  # undone by t4's abort
+        e.value: b"e0",  # undone by the AD cascade
+        f.value: b"f0",  # undone by t3's abort
+        g.value: b"g1",
+        h.value: b"h1",
+    }
+
+
+# ---------------------------------------------------------------------------
+# Group commit: the enrollment/deferral window
+# ---------------------------------------------------------------------------
+
+GC_BURST_COMMITS = 6
+
+
+def _group_commit_drive(stack):
+    rt = stack.runtime
+    oids = []
+
+    def setup(tx):
+        for __ in range(GC_BURST_COMMITS):
+            oids.append((yield tx.create(b"w0")))
+
+    result = rt.run(setup)
+    stack.storage.sync_log()  # drain the batch: setup is durable
+    stack.note_ack(result.tid)
+    stack.intent.oids = {f"w{i}": oid for i, oid in enumerate(oids)}
+
+    for index, oid in enumerate(oids):
+        value = b"w%d" % (index + 1)
+        tid = rt.spawn(_writer, (oid, value))
+        stack.commit(tid)
+
+    stack.storage.sync_log()  # end-of-burst drain
+    stack.intent.expected_clean = {
+        oid.value: b"w%d" % (index + 1) for index, oid in enumerate(oids)
+    }
+
+
+def make_group_commit_scenario(batch):
+    """Register (or fetch) the burst scenario for one batch size."""
+    name = f"group_commit_batch{batch}"
+    if name not in SCENARIOS:
+        SCENARIOS[name] = ScenarioSpec(
+            name=name,
+            description=(
+                f"{GC_BURST_COMMITS} sequential commits through a"
+                f" FlushCoalescer(max_commits={batch}): every crash point in"
+                f" the enrollment window loses the whole pending batch"
+            ),
+            drive=_group_commit_drive,
+            group_commit=lambda: FlushCoalescer(max_commits=batch),
+        )
+    return SCENARIOS[name]
+
+
+# Default registration for the replay CLI.
+for _batch in (1, 2, 3, 4):
+    make_group_commit_scenario(_batch)
+
+
+# ---------------------------------------------------------------------------
+# The checkpoint window: where the WAL rule earns its keep
+# ---------------------------------------------------------------------------
+
+
+@register(
+    "checkpoint_window",
+    "a sharp (truncating) checkpoint followed by fresh updates and a"
+    " mid-run page write-back: once the log is truncated, redo can no"
+    " longer heal a page flushed ahead of its log records, so every"
+    " crash in this window tests the write-ahead rule itself",
+)
+def checkpoint_window(stack):
+    rt, manager = stack.runtime, stack.manager
+    oids = {}
+
+    def setup(tx):
+        oids["a"] = yield tx.create(b"a0")
+        oids["b"] = yield tx.create(b"b0")
+
+    result = rt.run(setup)
+    stack.note_ack(result.tid)
+    stack.intent.oids = dict(oids)
+    a, b = oids["a"], oids["b"]
+
+    # Quiescent: flush all pages and truncate the log.  From here on the
+    # durable log no longer holds the objects' creation history — the
+    # oracle's replay starts from this declared baseline, and the acks so
+    # far are absorbed into it (their commit records leave the log).
+    # Intent precedes the operation so a crash *inside* the checkpoint is
+    # still judged correctly.
+    stack.intent.baseline = {a.value: b"a0", b.value: b"b0"}
+    stack.note_truncation()
+    stack.storage.checkpoint(truncate=True)
+
+    t1 = rt.spawn(_writer, (a, b"a1"))
+    t2 = rt.spawn(_writer, (b, b"b1"))
+    rt.wait(t1)
+    rt.wait(t2)
+
+    # The dangerous moment: dirty pages carrying *uncommitted* post-
+    # checkpoint updates head to disk.  With the WAL rule intact, the
+    # log is forced first and any crash can undo them; without it, the
+    # truncated log cannot explain what the crash leaves behind.
+    stack.storage.pool.flush_all()
+
+    stack.commit(t1)
+    manager.abort(t2)
+
+    stack.intent.expected_clean = {a.value: b"a1", b.value: b"b0"}
+
+
+# ---------------------------------------------------------------------------
+# Schedule exploration: contention, deadlock victims, and cascades
+# ---------------------------------------------------------------------------
+
+
+@register(
+    "deadlock_cascade",
+    "two transactions deadlock over x/y (GC-linked, with an AD dependent)"
+    " while two more race on a third object; every interleaving must keep"
+    " group atomicity and abort propagation",
+)
+def deadlock_cascade(stack):
+    rt, manager = stack.runtime, stack.manager
+    oids = {}
+
+    def setup(tx):
+        for name in ("x", "y", "z", "p"):
+            oids[name] = yield tx.create(name.encode() + b"0")
+
+    result = rt.run(setup)
+    stack.note_ack(result.tid)
+    stack.intent.oids = dict(oids)
+    x, y, z, p = (oids[n] for n in ("x", "y", "z", "p"))
+
+    # The classic crossed pair: t1 reads x then writes y; t2 reads y then
+    # writes x.  Whatever the round order, they deadlock; the detector
+    # picks a victim, and the GC edge must drag the survivor down too.
+    t1 = rt.spawn(_read_then_write, (x, y, b"y1"))
+    t2 = rt.spawn(_read_then_write, (y, x, b"x2"))
+    stack.intend_dependency(DependencyType.GC, t1, t2)
+    manager.form_dependency(DependencyType.GC, t1, t2)
+
+    # t3 hangs off t1 by an AD edge: t1's abort must propagate.
+    t3 = rt.spawn(_writer, (p, b"p3"))
+    stack.intend_dependency(DependencyType.AD, t1, t3)
+    manager.form_dependency(DependencyType.AD, t1, t3)
+
+    # t4 and t5 race write-write on z; the round order decides who wins
+    # the lock first, but both must eventually commit.
+    t4 = rt.spawn(_writer, (z, b"z4"))
+    t5 = rt.spawn(_writer, (z, b"z5"))
+
+    outcomes = rt.commit_all([t1, t2, t3, t4, t5])
+    for tid, committed in outcomes.items():
+        if committed:
+            stack.note_ack(tid)
+    return outcomes
+
+
+def live_violations(stack):
+    """The live (no-crash) oracle: ACTA properties over the recorded
+    history with the scenario's *intended* dependency edges.
+
+    Used by the schedule explorer after driving a scenario to completion
+    — a mutated primitive that silently dropped an edge shows up here,
+    because the intent list still carries it.
+    """
+    violations = []
+    recorder = stack.recorder
+    deps = stack.intent.dependencies
+    for ti, fate_i, tj, fate_j in check_group_atomicity(recorder, deps):
+        violations.append(
+            f"group-atomicity: GC pair split — {ti!r} is {fate_i},"
+            f" {tj!r} is {fate_j}"
+        )
+    for ti, tj in check_abort_dependencies(recorder, deps):
+        violations.append(
+            f"abort-dependency: AD({ti!r} -> {tj!r}) — {ti!r} aborted"
+            f" but {tj!r} committed"
+        )
+    for ti, tj in check_commit_order(recorder, deps):
+        violations.append(
+            f"commit-order: CD({ti!r} -> {tj!r}) — {tj!r} committed first"
+        )
+    return violations

@@ -1,0 +1,257 @@
+"""Exhaustive crash-point sweeps.
+
+The sweep turns "crash anywhere" from a slogan into an enumeration:
+
+1. **Probe** — run the scenario under a no-fault plan.  The injector
+   numbers every I/O step (1..N) and counts every semantic failpoint
+   occurrence; that trace *is* the universe a sweep must cover.  The
+   probe also sanity-checks the scenario: its clean run must land in the
+   state it declared.
+2. **Sweep** — one full scenario run per fault: ``crash_at=k`` for every
+   step *k*, a torn write at every page-write step, a lost fsync at
+   every flush step (with a power cut at the end of the run, so the lie
+   has a crash to matter at), and a crash at every semantic failpoint
+   occurrence.  Each run crashes, restarts over the surviving devices,
+   recovers, and faces the full oracle battery (durability, exact state,
+   ACTA fates, idempotence).
+3. **Account** — the result records exactly which step numbers were
+   crashed; tests assert the covered set equals ``{1..N}``, so silently
+   skipped crash points are impossible.
+
+Every failing run yields a :class:`FailureArtifact` whose ``replay``
+field is a complete one-command reproduction recipe.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.chaos.faults import (
+    CrashPoint,
+    FaultPlan,
+    LOG_FLUSH,
+    PAGE_WRITE,
+)
+from repro.chaos.oracles import check_idempotent, evaluate_recovery
+from repro.chaos.stack import read_state
+
+
+class ScenarioBrokenError(AssertionError):
+    """The scenario's clean run does not match its declared intent."""
+
+
+@dataclass
+class RunOutcome:
+    """One faulted scenario run, restarted and judged."""
+
+    plan: FaultPlan
+    crash: CrashPoint  # None when the run completed (lost-fsync plans)
+    oracle: object  # OracleReport
+    system: object  # RestartedSystem
+    stack: object  # the (dead) pre-crash ChaosStack
+
+    @property
+    def ok(self):
+        return self.oracle.ok
+
+
+@dataclass
+class FailureArtifact:
+    """A reproducible counterexample: plan + violations + replay recipe."""
+
+    scenario: str
+    plan: dict
+    violations: list
+    crash_step: object = None
+    replay: str = ""
+
+    def to_json(self):
+        return json.dumps(
+            {
+                "scenario": self.scenario,
+                "plan": self.plan,
+                "violations": self.violations,
+                "crash_step": self.crash_step,
+                "replay": self.replay,
+            },
+            indent=2,
+            default=str,
+        )
+
+
+def replay_command(scenario_name, plan):
+    """The one-command reproduction recipe for a failing plan."""
+    return (
+        "PYTHONPATH=src python -m repro.chaos.replay "
+        f"{scenario_name} --plan '{json.dumps(plan.to_dict())}'"
+    )
+
+
+@dataclass
+class SweepResult:
+    """Everything one sweep covered, and everything it found."""
+
+    scenario: str
+    total_steps: int = 0
+    step_kinds: dict = field(default_factory=dict)  # number -> kind
+    failpoint_universe: dict = field(default_factory=dict)  # name -> count
+    crash_steps_covered: set = field(default_factory=set)
+    torn_steps_covered: set = field(default_factory=set)
+    lost_fsync_steps_covered: set = field(default_factory=set)
+    failpoints_covered: set = field(default_factory=set)  # (name, nth)
+    runs: int = 0
+    failures: list = field(default_factory=list)
+
+    @property
+    def ok(self):
+        return not self.failures
+
+    @property
+    def coverage_complete(self):
+        """Did the crash sweep hit *every* numbered I/O step?"""
+        return self.crash_steps_covered == set(
+            range(1, self.total_steps + 1)
+        )
+
+    def describe(self):
+        lines = [
+            f"sweep of {self.scenario}: {self.runs} runs,"
+            f" {len(self.crash_steps_covered)}/{self.total_steps} crash"
+            f" steps, {len(self.torn_steps_covered)} torn,"
+            f" {len(self.lost_fsync_steps_covered)} lost-fsync,"
+            f" {len(self.failpoints_covered)} failpoints,"
+            f" {len(self.failures)} failures",
+        ]
+        for artifact in self.failures:
+            lines.append(f"  plan: {artifact.plan}")
+            lines += [f"    - {v}" for v in artifact.violations]
+            lines.append(f"    replay: {artifact.replay}")
+        return "\n".join(lines)
+
+
+def probe(spec):
+    """Run the scenario clean; return its stack (trace, failpoints, state).
+
+    Raises :class:`ScenarioBrokenError` when the clean run does not land
+    in the scenario's declared ``expected_clean`` state — a broken
+    scenario would make every sweep verdict meaningless.
+    """
+    stack = spec.build_stack(plan=FaultPlan())
+    spec.drive(stack)
+    expected = stack.intent.expected_clean
+    if expected:
+        actual = read_state(stack.storage)
+        wrong = {
+            oid: (actual.get(oid), want)
+            for oid, want in expected.items()
+            if actual.get(oid) != want
+        }
+        if wrong:
+            raise ScenarioBrokenError(
+                f"{spec.name}: clean run deviates from declared state:"
+                f" {wrong}"
+            )
+    return stack
+
+
+def run_plan(spec, plan, schedule=None):
+    """One faulted run: drive, crash (maybe), restart, recover, judge."""
+    stack = spec.build_stack(plan=plan, schedule=schedule)
+    crash = None
+    try:
+        spec.drive(stack)
+    except CrashPoint as fired:
+        crash = fired
+    # Runs that complete (lost-fsync plans) get a power cut here: the
+    # injected lie only matters once the unflushed tail is actually lost.
+    system = stack.restart()
+    oracle = evaluate_recovery(
+        system,
+        stack.intent,
+        stack.durable_acks,
+        label=f"{spec.name}: {plan.describe()}",
+    )
+    check_idempotent(system, oracle)
+    return RunOutcome(
+        plan=plan, crash=crash, oracle=oracle, system=system, stack=stack
+    )
+
+
+def crash_sweep(
+    spec,
+    keep_tail_modes=(False,),
+    include_torn=True,
+    include_lost_fsync=True,
+    include_failpoints=True,
+    stop_at_first=False,
+):
+    """Sweep every numbered step (and variant) of one scenario."""
+    probe_stack = probe(spec)
+    injector = probe_stack.injector
+    result = SweepResult(
+        scenario=spec.name,
+        total_steps=injector.step_count,
+        step_kinds={s.number: s.kind for s in injector.trace},
+        failpoint_universe=dict(injector.failpoint_counts),
+    )
+
+    def judge(plan, covered_set, covered_key):
+        outcome = run_plan(spec, plan)
+        result.runs += 1
+        covered_set.add(covered_key)
+        if not outcome.ok:
+            result.failures.append(
+                FailureArtifact(
+                    scenario=spec.name,
+                    plan=plan.to_dict(),
+                    violations=list(outcome.oracle.violations),
+                    crash_step=(
+                        f"{outcome.crash.step}:{outcome.crash.kind}"
+                        if outcome.crash is not None
+                        else None
+                    ),
+                    replay=replay_command(spec.name, plan),
+                )
+            )
+        return outcome
+
+    for keep_tail in keep_tail_modes:
+        for step in range(1, injector.step_count + 1):
+            plan = FaultPlan(
+                crash_at=step,
+                keep_tail=keep_tail,
+                label=f"crash@{step}" + ("+tail" if keep_tail else ""),
+            )
+            judge(plan, result.crash_steps_covered, step)
+            if stop_at_first and result.failures:
+                return result
+
+    if include_torn:
+        for step in injector.steps_of_kind(PAGE_WRITE):
+            plan = FaultPlan(torn_page_at=step, label=f"torn@{step}")
+            judge(plan, result.torn_steps_covered, step)
+            if stop_at_first and result.failures:
+                return result
+
+    if include_lost_fsync:
+        for step in injector.steps_of_kind(LOG_FLUSH):
+            plan = FaultPlan(
+                lose_fsync_at=frozenset([step]), label=f"lost-fsync@{step}"
+            )
+            judge(plan, result.lost_fsync_steps_covered, step)
+            if stop_at_first and result.failures:
+                return result
+
+    if include_failpoints:
+        for name, count in sorted(injector.failpoint_counts.items()):
+            for nth in range(1, count + 1):
+                plan = FaultPlan(
+                    crash_at_failpoint=(name, nth),
+                    label=f"failpoint {name}#{nth}",
+                )
+                judge(plan, result.failpoints_covered, (name, nth))
+                if stop_at_first and result.failures:
+                    return result
+
+    return result

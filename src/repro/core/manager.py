@@ -33,6 +33,10 @@ from repro.core.status import TransactionStatus
 from repro.storage.store import StorageManager
 
 
+def _no_failpoint(name):
+    """The default (disabled) failure hook."""
+
+
 class TransactionManager:
     """The full ASSET primitive set over a storage manager."""
 
@@ -44,12 +48,19 @@ class TransactionManager:
         events=None,
         clock=None,
         group_commit=None,
+        failpoint=None,
     ):
         if storage is None:
             # ``group_commit`` batches commit-record flushes: the GC
             # dependency's grouped durability point, applied to fsync.
             storage = StorageManager(group_commit=group_commit)
         self.storage = storage
+        # Failure hooks: a callable invoked at the named semantic points
+        # of commit/abort ("commit.log", "commit.logged", "abort.undo",
+        # "abort.undone").  The chaos harness plugs a fault injector in
+        # here to crash *between* semantic steps of the section 4.2
+        # algorithms, not only between storage I/O calls.
+        self.failpoint = failpoint if failpoint is not None else _no_failpoint
         self.clock = clock if clock is not None else LogicalClock()
         self.events = events if events is not None else EventBus(self.clock)
         self.conflicts = conflicts if conflicts is not None else ConflictTable()
@@ -550,7 +561,9 @@ class TransactionManager:
             # Steps 4-6: commit the whole group atomically.
             ordered = sorted(group, key=lambda t: t.value)
             others = tuple(t for t in ordered if t != tid)
+            self.failpoint("commit.log")
             self.storage.log_commit(tid, group=others)
+            self.failpoint("commit.logged")
             for member in ordered:
                 member_td = self.table.get(member)
                 if member_td.status is TransactionStatus.COMPLETED:
@@ -687,7 +700,9 @@ class TransactionManager:
     def _finish_abort_group(self, closure):
         tids = [td.tid for td in closure]
         # Step 2: coordinated undo across the whole closure.
+        self.failpoint("abort.undo")
         self.storage.undo_many(tids)
+        self.failpoint("abort.undone")
         for td in closure:
             tid = td.tid
             # Step 3: release all locks held by the member.

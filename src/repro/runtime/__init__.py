@@ -15,13 +15,18 @@ into their own waiting discipline around the same core outcomes, so a
 program's semantics do not depend on the runtime that executes it.
 """
 
-from repro.runtime.coop import CooperativeRuntime, SchedulerStalledError
+from repro.runtime.coop import (
+    CooperativeRuntime,
+    SchedulerStalledError,
+    StalledTask,
+)
 from repro.runtime.program import TxnContext
 from repro.runtime.threaded import ThreadedRuntime
 
 __all__ = [
     "CooperativeRuntime",
     "SchedulerStalledError",
+    "StalledTask",
     "ThreadedRuntime",
     "TxnContext",
 ]

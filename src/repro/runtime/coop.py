@@ -28,7 +28,44 @@ from repro.runtime.program import BLOCKED, TxnContext, execute_request
 
 
 class SchedulerStalledError(AssetError):
-    """No task can make progress and no deadlock cycle explains it."""
+    """No task can make progress and no deadlock cycle explains it.
+
+    Carries a diagnostic payload: ``stalled`` is a list of
+    :class:`StalledTask` naming each stuck transaction, its status, the
+    request it is parked on, and what it blocks on — the information an
+    operator (or a chaos-harness trace) needs to see *why* the schedule
+    wedged, without re-running under a debugger.
+    """
+
+    def __init__(self, why, stalled=()):
+        self.why = why
+        self.stalled = list(stalled)
+        lines = [f"stalled while driving {why}"]
+        for entry in self.stalled:
+            lines.append("  " + entry.describe())
+        super().__init__("\n".join(lines))
+
+
+@dataclass
+class StalledTask:
+    """Diagnostic row for one stuck task inside a scheduler stall."""
+
+    tid: object
+    status: str
+    pending: object = None  # the request parked at a WOULD_BLOCK point
+    blocked_on: tuple = ()  # tids the last blocked attempt named
+
+    def describe(self):
+        waiting = (
+            ", ".join(repr(t) for t in self.blocked_on)
+            if self.blocked_on
+            else "nothing reported"
+        )
+        pending = repr(self.pending) if self.pending is not None else "no request"
+        return (
+            f"{self.tid!r} [{self.status}]: pending {pending};"
+            f" blocks on {waiting}"
+        )
 
 
 @dataclass
@@ -47,7 +84,7 @@ class _Task:
     """One running transaction program."""
 
     __slots__ = ("tid", "gen", "pending", "to_send", "finished", "result",
-                 "error", "abort_delivered")
+                 "error", "abort_delivered", "blocked_on")
 
     def __init__(self, tid, gen):
         self.tid = tid
@@ -58,17 +95,23 @@ class _Task:
         self.result = None
         self.error = None
         self.abort_delivered = False
+        self.blocked_on = ()  # who the last WOULD_BLOCK outcome named
 
 
 class CooperativeRuntime:
     """Deterministic scheduler over a :class:`TransactionManager`."""
 
-    def __init__(self, manager=None, seed=None, max_idle_rounds=2):
+    def __init__(self, manager=None, seed=None, max_idle_rounds=2,
+                 schedule=None):
         self.manager = manager if manager is not None else TransactionManager()
         self._tasks = {}
         self._order = []  # tids in spawn order (round-robin basis)
         self._rng = random.Random(seed) if seed is not None else None
         self._max_idle_rounds = max_idle_rounds
+        # An explicit schedule controller (repro.chaos.explorer) decides
+        # the task order at every round — and records what it decided, so
+        # any interleaving replays exactly.  It overrides the seeded rng.
+        self.schedule = schedule
         self._detector = DeadlockDetector(self.manager)
         self.steps = 0
 
@@ -201,9 +244,18 @@ class CooperativeRuntime:
                 if not self._tasks[t].finished]
 
     def round(self):
-        """Give every unfinished task one step; return whether any moved."""
+        """Give every unfinished task one step; return whether any moved.
+
+        The order of the steps within the round is the interleaving
+        decision: schedule controller first (recorded, replayable), then
+        the seeded rng, then plain spawn-order round-robin.
+        """
         tasks = self._runnable()
-        if self._rng is not None:
+        if self.schedule is not None and tasks:
+            order = {tid: i for i, tid in
+                     enumerate(self.schedule.arrange([t.tid for t in tasks]))}
+            tasks.sort(key=lambda task: order[task.tid])
+        elif self._rng is not None:
             self._rng.shuffle(tasks)
         progress = False
         for task in tasks:
@@ -237,10 +289,24 @@ class CooperativeRuntime:
             if self.round() or self._detector.resolve_one() is not None:
                 return
             idle += 1
-        raise SchedulerStalledError(
-            f"stalled while driving {why}; active tasks:"
-            f" {self.active_tasks()!r}"
-        )
+        raise SchedulerStalledError(why, stalled=self.stall_report())
+
+    def stall_report(self):
+        """Diagnostic rows for every unfinished task (who blocks on what)."""
+        rows = []
+        for tid in self.active_tasks():
+            task = self._tasks[tid]
+            td = self.manager.table.maybe_get(tid)
+            status = td.status.value if td is not None else "unknown"
+            rows.append(
+                StalledTask(
+                    tid=tid,
+                    status=status,
+                    pending=task.pending,
+                    blocked_on=tuple(task.blocked_on),
+                )
+            )
+        return rows
 
     def _step(self, task):
         """Advance one task by (at most) one request.  True on progress."""
@@ -267,9 +333,11 @@ class CooperativeRuntime:
         if task.pending is not None:
             state, value = execute_request(manager, self, task.tid, task.pending)
             if state is BLOCKED:
+                task.blocked_on = tuple(value) if value else ()
                 return False
             task.pending = None
             task.to_send = value
+            task.blocked_on = ()
             return True
 
         # Advance the generator to its next request.
@@ -293,8 +361,10 @@ class CooperativeRuntime:
         state, value = execute_request(manager, self, task.tid, request)
         if state is BLOCKED:
             task.pending = request
+            task.blocked_on = tuple(value) if value else ()
         else:
             task.to_send = value
+            task.blocked_on = ()
         # Aborting oneself ends the program: nothing after the abort of
         # self should run (the paper's abort(self()) idiom).
         if manager.has_aborted(task.tid) and not task.finished:

@@ -27,6 +27,9 @@ from repro.storage.log import (
     CheckpointRecord,
     CommitRecord,
     DelegateRecord,
+    FileLogDevice,
+    FlushCoalescer,
+    MemoryLogDevice,
     WriteAheadLog,
 )
 from repro.storage.objects import ObjectStore
@@ -43,7 +46,10 @@ __all__ = [
     "CommitRecord",
     "DelegateRecord",
     "FileDiskManager",
+    "FileLogDevice",
+    "FlushCoalescer",
     "InMemoryDiskManager",
+    "MemoryLogDevice",
     "ObjectStore",
     "PAGE_SIZE",
     "Page",

@@ -43,11 +43,17 @@ class BufferPool:
     the capacity should be sized for the workload, as EOS's was.
     """
 
-    def __init__(self, disk, capacity=256):
+    def __init__(self, disk, capacity=256, injector=None):
         if capacity < 1:
             raise ValueError("buffer pool needs at least one frame")
         self.disk = disk
         self.capacity = capacity
+        self.injector = injector
+        # The WAL rule: before a dirty page reaches disk, the log records
+        # describing its updates must be durable.  The storage manager
+        # wires this to ``log.flush``; ``None`` means no write-ahead log
+        # protects this pool (bare-pool tests).
+        self.wal_flush = None
         self._frames = {}
         self._clock_order = []
         self._clock_hand = 0
@@ -129,8 +135,10 @@ class BufferPool:
             return
         raise StorageError("all buffer frames are pinned; cannot evict")
 
-    def _write_back(self, page_id, frame):
+    def _write_back(self, page_id, frame, wal_done=False):
         if frame.dirty:
+            if self.wal_flush is not None and not wal_done:
+                self.wal_flush()  # WAL rule: log reaches disk first
             self.disk.write_page(page_id, frame.page.to_bytes())
             frame.dirty = False
 
@@ -146,8 +154,13 @@ class BufferPool:
     def flush_all(self):
         """Write every dirty cached page back to disk."""
         with self._lock:
+            dirty = sum(1 for f in self._frames.values() if f.dirty)
+            if self.injector is not None:
+                self.injector.pool_flush(dirty)
+            if dirty and self.wal_flush is not None:
+                self.wal_flush()  # one log force covers the whole pass
             for page_id, frame in self._frames.items():
-                self._write_back(page_id, frame)
+                self._write_back(page_id, frame, wal_done=True)
             self.disk.sync()
 
     def drop_all(self):

@@ -8,7 +8,9 @@ Two implementations share one interface:
   benchmarks that do not want filesystem traffic.
 
 Both support ``snapshot``/``restore`` so the crash-recovery tests can
-capture the exact on-disk state at a simulated crash point.
+capture the exact on-disk state at a simulated crash point, and both
+accept a chaos ``injector`` (:mod:`repro.chaos.faults`) that numbers every
+page write and sync as an I/O step and can crash or tear it.
 """
 
 from __future__ import annotations
@@ -24,6 +26,7 @@ class DiskManager:
     """Interface for page stores; see module docstring."""
 
     page_size = PAGE_SIZE
+    injector = None  # optional chaos FaultInjector
 
     def allocate_page(self):
         """Reserve a new page id and return it."""
@@ -56,8 +59,9 @@ class InMemoryDiskManager(DiskManager):
     the same serialization paths as the file-backed store.
     """
 
-    def __init__(self, page_size=PAGE_SIZE):
+    def __init__(self, page_size=PAGE_SIZE, injector=None):
         self.page_size = page_size
+        self.injector = injector
         self._pages = {}
         self._next_page_id = 1
         self._lock = threading.Lock()
@@ -82,7 +86,21 @@ class InMemoryDiskManager(DiskManager):
             )
         if page_id not in self._pages:
             raise StorageError(f"no such page: {page_id}")
-        self._pages[page_id] = bytes(raw)
+        if self.injector is None:
+            self._pages[page_id] = bytes(raw)
+            return
+
+        def install(image):
+            # A short image is a torn write: the old tail survives.
+            if len(image) < self.page_size:
+                image = bytes(image) + self._pages[page_id][len(image):]
+            self._pages[page_id] = bytes(image)
+
+        self.injector.page_write(page_id, raw, install)
+
+    def sync(self):
+        if self.injector is not None:
+            self.injector.page_sync(lambda: None)
 
     def page_ids(self):
         return sorted(self._pages)
@@ -105,9 +123,10 @@ class FileDiskManager(DiskManager):
     Page ids start at 1; id 0 is reserved as "no page".
     """
 
-    def __init__(self, path, page_size=PAGE_SIZE):
+    def __init__(self, path, page_size=PAGE_SIZE, injector=None):
         self.path = str(path)
         self.page_size = page_size
+        self.injector = injector
         self._lock = threading.Lock()
         mode = "r+b" if os.path.exists(self.path) else "w+b"
         self._file = open(self.path, mode)
@@ -144,16 +163,32 @@ class FileDiskManager(DiskManager):
             )
         with self._lock:
             self._check(page_id)
-            self._file.seek((page_id - 1) * self.page_size)
-            self._file.write(raw)
+
+            def install(image):
+                # A short image is a torn write: the old tail survives
+                # on disk because only the prefix is overwritten.
+                self._file.seek((page_id - 1) * self.page_size)
+                self._file.write(image)
+
+            if self.injector is None:
+                install(raw)
+            else:
+                self.injector.page_write(page_id, raw, install)
 
     def page_ids(self):
         return range(1, self._page_count + 1)
 
     def sync(self):
         with self._lock:
-            self._file.flush()
-            os.fsync(self._file.fileno())
+
+            def do_sync():
+                self._file.flush()
+                os.fsync(self._file.fileno())
+
+            if self.injector is None:
+                do_sync()
+            else:
+                self.injector.page_sync(do_sync)
 
     def close(self):
         with self._lock:

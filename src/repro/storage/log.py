@@ -192,17 +192,48 @@ def decode_record(raw):
 
 
 class MemoryLogDevice:
-    """Log persistence in memory: a list of encoded records."""
+    """Log persistence in memory: a list of encoded records.
 
-    def __init__(self):
+    A chaos ``injector`` (:mod:`repro.chaos.faults`) numbers every append
+    and flush as an I/O step; the flush step can be *lied about* (lost
+    fsync), leaving ``_durable_count`` behind while the caller believes
+    the records are safe.
+    """
+
+    def __init__(self, injector=None):
+        self.injector = injector
         self._records = []
         self._durable_count = 0
 
     def append(self, raw):
-        self._records.append(bytes(raw))
+        if self.injector is None:
+            self._records.append(bytes(raw))
+        else:
+            self.injector.log_append(
+                len(raw), lambda: self._records.append(bytes(raw))
+            )
 
     def flush(self):
+        if self.injector is None:
+            self._durable_count = len(self._records)
+        else:
+            self.injector.log_flush(self._advance_durable)
+
+    def _advance_durable(self):
         self._durable_count = len(self._records)
+
+    def durable_count(self):
+        """How many records a restart would actually see (harness peek)."""
+        return self._durable_count
+
+    def snapshot(self):
+        """Capture the complete device state (for reference replays)."""
+        return list(self._records), self._durable_count
+
+    def restore(self, snapshot):
+        """Reset the device to a previously captured snapshot."""
+        self._records = list(snapshot[0])
+        self._durable_count = snapshot[1]
 
     def read_all(self, durable_only=False):
         """Iterate over encoded records, optionally only the flushed ones."""
@@ -225,19 +256,32 @@ class MemoryLogDevice:
 class FileLogDevice:
     """Log persistence in a file of length-prefixed records."""
 
-    def __init__(self, path):
+    def __init__(self, path, injector=None):
         self.path = str(path)
+        self.injector = injector
         mode = "r+b" if os.path.exists(self.path) else "w+b"
         self._file = open(self.path, mode)
         self._file.seek(0, os.SEEK_END)
 
     def append(self, raw):
-        self._file.write(_U32.pack(len(raw)))
-        self._file.write(raw)
+        def do_append():
+            self._file.write(_U32.pack(len(raw)))
+            self._file.write(raw)
+
+        if self.injector is None:
+            do_append()
+        else:
+            self.injector.log_append(len(raw), do_append)
 
     def flush(self):
-        self._file.flush()
-        os.fsync(self._file.fileno())
+        def do_flush():
+            self._file.flush()
+            os.fsync(self._file.fileno())
+
+        if self.injector is None:
+            do_flush()
+        else:
+            self.injector.log_flush(do_flush)
 
     def read_all(self, durable_only=False):
         self._file.flush()
@@ -280,13 +324,14 @@ class FlushCoalescer:
     caller that needs durability *now*) drains the batch.
     """
 
-    def __init__(self, max_commits=8, max_bytes=64 * 1024):
+    def __init__(self, max_commits=8, max_bytes=64 * 1024, injector=None):
         if max_commits < 1:
             raise StorageError("group-commit batch needs max_commits >= 1")
         if max_bytes < 1:
             raise StorageError("group-commit batch needs max_bytes >= 1")
         self.max_commits = max_commits
         self.max_bytes = max_bytes
+        self.injector = injector
         self.pending_commits = 0
         self.pending_bytes = 0
         self.enrolled_total = 0
@@ -297,7 +342,15 @@ class FlushCoalescer:
         self.pending_bytes += nbytes
 
     def enroll_commit(self):
-        """Enroll one commit; returns True when the batch must flush."""
+        """Enroll one commit; returns True when the batch must flush.
+
+        The enrollment boundary is a numbered chaos step: between the
+        commit record's append and this point the commit exists only in
+        volatile state, and a crash here exercises exactly the
+        group-commit deferral window.
+        """
+        if self.injector is not None:
+            self.injector.gc_enroll(self.pending_commits)
         self.pending_commits += 1
         self.enrolled_total += 1
         return (

@@ -60,12 +60,24 @@ class ObjectStore:
         self._rebuild_table()
 
     def _rebuild_table(self):
-        """Scan all pages rebuilding the object table (open / recovery)."""
+        """Scan all pages rebuilding the object table (open / recovery).
+
+        A page that fails structural validation (a torn write caught by
+        :meth:`~repro.storage.page.Page.validate`) is *quarantined*:
+        reset to an empty page and skipped.  Repeat-history redo then
+        re-creates every object that belongs on it from the log's after
+        images — which is why torn data pages are recoverable at all.
+        """
         with self._lock:
             self._locations.clear()
+            self.damaged_pages = []
             high_water = 0
             for page_id in self.pool.disk.page_ids():
-                frame = self.pool.fetch(page_id)
+                try:
+                    frame = self.pool.fetch(page_id)
+                except StorageError:
+                    self._quarantine(page_id)
+                    continue
                 try:
                     for slot, oid_value, __ in frame.page.items():
                         self._locations[oid_value] = (page_id, slot)
@@ -74,6 +86,14 @@ class ObjectStore:
                 finally:
                     self.pool.unpin(page_id)
             self._next_oid_value = high_water + 1
+
+    def _quarantine(self, page_id):
+        """Replace a damaged page with a fresh empty one."""
+        from repro.storage.page import Page
+
+        self.damaged_pages.append(page_id)
+        empty = Page(page_id, page_size=self.pool.disk.page_size)
+        self.pool.disk.write_page(page_id, empty.to_bytes())
 
     # -- lifecycle ------------------------------------------------------------
 

@@ -222,7 +222,33 @@ class Page:
         for __ in range(slot_count):
             cursor -= _SLOT.size
             page._slots.append(_SLOT.unpack_from(raw, cursor))
+        page.validate()
         return page
+
+    def validate(self):
+        """Check the structural invariants every well-formed page holds.
+
+        A torn write (new header and data prefix over an old slot
+        directory, or vice versa) usually violates one of them; raising
+        :class:`~repro.common.errors.StorageError` here is what lets the
+        object-table rebuild quarantine damaged pages instead of serving
+        garbage.  Every image produced by :meth:`to_bytes` passes.
+        """
+        directory_start = self.page_size - len(self._slots) * _SLOT.size
+        if not _HEADER.size <= self._watermark <= directory_start:
+            raise StorageError(
+                f"page {self.page_id}: watermark {self._watermark} outside"
+                f" [{_HEADER.size}, {directory_start}] — torn or corrupt"
+            )
+        for slot, (offset, length, __) in enumerate(self._slots):
+            if offset == _TOMBSTONE:
+                continue
+            if offset < _HEADER.size or offset + length > self._watermark:
+                raise StorageError(
+                    f"page {self.page_id}: slot {slot} spans"
+                    f" [{offset}, {offset + length}) outside the data area"
+                    " — torn or corrupt"
+                )
 
     def __repr__(self):
         return (

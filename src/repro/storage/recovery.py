@@ -98,7 +98,12 @@ class RecoveryManager:
             self.store.create(image, oid=oid)
 
     def recover(self):
-        """Run analysis, redo, and undo; return a :class:`RecoveryReport`."""
+        """Run analysis, redo, and undo; return a :class:`RecoveryReport`.
+
+        The three phases are separate methods so the chaos harness can
+        crash recovery between (and inside) them and so mutation tests
+        can knock one phase out to prove the oracles notice.
+        """
         records = self.log.records(durable_only=True)
         winners, losers, finished, updates, responsibility = self._analyze(
             records
@@ -106,14 +111,19 @@ class RecoveryManager:
         report = RecoveryReport(
             winners=winners, losers=losers, already_aborted=finished
         )
+        self._redo(records, report)
+        self._undo(updates, responsibility, losers, report)
+        return report
 
-        # Redo: repeat history with every durable after image, in LSN order.
+    def _redo(self, records, report):
+        """Repeat history with every durable after image, in LSN order."""
         for record in records:
             if isinstance(record, AfterImageRecord):
                 self._install(record.oid, record.image)
                 report.redone += 1
 
-        # Undo: losers' before images, newest first, logged as compensation.
+    def _undo(self, updates, responsibility, losers, report):
+        """Install losers' before images, newest first, as compensation."""
         for record in reversed(updates):
             if responsibility[record.lsn] in losers:
                 self._install(record.oid, record.image)
@@ -123,4 +133,3 @@ class RecoveryManager:
             self.log.log_abort(loser)
         if losers:
             self.log.flush()
-        return report

@@ -38,12 +38,32 @@ class StorageManager:
     wins.
     """
 
-    def __init__(self, disk=None, log=None, capacity=256, group_commit=None):
-        self.disk = disk if disk is not None else InMemoryDiskManager()
-        self.log = (
-            log if log is not None else WriteAheadLog(group_commit=group_commit)
-        )
-        self.pool = BufferPool(self.disk, capacity=capacity)
+    def __init__(
+        self,
+        disk=None,
+        log=None,
+        capacity=256,
+        group_commit=None,
+        injector=None,
+    ):
+        self.injector = injector
+        if disk is None:
+            disk = InMemoryDiskManager(injector=injector)
+        self.disk = disk
+        if log is None:
+            from repro.storage.log import MemoryLogDevice
+
+            log = WriteAheadLog(
+                MemoryLogDevice(injector=injector), group_commit=group_commit
+            )
+        self.log = log
+        if injector is not None and self.log.group_commit is not None:
+            self.log.group_commit.injector = injector
+        self.pool = BufferPool(self.disk, capacity=capacity, injector=injector)
+        # The WAL rule: no dirty page reaches disk before the log records
+        # describing its updates are durable.  Evictions and flushes force
+        # the log first (chaos crash sweeps fail without this ordering).
+        self.pool.wal_flush = self.log.flush
         self.objects = ObjectStore(self.pool)
 
     # -- object operations (latched + logged) ----------------------------------

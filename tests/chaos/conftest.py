@@ -1,0 +1,40 @@
+"""Budget knobs for the chaos suite.
+
+The tier-1 run keeps every sweep and exploration quick; the nightly
+chaos CI job exports ``CHAOS_BUDGET=long`` to widen the same tests —
+both crash-tail models, more sampled schedules, deeper systematic
+reordering — without a separate test suite to maintain.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+LONG = os.environ.get("CHAOS_BUDGET", "quick") == "long"
+
+
+@pytest.fixture(scope="session")
+def long_budget():
+    """True when the run should spend the nightly exploration budget."""
+    return LONG
+
+
+@pytest.fixture(scope="session")
+def keep_tail_modes():
+    """Crash-tail models to sweep: the nightly budget adds ``keep_tail``
+    (the OS wrote the volatile log tail back before the power failed)."""
+    return (False, True) if LONG else (False,)
+
+
+@pytest.fixture(scope="session")
+def explorer_samples():
+    """Seeded-random schedules per exploration."""
+    return 120 if LONG else 25
+
+
+@pytest.fixture(scope="session")
+def explorer_depth():
+    """Rounds of systematic permutation enumeration near the root."""
+    return 4 if LONG else 3

@@ -1,0 +1,133 @@
+"""Unit tests for the fault plan and the injector's step accounting."""
+
+import pytest
+
+from repro.chaos.faults import (
+    GC_ENROLL,
+    LOG_APPEND,
+    LOG_FLUSH,
+    PAGE_SYNC,
+    PAGE_WRITE,
+    POOL_FLUSH,
+    TORN_PREFIX,
+    CrashPoint,
+    FaultInjector,
+    FaultPlan,
+)
+
+
+class TestFaultPlan:
+    def test_default_plan_is_noop(self):
+        plan = FaultPlan()
+        assert plan.is_noop
+        assert plan.describe() == "no faults"
+
+    def test_any_fault_makes_it_not_noop(self):
+        assert not FaultPlan(crash_at=3).is_noop
+        assert not FaultPlan(torn_page_at=3).is_noop
+        assert not FaultPlan(lose_fsync_at={3}).is_noop
+        assert not FaultPlan(crash_at_failpoint=("commit.log", 1)).is_noop
+        # keep_tail alone only changes crash aftermath, not injection.
+        assert FaultPlan(keep_tail=True).is_noop
+
+    def test_dict_round_trip_preserves_every_field(self):
+        plan = FaultPlan(
+            crash_at=7,
+            torn_page_at=9,
+            lose_fsync_at=frozenset({2, 5}),
+            crash_at_failpoint=("abort.undo", 2),
+            keep_tail=True,
+            label="kitchen sink",
+        )
+        assert FaultPlan.from_dict(plan.to_dict()) == plan
+
+    def test_from_dict_tolerates_missing_fields(self):
+        assert FaultPlan.from_dict({}) == FaultPlan()
+        assert FaultPlan.from_dict({"crash_at": 4}) == FaultPlan(crash_at=4)
+
+    def test_with_overrides_single_fields(self):
+        plan = FaultPlan(crash_at=3, label="base")
+        patched = plan.with_(keep_tail=True)
+        assert patched.crash_at == 3
+        assert patched.keep_tail
+        assert not plan.keep_tail  # original untouched (frozen)
+
+    def test_crash_point_escapes_except_exception(self):
+        """The simulated death must not be swallowed by broad handlers."""
+        assert not issubclass(CrashPoint, Exception)
+        with pytest.raises(CrashPoint):
+            try:
+                raise CrashPoint(1, PAGE_WRITE)
+            except Exception:  # noqa: BLE001 - the point of the test
+                pytest.fail("CrashPoint was caught by `except Exception`")
+
+
+def drive_all_sites(injector, sink):
+    """Exercise one step of every instrumented kind, in a fixed order."""
+    injector.log_append(10, lambda: sink.append("append"))
+    injector.log_flush(lambda: sink.append("flush"))
+    injector.pool_flush(2)
+    injector.page_write(1, b"x" * 1024, lambda img: sink.append(img))
+    injector.page_sync(lambda: sink.append("sync"))
+    injector.gc_enroll(3)
+
+
+class TestFaultInjector:
+    def test_steps_are_numbered_in_order_with_kinds(self):
+        injector = FaultInjector()
+        drive_all_sites(injector, [])
+        assert injector.step_count == 6
+        assert [s.number for s in injector.trace] == [1, 2, 3, 4, 5, 6]
+        assert [s.kind for s in injector.trace] == [
+            LOG_APPEND, LOG_FLUSH, POOL_FLUSH, PAGE_WRITE, PAGE_SYNC,
+            GC_ENROLL,
+        ]
+        assert injector.steps_of_kind(PAGE_WRITE) == [4]
+        assert injector.steps_of_kind(LOG_APPEND, LOG_FLUSH) == [1, 2]
+        assert injector.steps_of_kind() == [1, 2, 3, 4, 5, 6]
+
+    def test_crash_at_step_suppresses_the_effect(self):
+        effects = []
+        injector = FaultInjector(plan=FaultPlan(crash_at=2))
+        with pytest.raises(CrashPoint) as caught:
+            drive_all_sites(injector, effects)
+        assert effects == ["append"]  # step 2's flush never happened
+        assert caught.value.step == 2
+        assert caught.value.kind == LOG_FLUSH
+        assert injector.fired.number == 2
+
+    def test_disarmed_injector_performs_effects_without_counting(self):
+        effects = []
+        injector = FaultInjector(plan=FaultPlan(crash_at=1))
+        injector.disarm()
+        drive_all_sites(injector, effects)
+        assert injector.step_count == 0
+        assert "append" in effects and "flush" in effects
+
+    def test_torn_page_installs_prefix_then_dies(self):
+        installed = []
+        injector = FaultInjector(plan=FaultPlan(torn_page_at=1))
+        with pytest.raises(CrashPoint) as caught:
+            injector.page_write(1, b"n" * 4096, installed.append)
+        assert installed == [b"n" * TORN_PREFIX]
+        assert caught.value.kind == "torn_" + PAGE_WRITE
+
+    def test_lost_fsync_reports_success_without_flushing(self):
+        flushed = []
+        injector = FaultInjector(plan=FaultPlan(lose_fsync_at={1}))
+        injector.log_flush(lambda: flushed.append(True))  # the lie
+        injector.log_flush(lambda: flushed.append(True))  # honest again
+        assert flushed == [True]
+        assert injector.lied_fsyncs == 1
+
+    def test_failpoints_count_per_name_and_crash_at_nth(self):
+        injector = FaultInjector(
+            plan=FaultPlan(crash_at_failpoint=("commit.log", 2))
+        )
+        injector.failpoint("commit.log")
+        injector.failpoint("abort.undo")
+        with pytest.raises(CrashPoint):
+            injector.failpoint("commit.log")
+        assert injector.failpoint_counts == {
+            "commit.log": 2, "abort.undo": 1,
+        }

@@ -1,0 +1,162 @@
+"""Property: random primitive programs, random faults, random schedules —
+the chaos oracles hold.
+
+Hypothesis generates small programs over the ASSET primitives (writes,
+GC/AD/CD dependencies, delegation, explicit aborts) and pairs each with
+a random fault plan (a crash at an arbitrary I/O step or semantic
+failpoint, optionally a kept log tail or a single lied-about fsync) and
+a seeded random schedule.  Every combination is driven through the
+instrumented stack, crashed, restarted, recovered, and judged by the
+full oracle battery.  Failing examples shrink and persist in the local
+Hypothesis example database (``.hypothesis/``), so a counterexample
+found once is retried first on every later run.
+"""
+
+import os
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chaos.explorer import ScheduleController
+from repro.chaos.faults import CrashPoint, FaultPlan
+from repro.chaos.oracles import check_idempotent, evaluate_recovery
+from repro.chaos.stack import ChaosStack
+from repro.common.errors import InvalidStateError
+from repro.core.dependency import DependencyType
+
+N_OBJECTS = 3
+N_TXNS = 4
+
+# The nightly chaos CI job widens the search (CHAOS_BUDGET=long); the
+# tier-1 run keeps it quick.
+MAX_EXAMPLES = 400 if os.environ.get("CHAOS_BUDGET") == "long" else 60
+
+# Ordered transaction pairs (i < j): dependency edges and delegations
+# always point forward, which rules out dependency cycles by construction.
+PAIRS = [(i, j) for i in range(N_TXNS) for j in range(i + 1, N_TXNS)]
+
+writes_strategy = st.lists(
+    st.tuples(st.integers(0, N_OBJECTS - 1), st.integers(0, 7)),
+    min_size=1, max_size=2,
+)
+programs_strategy = st.lists(
+    writes_strategy, min_size=N_TXNS, max_size=N_TXNS
+)
+deps_strategy = st.lists(
+    st.tuples(
+        st.sampled_from(
+            [DependencyType.GC, DependencyType.AD, DependencyType.CD]
+        ),
+        st.sampled_from(PAIRS),
+    ),
+    max_size=3,
+    unique_by=lambda dep: dep[1],  # one edge per pair
+)
+aborts_strategy = st.sets(st.integers(0, N_TXNS - 1), max_size=2)
+delegation_strategy = st.none() | st.sampled_from(PAIRS)
+
+# Fault families are mutually exclusive per example: a crash at a step
+# the run may or may not reach, a crash at a semantic failpoint, or a
+# single lied-about fsync on a run that then completes into a power cut.
+FAILPOINTS = ["commit.log", "commit.logged", "abort.undo", "abort.undone"]
+fault_strategy = st.one_of(
+    st.builds(
+        FaultPlan,
+        crash_at=st.integers(1, 60),
+        keep_tail=st.booleans(),
+    ),
+    st.builds(
+        FaultPlan,
+        crash_at_failpoint=st.tuples(
+            st.sampled_from(FAILPOINTS), st.integers(1, 3)
+        ),
+    ),
+    st.builds(
+        FaultPlan,
+        lose_fsync_at=st.sets(st.integers(1, 40), min_size=1, max_size=1),
+    ),
+)
+
+
+def drive_generated(stack, programs, deps, aborts, delegation, flush_mid):
+    """Run one generated program to completion (or its planned crash)."""
+    rt, manager = stack.runtime, stack.manager
+    oids = []
+
+    def setup(tx):
+        for index in range(N_OBJECTS):
+            oids.append((yield tx.create(b"o%d-init" % index)))
+
+    result = rt.run(setup)
+    stack.storage.sync_log()
+    stack.note_ack(result.tid)
+    stack.intent.oids = {f"o{i}": oid for i, oid in enumerate(oids)}
+
+    def writer(writes):
+        def body(tx):
+            for obj_index, value in writes:
+                yield tx.write(oids[obj_index], b"v%d" % value)
+        return body
+
+    tids = [rt.spawn(writer(writes)) for writes in programs]
+    for dep_type, (i, j) in deps:
+        stack.intend_dependency(dep_type, tids[i], tids[j])
+        manager.form_dependency(dep_type, tids[i], tids[j])
+
+    # Write-write conflicts may deadlock; the detector picks victims.
+    rt.run_until_quiescent()
+
+    if delegation is not None:
+        source, target = (tids[k] for k in delegation)
+        try:
+            moved = manager.delegate(source, target)
+            stack.intend_delegation(source, target, moved)
+        except InvalidStateError:
+            pass  # a deadlock victim terminated first; nothing to move
+
+    if flush_mid:
+        # The WAL window: uncommitted dirty pages head to disk.
+        stack.storage.pool.flush_all()
+
+    for index in sorted(aborts):
+        manager.abort(tids[index])
+
+    outcomes = rt.commit_all(tids)
+    for tid, committed in outcomes.items():
+        if committed:
+            stack.note_ack(tid)
+    stack.storage.sync_log()  # heal any single lied fsync before the cut
+
+
+class TestChaosProperty:
+    @given(
+        programs=programs_strategy,
+        deps=deps_strategy,
+        aborts=aborts_strategy,
+        delegation=delegation_strategy,
+        flush_mid=st.booleans(),
+        plan=fault_strategy,
+        schedule_seed=st.integers(0, 2**16),
+    )
+    @settings(max_examples=MAX_EXAMPLES, deadline=None)
+    def test_random_program_random_fault_random_schedule(
+        self, programs, deps, aborts, delegation, flush_mid, plan,
+        schedule_seed,
+    ):
+        stack = ChaosStack(
+            plan=plan, schedule=ScheduleController(seed=schedule_seed)
+        )
+        try:
+            drive_generated(
+                stack, programs, deps, aborts, delegation, flush_mid
+            )
+        except CrashPoint:
+            pass  # the planned death; restart below judges the remains
+
+        system = stack.restart()
+        report = evaluate_recovery(
+            system, stack.intent, stack.durable_acks,
+            label=f"property {plan.describe()} seed={schedule_seed}",
+        )
+        check_idempotent(system, report)
+        assert report.ok, report.describe()

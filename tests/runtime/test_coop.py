@@ -134,6 +134,35 @@ class TestBlockingAndRetry:
         with pytest.raises(SchedulerStalledError):
             rt.commit(ghost)
 
+    def test_stall_diagnostics_name_the_stuck_tasks(self, rt):
+        """A stall is only debuggable if the error says *who* is stuck,
+        in what status, parked on which request, blocking on whom."""
+        [oid] = make_counters(rt, 1)
+
+        holder = rt.spawn(incrementer(oid))
+        rt.run_until_quiescent()  # holder finishes its program, keeps lock
+
+        waiter = rt.spawn(incrementer(oid))  # blocks behind holder's lock
+        # Committing the waiter can never succeed: its program cannot run
+        # until the holder (whom nobody will commit) releases the lock,
+        # and there is no deadlock cycle for the detector to break.
+        with pytest.raises(SchedulerStalledError) as caught:
+            rt.commit(waiter)
+
+        error = caught.value
+        stalled = {entry.tid: entry for entry in error.stalled}
+        assert waiter in stalled
+        row = stalled[waiter]
+        assert row.status  # a live table status, not a placeholder
+        assert row.pending is not None  # the parked read/write request
+        assert holder in row.blocked_on
+        # The rendered message carries the same story: both tids and the
+        # blocks-on relation are readable without a debugger.
+        text = str(error)
+        assert repr(waiter) in text
+        assert repr(holder) in text
+        assert "blocks on" in text
+
     def test_external_abort_delivered_into_program(self, rt):
         [oid] = make_counters(rt, 1)
         observed = []
