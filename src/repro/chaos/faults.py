@@ -18,7 +18,12 @@ them as a trace, and consults its :class:`FaultPlan`:
 * ``crash_at_failpoint=(name, nth)`` — crash at the *nth* occurrence of a
   named semantic failpoint (the transaction manager's failure hooks),
   letting sweeps cut between semantic steps of commit/abort, not only
-  between I/O calls.
+  between I/O calls;
+* ``fail_flush_at={k, …}`` — step ``k`` must be a flush; it raises
+  :class:`~repro.common.errors.TransientIOError` *without* crashing the
+  process — the transient device error a retry policy is meant to
+  absorb.  The injector stays armed, and the retried flush gets a fresh
+  step number, so a single planned fault fails exactly once.
 
 Crash tail behaviour is controlled by ``keep_tail``: on a real crash the
 OS may or may not have written back volatile buffers, so the harness
@@ -38,6 +43,8 @@ does).
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+
+from repro.common.errors import TransientIOError
 
 
 class CrashPoint(BaseException):
@@ -80,6 +87,7 @@ class FaultPlan:
     crash_at: int = None
     torn_page_at: int = None
     lose_fsync_at: frozenset = frozenset()
+    fail_flush_at: frozenset = frozenset()
     crash_at_failpoint: tuple = None  # (name, nth occurrence)
     keep_tail: bool = False
     label: str = ""
@@ -88,6 +96,9 @@ class FaultPlan:
         object.__setattr__(
             self, "lose_fsync_at", frozenset(self.lose_fsync_at)
         )
+        object.__setattr__(
+            self, "fail_flush_at", frozenset(self.fail_flush_at)
+        )
 
     @property
     def is_noop(self):
@@ -95,6 +106,7 @@ class FaultPlan:
             self.crash_at is None
             and self.torn_page_at is None
             and not self.lose_fsync_at
+            and not self.fail_flush_at
             and self.crash_at_failpoint is None
         )
 
@@ -106,6 +118,8 @@ class FaultPlan:
             parts.append(f"torn_page_at={self.torn_page_at}")
         if self.lose_fsync_at:
             parts.append(f"lose_fsync_at={sorted(self.lose_fsync_at)}")
+        if self.fail_flush_at:
+            parts.append(f"fail_flush_at={sorted(self.fail_flush_at)}")
         if self.crash_at_failpoint is not None:
             parts.append(f"crash_at_failpoint={self.crash_at_failpoint}")
         if self.keep_tail:
@@ -118,6 +132,7 @@ class FaultPlan:
             "crash_at": self.crash_at,
             "torn_page_at": self.torn_page_at,
             "lose_fsync_at": sorted(self.lose_fsync_at),
+            "fail_flush_at": sorted(self.fail_flush_at),
             "crash_at_failpoint": (
                 list(self.crash_at_failpoint)
                 if self.crash_at_failpoint is not None
@@ -134,6 +149,7 @@ class FaultPlan:
             crash_at=data.get("crash_at"),
             torn_page_at=data.get("torn_page_at"),
             lose_fsync_at=frozenset(data.get("lose_fsync_at", ())),
+            fail_flush_at=frozenset(data.get("fail_flush_at", ())),
             crash_at_failpoint=tuple(failpoint) if failpoint else None,
             keep_tail=bool(data.get("keep_tail", False)),
             label=data.get("label", ""),
@@ -165,6 +181,7 @@ class FaultInjector:
     fired: IoStep = None
     armed: bool = True
     lied_fsyncs: int = 0
+    failed_flushes: int = 0
     failpoint_counts: dict = field(default_factory=dict)
 
     # -- bookkeeping -------------------------------------------------------
@@ -234,6 +251,14 @@ class FaultInjector:
             return
         step = self._next(LOG_FLUSH)
         self._check_crash(step)
+        if step.number in self.plan.fail_flush_at:
+            # Transient device error: raise, stay armed.  A retry of the
+            # flush is a *new* step number, so this fault fires once.
+            self.failed_flushes += 1
+            raise TransientIOError(
+                f"injected transient flush failure at step {step.number}",
+                op="log.flush",
+            )
         if step.number in self.plan.lose_fsync_at:
             self.lied_fsyncs += 1
             return  # report success, make nothing durable

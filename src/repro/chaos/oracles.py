@@ -239,3 +239,56 @@ def check_idempotent(system, report=None):
             f" — the first pass did not finish them with abort records",
         )
     return report
+
+
+def check_degradation(health, report=None):
+    """The degradation oracle: replay the flush-outcome trace independently.
+
+    ``health`` is a :class:`~repro.resilience.FlushHealth` that observed a
+    run.  Its ``outcomes`` list is the raw evidence — one ``("ok"|"fail",
+    detail)`` entry per flush the breaker saw.  This oracle re-derives,
+    from that trace and the configured thresholds alone, what the state
+    machine *must* have done (string literals on purpose — importing the
+    breaker's constants would let one rename bug hide in both places):
+
+    * degrade exactly when ``degrade_after`` consecutive failures land
+      while batching; re-promote exactly when ``repromote_after``
+      consecutive successes land while degraded;
+    * counters reset on every transition.
+
+    The replayed final state and transition list (``from``/``to``/``at``
+    triples) must equal what the breaker recorded.
+    """
+    if report is None:
+        report = OracleReport(label="degradation")
+    state = "batching"
+    failures = successes = 0
+    implied = []  # (from, to, at) triples
+    for position, (kind, __) in enumerate(health.outcomes, start=1):
+        if kind == "fail":
+            failures += 1
+            successes = 0
+            if state == "batching" and failures >= health.degrade_after:
+                implied.append(("batching", "degraded", position))
+                state = "degraded"
+                failures = successes = 0
+        else:
+            successes += 1
+            failures = 0
+            if state == "degraded" and successes >= health.repromote_after:
+                implied.append(("degraded", "batching", position))
+                state = "batching"
+                failures = successes = 0
+    if health.state != state:
+        report.fail(
+            "degradation",
+            f"breaker reports {health.state!r} but the outcome trace"
+            f" implies {state!r}",
+        )
+    recorded = [(t["from"], t["to"], t["at"]) for t in health.transitions]
+    if recorded != implied:
+        report.fail(
+            "degradation",
+            f"recorded transitions {recorded} != trace-implied {implied}",
+        )
+    return report

@@ -37,6 +37,8 @@ def build_plan(args):
         overrides["torn_page_at"] = args.torn_page_at
     if args.lose_fsync:
         overrides["lose_fsync_at"] = frozenset(args.lose_fsync)
+    if args.fail_flush_at:
+        overrides["fail_flush_at"] = frozenset(args.fail_flush_at)
     if args.failpoint is not None:
         name, nth = args.failpoint
         overrides["crash_at_failpoint"] = (name, int(nth))
@@ -58,6 +60,14 @@ def main(argv=None):
     parser.add_argument(
         "--lose-fsync", type=int, action="append", default=[],
         help="lie about flush step N (repeatable)",
+    )
+    parser.add_argument(
+        "--fail-flush-at", type=int, action="append", default=[],
+        help="transient-fail flush step N once (repeatable)",
+    )
+    parser.add_argument(
+        "--retry", type=int, metavar="ATTEMPTS",
+        help="attach a RetryPolicy with this total-attempt budget",
     )
     parser.add_argument(
         "--failpoint", nargs=2, metavar=("NAME", "NTH"),
@@ -105,13 +115,26 @@ def main(argv=None):
         print("oracle OK")
         return 0
 
-    outcome = run_plan(spec, plan, schedule=controller)
+    policy_factory = None
+    if args.retry is not None:
+        from repro.resilience import RetryPolicy
+
+        def policy_factory(stack, attempts=args.retry):
+            return RetryPolicy(
+                max_attempts=attempts, clock=stack.manager.clock
+            )
+
+    outcome = run_plan(
+        spec, plan, schedule=controller, policy_factory=policy_factory
+    )
     if args.trace:
         for step in outcome.stack.injector.trace:
             print(f"  {step.number:4d} {step.kind} {step.detail}")
     print(f"plan: {plan.describe()}")
     if outcome.crash is not None:
         print(f"crashed: step {outcome.crash.step} ({outcome.crash.kind})")
+    elif outcome.model_error is not None:
+        print(f"transient fault surfaced: {outcome.model_error!r}")
     else:
         print("run completed; power cut applied at end")
     print(f"recovery: {outcome.system.report!r}")

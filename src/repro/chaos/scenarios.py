@@ -41,18 +41,26 @@ class ScenarioSpec:
     description: str
     drive: object  # callable(stack)
     group_commit: object = None  # callable() -> FlushCoalescer, or None
+    # None, or a dict of repro.resilience.install_resilience overrides —
+    # the stack then carries a wired DeadlineTable/Watchdog/FlushHealth
+    # kit on ``stack.resilience``.
+    resilience: object = None
 
     def build_stack(self, plan=None, seed=None, schedule=None):
         coalescer = self.group_commit() if self.group_commit else None
         return ChaosStack(
-            plan=plan, group_commit=coalescer, seed=seed, schedule=schedule
+            plan=plan,
+            group_commit=coalescer,
+            seed=seed,
+            schedule=schedule,
+            resilience=self.resilience,
         )
 
 
 SCENARIOS = {}
 
 
-def register(name, description, group_commit=None):
+def register(name, description, group_commit=None, resilience=None):
     """Decorator: register ``drive`` under ``name``."""
 
     def wrap(drive):
@@ -61,6 +69,7 @@ def register(name, description, group_commit=None):
             description=description,
             drive=drive,
             group_commit=group_commit,
+            resilience=resilience,
         )
         return drive
 
@@ -326,6 +335,146 @@ def deadlock_cascade(stack):
         if committed:
             stack.note_ack(tid)
     return outcomes
+
+
+# ---------------------------------------------------------------------------
+# Resilience: leases, degradation, and retry under transient faults
+# ---------------------------------------------------------------------------
+
+
+@register(
+    "lease_expiry_mid_delegation",
+    "a delegator under a heartbeat lease hands an update to a delegatee"
+    " and then crashes silently (stops heartbeating); the watchdog must"
+    " reap the delegator at lease expiry and orphan-abort the delegatee"
+    " in the same scan, while an unrelated healthy transaction commits",
+    resilience={"scan_interval": 4},
+)
+def lease_expiry_mid_delegation(stack):
+    rt, manager = stack.runtime, stack.manager
+    res = stack.resilience
+    oids = {}
+
+    def setup(tx):
+        for name in ("a", "b", "c"):
+            oids[name] = yield tx.create(name.encode() + b"0")
+
+    setup_tid = rt.spawn(setup)
+    rt.wait(setup_tid)
+    stack.commit(setup_tid)
+    stack.intent.oids = dict(oids)
+    a, b, c = oids["a"], oids["b"], oids["c"]
+
+    # t1, the delegator, works under a heartbeat lease...
+    t1 = rt.spawn(_writer, (a, b"a1"))
+    res.deadlines.grant_lease(t1, duration=64)
+    rt.wait(t1)
+    # ...and hands its update to a delegatee t2.
+    t2 = rt.spawn(_writer, (b, b"b1"))
+    rt.wait(t2)
+    stack.intend_delegation(t1, t2, (a,))
+    manager.delegate(t1, t2, oids={a})
+
+    # t1 now dies silently: no heartbeat, no commit, no abort.  The
+    # watchdog's deterministic time travel jumps the logical clock to
+    # the lease expiry, reaps t1, and — because the DELEGATE event made
+    # t1 the guardian of t2 — orphan-aborts the delegatee in the same
+    # scan (t2 holds no lease of its own).
+    res.watchdog.on_stall()
+
+    # An unrelated, healthy transaction is untouched and commits.
+    t3 = rt.spawn(_writer, (c, b"c1"))
+    stack.commit(t3)
+
+    stack.intent.expected_clean = {
+        a.value: b"a0",  # delegated to t2, undone by the orphan abort
+        b.value: b"b0",  # undone by the orphan abort
+        c.value: b"c1",
+    }
+
+
+COALESCER_DEGRADE_COMMITS = 8
+
+
+@register(
+    "coalescer_degrade",
+    f"{COALESCER_DEGRADE_COMMITS} sequential commits through a"
+    " FlushCoalescer(max_commits=2) wearing a FlushHealth breaker"
+    " (degrade_after=2, repromote_after=2): planned lying fsyncs are"
+    " detected by the durable-count audit, trip the breaker into"
+    " synchronous per-commit flushing, and a healthy window re-promotes",
+    group_commit=lambda: FlushCoalescer(max_commits=2),
+    resilience={"degrade_after": 2, "repromote_after": 2},
+)
+def coalescer_degrade(stack):
+    rt = stack.runtime
+    oids = []
+
+    def setup(tx):
+        for __ in range(COALESCER_DEGRADE_COMMITS):
+            oids.append((yield tx.create(b"v0")))
+
+    setup_tid = rt.spawn(setup)
+    rt.wait(setup_tid)
+    stack.commit(setup_tid)
+    stack.storage.sync_log()  # drain the batch: setup is durable
+    stack.intent.oids = {f"v{i}": oid for i, oid in enumerate(oids)}
+
+    for index, oid in enumerate(oids):
+        value = b"v%d" % (index + 1)
+        tid = rt.spawn(_writer, (oid, value))
+        stack.commit(tid)
+
+    stack.storage.sync_log()  # end-of-burst drain
+    stack.intent.expected_clean = {
+        oid.value: b"v%d" % (index + 1) for index, oid in enumerate(oids)
+    }
+
+
+@register(
+    "retry_saga",
+    "a two-component saga (with a compensation) whose every commit runs"
+    " under the stack's retry policy: a transient log-flush fault is"
+    " absorbed by one retry, while a zero-budget policy surfaces"
+    " RetryExhausted — the retry-until-budget-exhausted workload",
+)
+def retry_saga(stack):
+    from repro.models.saga import Saga, run_saga
+
+    rt = stack.runtime
+    oids = {}
+
+    def setup(tx):
+        oids["a"] = yield tx.create(b"a0")
+        oids["b"] = yield tx.create(b"b0")
+
+    setup_tid = rt.spawn(setup)
+    rt.wait(setup_tid)
+    stack.commit(setup_tid)
+    stack.intent.oids = dict(oids)
+    a, b = oids["a"], oids["b"]
+
+    saga = Saga(retry=stack.retry_policy)
+    saga.step(
+        _writer, args=(a, b"a1"),
+        compensation=_writer, compensation_args=(a, b"a0"),
+        name="ta",
+    )
+    saga.step(_writer, args=(b, b"b1"), name="tb")
+    outcome = run_saga(rt, saga)
+
+    # Acks for every commit the saga drove (components, then any
+    # compensations).  Noted after the fact — sound, because transient
+    # faults never crash the process mid-saga.
+    for tid in outcome.step_tids[: outcome.completed_steps]:
+        stack.note_ack(tid)
+    for ct in outcome.compensation_tids:
+        stack.note_ack(ct)
+
+    if outcome.committed:
+        stack.intent.expected_clean = {a.value: b"a1", b.value: b"b1"}
+    else:
+        stack.intent.expected_clean = {a.value: b"a0", b.value: b"b0"}
 
 
 def live_violations(stack):

@@ -79,7 +79,8 @@ class Intent:
 class ChaosStack:
     """A full ASSET stack wired to one fault injector."""
 
-    def __init__(self, plan=None, group_commit=None, seed=None, schedule=None):
+    def __init__(self, plan=None, group_commit=None, seed=None, schedule=None,
+                 resilience=None):
         self.plan = plan if plan is not None else FaultPlan()
         self.injector = FaultInjector(plan=self.plan)
         self.device = MemoryLogDevice(injector=self.injector)
@@ -95,6 +96,20 @@ class ChaosStack:
             self.manager, seed=seed, schedule=schedule
         )
         self.recorder = HistoryRecorder(self.manager)
+        # Resilience layer (repro.resilience): ``resilience`` is None
+        # (off) or a dict of install_resilience keyword overrides.  The
+        # kit's watchdog/deadline handles hang off ``self.resilience``;
+        # sweeps inject a RetryPolicy via ``self.retry_policy`` and
+        # scenario drivers commit through :meth:`commit` which honours it.
+        self.resilience = None
+        if resilience is not None:
+            from repro.resilience import install_resilience
+
+            kwargs = dict(resilience) if isinstance(resilience, dict) else {}
+            self.resilience = install_resilience(
+                self.manager, self.runtime, **kwargs
+            )
+        self.retry_policy = None
         self.intent = Intent()
         self.acks = []  # every commit the system acknowledged
         self.durable_acks = []  # the subset genuinely on stable storage
@@ -139,8 +154,20 @@ class ChaosStack:
         return False
 
     def commit(self, tid, *group):
-        """Drive a commit through the runtime and record the ack."""
-        ok = self.runtime.commit(tid)
+        """Drive a commit through the runtime and record the ack.
+
+        When a :attr:`retry_policy` is attached (transient-fault sweeps),
+        the commit runs under it: injected ``TransientIOError`` flushes
+        are retried within the budget; an exhausted budget raises
+        :class:`~repro.common.errors.RetryExhausted`.  The ack is only
+        noted once the commit actually succeeded.
+        """
+        if self.retry_policy is None:
+            ok = self.runtime.commit(tid)
+        else:
+            ok = self.retry_policy.run(
+                lambda: self.runtime.commit(tid), op="commit", tid=tid
+            )
         if ok:
             self.note_ack(tid, *group)
         return ok

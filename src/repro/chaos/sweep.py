@@ -35,6 +35,7 @@ from repro.chaos.faults import (
 )
 from repro.chaos.oracles import check_idempotent, evaluate_recovery
 from repro.chaos.stack import read_state
+from repro.common.errors import RetryExhausted, TransientIOError
 
 
 class ScenarioBrokenError(AssertionError):
@@ -50,6 +51,12 @@ class RunOutcome:
     oracle: object  # OracleReport
     system: object  # RestartedSystem
     stack: object  # the (dead) pre-crash ChaosStack
+    # A transient fault the model surfaced instead of absorbing: the
+    # TransientIOError (no retry policy attached) or RetryExhausted
+    # (budget spent) that escaped the scenario driver.  The run still
+    # gets its power cut, restart, and oracle judgement — an error
+    # surfaced to the client must never leave the durable state wrong.
+    model_error: object = None
 
     @property
     def ok(self):
@@ -155,14 +162,28 @@ def probe(spec):
     return stack
 
 
-def run_plan(spec, plan, schedule=None):
-    """One faulted run: drive, crash (maybe), restart, recover, judge."""
+def run_plan(spec, plan, schedule=None, policy_factory=None):
+    """One faulted run: drive, crash (maybe), restart, recover, judge.
+
+    ``policy_factory`` (transient-fault sweeps) is called with the fresh
+    stack and returns the :class:`~repro.resilience.RetryPolicy` to attach
+    as ``stack.retry_policy`` before driving.  A transient fault the
+    driver could not absorb — :class:`TransientIOError` with no policy,
+    :class:`RetryExhausted` with a spent budget — is captured as the
+    outcome's ``model_error`` rather than propagated: the client saw an
+    error, and the run is still judged for durable-state correctness.
+    """
     stack = spec.build_stack(plan=plan, schedule=schedule)
+    if policy_factory is not None:
+        stack.retry_policy = policy_factory(stack)
     crash = None
+    model_error = None
     try:
         spec.drive(stack)
     except CrashPoint as fired:
         crash = fired
+    except (TransientIOError, RetryExhausted) as surfaced:
+        model_error = surfaced
     # Runs that complete (lost-fsync plans) get a power cut here: the
     # injected lie only matters once the unflushed tail is actually lost.
     system = stack.restart()
@@ -174,7 +195,8 @@ def run_plan(spec, plan, schedule=None):
     )
     check_idempotent(system, oracle)
     return RunOutcome(
-        plan=plan, crash=crash, oracle=oracle, system=system, stack=stack
+        plan=plan, crash=crash, oracle=oracle, system=system, stack=stack,
+        model_error=model_error,
     )
 
 
@@ -254,4 +276,87 @@ def crash_sweep(
                 if stop_at_first and result.failures:
                     return result
 
+    return result
+
+
+@dataclass
+class TransientSweepResult:
+    """One transient-fault sweep: which flush steps the retries absorbed."""
+
+    scenario: str
+    flush_steps: tuple = ()  # the LOG_FLUSH step universe from the probe
+    runs: int = 0
+    covered: set = field(default_factory=set)
+    absorbed_steps: set = field(default_factory=set)  # retried to success
+    exhausted_steps: set = field(default_factory=set)  # surfaced to client
+    failures: list = field(default_factory=list)  # oracle FailureArtifacts
+
+    @property
+    def ok(self):
+        return not self.failures
+
+    @property
+    def coverage_complete(self):
+        return self.covered == set(self.flush_steps)
+
+    @property
+    def all_absorbed(self):
+        """Did the retry budget absorb every injected transient fault?"""
+        return self.coverage_complete and not self.exhausted_steps
+
+    def describe(self):
+        lines = [
+            f"transient sweep of {self.scenario}: {self.runs} runs,"
+            f" {len(self.covered)}/{len(self.flush_steps)} flush steps,"
+            f" {len(self.absorbed_steps)} absorbed,"
+            f" {len(self.exhausted_steps)} exhausted,"
+            f" {len(self.failures)} failures",
+        ]
+        for artifact in self.failures:
+            lines.append(f"  plan: {artifact.plan}")
+            lines += [f"    - {v}" for v in artifact.violations]
+            lines.append(f"    replay: {artifact.replay}")
+        return "\n".join(lines)
+
+
+def transient_fault_sweep(spec, policy_factory=None, stop_at_first=False):
+    """Inject one transient flush failure per LOG_FLUSH step of ``spec``.
+
+    The probe enumerates the scenario's flush steps; each sweep run plans
+    ``fail_flush_at={step}`` — the flush raises
+    :class:`~repro.common.errors.TransientIOError` exactly once — and
+    attaches ``policy_factory(stack)`` as the stack's retry policy.
+
+    * With a live retry budget every fault is *absorbed*: one retried
+      flush succeeds, the driver completes, and the oracles must pass.
+    * With ``policy_factory=None`` or a zero-budget policy the fault
+      *surfaces* (``TransientIOError`` / ``RetryExhausted`` recorded in
+      ``exhausted_steps``) — and the run is still judged: an error
+      returned to the client never excuses a wrong durable state.
+    """
+    probe_stack = probe(spec)
+    flush_steps = tuple(probe_stack.injector.steps_of_kind(LOG_FLUSH))
+    result = TransientSweepResult(scenario=spec.name, flush_steps=flush_steps)
+    for step in flush_steps:
+        plan = FaultPlan(
+            fail_flush_at=frozenset([step]), label=f"transient-flush@{step}"
+        )
+        outcome = run_plan(spec, plan, policy_factory=policy_factory)
+        result.runs += 1
+        result.covered.add(step)
+        if outcome.model_error is not None:
+            result.exhausted_steps.add(step)
+        else:
+            result.absorbed_steps.add(step)
+        if not outcome.ok:
+            result.failures.append(
+                FailureArtifact(
+                    scenario=spec.name,
+                    plan=plan.to_dict(),
+                    violations=list(outcome.oracle.violations),
+                    replay=replay_command(spec.name, plan),
+                )
+            )
+            if stop_at_first:
+                return result
     return result

@@ -1,14 +1,34 @@
 """Exception hierarchy for the ASSET reproduction.
 
 Every exception raised by the library derives from :class:`AssetError`, so
-applications can catch one type at the boundary.  Storage-level failures
-derive from :class:`StorageError`; transaction-facility failures derive
-directly from :class:`AssetError`.
+applications can catch one type at the boundary.  The base class carries
+optional ``tid`` / ``op`` context — *which* transaction and *which*
+primitive were involved — so errors crossing the resilience layer (retry
+policies, watchdog aborts, admission control) stay attributable without
+string parsing.
+
+Storage-level failures derive from :class:`StorageError`; the resilience
+error classes (:class:`DeadlineExceeded`, :class:`LeaseExpired`,
+:class:`Backpressure`, :class:`RetryExhausted`,
+:class:`SchedulerStalledError`) slot in next to the transaction-facility
+errors.  :class:`TransientIOError` is the one storage failure retry
+policies treat as absorbable by default.
 """
 
 
 class AssetError(Exception):
-    """Base class for all errors raised by the repro library."""
+    """Base class for all errors raised by the repro library.
+
+    ``tid`` names the transaction the failure concerns (``None`` when the
+    failure is not transaction-scoped); ``op`` names the primitive or
+    subsystem operation in flight (``"commit"``, ``"initiate"``,
+    ``"log.flush"``, …).
+    """
+
+    def __init__(self, message="", tid=None, op=None):
+        super().__init__(message)
+        self.tid = tid
+        self.op = op
 
 
 class InvalidStateError(AssetError):
@@ -23,8 +43,7 @@ class UnknownTransactionError(AssetError):
     """A transaction identifier does not name a registered transaction."""
 
     def __init__(self, tid):
-        super().__init__(f"unknown transaction: {tid!r}")
-        self.tid = tid
+        super().__init__(f"unknown transaction: {tid!r}", tid=tid)
 
 
 class UnknownObjectError(AssetError):
@@ -56,8 +75,7 @@ class TransactionAborted(AssetError):
         detail = f"transaction {tid!r} aborted"
         if reason:
             detail = f"{detail}: {reason}"
-        super().__init__(detail)
-        self.tid = tid
+        super().__init__(detail, tid=tid, op="abort")
         self.reason = reason
 
 
@@ -70,12 +88,150 @@ class DependencyCycleError(AssetError):
 
     def __init__(self, cycle):
         path = " -> ".join(repr(t) for t in cycle)
-        super().__init__(f"dependency cycle: {path}")
+        super().__init__(f"dependency cycle: {path}", op="form_dependency")
         self.cycle = list(cycle)
+
+
+# ---------------------------------------------------------------------------
+# resilience errors (deadlines, leases, admission, retry)
+# ---------------------------------------------------------------------------
+
+
+class DeadlineExceeded(AssetError):
+    """A transaction ran past its registered deadline.
+
+    Raised by the resilience layer's bookkeeping; the watchdog uses it as
+    the abort reason when it reaps the transaction.
+    """
+
+    def __init__(self, tid, deadline, now, op=None):
+        super().__init__(
+            f"transaction {tid!r} exceeded its deadline"
+            f" (deadline tick {deadline}, now {now})",
+            tid=tid,
+            op=op or "deadline",
+        )
+        self.deadline = deadline
+        self.now = now
+
+
+class LeaseExpired(AssetError):
+    """A transaction's heartbeat lease lapsed.
+
+    The holder stopped renewing within its lease duration — the signature
+    of a crashed or wedged participant.  The watchdog aborts the holder
+    and any wards (e.g. delegatees) the holder was guarding.
+    """
+
+    def __init__(self, tid, last_beat, duration, now, op=None):
+        super().__init__(
+            f"lease of {tid!r} expired: last heartbeat at tick {last_beat},"
+            f" duration {duration}, now {now}",
+            tid=tid,
+            op=op or "lease",
+        )
+        self.last_beat = last_beat
+        self.duration = duration
+        self.now = now
+
+
+class Backpressure(AssetError):
+    """Admission control shed the request; retry later, with backoff.
+
+    The typed counterpart of ``initiate`` returning the null tid: carries
+    which gate tripped (``"active"`` or ``"deadline_pressure"``) and the
+    measured load so clients can make an informed backoff decision.
+    """
+
+    def __init__(self, gate, load, limit, op="initiate"):
+        super().__init__(
+            f"admission control shed the request: {gate} gate at"
+            f" {load} (limit {limit})",
+            op=op,
+        )
+        self.gate = gate
+        self.load = load
+        self.limit = limit
+
+
+class RetryExhausted(AssetError):
+    """A retry policy ran out of attempt budget.
+
+    ``attempts`` counts what was tried; ``last_error`` is the final
+    failure (``None`` when the retried operation signalled failure by
+    return value rather than by raising).
+    """
+
+    def __init__(self, op, attempts, last_error=None, tid=None):
+        detail = f"{op}: retry budget exhausted after {attempts} attempt(s)"
+        if last_error is not None:
+            detail = f"{detail}; last error: {last_error!r}"
+        super().__init__(detail, tid=tid, op=op)
+        self.attempts = attempts
+        self.last_error = last_error
+
+
+class SchedulerStalledError(AssetError):
+    """No task can make progress and no deadlock cycle explains it.
+
+    Carries a diagnostic payload: ``stalled`` is a list of rows (each with
+    a ``describe()`` method, see
+    :class:`~repro.runtime.coop.StalledTask`) naming each stuck
+    transaction, its status, the request it is parked on, and what it
+    blocks on — the information an operator (or a chaos-harness trace)
+    needs to see *why* the schedule wedged, without re-running under a
+    debugger.
+    """
+
+    def __init__(self, why, stalled=()):
+        self.why = why
+        self.stalled = list(stalled)
+        lines = [f"stalled while driving {why}"]
+        for entry in self.stalled:
+            lines.append("  " + entry.describe())
+        super().__init__("\n".join(lines), op="schedule")
+
+    def stalled_tids(self):
+        """The tids of every stuck task, in report order."""
+        return [entry.tid for entry in self.stalled]
+
+
+# ---------------------------------------------------------------------------
+# storage errors
+# ---------------------------------------------------------------------------
 
 
 class StorageError(AssetError):
     """Base class for storage-manager failures."""
+
+
+class TransientIOError(StorageError):
+    """A device operation failed in a way worth retrying.
+
+    The deterministic chaos injector raises this for planned transient
+    log-device faults; real deployments would map EIO-with-retry-hint
+    style failures here.  Retry policies absorb this class by default.
+    """
+
+    def __init__(self, message, op=None):
+        super().__init__(message, op=op or "io")
+
+
+class QuarantinedObjectError(StorageError):
+    """An access touched a quarantined (damaged/poisoned) object.
+
+    Torn pages are quarantined structurally at rebuild; the read path
+    escalates by poisoning any transaction that touches a quarantined
+    object — it must abort rather than propagate garbage.
+    """
+
+    def __init__(self, oid, tid=None, op=None):
+        super().__init__(
+            f"object {oid!r} is quarantined (damaged page)",
+            tid=tid,
+            op=op or "read",
+        )
+        self.oid = oid
 
 
 class LatchError(StorageError):

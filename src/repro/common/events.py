@@ -77,34 +77,72 @@ class EventBus:
 
     Subscribers are callables taking one :class:`Event`.  Subscription order
     is delivery order.  Thread-safe for the threaded runtime.
+
+    A subscriber may restrict itself to a set of kinds; an emit whose kind
+    nobody listens to skips Event construction (and the clock tick)
+    entirely, so a narrow subscriber — the resilience DeadlineTable wants
+    three kinds out of twenty — does not put the whole event machinery on
+    the manager's hot path.
     """
 
     def __init__(self, clock=None):
-        self._subscribers = []
+        self._subscribers = []  # (callback, frozenset of kinds | None)
+        self._watched = frozenset()  # kinds with at least one subscriber
+        self._dispatch = {}  # kind -> tuple of callbacks (lazy cache)
         self._clock = clock
         self._lock = threading.Lock()
 
-    def subscribe(self, callback):
-        """Register ``callback`` to receive every subsequent event."""
+    def subscribe(self, callback, kinds=None):
+        """Register ``callback`` for every subsequent event (or only the
+        event kinds in ``kinds``, when given)."""
         with self._lock:
-            self._subscribers.append(callback)
+            self._subscribers.append(
+                (callback, frozenset(kinds) if kinds is not None else None)
+            )
+            self._rewire()
         return callback
 
     def unsubscribe(self, callback):
         """Stop delivering events to ``callback`` (no-op if unknown)."""
         with self._lock:
-            if callback in self._subscribers:
-                self._subscribers.remove(callback)
+            self._subscribers = [
+                entry for entry in self._subscribers if entry[0] != callback
+            ]
+            self._rewire()
+
+    def _rewire(self):
+        """Recompute the emit fast path (caller holds the lock)."""
+        self._dispatch = {}
+        watched = set()
+        for __, kinds in self._subscribers:
+            watched |= set(EventKind) if kinds is None else kinds
+        self._watched = frozenset(watched)
+
+    def _targets_for(self, kind):
+        with self._lock:
+            targets = tuple(
+                callback
+                for callback, kinds in self._subscribers
+                if kinds is None or kind in kinds
+            )
+            self._dispatch[kind] = targets
+        return targets
 
     def emit(self, kind, tid, **detail):
-        """Build an :class:`Event` and deliver it to all subscribers."""
-        if not self._subscribers:
+        """Build an :class:`Event` and deliver it to its subscribers.
+
+        The fast path is one set-membership test: a kind nobody watches
+        costs the same whether the bus has narrow subscribers or none at
+        all, keeping narrow listeners off the manager's hot path.
+        """
+        if kind not in self._watched:
             return None
+        targets = self._dispatch.get(kind)
+        if targets is None:
+            targets = self._targets_for(kind)
         tick = self._clock.tick() if self._clock is not None else 0
         event = Event(kind=kind, tid=tid, tick=tick, detail=detail)
-        with self._lock:
-            subscribers = list(self._subscribers)
-        for callback in subscribers:
+        for callback in targets:
             callback(event)
         return event
 

@@ -32,6 +32,23 @@ class WaitsForGraph:
             return
         self.edges.setdefault(waiter, set()).add(holder)
 
+    def remove_node(self, tid):
+        """Drop ``tid`` and every edge touching it.
+
+        Used by the resilience watchdog to prune an abort closure from
+        the graph in the same step as the abort: a transaction reaped
+        while parked in the commit-wait scan must not linger as a
+        phantom waiter (or phantom blocker) for cycle detection.
+        """
+        self.edges.pop(tid, None)
+        for holders in self.edges.values():
+            holders.discard(tid)
+
+    def __contains__(self, tid):
+        if tid in self.edges:
+            return True
+        return any(tid in holders for holders in self.edges.values())
+
     def cycles(self):
         """All elementary cycles found by DFS (deduplicated by node set)."""
         found = []
@@ -71,8 +88,12 @@ class DeadlockDetector:
     def build_graph(self):
         """Assemble the current waits-for graph."""
         graph = WaitsForGraph()
+        table = self.manager.table
         locks = self.manager.lock_manager
         for pending in locks.pending_requests():
+            td = table.maybe_get(pending.tid)
+            if td is not None and td.status.is_abort_bound:
+                continue  # abort-bound: its waits are moot, not deadlock fuel
             for blocker in locks.blockers_of(pending):
                 graph.add(pending.tid, blocker)
         for tid in self.manager.committing_transactions():

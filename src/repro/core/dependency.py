@@ -169,6 +169,34 @@ class DependencyGraph:
                     stack.append(other)
         return group
 
+    def abort_closure_preview(self, tid):
+        """The tids a hypothetical abort of ``tid`` would take down.
+
+        Pure graph traversal mirroring the manager's abort-cascade rules
+        — GC is symmetric, AD/BCD cascade dependee→dependent — with no
+        status filtering (terminated members are the manager's concern).
+        The watchdog uses this for containment accounting *before*
+        performing the abort, while the edges still exist.
+        """
+        closure = {tid}
+        stack = [tid]
+        while stack:
+            current = stack.pop()
+            for edge in self.edges_involving(current):
+                if edge.dep_type is DependencyType.GC:
+                    nxt = edge.other(current)
+                elif (
+                    edge.dep_type in (DependencyType.AD, DependencyType.BCD)
+                    and edge.dependee == current
+                ):
+                    nxt = edge.dependent
+                else:
+                    continue
+                if nxt not in closure:
+                    closure.add(nxt)
+                    stack.append(nxt)
+        return closure
+
     def gc_edges_within(self, group):
         """The GC edges among a group's members."""
         edges = []

@@ -20,7 +20,11 @@ from __future__ import annotations
 import threading
 
 from repro.common.clock import LogicalClock
-from repro.common.errors import InvalidStateError, TransactionAborted
+from repro.common.errors import (
+    InvalidStateError,
+    QuarantinedObjectError,
+    TransactionAborted,
+)
 from repro.common.events import EventBus, EventKind
 from repro.common.ids import NULL_TID, IdGenerator, Tid
 from repro.core.dependency import DependencyGraph, DependencyType
@@ -49,6 +53,7 @@ class TransactionManager:
         clock=None,
         group_commit=None,
         failpoint=None,
+        admission=None,
     ):
         if storage is None:
             # ``group_commit`` batches commit-record flushes: the GC
@@ -65,6 +70,9 @@ class TransactionManager:
         self.events = events if events is not None else EventBus(self.clock)
         self.conflicts = conflicts if conflicts is not None else ConflictTable()
         self.max_transactions = max_transactions
+        # Admission controller (repro.resilience): consulted before any
+        # other ``initiate`` work; sheds with a typed Backpressure error.
+        self.admission = admission
 
         self.table = TransactionTable()
         self.registry = ObjectRegistry()
@@ -103,6 +111,8 @@ class TransactionManager:
         exceeded, as section 4.2 specifies.
         """
         with self._mutex:
+            if self.admission is not None:
+                self.admission.admit(self)
             if self.max_transactions is not None:
                 live = sum(
                     1 for td in self.table if not td.status.is_terminated
@@ -268,7 +278,11 @@ class TransactionManager:
                 outcome = self.lock_manager.acquire(td, oid, READ)
                 if not outcome:
                     return outcome, None
-            value = self.storage.read_object(tid, oid)
+            try:
+                value = self.storage.read_object(tid, oid)
+            except QuarantinedObjectError:
+                self._abort_poisoned(tid, oid)
+                raise
             self.events.emit(EventKind.READ, tid, oid=oid)
             return LockOutcome(granted=True), value
 
@@ -280,9 +294,18 @@ class TransactionManager:
                 outcome = self.lock_manager.acquire(td, oid, WRITE)
                 if not outcome:
                     return outcome
-            self.storage.write_object(tid, oid, value)
+            try:
+                self.storage.write_object(tid, oid, value)
+            except QuarantinedObjectError:
+                self._abort_poisoned(tid, oid)
+                raise
             self.events.emit(EventKind.WRITE, tid, oid=oid)
             return LockOutcome(granted=True)
+
+    def _abort_poisoned(self, tid, oid):
+        """Quarantine escalation: a transaction that touched a quarantined
+        object must abort rather than propagate garbage."""
+        self.abort(tid, reason=f"poisoned by quarantined object {oid!r}")
 
     def try_operation(self, tid, oid, operation, transform):
         """Invoke a semantic operation on ``oid`` (section 5 direction).
@@ -298,7 +321,11 @@ class TransactionManager:
                 outcome = self.lock_manager.acquire(td, oid, operation)
                 if not outcome:
                     return outcome, None
-            value = self.storage.read_object(tid, oid)
+            try:
+                value = self.storage.read_object(tid, oid)
+            except QuarantinedObjectError:
+                self._abort_poisoned(tid, oid)
+                raise
             new_value, result = transform(value)
             if new_value is not None:
                 self.storage.write_object(tid, oid, new_value)

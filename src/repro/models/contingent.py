@@ -9,11 +9,20 @@ commits.  The paper's translation tries each in turn::
 
 :func:`run_contingent` reproduces the scheme and reports which
 alternative (if any) committed.
+
+With a :class:`~repro.resilience.RetryPolicy` attached, a *transient*
+commit failure (an injected device fault) is retried on the **same**
+alternative first — alternative selection is for semantic failure, not
+for an fsync hiccup.  Only when the retry budget is exhausted does the
+scheme move to the next alternative, recording the give-up in
+``exhausted``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+
+from repro.common.errors import RetryExhausted
 
 
 @dataclass
@@ -25,15 +34,17 @@ class ContingentResult:
     tid: object = None
     value: object = None
     attempts: tuple = ()  # tids tried, in order
+    exhausted: tuple = ()  # tids abandoned after retry-budget exhaustion
 
     def __bool__(self):
         return self.committed
 
 
-def run_contingent(runtime, alternatives):
+def run_contingent(runtime, alternatives, retry=None):
     """Try ``alternatives`` (callables or ``(callable, args)`` pairs) in
     order until one commits.  At most one commits."""
     attempts = []
+    exhausted = []
     for index, alternative in enumerate(alternatives):
         function, args = (
             alternative if isinstance(alternative, tuple) else (alternative, ())
@@ -44,12 +55,27 @@ def run_contingent(runtime, alternatives):
         attempts.append(tid)
         if not runtime.begin(tid):
             continue
-        if runtime.commit(tid):
+        if retry is None:
+            ok = runtime.commit(tid)
+        else:
+            try:
+                ok = retry.run(
+                    lambda: runtime.commit(tid),
+                    op=f"contingent.alt{index}",
+                    tid=tid,
+                )
+            except RetryExhausted:
+                exhausted.append(tid)
+                continue
+        if ok:
             return ContingentResult(
                 committed=True,
                 chosen_index=index,
                 tid=tid,
                 value=runtime.result_of(tid),
                 attempts=tuple(attempts),
+                exhausted=tuple(exhausted),
             )
-    return ContingentResult(committed=False, attempts=tuple(attempts))
+    return ContingentResult(
+        committed=False, attempts=tuple(attempts), exhausted=tuple(exhausted)
+    )

@@ -76,7 +76,7 @@ class Saga:
     """
 
     def __init__(self, steps=(), max_compensation_retries=100,
-                 recovery="backward", max_forward_retries=10):
+                 recovery="backward", max_forward_retries=10, retry=None):
         if recovery not in ("backward", "forward"):
             raise AssetError(
                 f"unknown recovery discipline: {recovery!r}"
@@ -85,6 +85,13 @@ class Saga:
         self.max_compensation_retries = max_compensation_retries
         self.recovery = recovery
         self.max_forward_retries = max_forward_retries
+        # A repro.resilience.RetryPolicy absorbing *transient* commit
+        # failures (injected device faults) at every component and
+        # compensation commit.  Orthogonal to the saga-level disciplines
+        # above, which handle *semantic* failure (a component that
+        # aborts); ``None`` keeps the classic behavior where a transient
+        # error propagates.  An exhausted budget raises RetryExhausted.
+        self.retry = retry
 
     def step(self, body, compensation=None, args=(), compensation_args=(),
              name=""):
@@ -112,6 +119,18 @@ class Saga:
     def run(self, runtime):
         """Execute the saga on ``runtime``; see :func:`run_saga`."""
         return run_saga(runtime, self)
+
+
+def _commit_under_policy(runtime, tid, policy, op):
+    """Commit ``tid``, retrying transient failures under ``policy``.
+
+    With no policy this is exactly ``runtime.commit(tid)``; with one,
+    transient device faults are absorbed up to the attempt budget and
+    :class:`~repro.common.errors.RetryExhausted` propagates beyond it.
+    """
+    if policy is None:
+        return runtime.commit(tid)
+    return policy.run(lambda: runtime.commit(tid), op=op, tid=tid)
 
 
 def run_saga(runtime, saga):
@@ -143,7 +162,9 @@ def run_saga(runtime, saga):
             result.step_tids.append(tid)
             if not tid or not runtime.begin(tid):
                 continue
-            if runtime.commit(tid):
+            if _commit_under_policy(
+                runtime, tid, saga.retry, f"saga.{step.label(index)}"
+            ):
                 step_committed = True
             elif attempts_left > 0:
                 result.execution_order.append(
@@ -178,7 +199,9 @@ def run_saga(runtime, saga):
             if not ct:
                 continue
             runtime.begin(ct)
-            if runtime.commit(ct):
+            if _commit_under_policy(
+                runtime, ct, saga.retry, f"saga.c{step.label(index)}"
+            ):
                 result.compensation_tids.append(ct)
                 break
         result.compensated_steps += 1

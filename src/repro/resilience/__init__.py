@@ -1,0 +1,129 @@
+"""``repro.resilience`` — deadlines, watchdog aborts, retry, degradation.
+
+The production-facing robustness layer over the ASSET primitives.  The
+pieces compose but do not require each other:
+
+* :class:`DeadlineTable` + :class:`Watchdog` — bound every transaction
+  (deadlines), detect crashed participants (heartbeat leases), reap
+  orphaned delegatees, all on the deterministic logical clock;
+* :class:`RetryPolicy` — bounded, deterministically-jittered retries
+  for transient failures, wired into sagas, contingent transactions,
+  and the workflow engine;
+* :class:`FlushHealth` — the FlushCoalescer's degrade/re-promote
+  circuit breaker; :class:`QuarantineRegistry` — read-path poisoning
+  of objects on quarantined pages;
+* :class:`AdmissionController` — typed backpressure at ``initiate``.
+
+:func:`install_resilience` wires a standard kit onto an existing
+manager/runtime pair and returns the handles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.resilience.admission import AdmissionController
+from repro.resilience.deadlines import DeadlineTable, Lease
+from repro.resilience.degrade import (
+    BATCHING,
+    DEGRADED,
+    FlushHealth,
+    QuarantineRegistry,
+)
+from repro.resilience.retry import RetryPolicy
+from repro.resilience.watchdog import ReapRecord, Watchdog
+
+__all__ = [
+    "AdmissionController",
+    "BATCHING",
+    "DEGRADED",
+    "DeadlineTable",
+    "FlushHealth",
+    "Lease",
+    "QuarantineRegistry",
+    "ReapRecord",
+    "ResilienceKit",
+    "RetryPolicy",
+    "Watchdog",
+    "install_resilience",
+]
+
+
+@dataclass
+class ResilienceKit:
+    """Handles to one installed resilience stack."""
+
+    deadlines: DeadlineTable
+    watchdog: Watchdog
+    health: FlushHealth = None
+    quarantine: QuarantineRegistry = None
+    admission: AdmissionController = None
+
+
+def install_resilience(
+    manager,
+    runtime=None,
+    *,
+    scan_interval=16,
+    subscribe_events=True,
+    degrade_after=3,
+    repromote_after=8,
+    max_active=None,
+    deadline_pressure_limit=None,
+    pressure_window=32,
+):
+    """Wire the standard resilience kit onto ``manager`` (and ``runtime``).
+
+    * a :class:`DeadlineTable` on the manager's clock (subscribed to the
+      event bus for delegation guardianship unless ``subscribe_events``
+      is False — subscribing makes every event tick the clock, which
+      hot-path benchmarks may prefer to avoid);
+    * a :class:`Watchdog` using the runtime's deadlock detector when one
+      is available, attached to the runtime's round/stall hooks;
+    * a :class:`FlushHealth` breaker on the log's FlushCoalescer, when
+      the storage stack has one;
+    * a :class:`QuarantineRegistry` on the storage manager;
+    * an :class:`AdmissionController` on the manager when either gate
+      limit is given.
+    """
+    deadlines = DeadlineTable(
+        manager.clock, events=manager.events if subscribe_events else None
+    )
+    detector = getattr(runtime, "_detector", None)
+    watchdog = Watchdog(
+        manager, deadlines, detector=detector, scan_interval=scan_interval
+    )
+    if runtime is not None:
+        runtime.watchdog = watchdog
+
+    health = None
+    quarantine = None
+    storage = manager.storage
+    if storage is not None:
+        coalescer = getattr(storage.log, "group_commit", None)
+        if coalescer is not None:
+            health = FlushHealth(
+                degrade_after=degrade_after, repromote_after=repromote_after
+            )
+            coalescer.health = health
+        quarantine = QuarantineRegistry()
+        storage.quarantine = quarantine
+
+    admission = None
+    if max_active is not None or deadline_pressure_limit is not None:
+        admission = AdmissionController(
+            max_active=max_active,
+            deadline_pressure_limit=deadline_pressure_limit,
+            pressure_window=pressure_window,
+            deadlines=deadlines,
+            clock=manager.clock,
+        )
+        manager.admission = admission
+
+    return ResilienceKit(
+        deadlines=deadlines,
+        watchdog=watchdog,
+        health=health,
+        quarantine=quarantine,
+        admission=admission,
+    )

@@ -1,0 +1,111 @@
+"""Deterministic retry policies: bounded attempts, backoff, jitter, filters.
+
+A :class:`RetryPolicy` wraps an operation that may fail transiently —
+a commit whose log flush hit an injected device fault, a saga
+compensation racing a recovering store — and re-runs it under a strict
+budget.  Everything is deterministic:
+
+* backoff delays are *logical*: when a clock is attached the policy
+  advances the shared :class:`~repro.common.clock.LogicalClock` instead
+  of sleeping, so chaos replays see identical tick sequences;
+* jitter comes from ``random.Random`` seeded per (policy seed, attempt),
+  not from wall time, so the same plan produces the same delays.
+
+``retryable`` is an error-class filter: only exceptions that are
+instances of one of those classes are absorbed; anything else
+propagates immediately.  The default absorbs
+:class:`~repro.common.errors.TransientIOError` only — retrying a
+deterministic failure (an aborted transaction, a dependency cycle)
+would just burn the budget.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.common.errors import RetryExhausted, TransientIOError
+
+__all__ = ["RetryPolicy"]
+
+
+class RetryPolicy:
+    """Bounded retry with exponential backoff and deterministic jitter.
+
+    ``max_attempts`` is the *total* number of tries (1 = no retries;
+    0 or less exhausts immediately without running the operation).
+    The delay before attempt ``n+1`` is::
+
+        min(max_delay, base_delay * multiplier ** (n - 1)) + jitter(n)
+
+    with ``jitter(n)`` drawn uniformly from ``[0, jitter]`` ticks by a
+    generator seeded with ``(seed << 17) ^ n``.
+    """
+
+    def __init__(
+        self,
+        max_attempts=3,
+        base_delay=1,
+        multiplier=2,
+        max_delay=64,
+        jitter=0,
+        seed=0,
+        retryable=(TransientIOError,),
+        clock=None,
+    ):
+        self.max_attempts = max_attempts
+        self.base_delay = base_delay
+        self.multiplier = multiplier
+        self.max_delay = max_delay
+        self.jitter = jitter
+        self.seed = seed
+        self.retryable = tuple(retryable)
+        self.clock = clock
+        self.stats = {"runs": 0, "attempts": 0, "retries": 0, "exhausted": 0}
+
+    @classmethod
+    def zero_budget(cls, **kwargs):
+        """A policy that exhausts on the first failure (no retries)."""
+        kwargs.setdefault("max_attempts", 1)
+        return cls(**kwargs)
+
+    def delay_before(self, attempt):
+        """Backoff delay (ticks) before retry number ``attempt`` (1-based)."""
+        if attempt < 1:
+            return 0
+        backoff = self.base_delay * (self.multiplier ** (attempt - 1))
+        delay = min(self.max_delay, backoff)
+        if self.jitter:
+            rng = random.Random((self.seed << 17) ^ attempt)
+            delay += rng.randint(0, self.jitter)
+        return delay
+
+    def should_retry(self, error):
+        """Is ``error`` in an absorbable class?"""
+        return isinstance(error, self.retryable)
+
+    def run(self, operation, op="operation", tid=None):
+        """Call ``operation()`` under this policy.
+
+        Returns the operation's result on success.  Raises
+        :class:`RetryExhausted` when the budget runs out (carrying the
+        last error), or the original exception when it is not in a
+        retryable class.
+        """
+        self.stats["runs"] += 1
+        last_error = None
+        attempt = 0
+        while attempt < self.max_attempts:
+            attempt += 1
+            self.stats["attempts"] += 1
+            try:
+                return operation()
+            except self.retryable as exc:
+                last_error = exc
+                if attempt >= self.max_attempts:
+                    break
+                self.stats["retries"] += 1
+                delay = self.delay_before(attempt)
+                if delay and self.clock is not None:
+                    self.clock.tick(delay)
+        self.stats["exhausted"] += 1
+        raise RetryExhausted(op, attempt, last_error=last_error, tid=tid)

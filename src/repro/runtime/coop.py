@@ -20,30 +20,25 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 
-from repro.common.errors import AssetError, TransactionAborted
+from repro.common.errors import (
+    QuarantinedObjectError,
+    SchedulerStalledError,
+    TransactionAborted,
+)
 from repro.common.ids import NULL_TID
 from repro.core.deadlock import DeadlockDetector
 from repro.core.manager import TransactionManager
 from repro.runtime.program import BLOCKED, TxnContext, execute_request
 
-
-class SchedulerStalledError(AssetError):
-    """No task can make progress and no deadlock cycle explains it.
-
-    Carries a diagnostic payload: ``stalled`` is a list of
-    :class:`StalledTask` naming each stuck transaction, its status, the
-    request it is parked on, and what it blocks on — the information an
-    operator (or a chaos-harness trace) needs to see *why* the schedule
-    wedged, without re-running under a debugger.
-    """
-
-    def __init__(self, why, stalled=()):
-        self.why = why
-        self.stalled = list(stalled)
-        lines = [f"stalled while driving {why}"]
-        for entry in self.stalled:
-            lines.append("  " + entry.describe())
-        super().__init__("\n".join(lines))
+# SchedulerStalledError lives in the unified taxonomy now
+# (repro.common.errors) but remains importable from here, where its
+# diagnostic rows (StalledTask) are built.
+__all__ = [
+    "CooperativeRuntime",
+    "RunResult",
+    "SchedulerStalledError",
+    "StalledTask",
+]
 
 
 @dataclass
@@ -102,7 +97,7 @@ class CooperativeRuntime:
     """Deterministic scheduler over a :class:`TransactionManager`."""
 
     def __init__(self, manager=None, seed=None, max_idle_rounds=2,
-                 schedule=None):
+                 schedule=None, watchdog=None):
         self.manager = manager if manager is not None else TransactionManager()
         self._tasks = {}
         self._order = []  # tids in spawn order (round-robin basis)
@@ -113,6 +108,9 @@ class CooperativeRuntime:
         # any interleaving replays exactly.  It overrides the seeded rng.
         self.schedule = schedule
         self._detector = DeadlockDetector(self.manager)
+        # Resilience watchdog (repro.resilience): ticked every round,
+        # offered one time-travel rescue before a stall raises.
+        self.watchdog = watchdog
         self.steps = 0
 
     # ------------------------------------------------------------------
@@ -250,6 +248,8 @@ class CooperativeRuntime:
         decision: schedule controller first (recorded, replayable), then
         the seeded rng, then plain spawn-order round-robin.
         """
+        if self.watchdog is not None:
+            self.watchdog.on_round()
         tasks = self._runnable()
         if self.schedule is not None and tasks:
             order = {tid: i for i, tid in
@@ -270,14 +270,24 @@ class CooperativeRuntime:
         """
         if self.round():
             return True
-        return self._detector.resolve_one() is not None
+        if self._detector.resolve_one() is not None:
+            return True
+        return self._watchdog_rescue()
 
     def run_until_quiescent(self):
         """Schedule until no task can move (deadlocks get resolved)."""
         while True:
             if not self.round():
                 if self._detector.resolve_one() is None:
+                    if self._watchdog_rescue():
+                        continue
                     return
+
+    def _watchdog_rescue(self):
+        """One shot of watchdog time travel when the schedule is wedged."""
+        if self.watchdog is None:
+            return False
+        return self.watchdog.on_stall()
 
     def _make_progress_or_die(self, why):
         if self.round():
@@ -289,6 +299,8 @@ class CooperativeRuntime:
             if self.round() or self._detector.resolve_one() is not None:
                 return
             idle += 1
+        if self._watchdog_rescue():
+            return
         raise SchedulerStalledError(why, stalled=self.stall_report())
 
     def stall_report(self):
@@ -331,7 +343,12 @@ class CooperativeRuntime:
             return True
 
         if task.pending is not None:
-            state, value = execute_request(manager, self, task.tid, task.pending)
+            try:
+                state, value = execute_request(
+                    manager, self, task.tid, task.pending
+                )
+            except QuarantinedObjectError as exc:
+                return self._poisoned(task, exc)
             if state is BLOCKED:
                 task.blocked_on = tuple(value) if value else ()
                 return False
@@ -358,7 +375,10 @@ class CooperativeRuntime:
             manager.abort(task.tid, reason=f"program raised {exc!r}")
             return True
 
-        state, value = execute_request(manager, self, task.tid, request)
+        try:
+            state, value = execute_request(manager, self, task.tid, request)
+        except QuarantinedObjectError as exc:
+            return self._poisoned(task, exc)
         if state is BLOCKED:
             task.pending = request
             task.blocked_on = tuple(value) if value else ()
@@ -371,4 +391,15 @@ class CooperativeRuntime:
             task.pending = None
             task.finished = True
             task.gen.close()
+        return True
+
+    def _poisoned(self, task, exc):
+        """A quarantined-object touch poisons the transaction: fail the
+        task and abort it rather than propagate garbage (or crash the
+        scheduler loop)."""
+        task.error = exc
+        task.pending = None
+        task.finished = True
+        self.manager.abort(task.tid, reason=f"poisoned: {exc}")
+        task.gen.close()
         return True

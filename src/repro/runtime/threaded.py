@@ -26,7 +26,8 @@ from repro.runtime.program import BLOCKED, TxnContext, execute_request
 class ThreadedRuntime:
     """Thread-per-transaction execution over the shared core."""
 
-    def __init__(self, manager=None, watchdog_interval=0.05, poll_timeout=0.05):
+    def __init__(self, manager=None, watchdog_interval=0.05, poll_timeout=0.05,
+                 watchdog=None):
         self.manager = manager if manager is not None else TransactionManager()
         self._cond = threading.Condition()
         self._threads = {}
@@ -37,6 +38,12 @@ class ThreadedRuntime:
         self._watchdog = None
         self._closing = threading.Event()
         self._detector = DeadlockDetector(self.manager)
+        # Resilience watchdog (repro.resilience.Watchdog): driven from
+        # the same daemon loop as the deadlock detector, so deadline and
+        # lease expiries are enforced for threaded transactions too (the
+        # logical clock still only moves on ticks, so scans stay
+        # deterministic with respect to the event stream).
+        self.watchdog = watchdog
         # Every manager event may unblock someone: wake all waiters.
         self.manager.events.subscribe(self._on_event)
 
@@ -59,6 +66,8 @@ class ThreadedRuntime:
     def _watchdog_loop(self):
         while not self._closing.wait(self._watchdog_interval):
             self._detector.resolve_one()
+            if self.watchdog is not None:
+                self.watchdog.on_round()
 
     # ------------------------------------------------------------------
     # the paper-style driver API

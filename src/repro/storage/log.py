@@ -20,7 +20,7 @@ import struct
 import threading
 from dataclasses import dataclass
 
-from repro.common.errors import StorageError
+from repro.common.errors import StorageError, TransientIOError
 from repro.common.ids import Lsn, ObjectId, Tid
 
 _HEADER = struct.Struct("<BQQ")  # record type, lsn, tid
@@ -324,7 +324,8 @@ class FlushCoalescer:
     caller that needs durability *now*) drains the batch.
     """
 
-    def __init__(self, max_commits=8, max_bytes=64 * 1024, injector=None):
+    def __init__(self, max_commits=8, max_bytes=64 * 1024, injector=None,
+                 health=None):
         if max_commits < 1:
             raise StorageError("group-commit batch needs max_commits >= 1")
         if max_bytes < 1:
@@ -332,6 +333,10 @@ class FlushCoalescer:
         self.max_commits = max_commits
         self.max_bytes = max_bytes
         self.injector = injector
+        # Degradation breaker (repro.resilience.FlushHealth): while it
+        # reports ``degraded`` the coalescer stops batching and every
+        # commit flushes synchronously.  ``None`` = always batch.
+        self.health = health
         self.pending_commits = 0
         self.pending_bytes = 0
         self.enrolled_total = 0
@@ -353,6 +358,10 @@ class FlushCoalescer:
             self.injector.gc_enroll(self.pending_commits)
         self.pending_commits += 1
         self.enrolled_total += 1
+        if self.health is not None and self.health.degraded:
+            # Degraded mode: the device has been failing (or lying); stop
+            # widening the volatile window and flush this commit now.
+            return True
         return (
             self.pending_commits >= self.max_commits
             or self.pending_bytes >= self.max_bytes
@@ -541,9 +550,36 @@ class WriteAheadLog:
 
         Drains the group-commit batch, if one is pending: everything
         enrolled so far becomes durable with this single device sync.
+
+        When the coalescer carries a :class:`FlushHealth` breaker, every
+        flush outcome feeds it: a raised device fault is a failure (and
+        re-raises — the batch stays pending for the retry), and a
+        *silent* failure is caught by auditing the device's durable
+        record count against what was appended (a lying fsync returns
+        success while leaving records volatile).
         """
-        self.device.flush()
+        health = self.group_commit.health if self.group_commit is not None else None
+        try:
+            self.device.flush()
+        except TransientIOError as exc:
+            if health is not None:
+                health.note_failure(str(exc))
+            raise
         self.flush_count += 1
+        if health is not None:
+            durable_count = getattr(self.device, "durable_count", None)
+            if durable_count is not None:
+                with self._lock:
+                    appended = len(self._decoded)
+                durable = durable_count()
+                if durable < appended:
+                    health.note_failure(
+                        f"lying fsync: {durable} of {appended} records durable"
+                    )
+                else:
+                    health.note_success()
+            else:
+                health.note_success()
         if self.group_commit is not None:
             self.group_commit.note_flushed()
 

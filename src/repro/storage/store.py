@@ -60,6 +60,11 @@ class StorageManager:
         if injector is not None and self.log.group_commit is not None:
             self.log.group_commit.injector = injector
         self.pool = BufferPool(self.disk, capacity=capacity, injector=injector)
+        # Read-path quarantine (repro.resilience): objects registered
+        # here poison any transaction that touches them.  ``None`` means
+        # the escalation is off and damaged pages only surface via the
+        # structural quarantine in ObjectStore._rebuild_table.
+        self.quarantine = None
         # The WAL rule: no dirty page reaches disk before the log records
         # describing its updates are durable.  Evictions and flushes force
         # the log first (chaos crash sweeps fail without this ordering).
@@ -81,6 +86,9 @@ class StorageManager:
 
     def read_object(self, tid, oid):
         """Read ``oid`` under an S latch (lock already held by ``tid``)."""
+        quarantine = self.quarantine
+        if quarantine is not None and quarantine.objects:
+            quarantine.check(tid, oid, op="read")
         frame = self.objects.frame_for(oid)
         try:
             with frame.latch.held(LatchMode.SHARED):
@@ -90,6 +98,9 @@ class StorageManager:
 
     def write_object(self, tid, oid, value):
         """Write ``oid`` under an X latch, logging before and after images."""
+        quarantine = self.quarantine
+        if quarantine is not None and quarantine.objects:
+            quarantine.check(tid, oid, op="write")
         frame = self.objects.frame_for(oid)
         try:
             with frame.latch.held(LatchMode.EXCLUSIVE):
@@ -222,6 +233,12 @@ class StorageManager:
         """Rebuild the object table and run restart recovery."""
         self.objects._rebuild_table()
         report = RecoveryManager(self.log, self.objects).recover()
+        if self.quarantine is not None:
+            # Escalate the structural torn-page quarantine: remember the
+            # damaged pages so post-recovery triage (or tests) can
+            # quarantine the objects that lived there.
+            for page_id in self.objects.damaged_pages:
+                self.quarantine.note_damaged_page(page_id)
         return report
 
     def close(self):

@@ -22,7 +22,7 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass, field
 
-from repro.common.errors import AssetError
+from repro.common.errors import AssetError, RetryExhausted
 
 
 class TaskStatus(enum.Enum):
@@ -77,11 +77,25 @@ class WorkflowEngine:
     """
 
     def __init__(self, runtime, max_compensation_retries=100,
-                 max_idle_polls=1000, parallel=False):
+                 max_idle_polls=1000, parallel=False, retry=None):
         self.runtime = runtime
         self.max_compensation_retries = max_compensation_retries
         self.max_idle_polls = max_idle_polls
         self.parallel = parallel
+        # A repro.resilience.RetryPolicy for *transient* commit failures
+        # (injected device faults) on sequential-alternative and
+        # compensation commits.  ``None`` keeps classic propagate-on-error
+        # behavior; an exhausted budget on an alternative moves to the
+        # next alternative, on a compensation it raises RetryExhausted.
+        self.retry = retry
+
+    def _commit_step(self, tid, op):
+        """Commit one workflow step under the engine's retry policy."""
+        if self.retry is None:
+            return self.runtime.commit(tid)
+        return self.retry.run(
+            lambda: self.runtime.commit(tid), op=op, tid=tid
+        )
 
     # -- task strategies -----------------------------------------------------
 
@@ -91,7 +105,13 @@ class WorkflowEngine:
             tid = self.runtime.initiate(alternative.body, args=alternative.args)
             if not tid or not self.runtime.begin(tid):
                 continue
-            if self.runtime.commit(tid):
+            try:
+                committed = self._commit_step(
+                    tid, op=f"workflow.{task.name}.{alternative.label}"
+                )
+            except RetryExhausted:
+                continue  # budget spent on this alternative; try the next
+            if committed:
                 return TaskOutcome(
                     name=task.name,
                     status=TaskStatus.COMMITTED,
@@ -354,7 +374,7 @@ class WorkflowEngine:
                 if not ct:
                     continue
                 self.runtime.begin(ct)
-                if self.runtime.commit(ct):
+                if self._commit_step(ct, op=f"workflow.c.{task.name}"):
                     break
             outcome.status = TaskStatus.COMPENSATED
             result.compensation_order.append(task.name)

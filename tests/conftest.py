@@ -2,6 +2,10 @@
 
 from __future__ import annotations
 
+import os
+import signal
+import threading
+
 import pytest
 
 from repro.acta.history import HistoryRecorder
@@ -9,6 +13,45 @@ from repro.common.codec import decode_int, encode_int
 from repro.core.manager import TransactionManager
 from repro.runtime.coop import CooperativeRuntime
 from repro.runtime.threaded import ThreadedRuntime
+
+try:  # pragma: no cover - presence depends on the environment
+    import pytest_timeout  # noqa: F401
+
+    _HAVE_PYTEST_TIMEOUT = True
+except ImportError:
+    _HAVE_PYTEST_TIMEOUT = False
+
+# Per-test wall-clock ceiling.  CI installs pytest-timeout and passes
+# --timeout on the command line; environments without the plugin get a
+# SIGALRM-based fallback so a hung test still dies instead of wedging
+# the whole run.  REPRO_TEST_TIMEOUT=0 disables the fallback.
+_TEST_TIMEOUT = int(os.environ.get("REPRO_TEST_TIMEOUT", "120"))
+
+
+if not _HAVE_PYTEST_TIMEOUT and hasattr(signal, "SIGALRM"):
+
+    @pytest.hookimpl(hookwrapper=True)
+    def pytest_runtest_call(item):
+        if (
+            _TEST_TIMEOUT <= 0
+            or threading.current_thread() is not threading.main_thread()
+        ):
+            yield
+            return
+
+        def _on_alarm(signum, frame):
+            raise TimeoutError(
+                f"test exceeded the {_TEST_TIMEOUT}s per-test ceiling"
+                f" (REPRO_TEST_TIMEOUT)"
+            )
+
+        previous = signal.signal(signal.SIGALRM, _on_alarm)
+        signal.alarm(_TEST_TIMEOUT)
+        try:
+            yield
+        finally:
+            signal.alarm(0)
+            signal.signal(signal.SIGALRM, previous)
 
 
 @pytest.fixture

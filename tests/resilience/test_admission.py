@@ -1,0 +1,90 @@
+"""AdmissionController: typed backpressure at the ``initiate`` door."""
+
+import pytest
+
+from repro.common.errors import Backpressure
+from repro.common.ids import Tid
+from repro.resilience import install_resilience
+from repro.runtime.coop import CooperativeRuntime
+
+
+def _idle(tx):
+    return
+    yield
+
+
+class TestActiveGate:
+    def test_sheds_beyond_max_active(self, rt):
+        kit = install_resilience(rt.manager, rt, max_active=2)
+        t1 = rt.spawn(_idle)
+        t2 = rt.spawn(_idle)
+        assert t1 and t2
+        with pytest.raises(Backpressure) as info:
+            rt.initiate(_idle)
+        error = info.value
+        assert error.gate == "active"
+        assert error.load == 2
+        assert error.limit == 2
+        assert kit.admission.stats["shed_active"] == 1
+        assert kit.admission.stats["admitted"] == 2
+
+    def test_terminations_free_slots(self, rt):
+        install_resilience(rt.manager, rt, max_active=2)
+        t1 = rt.spawn(_idle)
+        t2 = rt.spawn(_idle)
+        rt.wait(t1)
+        assert rt.commit(t1)
+        t3 = rt.spawn(_idle)  # the committed slot is free again
+        assert t3
+        rt.wait(t2)
+        rt.wait(t3)
+
+    def test_disabled_controller_admits_everything(self, rt):
+        kit = install_resilience(rt.manager, rt, max_active=1)
+        rt.spawn(_idle)
+        kit.admission.enabled = False
+        assert rt.spawn(_idle)
+
+
+class TestDeadlinePressureGate:
+    def test_sheds_when_deadlines_crowd_the_window(self, rt):
+        kit = install_resilience(
+            rt.manager, rt, deadline_pressure_limit=2, pressure_window=50
+        )
+        now = rt.manager.clock.now()
+        kit.deadlines.set_deadline(Tid(101), at=now + 10)
+        kit.deadlines.set_deadline(Tid(102), at=now + 20)
+        # A deadline beyond the window does not count.
+        kit.deadlines.set_deadline(Tid(103), at=now + 500)
+        with pytest.raises(Backpressure) as info:
+            rt.initiate(_idle)
+        assert info.value.gate == "deadline_pressure"
+        assert info.value.load == 2
+        assert kit.admission.stats["shed_deadline_pressure"] == 1
+
+    def test_clear_horizon_admits(self, rt):
+        kit = install_resilience(
+            rt.manager, rt, deadline_pressure_limit=2, pressure_window=50
+        )
+        now = rt.manager.clock.now()
+        kit.deadlines.set_deadline(Tid(101), at=now + 500)
+        assert rt.spawn(_idle)
+
+
+class TestInstallation:
+    def test_no_gate_limits_means_no_controller(self, rt):
+        kit = install_resilience(rt.manager, rt)
+        assert kit.admission is None
+        assert rt.manager.admission is None
+
+    def test_backpressure_fires_before_resource_accounting(self):
+        # The typed gate sits in front of the classic max_transactions
+        # null-tid behaviour, so callers get the informative failure.
+        from repro.core.manager import TransactionManager
+
+        manager = TransactionManager(max_transactions=1)
+        rt = CooperativeRuntime(manager)
+        install_resilience(manager, rt, max_active=1)
+        assert rt.spawn(_idle)
+        with pytest.raises(Backpressure):
+            rt.initiate(_idle)

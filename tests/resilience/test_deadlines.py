@@ -1,0 +1,167 @@
+"""DeadlineTable: deadlines, heartbeat leases, delegation guardianship."""
+
+import pytest
+
+from repro.common.clock import LogicalClock
+from repro.common.errors import DeadlineExceeded, LeaseExpired
+from repro.common.ids import Tid
+from repro.resilience import DeadlineTable
+
+
+def _idle(tx):
+    """A transaction program that makes no requests."""
+    return
+    yield
+
+
+@pytest.fixture
+def clock():
+    return LogicalClock()
+
+
+@pytest.fixture
+def table(clock):
+    return DeadlineTable(clock)
+
+
+class TestDeadlines:
+    def test_absolute_and_budget_forms(self, clock, table):
+        assert table.set_deadline(Tid(1), at=50) == 50
+        clock.advance_to(10)
+        assert table.set_deadline(Tid(2), budget=30) == 40
+        assert table.deadline_of(Tid(1)) == 50
+        assert table.deadline_of(Tid(2)) == 40
+
+    def test_set_deadline_needs_at_or_budget(self, table):
+        with pytest.raises(ValueError):
+            table.set_deadline(Tid(1))
+
+    def test_expired_is_exact_at_the_boundary(self, clock, table):
+        table.set_deadline(Tid(1), at=50)
+        assert table.expired(now=49) == []
+        [error] = table.expired(now=50)
+        assert isinstance(error, DeadlineExceeded)
+        assert error.tid == Tid(1)
+        assert error.deadline == 50
+
+    def test_expired_orders_by_tid(self, table):
+        table.set_deadline(Tid(9), at=5)
+        table.set_deadline(Tid(2), at=5)
+        assert [e.tid for e in table.expired(now=10)] == [Tid(2), Tid(9)]
+
+
+class TestLeases:
+    def test_heartbeat_renews(self, clock, table):
+        table.grant_lease(Tid(1), duration=10)
+        clock.advance_to(8)
+        assert table.heartbeat(Tid(1)) is True
+        assert table.lease_live(Tid(1), now=17)
+        assert not table.lease_live(Tid(1), now=18)
+
+    def test_missed_heartbeat_expires(self, clock, table):
+        table.grant_lease(Tid(1), duration=10)
+        assert table.expired(now=9) == []
+        [error] = table.expired(now=10)
+        assert isinstance(error, LeaseExpired)
+        assert error.tid == Tid(1)
+        assert error.duration == 10
+
+    def test_heartbeat_without_lease_reports_false(self, table):
+        assert table.heartbeat(Tid(1)) is False
+
+    def test_double_expiry_yields_both_errors(self, table):
+        # Watchdog dedupes victims; the table reports everything it knows.
+        table.set_deadline(Tid(1), at=5)
+        table.grant_lease(Tid(1), duration=5)
+        errors = table.expired(now=5)
+        assert [type(e) for e in errors] == [DeadlineExceeded, LeaseExpired]
+
+
+class TestNextExpiry:
+    def test_none_when_nothing_armed(self, table):
+        assert table.next_expiry() is None
+
+    def test_minimum_across_deadlines_and_leases(self, clock, table):
+        table.set_deadline(Tid(1), at=100)
+        table.grant_lease(Tid(2), duration=40)  # expires at 40
+        assert table.next_expiry() == 40
+        table.forget(Tid(2))
+        assert table.next_expiry() == 100
+
+
+class TestGuardianship:
+    def test_guard_and_wards_of(self, table):
+        table.guard(Tid(2), Tid(1))
+        table.guard(Tid(3), Tid(1))
+        assert table.guardian_of(Tid(2)) == Tid(1)
+        assert table.wards_of(Tid(1)) == [Tid(2), Tid(3)]
+
+    def test_release_guardian_frees_all_wards(self, table):
+        table.guard(Tid(2), Tid(1))
+        table.guard(Tid(3), Tid(1))
+        table.release_guardian(Tid(1))
+        assert table.guardian_of(Tid(2)) is None
+        assert table.wards_of(Tid(1)) == []
+
+    def test_forget_drops_every_entry(self, table):
+        table.set_deadline(Tid(1), at=5)
+        table.grant_lease(Tid(1), duration=5)
+        table.guard(Tid(1), Tid(9))
+        table.forget(Tid(1))
+        assert table.deadline_of(Tid(1)) is None
+        assert table.lease_of(Tid(1)) is None
+        assert table.guardian_of(Tid(1)) is None
+        assert table.expired(now=100) == []
+
+
+class TestEventWiring:
+    def test_delegate_event_records_guardian(self, rt):
+        from repro.resilience import install_resilience
+
+        kit = install_resilience(rt.manager, rt)
+        oids = {}
+
+        def setup(tx):
+            oids["a"] = yield tx.create(b"a0")
+
+        assert rt.run(setup).committed
+        a = oids["a"]
+
+        def writer(tx):
+            yield tx.write(a, b"a1")
+
+        t1 = rt.spawn(writer)
+        rt.wait(t1)
+        t2 = rt.spawn(_idle)
+        rt.wait(t2)
+        rt.manager.delegate(t1, t2, oids={a})
+        assert kit.deadlines.guardian_of(t2) == t1
+
+    def test_clean_termination_forgets_and_releases(self, rt):
+        from repro.resilience import install_resilience
+
+        kit = install_resilience(rt.manager, rt)
+        oids = {}
+
+        def setup(tx):
+            oids["a"] = yield tx.create(b"a0")
+
+        assert rt.run(setup).committed
+        a = oids["a"]
+
+        def writer(tx):
+            yield tx.write(a, b"a1")
+
+        t1 = rt.spawn(writer)
+        rt.wait(t1)
+        t2 = rt.spawn(_idle)
+        rt.wait(t2)
+        rt.manager.delegate(t1, t2, oids={a})
+        kit.deadlines.grant_lease(t1, duration=1000)
+
+        # The guardian commits cleanly: its lease is forgotten and the
+        # ward is released — completed delegation must not strand t2.
+        assert rt.commit(t1)
+        assert kit.deadlines.lease_of(t1) is None
+        assert kit.deadlines.guardian_of(t2) is None
+        assert rt.commit(t2)

@@ -1,0 +1,171 @@
+"""FlushHealth: the coalescer's degrade/re-promote circuit breaker,
+the WAL's lying-fsync audit, and the independent degradation oracle."""
+
+from repro.chaos.oracles import check_degradation
+from repro.common.errors import TransientIOError
+from repro.common.ids import Tid
+from repro.resilience import BATCHING, DEGRADED, FlushHealth
+from repro.storage.log import FlushCoalescer, MemoryLogDevice, WriteAheadLog
+
+
+class TestStateMachine:
+    def test_starts_batching(self):
+        health = FlushHealth()
+        assert health.state == BATCHING
+        assert not health.degraded
+
+    def test_degrades_after_consecutive_failures(self):
+        health = FlushHealth(degrade_after=3)
+        health.note_failure("f1")
+        health.note_failure("f2")
+        assert not health.degraded
+        health.note_failure("f3")
+        assert health.degraded
+        [flip] = health.transitions
+        assert (flip["from"], flip["to"], flip["at"]) == (BATCHING, DEGRADED, 3)
+
+    def test_success_resets_the_failure_streak(self):
+        health = FlushHealth(degrade_after=2)
+        health.note_failure()
+        health.note_success()
+        health.note_failure()
+        assert not health.degraded  # never two *consecutive* failures
+
+    def test_repromotes_after_healthy_window(self):
+        health = FlushHealth(degrade_after=1, repromote_after=3)
+        health.note_failure()
+        assert health.degraded
+        health.note_success()
+        health.note_success()
+        assert health.degraded
+        health.note_success()
+        assert not health.degraded
+        assert [(t["from"], t["to"]) for t in health.transitions] == [
+            (BATCHING, DEGRADED),
+            (DEGRADED, BATCHING),
+        ]
+
+    def test_failure_resets_the_healthy_streak(self):
+        health = FlushHealth(degrade_after=1, repromote_after=2)
+        health.note_failure()
+        health.note_success()
+        health.note_failure()  # back to zero healthy flushes
+        health.note_success()
+        assert health.degraded
+
+    def test_counters_reset_on_transition(self):
+        health = FlushHealth(degrade_after=2, repromote_after=2)
+        health.note_failure()
+        health.note_failure()
+        assert health.consecutive_failures == 0
+        assert health.consecutive_successes == 0
+
+
+class TestCoalescerDegradedMode:
+    def test_degraded_breaker_forces_per_commit_flush(self):
+        health = FlushHealth(degrade_after=1)
+        coalescer = FlushCoalescer(max_commits=100, health=health)
+        assert coalescer.enroll_commit() is False  # batching: wide batch
+        health.note_failure()
+        assert coalescer.enroll_commit() is True  # degraded: flush now
+        health.note_success()
+        # Still degraded (repromote_after not met): still synchronous.
+        assert coalescer.enroll_commit() is True
+
+
+class _FlakyDevice(MemoryLogDevice):
+    """A log device with scriptable flush behaviour."""
+
+    def __init__(self):
+        super().__init__()
+        self.fail_next = 0
+        self.lie_next = 0
+
+    def flush(self):
+        if self.fail_next > 0:
+            self.fail_next -= 1
+            raise TransientIOError("scripted flush failure")
+        if self.lie_next > 0:
+            self.lie_next -= 1
+            return  # report success, advance nothing
+        super().flush()
+
+
+class TestWalAudit:
+    def _wal(self, degrade_after=2, repromote_after=2):
+        device = _FlakyDevice()
+        health = FlushHealth(
+            degrade_after=degrade_after, repromote_after=repromote_after
+        )
+        coalescer = FlushCoalescer(max_commits=100, health=health)
+        wal = WriteAheadLog(device, group_commit=coalescer)
+        return wal, device, health
+
+    def test_raised_flush_failure_is_noted_and_reraised(self):
+        wal, device, health = self._wal()
+        wal.log_abort(Tid(1))
+        device.fail_next = 1
+        try:
+            wal.flush()
+        except TransientIOError:
+            pass
+        else:  # pragma: no cover - the audit must re-raise
+            raise AssertionError("flush failure swallowed")
+        assert health.outcomes[-1][0] == "fail"
+        # The batch stayed pending: the retry still has records to flush.
+        wal.flush()
+        assert health.outcomes[-1][0] == "ok"
+        assert device.durable_count() == 1
+
+    def test_lying_fsync_detected_by_durable_count_audit(self):
+        wal, device, health = self._wal()
+        wal.log_abort(Tid(2))
+        device.lie_next = 1
+        wal.flush()
+        kind, detail = health.outcomes[-1]
+        assert kind == "fail"
+        assert "lying fsync" in detail
+
+    def test_consecutive_lies_degrade_then_honest_window_repromotes(self):
+        wal, device, health = self._wal(degrade_after=2, repromote_after=2)
+        for __ in range(2):
+            wal.log_abort(Tid(3))
+            device.lie_next = 1
+            wal.flush()
+        assert health.degraded
+        for __ in range(2):
+            wal.log_abort(Tid(4))
+            wal.flush()
+        assert not health.degraded
+        report = check_degradation(health)
+        assert report.ok, report.describe()
+
+
+class TestDegradationOracle:
+    def test_clean_trace_passes(self):
+        health = FlushHealth(degrade_after=2, repromote_after=2)
+        for note in (
+            health.note_success,
+            health.note_failure,
+            health.note_failure,
+            health.note_success,
+            health.note_success,
+        ):
+            note()
+        report = check_degradation(health)
+        assert report.ok, report.describe()
+
+    def test_tampered_state_is_caught(self):
+        health = FlushHealth(degrade_after=1)
+        health.note_failure()
+        health.state = BATCHING  # breaker lies about where it ended up
+        report = check_degradation(health)
+        assert not report.ok
+        assert any("implies" in v for v in report.violations)
+
+    def test_missing_transition_is_caught(self):
+        health = FlushHealth(degrade_after=1)
+        health.note_failure()
+        health.transitions.clear()  # breaker lost its transition record
+        report = check_degradation(health)
+        assert not report.ok

@@ -1,0 +1,115 @@
+"""The unified error taxonomy: one root, attributable context everywhere."""
+
+import inspect
+
+import pytest
+
+import repro.common.errors as errors_module
+from repro.common.errors import (
+    AssetError,
+    Backpressure,
+    DeadlineExceeded,
+    DependencyCycleError,
+    LeaseExpired,
+    QuarantinedObjectError,
+    RetryExhausted,
+    SchedulerStalledError,
+    StorageError,
+    TransactionAborted,
+    TransientIOError,
+    UnknownObjectError,
+    UnknownTransactionError,
+)
+from repro.common.ids import Tid
+
+
+class TestTaxonomy:
+    def test_every_public_error_derives_from_asset_error(self):
+        for name, obj in vars(errors_module).items():
+            if inspect.isclass(obj) and issubclass(obj, BaseException):
+                assert issubclass(obj, AssetError), (
+                    f"{name} escapes the AssetError hierarchy"
+                )
+
+    def test_base_carries_tid_and_op(self):
+        error = AssetError("boom", tid=Tid(7), op="commit")
+        assert error.tid == Tid(7)
+        assert error.op == "commit"
+
+    def test_tid_and_op_default_to_none(self):
+        assert AssetError("x").tid is None
+        assert AssetError("x").op is None
+
+    def test_storage_errors_are_asset_errors(self):
+        assert issubclass(TransientIOError, StorageError)
+        assert issubclass(QuarantinedObjectError, StorageError)
+        assert issubclass(StorageError, AssetError)
+
+    def test_one_except_clause_at_the_boundary(self):
+        for exc in (
+            UnknownTransactionError(Tid(1)),
+            UnknownObjectError("o"),
+            TransactionAborted(Tid(1), reason="test"),
+            DependencyCycleError([Tid(1), Tid(2)]),
+            DeadlineExceeded(Tid(1), 10, 20),
+            LeaseExpired(Tid(1), 5, 10, 30),
+            Backpressure("active", 9, 8),
+            RetryExhausted("commit", 3),
+            TransientIOError("flaky"),
+            QuarantinedObjectError("o"),
+        ):
+            with pytest.raises(AssetError):
+                raise exc
+
+
+class TestResilienceErrors:
+    def test_deadline_exceeded_fields(self):
+        error = DeadlineExceeded(Tid(3), deadline=100, now=150)
+        assert error.tid == Tid(3)
+        assert error.deadline == 100
+        assert error.now == 150
+        assert error.op == "deadline"
+        assert "deadline tick 100" in str(error)
+
+    def test_lease_expired_fields(self):
+        error = LeaseExpired(Tid(4), last_beat=10, duration=32, now=99)
+        assert error.tid == Tid(4)
+        assert error.last_beat == 10
+        assert error.duration == 32
+        assert error.now == 99
+        assert error.op == "lease"
+
+    def test_backpressure_names_the_gate(self):
+        error = Backpressure("deadline_pressure", load=12, limit=8)
+        assert error.gate == "deadline_pressure"
+        assert error.load == 12
+        assert error.limit == 8
+        assert error.op == "initiate"
+
+    def test_retry_exhausted_carries_the_last_error(self):
+        cause = TransientIOError("device hiccup")
+        error = RetryExhausted("commit", attempts=3, last_error=cause, tid=Tid(9))
+        assert error.attempts == 3
+        assert error.last_error is cause
+        assert error.tid == Tid(9)
+        assert error.op == "commit"
+        assert "3 attempt" in str(error)
+
+
+class TestSchedulerStalledFoldedIn:
+    def test_importable_from_both_homes_as_one_class(self):
+        from repro.runtime.coop import SchedulerStalledError as FromCoop
+
+        assert FromCoop is SchedulerStalledError
+        assert issubclass(SchedulerStalledError, AssetError)
+
+    def test_stalled_tids_reports_in_order(self):
+        from repro.runtime.coop import StalledTask
+
+        rows = [
+            StalledTask(tid=Tid(2), status="running"),
+            StalledTask(tid=Tid(5), status="committing"),
+        ]
+        error = SchedulerStalledError("commit of Tid(2)", stalled=rows)
+        assert error.stalled_tids() == [Tid(2), Tid(5)]
+        assert "Tid(2)" in str(error)

@@ -1,0 +1,113 @@
+"""QuarantineRegistry: read-path poisoning of damaged objects."""
+
+import pytest
+
+from repro.common.errors import QuarantinedObjectError
+from repro.common.ids import ObjectId, Tid
+from repro.resilience import QuarantineRegistry, install_resilience
+
+
+def _reader(oid):
+    def body(tx):
+        return (yield tx.read(oid))
+
+    return body
+
+
+class TestRegistry:
+    def test_quarantine_and_lift(self):
+        registry = QuarantineRegistry()
+        registry.quarantine_object(ObjectId(1), reason="torn page 4")
+        assert registry.is_quarantined(ObjectId(1))
+        registry.lift(ObjectId(1))
+        assert not registry.is_quarantined(ObjectId(1))
+
+    def test_check_poisons_and_raises(self):
+        registry = QuarantineRegistry()
+        registry.quarantine_object(ObjectId(1))
+        with pytest.raises(QuarantinedObjectError) as info:
+            registry.check(Tid(7), ObjectId(1), op="read")
+        assert info.value.oid == ObjectId(1)
+        assert info.value.tid == Tid(7)
+        assert registry.is_poisoned(Tid(7))
+        assert registry.poisoned[Tid(7)] == {ObjectId(1)}
+
+    def test_check_passes_clean_objects(self):
+        registry = QuarantineRegistry()
+        registry.check(Tid(7), ObjectId(1))
+        assert not registry.is_poisoned(Tid(7))
+
+    def test_damaged_pages_recorded_once(self):
+        registry = QuarantineRegistry()
+        registry.note_damaged_page(4)
+        registry.note_damaged_page(4)
+        registry.note_damaged_page(9)
+        assert registry.damaged_pages == [4, 9]
+
+
+class TestReadPathEscalation:
+    def test_poisoned_transaction_is_aborted_not_crashed(self, rt):
+        kit = install_resilience(rt.manager, rt)
+        oids = {}
+
+        def setup(tx):
+            oids["a"] = yield tx.create(b"a0")
+
+        assert rt.run(setup).committed
+        a = oids["a"]
+        kit.quarantine.quarantine_object(a, reason="damaged")
+
+        tid = rt.spawn(_reader(a))
+        rt.run_until_quiescent()
+        assert rt.manager.table.get(tid).status.is_terminated
+        assert rt.wait(tid) == 0  # aborted, not committed
+        assert isinstance(rt.error_of(tid), QuarantinedObjectError)
+        assert kit.quarantine.is_poisoned(tid)
+
+    def test_write_path_is_poisoned_too(self, rt):
+        kit = install_resilience(rt.manager, rt)
+        oids = {}
+
+        def setup(tx):
+            oids["a"] = yield tx.create(b"a0")
+
+        assert rt.run(setup).committed
+        a = oids["a"]
+        kit.quarantine.quarantine_object(a)
+
+        def writer(tx):
+            yield tx.write(a, b"a1")
+
+        tid = rt.spawn(writer)
+        rt.run_until_quiescent()
+        assert rt.wait(tid) == 0
+
+    def test_lifted_quarantine_restores_service(self, rt):
+        kit = install_resilience(rt.manager, rt)
+        oids = {}
+
+        def setup(tx):
+            oids["a"] = yield tx.create(b"a0")
+
+        assert rt.run(setup).committed
+        a = oids["a"]
+        kit.quarantine.quarantine_object(a)
+        kit.quarantine.lift(a)
+        result = rt.run(_reader(a))
+        assert result.committed
+        assert result.value == b"a0"
+
+    def test_healthy_transactions_unaffected(self, rt):
+        kit = install_resilience(rt.manager, rt)
+        oids = {}
+
+        def setup(tx):
+            oids["a"] = yield tx.create(b"a0")
+            oids["b"] = yield tx.create(b"b0")
+
+        assert rt.run(setup).committed
+        kit.quarantine.quarantine_object(oids["a"])
+        # A transaction that never touches the quarantined object is fine.
+        result = rt.run(_reader(oids["b"]))
+        assert result.committed
+        assert result.value == b"b0"

@@ -1,0 +1,102 @@
+"""RetryPolicy: bounded attempts, deterministic backoff, error filtering."""
+
+import pytest
+
+from repro.common.clock import LogicalClock
+from repro.common.errors import RetryExhausted, TransientIOError
+from repro.common.ids import Tid
+from repro.resilience import RetryPolicy
+
+
+def flaky(failures, error=TransientIOError, result="done"):
+    """An operation that fails ``failures`` times, then succeeds."""
+    state = {"calls": 0}
+
+    def operation():
+        state["calls"] += 1
+        if state["calls"] <= failures:
+            raise error(f"failure #{state['calls']}")
+        return result
+
+    operation.state = state
+    return operation
+
+
+class TestBudget:
+    def test_first_try_success_needs_no_retry(self):
+        policy = RetryPolicy(max_attempts=3)
+        operation = flaky(0)
+        assert policy.run(operation) == "done"
+        assert operation.state["calls"] == 1
+        assert policy.stats["retries"] == 0
+
+    def test_absorbs_failures_within_budget(self):
+        policy = RetryPolicy(max_attempts=3)
+        operation = flaky(2)
+        assert policy.run(operation) == "done"
+        assert operation.state["calls"] == 3
+        assert policy.stats["retries"] == 2
+        assert policy.stats["exhausted"] == 0
+
+    def test_exhaustion_raises_with_context(self):
+        policy = RetryPolicy(max_attempts=2)
+        with pytest.raises(RetryExhausted) as info:
+            policy.run(flaky(5), op="saga.t1", tid=Tid(7))
+        error = info.value
+        assert error.attempts == 2
+        assert error.op == "saga.t1"
+        assert error.tid == Tid(7)
+        assert isinstance(error.last_error, TransientIOError)
+        assert policy.stats["exhausted"] == 1
+
+    def test_zero_budget_fails_on_first_transient(self):
+        policy = RetryPolicy.zero_budget()
+        assert policy.max_attempts == 1
+        with pytest.raises(RetryExhausted) as info:
+            policy.run(flaky(1))
+        assert info.value.attempts == 1
+        assert policy.stats["retries"] == 0
+
+    def test_non_retryable_error_propagates_immediately(self):
+        policy = RetryPolicy(max_attempts=5)
+        operation = flaky(3, error=lambda m: ValueError(m))
+        with pytest.raises(ValueError):
+            policy.run(operation)
+        assert operation.state["calls"] == 1
+
+    def test_error_class_filter_is_configurable(self):
+        policy = RetryPolicy(max_attempts=3, retryable=(KeyError,))
+        operation = flaky(1, error=lambda m: KeyError(m))
+        assert policy.run(operation) == "done"
+        assert operation.state["calls"] == 2
+
+
+class TestBackoff:
+    def test_exponential_schedule_capped(self):
+        policy = RetryPolicy(base_delay=2, multiplier=3, max_delay=20)
+        assert [policy.delay_before(n) for n in (1, 2, 3, 4)] == [2, 6, 18, 20]
+
+    def test_jitter_is_deterministic_per_seed_and_attempt(self):
+        one = RetryPolicy(base_delay=1, multiplier=1, jitter=10, seed=42)
+        two = RetryPolicy(base_delay=1, multiplier=1, jitter=10, seed=42)
+        other = RetryPolicy(base_delay=1, multiplier=1, jitter=10, seed=43)
+        schedule = [one.delay_before(n) for n in range(1, 6)]
+        assert schedule == [two.delay_before(n) for n in range(1, 6)]
+        assert schedule != [other.delay_before(n) for n in range(1, 6)]
+        for n, delay in enumerate(schedule, start=1):
+            base = 1
+            assert base <= delay <= base + 10, f"attempt {n}"
+
+    def test_delays_advance_the_logical_clock_not_wall_time(self):
+        clock = LogicalClock()
+        policy = RetryPolicy(
+            max_attempts=3, base_delay=4, multiplier=2, clock=clock
+        )
+        before = clock.now()
+        assert policy.run(flaky(2)) == "done"
+        # Two retries: delays 4 then 8 ticks.
+        assert clock.now() - before == 12
+
+    def test_no_clock_means_no_delay_bookkeeping(self):
+        policy = RetryPolicy(max_attempts=3, base_delay=4)
+        assert policy.run(flaky(2)) == "done"  # simply must not crash

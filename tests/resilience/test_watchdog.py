@@ -1,0 +1,278 @@
+"""The watchdog: deadline/lease reaping, orphan aborts, containment,
+and the same-step waits-for pruning regression (watchdog vs deadlock
+detector interplay)."""
+
+import pytest
+
+from repro.core.dependency import DependencyType as D
+from repro.resilience import install_resilience
+from repro.runtime.coop import CooperativeRuntime, SchedulerStalledError
+
+
+def _idle(tx):
+    return
+    yield
+
+
+def _writer(oid, value):
+    def body(tx):
+        yield tx.write(oid, value)
+
+    return body
+
+
+@pytest.fixture
+def stack(rt):
+    """(runtime, manager, kit) with resilience installed."""
+    kit = install_resilience(rt.manager, rt, scan_interval=4)
+    return rt, rt.manager, kit
+
+
+def create_objects(rt, count):
+    oids = []
+
+    def setup(tx):
+        for index in range(count):
+            oids.append((yield tx.create(b"v0-%d" % index)))
+
+    assert rt.run(setup).committed
+    return oids
+
+
+class TestDeadlineReaping:
+    def test_expired_deadline_aborts_the_transaction(self, stack):
+        rt, manager, kit = stack
+        [a] = create_objects(rt, 1)
+        tid = rt.spawn(_writer(a, b"v1"))
+        rt.wait(tid)
+        kit.deadlines.set_deadline(tid, budget=10)
+
+        assert kit.watchdog.scan(now=manager.clock.now() + 10) == [tid]
+        assert manager.table.get(tid).status.is_terminated
+        [record] = kit.watchdog.reaped
+        assert record.tid == tid
+        assert record.kind == "deadline"
+        assert record.closure == [tid]
+        assert record.cascaded == 0
+        assert kit.watchdog.stats["deadline_aborts"] == 1
+        # Bookkeeping is cleared: the next scan reaps nothing.
+        assert kit.watchdog.scan(now=manager.clock.now() + 99) == []
+
+    def test_unexpired_deadline_is_left_alone(self, stack):
+        rt, manager, kit = stack
+        [a] = create_objects(rt, 1)
+        tid = rt.spawn(_writer(a, b"v1"))
+        rt.wait(tid)
+        kit.deadlines.set_deadline(tid, budget=1000)
+        assert kit.watchdog.scan() == []
+        assert rt.commit(tid)
+
+    def test_terminated_victim_is_pruned_not_aborted(self, stack):
+        rt, manager, kit = stack
+        [a] = create_objects(rt, 1)
+        tid = rt.spawn(_writer(a, b"v1"))
+        rt.wait(tid)
+        assert rt.commit(tid)
+        # A stale entry for a terminated transaction (the event hook
+        # normally forgets it) is pruned during the scan, never re-aborted.
+        kit.deadlines.set_deadline(tid, at=0)
+        assert kit.watchdog.scan() == []
+        assert kit.deadlines.deadline_of(tid) is None
+
+    def test_disabled_watchdog_reaps_nothing(self, stack):
+        rt, manager, kit = stack
+        [a] = create_objects(rt, 1)
+        tid = rt.spawn(_writer(a, b"v1"))
+        rt.wait(tid)
+        kit.deadlines.set_deadline(tid, at=0)
+        kit.watchdog.enabled = False
+        assert kit.watchdog.scan() == []
+        assert not manager.table.get(tid).status.is_terminated
+
+
+class TestLeaseReaping:
+    def test_lapsed_lease_aborts_the_holder(self, stack):
+        rt, manager, kit = stack
+        [a] = create_objects(rt, 1)
+        tid = rt.spawn(_writer(a, b"v1"))
+        rt.wait(tid)
+        kit.deadlines.grant_lease(tid, duration=16)
+        assert kit.watchdog.scan(now=manager.clock.now() + 16) == [tid]
+        [record] = kit.watchdog.reaped
+        assert record.kind == "lease"
+
+    def test_heartbeat_keeps_the_holder_alive(self, stack):
+        rt, manager, kit = stack
+        [a] = create_objects(rt, 1)
+        tid = rt.spawn(_writer(a, b"v1"))
+        rt.wait(tid)
+        kit.deadlines.grant_lease(tid, duration=16)
+        for __ in range(5):
+            manager.clock.tick(10)
+            kit.deadlines.heartbeat(tid)
+            assert kit.watchdog.scan() == []
+        assert rt.commit(tid)
+
+
+class TestOrphanAborts:
+    def _delegated_pair(self, rt, manager, kit, oid):
+        t1 = rt.spawn(_writer(oid, b"v1"))
+        rt.wait(t1)
+        t2 = rt.spawn(_idle)
+        rt.wait(t2)
+        manager.delegate(t1, t2, oids={oid})
+        return t1, t2
+
+    def test_reaped_guardian_orphan_aborts_the_ward(self, stack):
+        rt, manager, kit = stack
+        [a] = create_objects(rt, 1)
+        t1, t2 = self._delegated_pair(rt, manager, kit, a)
+        kit.deadlines.grant_lease(t1, duration=32)
+
+        reaped = kit.watchdog.scan(now=manager.clock.now() + 32)
+        assert reaped == [t1, t2]
+        kinds = {r.tid: r.kind for r in kit.watchdog.reaped}
+        assert kinds == {t1: "lease", t2: "orphan"}
+        assert manager.table.get(t2).status.is_terminated
+        assert kit.watchdog.stats["orphan_aborts"] == 1
+
+    def test_ward_with_live_lease_survives_its_guardian(self, stack):
+        rt, manager, kit = stack
+        [a] = create_objects(rt, 1)
+        t1, t2 = self._delegated_pair(rt, manager, kit, a)
+        kit.deadlines.grant_lease(t1, duration=32)
+        kit.deadlines.grant_lease(t2, duration=10_000)
+
+        reaped = kit.watchdog.scan(now=manager.clock.now() + 32)
+        assert reaped == [t1]
+        assert not manager.table.get(t2).status.is_terminated
+        # The delegated write moved to t2, which can still commit it.
+        assert rt.commit(t2)
+
+    def test_ward_of_healthy_guardian_is_untouched(self, stack):
+        rt, manager, kit = stack
+        [a, b] = create_objects(rt, 2)
+        t1, t2 = self._delegated_pair(rt, manager, kit, a)
+        # A third, unrelated lease lapses; the guardian t1 is healthy, so
+        # its ward must not be orphan-aborted.
+        t3 = rt.spawn(_writer(b, b"v1"))
+        rt.wait(t3)
+        kit.deadlines.grant_lease(t3, duration=8)
+
+        reaped = kit.watchdog.scan(now=manager.clock.now() + 8)
+        assert reaped == [t3]
+        assert not manager.table.get(t1).status.is_terminated
+        assert not manager.table.get(t2).status.is_terminated
+
+
+class TestContainmentAccounting:
+    def test_closure_counts_cascaded_aborts(self, stack):
+        rt, manager, kit = stack
+        [a, b] = create_objects(rt, 2)
+        t1 = rt.spawn(_writer(a, b"v1"))
+        t2 = rt.spawn(_writer(b, b"v1"))
+        rt.wait(t1)
+        rt.wait(t2)
+        # AD(t1 -> t2): if t1 aborts, t2 must abort.
+        manager.form_dependency(D.AD, t1, t2)
+        kit.deadlines.set_deadline(t1, at=manager.clock.now())
+
+        assert kit.watchdog.scan() == [t1]
+        [record] = kit.watchdog.reaped
+        assert set(record.closure) == {t1, t2}
+        assert record.cascaded == 1
+        assert kit.watchdog.stats["cascaded_aborts"] == 1
+        assert manager.table.get(t2).status.is_terminated
+
+
+class TestStallRescue:
+    def test_on_stall_with_nothing_armed_reports_false(self, stack):
+        rt, manager, kit = stack
+        assert kit.watchdog.on_stall() is False
+
+    def test_on_stall_time_travels_to_the_next_expiry(self, stack):
+        rt, manager, kit = stack
+        [a] = create_objects(rt, 1)
+        tid = rt.spawn(_writer(a, b"v1"))
+        rt.wait(tid)
+        kit.deadlines.grant_lease(tid, duration=500)
+        before = manager.clock.now()
+
+        assert kit.watchdog.on_stall() is True
+        assert manager.clock.now() >= before + 500
+        assert manager.table.get(tid).status.is_terminated
+        assert kit.watchdog.stats["stall_rescues"] == 1
+
+    def test_on_round_scans_at_the_interval(self, stack):
+        rt, manager, kit = stack
+        [a] = create_objects(rt, 1)
+        tid = rt.spawn(_writer(a, b"v1"))
+        rt.wait(tid)
+        kit.deadlines.set_deadline(tid, budget=2)
+        scans_before = kit.watchdog.stats["scans"]
+        reaped = []
+        for __ in range(kit.watchdog.scan_interval + 1):
+            reaped.extend(kit.watchdog.on_round())
+        assert kit.watchdog.stats["scans"] > scans_before
+        assert reaped == [tid]
+
+
+class TestWaitsForInterplay:
+    """Satellite: a transaction the watchdog aborts while parked in the
+    commit-wait scan must leave the waits-for graph in the same step."""
+
+    def test_commit_parked_victim_pruned_from_waits_for(self, stack):
+        rt, manager, kit = stack
+        [a, b] = create_objects(rt, 2)
+        t1 = rt.spawn(_writer(a, b"v1"))
+        t2 = rt.spawn(_writer(b, b"v1"))
+        rt.wait(t1)
+        rt.wait(t2)
+        # CD(t1 -> t2): t2 cannot commit before t1.  try_commit parks t2
+        # in the commit-wait scan, so the waits-for graph has t2 -> t1.
+        manager.form_dependency(D.CD, t1, t2)
+        assert not manager.try_commit(t2).is_final
+        graph = rt._detector.build_graph()
+        assert t2 in graph
+
+        kit.deadlines.set_deadline(t2, at=manager.clock.now())
+        assert kit.watchdog.scan() == [t2]
+        # Same step: the snapshot the scan worked on no longer holds t2.
+        assert t2 not in kit.watchdog.last_graph
+        # And a fresh graph agrees — the abort-bound victim is invisible
+        # to the deadlock detector from here on.
+        assert t2 not in rt._detector.build_graph()
+        assert rt.commit(t1)
+
+    def test_injected_stall_is_rescued_not_raised(self, rt):
+        """Regression with an injected stall: the runtime's commit wait
+        wedges on a CD dependee that never commits; the watchdog's
+        deadline abort must rescue the schedule instead of letting
+        SchedulerStalledError escape."""
+        kit = install_resilience(rt.manager, rt, scan_interval=4)
+        manager = rt.manager
+        [a, b] = create_objects(rt, 2)
+        t1 = rt.spawn(_writer(a, b"v1"))
+        t2 = rt.spawn(_writer(b, b"v1"))
+        rt.wait(t1)
+        rt.wait(t2)
+        manager.form_dependency(D.CD, t1, t2)
+        # t1 never commits (its driver "crashed").  Give t2 a deadline the
+        # stall rescue can fire, then drive its commit to the stall.
+        kit.deadlines.set_deadline(t2, budget=50)
+
+        assert rt.commit(t2) == 0  # aborted by the watchdog, not stalled
+        assert [r.tid for r in kit.watchdog.reaped] == [t2]
+        assert t2 not in kit.watchdog.last_graph
+        assert rt.commit(t1)  # the dependee is healthy and free to go
+
+    def test_without_watchdog_the_same_stall_raises(self, rt):
+        manager = rt.manager
+        [a, b] = create_objects(rt, 2)
+        t1 = rt.spawn(_writer(a, b"v1"))
+        t2 = rt.spawn(_writer(b, b"v1"))
+        rt.wait(t1)
+        rt.wait(t2)
+        manager.form_dependency(D.CD, t1, t2)
+        with pytest.raises(SchedulerStalledError):
+            rt.commit(t2)
