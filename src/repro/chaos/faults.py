@@ -66,6 +66,11 @@ POOL_FLUSH = "pool_flush"  # buffer-pool write-back boundary
 GC_ENROLL = "gc_enroll"  # FlushCoalescer commit enrollment
 IO_KINDS = (PAGE_WRITE, PAGE_SYNC, LOG_APPEND, LOG_FLUSH, POOL_FLUSH, GC_ENROLL)
 
+# Network steps: every message send on the simulated fabric is numbered
+# through the same injector as the storage I/O, so one plan (and one
+# step universe) covers both storage and network faults deterministically.
+NET_MSG = "net_msg"  # NetworkFabric.send
+
 
 @dataclass(frozen=True)
 class IoStep:
@@ -91,6 +96,22 @@ class FaultPlan:
     crash_at_failpoint: tuple = None  # (name, nth occurrence)
     keep_tail: bool = False
     label: str = ""
+    # Network faults (NET_MSG steps on the simulated fabric):
+    # * ``drop_msg_at`` — the message sent at step k silently vanishes;
+    # * ``dup_msg_at`` — it is delivered twice (at-least-once links);
+    # * ``delay_msg_at`` — its delivery slips one pump round (reordering
+    #   past everything sent in the same round);
+    # * ``partition_at`` / ``heal_at`` — from step k (until step h, or
+    #   forever) the fabric severs links between ``partition_groups``;
+    # * ``site_crash_at=(site, k)`` — the named site loses power when
+    #   message step k is sent (whichever site sent it).
+    drop_msg_at: frozenset = frozenset()
+    dup_msg_at: frozenset = frozenset()
+    delay_msg_at: frozenset = frozenset()
+    partition_at: int = None
+    heal_at: int = None
+    partition_groups: tuple = ()
+    site_crash_at: tuple = None  # (site name, step number)
 
     def __post_init__(self):
         object.__setattr__(
@@ -98,6 +119,16 @@ class FaultPlan:
         )
         object.__setattr__(
             self, "fail_flush_at", frozenset(self.fail_flush_at)
+        )
+        object.__setattr__(self, "drop_msg_at", frozenset(self.drop_msg_at))
+        object.__setattr__(self, "dup_msg_at", frozenset(self.dup_msg_at))
+        object.__setattr__(
+            self, "delay_msg_at", frozenset(self.delay_msg_at)
+        )
+        object.__setattr__(
+            self,
+            "partition_groups",
+            tuple(tuple(group) for group in self.partition_groups),
         )
 
     @property
@@ -108,6 +139,11 @@ class FaultPlan:
             and not self.lose_fsync_at
             and not self.fail_flush_at
             and self.crash_at_failpoint is None
+            and not self.drop_msg_at
+            and not self.dup_msg_at
+            and not self.delay_msg_at
+            and self.partition_at is None
+            and self.site_crash_at is None
         )
 
     def describe(self):
@@ -124,6 +160,22 @@ class FaultPlan:
             parts.append(f"crash_at_failpoint={self.crash_at_failpoint}")
         if self.keep_tail:
             parts.append("keep_tail=True")
+        if self.drop_msg_at:
+            parts.append(f"drop_msg_at={sorted(self.drop_msg_at)}")
+        if self.dup_msg_at:
+            parts.append(f"dup_msg_at={sorted(self.dup_msg_at)}")
+        if self.delay_msg_at:
+            parts.append(f"delay_msg_at={sorted(self.delay_msg_at)}")
+        if self.partition_at is not None:
+            groups = "|".join(
+                ",".join(group) for group in self.partition_groups
+            )
+            healed = f"..{self.heal_at}" if self.heal_at is not None else ""
+            parts.append(
+                f"partition_at={self.partition_at}{healed} ({groups})"
+            )
+        if self.site_crash_at is not None:
+            parts.append(f"site_crash_at={self.site_crash_at}")
         return ", ".join(parts) if parts else "no faults"
 
     def to_dict(self):
@@ -140,11 +192,25 @@ class FaultPlan:
             ),
             "keep_tail": self.keep_tail,
             "label": self.label,
+            "drop_msg_at": sorted(self.drop_msg_at),
+            "dup_msg_at": sorted(self.dup_msg_at),
+            "delay_msg_at": sorted(self.delay_msg_at),
+            "partition_at": self.partition_at,
+            "heal_at": self.heal_at,
+            "partition_groups": [
+                list(group) for group in self.partition_groups
+            ],
+            "site_crash_at": (
+                list(self.site_crash_at)
+                if self.site_crash_at is not None
+                else None
+            ),
         }
 
     @classmethod
     def from_dict(cls, data):
         failpoint = data.get("crash_at_failpoint")
+        site_crash = data.get("site_crash_at")
         return cls(
             crash_at=data.get("crash_at"),
             torn_page_at=data.get("torn_page_at"),
@@ -153,6 +219,15 @@ class FaultPlan:
             crash_at_failpoint=tuple(failpoint) if failpoint else None,
             keep_tail=bool(data.get("keep_tail", False)),
             label=data.get("label", ""),
+            drop_msg_at=frozenset(data.get("drop_msg_at", ())),
+            dup_msg_at=frozenset(data.get("dup_msg_at", ())),
+            delay_msg_at=frozenset(data.get("delay_msg_at", ())),
+            partition_at=data.get("partition_at"),
+            heal_at=data.get("heal_at"),
+            partition_groups=tuple(
+                tuple(group) for group in data.get("partition_groups", ())
+            ),
+            site_crash_at=tuple(site_crash) if site_crash else None,
         )
 
     def with_(self, **changes):
@@ -277,6 +352,29 @@ class FaultInjector:
             return
         step = self._next(GC_ENROLL, f"pending={pending_commits}")
         self._check_crash(step)
+
+    def message(self, src, dst, kind):
+        """A message send on the simulated fabric; returns a verdict.
+
+        The verdict is ``(action, step)`` with ``action`` one of
+        ``"deliver"``, ``"drop"``, ``"duplicate"``, ``"delay"`` (and
+        ``step`` the recorded :class:`IoStep`, or ``None`` when the
+        injector is disarmed).  Partition and site-crash effects are the
+        fabric's job — it reads the plan and the step number itself —
+        because they depend on fabric state (group membership, link
+        endpoints) the injector deliberately knows nothing about.
+        """
+        if not self.armed:
+            return "deliver", None
+        step = self._next(NET_MSG, f"{src}->{dst}:{kind}")
+        self._check_crash(step)
+        if step.number in self.plan.drop_msg_at:
+            return "drop", step
+        if step.number in self.plan.dup_msg_at:
+            return "duplicate", step
+        if step.number in self.plan.delay_msg_at:
+            return "delay", step
+        return "deliver", step
 
     def failpoint(self, name):
         """A named semantic failpoint (transaction-manager failure hook).

@@ -38,7 +38,9 @@ from repro.storage.log import (
     AfterImageRecord,
     BeforeImageRecord,
     CommitRecord,
+    DecisionRecord,
     DelegateRecord,
+    PrepareRecord,
 )
 
 
@@ -49,12 +51,15 @@ class LogAnalysis:
     winners: set = field(default_factory=set)
     losers: set = field(default_factory=set)
     already_aborted: set = field(default_factory=set)
+    in_doubt: set = field(default_factory=set)
     updates: list = field(default_factory=list)
     responsibility: dict = field(default_factory=dict)  # lsn -> tid
     commit_positions: dict = field(default_factory=dict)  # tid -> index
+    prepares: dict = field(default_factory=dict)  # gid -> PrepareRecord
+    decisions: dict = field(default_factory=dict)  # gid -> verdict
 
     def fate(self, tid):
-        """Durable fate of ``tid``: committed / aborted / active."""
+        """Durable fate of ``tid``: committed / aborted / in_doubt / active."""
         if tid in self.winners:
             return "committed"
         if (
@@ -62,6 +67,8 @@ class LogAnalysis:
             or tid in self.already_aborted
         ):
             return "aborted"
+        if tid in self.in_doubt:
+            return "in_doubt"
         return "active"
 
 
@@ -72,11 +79,21 @@ def analyze_log(records):
     the record definitions alone — the independence is the point.
     """
     analysis = LogAnalysis()
+    prepares = []
     for index, record in enumerate(records):
         if isinstance(record, CommitRecord):
             for tid in record.committed_tids():
                 analysis.winners.add(tid)
                 analysis.commit_positions.setdefault(tid, index)
+        elif isinstance(record, DecisionRecord):
+            analysis.decisions[record.gid] = record.verdict
+            if record.verdict == "commit":
+                for tid in record.decided_tids():
+                    analysis.winners.add(tid)
+                    analysis.commit_positions.setdefault(tid, index)
+        elif isinstance(record, PrepareRecord):
+            prepares.append(record)
+            analysis.prepares[record.gid] = record
         elif isinstance(record, AbortRecord):
             analysis.already_aborted.add(record.tid)
         elif isinstance(record, BeforeImageRecord):
@@ -90,9 +107,18 @@ def analyze_log(records):
                     and update.oid in wanted
                 ):
                     analysis.responsibility[update.lsn] = record.delegatee
+    for record in prepares:
+        analysis.in_doubt |= (
+            record.prepared_tids()
+            - analysis.winners
+            - analysis.already_aborted
+        )
     responsible = set(analysis.responsibility.values())
     analysis.losers = (
-        responsible - analysis.winners - analysis.already_aborted
+        responsible
+        - analysis.winners
+        - analysis.already_aborted
+        - analysis.in_doubt
     )
     return analysis
 
@@ -239,6 +265,94 @@ def check_idempotent(system, report=None):
             f" — the first pass did not finish them with abort records",
         )
     return report
+
+
+def _global_fate(analysis, tid):
+    """A member's durable fate, collapsed for cross-site judgment.
+
+    ``active`` here means *no durable trace at all* — no updates it is
+    responsible for, no outcome record.  Such a member has zero effects,
+    which is observationally an abort (presumed abort says exactly
+    this), so it collapses into ``aborted``.  ``in_doubt`` stays
+    distinct: it is legal mid-partition and illegal after convergence.
+    """
+    fate = analysis.fate(tid)
+    return "aborted" if fate == "active" else fate
+
+
+def check_cross_site_atomicity(groups, site_analyses, report=None):
+    """No site durably commits a group another site durably aborted.
+
+    ``groups`` maps each global id to ``{"coordinator": site_name,
+    "members": {site_name: tid}}`` — the *intended* membership recorded
+    by the cluster driver before any protocol message was sent, so a
+    mutated protocol that forgot a member is still judged against the
+    full group.  ``site_analyses`` maps site names to the
+    :class:`LogAnalysis` of that site's durable log.
+
+    A member in doubt is not a violation here (that is what the
+    convergence oracle checks); split brain is exactly one member
+    durably committed while another durably aborted.
+    """
+    if report is None:
+        report = OracleReport(label="cross-site-atomicity")
+    for gid in sorted(groups):
+        members = groups[gid]["members"]
+        fates = {
+            site: _global_fate(site_analyses[site], tid)
+            for site, tid in sorted(members.items())
+        }
+        committed = [site for site, fate in fates.items() if fate == "committed"]
+        aborted = [site for site, fate in fates.items() if fate == "aborted"]
+        if committed and aborted:
+            report.fail(
+                "cross-site-atomicity",
+                f"global {gid}: committed at {committed} but aborted at"
+                f" {aborted} (split brain)",
+            )
+    return report
+
+
+def check_cluster_convergence(groups, site_analyses, report=None):
+    """After restart + healing + resolution, nobody is still in doubt.
+
+    The liveness half of presumed abort: once every site is back up and
+    every partition healed, in-doubt resolution (coordinator decision
+    record, or no-information-implies-abort) must terminate every
+    member.  Run this only after the harness has given the cluster its
+    convergence rounds — mid-partition an in-doubt member is correct.
+    """
+    if report is None:
+        report = OracleReport(label="convergence")
+    for gid in sorted(groups):
+        members = groups[gid]["members"]
+        for site, tid in sorted(members.items()):
+            fate = _global_fate(site_analyses[site], tid)
+            if fate == "in_doubt":
+                report.fail(
+                    "convergence",
+                    f"global {gid}: member {tid!r} at {site} is still in"
+                    f" doubt after resolution",
+                )
+    return report
+
+
+def evaluate_cluster(groups, site_records, label="", converged=True):
+    """Judge a whole cluster run from its durable logs.
+
+    ``site_records`` maps site names to durable record lists; every
+    site's log is digested independently, then the cross-site atomicity
+    oracle (and, when ``converged``, the convergence oracle) runs over
+    the intended group membership.  Returns ``(report, analyses)``.
+    """
+    report = OracleReport(label=label)
+    analyses = {
+        site: analyze_log(records) for site, records in site_records.items()
+    }
+    check_cross_site_atomicity(groups, analyses, report)
+    if converged:
+        check_cluster_convergence(groups, analyses, report)
+    return report, analyses
 
 
 def check_degradation(health, report=None):

@@ -1,18 +1,29 @@
 """Replay chaos counterexamples from the command line.
 
-Every failure artifact the sweep or the schedule explorer produces
+Every failure artifact the sweeps or the schedule explorer produce
 embeds a one-command recipe::
 
     PYTHONPATH=src python -m repro.chaos.replay ex10_commit_abort \\
         --plan '{"crash_at": 42}'
 
+    PYTHONPATH=src python -m repro.chaos.replay cluster_group_commit \\
+        --drop-at 34 --site-crash alpha 38
+
 which re-runs the named scenario under exactly that fault plan (and/or
-recorded schedule), prints the I/O trace, the recovery report, and the
-oracle verdict, and exits non-zero when the violation reproduces.
+recorded schedule), prints the trace and the oracle verdict, and exits
+non-zero when the violation reproduces.  Single-site scenarios resolve
+through the chaos registry and run on a
+:class:`~repro.chaos.stack.ChaosStack`; cluster scenarios resolve
+through :data:`repro.cluster.scenarios.CLUSTER_SCENARIOS` and run on a
+full :class:`~repro.cluster.cluster.Cluster` with the recover-and-
+converge harness of :mod:`repro.cluster.sweep`.
 
 Flags compose with ``--plan``: explicit flags override the JSON fields,
 so ``--crash-at 41`` on an existing artifact probes the neighbouring
-step without editing JSON.
+step without editing JSON.  The last line of output is always a
+machine-readable JSON verdict (``{"scenario", "plan", "ok",
+"violations", ...}``) so CI and scripts can consume the result without
+scraping prose.
 """
 
 from __future__ import annotations
@@ -26,6 +37,22 @@ from repro.chaos.explorer import ScheduleController, decode_choices
 from repro.chaos.faults import FaultPlan
 from repro.chaos.scenarios import live_violations
 from repro.chaos.sweep import run_plan
+from repro.cluster import scenarios as cluster_scenarios
+from repro.cluster.sweep import run_cluster_plan
+
+
+def _parse_partition(text):
+    """``"alpha|beta,gamma"`` -> ``(("alpha",), ("beta", "gamma"))``."""
+    groups = tuple(
+        tuple(name for name in part.split(",") if name)
+        for part in text.split("|")
+    )
+    groups = tuple(group for group in groups if group)
+    if len(groups) < 2:
+        raise argparse.ArgumentTypeError(
+            f"a partition needs at least two groups: {text!r}"
+        )
+    return groups
 
 
 def build_plan(args):
@@ -44,7 +71,61 @@ def build_plan(args):
         overrides["crash_at_failpoint"] = (name, int(nth))
     if args.keep_tail:
         overrides["keep_tail"] = True
+    # Network faults (cluster scenarios).
+    if args.drop_at:
+        overrides["drop_msg_at"] = frozenset(args.drop_at)
+    if args.dup_at:
+        overrides["dup_msg_at"] = frozenset(args.dup_at)
+    if args.delay_at:
+        overrides["delay_msg_at"] = frozenset(args.delay_at)
+    if args.partition is not None:
+        overrides["partition_groups"] = args.partition
+        overrides["partition_at"] = (
+            args.partition_at if args.partition_at is not None else 1
+        )
+        if args.heal_at is not None:
+            overrides["heal_at"] = args.heal_at
+    if args.site_crash is not None:
+        site, step = args.site_crash
+        overrides["site_crash_at"] = (site, int(step))
     return base.with_(**overrides) if overrides else base
+
+
+def _verdict_line(scenario, plan, ok, violations, **extra):
+    """The machine-readable last line: one JSON object, stable keys."""
+    payload = {
+        "scenario": scenario,
+        "plan": plan.to_dict(),
+        "ok": bool(ok),
+        "violations": list(violations),
+    }
+    payload.update(extra)
+    print(json.dumps(payload, sort_keys=True))
+
+
+def _run_cluster(spec, plan, args):
+    result = run_cluster_plan(spec, plan)
+    if args.trace:
+        for number, src, dst, kind, action in result.cluster.fabric.delivery_log:
+            step = f"{number:4d}" if number is not None else "   -"
+            print(f"  {step} {src}->{dst} {kind} [{action}]")
+    print(f"plan: {plan.describe() or 'no-fault'}")
+    if result.driver_error:
+        print(f"console lost contact: {result.driver_error}")
+    print(f"converged: {result.converged}")
+    print(result.report.describe())
+    violations = list(result.report.violations)
+    if not result.converged:
+        violations.append("convergence: cluster did not quiesce")
+    _verdict_line(
+        spec.name,
+        plan,
+        result.ok,
+        violations,
+        converged=result.converged,
+        driver_error=result.driver_error,
+    )
+    return 0 if result.ok else 1
 
 
 def main(argv=None):
@@ -76,6 +157,33 @@ def main(argv=None):
     parser.add_argument("--keep-tail", action="store_true",
                         help="the OS wrote back the volatile log tail")
     parser.add_argument(
+        "--drop-at", type=int, action="append", default=[],
+        help="drop the message at step N (repeatable; cluster scenarios)",
+    )
+    parser.add_argument(
+        "--dup-at", type=int, action="append", default=[],
+        help="duplicate the message at step N (repeatable)",
+    )
+    parser.add_argument(
+        "--delay-at", type=int, action="append", default=[],
+        help="delay the message at step N one round (repeatable)",
+    )
+    parser.add_argument(
+        "--partition", type=_parse_partition, metavar="A|B,C",
+        help="sever site groups, '|'-separated, names ','-separated",
+    )
+    parser.add_argument(
+        "--partition-at", type=int,
+        help="install the partition at message step N (default 1)",
+    )
+    parser.add_argument(
+        "--heal-at", type=int, help="heal the partition at message step N"
+    )
+    parser.add_argument(
+        "--site-crash", nargs=2, metavar=("SITE", "STEP"),
+        help="power-cut SITE when message step STEP is reached",
+    )
+    parser.add_argument(
         "--schedule",
         help="per-round task-index permutations, e.g. '1,0;0,2,1'",
     )
@@ -86,12 +194,18 @@ def main(argv=None):
     if args.list:
         for name in scenarios.names():
             print(f"{name}: {scenarios.get(name).description}")
+        for name in cluster_scenarios.names():
+            print(f"{name} [cluster]: {cluster_scenarios.get(name).description}")
         return 0
     if not args.scenario:
         parser.error("a scenario name is required (or --list)")
 
-    spec = scenarios.get(args.scenario)
     plan = build_plan(args)
+
+    if args.scenario in cluster_scenarios.CLUSTER_SCENARIOS:
+        return _run_cluster(cluster_scenarios.get(args.scenario), plan, args)
+
+    spec = scenarios.get(args.scenario)
     controller = (
         ScheduleController(choices=decode_choices(args.schedule))
         if args.schedule is not None
@@ -111,9 +225,12 @@ def main(argv=None):
             print("oracle VIOLATED:")
             for violation in violations:
                 print(f"  - {violation}")
-            return 1
-        print("oracle OK")
-        return 0
+        else:
+            print("oracle OK")
+        _verdict_line(
+            spec.name, plan, not violations, violations, schedule=args.schedule
+        )
+        return 1 if violations else 0
 
     policy_factory = None
     if args.retry is not None:
@@ -139,6 +256,7 @@ def main(argv=None):
         print("run completed; power cut applied at end")
     print(f"recovery: {outcome.system.report!r}")
     print(outcome.oracle.describe())
+    _verdict_line(spec.name, plan, outcome.ok, outcome.oracle.violations)
     return 0 if outcome.ok else 1
 
 

@@ -1,0 +1,19 @@
+"""Multi-site ASSET: cross-site primitives over an unreliable fabric.
+
+A :class:`~repro.cluster.cluster.Cluster` connects N
+:class:`~repro.cluster.site.Site` instances — each a complete local
+ASSET stack (storage, WAL, transaction manager, cooperative runtime) —
+through the deterministic unreliable
+:class:`~repro.net.fabric.NetworkFabric`.  Remote transactions are
+represented locally by *proxies*, which is what lets every section 4.2
+primitive (``delegate``, ``permit``, ``form_dependency``) span sites
+without changing the core.  Cross-site groups commit atomically by
+presumed-abort two-phase commit; crashes, partitions, and message loss
+are survived, swept, and judged by the oracles in
+:mod:`repro.chaos.oracles`.
+"""
+
+from repro.cluster.cluster import Cluster, GroupOutcome, SiteRef
+from repro.cluster.site import Site
+
+__all__ = ["Cluster", "GroupOutcome", "Site", "SiteRef"]

@@ -1,0 +1,406 @@
+"""The multi-site ASSET cluster: N sites, one fabric, one plan.
+
+:class:`Cluster` assembles :class:`~repro.cluster.site.Site` instances
+over a shared :class:`~repro.net.fabric.NetworkFabric`, a shared
+:class:`~repro.common.clock.LogicalClock`, and a *single*
+:class:`~repro.chaos.faults.FaultInjector` — so every storage I/O step
+and every message step across all sites draws from one deterministic
+counter, and one :class:`~repro.chaos.faults.FaultPlan` reproduces a
+whole multi-site failure scenario.
+
+The driver itself is a fabric endpoint named ``"client"`` — the test
+console.  Its RPCs ride the same unreliable links as everything else and
+are retried by the resilience :class:`~repro.resilience.retry.RetryPolicy`
+(network faults are :class:`~repro.common.errors.TransientError`\\ s, so
+the default policy already covers them).  A call that exhausts retries
+raises — or, for :meth:`group_commit`, degrades to an *unresolved*
+:class:`GroupOutcome`: the cluster may still settle the group on its own
+once links heal; :meth:`converge` drives that settlement.
+
+The cluster records every group-commit *intent* in :attr:`groups`, in
+exactly the shape :func:`repro.chaos.oracles.evaluate_cluster` consumes
+— the bridge between "what the driver asked for" and "what the durable
+logs say happened" that the cross-site atomicity oracle checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import count
+
+from repro.chaos.faults import FaultInjector, FaultPlan
+from repro.chaos.oracles import evaluate_cluster
+from repro.common.clock import LogicalClock
+from repro.common.errors import NetworkTimeout, RetryExhausted
+from repro.common.ids import Tid
+from repro.core.dependency import DependencyType
+from repro.net.fabric import NetworkFabric
+from repro.resilience.retry import RetryPolicy
+from repro.cluster import site as protocol
+from repro.cluster.site import Site
+
+__all__ = ["Cluster", "GroupOutcome", "SiteRef"]
+
+
+@dataclass(frozen=True)
+class SiteRef:
+    """A transaction named from outside its site: ``(site, tid)``."""
+
+    site: str
+    tid: Tid
+
+    def __repr__(self):
+        return f"{self.site}:{self.tid.value}"
+
+
+@dataclass(frozen=True)
+class GroupOutcome:
+    """What the driver learned about a global group commit.
+
+    ``resolved`` is False when the console lost contact before hearing
+    the verdict — the group is in doubt *from the driver's view* only;
+    the sites settle it themselves and :attr:`committed` then reflects
+    the pessimistic presumption, not the final fate.
+    """
+
+    gid: int
+    committed: bool
+    resolved: bool = True
+
+    def __bool__(self):
+        return self.resolved and self.committed
+
+
+class Cluster:
+    """N ASSET sites behind one deterministic unreliable fabric."""
+
+    def __init__(
+        self,
+        sites=("alpha", "beta", "gamma"),
+        plan=None,
+        injector=None,
+        rpc_timeout=16,
+        rpc_attempts=4,
+        **site_options,
+    ):
+        self.injector = (
+            injector
+            if injector is not None
+            else FaultInjector(plan=plan if plan is not None else FaultPlan())
+        )
+        self.clock = LogicalClock()
+        self.fabric = NetworkFabric(injector=self.injector)
+        self.fabric.crash_hook = self.crash_site
+        self.sites = {
+            name: Site(
+                name,
+                self.fabric,
+                clock=self.clock,
+                injector=self.injector,
+                **site_options,
+            )
+            for name in sites
+        }
+        self.rpc_timeout = rpc_timeout
+        self.retry = RetryPolicy(
+            max_attempts=rpc_attempts, base_delay=1, max_delay=4, clock=self.clock
+        )
+        self.fabric.register("client", self._on_client_message)
+        self._replies = {}
+        self._gids = count(1)
+        self.groups = {}
+        self.rounds = 0
+
+    # -- time --------------------------------------------------------------
+
+    def tick(self):
+        """One cluster round: deliver, then give every site a duty slice."""
+        self.fabric.pump_round()
+        for name in sorted(self.sites):
+            self.sites[name].on_tick()
+        self.clock.tick()
+        self.rounds += 1
+
+    def settle(self, rounds=8):
+        """Run a fixed number of rounds (protocol soak, no early exit)."""
+        for __ in range(rounds):
+            self.tick()
+
+    def unsettled(self):
+        return self.fabric.pending() > 0 or any(
+            site.up and site.unsettled() for site in self.sites.values()
+        )
+
+    def converge(self, max_rounds=200):
+        """Drive rounds until protocol state quiesces; True on success.
+
+        This is the post-fault settlement loop: decision re-sends,
+        status inquiries, and in-doubt resolution all happen on ticks,
+        so "no pending messages and no unsettled site" is the fixpoint.
+        A cluster that cannot settle (coordinator still partitioned
+        away) exhausts the budget and returns False.
+        """
+        idle = 0
+        for __ in range(max_rounds):
+            if not self.unsettled():
+                idle += 1
+                if idle >= 2:
+                    return True
+            else:
+                idle = 0
+            self.tick()
+        return not self.unsettled()
+
+    # -- the console RPC channel ------------------------------------------
+
+    def _on_client_message(self, msg):
+        if msg.reply_to is not None:
+            self._replies[msg.reply_to] = msg
+
+    def call(self, dst, kind, payload=None, timeout=None, retry=True):
+        """An RPC from the console, over the same unreliable links.
+
+        Raises :class:`~repro.common.errors.NetworkTimeout` when no
+        reply arrives within the round budget; with ``retry`` the
+        resilience policy re-sends (timeouts are transient) and
+        :class:`~repro.common.errors.RetryExhausted` is the final word.
+        """
+        timeout = timeout if timeout is not None else self.rpc_timeout
+
+        def attempt():
+            msg = self.fabric.send("client", dst, kind, payload or {})
+            for __ in range(timeout):
+                self.tick()
+                reply = self._replies.pop(msg.msg_id, None)
+                if reply is not None:
+                    return reply
+            raise NetworkTimeout("client", dst, kind, timeout)
+
+        if retry:
+            return self.retry.run(attempt, op=f"rpc.{kind}")
+        return attempt()
+
+    # -- transaction console ----------------------------------------------
+
+    def site(self, name):
+        return self.sites[name]
+
+    def initiate_at(self, site, function=None, args=()):
+        """Cross-site ``initiate``; returns a ref or None (null tid)."""
+        reply = self.call(
+            site, protocol.INITIATE, {"function": function, "args": tuple(args)}
+        )
+        value = reply.payload["tid"]
+        return SiteRef(site, Tid(value)) if value else None
+
+    def begin(self, ref):
+        reply = self.call(ref.site, protocol.BEGIN, {"tid": ref.tid.value})
+        return reply.payload["started"]
+
+    def spawn_at(self, site, function, args=()):
+        """initiate + begin in one console exchange."""
+        reply = self.call(
+            site, protocol.SPAWN, {"function": function, "args": tuple(args)}
+        )
+        value = reply.payload["tid"]
+        return SiteRef(site, Tid(value)) if value else None
+
+    def wait(self, ref, max_rounds=64):
+        """Poll the paper's ``wait`` remotely until the fate is known."""
+        for __ in range(max_rounds):
+            reply = self.call(ref.site, protocol.WAIT, {"tid": ref.tid.value})
+            outcome = reply.payload["outcome"]
+            if outcome != "running":
+                return outcome
+        return "running"
+
+    def result_of(self, ref):
+        reply = self.call(ref.site, protocol.RESULT, {"tid": ref.tid.value})
+        return reply.payload["value"]
+
+    def abort(self, ref, reason="console abort"):
+        reply = self.call(
+            ref.site, protocol.ABORT_TX, {"tid": ref.tid.value, "reason": reason}
+        )
+        return reply.payload.get("aborted", False)
+
+    # -- cross-site primitives --------------------------------------------
+
+    def form_dependency(self, dep_type, dependee, dependent):
+        """Section 4.2 ``form_dependency`` across sites.
+
+        Same-site refs use the local primitive directly.  Cross-site,
+        the edge is split into per-site halves against proxies:
+
+        * **GC** — symmetric: each site links its member to the peer's
+          proxy, which is what stitches local groups into the global one
+          (and what routes the 2PC prepare through delegated state).
+        * **AD/ED/BCD/BAD** (dependee's fate triggers the dependent) —
+          installed at *both* sites so whichever side hears the news
+          first propagates it.
+        * **CD** — only the dependent's site needs the edge; the proxy
+          terminates when the dependee's fate notification arrives.
+        """
+        if dependee.site == dependent.site:
+            reply = self.call(
+                dependee.site,
+                protocol.FORM_DEP,
+                {
+                    "dep_type": dep_type.name,
+                    "ti": dependee.tid.value,
+                    "tj": dependent.tid.value,
+                },
+            )
+            return reply.payload["ok"]
+        halves = []
+        if dep_type is DependencyType.GC or dep_type.aborts_dependent_on_commit or (
+            dep_type is DependencyType.AD
+        ):
+            halves.append((dependee.site, "dependee", dependee, dependent))
+        halves.append((dependent.site, "dependent", dependent, dependee))
+        ok = True
+        for site, role, local, peer in halves:
+            reply = self.call(
+                site,
+                protocol.FORM_REMOTE_DEP,
+                {
+                    "dep_type": dep_type.name,
+                    "role": role,
+                    "local": local.tid.value,
+                    "peer_site": peer.site,
+                    "peer_tid": peer.tid.value,
+                },
+            )
+            ok = ok and reply.payload["ok"]
+        return ok
+
+    def delegate(self, giver, receiver, oids=None):
+        """Cross-site ``delegate``: responsibility moves to the receiver.
+
+        The giver's site logs the delegation against the receiver's
+        proxy, so the giver-site WAL attributes undo to the receiver's
+        stand-in from that point on.
+        """
+        reply = self.call(
+            giver.site,
+            protocol.DELEGATE,
+            {
+                "tid": giver.tid.value,
+                "receiver_site": receiver.site,
+                "receiver_tid": receiver.tid.value,
+                "oids": oids,
+            },
+        )
+        return reply.payload
+
+    def permit(self, giver, receiver, oids=None, operations=None):
+        """Cross-site ``permit``: the receiver may access at the giver's
+        site, through its proxy there."""
+        reply = self.call(
+            giver.site,
+            protocol.PERMIT,
+            {
+                "tid": giver.tid.value,
+                "receiver_site": receiver.site,
+                "receiver_tid": receiver.tid.value,
+                "oids": oids,
+                "operations": operations,
+            },
+        )
+        return reply.payload
+
+    def write_as(self, ref, at_site, oid, value):
+        """``ref`` writes an object hosted at ``at_site`` via its proxy."""
+        reply = self.call(
+            at_site,
+            protocol.PROXY_WRITE,
+            {"owner": ref.site, "tid": ref.tid.value, "oid": oid, "value": value},
+        )
+        return reply.payload["granted"]
+
+    def read_as(self, ref, at_site, oid):
+        reply = self.call(
+            at_site,
+            protocol.PROXY_READ,
+            {"owner": ref.site, "tid": ref.tid.value, "oid": oid},
+        )
+        return reply.payload
+
+    # -- global group commit ----------------------------------------------
+
+    def link_group(self, refs):
+        """Pairwise-GC the refs (the paper's group formation), returning
+        the same refs for chaining.  Cross-site pairs get proxy webs."""
+        for left, right in zip(refs, refs[1:]):
+            self.form_dependency(DependencyType.GC, left, right)
+        return refs
+
+    def group_commit(self, refs, coordinator=None, timeout=64):
+        """Commit a cross-site group atomically via presumed-abort 2PC.
+
+        ``refs`` must name at most one component per site (same-site
+        members belong to one local GC group; pass any representative).
+        The coordinator defaults to the first ref's site and must host a
+        member — its durable log is the group's commit point.
+        """
+        members = {}
+        for ref in refs:
+            if ref.site in members:
+                raise ValueError(
+                    f"one representative per site: {ref.site} named twice"
+                )
+            members[ref.site] = ref.tid.value
+        coordinator = coordinator or refs[0].site
+        if coordinator not in members:
+            raise ValueError(f"coordinator {coordinator} hosts no member")
+        gid = next(self._gids)
+        self.groups[gid] = {
+            "coordinator": coordinator,
+            "members": {ref.site: ref.tid for ref in refs},
+        }
+        try:
+            reply = self.call(
+                coordinator,
+                protocol.GC_BEGIN,
+                {"gid": gid, "members": members},
+                timeout=timeout,
+            )
+        except (NetworkTimeout, RetryExhausted):
+            # The console lost contact — not the cluster's commit point.
+            # Presume abort from out here; converge() settles the truth.
+            return GroupOutcome(gid=gid, committed=False, resolved=False)
+        return GroupOutcome(gid=gid, committed=reply.payload["committed"])
+
+    # -- failure console ---------------------------------------------------
+
+    def crash_site(self, name):
+        self.sites[name].crash()
+
+    def restart_site(self, name):
+        return self.sites[name].restart()
+
+    def restart_down_sites(self):
+        for name in sorted(self.sites):
+            if not self.sites[name].up:
+                self.restart_site(name)
+
+    def partition(self, *groups):
+        self.fabric.partition(groups)
+
+    def heal(self):
+        self.fabric.heal()
+
+    # -- verdicts ----------------------------------------------------------
+
+    def durable_records(self):
+        """Per-site durable log views, for the cross-site oracles."""
+        return {
+            name: site.durable_records()
+            for name, site in sorted(self.sites.items())
+        }
+
+    def evaluate(self, label="", converged=True):
+        """Run the cross-site oracles over every recorded group intent."""
+        return evaluate_cluster(
+            self.groups, self.durable_records(), label=label, converged=converged
+        )

@@ -1,0 +1,153 @@
+"""Cluster chaos scenarios: deterministic multi-site workloads.
+
+The single-site chaos registry drives a :class:`~repro.chaos.stack.ChaosStack`;
+these drive a whole :class:`~repro.cluster.cluster.Cluster`.  The same
+determinism contract applies — a scenario is a pure function of the
+fault plan, so a message-step sweep replays the identical workload once
+per numbered step and a failing plan is a reproduction recipe.
+
+Each spec names the sites it needs and, for the partition sweeps, the
+canonical ways to split them.  The ``repro.chaos.replay`` command line
+resolves cluster scenarios through :data:`CLUSTER_SCENARIOS` exactly as
+it resolves single-site ones through the chaos registry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.cluster import Cluster
+from repro.core.dependency import DependencyType
+
+__all__ = ["ClusterScenarioSpec", "CLUSTER_SCENARIOS", "get", "names", "register"]
+
+
+@dataclass(frozen=True)
+class ClusterScenarioSpec:
+    """A named deterministic multi-site workload."""
+
+    name: str
+    description: str
+    drive: object  # callable(cluster) -> None
+    sites: tuple = ("alpha", "beta", "gamma")
+    # Canonical splits for the partition sweep: tuples of site-name
+    # groups.  Default: isolate each site in turn.
+    partitions: tuple = ()
+
+    def build(self, plan=None, **options):
+        return Cluster(sites=self.sites, plan=plan, **options)
+
+    def partition_splits(self):
+        if self.partitions:
+            return self.partitions
+        rest = tuple(self.sites)
+        return tuple(
+            ((name,), tuple(s for s in rest if s != name)) for name in rest
+        )
+
+
+CLUSTER_SCENARIOS = {}
+
+
+def register(name, description, sites=("alpha", "beta", "gamma"), partitions=()):
+    """Decorator: register ``drive`` under ``name``."""
+
+    def wrap(drive):
+        CLUSTER_SCENARIOS[name] = ClusterScenarioSpec(
+            name=name,
+            description=description,
+            drive=drive,
+            sites=tuple(sites),
+            partitions=tuple(partitions),
+        )
+        return drive
+
+    return wrap
+
+
+def get(name):
+    try:
+        return CLUSTER_SCENARIOS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown cluster scenario {name!r}; known: {sorted(CLUSTER_SCENARIOS)}"
+        ) from None
+
+
+def names():
+    return sorted(CLUSTER_SCENARIOS)
+
+
+# ---------------------------------------------------------------------------
+# program bodies (run inside a site's cooperative runtime)
+# ---------------------------------------------------------------------------
+
+
+def _account_body(tag):
+    """Create an account and deposit into it; completes, never commits —
+    termination belongs to the global group."""
+
+    def body(tx):
+        oid = yield tx.create(tag + b"0", name=tag.decode())
+        yield tx.write(oid, tag + b"1")
+        return oid
+
+    return body
+
+
+# ---------------------------------------------------------------------------
+# EX18 scenarios
+# ---------------------------------------------------------------------------
+
+
+@register(
+    "cluster_group_commit",
+    "one component per site, GC-linked across the fabric, committed by"
+    " presumed-abort 2PC with the first site coordinating (EX18 happy path)",
+)
+def cluster_group_commit(cluster):
+    refs = [
+        cluster.spawn_at(name, _account_body(name.encode()))
+        for name in sorted(cluster.sites)
+    ]
+    cluster.link_group(refs)
+    return cluster.group_commit(refs)
+
+
+@register(
+    "cluster_abort_propagation",
+    "a GC-linked cross-site group where the console aborts one member"
+    " before the vote: the abort must propagate over the proxy web and"
+    " the global commit must refuse",
+)
+def cluster_abort_propagation(cluster):
+    names_ = sorted(cluster.sites)
+    refs = [cluster.spawn_at(name, _account_body(name.encode())) for name in names_]
+    for ref in refs:
+        cluster.wait(ref)
+    cluster.link_group(refs)
+    cluster.abort(refs[1], reason="console abort before vote")
+    cluster.settle(8)  # let the abort ripple across the proxy web
+    return cluster.group_commit(refs)
+
+
+@register(
+    "cluster_delegation_handoff",
+    "a giver delegates its account to a remote receiver (giver-site log"
+    " attributes undo to the receiver's proxy), the receiver writes at"
+    " the giver's site under a cross-site permit, then the pair group-"
+    "commits by 2PC",
+    sites=("alpha", "beta"),
+)
+def cluster_delegation_handoff(cluster):
+    giver_site, receiver_site = sorted(cluster.sites)
+    giver = cluster.spawn_at(giver_site, _account_body(b"g"))
+    receiver = cluster.spawn_at(receiver_site, _account_body(b"r"))
+    cluster.wait(giver)
+    cluster.wait(receiver)
+    cluster.form_dependency(DependencyType.GC, giver, receiver)
+    oid = cluster.result_of(giver)
+    cluster.permit(giver, receiver)
+    cluster.delegate(giver, receiver, oids=[oid])
+    cluster.write_as(receiver, giver_site, oid, b"g2")
+    return cluster.group_commit([giver, receiver], coordinator=receiver_site)

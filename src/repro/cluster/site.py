@@ -1,0 +1,755 @@
+"""One ASSET site: a full local stack behind a fabric endpoint.
+
+A :class:`Site` owns its own storage manager (disk, buffer pool,
+write-ahead log), transaction manager, and cooperative runtime, and
+talks to the rest of the cluster only through
+:class:`~repro.net.fabric.NetworkFabric` messages.  Remote transactions
+appear locally as **proxies**: driver-managed transactions (no program,
+auto-completed at begin) that stand in for a remote tid so every
+cross-site primitive — ``delegate``, ``permit``, ``form_dependency`` —
+reduces to the section 4.2 local primitives against the proxy.  Fate
+notifications (``abort_tx`` / ``abort_proxy`` / ``commit_proxy``) keep a
+proxy's termination in step with its owner over the unreliable links;
+for grouped transactions the two-phase commit decision is the
+authoritative synchronizer and the notifications are only accelerants.
+
+The site is also both halves of presumed-abort two-phase commit:
+
+* **participant** — a ``PREPARE`` request is retried from ``on_tick``
+  until the named component completes, then answered through
+  :meth:`~repro.core.manager.TransactionManager.try_prepare` (force-logs
+  the vote, freezes the local group in PREPARED).  A prepared group can
+  terminate only by the coordinator's decision; if the decision is slow
+  the site inquires with ``status_req``, paced by a lease on the
+  resilience :class:`~repro.resilience.deadlines.DeadlineTable`.
+* **coordinator** — collects votes under a deadline, force-logs a
+  :class:`~repro.storage.log.DecisionRecord` *before* releasing COMMIT
+  (that record is the global commit point), and answers in-doubt
+  inquiries from its durable state: a logged commit decision says
+  commit, anything else is presumed abort.
+
+Crash and restart model the paper's failure assumptions: a crash drops
+everything volatile (buffer pool, managers, proxy tables, protocol
+state) plus the unflushed log tail; restart replays the surviving log,
+reports prepared-but-undecided groups as in doubt, and resolves them by
+querying the coordinator — or by presumed abort when the coordinator
+has no record.
+"""
+
+from __future__ import annotations
+
+from repro.common.events import EventKind
+from repro.common.ids import Tid
+from repro.core.dependency import DependencyType
+from repro.core.manager import TransactionManager
+from repro.core.outcomes import PrepareStatus
+from repro.core.status import TransactionStatus
+from repro.resilience.deadlines import DeadlineTable
+from repro.runtime.coop import CooperativeRuntime
+from repro.storage.log import DecisionRecord
+from repro.storage.store import StorageManager
+
+__all__ = ["Site"]
+
+# Message kinds understood by :meth:`Site.on_message`.  Driver RPC kinds
+# reply to ``msg.src`` with ``reply_to=msg.msg_id``; protocol kinds are
+# site-to-site and fire-and-forget (loss is survived, not prevented).
+INITIATE = "initiate"
+BEGIN = "begin"
+SPAWN = "spawn"
+WAIT = "wait"
+RESULT = "result"
+ABORT_TX = "abort_tx"
+FORM_DEP = "form_dep"
+FORM_REMOTE_DEP = "form_remote_dep"
+DELEGATE = "delegate"
+PERMIT = "permit"
+PROXY_WRITE = "proxy_write"
+PROXY_READ = "proxy_read"
+PROXY_NOTE = "proxy_note"
+ABORT_PROXY = "abort_proxy"
+COMMIT_PROXY = "commit_proxy"
+GC_BEGIN = "gc_begin"
+PREPARE = "prepare"
+VOTE = "vote"
+DECISION = "decision"
+ACK = "ack"
+STATUS_REQ = "status_req"
+STATUS_REP = "status_rep"
+
+
+class Site:
+    """A named ASSET instance wired to the cluster fabric."""
+
+    def __init__(
+        self,
+        name,
+        fabric,
+        clock,
+        injector=None,
+        prepare_ttl=24,
+        vote_ttl=48,
+        inquiry_interval=8,
+        capacity=256,
+    ):
+        self.name = name
+        self.fabric = fabric
+        self.clock = clock
+        self.injector = injector
+        self.prepare_ttl = prepare_ttl
+        self.vote_ttl = vote_ttl
+        self.inquiry_interval = inquiry_interval
+        self.ticks = 0
+        self.up = False
+        self.crashes = 0
+        # The durable half survives crashes; everything else is volatile
+        # and rebuilt by :meth:`_boot`.
+        self.storage = StorageManager(injector=injector, capacity=capacity)
+        self.recovery_report = None
+        self._boot()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def _boot(self):
+        """(Re)build the volatile half of the site over ``self.storage``."""
+        self.manager = TransactionManager(storage=self.storage, clock=self.clock)
+        self.runtime = CooperativeRuntime(self.manager)
+        self.deadlines = DeadlineTable(self.clock)
+        self.manager.events.subscribe(
+            self._on_local_event,
+            kinds=(EventKind.ABORTED, EventKind.COMMITTED),
+        )
+        # Proxy bookkeeping: (owner_site, owner_tid_value) -> local Tid,
+        # the reverse map, and which remote sites hold proxies for our
+        # local tids (by value).
+        self.proxies = {}
+        self.proxy_owner = {}
+        self.remote_holders = {}
+        # Two-phase-commit state, all keyed by gid.
+        self.pending_prepares = {}
+        self.prepared = {}
+        self.coordinating = {}
+        self.in_doubt = {}
+        self.durable_decisions = {}
+        self.up = True
+        self.fabric.register(self.name, self.on_message)
+        self.fabric.mark_up(self.name)
+
+    def crash(self):
+        """Power cut: volatile state and the unflushed log tail are gone."""
+        if not self.up:
+            return
+        self.up = False
+        self.crashes += 1
+        self.fabric.mark_down(self.name)
+        self.deadlines.close()
+        self.storage.crash()
+
+    def restart(self):
+        """Reboot: replay the log, surface in-doubt groups, resume duty."""
+        if self.up:
+            return self.recovery_report
+        report = self.storage.recover()
+        self._boot()
+        self.recovery_report = report
+        self.in_doubt = {
+            gid: {"record": record, "next_ask": 0}
+            for gid, record in sorted(report.in_doubt_votes.items())
+        }
+        for record in self.storage.log.records(durable_only=True):
+            if isinstance(record, DecisionRecord) and record.verdict == "commit":
+                self.durable_decisions[record.gid] = "commit"
+                # Re-announce: participants may have crashed or missed
+                # the COMMIT release.  Loss is fine — their own inquiry
+                # retries cover it; this is just the fast path.
+                for participant in record.participants:
+                    self._send(
+                        participant,
+                        DECISION,
+                        {"gid": record.gid, "verdict": "commit"},
+                    )
+        return report
+
+    # -- small helpers -----------------------------------------------------
+
+    def _send(self, dst, kind, payload, reply_to=None):
+        return self.fabric.send(self.name, dst, kind, payload, reply_to=reply_to)
+
+    def _reply(self, msg, payload):
+        return self._send(msg.src, msg.kind + ".reply", payload, reply_to=msg.msg_id)
+
+    def _live_td(self, tid):
+        td = self.manager.table.maybe_get(tid)
+        if td is None or td.status.is_terminated:
+            return None
+        return td
+
+    def durable_records(self):
+        """The durable log view — what a restart would recover from."""
+        return self.storage.log.records(durable_only=True)
+
+    def unsettled(self):
+        """Whether protocol work is still outstanding at this site."""
+        return bool(
+            self.pending_prepares
+            or self.prepared
+            or self.in_doubt
+            or any(
+                entry["state"] == "collecting"
+                for entry in self.coordinating.values()
+            )
+        )
+
+    # -- proxies -----------------------------------------------------------
+
+    def proxy_for(self, owner_site, owner_tid_value):
+        """The local proxy standing in for a remote transaction.
+
+        Created on first use: an initiated, begun, driver-managed
+        transaction (no program) that the runtime auto-completes — so it
+        can immediately hold locks, receive delegations, and anchor
+        dependency edges.  The owner site is told, so fate notifications
+        flow back.
+        """
+        key = (owner_site, owner_tid_value)
+        proxy = self.proxies.get(key)
+        if proxy is not None:
+            return proxy
+        proxy = self.manager.initiate(function=None)
+        self.runtime.begin(proxy)
+        self.proxies[key] = proxy
+        self.proxy_owner[proxy] = key
+        self._send(owner_site, PROXY_NOTE, {"tid": owner_tid_value, "holder": self.name})
+        return proxy
+
+    def _on_local_event(self, event):
+        """Propagate local terminations across the fabric.
+
+        A proxy's abort is reported home; a local transaction's fate is
+        pushed to every remote holder of its proxies.  All of it rides
+        unreliable links — for grouped transactions the 2PC decision is
+        the safety net, for ungrouped ones this is documented best-effort
+        (exactly the paper's remote-dependency caveat).
+        """
+        if not self.up:
+            return
+        tid = event.tid
+        aborted = event.kind is EventKind.ABORTED
+        owner = self.proxy_owner.get(tid)
+        if owner is not None and aborted:
+            owner_site, owner_value = owner
+            self._send(
+                owner_site,
+                ABORT_TX,
+                {"tid": owner_value, "reason": f"proxy aborted at {self.name}"},
+            )
+        holders = self.remote_holders.get(tid.value)
+        if holders:
+            kind = ABORT_PROXY if aborted else COMMIT_PROXY
+            for holder in sorted(holders):
+                self._send(
+                    holder,
+                    kind,
+                    {
+                        "owner": self.name,
+                        "tid": tid.value,
+                        "reason": f"owner {'aborted' if aborted else 'committed'}",
+                    },
+                )
+
+    def _abort_unless_prepared(self, tid, reason):
+        """Abort ``tid`` unless it voted: prepared fate belongs to the
+        coordinator's decision, never to a stray notification."""
+        td = self._live_td(tid)
+        if td is None or td.status is TransactionStatus.PREPARED:
+            return False
+        return self.manager.abort(tid, reason=reason)
+
+    # -- message dispatch --------------------------------------------------
+
+    def on_message(self, msg):
+        if not self.up:
+            return
+        handler = self._HANDLERS.get(msg.kind)
+        if handler is not None:
+            handler(self, msg)
+
+    # -- driver RPC handlers ----------------------------------------------
+
+    def _h_initiate(self, msg):
+        tid = self.manager.initiate(
+            function=msg.payload.get("function"),
+            args=tuple(msg.payload.get("args", ())),
+        )
+        self._reply(msg, {"tid": tid.value})
+
+    def _h_begin(self, msg):
+        tid = Tid(msg.payload["tid"])
+        started = bool(self._live_td(tid)) and self.runtime.begin(tid)
+        self._reply(msg, {"started": bool(started)})
+
+    def _h_spawn(self, msg):
+        tid = self.manager.initiate(
+            function=msg.payload["function"],
+            args=tuple(msg.payload.get("args", ())),
+        )
+        if tid:
+            self.runtime.begin(tid)
+        self._reply(msg, {"tid": tid.value})
+
+    def _h_wait(self, msg):
+        tid = Tid(msg.payload["tid"])
+        td = self.manager.table.maybe_get(tid)
+        if td is None:
+            outcome = "unknown"
+        else:
+            verdict = self.manager.wait_outcome(tid)
+            if verdict is None:
+                outcome = "running"
+            elif verdict:
+                outcome = "committed" if td.status.is_terminated else "completed"
+            else:
+                outcome = "aborted"
+        self._reply(msg, {"outcome": outcome})
+
+    def _h_result(self, msg):
+        tid = Tid(msg.payload["tid"])
+        self._reply(msg, {"value": self.runtime.result_of(tid)})
+
+    def _h_abort_tx(self, msg):
+        tid = Tid(msg.payload["tid"])
+        done = self._abort_unless_prepared(
+            tid, msg.payload.get("reason", "remote abort request")
+        )
+        if msg.reply_to is None and msg.src == "client":
+            self._reply(msg, {"aborted": bool(done)})
+
+    def _h_form_dep(self, msg):
+        dep_type = DependencyType[msg.payload["dep_type"]]
+        ti = Tid(msg.payload["ti"])
+        tj = Tid(msg.payload["tj"])
+        try:
+            self.manager.form_dependency(dep_type, ti, tj)
+            ok = True
+        except Exception as exc:  # cycle / unknown tid -> report, not die
+            ok = False
+            self._reply(msg, {"ok": False, "error": type(exc).__name__})
+            return
+        self._reply(msg, {"ok": ok})
+
+    def _h_form_remote_dep(self, msg):
+        """One site's half of a cross-site dependency.
+
+        The peer transaction is represented by its local proxy; the edge
+        is the ordinary section 4.1 edge with the proxy in the remote
+        party's place.  ``role`` says which side of the edge the *local*
+        transaction is on.
+        """
+        dep_type = DependencyType[msg.payload["dep_type"]]
+        local = Tid(msg.payload["local"])
+        proxy = self.proxy_for(msg.payload["peer_site"], msg.payload["peer_tid"])
+        try:
+            if msg.payload["role"] == "dependee":
+                self.manager.form_dependency(dep_type, local, proxy)
+            else:
+                self.manager.form_dependency(dep_type, proxy, local)
+            ok, error = True, None
+        except Exception as exc:
+            ok, error = False, type(exc).__name__
+        self._reply(msg, {"ok": ok, "error": error})
+
+    def _h_delegate(self, msg):
+        """Delegate local responsibility, possibly to a remote receiver.
+
+        A remote receiver is its proxy here: the giver-site log records
+        the :class:`~repro.storage.log.DelegateRecord` against the proxy,
+        so recovery attributes undo to the receiver's stand-in exactly as
+        section 3's joint-checking scenario requires.
+        """
+        giver = Tid(msg.payload["tid"])
+        oids = msg.payload.get("oids")
+        receiver_site = msg.payload.get("receiver_site", self.name)
+        if receiver_site == self.name:
+            receiver = Tid(msg.payload["receiver_tid"])
+        else:
+            receiver = self.proxy_for(receiver_site, msg.payload["receiver_tid"])
+        try:
+            moved = self.manager.delegate(giver, receiver, oids)
+            self._reply(msg, {"ok": True, "moved": sorted(moved)})
+        except Exception as exc:
+            self._reply(msg, {"ok": False, "error": type(exc).__name__})
+
+    def _h_permit(self, msg):
+        giver = Tid(msg.payload["tid"])
+        receiver_site = msg.payload.get("receiver_site", self.name)
+        receiver_value = msg.payload.get("receiver_tid")
+        if receiver_value is None:
+            receiver = None
+        elif receiver_site == self.name:
+            receiver = Tid(receiver_value)
+        else:
+            receiver = self.proxy_for(receiver_site, receiver_value)
+        try:
+            self.manager.permit(
+                giver,
+                receiver,
+                oids=msg.payload.get("oids"),
+                operations=msg.payload.get("operations"),
+            )
+            self._reply(msg, {"ok": True})
+        except Exception as exc:
+            self._reply(msg, {"ok": False, "error": type(exc).__name__})
+
+    def _h_proxy_write(self, msg):
+        """A remote transaction writes *here*, through its proxy.
+
+        This is what a cross-site permit buys: the receiver's accesses at
+        the giver's site run under the proxy's tid, so attribution, WAL
+        images, and undo responsibility all land on the stand-in.
+        """
+        proxy = self.proxy_for(msg.payload["owner"], msg.payload["tid"])
+        outcome = self.manager.try_write(
+            proxy, msg.payload["oid"], msg.payload["value"]
+        )
+        self._reply(msg, {"granted": bool(outcome)})
+
+    def _h_proxy_read(self, msg):
+        proxy = self.proxy_for(msg.payload["owner"], msg.payload["tid"])
+        outcome, value = self.manager.try_read(proxy, msg.payload["oid"])
+        self._reply(msg, {"granted": bool(outcome), "value": value})
+
+    # -- fate notification handlers ---------------------------------------
+
+    def _h_proxy_note(self, msg):
+        holders = self.remote_holders.setdefault(msg.payload["tid"], set())
+        holders.add(msg.payload["holder"])
+
+    def _h_abort_proxy(self, msg):
+        proxy = self.proxies.get((msg.payload["owner"], msg.payload["tid"]))
+        if proxy is not None:
+            self._abort_unless_prepared(
+                proxy, msg.payload.get("reason", "owner aborted")
+            )
+
+    def _h_commit_proxy(self, msg):
+        """The remote owner committed on its own (no global group).
+
+        Only a *standalone* proxy commits here: a proxy woven into a GC
+        group belongs to two-phase commit, and committing it early would
+        drag local group members past their vote.
+        """
+        proxy = self.proxies.get((msg.payload["owner"], msg.payload["tid"]))
+        if proxy is None or self._live_td(proxy) is None:
+            return
+        if self.manager.dependencies.gc_group(proxy) == {proxy}:
+            self.runtime.commit(proxy)
+
+    # -- two-phase commit: coordinator ------------------------------------
+
+    def _h_gc_begin(self, msg):
+        gid = msg.payload["gid"]
+        entry = self.coordinating.get(gid)
+        if entry is not None:
+            if entry["state"] != "collecting":
+                self._reply(msg, {"committed": entry["verdict"] == "commit"})
+            else:
+                entry["client"] = (msg.src, msg.msg_id)
+            return
+        members = dict(msg.payload["members"])
+        entry = {
+            "members": members,
+            "votes": {},
+            "acks": set(),
+            "state": "collecting",
+            "verdict": None,
+            "client": (msg.src, msg.msg_id),
+            "ttl": self.vote_ttl,
+        }
+        self.coordinating[gid] = entry
+        for site, tid_value in sorted(members.items()):
+            if site == self.name:
+                self._accept_prepare(gid, tid_value, self.name)
+            else:
+                self._send(
+                    site,
+                    PREPARE,
+                    {"gid": gid, "tid": tid_value, "coordinator": self.name},
+                )
+
+    def _record_vote(self, gid, site, verdict):
+        entry = self.coordinating.get(gid)
+        if entry is None or entry["state"] != "collecting":
+            return
+        entry["votes"][site] = verdict
+        if verdict == "abort":
+            self._decide(gid, "abort")
+        elif all(entry["votes"].get(s) == "commit" for s in entry["members"]):
+            self._decide(gid, "commit")
+
+    def _decide(self, gid, verdict):
+        """Seal the global fate and release it.
+
+        On commit the :class:`DecisionRecord` is force-logged *before*
+        anything else — that flush is the transaction's global commit
+        point.  Abort decisions are never logged (presumed abort: absence
+        of a decision *is* the abort record).
+        """
+        entry = self.coordinating[gid]
+        entry["state"] = "decided"
+        entry["verdict"] = verdict
+        participants = sorted(s for s in entry["members"] if s != self.name)
+        local_value = entry["members"].get(self.name)
+        local_tid = Tid(local_value) if local_value is not None else None
+        if verdict == "commit":
+            anchor = local_tid if local_tid is not None else Tid(0)
+            group = ()
+            if local_tid is not None:
+                group = tuple(
+                    sorted(
+                        self.manager.dependencies.gc_group(local_tid) - {local_tid},
+                        key=lambda t: t.value,
+                    )
+                )
+            self.storage.log_decision(
+                anchor, gid, "commit", group=group, participants=participants
+            )
+            self.durable_decisions[gid] = "commit"
+        # The coordinator is its own participant: apply the decision to
+        # the local member through the same path a remote one would use.
+        self._apply_decision_locally(gid, verdict, local_value)
+        for site in participants:
+            self._send(
+                site,
+                DECISION,
+                {"gid": gid, "verdict": verdict, "tid": entry["members"][site]},
+            )
+        client = entry.pop("client", None)
+        if client is not None:
+            src, msg_id = client
+            self._send(
+                src,
+                "gc_begin.reply",
+                {"gid": gid, "committed": verdict == "commit"},
+                reply_to=msg_id,
+            )
+
+    def _h_vote(self, msg):
+        self._record_vote(msg.payload["gid"], msg.payload["site"], msg.payload["verdict"])
+
+    def _h_ack(self, msg):
+        entry = self.coordinating.get(msg.payload["gid"])
+        if entry is None or entry["state"] != "decided":
+            return
+        entry["acks"].add(msg.payload["site"])
+        if entry["acks"] >= {s for s in entry["members"] if s != self.name}:
+            entry["state"] = "done"
+
+    def _h_status_req(self, msg):
+        """Answer an in-doubt inquiry from durable truth.
+
+        Still collecting -> pending.  Decided -> the verdict.  No state
+        at all (a coordinator reborn after a crash) -> a logged commit
+        decision says commit; *no information means abort* — the
+        presumed-abort rule that makes coordinator amnesia safe.
+        """
+        gid = msg.payload["gid"]
+        entry = self.coordinating.get(gid)
+        if entry is not None and entry["state"] == "collecting":
+            verdict = "pending"
+        elif entry is not None:
+            verdict = entry["verdict"]
+        elif gid in self.durable_decisions:
+            verdict = "commit"
+        else:
+            verdict = "abort"
+        self._send(msg.src, STATUS_REP, {"gid": gid, "verdict": verdict})
+
+    # -- two-phase commit: participant ------------------------------------
+
+    def _h_prepare(self, msg):
+        self._accept_prepare(
+            msg.payload["gid"], msg.payload["tid"], msg.payload["coordinator"]
+        )
+
+    def _accept_prepare(self, gid, tid_value, coordinator):
+        if gid in self.prepared or gid in self.pending_prepares:
+            return  # duplicate PREPARE (at-least-once links)
+        if gid in self.durable_decisions or gid in self.in_doubt:
+            return
+        self.pending_prepares[gid] = {
+            "tid": Tid(tid_value),
+            "coordinator": coordinator,
+            "ttl": self.prepare_ttl,
+        }
+        self._attempt_prepare(gid)
+
+    def _attempt_prepare(self, gid):
+        """Try to vote; called at accept time and retried from ticks."""
+        entry = self.pending_prepares.get(gid)
+        if entry is None:
+            return
+        outcome = self.manager.try_prepare(
+            entry["tid"], gid=gid, coordinator=entry["coordinator"]
+        )
+        if outcome:
+            del self.pending_prepares[gid]
+            self.prepared[gid] = {
+                "tid": entry["tid"],
+                "coordinator": entry["coordinator"],
+            }
+            # Pace decision inquiries with a lease: while it is live we
+            # trust the decision is in flight, when it lapses we ask.
+            self.deadlines.grant_lease(("gc", gid), self.inquiry_interval)
+            self._cast_vote(gid, entry["coordinator"], "commit")
+        elif outcome.status is PrepareStatus.ABORTED:
+            del self.pending_prepares[gid]
+            self._cast_vote(gid, entry["coordinator"], "abort")
+        # NOT_COMPLETED / BLOCKED: keep pending, the tick loop retries.
+
+    def _cast_vote(self, gid, coordinator, verdict):
+        if coordinator == self.name:
+            self._record_vote(gid, self.name, verdict)
+        else:
+            self._send(
+                coordinator,
+                VOTE,
+                {"gid": gid, "site": self.name, "verdict": verdict},
+            )
+
+    def _h_decision(self, msg):
+        gid = msg.payload["gid"]
+        verdict = msg.payload["verdict"]
+        self._apply_decision_locally(gid, verdict, msg.payload.get("tid"))
+        self._send(msg.src, ACK, {"gid": gid, "site": self.name})
+
+    def _h_status_rep(self, msg):
+        verdict = msg.payload["verdict"]
+        if verdict != "pending":
+            self._apply_decision_locally(msg.payload["gid"], verdict, None)
+
+    def _apply_decision_locally(self, gid, verdict, tid_value):
+        """Finish the local member group per the global verdict.
+
+        Handles every shape the participant can be in: still pending
+        (never managed to vote), live-prepared, in doubt after a
+        restart, or already settled (duplicate decision — a no-op).
+        """
+        self.pending_prepares.pop(gid, None)
+        live = self.prepared.pop(gid, None)
+        self.deadlines.forget(("gc", gid))
+        if live is not None:
+            if verdict == "commit":
+                self.runtime.commit(live["tid"])
+            else:
+                self.manager.abort(
+                    live["tid"], reason=f"global group {gid} aborted"
+                )
+                # The vote was force-logged, so its resolution must be
+                # too: an abort record still in the volatile tail would
+                # leave the durable log claiming we are in doubt.
+                self.storage.sync_log()
+            return
+        if gid in self.in_doubt:
+            self._finish_in_doubt(gid, verdict)
+            return
+        if tid_value is not None and verdict == "abort":
+            # Decision for a member we never prepared (the PREPARE was
+            # lost): an abort decision still names the component.
+            self._abort_unless_prepared(
+                Tid(tid_value), f"global group {gid} aborted"
+            )
+
+    def _finish_in_doubt(self, gid, verdict):
+        """Settle a recovered in-doubt group at the log level.
+
+        There is no live transaction state after a restart — recovery
+        already reinstalled the group's updates (they were neither
+        winners nor losers) — so commit is one durable commit record and
+        abort is the undo pass plus abort records, exactly what the
+        recovery manager would have done with the decision in hand.
+        """
+        entry = self.in_doubt.pop(gid)
+        record = entry["record"]
+        anchor = record.tid
+        others = tuple(t for t in record.prepared_tids() if t != anchor)
+        if verdict == "commit":
+            self.storage.log_commit(anchor, group=others)
+        else:
+            members = sorted(record.prepared_tids(), key=lambda t: t.value)
+            self.storage.undo_many(members)
+            for member in members:
+                self.storage.log_abort(member)
+        self.storage.sync_log()
+
+    # -- the tick loop -----------------------------------------------------
+
+    def on_tick(self):
+        """One deterministic slice of background duty per pump round."""
+        if not self.up:
+            return
+        self.ticks += 1
+        # Advance local transaction programs one cooperative step.
+        self.runtime.round()
+        # Retry pending votes; give up (vote abort) when the component
+        # cannot complete within the prepare deadline.
+        for gid in sorted(self.pending_prepares):
+            entry = self.pending_prepares.get(gid)
+            if entry is None:
+                continue
+            entry["ttl"] -= 1
+            self._attempt_prepare(gid)
+            entry = self.pending_prepares.get(gid)
+            if entry is not None and entry["ttl"] <= 0:
+                del self.pending_prepares[gid]
+                self._cast_vote(gid, entry["coordinator"], "abort")
+        # Coordinator vote deadlines: silence is an abort vote.
+        for gid in sorted(self.coordinating):
+            entry = self.coordinating[gid]
+            if entry["state"] != "collecting":
+                continue
+            entry["ttl"] -= 1
+            if entry["ttl"] <= 0:
+                self._decide(gid, "abort")
+        # Prepared but no decision: when the inquiry lease lapses, ask.
+        for gid in sorted(self.prepared):
+            key = ("gc", gid)
+            if not self.deadlines.lease_live(key):
+                self._send(
+                    self.prepared[gid]["coordinator"], STATUS_REQ,
+                    {"gid": gid, "site": self.name},
+                )
+                self.deadlines.grant_lease(key, self.inquiry_interval)
+        # In-doubt after restart: periodic inquiry until resolved.
+        for gid in sorted(self.in_doubt):
+            entry = self.in_doubt[gid]
+            if self.ticks >= entry["next_ask"]:
+                self._send(
+                    entry["record"].coordinator, STATUS_REQ,
+                    {"gid": gid, "site": self.name},
+                )
+                entry["next_ask"] = self.ticks + self.inquiry_interval
+
+    _HANDLERS = {
+        INITIATE: _h_initiate,
+        BEGIN: _h_begin,
+        SPAWN: _h_spawn,
+        WAIT: _h_wait,
+        RESULT: _h_result,
+        ABORT_TX: _h_abort_tx,
+        FORM_DEP: _h_form_dep,
+        FORM_REMOTE_DEP: _h_form_remote_dep,
+        DELEGATE: _h_delegate,
+        PERMIT: _h_permit,
+        PROXY_WRITE: _h_proxy_write,
+        PROXY_READ: _h_proxy_read,
+        PROXY_NOTE: _h_proxy_note,
+        ABORT_PROXY: _h_abort_proxy,
+        COMMIT_PROXY: _h_commit_proxy,
+        GC_BEGIN: _h_gc_begin,
+        PREPARE: _h_prepare,
+        VOTE: _h_vote,
+        DECISION: _h_decision,
+        ACK: _h_ack,
+        STATUS_REQ: _h_status_req,
+        STATUS_REP: _h_status_rep,
+    }

@@ -1,0 +1,195 @@
+"""Message-step fault sweeps over cluster scenarios.
+
+The cross-site analogue of :mod:`repro.chaos.sweep`: a probe run with a
+no-op plan numbers every fabric message (step kind ``net_msg``); the
+sweep then replays the scenario once per step per fault shape —
+
+* **drop / duplicate / delay** the message at that step;
+* **crash a site** the moment that step is sent (power cut: volatile
+  state and the unflushed log tail are gone);
+* **install a partition** at that step and heal it a fixed number of
+  steps later.
+
+After the faulted run, the harness models the operator fixing the world
+— heal the partition, disarm the plan, restart every down site — and
+gives the cluster its convergence rounds.  Then the durable logs are
+judged by the cross-site atomicity and convergence oracles.  Every
+verdict carries its plan, so a failure is a one-line reproduction
+recipe for ``repro.chaos.replay``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.chaos.faults import NET_MSG, FaultPlan
+from repro.common.errors import AssetError
+
+__all__ = [
+    "ClusterRunResult",
+    "message_fault_sweep",
+    "probe_message_steps",
+    "run_cluster_plan",
+    "partition_sweep",
+    "site_crash_sweep",
+]
+
+
+@dataclass
+class ClusterRunResult:
+    """One faulted cluster run, judged."""
+
+    plan: FaultPlan
+    report: object
+    converged: bool
+    driver_error: str = ""
+    analyses: dict = field(default_factory=dict)
+    step: int = None
+    detail: str = ""
+    cluster: object = None
+
+    @property
+    def ok(self):
+        return self.converged and self.report.ok
+
+    def describe(self):
+        state = "OK" if self.ok else "FAILED"
+        step = f" step={self.step}" if self.step is not None else ""
+        extra = f" [{self.detail}]" if self.detail else ""
+        return f"{state} {self.plan.describe()}{step}{extra}"
+
+
+def probe_message_steps(spec, **options):
+    """Dry-run the scenario and return its message-step universe.
+
+    Returns ``[(number, detail), ...]`` — the numbered ``net_msg`` steps
+    of a fault-free run, with ``src->dst:kind`` labels.  Deterministic
+    prefix property: in a swept run, every step *before* the faulted one
+    is the same message as in this probe.
+    """
+    cluster = spec.build(plan=FaultPlan(), **options)
+    spec.drive(cluster)
+    cluster.converge()
+    return [
+        (step.number, step.detail)
+        for step in cluster.injector.trace
+        if step.kind == NET_MSG
+    ]
+
+
+def run_cluster_plan(spec, plan, converge_rounds=240, step=None, detail="", **options):
+    """Drive the scenario under ``plan``, then recover and judge.
+
+    The driver (console) half is allowed to fail — a crashed coordinator
+    or a severed link can starve its RPCs — and the error is recorded,
+    not raised: the oracles judge what the *sites* did, and the whole
+    point of presumed abort is that the cluster settles without the
+    console's help.
+    """
+    cluster = spec.build(plan=plan, **options)
+    driver_error = ""
+    try:
+        spec.drive(cluster)
+    except AssetError as exc:
+        driver_error = f"{type(exc).__name__}: {exc}"
+    # The operator repairs the world; the protocol must do the rest.
+    cluster.injector.disarm()
+    cluster.heal()
+    cluster.restart_down_sites()
+    converged = cluster.converge(converge_rounds)
+    report, analyses = cluster.evaluate(label=plan.describe() or "no-fault")
+    return ClusterRunResult(
+        plan=plan,
+        report=report,
+        converged=converged,
+        driver_error=driver_error,
+        analyses=analyses,
+        step=step,
+        detail=detail,
+        cluster=cluster,
+    )
+
+
+def _swept(spec, steps, limit):
+    if steps is None:
+        steps = probe_message_steps(spec)
+    if limit is not None:
+        steps = steps[:limit]
+    return steps
+
+
+def message_fault_sweep(
+    spec, faults=("drop",), steps=None, limit=None, **options
+):
+    """One run per (message step, fault shape); returns the verdicts."""
+    field_of = {
+        "drop": "drop_msg_at",
+        "duplicate": "dup_msg_at",
+        "delay": "delay_msg_at",
+    }
+    results = []
+    for number, detail in _swept(spec, steps, limit):
+        for fault in faults:
+            plan = FaultPlan(**{field_of[fault]: {number}})
+            results.append(
+                run_cluster_plan(
+                    spec, plan, step=number, detail=f"{fault} {detail}", **options
+                )
+            )
+    return results
+
+
+def site_crash_sweep(spec, victims=None, steps=None, limit=None, **options):
+    """Power-cut each victim site at every message step.
+
+    The canonical victim is the coordinator — the only process whose
+    loss can strand a prepared participant — but sweeping every site
+    also exercises participant-crash recovery (the in-doubt path).
+    """
+    victims = tuple(victims) if victims is not None else tuple(spec.sites)
+    results = []
+    for number, detail in _swept(spec, steps, limit):
+        for victim in victims:
+            plan = FaultPlan(site_crash_at=(victim, number))
+            results.append(
+                run_cluster_plan(
+                    spec,
+                    plan,
+                    step=number,
+                    detail=f"crash {victim} at {detail}",
+                    **options,
+                )
+            )
+    return results
+
+
+def partition_sweep(
+    spec, splits=None, steps=None, limit=None, heal_after=16, **options
+):
+    """Install each canonical split at every message step, heal later.
+
+    ``heal_after`` is in message-step numbers: retries and inquiries
+    keep the step counter moving during the partition, so the heal
+    always fires — after which the convergence oracle demands every
+    member settle.
+    """
+    splits = tuple(splits) if splits is not None else spec.partition_splits()
+    results = []
+    for number, detail in _swept(spec, steps, limit):
+        for split in splits:
+            plan = FaultPlan(
+                partition_at=number,
+                heal_at=number + heal_after,
+                partition_groups=split,
+            )
+            label = "|".join(",".join(group) for group in split)
+            results.append(
+                run_cluster_plan(
+                    spec,
+                    plan,
+                    step=number,
+                    detail=f"partition {label} at {detail}",
+                    **options,
+                )
+            )
+    return results

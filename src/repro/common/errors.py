@@ -11,8 +11,13 @@ Storage-level failures derive from :class:`StorageError`; the resilience
 error classes (:class:`DeadlineExceeded`, :class:`LeaseExpired`,
 :class:`Backpressure`, :class:`RetryExhausted`,
 :class:`SchedulerStalledError`) slot in next to the transaction-facility
-errors.  :class:`TransientIOError` is the one storage failure retry
-policies treat as absorbable by default.
+errors.  Failures worth retrying — whatever subsystem raised them — also
+derive from the :class:`TransientError` marker, which is what retry
+policies filter on by default: :class:`TransientIOError` for storage,
+and the :class:`NetworkError` branch (:class:`MessageDropped`,
+:class:`NetworkTimeout`, :class:`PartitionedError`) for the message
+fabric, so fabric sends retry under the same policies without
+special-casing.
 """
 
 
@@ -29,6 +34,19 @@ class AssetError(Exception):
         super().__init__(message)
         self.tid = tid
         self.op = op
+
+
+class TransientError(AssetError):
+    """Marker mixin: this failure is worth retrying.
+
+    Subsystems signal retryability by *classification*, not by string or
+    flag: a failure class that derives from this marker is absorbed by
+    :class:`~repro.resilience.retry.RetryPolicy` by default.  Both the
+    storage branch (:class:`TransientIOError`) and the network branch
+    (:class:`NetworkError`) opt in, so one policy covers commits whose
+    flush hit a device fault *and* fabric sends that timed out, with no
+    per-subsystem special cases.
+    """
 
 
 class InvalidStateError(AssetError):
@@ -205,7 +223,7 @@ class StorageError(AssetError):
     """Base class for storage-manager failures."""
 
 
-class TransientIOError(StorageError):
+class TransientIOError(StorageError, TransientError):
     """A device operation failed in a way worth retrying.
 
     The deterministic chaos injector raises this for planned transient
@@ -240,3 +258,68 @@ class LatchError(StorageError):
 
 class RecoveryError(StorageError):
     """Restart recovery found an inconsistency it could not repair."""
+
+
+# ---------------------------------------------------------------------------
+# network errors (message fabric)
+# ---------------------------------------------------------------------------
+
+
+class NetworkError(TransientError):
+    """Base class for message-fabric failures.
+
+    Every network failure is classified transient: on an unreliable
+    fabric a drop, a timeout, and a partition are indistinguishable from
+    slowness at the sender, and the correct reaction is always the same —
+    retry under a bounded policy, then surface the exhaustion.  Carries
+    the link endpoints so retries and logs stay attributable.
+    """
+
+    def __init__(self, message, src=None, dst=None, tid=None, op=None):
+        super().__init__(message, tid=tid, op=op or "net.send")
+        self.src = src
+        self.dst = dst
+
+
+class MessageDropped(NetworkError):
+    """The fabric dropped a message (injected fault or dead destination)."""
+
+    def __init__(self, src, dst, kind, step=None, tid=None):
+        detail = f"message {kind!r} {src}->{dst} dropped"
+        if step is not None:
+            detail = f"{detail} at step {step}"
+        super().__init__(detail, src=src, dst=dst, tid=tid)
+        self.kind = kind
+        self.step = step
+
+
+class NetworkTimeout(NetworkError):
+    """A request saw no reply within its round budget.
+
+    Indistinguishable from a dropped reply or a slow peer — the caller
+    cannot conclude the request did *not* happen, only that it does not
+    know.  Protocol layers must treat the outcome as in doubt.
+    """
+
+    def __init__(self, src, dst, kind, rounds, tid=None):
+        super().__init__(
+            f"no reply to {kind!r} {src}->{dst} within {rounds} round(s)",
+            src=src,
+            dst=dst,
+            tid=tid,
+            op="net.call",
+        )
+        self.kind = kind
+        self.rounds = rounds
+
+
+class PartitionedError(NetworkError):
+    """The link between two sites is severed by an active partition."""
+
+    def __init__(self, src, dst, tid=None):
+        super().__init__(
+            f"link {src}->{dst} severed by partition",
+            src=src,
+            dst=dst,
+            tid=tid,
+        )

@@ -42,6 +42,8 @@ class EventKind(enum.Enum):
 
     PARTIAL_ROLLBACK = "partial_rollback"
 
+    PREPARED = "prepared"
+
     COMMIT_REQUESTED = "commit_requested"
     COMMIT_BLOCKED = "commit_blocked"
     COMMITTED = "committed"

@@ -30,7 +30,13 @@ from repro.common.ids import NULL_TID, IdGenerator, Tid
 from repro.core.dependency import DependencyGraph, DependencyType
 from repro.core.descriptors import TransactionDescriptor, TransactionTable
 from repro.core.locks import LockManager, ObjectRegistry
-from repro.core.outcomes import CommitOutcome, CommitStatus, LockOutcome
+from repro.core.outcomes import (
+    CommitOutcome,
+    CommitStatus,
+    LockOutcome,
+    PrepareOutcome,
+    PrepareStatus,
+)
 from repro.core.permits import PermitTable
 from repro.core.semantics import READ, WRITE, ConflictTable
 from repro.core.status import TransactionStatus
@@ -192,6 +198,7 @@ class TransactionManager:
             status = self.table.get(tid).status
             if status in (
                 TransactionStatus.COMPLETED,
+                TransactionStatus.PREPARED,
                 TransactionStatus.COMMITTING,
                 TransactionStatus.COMMITTED,
             ):
@@ -541,7 +548,10 @@ class TransactionManager:
                 TransactionStatus.RUNNING,
             ):
                 return CommitOutcome(CommitStatus.NOT_COMPLETED)
-            if td.status is TransactionStatus.COMPLETED:
+            if td.status in (
+                TransactionStatus.COMPLETED,
+                TransactionStatus.PREPARED,
+            ):
                 td.set_status(TransactionStatus.COMMITTING)
                 self.events.emit(EventKind.COMMIT_REQUESTED, tid)
 
@@ -593,7 +603,10 @@ class TransactionManager:
             self.failpoint("commit.logged")
             for member in ordered:
                 member_td = self.table.get(member)
-                if member_td.status is TransactionStatus.COMPLETED:
+                if member_td.status in (
+                    TransactionStatus.COMPLETED,
+                    TransactionStatus.PREPARED,
+                ):
                     member_td.set_status(TransactionStatus.COMMITTING)
                 member_td.set_status(TransactionStatus.COMMITTED)
             never_beginnable = []
@@ -635,6 +648,85 @@ class TransactionManager:
                 continue
             waiting.append(edge.dependee)
         return waiting
+
+    def try_prepare(self, tid, gid=0, coordinator=""):
+        """One pass of a distributed-commit vote; never blocks.
+
+        The participant half of presumed-abort two-phase commit: run the
+        same viability checks as :meth:`try_commit` steps 1-3 over the
+        local GC group, and instead of committing, force-log a
+        :class:`~repro.storage.log.PrepareRecord` and move every member
+        to PREPARED.  A truthy outcome means the site may send
+        VOTE-COMMIT; after that the group can only terminate by the
+        coordinator's decision (or presumed-abort resolution).
+        """
+        with self._mutex:
+            td = self.table.get(tid)
+            if td.status is TransactionStatus.COMMITTED:
+                # A duplicated PREPARE after the decision already landed:
+                # the answer that keeps the protocol idempotent is "yes".
+                return PrepareOutcome(PrepareStatus.ALREADY_PREPARED)
+            if td.status is TransactionStatus.PREPARED:
+                return PrepareOutcome(PrepareStatus.ALREADY_PREPARED)
+            if td.status.is_abort_bound:
+                return PrepareOutcome(PrepareStatus.ABORTED)
+            if td.status in (
+                TransactionStatus.INITIATED,
+                TransactionStatus.RUNNING,
+            ):
+                return PrepareOutcome(PrepareStatus.NOT_COMPLETED)
+
+            group = self.dependencies.gc_group(tid)
+            waiting = []
+            for member in sorted(group, key=lambda t: t.value):
+                member_td = self.table.get(member)
+                if member_td.status.is_abort_bound:
+                    self.abort(
+                        tid, reason=f"GC member {member!r} aborted before vote"
+                    )
+                    return PrepareOutcome(PrepareStatus.ABORTED)
+                if member_td.status in (
+                    TransactionStatus.INITIATED,
+                    TransactionStatus.RUNNING,
+                ):
+                    waiting.append(member)
+                    continue
+                waiting.extend(self._dependency_waits(member, group))
+            if waiting:
+                return PrepareOutcome(
+                    PrepareStatus.BLOCKED,
+                    waiting_for=tuple(
+                        sorted(set(waiting), key=lambda t: t.value)
+                    ),
+                )
+            for member in group:
+                for edge in self.dependencies.outgoing(member):
+                    if edge.dep_type is DependencyType.AD:
+                        dependee = self.table.get(edge.dependee)
+                        if dependee.status.is_abort_bound:
+                            self.abort(
+                                tid,
+                                reason=f"AD on aborted {edge.dependee!r}",
+                            )
+                            return PrepareOutcome(PrepareStatus.ABORTED)
+
+            ordered = sorted(group, key=lambda t: t.value)
+            others = tuple(t for t in ordered if t != tid)
+            self.failpoint("prepare.log")
+            self.storage.log_prepare(
+                tid, group=others, gid=gid, coordinator=coordinator
+            )
+            self.failpoint("prepare.logged")
+            for member in ordered:
+                member_td = self.table.get(member)
+                if member_td.status is TransactionStatus.COMPLETED:
+                    member_td.set_status(TransactionStatus.PREPARED)
+                self.events.emit(
+                    EventKind.PREPARED, member, gid=gid, coordinator=coordinator
+                )
+            return PrepareOutcome(
+                PrepareStatus.PREPARED, group=tuple(ordered)
+            )
 
     def is_commit_requested(self, tid):
         """Whether ``tid`` is mid-commit (for the deadlock detector)."""

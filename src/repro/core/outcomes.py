@@ -30,6 +30,46 @@ class LockOutcome:
         return self.granted
 
 
+class PrepareStatus(enum.Enum):
+    """How a ``try_prepare`` (distributed-commit vote) attempt resolved."""
+
+    PREPARED = "prepared"  # vote-commit force-logged; awaiting the decision
+    ALREADY_PREPARED = "already_prepared"  # duplicate prepare: same answer
+    ABORTED = "aborted"  # cannot vote commit; the group must abort
+    BLOCKED = "blocked"  # dependencies unresolved; retry later
+    NOT_COMPLETED = "not_completed"  # code still running; wait first
+
+
+@dataclass(frozen=True)
+class PrepareOutcome:
+    """Result of a distributed-commit vote attempt.
+
+    Truthy iff the local group is (now or already) prepared — i.e. the
+    site may send VOTE-COMMIT.  ``group`` lists every local member the
+    vote covers; BLOCKED outcomes carry ``waiting_for`` exactly like
+    :class:`CommitOutcome`.
+    """
+
+    status: PrepareStatus
+    waiting_for: tuple = ()
+    group: tuple = field(default=())
+
+    def __bool__(self):
+        return self.status in (
+            PrepareStatus.PREPARED,
+            PrepareStatus.ALREADY_PREPARED,
+        )
+
+    @property
+    def is_final(self):
+        """Whether retrying cannot change the answer."""
+        return self.status in (
+            PrepareStatus.PREPARED,
+            PrepareStatus.ALREADY_PREPARED,
+            PrepareStatus.ABORTED,
+        )
+
+
 class CommitStatus(enum.Enum):
     """How a ``try_commit`` attempt resolved."""
 

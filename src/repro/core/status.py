@@ -10,6 +10,14 @@ Section 2.1 defines the vocabulary this enum captures:
   commit and abort algorithms;
 * *committed* / *aborted* — terminated.
 
+The multi-site runtime adds one state the paper leaves implicit:
+
+* *prepared* — the transaction completed, voted to commit in a
+  distributed group commit, and force-logged its vote.  It can no longer
+  abort unilaterally: only the coordinator's decision (or presumed-abort
+  resolution after a coordinator crash) moves it to committing or
+  aborting.
+
 A transaction is **active** if it has begun and not terminated (running or
 completed, possibly mid-commit/mid-abort).
 """
@@ -27,6 +35,7 @@ class TransactionStatus(enum.Enum):
     INITIATED = "initiated"
     RUNNING = "running"
     COMPLETED = "completed"
+    PREPARED = "prepared"
     COMMITTING = "committing"
     COMMITTED = "committed"
     ABORTING = "aborting"
@@ -43,6 +52,7 @@ class TransactionStatus(enum.Enum):
         return self in (
             TransactionStatus.RUNNING,
             TransactionStatus.COMPLETED,
+            TransactionStatus.PREPARED,
             TransactionStatus.COMMITTING,
             TransactionStatus.ABORTING,
         )
@@ -64,6 +74,11 @@ _ALLOWED = {
         TransactionStatus.ABORTING,
     },
     TransactionStatus.COMPLETED: {
+        TransactionStatus.PREPARED,
+        TransactionStatus.COMMITTING,
+        TransactionStatus.ABORTING,
+    },
+    TransactionStatus.PREPARED: {
         TransactionStatus.COMMITTING,
         TransactionStatus.ABORTING,
     },

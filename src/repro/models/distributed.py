@@ -11,43 +11,110 @@ dependencies against the first::
 
 ``commit(t1)`` alone "actually accomplishes the group commit of all the
 transactions in the group"; the remaining commit calls simply report the
-outcome already reached.  :func:`run_distributed` reproduces exactly this,
-asserting the paper's claim about the later commit invocations.
+outcome already reached.  :func:`run_distributed` reproduces exactly this.
+
+Two targets, one entry point:
+
+* a **runtime** (the single-site fast path) — components share one
+  transaction manager and the group commits through the local section
+  4.2 machinery, no messages, no 2PC;
+* a **cluster** — components are spread round-robin over the sites (or
+  placed explicitly with ``placement``), the GC web spans the fabric via
+  proxies, and the group commits atomically by presumed-abort two-phase
+  commit.
+
+When a later ``initiate`` fails, the components already initiated are
+aborted *with a recorded reason* — the paper's translation quietly
+assumes initiation cannot fail halfway; a real console must leave an
+audit trail, so the result carries ``abort_reason`` and each early
+component's abort names the initiate that failed.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.common.errors import AssetError
 from repro.core.dependency import DependencyType
 
 
 @dataclass
 class DistributedResult:
-    """Outcome of a distributed transaction."""
+    """Outcome of a distributed transaction.
+
+    ``tids`` holds local tids on the fast path and
+    :class:`~repro.cluster.cluster.SiteRef`\\ s on the cluster path.
+    ``abort_reason`` is empty unless group formation itself failed —
+    then it records why the already-initiated components were aborted.
+    """
 
     tids: tuple
     committed: bool
     commit_returns: tuple = ()
     values: tuple = ()
+    abort_reason: str = ""
+    group: object = None  # GroupOutcome on the cluster path
 
     def __bool__(self):
         return self.committed
 
 
-def run_distributed(runtime, bodies):
+def _normalize(bodies):
+    return [body if isinstance(body, tuple) else (body, ()) for body in bodies]
+
+
+def run_distributed(target, bodies, placement=None, coordinator=None):
     """Run ``bodies`` (callables or ``(callable, args)`` pairs) as one
-    distributed transaction with group commit/abort semantics."""
-    normalized = [
-        body if isinstance(body, tuple) else (body, ()) for body in bodies
-    ]
+    distributed transaction with group commit/abort semantics.
+
+    ``target`` is a runtime (single-site fast path) or a
+    :class:`~repro.cluster.cluster.Cluster`; ``placement`` (cluster
+    only) names the site for each body, defaulting to round-robin over
+    the sorted site names; ``coordinator`` picks the 2PC coordinator
+    site (default: the first component's site).
+    """
+    normalized = _normalize(bodies)
+    if hasattr(target, "group_commit"):  # a Cluster
+        return _run_on_cluster(target, normalized, placement, coordinator)
+    return _run_on_runtime(target, normalized)
+
+
+def _abort_initiated(abort, initiated, failed_index, failure):
+    """Abort the components initiated before a later initiate failed.
+
+    Every abort carries the reason — a half-formed group must never
+    look like a spontaneous disappearance in the log or the event
+    stream.  Returns the recorded reason.
+    """
+    reason = (
+        f"distributed group formation failed: initiate of component"
+        f" #{failed_index} {failure}; aborting {len(initiated)}"
+        f" already-initiated component(s)"
+    )
+    for earlier in initiated:
+        abort(earlier, reason)
+    return reason
+
+
+# ---------------------------------------------------------------------------
+# single-site fast path
+# ---------------------------------------------------------------------------
+
+
+def _run_on_runtime(runtime, normalized):
     tids = []
-    for function, args in normalized:
+    for index, (function, args) in enumerate(normalized):
         tid = runtime.initiate(function, args=args)
         if not tid:
-            for earlier in tids:
-                runtime.abort(earlier)
-            return DistributedResult(tids=tuple(tids), committed=False)
+            reason = _abort_initiated(
+                lambda t, r: runtime.manager.abort(t, reason=r),
+                tids,
+                index,
+                "returned the null tid",
+            )
+            return DistributedResult(
+                tids=tuple(tids), committed=False, abort_reason=reason
+            )
         tids.append(tid)
 
     # Pairwise GC dependencies against the first component.
@@ -65,4 +132,63 @@ def run_distributed(runtime, bodies):
         committed=committed,
         commit_returns=returns,
         values=values,
+    )
+
+
+# ---------------------------------------------------------------------------
+# cluster path
+# ---------------------------------------------------------------------------
+
+
+def _run_on_cluster(cluster, normalized, placement, coordinator):
+    site_names = sorted(cluster.sites)
+    if placement is None:
+        placement = [
+            site_names[index % len(site_names)]
+            for index in range(len(normalized))
+        ]
+    refs = []
+    for index, ((function, args), site) in enumerate(zip(normalized, placement)):
+        try:
+            ref = cluster.initiate_at(site, function, args)
+            failure = "returned the null tid" if ref is None else None
+        except AssetError as exc:
+            ref, failure = None, f"failed ({type(exc).__name__}: {exc})"
+        if ref is None:
+            reason = _abort_initiated(
+                lambda r, why: cluster.abort(r, reason=why),
+                refs,
+                index,
+                failure,
+            )
+            return DistributedResult(
+                tids=tuple(refs), committed=False, abort_reason=reason
+            )
+        refs.append(ref)
+
+    # The paper's pairwise web against the first component; cross-site
+    # pairs weave proxies, same-site pairs form plain local edges.
+    for other in refs[1:]:
+        cluster.form_dependency(DependencyType.GC, refs[0], other)
+
+    for ref in refs:
+        cluster.begin(ref)
+
+    # One 2PC representative per site — its local GC group carries any
+    # same-site co-members (and every proxy) with it.
+    representatives, seen = [], set()
+    for ref in refs:
+        if ref.site not in seen:
+            seen.add(ref.site)
+            representatives.append(ref)
+    outcome = cluster.group_commit(
+        representatives, coordinator=coordinator or refs[0].site
+    )
+    values = tuple(cluster.result_of(ref) for ref in refs)
+    return DistributedResult(
+        tids=tuple(refs),
+        committed=bool(outcome),
+        commit_returns=(outcome,) * len(refs),
+        values=values,
+        group=outcome,
     )

@@ -1,0 +1,13 @@
+"""A deterministic simulated message fabric.
+
+:class:`~repro.net.fabric.NetworkFabric` connects named endpoints with
+unreliable links: messages can be dropped, duplicated, delayed past a
+pump round, severed by partitions, or lost to a site power cut — all
+driven by the same numbered-step :class:`~repro.chaos.faults.FaultPlan`
+machinery that drives storage faults, so one plan reproduces a whole
+multi-site failure scenario deterministically.
+"""
+
+from repro.net.fabric import Message, NetworkFabric
+
+__all__ = ["Message", "NetworkFabric"]

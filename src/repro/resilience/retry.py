@@ -13,8 +13,10 @@ budget.  Everything is deterministic:
 
 ``retryable`` is an error-class filter: only exceptions that are
 instances of one of those classes are absorbed; anything else
-propagates immediately.  The default absorbs
-:class:`~repro.common.errors.TransientIOError` only — retrying a
+propagates immediately.  The default absorbs the
+:class:`~repro.common.errors.TransientError` marker — which covers
+:class:`~repro.common.errors.TransientIOError` and the network branch
+(drops, timeouts, partitions) — and nothing else: retrying a
 deterministic failure (an aborted transaction, a dependency cycle)
 would just burn the budget.
 """
@@ -23,7 +25,7 @@ from __future__ import annotations
 
 import random
 
-from repro.common.errors import RetryExhausted, TransientIOError
+from repro.common.errors import RetryExhausted, TransientError
 
 __all__ = ["RetryPolicy"]
 
@@ -49,7 +51,7 @@ class RetryPolicy:
         max_delay=64,
         jitter=0,
         seed=0,
-        retryable=(TransientIOError,),
+        retryable=(TransientError,),
         clock=None,
     ):
         self.max_attempts = max_attempts

@@ -33,6 +33,8 @@ _TYPE_COMMIT = 3
 _TYPE_ABORT = 4
 _TYPE_DELEGATE = 5
 _TYPE_CHECKPOINT = 6
+_TYPE_PREPARE = 7
+_TYPE_DECISION = 8
 
 _ABSENT = 0xFFFFFFFF  # length marker: image of a not-yet-existing object
 
@@ -96,6 +98,47 @@ class CheckpointRecord(LogRecord):
     active: tuple = ()
 
 
+@dataclass(frozen=True)
+class PrepareRecord(LogRecord):
+    """``tid`` (plus its local GC ``group``) voted commit in global ``gid``.
+
+    The presumed-abort vote record: force-written *before* the
+    participant's VOTE-COMMIT message leaves the site.  After a crash,
+    a prepared-but-undecided transaction is *in doubt* — recovery keeps
+    its updates and the site asks ``coordinator`` for the verdict.
+    """
+
+    group: tuple = ()
+    gid: int = 0
+    coordinator: str = ""
+
+    def prepared_tids(self):
+        """All tids covered by this vote (the writer plus its group)."""
+        return {self.tid, *self.group}
+
+
+@dataclass(frozen=True)
+class DecisionRecord(LogRecord):
+    """The coordinator's commit decision for global transaction ``gid``.
+
+    Force-written before any COMMIT message is sent: this record *is*
+    the global commit point.  ``tid``/``group`` name the coordinator's
+    own local members (recovery treats them as winners), and
+    ``participants`` names the remote sites to re-notify after a
+    coordinator restart.  Presumed abort means abort decisions are never
+    force-logged — no record, no decision, verdict abort.
+    """
+
+    gid: int = 0
+    verdict: str = "commit"
+    group: tuple = ()
+    participants: tuple = ()
+
+    def decided_tids(self):
+        """The coordinator-local tids this decision commits."""
+        return {self.tid, *self.group}
+
+
 def _pack_image(image):
     if image is None:
         return _U32.pack(_ABSENT)
@@ -108,6 +151,32 @@ def _unpack_image(raw, offset):
     if length == _ABSENT:
         return None, offset
     return bytes(raw[offset : offset + length]), offset + length
+
+
+def _pack_str(text):
+    encoded = text.encode("utf-8")
+    return _U32.pack(len(encoded)) + encoded
+
+
+def _unpack_str(raw, offset):
+    (length,) = _U32.unpack_from(raw, offset)
+    offset += _U32.size
+    return bytes(raw[offset : offset + length]).decode("utf-8"), offset + length
+
+
+def _pack_tids(tids):
+    return _U32.pack(len(tids)) + b"".join(_U64.pack(t.value) for t in tids)
+
+
+def _unpack_tids(raw, offset):
+    (count,) = _U32.unpack_from(raw, offset)
+    offset += _U32.size
+    tids = []
+    for __ in range(count):
+        (value,) = _U64.unpack_from(raw, offset)
+        offset += _U64.size
+        tids.append(Tid(value))
+    return tuple(tids), offset
 
 
 def encode_record(record):
@@ -139,6 +208,22 @@ def encode_record(record):
             _U64.pack(t.value) for t in record.active
         )
         rtype = _TYPE_CHECKPOINT
+    elif isinstance(record, PrepareRecord):
+        body = (
+            _pack_tids(record.group)
+            + _U64.pack(record.gid)
+            + _pack_str(record.coordinator)
+        )
+        rtype = _TYPE_PREPARE
+    elif isinstance(record, DecisionRecord):
+        body = (
+            _U64.pack(record.gid)
+            + _pack_str(record.verdict)
+            + _pack_tids(record.group)
+            + _U32.pack(len(record.participants))
+            + b"".join(_pack_str(p) for p in record.participants)
+        )
+        rtype = _TYPE_DECISION
     else:
         raise StorageError(f"unknown record type: {type(record).__name__}")
     return _HEADER.pack(rtype, record.lsn.value, record.tid.value) + body
@@ -188,6 +273,33 @@ def decode_record(raw):
             offset += _U64.size
             active.append(Tid(value))
         return CheckpointRecord(lsn=lsn, tid=tid, active=tuple(active))
+    if rtype == _TYPE_PREPARE:
+        group, offset = _unpack_tids(raw, offset)
+        (gid,) = _U64.unpack_from(raw, offset)
+        offset += _U64.size
+        coordinator, offset = _unpack_str(raw, offset)
+        return PrepareRecord(
+            lsn=lsn, tid=tid, group=group, gid=gid, coordinator=coordinator
+        )
+    if rtype == _TYPE_DECISION:
+        (gid,) = _U64.unpack_from(raw, offset)
+        offset += _U64.size
+        verdict, offset = _unpack_str(raw, offset)
+        group, offset = _unpack_tids(raw, offset)
+        (count,) = _U32.unpack_from(raw, offset)
+        offset += _U32.size
+        participants = []
+        for __ in range(count):
+            participant, offset = _unpack_str(raw, offset)
+            participants.append(participant)
+        return DecisionRecord(
+            lsn=lsn,
+            tid=tid,
+            gid=gid,
+            verdict=verdict,
+            group=group,
+            participants=tuple(participants),
+        )
     raise StorageError(f"unknown record type byte: {rtype}")
 
 
@@ -466,7 +578,7 @@ class WriteAheadLog:
                     # both runs are already LSN-sorted, so this is a
                     # near-linear merge under Timsort.
                     theirs.sort(key=lambda r: r.lsn.value)
-        elif isinstance(record, CommitRecord):
+        elif isinstance(record, (CommitRecord, PrepareRecord, DecisionRecord)):
             for member in record.group:
                 self._max_tid = max(self._max_tid, member.value)
         elif isinstance(record, CheckpointRecord):
@@ -526,6 +638,47 @@ class WriteAheadLog:
                 lsn=lsn, tid=tid, delegatee=delegatee, oids=tuple(oids)
             )
         )
+
+    def log_prepare(self, tid, group=(), gid=0, coordinator=""):
+        """Force-write a prepare (vote-commit) record.
+
+        Always flushed immediately — the vote must be durable before it
+        is sent, whatever the group-commit policy, because the
+        participant gives up its right to abort unilaterally the moment
+        the coordinator can observe the vote.
+        """
+        record = self._append(
+            lambda lsn: PrepareRecord(
+                lsn=lsn,
+                tid=tid,
+                group=tuple(group),
+                gid=gid,
+                coordinator=coordinator,
+            )
+        )
+        self.flush()
+        return record
+
+    def log_decision(self, tid, gid, verdict, group=(), participants=()):
+        """Force-write the coordinator's decision record.
+
+        Commit decisions must hit stable storage before any COMMIT
+        message leaves the coordinator — this record is the global
+        commit point.  (Presumed abort: callers never force abort
+        decisions; the absence of a decision record *is* the abort.)
+        """
+        record = self._append(
+            lambda lsn: DecisionRecord(
+                lsn=lsn,
+                tid=tid,
+                gid=gid,
+                verdict=verdict,
+                group=tuple(group),
+                participants=tuple(participants),
+            )
+        )
+        self.flush()
+        return record
 
     def log_checkpoint(self, active):
         """Write a fuzzy checkpoint marker."""
@@ -654,7 +807,7 @@ class WriteAheadLog:
         highest = 0
         for record in self.records():
             highest = max(highest, record.tid.value)
-            if isinstance(record, CommitRecord):
+            if isinstance(record, (CommitRecord, PrepareRecord, DecisionRecord)):
                 for member in record.group:
                     highest = max(highest, member.value)
             elif isinstance(record, DelegateRecord):

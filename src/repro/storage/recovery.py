@@ -16,6 +16,14 @@ The strategy is repeat-history + undo-losers over physical images:
    finishing each loser with an abort record, which makes recovery
    idempotent across repeated crashes.
 
+One class of transaction is exempt from undo-losers: a transaction
+covered by a durable prepare record with no durable outcome is **in
+doubt** — it voted commit in a distributed group commit, so this site no
+longer owns the decision.  Its updates are kept (redo reinstalls them)
+and it is reported in ``RecoveryReport.in_doubt``; the cluster layer
+resolves it against the coordinator (or by presumed abort) after
+restart.
+
 Physical before/after images make redo and undo idempotent, which is why a
 crash *during* recovery is harmless: the next restart repeats the same
 installs.
@@ -30,7 +38,9 @@ from repro.storage.log import (
     AfterImageRecord,
     BeforeImageRecord,
     CommitRecord,
+    DecisionRecord,
     DelegateRecord,
+    PrepareRecord,
 )
 
 
@@ -43,12 +53,21 @@ class RecoveryReport:
     already_aborted: set = field(default_factory=set)
     redone: int = 0
     undone: int = 0
+    # Prepared-but-undecided transactions: kept, not undone.  ``in_doubt``
+    # holds their tids; ``in_doubt_votes`` maps each unresolved global id
+    # to its (last) durable PrepareRecord so the cluster layer knows the
+    # group, the coordinator to ask, and hence how to finish them.
+    in_doubt: set = field(default_factory=set)
+    in_doubt_votes: dict = field(default_factory=dict)
 
     def __repr__(self):
+        doubt = ""
+        if self.in_doubt:
+            doubt = f", in_doubt={sorted(t.value for t in self.in_doubt)}"
         return (
             f"RecoveryReport(winners={sorted(t.value for t in self.winners)},"
             f" losers={sorted(t.value for t in self.losers)},"
-            f" redone={self.redone}, undone={self.undone})"
+            f" redone={self.redone}, undone={self.undone}{doubt})"
         )
 
 
@@ -65,11 +84,20 @@ class RecoveryManager:
         writers = set()
         responsibility = {}
         updates = []
+        prepares = []
         for record in records:
             if isinstance(record, CommitRecord):
                 winners |= record.committed_tids()
+            elif isinstance(record, DecisionRecord):
+                # The coordinator's force-logged commit decision commits
+                # its local members even if the usual commit record never
+                # made it to the device before the crash.
+                if record.verdict == "commit":
+                    winners |= record.decided_tids()
             elif isinstance(record, AbortRecord):
                 finished_aborts.add(record.tid)
+            elif isinstance(record, PrepareRecord):
+                prepares.append(record)
             elif isinstance(record, BeforeImageRecord):
                 writers.add(record.tid)
                 responsibility[record.lsn] = record.tid
@@ -83,8 +111,23 @@ class RecoveryManager:
                         responsibility[update.lsn] = record.delegatee
                 writers.add(record.delegatee)
         responsible_writers = set(responsibility.values()) | writers
-        losers = responsible_writers - winners - finished_aborts
-        return winners, losers, finished_aborts, updates, responsibility
+        in_doubt = set()
+        in_doubt_votes = {}
+        for record in prepares:
+            undecided = record.prepared_tids() - winners - finished_aborts
+            if undecided:
+                in_doubt |= undecided
+                in_doubt_votes[record.gid] = record
+        losers = responsible_writers - winners - finished_aborts - in_doubt
+        return (
+            winners,
+            losers,
+            finished_aborts,
+            updates,
+            responsibility,
+            in_doubt,
+            in_doubt_votes,
+        )
 
     def _install(self, oid, image):
         """Bring ``oid`` to ``image`` (create / overwrite / delete)."""
@@ -105,11 +148,21 @@ class RecoveryManager:
         can knock one phase out to prove the oracles notice.
         """
         records = self.log.records(durable_only=True)
-        winners, losers, finished, updates, responsibility = self._analyze(
-            records
-        )
+        (
+            winners,
+            losers,
+            finished,
+            updates,
+            responsibility,
+            in_doubt,
+            in_doubt_votes,
+        ) = self._analyze(records)
         report = RecoveryReport(
-            winners=winners, losers=losers, already_aborted=finished
+            winners=winners,
+            losers=losers,
+            already_aborted=finished,
+            in_doubt=in_doubt,
+            in_doubt_votes=in_doubt_votes,
         )
         self._redo(records, report)
         self._undo(updates, responsibility, losers, report)

@@ -197,6 +197,18 @@ class StorageManager:
         """Log a delegation so recovery attributes undo correctly."""
         return self.log.log_delegate(tid, delegatee, oids)
 
+    def log_prepare(self, tid, group=(), gid=0, coordinator=""):
+        """Force-log a distributed-commit vote (always flushed)."""
+        return self.log.log_prepare(
+            tid, group=group, gid=gid, coordinator=coordinator
+        )
+
+    def log_decision(self, tid, gid, verdict, group=(), participants=()):
+        """Force-log a coordinator commit decision (always flushed)."""
+        return self.log.log_decision(
+            tid, gid, verdict, group=group, participants=participants
+        )
+
     # -- durability control --------------------------------------------------------
 
     def sync_log(self):

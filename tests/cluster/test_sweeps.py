@@ -1,0 +1,75 @@
+"""Message-step fault sweeps: every protocol message, every fault shape.
+
+These are the acceptance sweeps of EX18: drop/duplicate/delay each
+numbered message, crash each site at each step, partition at each step
+and heal later — then demand the cross-site atomicity and convergence
+oracles hold on the durable logs.  ``CHAOS_BUDGET=long`` (the nightly
+job) sweeps every step of every scenario; the default keeps PR latency
+sane by capping the step universe per scenario.
+"""
+
+import os
+
+import pytest
+
+from repro.cluster import scenarios as cluster_scenarios
+from repro.cluster.sweep import (
+    message_fault_sweep,
+    partition_sweep,
+    probe_message_steps,
+    site_crash_sweep,
+)
+
+LONG = os.environ.get("CHAOS_BUDGET") == "long"
+STEP_LIMIT = None if LONG else 12
+
+ALL_SCENARIOS = cluster_scenarios.names()
+
+
+def _failures(results):
+    return [result.describe() for result in results if not result.ok]
+
+
+def test_probe_finds_message_steps():
+    spec = cluster_scenarios.get("cluster_group_commit")
+    steps = probe_message_steps(spec)
+    assert steps, "the probe run must number fabric messages"
+    kinds = {detail.split(":")[-1] for __, detail in steps}
+    # The 2PC core must appear in the happy-path exchange.
+    assert {"gc_begin", "prepare", "vote", "decision"} <= kinds
+
+
+@pytest.mark.parametrize("name", ALL_SCENARIOS)
+def test_drop_duplicate_delay_every_message(name):
+    spec = cluster_scenarios.get(name)
+    results = message_fault_sweep(
+        spec, faults=("drop", "duplicate", "delay"), limit=STEP_LIMIT
+    )
+    assert results
+    assert not _failures(results)
+
+
+@pytest.mark.parametrize("name", ALL_SCENARIOS)
+def test_crash_every_site_at_every_message(name):
+    spec = cluster_scenarios.get(name)
+    results = site_crash_sweep(spec, limit=STEP_LIMIT)
+    assert results
+    assert not _failures(results)
+
+
+@pytest.mark.parametrize("name", ALL_SCENARIOS)
+def test_partition_at_every_message_then_heal(name):
+    spec = cluster_scenarios.get(name)
+    results = partition_sweep(spec, limit=STEP_LIMIT)
+    assert results
+    assert not _failures(results)
+
+
+def test_failing_result_carries_reproduction_plan():
+    # Any red verdict must describe a replayable plan — the contract the
+    # replay CLI depends on.
+    spec = cluster_scenarios.get("cluster_group_commit")
+    results = message_fault_sweep(spec, faults=("drop",), limit=1)
+    (result,) = results
+    assert result.plan.to_dict()
+    assert str(result.step) in result.plan.describe()

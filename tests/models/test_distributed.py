@@ -79,6 +79,84 @@ class TestEdgeCases:
         result = run_distributed(rt, bodies)
         assert not result.committed
 
+    def test_initiation_failure_records_the_reason(self):
+        """A half-formed group leaves an audit trail, not a mystery."""
+        from repro.core.manager import TransactionManager
+        from repro.runtime.coop import CooperativeRuntime
+
+        manager = TransactionManager(max_transactions=2)
+        rt = CooperativeRuntime(manager)
+        oids = make_counters(rt, 1)
+        bodies = [incrementer(oids[0]) for __ in range(4)]
+        result = run_distributed(rt, bodies)
+        assert not result.committed
+        assert "initiate of component" in result.abort_reason
+        assert "already-initiated" in result.abort_reason
+        for tid in result.tids:
+            td = manager.table.maybe_get(tid)
+            assert td.abort_reason == result.abort_reason
+
+
+class TestClusterPath:
+    def _body(self, tag):
+        def body(tx):
+            oid = yield tx.create(tag + b"0")
+            yield tx.write(oid, tag + b"1")
+            return oid
+
+        return body
+
+    def test_group_commits_across_three_sites(self):
+        from repro.cluster import Cluster
+        from repro.storage.log import CommitRecord
+
+        cluster = Cluster()
+        bodies = [self._body(b"a"), self._body(b"b"), self._body(b"c")]
+        result = run_distributed(cluster, bodies)
+        assert result.committed
+        assert result.group is not None and result.group.resolved
+        # Round-robin placement: one component per site, all committed
+        # in their own site's durable log.
+        assert sorted(ref.site for ref in result.tids) == sorted(cluster.sites)
+        cluster.converge()
+        for ref in result.tids:
+            committed = [
+                record.tid.value
+                for record in cluster.sites[ref.site].durable_records()
+                if isinstance(record, CommitRecord)
+            ]
+            assert ref.tid.value in committed
+        assert all(value is not None for value in result.values)
+
+    def test_explicit_placement_and_coordinator(self):
+        from repro.cluster import Cluster
+
+        cluster = Cluster(sites=("alpha", "beta"))
+        result = run_distributed(
+            cluster,
+            [self._body(b"x"), self._body(b"y")],
+            placement=["beta", "beta"],
+            coordinator="beta",
+        )
+        assert result.committed
+        assert {ref.site for ref in result.tids} == {"beta"}
+
+    def test_remote_initiation_failure_aborts_with_reason(self):
+        from repro.cluster import Cluster
+        from repro.core.status import TransactionStatus
+
+        cluster = Cluster(sites=("alpha", "beta"))
+        cluster.sites["beta"].manager.max_transactions = 0
+        result = run_distributed(
+            cluster, [self._body(b"x"), self._body(b"y")]
+        )
+        assert not result.committed
+        assert "returned the null tid" in result.abort_reason
+        (survivor,) = result.tids
+        td = cluster.sites[survivor.site].manager.table.maybe_get(survivor.tid)
+        assert td.status is TransactionStatus.ABORTED
+        assert td.abort_reason == result.abort_reason
+
     def test_components_see_independent_objects(self, rt):
         oids = make_counters(rt, 4)
         result = run_distributed(

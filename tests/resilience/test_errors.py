@@ -11,11 +11,16 @@ from repro.common.errors import (
     DeadlineExceeded,
     DependencyCycleError,
     LeaseExpired,
+    MessageDropped,
+    NetworkError,
+    NetworkTimeout,
+    PartitionedError,
     QuarantinedObjectError,
     RetryExhausted,
     SchedulerStalledError,
     StorageError,
     TransactionAborted,
+    TransientError,
     TransientIOError,
     UnknownObjectError,
     UnknownTransactionError,
@@ -94,6 +99,55 @@ class TestResilienceErrors:
         assert error.tid == Tid(9)
         assert error.op == "commit"
         assert "3 attempt" in str(error)
+
+
+class TestNetworkBranch:
+    def test_every_network_error_is_transient(self):
+        # One retry policy must cover the whole fabric branch.
+        for cls in (NetworkError, MessageDropped, NetworkTimeout, PartitionedError):
+            assert issubclass(cls, TransientError)
+            assert issubclass(cls, AssetError)
+        assert not issubclass(NetworkError, StorageError)
+
+    def test_dropped_carries_the_link_and_step(self):
+        error = MessageDropped("alpha", "beta", "prepare", step=34)
+        assert (error.src, error.dst) == ("alpha", "beta")
+        assert error.kind == "prepare"
+        assert error.step == 34
+        assert "at step 34" in str(error)
+
+    def test_timeout_is_in_doubt_not_a_failure_verdict(self):
+        error = NetworkTimeout("client", "alpha", "gc_begin", rounds=16)
+        assert error.op == "net.call"
+        assert "no reply" in str(error)
+
+    def test_partitioned_names_the_severed_link(self):
+        error = PartitionedError("alpha", "gamma")
+        assert "alpha->gamma" in str(error)
+
+    def test_retry_policy_absorbs_network_timeouts(self):
+        from repro.resilience.retry import RetryPolicy
+
+        calls = []
+
+        def flaky_send():
+            calls.append(1)
+            if len(calls) < 3:
+                raise NetworkTimeout("client", "beta", "wait", rounds=4)
+            return "reply"
+
+        assert RetryPolicy(max_attempts=4).run(flaky_send, op="rpc") == "reply"
+        assert len(calls) == 3
+
+    def test_retry_policy_surfaces_exhaustion(self):
+        from repro.resilience.retry import RetryPolicy
+
+        def always_dropped():
+            raise MessageDropped("alpha", "beta", "vote")
+
+        with pytest.raises(RetryExhausted) as info:
+            RetryPolicy(max_attempts=2).run(always_dropped, op="rpc")
+        assert isinstance(info.value.last_error, MessageDropped)
 
 
 class TestSchedulerStalledFoldedIn:
