@@ -39,6 +39,27 @@ from repro.chaos.scenarios import live_violations
 from repro.chaos.sweep import run_plan
 from repro.cluster import scenarios as cluster_scenarios
 from repro.cluster.sweep import run_cluster_plan
+from repro.obs import ObservabilityKit
+
+
+def _make_kit(args):
+    """An ObservabilityKit when ``--metrics-out``/``--trace-out`` ask for
+    one, else ``None`` (the run stays entirely unobserved)."""
+    if args.metrics_out is None and args.trace_out is None:
+        return None
+    return ObservabilityKit()
+
+
+def _write_obs(kit, args):
+    """Write the requested observability outputs (before the verdict)."""
+    if kit is None:
+        return
+    if args.metrics_out is not None:
+        kit.write_metrics(args.metrics_out)
+        print(f"metrics: {args.metrics_out}")
+    if args.trace_out is not None:
+        count = kit.write_spans(args.trace_out)
+        print(f"spans: {args.trace_out} ({count} spans)")
 
 
 def _parse_partition(text):
@@ -104,7 +125,9 @@ def _verdict_line(scenario, plan, ok, violations, **extra):
 
 
 def _run_cluster(spec, plan, args):
-    result = run_cluster_plan(spec, plan)
+    kit = _make_kit(args)
+    instrument = kit.attach_cluster if kit is not None else None
+    result = run_cluster_plan(spec, plan, instrument=instrument)
     if args.trace:
         for number, src, dst, kind, action in result.cluster.fabric.delivery_log:
             step = f"{number:4d}" if number is not None else "   -"
@@ -117,6 +140,7 @@ def _run_cluster(spec, plan, args):
     violations = list(result.report.violations)
     if not result.converged:
         violations.append("convergence: cluster did not quiesce")
+    _write_obs(kit, args)
     _verdict_line(
         spec.name,
         plan,
@@ -189,6 +213,14 @@ def main(argv=None):
     )
     parser.add_argument("--trace", action="store_true",
                         help="print the numbered I/O step trace")
+    parser.add_argument(
+        "--metrics-out", metavar="PATH",
+        help="write the run's metrics snapshot to PATH as JSON",
+    )
+    parser.add_argument(
+        "--trace-out", metavar="PATH",
+        help="write the run's transaction spans to PATH as JSONL",
+    )
     args = parser.parse_args(argv)
 
     if args.list:
@@ -212,9 +244,13 @@ def main(argv=None):
         else None
     )
 
+    kit = _make_kit(args)
+
     if plan.is_noop and controller is not None:
         # Pure schedule replay: drive live, judge with the live oracle.
         stack = spec.build_stack(schedule=controller)
+        if kit is not None:
+            kit.attach_stack(stack)
         spec.drive(stack)
         violations = live_violations(stack)
         if args.trace:
@@ -227,6 +263,7 @@ def main(argv=None):
                 print(f"  - {violation}")
         else:
             print("oracle OK")
+        _write_obs(kit, args)
         _verdict_line(
             spec.name, plan, not violations, violations, schedule=args.schedule
         )
@@ -242,7 +279,8 @@ def main(argv=None):
             )
 
     outcome = run_plan(
-        spec, plan, schedule=controller, policy_factory=policy_factory
+        spec, plan, schedule=controller, policy_factory=policy_factory,
+        instrument=kit.attach_stack if kit is not None else None,
     )
     if args.trace:
         for step in outcome.stack.injector.trace:
@@ -256,6 +294,7 @@ def main(argv=None):
         print("run completed; power cut applied at end")
     print(f"recovery: {outcome.system.report!r}")
     print(outcome.oracle.describe())
+    _write_obs(kit, args)
     _verdict_line(spec.name, plan, outcome.ok, outcome.oracle.violations)
     return 0 if outcome.ok else 1
 

@@ -162,7 +162,7 @@ def probe(spec):
     return stack
 
 
-def run_plan(spec, plan, schedule=None, policy_factory=None):
+def run_plan(spec, plan, schedule=None, policy_factory=None, instrument=None):
     """One faulted run: drive, crash (maybe), restart, recover, judge.
 
     ``policy_factory`` (transient-fault sweeps) is called with the fresh
@@ -172,8 +172,14 @@ def run_plan(spec, plan, schedule=None, policy_factory=None):
     :class:`RetryExhausted` with a spent budget — is captured as the
     outcome's ``model_error`` rather than propagated: the client saw an
     error, and the run is still judged for durable-state correctness.
+
+    ``instrument`` is called with the freshly built stack before anything
+    drives it — the hook ``repro.obs`` (and the replay CLI's
+    ``--metrics-out``/``--trace-out``) uses to attach observers.
     """
     stack = spec.build_stack(plan=plan, schedule=schedule)
+    if instrument is not None:
+        instrument(stack)
     if policy_factory is not None:
         stack.retry_policy = policy_factory(stack)
     crash = None

@@ -38,6 +38,8 @@ has no record.
 
 from __future__ import annotations
 
+from repro.chaos.faults import CrashPoint
+from repro.common.errors import TransientIOError
 from repro.common.events import EventKind
 from repro.common.ids import Tid
 from repro.core.dependency import DependencyType
@@ -77,6 +79,15 @@ ACK = "ack"
 STATUS_REQ = "status_req"
 STATUS_REP = "status_rep"
 
+# The fault injector's contract (chaos/faults.py): injected faults must
+# propagate, never be converted into ordinary RPC error replies — a site
+# that swallows its own simulated crash or I/O fault keeps answering
+# while "dead", and the sweep oracles lose the fault they planted.
+# CrashPoint already escapes ``except Exception`` by deriving from
+# BaseException; TransientIOError (fail_flush_at) does not, so the RPC
+# handlers must re-raise it explicitly.
+_INJECTED_FAULTS = (CrashPoint, TransientIOError)
+
 
 class Site:
     """A named ASSET instance wired to the cluster fabric."""
@@ -106,6 +117,11 @@ class Site:
         # and rebuilt by :meth:`_boot`.
         self.storage = StorageManager(injector=injector, capacity=capacity)
         self.recovery_report = None
+        # Observability (repro.obs): an ObservabilityKit installed by
+        # attach_observability, or None.  Kept across crashes — the kit
+        # is the *observer's* state, not the site's — and re-wired onto
+        # the fresh manager by every _boot.
+        self.obs = None
         self._boot()
 
     # -- lifecycle ---------------------------------------------------------
@@ -134,6 +150,38 @@ class Site:
         self.up = True
         self.fabric.register(self.name, self.on_message)
         self.fabric.mark_up(self.name)
+        self._wire_obs()
+
+    def attach_observability(self, kit):
+        """Install an :class:`~repro.obs.wiring.ObservabilityKit`.
+
+        The kit's subscriptions ride the *current* manager; a crash
+        throws that manager away, so :meth:`_boot` re-wires the kit onto
+        each incarnation.  Spans from before the crash stay in the kit —
+        open spans of transactions the crash killed simply never close,
+        which is itself the signal.
+        """
+        self.obs = kit
+        self._wire_obs()
+        return kit
+
+    def _wire_obs(self):
+        if self.obs is None:
+            return
+        self.obs.attach_manager(
+            self.manager, trace=self.name, correlate=self._correlate
+        )
+
+    def _correlate(self, tid):
+        """A transaction's logical identity: ``owner_site:owner_tid``.
+
+        Proxies resolve to the remote transaction they stand in for, so
+        all spans of one logical transaction share a correlation id.
+        """
+        owner = self.proxy_owner.get(tid)
+        if owner is not None:
+            return f"{owner[0]}:{owner[1]}"
+        return f"{self.name}:{tid.value}"
 
     def crash(self):
         """Power cut: volatile state and the unflushed log tail are gone."""
@@ -271,7 +319,12 @@ class Site:
         if not self.up:
             return
         handler = self._HANDLERS.get(msg.kind)
-        if handler is not None:
+        if handler is None:
+            return
+        if self.obs is not None:
+            with self.obs.message_context(self.name, msg):
+                handler(self, msg)
+        else:
             handler(self, msg)
 
     # -- driver RPC handlers ----------------------------------------------
@@ -331,6 +384,8 @@ class Site:
         try:
             self.manager.form_dependency(dep_type, ti, tj)
             ok = True
+        except _INJECTED_FAULTS:
+            raise
         except Exception as exc:  # cycle / unknown tid -> report, not die
             ok = False
             self._reply(msg, {"ok": False, "error": type(exc).__name__})
@@ -354,6 +409,8 @@ class Site:
             else:
                 self.manager.form_dependency(dep_type, proxy, local)
             ok, error = True, None
+        except _INJECTED_FAULTS:
+            raise
         except Exception as exc:
             ok, error = False, type(exc).__name__
         self._reply(msg, {"ok": ok, "error": error})
@@ -376,6 +433,8 @@ class Site:
         try:
             moved = self.manager.delegate(giver, receiver, oids)
             self._reply(msg, {"ok": True, "moved": sorted(moved)})
+        except _INJECTED_FAULTS:
+            raise
         except Exception as exc:
             self._reply(msg, {"ok": False, "error": type(exc).__name__})
 
@@ -397,6 +456,8 @@ class Site:
                 operations=msg.payload.get("operations"),
             )
             self._reply(msg, {"ok": True})
+        except _INJECTED_FAULTS:
+            raise
         except Exception as exc:
             self._reply(msg, {"ok": False, "error": type(exc).__name__})
 

@@ -77,7 +77,10 @@ def probe_message_steps(spec, **options):
     ]
 
 
-def run_cluster_plan(spec, plan, converge_rounds=240, step=None, detail="", **options):
+def run_cluster_plan(
+    spec, plan, converge_rounds=240, step=None, detail="",
+    instrument=None, **options,
+):
     """Drive the scenario under ``plan``, then recover and judge.
 
     The driver (console) half is allowed to fail — a crashed coordinator
@@ -85,8 +88,14 @@ def run_cluster_plan(spec, plan, converge_rounds=240, step=None, detail="", **op
     not raised: the oracles judge what the *sites* did, and the whole
     point of presumed abort is that the cluster settles without the
     console's help.
+
+    ``instrument`` is called with the freshly built cluster before the
+    scenario drives it — the hook ``repro.obs`` (and the replay CLI's
+    ``--metrics-out``/``--trace-out``) uses to attach observers.
     """
     cluster = spec.build(plan=plan, **options)
+    if instrument is not None:
+        instrument(cluster)
     driver_error = ""
     try:
         spec.drive(cluster)

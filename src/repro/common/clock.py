@@ -27,6 +27,14 @@ class LogicalClock:
         with self._lock:
             return self._value
 
+    def peek(self):
+        """Lock-free :meth:`now` for hot-path probes.
+
+        Reading one int attribute is atomic under CPython; the lock in
+        ``now`` only adds ordering no tick-distance measurement needs.
+        """
+        return self._value
+
     def tick(self, amount=1):
         """Advance the clock by ``amount`` ticks and return the new value."""
         if amount < 0:

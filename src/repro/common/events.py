@@ -92,6 +92,11 @@ class EventBus:
         self._watched = frozenset()  # kinds with at least one subscriber
         self._dispatch = {}  # kind -> tuple of callbacks (lazy cache)
         self._clock = clock
+        # Clockless buses still owe subscribers the documented "tick
+        # gives a total order" contract (the ACTA recorder and span
+        # ordering rely on it), so emission falls back to a private
+        # monotonic counter rather than stamping every event 0.
+        self._fallback_tick = 0
         self._lock = threading.Lock()
 
     def subscribe(self, callback, kinds=None):
@@ -105,11 +110,18 @@ class EventBus:
         return callback
 
     def unsubscribe(self, callback):
-        """Stop delivering events to ``callback`` (no-op if unknown)."""
+        """Stop delivering events to ``callback`` (no-op if unknown).
+
+        Matches by *identity*, and removes only the first (oldest)
+        registration: a callback class overriding ``__eq__`` must not be
+        able to detach someone else's subscriber, and a twice-subscribed
+        callback keeps its second registration.
+        """
         with self._lock:
-            self._subscribers = [
-                entry for entry in self._subscribers if entry[0] != callback
-            ]
+            for index, entry in enumerate(self._subscribers):
+                if entry[0] is callback:
+                    del self._subscribers[index]
+                    break
             self._rewire()
 
     def _rewire(self):
@@ -142,7 +154,12 @@ class EventBus:
         targets = self._dispatch.get(kind)
         if targets is None:
             targets = self._targets_for(kind)
-        tick = self._clock.tick() if self._clock is not None else 0
+        if self._clock is not None:
+            tick = self._clock.tick()
+        else:
+            with self._lock:
+                self._fallback_tick += 1
+                tick = self._fallback_tick
         event = Event(kind=kind, tid=tid, tick=tick, detail=detail)
         for callback in targets:
             callback(event)

@@ -78,6 +78,9 @@ class NetworkFabric:
         self._site_crash_fired = False
         self._msg_ids = count(1)
         self.delivery_log = []  # (step, src, dst, kind, action)
+        # Observability hook (repro.obs): a MetricsRegistry installed by
+        # ObservabilityKit.attach_fabric, or None.
+        self.metrics = None
         self.stats = {
             "sent": 0,
             "delivered": 0,
@@ -160,6 +163,11 @@ class NetworkFabric:
         self._apply_planned_marks(number)
         action = self._link_verdict(message, action)
         self.delivery_log.append((number, src, dst, kind, action))
+        metrics = self.metrics
+        if metrics is not None:
+            metrics.inc("fabric.sent", site=src)
+            metrics.inc("fabric.msg", kind=kind)
+            metrics.inc("fabric.action", action=action or "deliver")
         if action == "drop":
             self.stats["dropped"] += 1
         elif action == "partition_drop":
@@ -248,6 +256,8 @@ class NetworkFabric:
             handler(message)
             delivered += 1
             self.stats["delivered"] += 1
+            if self.metrics is not None:
+                self.metrics.inc("fabric.delivered", site=message.dst)
         if self.delayed:
             for message in self.delayed:
                 if message.dst in self.inboxes:

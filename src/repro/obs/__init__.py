@@ -1,0 +1,50 @@
+"""Observability: metrics and trace spans over the event bus.
+
+``repro.obs`` is the measurement layer the ROADMAP's perf work is judged
+with.  It adds nothing to the transaction model — it *watches* it:
+
+* :mod:`repro.obs.metrics` — counters, gauges, and fixed-bucket
+  histograms keyed by name + tiny label sets, timed by the deterministic
+  logical clock so snapshots are reproducible run-to-run;
+* :mod:`repro.obs.spans` — a :class:`~repro.obs.spans.SpanBuilder` that
+  folds the event stream into one span per transaction (initiate →
+  outcome, delegation/permit/dependency edges as links, cross-site
+  correlation ids), exported as JSONL;
+* :mod:`repro.obs.wiring` — the attach points: narrow-kind bus
+  subscriptions plus the optional ``metrics`` attributes on the manager,
+  the WAL, and the fabric.  :func:`install_observability` is the one
+  call that wires any combination.
+
+Everything is pay-for-what-you-use: a detached system runs exactly the
+pre-PR-5 code paths (one ``is None`` test per hook), and the EX19 bench
+gates the attached overhead at ≤5% of the manager hot path.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    DEFAULT_TICK_BUCKETS,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    ScopedMetrics,
+)
+from repro.obs.spans import SPAN_KINDS, SpanBuilder
+from repro.obs.wiring import (
+    EventMetrics,
+    ObservabilityKit,
+    install_observability,
+)
+
+__all__ = [
+    "Counter",
+    "DEFAULT_TICK_BUCKETS",
+    "EventMetrics",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "ObservabilityKit",
+    "SPAN_KINDS",
+    "ScopedMetrics",
+    "SpanBuilder",
+    "install_observability",
+]

@@ -1,0 +1,302 @@
+"""Metric instruments over the deterministic clock.
+
+Three instrument families, all deliberately boring:
+
+* :class:`Counter` — a monotonically increasing count (events, messages,
+  aborts);
+* :class:`Gauge` — a point-in-time value someone sets (watchdog stats,
+  queue depths);
+* :class:`Histogram` — fixed-bucket distributions (latencies in logical
+  ticks, batch sizes in commits or bytes).  Buckets are fixed at
+  creation so two snapshots of the same registry are always
+  field-by-field comparable — the property the EX19 A/B bench and the
+  CI overhead gate rely on.
+
+The :class:`MetricsRegistry` keys instruments by ``(name, labels)``;
+labels are sorted key/value pairs with deliberately tiny cardinality
+(site names, event kinds, fault actions).  Time never comes from the
+wall clock: histograms of "latency" are distances between logical-clock
+ticks, so a metrics snapshot is as deterministic as the run that
+produced it.
+
+None of the instruments lock.  The cooperative runtime is single
+threaded; under the threaded runtime every instrumented site already
+sits behind the manager's mutex, and a metrics race could at worst lose
+a count — never corrupt transaction state.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+__all__ = [
+    "Counter",
+    "DEFAULT_TICK_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "ScopedMetrics",
+]
+
+# Powers of two up to 4096 logical ticks: primitive latencies sit in the
+# low buckets, whole-transaction lifetimes and cross-site round trips in
+# the high ones.  The terminal +inf bucket is implicit.
+DEFAULT_TICK_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096)
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0
+
+    def inc(self, amount=1):
+        """Add ``amount`` (default 1); counters never go down."""
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time value; the last ``set`` wins."""
+
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0
+
+    def set(self, value):
+        """Record the current value."""
+        self.value = value
+
+
+class Histogram:
+    """A fixed-bucket distribution with count/sum/min/max.
+
+    ``buckets`` are inclusive upper bounds; one implicit overflow bucket
+    catches everything beyond the last bound.  ``observe`` is a linear
+    probe over a dozen bounds — cheap, branch-predictable, and
+    allocation-free, which is what the hot path needs.
+    """
+
+    __slots__ = ("buckets", "counts", "count", "total", "min", "max")
+
+    def __init__(self, buckets=DEFAULT_TICK_BUCKETS):
+        self.buckets = tuple(buckets)
+        self.counts = [0] * (len(self.buckets) + 1)
+        self.count = 0
+        self.total = 0
+        self.min = None
+        self.max = None
+
+    def observe(self, value):
+        """Fold one observation into the distribution."""
+        index = 0
+        for bound in self.buckets:
+            if value <= bound:
+                break
+            index += 1
+        self.counts[index] += 1
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    def mean(self):
+        """Arithmetic mean of all observations (0.0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def to_dict(self):
+        """The snapshot shape: counts per bucket plus the summary stats."""
+        labels = [f"le={bound}" for bound in self.buckets] + ["le=+inf"]
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": round(self.mean(), 3),
+            "buckets": dict(zip(labels, self.counts)),
+        }
+
+
+def _key(name, labels):
+    return (name, tuple(sorted(labels.items()))) if labels else (name, ())
+
+
+def _render_key(key):
+    name, labels = key
+    if not labels:
+        return name
+    rendered = ",".join(f"{k}={v}" for k, v in labels)
+    return f"{name}{{{rendered}}}"
+
+
+class MetricsRegistry:
+    """Named counters, gauges, and histograms with tiny label sets.
+
+    ``clock`` (a :class:`~repro.common.clock.LogicalClock`) is optional;
+    when present, snapshots carry the tick they were taken at.
+    Collectors registered with :meth:`add_collector` run at snapshot
+    time — the pull-model escape hatch for subsystems that already keep
+    their own counters (watchdog stats, fabric stats) and should not pay
+    a push on their hot path.
+    """
+
+    def __init__(self, clock=None):
+        self.clock = clock
+        self._counters = {}
+        self._gauges = {}
+        self._histograms = {}
+        self._collectors = []
+        # Guards instrument *creation* only; updates are lock-free.
+        self._lock = threading.Lock()
+
+    # -- instrument access -------------------------------------------------
+
+    def counter(self, name, **labels):
+        """The counter registered under ``name`` (+ labels), creating it
+        on first use."""
+        key = _key(name, labels)
+        instrument = self._counters.get(key)
+        if instrument is None:
+            with self._lock:
+                instrument = self._counters.setdefault(key, Counter())
+        return instrument
+
+    def gauge(self, name, **labels):
+        """The gauge registered under ``name`` (+ labels)."""
+        key = _key(name, labels)
+        instrument = self._gauges.get(key)
+        if instrument is None:
+            with self._lock:
+                instrument = self._gauges.setdefault(key, Gauge())
+        return instrument
+
+    def histogram(self, name, buckets=DEFAULT_TICK_BUCKETS, **labels):
+        """The histogram registered under ``name`` (+ labels).
+
+        The bucket bounds are fixed by the *first* registration; later
+        callers inherit them, so one metric name always has one shape.
+        """
+        key = _key(name, labels)
+        instrument = self._histograms.get(key)
+        if instrument is None:
+            with self._lock:
+                instrument = self._histograms.setdefault(
+                    key, Histogram(buckets)
+                )
+        return instrument
+
+    # -- push conveniences (what the wiring calls) -------------------------
+
+    def inc(self, name, amount=1, **labels):
+        """Increment the named counter."""
+        self.counter(name, **labels).inc(amount)
+
+    def set_gauge(self, name, value, **labels):
+        """Set the named gauge."""
+        self.gauge(name, **labels).set(value)
+
+    def observe(self, name, value, buckets=DEFAULT_TICK_BUCKETS, **labels):
+        """Fold one observation into the named histogram."""
+        self.histogram(name, buckets=buckets, **labels).observe(value)
+
+    def add_collector(self, collect):
+        """Register ``collect(registry)`` to run at snapshot time."""
+        self._collectors.append(collect)
+        return collect
+
+    # -- export ------------------------------------------------------------
+
+    def snapshot(self):
+        """One JSON-able dict of everything: run collectors, then dump.
+
+        Keys are rendered ``name{label=value,...}`` strings, so the
+        snapshot diffs cleanly and needs no schema to read.
+        """
+        for collect in self._collectors:
+            collect(self)
+        out = {
+            "tick": self.clock.now() if self.clock is not None else None,
+            "counters": {
+                _render_key(key): counter.value
+                for key, counter in sorted(self._counters.items())
+            },
+            "gauges": {
+                _render_key(key): gauge.value
+                for key, gauge in sorted(self._gauges.items())
+            },
+            "histograms": {
+                _render_key(key): histogram.to_dict()
+                for key, histogram in sorted(self._histograms.items())
+            },
+        }
+        return out
+
+    def render_text(self):
+        """A human-readable dump (benchmarks print this)."""
+        snap = self.snapshot()
+        lines = []
+        if snap["tick"] is not None:
+            lines.append(f"# snapshot at tick {snap['tick']}")
+        for name, value in snap["counters"].items():
+            lines.append(f"{name} {value}")
+        for name, value in snap["gauges"].items():
+            lines.append(f"{name} {value}")
+        for name, hist in snap["histograms"].items():
+            lines.append(
+                f"{name} count={hist['count']} sum={hist['sum']}"
+                f" min={hist['min']} max={hist['max']} mean={hist['mean']}"
+            )
+        return "\n".join(lines)
+
+    def to_json(self, indent=2):
+        """The snapshot as a JSON string."""
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+
+
+class ScopedMetrics:
+    """A registry view that stamps fixed labels on every update.
+
+    Each per-site manager gets one of these (``site=<name>``), so a
+    cluster's registry separates alpha's commit latency from beta's
+    while the manager-side hook stays a single attribute check.
+    """
+
+    __slots__ = ("registry", "labels")
+
+    def __init__(self, registry, **labels):
+        self.registry = registry
+        self.labels = labels
+
+    def counter(self, name, **labels):
+        """The underlying counter, scope labels applied (pre-binding the
+        instrument lets hot subscribers skip the per-event name lookup)."""
+        return self.registry.counter(name, **{**self.labels, **labels})
+
+    def gauge(self, name, **labels):
+        """The underlying gauge, scope labels applied."""
+        return self.registry.gauge(name, **{**self.labels, **labels})
+
+    def histogram(self, name, buckets=DEFAULT_TICK_BUCKETS, **labels):
+        """The underlying histogram, scope labels applied."""
+        return self.registry.histogram(
+            name, buckets=buckets, **{**self.labels, **labels}
+        )
+
+    def inc(self, name, amount=1, **labels):
+        """Increment a counter under the scope's labels."""
+        self.registry.inc(name, amount, **{**self.labels, **labels})
+
+    def set_gauge(self, name, value, **labels):
+        """Set a gauge under the scope's labels."""
+        self.registry.set_gauge(name, value, **{**self.labels, **labels})
+
+    def observe(self, name, value, buckets=DEFAULT_TICK_BUCKETS, **labels):
+        """Observe into a histogram under the scope's labels."""
+        self.registry.observe(
+            name, value, buckets=buckets, **{**self.labels, **labels}
+        )

@@ -520,6 +520,12 @@ class WriteAheadLog:
         self._lock = threading.Lock()
         self._next_lsn = 1
         self.flush_count = 0
+        # Observability hook (repro.obs): a MetricsRegistry/ScopedMetrics
+        # installed by ObservabilityKit.attach_log, or None.  The append
+        # path pre-binds its two instruments in ``_obs_bound`` so the
+        # per-record cost is two attribute bumps, not registry lookups.
+        self.metrics = None
+        self._obs_bound = None
         # Decoded-record cache: the live system reads the log on every
         # abort (updates_by) and at each delegation; re-decoding the whole
         # device each time would make abort cost quadratic in history.
@@ -596,6 +602,17 @@ class WriteAheadLog:
             self._index_record(record)
             if self.group_commit is not None:
                 self.group_commit.note_append(len(encoded))
+            metrics = self.metrics
+            if metrics is not None:
+                bound = self._obs_bound
+                if bound is None or bound[0] is not metrics:
+                    bound = self._obs_bound = (
+                        metrics,
+                        metrics.counter("wal.appends"),
+                        metrics.histogram("wal.append_bytes"),
+                    )
+                bound[1].value += 1
+                bound[2].observe(len(encoded))
             return record
 
     # -- record writers --------------------------------------------------------
@@ -719,6 +736,17 @@ class WriteAheadLog:
                 health.note_failure(str(exc))
             raise
         self.flush_count += 1
+        metrics = self.metrics
+        if metrics is not None:
+            metrics.inc("wal.flushes")
+            if self.group_commit is not None:
+                # Batch sizes *at* the flush: how much one fsync bought.
+                metrics.observe(
+                    "wal.flush_batch_commits", self.group_commit.pending_commits
+                )
+                metrics.observe(
+                    "wal.flush_batch_bytes", self.group_commit.pending_bytes
+                )
         if health is not None:
             durable_count = getattr(self.device, "durable_count", None)
             if durable_count is not None:

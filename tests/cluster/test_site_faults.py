@@ -1,0 +1,112 @@
+"""Injected faults must escape the RPC handlers.
+
+Regression for a fault-swallowing bug: the four RPC handlers that wrap
+``manager`` calls in ``except Exception`` (form_dep, form_remote_dep,
+delegate, permit) converted *injected* faults into ordinary
+``{"ok": False}`` error replies.  A site that answers RPCs while its
+simulated I/O is failing defeats the sweep oracles — the fault the plan
+planted simply disappears.  The contract (``chaos/faults.py``):
+``CrashPoint`` and ``TransientIOError`` propagate; only genuine
+application errors (cycles, unknown tids) become error replies.
+"""
+
+import pytest
+
+from repro.chaos.faults import CrashPoint
+from repro.cluster.cluster import Cluster
+from repro.common.errors import TransientIOError
+
+
+def _two_sites():
+    return Cluster(sites=("alpha", "beta"))
+
+
+def _raiser(exc):
+    def boom(*args, **kwargs):
+        raise exc
+
+    return boom
+
+
+class TestInjectedFaultsPropagate:
+    """Each handler, driven through the real fabric dispatch path."""
+
+    def _pump_raises(self, cluster, exc_type):
+        with pytest.raises(exc_type):
+            cluster.fabric.pump_round()
+
+    def test_delegate_handler_reraises_transient_io(self):
+        cluster = _two_sites()
+        site = cluster.sites["alpha"]
+        site.manager.delegate = _raiser(TransientIOError("flush", "injected"))
+        cluster.fabric.send(
+            "client", "alpha", "delegate", {"tid": 1, "receiver_tid": 2}
+        )
+        self._pump_raises(cluster, TransientIOError)
+
+    def test_permit_handler_reraises_transient_io(self):
+        cluster = _two_sites()
+        site = cluster.sites["alpha"]
+        site.manager.permit = _raiser(TransientIOError("flush", "injected"))
+        cluster.fabric.send("client", "alpha", "permit", {"tid": 1})
+        self._pump_raises(cluster, TransientIOError)
+
+    def test_form_dep_handler_reraises_transient_io(self):
+        cluster = _two_sites()
+        site = cluster.sites["alpha"]
+        site.manager.form_dependency = _raiser(
+            TransientIOError("flush", "injected")
+        )
+        cluster.fabric.send(
+            "client", "alpha", "form_dep",
+            {"dep_type": "CD", "ti": 1, "tj": 2},
+        )
+        self._pump_raises(cluster, TransientIOError)
+
+    def test_form_remote_dep_handler_reraises_transient_io(self):
+        cluster = _two_sites()
+        site = cluster.sites["alpha"]
+        site.manager.form_dependency = _raiser(
+            TransientIOError("flush", "injected")
+        )
+        cluster.fabric.send(
+            "client", "alpha", "form_remote_dep",
+            {
+                "dep_type": "CD",
+                "local": 1,
+                "peer_site": "beta",
+                "peer_tid": 1,
+                "role": "dependee",
+            },
+        )
+        self._pump_raises(cluster, TransientIOError)
+
+    def test_crash_point_escapes_every_handler(self):
+        # CrashPoint derives from BaseException precisely so except
+        # Exception cannot eat it; guard against anyone "fixing" that.
+        cluster = _two_sites()
+        site = cluster.sites["alpha"]
+        site.manager.delegate = _raiser(CrashPoint("alpha", "log_append"))
+        cluster.fabric.send(
+            "client", "alpha", "delegate", {"tid": 1, "receiver_tid": 2}
+        )
+        self._pump_raises(cluster, CrashPoint)
+
+
+class TestApplicationErrorsStillReply:
+    def test_unknown_tid_becomes_an_error_reply(self):
+        # The "report, not die" half of the contract is unchanged:
+        # genuine application errors answer the RPC instead of killing
+        # the site.
+        cluster = _two_sites()
+        replies = []
+        cluster.fabric.handlers["client"] = lambda msg: replies.append(msg)
+        cluster.fabric.send(
+            "client", "alpha", "form_dep",
+            {"dep_type": "CD", "ti": 971, "tj": 972},
+        )
+        for __ in range(4):
+            cluster.fabric.pump_round()
+        assert replies
+        assert replies[-1].payload["ok"] is False
+        assert replies[-1].payload["error"]

@@ -1,5 +1,7 @@
 """Event bus and recorder behaviour."""
 
+import threading
+
 from repro.common.clock import LogicalClock
 from repro.common.events import Event, EventBus, EventKind, EventRecorder
 from repro.common.ids import Tid
@@ -32,6 +34,121 @@ class TestEventBus:
 
     def test_unsubscribe_unknown_is_noop(self):
         EventBus().unsubscribe(lambda e: None)
+
+    def test_unsubscribe_matches_by_identity_not_equality(self):
+        # A subscriber whose class overrides __eq__ to say "equal to
+        # everything" must not be able to detach someone else's
+        # registration: removal compares identity, not equality.
+        class Promiscuous:
+            def __eq__(self, other):
+                return True
+
+            def __ne__(self, other):
+                return False
+
+            def __hash__(self):
+                return 0
+
+            def __call__(self, event):
+                pass
+
+        bus = EventBus()
+        recorder = EventRecorder()
+        bus.subscribe(recorder)
+        bus.subscribe(Promiscuous())
+        bus.unsubscribe(Promiscuous())  # never-subscribed instance
+        bus.emit(EventKind.BEGIN, Tid(1))
+        assert recorder.kinds() == [EventKind.BEGIN]
+
+    def test_unsubscribe_removes_only_first_registration(self):
+        bus = EventBus()
+        recorder = EventRecorder()
+        bus.subscribe(recorder)
+        bus.subscribe(recorder)
+        bus.emit(EventKind.BEGIN, Tid(1))
+        assert recorder.kinds() == [EventKind.BEGIN, EventKind.BEGIN]
+        bus.unsubscribe(recorder)
+        bus.emit(EventKind.COMMITTED, Tid(1))
+        # The duplicate subscription survives: one delivery, not zero.
+        assert recorder.kinds()[2:] == [EventKind.COMMITTED]
+        bus.unsubscribe(recorder)
+        bus.emit(EventKind.ABORTED, Tid(1))
+        assert len(recorder.events) == 3
+
+    def test_clockless_bus_still_orders_events(self):
+        # Regression: a bus without a clock used to stamp every event
+        # tick=0, breaking the documented total-order contract.
+        bus = EventBus()
+        recorder = EventRecorder()
+        bus.subscribe(recorder)
+        bus.emit(EventKind.BEGIN, Tid(1))
+        bus.emit(EventKind.COMMITTED, Tid(1))
+        bus.emit(EventKind.BEGIN, Tid(2))
+        ticks = [event.tick for event in recorder.events]
+        assert ticks == sorted(ticks)
+        assert len(set(ticks)) == len(ticks)
+        assert ticks[0] > 0
+
+    def test_kind_filtered_delivery_survives_rewire(self):
+        # The per-kind dispatch cache is rebuilt lazily after any
+        # (un)subscribe; deliveries must respect every subscriber's
+        # filter across that rebuild.
+        bus = EventBus()
+        begins = EventRecorder()
+        both = EventRecorder()
+        bus.subscribe(begins, kinds=(EventKind.BEGIN,))
+        bus.emit(EventKind.BEGIN, Tid(1))  # populate the dispatch cache
+        bus.subscribe(both, kinds=(EventKind.BEGIN, EventKind.COMMITTED))
+        bus.emit(EventKind.BEGIN, Tid(2))
+        bus.emit(EventKind.COMMITTED, Tid(2))
+        assert begins.kinds() == [EventKind.BEGIN, EventKind.BEGIN]
+        assert both.kinds() == [EventKind.BEGIN, EventKind.COMMITTED]
+        bus.unsubscribe(begins)
+        bus.emit(EventKind.BEGIN, Tid(3))
+        assert len(begins.of_kind(EventKind.BEGIN)) == 2
+        assert len(both.of_kind(EventKind.BEGIN)) == 2
+
+    def test_subscribe_unsubscribe_racing_emit(self):
+        # Emitters race churning subscribers; the bus must never drop a
+        # stable subscriber's delivery, raise, or leave the dispatch
+        # cache pointing at a detached callback.
+        clock = LogicalClock()
+        bus = EventBus(clock)
+        stable = EventRecorder()
+        bus.subscribe(stable, kinds=(EventKind.BEGIN,))
+        stop = threading.Event()
+        errors = []
+
+        def churn():
+            def ephemeral(event):
+                pass
+
+            try:
+                while not stop.is_set():
+                    bus.subscribe(ephemeral, kinds=(EventKind.BEGIN,))
+                    bus.unsubscribe(ephemeral)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        emits = 400
+        threads = [threading.Thread(target=churn) for __ in range(2)]
+        for thread in threads:
+            thread.start()
+        try:
+            for value in range(emits):
+                bus.emit(EventKind.BEGIN, Tid(value))
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join()
+        assert errors == []
+        assert len(stable.events) == emits
+        # After the churn settles, delivery is exactly the stable set.
+        late = EventRecorder()
+        bus.subscribe(late)
+        bus.emit(EventKind.BEGIN, Tid(emits))
+        assert len(stable.events) == emits + 1
+        assert late.kinds() == [EventKind.BEGIN]
 
     def test_ticks_come_from_the_clock(self):
         clock = LogicalClock()

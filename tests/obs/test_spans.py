@@ -1,0 +1,163 @@
+"""Span folding: event streams in, one record per transaction out."""
+
+import io
+import json
+
+from repro.common.clock import LogicalClock
+from repro.common.events import EventBus, EventKind
+from repro.common.ids import ObjectId, Tid
+from repro.obs import SpanBuilder
+
+
+def _bus():
+    return EventBus(LogicalClock())
+
+
+class TestSpanLifecycle:
+    def test_initiate_to_commit(self):
+        bus = _bus()
+        builder = SpanBuilder()
+        builder.subscribe_to(bus)
+        start = bus.emit(EventKind.INITIATE, Tid(1)).tick
+        bus.emit(EventKind.BEGIN, Tid(1))
+        end = bus.emit(EventKind.COMMITTED, Tid(1)).tick
+        (span,) = builder.export()
+        assert span["trace"] == "local"
+        assert span["tid"] == 1
+        assert span["start"] == start
+        assert span["end"] == end
+        assert span["status"] == "committed"
+        assert {"type": "begin", "tick": start + 1} in span["links"]
+
+    def test_abort_records_reason(self):
+        bus = _bus()
+        builder = SpanBuilder()
+        builder.subscribe_to(bus)
+        bus.emit(EventKind.INITIATE, Tid(2))
+        bus.emit(EventKind.ABORTED, Tid(2), reason="deadlock victim")
+        (span,) = builder.export()
+        assert span["status"] == "aborted"
+        assert span["reason"] == "deadlock victim"
+
+    def test_primitive_links(self):
+        bus = _bus()
+        builder = SpanBuilder()
+        builder.subscribe_to(bus)
+        bus.emit(EventKind.INITIATE, Tid(1))
+        bus.emit(
+            EventKind.DELEGATE, Tid(1), to=Tid(2), oids=(ObjectId(7),)
+        )
+        bus.emit(EventKind.PERMIT, Tid(1), receiver=Tid(3), oid=ObjectId(7))
+        bus.emit(
+            EventKind.FORM_DEPENDENCY, Tid(1), other=Tid(2), dep_type="CD"
+        )
+        (span,) = builder.export()
+        types = [link["type"] for link in span["links"]]
+        assert types == ["delegate", "permit", "dependency"]
+        delegate, permit, dependency = span["links"]
+        assert delegate["peer"] == 2 and delegate["oids"] == [7]
+        assert permit["peer"] == 3 and permit["oid"] == 7
+        assert dependency["peer"] == 2 and dependency["dep_type"] == "CD"
+
+    def test_prepared_carries_gid(self):
+        bus = _bus()
+        builder = SpanBuilder()
+        builder.subscribe_to(bus)
+        bus.emit(EventKind.INITIATE, Tid(1))
+        tick = bus.emit(EventKind.PREPARED, Tid(1), gid="g-42").tick
+        bus.emit(EventKind.COMMITTED, Tid(1))
+        (span,) = builder.export()
+        assert span["prepared"] == tick
+        assert span["gid"] == "g-42"
+
+    def test_open_span_without_terminal(self):
+        bus = _bus()
+        builder = SpanBuilder()
+        builder.subscribe_to(bus)
+        bus.emit(EventKind.INITIATE, Tid(9))
+        (span,) = builder.export()
+        assert span["status"] == "open"
+        assert span["end"] is None
+
+
+class TestCorrelation:
+    def test_default_correlation_is_trace_and_tid(self):
+        bus = _bus()
+        builder = SpanBuilder()
+        builder.subscribe_to(bus, trace="alpha")
+        bus.emit(EventKind.INITIATE, Tid(4))
+        (span,) = builder.export()
+        assert span["correlation"] == "alpha:4"
+
+    def test_correlate_resolves_at_export_time(self):
+        # A proxy's owner is learned after its INITIATE fires; only a
+        # late (export-time) resolution can see it.
+        bus = _bus()
+        builder = SpanBuilder()
+        owners = {}
+        builder.subscribe_to(
+            bus, trace="alpha", correlate=lambda tid: owners.get(tid)
+        )
+        bus.emit(EventKind.INITIATE, Tid(5))
+        owners[Tid(5)] = "beta:1"
+        (span,) = builder.export()
+        assert span["correlation"] == "beta:1"
+
+    def test_origin_msg_stamped_from_current_message(self):
+        bus = _bus()
+        builder = SpanBuilder()
+        builder.subscribe_to(bus, trace="alpha")
+        builder.current_message = ("alpha", 17, "beta", "delegate")
+        bus.emit(EventKind.INITIATE, Tid(6))
+        builder.current_message = None
+        (span,) = builder.export()
+        assert span["origin_msg"] == 17
+
+    def test_origin_msg_ignores_other_sites_context(self):
+        bus = _bus()
+        builder = SpanBuilder()
+        builder.subscribe_to(bus, trace="alpha")
+        builder.current_message = ("beta", 17, "gamma", "delegate")
+        bus.emit(EventKind.INITIATE, Tid(6))
+        (span,) = builder.export()
+        assert span["origin_msg"] is None
+
+    def test_two_traces_one_builder(self):
+        clock = LogicalClock()
+        alpha, beta = EventBus(clock), EventBus(clock)
+        builder = SpanBuilder()
+        builder.subscribe_to(alpha, trace="alpha")
+        builder.subscribe_to(beta, trace="beta")
+        alpha.emit(EventKind.INITIATE, Tid(1))
+        beta.emit(EventKind.INITIATE, Tid(1))
+        spans = builder.export()
+        assert [(s["trace"], s["tid"]) for s in spans] == [
+            ("alpha", 1),
+            ("beta", 1),
+        ]
+        # Shared clock: the export interleaves on one total order.
+        assert spans[0]["start"] < spans[1]["start"]
+
+
+class TestExport:
+    def test_export_is_start_tick_ordered(self):
+        bus = _bus()
+        builder = SpanBuilder()
+        builder.subscribe_to(bus)
+        bus.emit(EventKind.INITIATE, Tid(2))
+        bus.emit(EventKind.INITIATE, Tid(1))
+        starts = [span["start"] for span in builder.export()]
+        assert starts == sorted(starts)
+
+    def test_export_jsonl_parses(self):
+        bus = _bus()
+        builder = SpanBuilder()
+        builder.subscribe_to(bus)
+        bus.emit(EventKind.INITIATE, Tid(1))
+        bus.emit(EventKind.COMMITTED, Tid(1))
+        handle = io.StringIO()
+        assert builder.export_jsonl(handle) == 1
+        lines = handle.getvalue().strip().splitlines()
+        assert len(lines) == 1
+        parsed = json.loads(lines[0])
+        assert parsed["status"] == "committed"

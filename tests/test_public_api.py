@@ -17,6 +17,7 @@ PUBLIC_MODULES = [
     "repro.core",
     "repro.lang",
     "repro.models",
+    "repro.obs",
     "repro.runtime",
     "repro.storage",
     "repro.workflow",
