@@ -162,7 +162,15 @@ class LockManager:
             td.locks.append(lrd)
         else:
             lrd.operations.add(operation)
-            od.set_suspended(lrd, False)
+            # Re-activating a suspended lock resurrects its WHOLE
+            # operation set, not just the operation being granted now.
+            # While any active foreign grant still conflicts with that
+            # set, the lock must stay suspended — otherwise a holder
+            # whose write lock was suspended by a permitted reader could
+            # revive the write exclusion by merely re-requesting a read
+            # (found by the lock-invariant property test).
+            if lrd.suspended and not self._suspension_still_needed(td, od, lrd):
+                od.set_suspended(lrd, False)
             lrd.status = LockRequestStatus.GRANTED
         self._clear_pending(td, od)
         self.stats["grants"] += 1
@@ -174,6 +182,17 @@ class LockManager:
             )
             self._events.emit(kind, td.tid, oid=od.oid, operation=operation)
         return lrd
+
+    def _suspension_still_needed(self, td, od, lrd):
+        """Whether re-activating ``lrd`` would leave two conflicting
+        active grants on ``od``."""
+        for gl in od.granted:
+            if gl.td is td or gl.suspended:
+                continue
+            for operation in lrd.operations:
+                if self.conflicts.conflicts_any(gl.operations, operation):
+                    return True
+        return False
 
     # -- pending bookkeeping --------------------------------------------------------
 
@@ -209,7 +228,15 @@ class LockManager:
         """Pending LRDs, optionally for one transaction (deadlock input)."""
         if tid is not None:
             return list(self._pending_by_tid.get(tid, ()))
-        return [lrd for lrds in self._pending_by_tid.values() for lrd in lrds]
+        # Snapshot the per-tid lists first: under the parallel sharded
+        # runtime, object ops register/clear pendings outside the manager
+        # mutex, so iterating the live dict here (the detector's path)
+        # could see it resize mid-iteration.
+        return [
+            lrd
+            for lrds in list(self._pending_by_tid.values())
+            for lrd in list(lrds)
+        ]
 
     def blockers_of(self, pending):
         """Recompute who currently blocks a pending request."""
@@ -246,10 +273,18 @@ class LockManager:
             existing = td_to.lock_on(lrd.oid)
             if existing is not None:
                 existing.operations |= lrd.operations
-                existing.od.set_suspended(
-                    existing, existing.suspended and lrd.suspended
-                )
                 lrd.od.detach_granted(lrd)
+                # An unsuspended incoming lock normally re-activates the
+                # merged request — but the merge also widens its
+                # operation set, and re-activation must not put the
+                # widened set in conflict with an active foreign grant
+                # (same hazard as re-granting onto a suspended lock).
+                suspended = existing.suspended and lrd.suspended
+                if not suspended and self._suspension_still_needed(
+                    td_to, existing.od, existing
+                ):
+                    suspended = True
+                existing.od.set_suspended(existing, suspended)
             else:
                 lrd.od.rekey_granted(lrd, td_to)
                 td_to.locks.append(lrd)

@@ -228,13 +228,45 @@ class ObservabilityKit:
         return self
 
     def attach_log(self, log, trace="local"):
-        """Install the WAL append/flush metrics hook."""
-        if self._once(log, "log"):
+        """Install the WAL append/flush metrics hook.
+
+        A segmented log (the sharded engine) gets one scoped view per
+        shard segment — ``wal.appends{shard=2}`` and friends — plus a
+        collector mirroring per-segment census rows as gauges, so shard
+        imbalance is visible straight off the registry.
+        """
+        if not self._once(log, "log"):
+            return self
+        base_labels = {"site": trace} if trace != "local" else {}
+        segments = getattr(log, "segments", None)
+        if segments is None:
             log.metrics = (
-                ScopedMetrics(self.metrics, site=trace)
-                if trace != "local"
+                ScopedMetrics(self.metrics, **base_labels)
+                if base_labels
                 else self.metrics
             )
+            return self
+        for index, segment in enumerate(segments):
+            segment.metrics = ScopedMetrics(
+                self.metrics, shard=index, **base_labels
+            )
+        storage = getattr(log, "_storage", None)
+        if storage is not None and hasattr(storage, "segment_stats"):
+
+            def collect(registry):
+                for row in storage.segment_stats():
+                    shard = row["shard"]
+                    for name, value in row.items():
+                        if name == "shard":
+                            continue
+                        registry.set_gauge(
+                            f"segment.{name}",
+                            value,
+                            shard=shard,
+                            **base_labels,
+                        )
+
+            self.metrics.add_collector(collect)
         return self
 
     def attach_fabric(self, fabric):

@@ -8,7 +8,13 @@ Transaction bodies are written once, as generator functions that yield
   seeded-random), used by tests, benchmarks, and the property suite for
   reproducible concurrency;
 * :class:`~repro.runtime.threaded.ThreadedRuntime` — a thread per
-  transaction with real blocking, the "live" configuration.
+  transaction with real blocking, the "live" configuration;
+* :class:`~repro.runtime.sharded.ShardedRuntime` — the deterministic
+  sharded engine (striped control structures, segmented WAL), the
+  differential-replay peer of the cooperative oracle;
+* :class:`~repro.runtime.sharded.ParallelShardedRuntime` — a worker
+  thread per shard over the same sharded manager, the throughput
+  configuration.
 
 Both translate the paper's "blocks and retries later starting at step 1"
 into their own waiting discipline around the same core outcomes, so a
@@ -21,11 +27,14 @@ from repro.runtime.coop import (
     StalledTask,
 )
 from repro.runtime.program import TxnContext
+from repro.runtime.sharded import ParallelShardedRuntime, ShardedRuntime
 from repro.runtime.threaded import ThreadedRuntime
 
 __all__ = [
     "CooperativeRuntime",
+    "ParallelShardedRuntime",
     "SchedulerStalledError",
+    "ShardedRuntime",
     "StalledTask",
     "ThreadedRuntime",
     "TxnContext",

@@ -1,0 +1,350 @@
+"""The sharded execution engines (ROADMAP item 1).
+
+Two runtimes over one :class:`~repro.core.sharded.ShardedTransactionManager`:
+
+* :class:`ShardedRuntime` — the *deterministic* sharded engine: the
+  cooperative scheduler driving the sharded manager single-threaded.
+  Same seeds, same schedule controllers, same replay guarantees as
+  :class:`~repro.runtime.coop.CooperativeRuntime`; every latch
+  acquisition is uncontended.  This is the engine the differential
+  harness replays recorded schedules on — its ACTA history must be
+  byte-identical to the single-manager oracle's.
+
+* :class:`ParallelShardedRuntime` — one worker thread per shard, each
+  running the cooperative stepper over the tasks routed to it.  Tasks
+  land on a shard by routing key (``spawn(..., key=...)``), or
+  round-robin; children spawn onto their parent's shard.  Blocked
+  workers park on a shared condition variable with a wake-generation
+  token (the same lost-wakeup-free discipline as the fixed
+  :class:`~repro.runtime.threaded.ThreadedRuntime`) and a daemon
+  watchdog runs the deadlock detector.  Throughput engine; per-run
+  interleavings are real races, so it is verified by *outcome*
+  invariants, not history bytes.
+
+The layering follows Börger–Schewe's multi-level refinement argument
+(PAPERS.md): the deterministic runtime is the specification-level
+machine the parallel engine refines; both share every line of primitive
+semantics via the manager.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+
+from repro.common.ids import NULL_TID
+from repro.core.deadlock import DeadlockDetector
+from repro.core.sharded import ShardedTransactionManager
+from repro.runtime.coop import CooperativeRuntime, RunResult
+
+__all__ = ["ShardedRuntime", "ParallelShardedRuntime"]
+
+
+class ShardedRuntime(CooperativeRuntime):
+    """Deterministic cooperative scheduling over the sharded manager."""
+
+    def __init__(
+        self,
+        manager=None,
+        n_shards=None,
+        seed=None,
+        max_idle_rounds=2,
+        schedule=None,
+        watchdog=None,
+        group_commit=None,
+        injector=None,
+    ):
+        if manager is None:
+            manager = ShardedTransactionManager(
+                n_shards=n_shards,
+                group_commit=group_commit,
+                injector=injector,
+            )
+        super().__init__(
+            manager=manager,
+            seed=seed,
+            max_idle_rounds=max_idle_rounds,
+            schedule=schedule,
+            watchdog=watchdog,
+        )
+
+    @property
+    def n_shards(self):
+        return self.manager.n_shards
+
+
+class _ShardWorkerRuntime(CooperativeRuntime):
+    """One shard's task container inside :class:`ParallelShardedRuntime`.
+
+    A cooperative runtime over the *shared* manager: it owns the subset
+    of tasks routed to its shard and steps them with the standard
+    cooperative ``round``.  Children a task begins land here too (the
+    request interpreter calls this runtime's ``on_begun``), which keeps
+    a transaction tree on one worker thread — one thread drives any
+    given generator, ever.
+    """
+
+    def __init__(self, parent, shard):
+        super().__init__(manager=parent.manager)
+        self._parent = parent
+        self._shard = shard
+
+    def on_begun(self, tid):
+        self._parent._owner.setdefault(tid, self._shard)
+        super().on_begun(tid)
+
+    def result_of(self, tid):
+        # Cross-shard GetResult: consult the whole engine, not just the
+        # local task table.
+        return self._parent.result_of(tid)
+
+
+class ParallelShardedRuntime:
+    """Thread-per-shard execution over the sharded manager."""
+
+    def __init__(
+        self,
+        manager=None,
+        n_shards=None,
+        watchdog_interval=0.05,
+        poll_timeout=0.5,
+        watchdog=None,
+        group_commit=None,
+    ):
+        if manager is None:
+            manager = ShardedTransactionManager(
+                n_shards=n_shards, group_commit=group_commit
+            )
+        self.manager = manager
+        self.n_shards = manager.n_shards
+        self._cond = threading.Condition()
+        self._wake_gen = 0
+        self._subs = [
+            _ShardWorkerRuntime(self, index)
+            for index in range(self.n_shards)
+        ]
+        self._inboxes = [deque() for __ in range(self.n_shards)]
+        self._owner = {}  # tid -> shard index
+        self._pinned = {}  # tid -> shard index chosen before begin
+        self._rr = 0
+        self._threads = []
+        self._watchdog_thread = None
+        self._watchdog_interval = watchdog_interval
+        self._poll_timeout = poll_timeout
+        self._closing = threading.Event()
+        self._detector = DeadlockDetector(manager)
+        self.watchdog = watchdog
+        self.manager.events.subscribe(self._on_event)
+
+    # ------------------------------------------------------------------
+    # wake-ups (same generation-token discipline as ThreadedRuntime)
+    # ------------------------------------------------------------------
+
+    def _on_event(self, event):
+        with self._cond:
+            self._wake_gen += 1
+            self._cond.notify_all()
+
+    def _wake_token(self):
+        with self._cond:
+            return self._wake_gen
+
+    def _wait_a_moment(self, seen=None):
+        with self._cond:
+            if seen is not None and self._wake_gen != seen:
+                return
+            self._cond.wait(timeout=self._poll_timeout)
+
+    # ------------------------------------------------------------------
+    # worker and watchdog threads
+    # ------------------------------------------------------------------
+
+    def _ensure_threads(self):
+        if not self._threads:
+            for index in range(self.n_shards):
+                thread = threading.Thread(
+                    target=self._worker_loop,
+                    args=(index,),
+                    name=f"asset-shard-{index}",
+                    daemon=True,
+                )
+                self._threads.append(thread)
+                thread.start()
+        if self._watchdog_thread is None or not self._watchdog_thread.is_alive():
+            self._watchdog_thread = threading.Thread(
+                target=self._watchdog_loop,
+                name="asset-shard-watchdog",
+                daemon=True,
+            )
+            self._watchdog_thread.start()
+
+    def _worker_loop(self, shard):
+        sub = self._subs[shard]
+        inbox = self._inboxes[shard]
+        while not self._closing.is_set():
+            token = self._wake_token()
+            moved = False
+            while True:
+                with self._cond:
+                    if not inbox:
+                        break
+                    tid = inbox.popleft()
+                sub.on_begun(tid)
+                moved = True
+            if sub.active_tasks():
+                moved |= sub.round()
+            if not moved:
+                self._wait_a_moment(seen=token)
+
+    def _watchdog_loop(self):
+        while not self._closing.wait(self._watchdog_interval):
+            # The detector reads lock-wait state that object ops mutate
+            # under shard latches only; take the mutex so at least every
+            # control-path structure is stable during the scan.
+            with self.manager._mutex:
+                self._detector.resolve_one()
+            if self.watchdog is not None:
+                self.watchdog.on_round()
+
+    # ------------------------------------------------------------------
+    # the paper-style driver API
+    # ------------------------------------------------------------------
+
+    def initiate(self, function, args=(), initiator=NULL_TID):
+        return self.manager.initiate(
+            function=function, args=args, initiator=initiator
+        )
+
+    def begin(self, *tids):
+        self._ensure_threads()
+        while True:
+            token = self._wake_token()
+            blockers = []
+            for tid in tids:
+                blockers.extend(self.manager.begin_blockers(tid))
+            if not blockers:
+                ok = self.manager.begin(*tids)
+                if ok:
+                    for tid in tids:
+                        self.on_begun(tid)
+                return 1 if ok else 0
+            if any(self.manager.has_aborted(tid) for tid in tids):
+                return 0
+            self._wait_a_moment(seen=token)
+
+    def commit(self, tid):
+        while True:
+            token = self._wake_token()
+            outcome = self.manager.try_commit(tid)
+            if outcome.is_final:
+                return 1 if outcome else 0
+            self._wait_a_moment(seen=token)
+
+    def wait(self, tid):
+        while True:
+            token = self._wake_token()
+            result = self.manager.wait_outcome(tid)
+            if result is not None:
+                return 1 if result else 0
+            self._wait_a_moment(seen=token)
+
+    def abort(self, tid):
+        return 1 if self.manager.abort(tid) else 0
+
+    def commit_all(self, tids):
+        """Commit a batch in completion order, returning {tid: 0/1}."""
+        outcomes = {}
+        pending = list(tids)
+        while pending:
+            token = self._wake_token()
+            progressed = False
+            for tid in list(pending):
+                outcome = self.manager.try_commit(tid)
+                if outcome.is_final:
+                    outcomes[tid] = 1 if outcome else 0
+                    pending.remove(tid)
+                    progressed = True
+            if pending and not progressed:
+                self._wait_a_moment(seen=token)
+        return outcomes
+
+    def run(self, function, args=(), key=None):
+        tid = self.spawn(function, args=args, key=key)
+        if not tid:
+            return RunResult(tid=tid, committed=False)
+        committed = self.commit(tid)
+        return RunResult(
+            tid=tid, committed=bool(committed), value=self.result_of(tid)
+        )
+
+    def spawn(self, function, args=(), initiator=NULL_TID, key=None):
+        """``initiate`` + ``begin``; ``key`` routes to a specific shard
+        (the object-key hash routing of ISSUE 7), otherwise round-robin.
+        """
+        tid = self.initiate(function, args=args, initiator=initiator)
+        if tid:
+            if key is not None:
+                self._pinned[tid] = self.manager.router.shard_for_key(key)
+            self.begin(tid)
+        return tid
+
+    # ------------------------------------------------------------------
+    # task management
+    # ------------------------------------------------------------------
+
+    def on_begun(self, tid):
+        """Route a begun transaction to its shard's worker inbox."""
+        if tid in self._owner:
+            return
+        td = self.manager.table.get(tid)
+        if td.function is None:
+            self.manager.note_completed(tid)
+            return
+        shard = self._pinned.pop(tid, None)
+        if shard is None:
+            shard = self._rr % self.n_shards
+            self._rr += 1
+        self._owner[tid] = shard
+        with self._cond:
+            self._inboxes[shard].append(tid)
+            self._wake_gen += 1
+            self._cond.notify_all()
+
+    def result_of(self, tid):
+        shard = self._owner.get(tid)
+        if shard is None:
+            return None
+        # Bypass the sub-runtime's parent-consulting override.
+        return CooperativeRuntime.result_of(self._subs[shard], tid)
+
+    def error_of(self, tid):
+        shard = self._owner.get(tid)
+        if shard is None:
+            return None
+        return CooperativeRuntime.error_of(self._subs[shard], tid)
+
+    def active_tasks(self):
+        return [
+            tid for sub in self._subs for tid in sub.active_tasks()
+        ] + [tid for inbox in self._inboxes for tid in inbox]
+
+    def join_all(self, timeout=10.0):
+        """Wait until every routed task has finished (or timeout)."""
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if not self.active_tasks():
+                return True
+            token = self._wake_token()
+            self._wait_a_moment(seen=token)
+        return not self.active_tasks()
+
+    def close(self):
+        self._closing.set()
+        with self._cond:
+            self._wake_gen += 1
+            self._cond.notify_all()
+        for thread in self._threads:
+            thread.join(timeout=2.0)
+        if self._watchdog_thread is not None:
+            self._watchdog_thread.join(timeout=1.0)

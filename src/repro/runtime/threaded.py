@@ -30,6 +30,13 @@ class ThreadedRuntime:
                  watchdog=None):
         self.manager = manager if manager is not None else TransactionManager()
         self._cond = threading.Condition()
+        # Wake generation: bumped under the condition on every manager
+        # event.  Waiters capture the generation BEFORE testing their
+        # predicate and pass it to _wait_a_moment; a notify that lands
+        # between the failed test and the wait is then seen as a changed
+        # generation instead of being lost (the lost-wakeup race that
+        # made blocked workers sleep the full poll timeout).
+        self._wake_gen = 0
         self._threads = {}
         self._results = {}
         self._errors = {}
@@ -49,10 +56,26 @@ class ThreadedRuntime:
 
     def _on_event(self, event):
         with self._cond:
+            self._wake_gen += 1
             self._cond.notify_all()
 
-    def _wait_a_moment(self):
+    def _wake_token(self):
+        """The current wake generation; capture before testing a predicate."""
         with self._cond:
+            return self._wake_gen
+
+    def _wait_a_moment(self, seen=None):
+        """Wait for the next wake-up (or the poll timeout).
+
+        ``seen`` is the generation captured before the caller last tested
+        its predicate; if events have fired since, return immediately —
+        the predicate may already hold and waiting would only add a poll
+        timeout of dead air.  The timeout stays as a backstop for state
+        changes that emit no event.
+        """
+        with self._cond:
+            if seen is not None and self._wake_gen != seen:
+                return
             self._cond.wait(timeout=self._poll_timeout)
 
     def _ensure_watchdog(self):
@@ -83,6 +106,7 @@ class ThreadedRuntime:
         """Start initiated transactions, blocking on begin dependencies."""
         self._ensure_watchdog()
         while True:
+            token = self._wake_token()
             blockers = []
             for tid in tids:
                 blockers.extend(self.manager.begin_blockers(tid))
@@ -94,23 +118,25 @@ class ThreadedRuntime:
                 return 1 if ok else 0
             if any(self.manager.has_aborted(tid) for tid in tids):
                 return 0
-            self._wait_a_moment()
+            self._wait_a_moment(seen=token)
 
     def commit(self, tid):
         """Commit ``tid``, blocking until the outcome is final."""
         while True:
+            token = self._wake_token()
             outcome = self.manager.try_commit(tid)
             if outcome.is_final:
                 return 1 if outcome else 0
-            self._wait_a_moment()
+            self._wait_a_moment(seen=token)
 
     def wait(self, tid):
         """Block until ``tid`` completes (1) or aborts (0)."""
         while True:
+            token = self._wake_token()
             result = self.manager.wait_outcome(tid)
             if result is not None:
                 return 1 if result else 0
-            self._wait_a_moment()
+            self._wait_a_moment(seen=token)
 
     def abort(self, tid):
         """Abort ``tid``; 1 on success, 0 if already committed."""
@@ -125,6 +151,7 @@ class ThreadedRuntime:
         outcomes = {}
         pending = list(tids)
         while pending:
+            token = self._wake_token()
             progressed = False
             for tid in list(pending):
                 outcome = self.manager.try_commit(tid)
@@ -133,7 +160,7 @@ class ThreadedRuntime:
                     pending.remove(tid)
                     progressed = True
             if pending and not progressed:
-                self._wait_a_moment()
+                self._wait_a_moment(seen=token)
         return outcomes
 
     def poll(self):
@@ -187,6 +214,7 @@ class ThreadedRuntime:
                     self.manager.note_completed(tid)
                     return
                 while True:
+                    token = self._wake_token()
                     state, value = execute_request(
                         self.manager, self, tid, request
                     )
@@ -195,7 +223,7 @@ class ThreadedRuntime:
                     if self.manager.has_aborted(tid):
                         gen.throw(TransactionAborted(tid))
                         return
-                    self._wait_a_moment()
+                    self._wait_a_moment(seen=token)
                 to_send = value
                 if self.manager.has_aborted(tid):
                     # abort(self()) ends the program here.

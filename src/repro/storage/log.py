@@ -512,13 +512,19 @@ class WriteAheadLog:
     flush-every-commit durability.
     """
 
-    def __init__(self, device=None, group_commit=None):
+    def __init__(self, device=None, group_commit=None, sequencer=None):
         self.device = device if device is not None else MemoryLogDevice()
         if isinstance(group_commit, int):
             group_commit = FlushCoalescer(max_commits=group_commit)
         self.group_commit = group_commit
+        # A shared LSN sequencer turns this log into one *segment* of a
+        # segmented WAL (repro.storage.segmented): every segment draws
+        # LSNs from the same counter, so a merge-sort of segments by LSN
+        # reconstructs the global append order for recovery.
+        self._sequencer = sequencer
         self._lock = threading.Lock()
         self._next_lsn = 1
+        self._last_lsn = 0
         self.flush_count = 0
         # Observability hook (repro.obs): a MetricsRegistry/ScopedMetrics
         # installed by ObservabilityKit.attach_log, or None.  The append
@@ -550,6 +556,11 @@ class WriteAheadLog:
             for record in self._decoded:
                 self._next_lsn = max(self._next_lsn, record.lsn.value + 1)
                 self._index_record(record)
+            self._last_lsn = (
+                self._decoded[-1].lsn.value if self._decoded else 0
+            )
+            if self._sequencer is not None:
+                self._sequencer.advance_to(self._next_lsn)
             if self.group_commit is not None:
                 self.group_commit.abandon()
 
@@ -593,8 +604,13 @@ class WriteAheadLog:
 
     def _append(self, build):
         with self._lock:
-            lsn = Lsn(self._next_lsn)
-            self._next_lsn += 1
+            if self._sequencer is None:
+                lsn = Lsn(self._next_lsn)
+                self._next_lsn += 1
+            else:
+                lsn = Lsn(self._sequencer.next_value())
+                self._next_lsn = lsn.value + 1
+            self._last_lsn = lsn.value
             record = build(lsn)
             encoded = encode_record(record)
             self.device.append(encoded)
@@ -711,8 +727,15 @@ class WriteAheadLog:
 
     @property
     def last_lsn_value(self):
-        """The LSN of the most recent record (0 when the log is empty)."""
+        """The LSN of the most recent record (0 when the log is empty).
+
+        With a shared sequencer, LSNs are global and sparse per segment,
+        so the segment reports its own most recent record's LSN rather
+        than the counter position.
+        """
         with self._lock:
+            if self._sequencer is not None:
+                return self._last_lsn
             return self._next_lsn - 1
 
     def flush(self):

@@ -1,0 +1,537 @@
+"""Segmented WAL storage: one log segment and object store per shard.
+
+The sharded engine (:mod:`repro.core.sharded`) gives each shard its own
+complete storage stack — disk, buffer pool, object store, and a
+:class:`~repro.storage.log.WriteAheadLog` *segment* with its own
+:class:`~repro.storage.log.FlushCoalescer` — so group commit proceeds in
+parallel per shard.  Three things knit the segments back into one
+recoverable log:
+
+* **Global LSNs.**  Every segment draws LSNs from one shared
+  :class:`LsnSequencer`, so merging segments by LSN reconstructs the
+  global append order (the merge is what restart recovery runs over).
+* **The cross-shard commit barrier.**  A commit record lands in the
+  transaction's *home* segment (the lowest-numbered shard it touched).
+  Before that record can become durable, every *other* touched segment
+  is flushed — the WAL rule across segments: images in foreign segments
+  must be durable no later than the commit record that makes them
+  matter.  A crash between those flushes and the home enrollment leaves
+  a prefix of segments durable with no commit record anywhere, and
+  recovery undoes the transaction atomically from its before images.
+* **Per-segment delegation records.**  ``delegate`` writes one
+  :class:`~repro.storage.log.DelegateRecord` into each segment holding
+  affected updates, restricted to that segment's oids, so every
+  segment's incremental attribution index stays self-contained and the
+  merged analysis sees the same re-attributions (disjoint oid sets make
+  the records commute).
+
+Crash atomicity for a multi-shard transaction therefore reduces to the
+classic single-log argument: the commit record (wherever it lives) is
+the commit point; its durability implies durability of all images that
+precede it in global LSN order.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.common.ids import ObjectId
+from repro.core.sharding import ShardRouter, default_shard_count
+from repro.storage.log import (
+    AfterImageRecord,
+    BeforeImageRecord,
+    FlushCoalescer,
+    MemoryLogDevice,
+    WriteAheadLog,
+)
+from repro.storage.recovery import RecoveryManager
+from repro.storage.store import StorageManager
+
+
+class LsnSequencer:
+    """A shared monotone LSN counter for all segments of one log."""
+
+    def __init__(self, start=1):
+        self._lock = threading.Lock()
+        self._next = start
+
+    def next_value(self):
+        with self._lock:
+            value = self._next
+            self._next += 1
+            return value
+
+    def advance_to(self, value):
+        """Never hand out an LSN below ``value`` (segment resync)."""
+        with self._lock:
+            self._next = max(self._next, value)
+
+    @property
+    def last_value(self):
+        """The most recently issued LSN (0 before the first)."""
+        with self._lock:
+            return self._next - 1
+
+
+class SegmentedLog:
+    """The single-log view over all segments (merge by global LSN).
+
+    Presents exactly the :class:`~repro.storage.log.WriteAheadLog`
+    surface the transaction manager and :class:`RecoveryManager`
+    consume: ``records``, ``updates_by``, ``max_tid_value``,
+    ``last_lsn_value``, ``flush``, and the compensation writers
+    ``log_after_image`` / ``log_abort`` (routed to the owning segment).
+    """
+
+    def __init__(self, storage):
+        self._storage = storage
+        # Observability hook parity with WriteAheadLog: the kit attaches
+        # per-segment metrics instead, but callers may still probe this.
+        self.metrics = None
+
+    @property
+    def segments(self):
+        return [shard.log for shard in self._storage.shards]
+
+    def records(self, durable_only=False):
+        """All segments' records merged into global LSN order."""
+        merged = [
+            record
+            for segment in self.segments
+            for record in segment.records(durable_only=durable_only)
+        ]
+        merged.sort(key=lambda record: record.lsn.value)
+        return merged
+
+    def updates_by(self, tid):
+        """Attributed before-images across segments, in global LSN order."""
+        merged = [
+            record
+            for segment in self.segments
+            for record in segment.updates_by(tid)
+        ]
+        merged.sort(key=lambda record: record.lsn.value)
+        return merged
+
+    def max_tid_value(self):
+        return max(segment.max_tid_value() for segment in self.segments)
+
+    @property
+    def last_lsn_value(self):
+        """The most recent LSN issued anywhere (savepoint tokens)."""
+        return self._storage.sequencer.last_value
+
+    @property
+    def flush_count(self):
+        return sum(segment.flush_count for segment in self.segments)
+
+    @property
+    def group_commit(self):
+        """The home-segment coalescers, exposed as a list (telemetry)."""
+        return [segment.group_commit for segment in self.segments]
+
+    def log_after_image(self, tid, oid, image):
+        """Compensation writer: routed to the object's segment."""
+        return self._storage.segment_of(oid).log_after_image(
+            tid, oid, image
+        )
+
+    def log_abort(self, tid):
+        """Abort-completion record (recovery's undo epilogue)."""
+        return self._storage.shards[0].log.log_abort(tid)
+
+    def flush(self):
+        for segment in self.segments:
+            segment.flush()
+
+
+class _RoutedObjectStore:
+    """Recovery's object-store view: routes installs to shard stores.
+
+    The route source is the log itself: each object's image records live
+    in its owning shard's segment, so a per-segment scan rebuilds the
+    oid → shard directory even when the stores lost the pages.
+    """
+
+    def __init__(self, storage, directory):
+        self._storage = storage
+        self._directory = directory  # oid value -> shard index
+
+    def _store(self, oid):
+        shard = self._directory.get(oid.value)
+        if shard is None:
+            shard = self._storage.router.shard_of(oid)
+        return self._storage.shards[shard].objects
+
+    def exists(self, oid):
+        return self._store(oid).exists(oid)
+
+    def read(self, oid):
+        return self._store(oid).read(oid)
+
+    def write(self, oid, image):
+        return self._store(oid).write(oid, image)
+
+    def delete(self, oid):
+        return self._store(oid).delete(oid)
+
+    def create(self, image, oid=None):
+        return self._store(oid).create(image, oid=oid)
+
+
+def _clone_group_commit(group_commit, injector):
+    """One coalescer per shard from an int / prototype / None policy."""
+    if group_commit is None:
+        return None
+    if isinstance(group_commit, int):
+        return FlushCoalescer(max_commits=group_commit, injector=injector)
+    return FlushCoalescer(
+        max_commits=group_commit.max_commits,
+        max_bytes=group_commit.max_bytes,
+        injector=injector,
+        health=group_commit.health,
+    )
+
+
+class ShardedStorageManager:
+    """A :class:`~repro.storage.store.StorageManager`-shaped facade over
+    N per-shard storage stacks with a segmented WAL.
+
+    Object ids are allocated from one global counter (so the sharded
+    engine and the single-manager oracle create identical oids), while
+    placement follows the router.  ``log_commit`` implements the
+    cross-shard barrier described in the module docstring.
+    """
+
+    def __init__(
+        self,
+        n_shards=None,
+        group_commit=None,
+        injector=None,
+        capacity=256,
+    ):
+        if n_shards is None:
+            n_shards = default_shard_count()
+        self.injector = injector
+        self.sequencer = LsnSequencer()
+        self.router = ShardRouter(n_shards)
+        self.shards = []
+        for index in range(n_shards):
+            segment = WriteAheadLog(
+                MemoryLogDevice(injector=injector),
+                group_commit=_clone_group_commit(group_commit, injector),
+                sequencer=self.sequencer,
+            )
+            self.shards.append(
+                StorageManager(
+                    log=segment, injector=injector, capacity=capacity
+                )
+            )
+        self.log = SegmentedLog(self)
+        self._oid_lock = threading.Lock()
+        self._next_oid = 1
+        # Which shards each live transaction has logged updates into —
+        # the input to the commit barrier.  Guarded by its own lock:
+        # writers touch it from shard-latched object ops, the barrier
+        # from the mutex-holding commit path.
+        self._footprints = {}
+        self._footprint_lock = threading.Lock()
+        self._quarantine = None
+        self._restore_from_segments()
+
+    @property
+    def n_shards(self):
+        return len(self.shards)
+
+    def segment_of(self, oid):
+        return self.shards[self.router.shard_of(oid)].log
+
+    def _note_touch(self, tid, shard):
+        with self._footprint_lock:
+            self._footprints.setdefault(tid, set()).add(shard)
+
+    def footprint_of(self, tid):
+        """Shards ``tid`` has logged updates into (tests and telemetry)."""
+        with self._footprint_lock:
+            return set(self._footprints.get(tid, ()))
+
+    # -- object operations -------------------------------------------------
+
+    def allocate_object(self, name=""):
+        """Reserve the next globally sequential oid and place it.
+
+        Split from :meth:`create_allocated` so the sharded manager can
+        learn the home shard — and take its latch — before any shard
+        state is touched.  Object ids stay identical to the
+        single-manager oracle's because allocation is one global counter.
+        """
+        with self._oid_lock:
+            oid = ObjectId(self._next_oid, name=name)
+            self._next_oid += 1
+            shard = self.router.place(oid, name=name)
+        return oid, shard
+
+    def create_allocated(self, tid, oid, shard, value, name=""):
+        """Materialize a pre-allocated object on its home shard."""
+        target = self.shards[shard]
+        target.objects.create(value, name=name, oid=oid)
+        target.log.log_before_image(tid, oid, None)
+        target.log.log_after_image(tid, oid, value)
+        self._note_touch(tid, shard)
+        return oid
+
+    def create_object(self, tid, value, name=""):
+        oid, shard = self.allocate_object(name=name)
+        return self.create_allocated(tid, oid, shard, value, name=name)
+
+    def read_object(self, tid, oid):
+        return self.shards[self.router.shard_of(oid)].read_object(tid, oid)
+
+    def write_object(self, tid, oid, value):
+        shard = self.router.shard_of(oid)
+        self.shards[shard].write_object(tid, oid, value)
+        self._note_touch(tid, shard)
+
+    def delete_object(self, tid, oid):
+        shard = self.router.shard_of(oid)
+        self.shards[shard].delete_object(tid, oid)
+        self._note_touch(tid, shard)
+
+    # -- transaction-manager hooks -----------------------------------------
+
+    def undo(self, tid):
+        return self.undo_many([tid])
+
+    def undo_many(self, tids):
+        """Coordinated undo in *global* reverse-LSN order across segments."""
+        wanted = set(tids)
+        updates = [
+            record
+            for tid in wanted
+            for record in self.log.updates_by(tid)
+        ]
+        updates.sort(key=lambda record: record.lsn.value, reverse=True)
+        for record in updates:
+            self._install(record.oid, record.image)
+            self.segment_of(record.oid).log_after_image(
+                record.tid, record.oid, record.image
+            )
+        return len(updates)
+
+    def undo_to(self, tid, savepoint_lsn_value):
+        undone = 0
+        for record in reversed(self.log.updates_by(tid)):
+            if record.lsn.value <= savepoint_lsn_value:
+                continue
+            self._install(record.oid, record.image)
+            self.segment_of(record.oid).log_after_image(
+                tid, record.oid, record.image
+            )
+            undone += 1
+        return undone
+
+    def _install(self, oid, image):
+        store = self.shards[self.router.shard_of(oid)].objects
+        if image is None:
+            if store.exists(oid):
+                store.delete(oid)
+            return
+        if store.exists(oid):
+            store.write(oid, image)
+        else:
+            store.create(image, oid=oid)
+
+    def _home_and_touched(self, tid, group=()):
+        with self._footprint_lock:
+            touched = set()
+            for member in {tid, *group}:
+                touched |= self._footprints.get(member, set())
+        home = min(touched) if touched else 0
+        return home, touched
+
+    def log_commit(self, tid, group=()):
+        """The cross-shard barrier + home-segment (possibly group) commit.
+
+        Foreign touched segments flush *eagerly* — their images must be
+        durable no later than the commit record.  The home segment's
+        commit record then enrolls in that shard's coalescer, so
+        single-shard transactions keep pure per-shard group commit and
+        only multi-shard transactions pay the barrier.
+        """
+        home, touched = self._home_and_touched(tid, group)
+        for shard in sorted(touched):
+            if shard != home:
+                self.shards[shard].log.flush()
+        record = self.shards[home].log.log_commit(tid, group=group)
+        self._forget_footprints(tid, group)
+        return record
+
+    def _forget_footprints(self, tid, group=()):
+        with self._footprint_lock:
+            for member in {tid, *group}:
+                self._footprints.pop(member, None)
+
+    def log_abort(self, tid):
+        home, __ = self._home_and_touched(tid)
+        record = self.shards[home].log.log_abort(tid)
+        self._forget_footprints(tid)
+        return record
+
+    def log_delegate(self, tid, delegatee, oids):
+        """One delegate record per touched segment, that segment's oids."""
+        by_shard = {}
+        for oid in oids:
+            by_shard.setdefault(self.router.shard_of(oid), []).append(oid)
+        records = []
+        for shard in sorted(by_shard):
+            records.append(
+                self.shards[shard].log.log_delegate(
+                    tid, delegatee, by_shard[shard]
+                )
+            )
+            self._note_touch(delegatee, shard)
+        return records
+
+    def log_prepare(self, tid, group=(), gid=0, coordinator=""):
+        """Vote durability across segments: flush all touched, then the
+        force-logged prepare record in the home segment."""
+        home, touched = self._home_and_touched(tid, group)
+        for shard in sorted(touched):
+            if shard != home:
+                self.shards[shard].log.flush()
+        return self.shards[home].log.log_prepare(
+            tid, group=group, gid=gid, coordinator=coordinator
+        )
+
+    def log_decision(self, tid, gid, verdict, group=(), participants=()):
+        home, touched = self._home_and_touched(tid, group)
+        for shard in sorted(touched):
+            if shard != home:
+                self.shards[shard].log.flush()
+        record = self.shards[home].log.log_decision(
+            tid, gid, verdict, group=group, participants=participants
+        )
+        if verdict == "commit":
+            self._forget_footprints(tid, group)
+        return record
+
+    # -- durability control ------------------------------------------------
+
+    def sync_log(self):
+        for shard in self.shards:
+            shard.log.flush()
+
+    def checkpoint(self, active=(), truncate=False):
+        for shard in self.shards:
+            shard.pool.flush_all()
+        if truncate and not active:
+            for shard in self.shards:
+                shard.log.truncate()
+        return self.shards[0].log.log_checkpoint(active)
+
+    def crash(self):
+        """Crash every shard: volatile pages and unflushed records gone."""
+        for shard in self.shards:
+            shard.crash()
+        with self._footprint_lock:
+            self._footprints.clear()
+
+    def recover(self):
+        """Segmented restart recovery.
+
+        Rebuild each shard's object table, derive the oid → shard
+        directory from the segments (images always land in the owning
+        segment), then run the standard repeat-history + undo-losers
+        pass over the LSN-merged view with a routed store.
+        """
+        for shard in self.shards:
+            shard.objects._rebuild_table()
+        directory = self._directory_from_segments()
+        self.router.clear()
+        for oid_value, shard in directory.items():
+            self.router.place_at(ObjectId(oid_value), shard)
+        report = RecoveryManager(
+            self.log, _RoutedObjectStore(self, directory)
+        ).recover()
+        self._restore_oid_counter()
+        quarantine = self._quarantine
+        if quarantine is not None:
+            for shard in self.shards:
+                for page_id in shard.objects.damaged_pages:
+                    quarantine.note_damaged_page(page_id)
+        return report
+
+    def _directory_from_segments(self):
+        directory = {}
+        for index, shard in enumerate(self.shards):
+            for record in shard.log.records():
+                if isinstance(
+                    record, (BeforeImageRecord, AfterImageRecord)
+                ):
+                    directory.setdefault(record.oid.value, index)
+        return directory
+
+    def _restore_from_segments(self):
+        """Resume oid allocation and placement from pre-existing segments."""
+        directory = self._directory_from_segments()
+        for oid_value, shard in directory.items():
+            self.router.place_at(ObjectId(oid_value), shard)
+        self._restore_oid_counter()
+
+    def _restore_oid_counter(self):
+        with self._oid_lock:
+            high = 0
+            for shard in self.shards:
+                high = max(high, shard.objects._next_oid_value - 1)
+            for oid_value in self.router.snapshot():
+                high = max(high, oid_value)
+            self._next_oid = max(self._next_oid, high + 1)
+
+    def close(self):
+        for shard in self.shards:
+            shard.close()
+
+    # -- resilience hooks --------------------------------------------------
+
+    @property
+    def quarantine(self):
+        return self._quarantine
+
+    @quarantine.setter
+    def quarantine(self, value):
+        self._quarantine = value
+        for shard in self.shards:
+            shard.quarantine = value
+
+    # -- introspection -----------------------------------------------------
+
+    def object_state(self):
+        """Merged {oid value: bytes} across shards (chaos oracles)."""
+        state = {}
+        for shard in self.shards:
+            for oid_value in list(shard.objects._locations):
+                if oid_value >> 62:
+                    continue  # chunk slots are internal
+                state[oid_value] = shard.objects.read(ObjectId(oid_value))
+        return state
+
+    def segment_stats(self):
+        """Per-shard WAL/pool stats rows (obs collectors, benches)."""
+        rows = []
+        for index, shard in enumerate(self.shards):
+            coalescer = shard.log.group_commit
+            rows.append(
+                {
+                    "shard": index,
+                    "appends": len(shard.log.records()),
+                    "flushes": shard.log.flush_count,
+                    "batches_flushed": (
+                        coalescer.batches_flushed if coalescer else 0
+                    ),
+                    "enrolled_commits": (
+                        coalescer.enrolled_total if coalescer else 0
+                    ),
+                    "objects": len(shard.objects._locations),
+                }
+            )
+        return rows

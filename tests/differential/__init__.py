@@ -1,0 +1,7 @@
+"""Differential conformance: runtimes checked against each other.
+
+``harness`` holds the reusable machinery (runtime factories, workload
+shapes, record/replay helpers); the test modules assert byte-identical
+ACTA histories between the deterministic runtimes and outcome-level
+equivalence where real threads make interleavings unrepeatable.
+"""

@@ -1,13 +1,15 @@
-"""Runtime conformance: every model behaves identically on both runtimes.
+"""Runtime conformance: every model behaves identically on every runtime.
 
 The model library only uses the paper-style driver API, so each
 translation scheme must produce the same outcomes whether the programs
-run under the deterministic scheduler or real threads.
+run under the deterministic scheduler, real threads, the deterministic
+sharded engine, or a worker thread per shard.  Runtime construction and
+the shared counter helpers live in :mod:`tests.differential.harness`, so
+the same battery is reusable by the differential suite.
 """
 
 import pytest
 
-from repro.common.codec import decode_int, encode_int
 from repro.models import (
     Saga,
     require_subtransaction,
@@ -16,52 +18,20 @@ from repro.models import (
     run_distributed,
     run_saga,
 )
-from repro.runtime.coop import CooperativeRuntime
-from repro.runtime.threaded import ThreadedRuntime
+from tests.differential.harness import (
+    RUNTIME_NAMES,
+    incrementer,
+    make_counters,
+    make_runtime,
+    read_counter,
+)
 
 
-@pytest.fixture(params=["coop", "threaded"])
+@pytest.fixture(params=RUNTIME_NAMES)
 def rt(request):
-    if request.param == "coop":
-        yield CooperativeRuntime(seed=77)
-    else:
-        runtime = ThreadedRuntime(
-            watchdog_interval=0.01, poll_timeout=0.002
-        )
-        yield runtime
-        runtime.close()
-
-
-def make_counters(runtime, count):
-    def setup(tx):
-        oids = []
-        for index in range(count):
-            oids.append(
-                (yield tx.create(encode_int(0), name=f"c{index}"))
-            )
-        return oids
-
-    result = runtime.run(setup)
-    return result.value if hasattr(result, "value") else result[1]
-
-
-def read_counter(runtime, oid):
-    def body(tx):
-        return decode_int((yield tx.read(oid)))
-
-    result = runtime.run(body)
-    return result.value if hasattr(result, "value") else result[1]
-
-
-def incrementer(oid, fail=False):
-    def body(tx):
-        value = decode_int((yield tx.read(oid)))
-        yield tx.write(oid, encode_int(value + 1))
-        if fail:
-            yield tx.abort()
-        return value + 1
-
-    return body
+    runtime, closer = make_runtime(request.param, seed=77)
+    yield runtime
+    closer()
 
 
 class TestModelConformance:

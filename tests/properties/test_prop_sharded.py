@@ -1,0 +1,229 @@
+"""Properties of the sharded engine (ISSUE 7 satellite).
+
+Two families:
+
+* **History equivalence** — fuzzed workloads (shard count ∈ {1, 2, 4, 8},
+  Zipfian key skew, delegation across shard boundaries) recorded on the
+  cooperative oracle replay byte-identically on :class:`ShardedRuntime`.
+* **Segmented-WAL integrity** — after an arbitrary run with cross-shard
+  delegations, a crash, and segmented recovery: the merged log view has
+  strictly increasing unique LSNs, every committed transaction has
+  exactly one commit record (none lost, none duplicated), and the
+  recovered object state matches a sequential replay oracle.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.codec import decode_int, encode_int
+from repro.common.errors import InvalidStateError
+from repro.common.ids import Tid
+from repro.storage.log import CommitRecord
+from repro.storage.segmented import ShardedStorageManager
+from tests.differential.harness import (
+    make_counters,
+    record_on_oracle,
+    replay_on,
+)
+
+N_OBJECTS = 6
+N_TXNS = 4
+
+shard_counts = st.sampled_from([1, 2, 4, 8])
+
+# Zipf-ish key skew: object 0 is drawn ~8× as often as the tail, so
+# fuzzed schedules mix hot-key contention with cross-shard spread.
+zipf_object = st.sampled_from(
+    [0] * 8 + [1] * 4 + [2] * 2 + [3, 4, 5]
+)
+
+# One program step: (kind, object index).  Writes dominate reads 2:1 so
+# lock conflicts (and hence schedule-sensitive interleavings) are common.
+op = st.tuples(st.sampled_from(["write", "write", "read"]), zipf_object)
+
+program = st.lists(op, min_size=1, max_size=5)
+
+# A delegation edge between two of the worker transactions (from, to);
+# with objects striped over the shards, these cross shard boundaries by
+# construction for every shard count > 1.
+delegation = st.tuples(st.integers(0, N_TXNS - 1), st.integers(0, N_TXNS - 1))
+
+
+def _make_shape(programs, delegations):
+    """A deterministic workload shape closed over the fuzzed choices."""
+
+    def shape(rt):
+        oids = make_counters(rt, N_OBJECTS)
+
+        def body(tx, steps):
+            for kind, index in steps:
+                if kind == "read":
+                    yield tx.read(oids[index])
+                else:
+                    value = decode_int((yield tx.read(oids[index])))
+                    yield tx.write(oids[index], encode_int(value + 1))
+
+        tids = [rt.spawn(body, args=(steps,)) for steps in programs]
+        # Drive programs as far as they go (deadlock victims aborted by
+        # the detector); conflicting survivors may stay lock-blocked
+        # behind finished-but-uncommitted holders until commit_all.
+        rt.run_until_quiescent()
+        for source, target in delegations:
+            if source != target:
+                try:
+                    rt.manager.delegate(tids[source], tids[target])
+                except InvalidStateError:
+                    # A deadlock victim terminated; the same schedule
+                    # aborts the same victim on both engines, so the
+                    # exception itself is part of the replayed behavior.
+                    pass
+        rt.commit_all(tids)
+
+    return shape
+
+
+class TestShardedHistoryEquivalence:
+    @given(
+        programs=st.lists(program, min_size=N_TXNS, max_size=N_TXNS),
+        delegations=st.lists(delegation, max_size=2),
+        seed=st.integers(0, 2**16),
+        n_shards=shard_counts,
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_replay_matches_oracle(
+        self, programs, delegations, seed, n_shards
+    ):
+        shape = _make_shape(programs, delegations)
+        oracle_history, recorded = record_on_oracle(shape, seed)
+        replica = replay_on("sharded", shape, recorded, n_shards=n_shards)
+        assert replica == oracle_history
+
+
+# Segmented-WAL fuzz: (transaction index, object index, value) steps.
+wal_step = st.tuples(
+    st.integers(0, N_TXNS - 1), zipf_object, st.integers(0, 99)
+)
+
+
+class TestSegmentedWalIntegrity:
+    @given(
+        steps=st.lists(wal_step, min_size=1, max_size=14),
+        delegations=st.lists(delegation, max_size=2),
+        committed_mask=st.integers(0, 2**N_TXNS - 1),
+        n_shards=shard_counts,
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_no_lost_or_duplicated_records(
+        self, steps, delegations, committed_mask, n_shards
+    ):
+        store = ShardedStorageManager(n_shards=n_shards)
+        setup = Tid(100)
+        oids = [
+            store.create_object(setup, encode_int(0), name=f"o{i}")
+            for i in range(N_OBJECTS)
+        ]
+        store.log_commit(setup)
+
+        tids = [Tid(i + 1) for i in range(N_TXNS)]
+        # Delegations re-home responsibility (possibly across shards);
+        # track it so the undo/commit oracle follows the moved work.
+        owner = {tid: tid for tid in tids}
+        written = {tid: set() for tid in tids}
+        for txn_index, obj_index, value in steps:
+            tid = owner[tids[txn_index]]
+            store.write_object(tid, oids[obj_index], encode_int(value))
+            written[tid].add(oids[obj_index])
+        for source, target in delegations:
+            ti, tj = tids[source], tids[target]
+            if owner[ti] is not owner[tj] and written[owner[ti]]:
+                store.log_delegate(
+                    owner[ti],
+                    owner[tj],
+                    tuple(
+                        sorted(written[owner[ti]], key=lambda o: o.value)
+                    ),
+                )
+                written[owner[tj]] |= written.pop(owner[ti])
+                moved = owner[ti]
+                for key, value in owner.items():
+                    if value is moved:
+                        owner[key] = owner[tj]
+
+        responsible = sorted(
+            {owner[tids[i]] for i in range(N_TXNS) if committed_mask & (1 << i)},
+            key=lambda tid: tid.value,
+        )
+        for tid in responsible:
+            store.log_commit(tid)
+        losers = [t for t in set(owner.values()) if t not in responsible]
+        store.undo_many(sorted(losers, key=lambda t: t.value))
+        for tid in losers:
+            store.log_abort(tid)
+        store.sync_log()
+
+        store.crash()
+        store.recover()
+
+        merged = list(store.log.records())
+        lsns = [record.lsn.value for record in merged]
+        assert lsns == sorted(lsns), "merged view is not LSN-ordered"
+        assert len(lsns) == len(set(lsns)), "duplicate LSNs across segments"
+
+        commit_counts = {}
+        for record in merged:
+            if isinstance(record, CommitRecord):
+                for tid in record.committed_tids():
+                    commit_counts[tid] = commit_counts.get(tid, 0) + 1
+        for tid in responsible:
+            assert commit_counts.get(tid, 0) == 1, (
+                f"{tid} has {commit_counts.get(tid, 0)} commit records"
+            )
+        for tid in losers:
+            assert tid not in commit_counts, f"loser {tid} has a commit record"
+
+        # Recovered state must match a sequential oracle on the clean
+        # cases (same discipline as the single-log recovery property:
+        # physical undo of *interleaved* loser writes can clobber later
+        # committed values, so only objects untouched by losers are
+        # asserted exactly; loser-only objects must be back to 0).
+        # Responsibility is attributed through the delegation chain.
+        expected = {index: 0 for index in range(N_OBJECTS)}
+        loser_touched = set()
+        winner_touched = set()
+        for txn_index, obj_index, value in steps:
+            if owner[tids[txn_index]] in responsible:
+                expected[obj_index] = value
+                winner_touched.add(obj_index)
+            else:
+                loser_touched.add(obj_index)
+        state = store.object_state()  # keyed by oid *value*
+        for obj_index, oid in enumerate(oids):
+            recovered = state.get(oid.value)
+            assert recovered is not None, f"{oid} lost by recovery"
+            if obj_index not in loser_touched:
+                assert decode_int(recovered) == expected[obj_index]
+            elif obj_index not in winner_touched:
+                assert decode_int(recovered) == 0
+
+    @given(
+        n_shards=shard_counts,
+        count=st.integers(1, 12),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_directory_survives_recovery(self, n_shards, count):
+        """Recovery rebuilds the oid→shard directory exactly."""
+        store = ShardedStorageManager(n_shards=n_shards)
+        tid = Tid(1)
+        oids = [
+            store.create_object(tid, encode_int(i), name=f"n{i}")
+            for i in range(count)
+        ]
+        before = {oid: store.router.shard_of(oid) for oid in oids}
+        store.log_commit(tid)
+        store.sync_log()
+        store.crash()
+        store.recover()
+        after = {oid: store.router.shard_of(oid) for oid in oids}
+        assert after == before

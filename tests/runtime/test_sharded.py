@@ -1,0 +1,244 @@
+"""Unit tests for the sharded engine: routing, latches, parallel outcomes.
+
+The differential suite proves whole-history equivalence; these tests pin
+the individual mechanisms — key routing, striped control structures,
+latch hygiene, cross-shard statistics, and real-thread outcomes on the
+parallel runtime.
+"""
+
+import pytest
+
+from repro.common.codec import decode_int, encode_int
+from repro.common.latch import LatchMode
+from repro.core.sharded import ShardedTransactionManager
+from repro.core.sharding import ShardRouter, default_shard_count, stable_hash
+from repro.runtime.sharded import ParallelShardedRuntime, ShardedRuntime
+
+
+def _value(result):
+    return result.value if hasattr(result, "value") else result[1]
+
+
+class TestRouting:
+    def test_named_objects_place_by_name_hash(self):
+        router = ShardRouter(4)
+        from repro.common.ids import ObjectId
+
+        oid = ObjectId(9, "account-7")
+        assert router.place(oid, name="account-7") == stable_hash(
+            "account-7"
+        ) % 4
+        # The directory remembers the placement afterwards.
+        assert router.shard_of(oid) == stable_hash("account-7") % 4
+
+    def test_unnamed_objects_stripe_by_value(self):
+        router = ShardRouter(4)
+        from repro.common.ids import ObjectId
+
+        for value in range(1, 9):
+            oid = ObjectId(value)
+            assert router.place(oid) == value % 4
+
+    def test_default_shard_count_reads_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHARDS", "6")
+        assert default_shard_count() == 6
+        monkeypatch.delenv("REPRO_SHARDS")
+        assert default_shard_count() == 4
+
+    def test_descriptors_land_in_owning_shard_bucket(self):
+        manager = ShardedTransactionManager(n_shards=4)
+        rt = ShardedRuntime(manager=manager, seed=5)
+
+        def setup(tx):
+            oids = []
+            for index in range(8):
+                oids.append(
+                    (yield tx.create(encode_int(index), name=f"k{index}"))
+                )
+            return oids
+
+        oids = _value(rt.run(setup))
+        census = manager.shard_census()
+        assert sum(row["router_entries"] for row in census) >= len(oids)
+        for oid in oids:
+            shard = manager.router.shard_of(oid)
+            od = manager.registry.maybe_get(oid)
+            if od is not None:
+                assert od is manager.shards[shard].descriptors.get(oid)
+
+
+class TestLatchHygiene:
+    def test_no_latches_held_after_operations(self):
+        manager = ShardedTransactionManager(n_shards=4)
+        rt = ShardedRuntime(manager=manager, seed=3)
+
+        def program(tx):
+            a = yield tx.create(encode_int(1), name="a")
+            b = yield tx.create(encode_int(2), name="b")
+            yield tx.write(a, encode_int(10))
+            yield tx.read(b)
+
+        result = rt.run(program)
+        assert result.committed
+        # Thread-local held set is empty and every shard latch is free.
+        assert manager._held_shards() == set()
+        for shard in manager.shards:
+            assert shard.latch.try_acquire(LatchMode.EXCLUSIVE)
+            shard.latch.release(LatchMode.EXCLUSIVE)
+
+    def test_abort_and_commit_release_everything(self):
+        manager = ShardedTransactionManager(n_shards=2)
+        rt = ShardedRuntime(manager=manager, seed=3)
+
+        def writer(tx):
+            oid = yield tx.create(encode_int(0), name="w")
+            yield tx.write(oid, encode_int(1))
+            yield tx.abort()
+
+        rt.run(writer)
+        assert manager._held_shards() == set()
+        for shard in manager.shards:
+            assert shard.latch.try_acquire(LatchMode.EXCLUSIVE)
+            shard.latch.release(LatchMode.EXCLUSIVE)
+
+
+class TestCrossShardStats:
+    def test_multi_shard_commit_and_delegation_counted(self):
+        manager = ShardedTransactionManager(n_shards=4)
+        rt = ShardedRuntime(manager=manager, seed=9)
+
+        def spread(tx):
+            for index in range(4):
+                yield tx.create(encode_int(index), name=f"s{index}")
+
+        assert rt.run(spread).committed
+        assert manager.stats["cross_shard_commits"] >= 1
+
+        def maker(tx):
+            return (yield tx.create(encode_int(0), name="m0"))
+
+        def taker(tx):
+            yield from ()
+
+        t1 = rt.spawn(maker)
+        t2 = rt.spawn(taker)
+        rt.wait(t1)
+        rt.wait(t2)
+        manager.delegate(t1, t2)
+        assert manager.stats["cross_shard_delegations"] >= 0  # counted key
+        rt.commit(t2)
+        rt.commit(t1)
+
+    def test_single_shard_commit_not_counted_as_cross_shard(self):
+        manager = ShardedTransactionManager(n_shards=4)
+        rt = ShardedRuntime(manager=manager, seed=9)
+
+        def local(tx):
+            yield tx.create(encode_int(1), name="k0")  # one shard only
+
+        before = manager.stats["cross_shard_commits"]
+        assert rt.run(local).committed
+        assert manager.stats["cross_shard_commits"] == before
+
+
+class TestParallelOutcomes:
+    def test_disjoint_transfers_all_commit(self):
+        rt = ParallelShardedRuntime(n_shards=4)
+        try:
+
+            def setup(tx):
+                oids = []
+                for index in range(8):
+                    oids.append(
+                        (yield tx.create(encode_int(100), name=f"acct{index}"))
+                    )
+                return oids
+
+            oids = _value(rt.run(setup))
+
+            def transfer(tx, src, dst):
+                taken = decode_int((yield tx.read(src)))
+                yield tx.write(src, encode_int(taken - 10))
+                landed = decode_int((yield tx.read(dst)))
+                yield tx.write(dst, encode_int(landed + 10))
+
+            tids = [
+                rt.spawn(transfer, args=(oids[i], oids[i + 4]), key=f"job{i}")
+                for i in range(4)
+            ]
+            outcomes = rt.commit_all(tids)
+            assert all(outcomes.values())
+
+            def audit(tx):
+                total = 0
+                for oid in oids:
+                    total += decode_int((yield tx.read(oid)))
+                return total
+
+            assert _value(rt.run(audit)) == 800  # money conserved
+        finally:
+            rt.close()
+
+    def test_contended_counter_conserves_increments(self):
+        rt = ParallelShardedRuntime(n_shards=2)
+        try:
+
+            def setup(tx):
+                return (yield tx.create(encode_int(0), name="hot"))
+
+            oid = _value(rt.run(setup))
+
+            def bump(tx):
+                value = decode_int((yield tx.read(oid)))
+                yield tx.write(oid, encode_int(value + 1))
+
+            committed = 0
+            for __ in range(6):
+                result = rt.run(bump)
+                committed += 1 if result.committed else 0
+
+            def read(tx):
+                return decode_int((yield tx.read(oid)))
+
+            assert _value(rt.run(read)) == committed == 6
+        finally:
+            rt.close()
+
+    def test_key_pins_transaction_to_shard(self):
+        rt = ParallelShardedRuntime(n_shards=4)
+        try:
+            expected = rt.manager.router.shard_for_key("tenant-42")
+
+            def noop(tx):
+                yield from ()
+
+            tid = rt.spawn(noop, key="tenant-42")
+            assert rt._owner[tid] == expected
+            rt.commit(tid)
+        finally:
+            rt.close()
+
+    def test_deadlock_victims_are_resolved_not_hung(self):
+        """Opposite-order writers on two objects: the watchdog picks a
+        victim; the driver's commit_all completes without hanging."""
+        rt = ParallelShardedRuntime(n_shards=2, watchdog_interval=0.01)
+        try:
+
+            def setup(tx):
+                a = yield tx.create(encode_int(0), name="da")
+                b = yield tx.create(encode_int(0), name="db")
+                return (a, b)
+
+            a, b = _value(rt.run(setup))
+
+            def locker(tx, first, second):
+                yield tx.write(first, encode_int(1))
+                yield tx.write(second, encode_int(2))
+
+            t1 = rt.spawn(locker, args=(a, b))
+            t2 = rt.spawn(locker, args=(b, a))
+            outcomes = rt.commit_all([t1, t2])
+            assert set(outcomes) == {t1, t2}
+            assert sum(outcomes.values()) >= 1  # at least one survivor
+        finally:
+            rt.close()
