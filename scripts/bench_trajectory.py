@@ -1,0 +1,107 @@
+#!/usr/bin/env python
+"""Consolidate the per-PR bench snapshots into one trajectory file.
+
+Each PR's bench run leaves a ``BENCH_PR<n>.json`` at the repo root: a
+list of ``{"kind": "series", "series": <name>, "headers": [...],
+"rows": [...]}`` objects.  This script merges every snapshot into
+``BENCH_TRAJECTORY.json`` so a series can be judged against its curve
+across PRs, not a single point (ROADMAP item 3, first slice):
+
+.. code-block:: json
+
+    {
+      "prs": [1, 3, 4, 5, 7],
+      "series": {
+        "EX1: atomic throughput ...": [
+          {"pr": 1, "headers": [...], "rows": [...]},
+          {"pr": 3, "headers": [...], "rows": [...]}
+        ]
+      }
+    }
+
+Usage::
+
+    python scripts/bench_trajectory.py [--root DIR] [--out PATH] [--print]
+
+Exits non-zero when no snapshots are found (a wired-but-empty
+consolidation step should fail loudly, not upload an empty artifact).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+from pathlib import Path
+
+SNAPSHOT = re.compile(r"^BENCH_PR(\d+)\.json$")
+
+
+def find_snapshots(root):
+    """``[(pr_number, path)]`` for every BENCH_PR*.json, PR-ordered."""
+    found = []
+    for path in Path(root).iterdir():
+        match = SNAPSHOT.match(path.name)
+        if match:
+            found.append((int(match.group(1)), path))
+    return sorted(found)
+
+
+def consolidate(snapshots):
+    """Merge snapshots into the trajectory dict (see module docstring)."""
+    trajectory = {"prs": [], "series": {}}
+    for pr, path in snapshots:
+        with open(path) as handle:
+            entries = json.load(handle)
+        trajectory["prs"].append(pr)
+        for entry in entries:
+            if entry.get("kind") != "series":
+                continue
+            trajectory["series"].setdefault(entry["series"], []).append({
+                "pr": pr,
+                "headers": entry.get("headers", []),
+                "rows": entry.get("rows", []),
+            })
+    return trajectory
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Merge BENCH_PR*.json snapshots into one trajectory."
+    )
+    parser.add_argument(
+        "--root", default=".", help="directory holding BENCH_PR*.json"
+    )
+    parser.add_argument(
+        "--out", default="BENCH_TRAJECTORY.json", help="output path"
+    )
+    parser.add_argument(
+        "--print", action="store_true", dest="show",
+        help="print a per-series coverage summary",
+    )
+    args = parser.parse_args(argv)
+
+    snapshots = find_snapshots(args.root)
+    if not snapshots:
+        print(f"no BENCH_PR*.json snapshots under {args.root!r}",
+              file=sys.stderr)
+        return 1
+    trajectory = consolidate(snapshots)
+    with open(args.out, "w") as handle:
+        json.dump(trajectory, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    print(
+        f"{args.out}: {len(trajectory['series'])} series across PRs"
+        f" {trajectory['prs']}"
+    )
+    if args.show:
+        for name in sorted(trajectory["series"]):
+            points = trajectory["series"][name]
+            prs = [point["pr"] for point in points]
+            print(f"  {name}: {len(points)} snapshots (PRs {prs})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,7 +16,11 @@ through the chaos registry and run on a
 :class:`~repro.chaos.stack.ChaosStack`; cluster scenarios resolve
 through :data:`repro.cluster.scenarios.CLUSTER_SCENARIOS` and run on a
 full :class:`~repro.cluster.cluster.Cluster` with the recover-and-
-converge harness of :mod:`repro.cluster.sweep`.
+converge harness of :mod:`repro.cluster.sweep`; workflow scenarios
+resolve through :data:`repro.chaos.workflow.WORKFLOW_SCENARIOS` and run
+the crash → restart → ``recover()`` → resume-to-terminal protocol of
+:mod:`repro.chaos.workflow` (``--storage sharded`` swaps in the
+segmented WAL, ``--signal-at approve:qa`` overrides the signal script).
 
 Flags compose with ``--plan``: explicit flags override the JSON fields,
 so ``--crash-at 41`` on an existing artifact probes the neighbouring
@@ -33,6 +37,7 @@ import json
 import sys
 
 from repro.chaos import scenarios
+from repro.chaos import workflow as workflow_scenarios
 from repro.chaos.explorer import ScheduleController, decode_choices
 from repro.chaos.faults import FaultPlan
 from repro.chaos.scenarios import live_violations
@@ -124,6 +129,67 @@ def _verdict_line(scenario, plan, ok, violations, **extra):
     print(json.dumps(payload, sort_keys=True))
 
 
+def _parse_signal(text):
+    """``"approve:qa"`` -> ``("approve", "qa")``; bare name -> payload None."""
+    name, sep, payload = text.partition(":")
+    if not name:
+        raise argparse.ArgumentTypeError(f"empty signal name in {text!r}")
+    return (name, payload if sep else None)
+
+
+def _run_workflow(spec, plan, args):
+    """Replay one workflow scenario: crash, restart, recover, resume."""
+    import dataclasses
+
+    if args.signal_at:
+        spec = dataclasses.replace(spec, signals=tuple(args.signal_at))
+    kit = _make_kit(args)
+    captured = {}
+
+    def capture(stack):
+        captured["stack"] = stack
+        if kit is not None:
+            kit.attach_stack(stack)
+
+    attach_engine = kit.attach_workflow if kit is not None else None
+    if args.storage == "sharded":
+        outcome = workflow_scenarios.run_sharded_workflow_plan(
+            spec, plan, n_shards=args.shards,
+            instrument_resume=attach_engine,
+        )
+    else:
+        outcome = workflow_scenarios.run_workflow_plan(
+            spec, plan, instrument=capture,
+            instrument_resume=attach_engine,
+        )
+    if args.trace and "stack" in captured:
+        for step in captured["stack"].injector.trace:
+            print(f"  {step.number:4d} {step.kind} {step.detail}")
+    print(f"plan: {plan.describe() or 'no-fault'}")
+    if outcome.crash is not None:
+        print(f"crashed: step {outcome.crash.step} ({outcome.crash.kind})")
+    else:
+        print("run completed; power cut applied at end")
+    if outcome.oracle is not None:
+        print(outcome.oracle.describe())
+    print(f"resumed: {outcome.resumed}")
+    print(f"terminal: {outcome.status.value if outcome.status else None}")
+    _write_obs(kit, args)
+    violations = list(outcome.violations)
+    if outcome.oracle is not None:
+        violations.extend(outcome.oracle.violations)
+    _verdict_line(
+        spec.name,
+        plan,
+        outcome.ok,
+        violations,
+        storage=args.storage,
+        resumed=outcome.resumed,
+        status=outcome.status.value if outcome.status else None,
+    )
+    return 0 if outcome.ok else 1
+
+
 def _run_cluster(spec, plan, args):
     kit = _make_kit(args)
     instrument = kit.attach_cluster if kit is not None else None
@@ -208,6 +274,20 @@ def main(argv=None):
         help="power-cut SITE when message step STEP is reached",
     )
     parser.add_argument(
+        "--signal-at", type=_parse_signal, action="append", default=[],
+        metavar="NAME[:PAYLOAD]",
+        help="override a workflow scenario's scripted signal deliveries"
+             " (repeatable, delivered when the execution parks on NAME)",
+    )
+    parser.add_argument(
+        "--storage", choices=("flat", "sharded"), default="flat",
+        help="WAL engine for workflow scenarios (default flat)",
+    )
+    parser.add_argument(
+        "--shards", type=int, default=4,
+        help="shard count for --storage sharded (default 4)",
+    )
+    parser.add_argument(
         "--schedule",
         help="per-round task-index permutations, e.g. '1,0;0,2,1'",
     )
@@ -228,6 +308,11 @@ def main(argv=None):
             print(f"{name}: {scenarios.get(name).description}")
         for name in cluster_scenarios.names():
             print(f"{name} [cluster]: {cluster_scenarios.get(name).description}")
+        for name in workflow_scenarios.names():
+            print(
+                f"{name} [workflow]:"
+                f" {workflow_scenarios.get(name).description}"
+            )
         return 0
     if not args.scenario:
         parser.error("a scenario name is required (or --list)")
@@ -236,6 +321,9 @@ def main(argv=None):
 
     if args.scenario in cluster_scenarios.CLUSTER_SCENARIOS:
         return _run_cluster(cluster_scenarios.get(args.scenario), plan, args)
+
+    if args.scenario in workflow_scenarios.WORKFLOW_SCENARIOS:
+        return _run_workflow(workflow_scenarios.get(args.scenario), plan, args)
 
     spec = scenarios.get(args.scenario)
     controller = (

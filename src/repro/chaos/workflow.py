@@ -1,0 +1,699 @@
+"""Workflow chaos: crash sweeps over durable workflow executions.
+
+The durable workflow engine's claim is exactly the one this module
+attacks: *a site crash at any I/O step of a running workflow loses
+nothing* — restart recovery plus :meth:`DurableWorkflowEngine.recover`
+resumes the execution from its last durable step and drives it to a
+terminal status (completed, or fully compensated), with the standard
+oracle battery green at the restart moment.
+
+A :class:`WorkflowScenarioSpec` packages one such workload: a setup
+phase that creates the durable inventory, a definition factory (bodies
+close over the setup's oids, so the post-restart re-registration binds
+to the surviving objects — the durable log stores definition *names*,
+never code), a signal script, and a final-state check.  Scenarios are
+registered in :data:`WORKFLOW_SCENARIOS` and resolvable from the replay
+CLI (``python -m repro.chaos.replay workflow_travel_crash``).
+
+Two runners share the scenario vocabulary:
+
+* :func:`run_workflow_plan` — the flat-WAL path over a full
+  :class:`~repro.chaos.stack.ChaosStack`: drive, crash, restart, judge
+  with ``evaluate_recovery`` + ``check_idempotent``, then rebuild a
+  manager/runtime/engine over the recovered storage, ``recover()``, and
+  resume to terminal;
+* :func:`run_sharded_workflow_plan` — the same schedule over the
+  sharded segmented WAL (``ShardedStorageManager.crash()/recover()``
+  restart in place), judged on terminal status, scenario checks, fold
+  agreement, and no leaked transactions.
+
+:func:`workflow_crash_sweep` enumerates ``crash_at=k`` for every
+numbered I/O step of the scenario with coverage accounting, exactly like
+:func:`repro.chaos.sweep.crash_sweep`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.chaos.faults import CrashPoint, FaultPlan
+from repro.chaos.oracles import analyze_log, check_idempotent, evaluate_recovery
+from repro.chaos.stack import ChaosStack
+from repro.chaos.sweep import FailureArtifact, ScenarioBrokenError
+from repro.common.codec import decode_int, decode_json, encode_int, encode_json
+from repro.common.errors import AssetError
+from repro.core.descriptors import TransactionStatus
+from repro.core.manager import TransactionManager
+from repro.runtime.coop import CooperativeRuntime
+from repro.workflow.definition import (
+    DefinitionRegistry,
+    WorkflowDefinition,
+)
+from repro.workflow.durable import DurableWorkflowEngine
+from repro.workflow.execution import ExecutionStatus, fold_all
+from repro.workflow.travel import (
+    AIRLINES,
+    TravelAgency,
+    build_x_conference_spec,
+)
+
+MAX_DRIVE_ROUNDS = 64
+
+
+@dataclass
+class WorkflowScenarioSpec:
+    """One registered workflow chaos workload."""
+
+    name: str
+    description: str
+    setup: object            # (runtime, ctx) -> [setup tids to acknowledge]
+    definition: object       # (ctx) -> WorkflowDefinition
+    signals: tuple = ()      # ((signal, payload), ...) scripted deliveries
+    expire_waits: bool = False  # fire timers for waits with no scripted signal
+    expected_terminal: tuple = (ExecutionStatus.COMPLETED,)
+    check: object = None     # (ctx, storage, execution) -> None (asserts)
+
+
+WORKFLOW_SCENARIOS = {}
+
+
+def register(spec):
+    WORKFLOW_SCENARIOS[spec.name] = spec
+    return spec
+
+
+def get(name):
+    if name not in WORKFLOW_SCENARIOS:
+        known = ", ".join(sorted(WORKFLOW_SCENARIOS))
+        raise KeyError(f"unknown workflow scenario {name!r} (known: {known})")
+    return WORKFLOW_SCENARIOS[name]
+
+
+def names():
+    return sorted(WORKFLOW_SCENARIOS)
+
+
+# ---------------------------------------------------------------------------
+# driving
+# ---------------------------------------------------------------------------
+
+
+def _build_engine(runtime, spec, ctx, note_ack=None):
+    registry = DefinitionRegistry()
+    registry.register(spec.definition(ctx))
+    return DurableWorkflowEngine(runtime, registry, on_commit=note_ack)
+
+
+def drive_to_terminal(engine, wid, spec, signal_script=None):
+    """Deliver scripted signals / fire timers until the run terminates."""
+    pool = list(spec.signals if signal_script is None else signal_script)
+    rounds = 0
+    while not engine.status(wid).is_terminal:
+        rounds += 1
+        if rounds > MAX_DRIVE_ROUNDS:
+            raise AssetError(
+                f"workflow scenario {spec.name!r} made no progress after"
+                f" {MAX_DRIVE_ROUNDS} drive rounds"
+            )
+        execution = engine.execution(wid)
+        if execution.status is ExecutionStatus.WAITING_SIGNAL:
+            # Skip script entries already durably delivered (a resumed
+            # run remembers its signals; redelivery would be harmless
+            # but pointless).
+            pool = [
+                (name, payload) for name, payload in pool
+                if name not in execution.signals
+            ]
+            index = next(
+                (
+                    i for i, (name, __) in enumerate(pool)
+                    if name == execution.waiting_signal
+                ),
+                None,
+            )
+            if index is not None:
+                name, payload = pool.pop(index)
+                engine.signal(wid, name, payload)
+            elif spec.expire_waits and execution.wait_timeout is not None:
+                engine.expire_wait(wid)
+            else:
+                raise AssetError(
+                    f"scenario {spec.name!r} parked on signal"
+                    f" {execution.waiting_signal!r} with no scripted"
+                    " delivery and no timer"
+                )
+        else:
+            engine.resume(wid)
+    return engine.status(wid)
+
+
+def _drive_scenario(stack, spec, ctx):
+    """Setup + start + drive on a live (possibly fault-armed) stack."""
+    setup_tids = spec.setup(stack.runtime, ctx)
+    ctx["setup_done"] = True
+    note_ack = getattr(stack, "note_ack", None)
+    if note_ack is not None:
+        for tid in setup_tids:
+            note_ack(tid)
+    engine = _build_engine(stack.runtime, spec, ctx, note_ack=note_ack)
+    ctx["engine"] = engine
+    # Pin the wid *before* start: a crash inside start() must still let
+    # the post-restart judge find (and resume) the execution.
+    ctx["wid"] = 1
+    engine.start(spec.name, wid=ctx["wid"])
+    drive_to_terminal(engine, ctx["wid"], spec)
+
+
+# ---------------------------------------------------------------------------
+# judging helpers
+# ---------------------------------------------------------------------------
+
+
+def live_transactions(manager):
+    """Transactions still holding resources — must be zero at the end."""
+    return sum(1 for td in manager.table if not td.status.is_terminated)
+
+
+def _judge_final(spec, ctx, storage, engine, violations):
+    """Terminal-phase checks shared by both storage paths."""
+    wid = ctx.get("wid")
+    if wid is None or wid not in engine.executions():
+        # The crash predated the durable ``started`` record: there is no
+        # execution to resume, and nothing further to hold the engine to.
+        return None
+    status = drive_to_terminal(engine, wid, spec)
+    if status not in spec.expected_terminal:
+        violations.append(
+            f"{spec.name}: resumed execution ended {status}, expected one"
+            f" of {[s.value for s in spec.expected_terminal]}"
+        )
+    execution = engine.execution(wid)
+    if spec.check is not None:
+        try:
+            spec.check(ctx, storage, execution)
+        except AssertionError as failed:
+            violations.append(f"{spec.name}: final-state check: {failed}")
+    leaked = live_transactions(engine.runtime.manager)
+    if leaked:
+        violations.append(
+            f"{spec.name}: {leaked} transaction(s) leaked after the"
+            " resumed run terminated"
+        )
+    # The fold oracle: the durable log alone must tell the same story
+    # the live engine does (status and per-step outcomes).
+    log_records = list(storage.log.records())
+    winners = {
+        getattr(tid, "value", tid)
+        for tid in analyze_log(log_records).winners
+    }
+    folded = fold_all(log_records, winners).get(wid)
+    if folded is None:
+        violations.append(f"{spec.name}: wid {wid} vanished from the log")
+    else:
+        if folded.status is not execution.status:
+            violations.append(
+                f"{spec.name}: fold says {folded.status}, engine says"
+                f" {execution.status}"
+            )
+        for name, state in execution.steps.items():
+            if folded.status_of(name) is not state.status:
+                violations.append(
+                    f"{spec.name}: step {name!r} fold/engine disagree:"
+                    f" {folded.status_of(name)} vs {state.status}"
+                )
+    return status
+
+
+@dataclass
+class WorkflowRunOutcome:
+    """One faulted workflow run: crash, restart, resume, judgement."""
+
+    plan: FaultPlan
+    crash: object = None          # the CrashPoint, or None (clean run)
+    oracle: object = None         # OracleReport (flat path only)
+    status: object = None         # terminal ExecutionStatus, or None
+    resumed: bool = False         # did recovery hand back an in-flight run?
+    violations: list = field(default_factory=list)
+
+    @property
+    def ok(self):
+        if self.oracle is not None and not self.oracle.ok:
+            return False
+        return not self.violations
+
+
+# ---------------------------------------------------------------------------
+# the flat-WAL runner (full oracle battery)
+# ---------------------------------------------------------------------------
+
+
+def run_workflow_plan(spec, plan, seed=0, instrument=None,
+                      instrument_resume=None):
+    """Drive ``spec`` under ``plan`` on a flat-WAL ChaosStack; crash,
+    restart, judge with the standard oracles, then resume to terminal.
+
+    ``instrument`` sees the pre-crash stack; ``instrument_resume`` sees
+    the post-restart engine before ``recover()`` runs, so an attached
+    observability kit folds the resumed half of the record stream.
+    """
+    stack = ChaosStack(plan=plan, seed=seed)
+    if instrument is not None:
+        instrument(stack)
+    ctx = {}
+    crash = None
+    try:
+        _drive_scenario(stack, spec, ctx)
+    except CrashPoint as fired:
+        crash = fired
+    system = stack.restart()
+    oracle = evaluate_recovery(
+        system,
+        stack.intent,
+        stack.durable_acks,
+        label=f"{spec.name}: {plan.describe()}",
+    )
+    check_idempotent(system, oracle)
+    outcome = WorkflowRunOutcome(plan=plan, crash=crash, oracle=oracle)
+    if not ctx.get("setup_done"):
+        # Crashed inside setup: no definition can be rebuilt (its bodies
+        # bind the setup's oids) and no execution can exist durably.
+        return outcome
+    manager = TransactionManager(storage=system.storage)
+    runtime = CooperativeRuntime(manager, seed=seed)
+    engine = _build_engine(runtime, spec, ctx)
+    if instrument_resume is not None:
+        instrument_resume(engine)
+    recovered = engine.recover()
+    outcome.resumed = ctx.get("wid") in recovered
+    outcome.status = _judge_final(
+        spec, ctx, system.storage, engine, outcome.violations
+    )
+    return outcome
+
+
+# ---------------------------------------------------------------------------
+# the sharded-WAL runner (differential twin)
+# ---------------------------------------------------------------------------
+
+
+class ShardedWorkflowStack:
+    """A sharded stack with the crash/restart lifecycle sweeps need."""
+
+    def __init__(self, plan=None, n_shards=4, seed=0):
+        from repro.chaos.faults import FaultInjector
+        from repro.core.sharded import ShardedTransactionManager
+        from repro.runtime.sharded import ShardedRuntime
+        from repro.storage.segmented import ShardedStorageManager
+
+        self.plan = plan if plan is not None else FaultPlan()
+        self.injector = FaultInjector(plan=self.plan)
+        self.n_shards = n_shards
+        self.seed = seed
+        self.storage = ShardedStorageManager(
+            n_shards=n_shards, injector=self.injector
+        )
+        self.manager = ShardedTransactionManager(
+            n_shards=n_shards,
+            storage=self.storage,
+            failpoint=self.injector.failpoint,
+        )
+        self.runtime = ShardedRuntime(manager=self.manager, seed=seed)
+
+    def restart(self):
+        """Power cut + in-place segmented recovery; fresh manager/runtime."""
+        from repro.core.sharded import ShardedTransactionManager
+        from repro.runtime.sharded import ShardedRuntime
+
+        self.injector.disarm()
+        self.storage.crash()
+        self.storage.recover()
+        self.manager = ShardedTransactionManager(
+            n_shards=self.n_shards, storage=self.storage
+        )
+        self.runtime = ShardedRuntime(manager=self.manager, seed=self.seed)
+        return self.storage
+
+
+def run_sharded_workflow_plan(spec, plan, n_shards=4, seed=0,
+                              instrument_resume=None):
+    """The same scenario through the sharded segmented WAL."""
+    stack = ShardedWorkflowStack(plan=plan, n_shards=n_shards, seed=seed)
+    ctx = {}
+    crash = None
+    try:
+        _drive_scenario(stack, spec, ctx)
+    except CrashPoint as fired:
+        crash = fired
+    stack.restart()
+    outcome = WorkflowRunOutcome(plan=plan, crash=crash)
+    if not ctx.get("setup_done"):
+        return outcome
+    engine = _build_engine(stack.runtime, spec, ctx)
+    if instrument_resume is not None:
+        instrument_resume(engine)
+    recovered = engine.recover()
+    outcome.resumed = ctx.get("wid") in recovered
+    outcome.status = _judge_final(
+        spec, ctx, stack.storage, engine, outcome.violations
+    )
+    return outcome
+
+
+# ---------------------------------------------------------------------------
+# the sweep
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class WorkflowSweepResult:
+    """Coverage accounting for one workflow crash sweep."""
+
+    scenario: str
+    storage: str = "flat"
+    total_steps: int = 0
+    crash_steps_covered: set = field(default_factory=set)
+    runs: int = 0
+    resumed_runs: int = 0
+    failures: list = field(default_factory=list)
+
+    @property
+    def ok(self):
+        return not self.failures
+
+    @property
+    def coverage_complete(self):
+        return self.crash_steps_covered == set(range(1, self.total_steps + 1))
+
+    def describe(self):
+        lines = [
+            f"workflow sweep of {self.scenario} ({self.storage}):"
+            f" {self.runs} runs,"
+            f" {len(self.crash_steps_covered)}/{self.total_steps} crash"
+            f" steps, {self.resumed_runs} resumed,"
+            f" {len(self.failures)} failures",
+        ]
+        for artifact in self.failures:
+            lines.append(f"  plan: {artifact.plan}")
+            lines += [f"    - {v}" for v in artifact.violations]
+            if artifact.replay:
+                lines.append(f"    replay: {artifact.replay}")
+        return "\n".join(lines)
+
+
+def probe_workflow(spec, storage="flat", n_shards=4, seed=0):
+    """Clean run; returns the run's injector (its steps are the universe).
+
+    Raises :class:`ScenarioBrokenError` when the clean run does not reach
+    the scenario's expected terminal status with its checks green.
+    """
+    runner = run_workflow_plan if storage == "flat" else (
+        lambda s, p, seed=seed: run_sharded_workflow_plan(
+            s, p, n_shards=n_shards, seed=seed
+        )
+    )
+    # A clean plan still restarts at the end (power cut after completion)
+    # and must recover to the same terminal status.
+    outcome = runner(spec, FaultPlan(label="clean"), seed=seed)
+    if outcome.crash is not None:
+        raise ScenarioBrokenError(
+            f"{spec.name}: clean run crashed: {outcome.crash}"
+        )
+    if not outcome.ok:
+        raise ScenarioBrokenError(
+            f"{spec.name}: clean run failed its own checks:"
+            f" {outcome.violations}"
+            + (
+                f" oracle: {outcome.oracle.violations}"
+                if outcome.oracle is not None and not outcome.oracle.ok
+                else ""
+            )
+        )
+    if outcome.status not in spec.expected_terminal:
+        raise ScenarioBrokenError(
+            f"{spec.name}: clean run ended {outcome.status}"
+        )
+    return outcome
+
+
+def _count_steps(spec, storage, n_shards, seed):
+    """Number the scenario's I/O universe with a no-fault drive."""
+    if storage == "flat":
+        stack = ChaosStack(plan=FaultPlan(), seed=seed)
+    else:
+        stack = ShardedWorkflowStack(
+            plan=FaultPlan(), n_shards=n_shards, seed=seed
+        )
+    ctx = {}
+    _drive_scenario(stack, spec, ctx)
+    return stack.injector.step_count
+
+
+def workflow_replay_command(scenario_name, plan):
+    from repro.chaos.sweep import replay_command
+
+    return replay_command(scenario_name, plan)
+
+
+def workflow_crash_sweep(spec, storage="flat", n_shards=4, seed=0,
+                         stop_at_first=False):
+    """Crash at every numbered I/O step; restart, recover, resume, judge."""
+    probe_workflow(spec, storage=storage, n_shards=n_shards, seed=seed)
+    total = _count_steps(spec, storage, n_shards, seed)
+    result = WorkflowSweepResult(
+        scenario=spec.name, storage=storage, total_steps=total
+    )
+    for step in range(1, total + 1):
+        plan = FaultPlan(crash_at=step, label=f"crash@{step}")
+        if storage == "flat":
+            outcome = run_workflow_plan(spec, plan, seed=seed)
+        else:
+            outcome = run_sharded_workflow_plan(
+                spec, plan, n_shards=n_shards, seed=seed
+            )
+        result.runs += 1
+        result.crash_steps_covered.add(step)
+        if outcome.resumed:
+            result.resumed_runs += 1
+        if not outcome.ok:
+            violations = list(outcome.violations)
+            if outcome.oracle is not None:
+                violations.extend(outcome.oracle.violations)
+            result.failures.append(
+                FailureArtifact(
+                    scenario=spec.name,
+                    plan=plan.to_dict(),
+                    violations=violations,
+                    crash_step=(
+                        f"{outcome.crash.step}:{outcome.crash.kind}"
+                        if outcome.crash is not None
+                        else None
+                    ),
+                    replay=workflow_replay_command(spec.name, plan),
+                )
+            )
+            if stop_at_first:
+                return result
+    return result
+
+
+# ---------------------------------------------------------------------------
+# registered scenarios
+# ---------------------------------------------------------------------------
+
+
+def _travel_setup(availability):
+    def setup(runtime, ctx):
+        agency = TravelAgency(runtime, availability=availability)
+        ctx["agency"] = agency
+        ctx["oids"] = {name: oid for name, oid in agency.oids.items()}
+        # TravelAgency's constructor ran one committed setup transaction;
+        # its tid is not exposed, so re-derive it for the ack books: it
+        # is the lone winner so far.
+        return [
+            td.tid for td in runtime.manager.table
+            if td.status is TransactionStatus.COMMITTED
+        ]
+
+    return setup
+
+
+def _travel_definition(name, waits=None):
+    def definition(ctx):
+        agency = ctx["agency"]
+        spec = build_x_conference_spec(agency)
+
+        # Give the hotel its own compensation so "fully compensated"
+        # restores the whole inventory, whichever prefix committed.
+        def cancel_hotel(tx):
+            record = decode_json(
+                (yield tx.read(agency.hotels["Equator"]))
+            )
+            booking = ["6/11/1994", "6/14/1994"]
+            if booking in record["bookings"]:
+                record["bookings"].remove(booking)
+                record["available"] += 1
+                yield tx.write(
+                    agency.hotels["Equator"], encode_json(record)
+                )
+            return record["available"]
+
+        hotel = next(task for task in spec if task.name == "hotel")
+        hotel.compensate_with(cancel_hotel)
+        return WorkflowDefinition(name, spec, waits=waits)
+
+    return definition
+
+
+def _read_raw(storage, oid):
+    """Read one object's bytes from either storage engine."""
+    value = getattr(oid, "value", oid)
+    object_state = getattr(storage, "object_state", None)
+    if object_state is not None:  # ShardedStorageManager
+        return object_state()[value]
+    from repro.common.ids import ObjectId
+
+    return storage.objects.read(ObjectId(value))
+
+
+def _booked(storage, ctx, name):
+    """Booking count of one travel resource straight from storage."""
+    return len(decode_json(_read_raw(storage, ctx["oids"][name]))["bookings"])
+
+
+def _check_travel_completed(ctx, storage, execution):
+    flights = sum(_booked(storage, ctx, a) for a in AIRLINES)
+    assert flights == 1, f"expected exactly one flight booking, saw {flights}"
+    assert _booked(storage, ctx, "Equator") == 1, "hotel booking missing"
+    cars = sum(_booked(storage, ctx, c) for c in ("National", "Avis"))
+    assert cars == 1, f"expected exactly one car booking, saw {cars}"
+
+
+def _check_travel_compensated(ctx, storage, execution):
+    # Fully compensated: the inventory is exactly as the setup left it.
+    for name in list(AIRLINES) + ["Equator", "National", "Avis"]:
+        booked = _booked(storage, ctx, name)
+        assert booked == 0, f"{name} still shows {booked} booking(s)"
+
+
+register(WorkflowScenarioSpec(
+    name="workflow_travel_crash",
+    description=(
+        "The appendix travel workflow (contingent flight, required hotel,"
+        " raced car) runs to completion through the durable engine; a"
+        " crash at any I/O step must resume to COMPLETED with exactly one"
+        " booking per resource class."
+    ),
+    setup=_travel_setup(availability=None),
+    definition=_travel_definition("workflow_travel_crash"),
+    expected_terminal=(ExecutionStatus.COMPLETED,),
+    check=_check_travel_completed,
+))
+
+
+def _set_value(tx, oid, value):
+    yield tx.write(oid, encode_int(value))
+    return value
+
+
+def _signal_setup(runtime, ctx):
+    def setup(tx):
+        oids = {}
+        oids["order"] = yield tx.create(encode_int(0), name="order")
+        oids["audit"] = yield tx.create(encode_int(0), name="audit")
+        return oids
+
+    result = runtime.run(setup)
+    ctx["oids"] = result.value
+    return [result.tid]
+
+
+def _approval_definition(name, timeout=40, on_timeout="fail"):
+    """place → (wait for "approve") → confirm; place is compensable."""
+
+    def definition(ctx):
+        from repro.workflow.spec import WorkflowSpec
+
+        oids = ctx["oids"]
+        spec = WorkflowSpec(name=f"{name}_spec")
+        place = spec.task("place")
+        place.alternative(_set_value, args=(oids["order"], 1), label="place")
+        place.compensate_with(_set_value, args=(oids["order"], 0))
+        confirm = spec.task("confirm", depends_on=("place",))
+        confirm.alternative(
+            _set_value, args=(oids["audit"], 1), label="confirm"
+        )
+        return WorkflowDefinition(name, spec).wait_for(
+            "confirm", "approve", timeout=timeout, on_timeout=on_timeout
+        )
+
+    return definition
+
+
+def _value_of(storage, ctx, name):
+    return decode_int(_read_raw(storage, ctx["oids"][name]))
+
+
+def _check_signal_timeout(ctx, storage, execution):
+    assert _value_of(storage, ctx, "order") == 0, (
+        "place was not compensated after the approval timeout"
+    )
+    assert _value_of(storage, ctx, "audit") == 0, (
+        "confirm ran despite the approval never arriving"
+    )
+
+
+def _check_signal_delivered(ctx, storage, execution):
+    assert _value_of(storage, ctx, "order") == 1, "place lost"
+    assert _value_of(storage, ctx, "audit") == 1, "confirm lost"
+    assert execution.signals.get("approve") == "qa", (
+        "delivered signal payload lost"
+    )
+
+
+register(WorkflowScenarioSpec(
+    name="workflow_signal_timeout",
+    description=(
+        "A place→confirm workflow parked on an \"approve\" signal whose"
+        " timer expires: the required confirm step fails on timeout, so"
+        " the committed place step must be compensated — through any"
+        " crash point, including mid-compensation."
+    ),
+    setup=_signal_setup,
+    definition=_approval_definition(
+        "workflow_signal_timeout", timeout=40, on_timeout="fail"
+    ),
+    expire_waits=True,
+    expected_terminal=(ExecutionStatus.COMPENSATED,),
+    check=_check_signal_timeout,
+))
+
+
+register(WorkflowScenarioSpec(
+    name="workflow_signal_delivered",
+    description=(
+        "The approval workflow with the \"approve\" signal scripted: the"
+        " durable signal record must survive crashes, so a resumed run"
+        " never re-parks on a signal it already received."
+    ),
+    setup=_signal_setup,
+    definition=_approval_definition(
+        "workflow_signal_delivered", timeout=40, on_timeout="fail"
+    ),
+    signals=(("approve", "qa"),),
+    expected_terminal=(ExecutionStatus.COMPLETED,),
+    check=_check_signal_delivered,
+))
+
+
+register(WorkflowScenarioSpec(
+    name="workflow_travel_sellout",
+    description=(
+        "The travel workflow against a sold-out hotel: the flight books,"
+        " the required hotel fails, and the saga must unwind — any crash"
+        " must still resume to COMPENSATED with the inventory restored."
+    ),
+    setup=_travel_setup(availability={"Equator": 0}),
+    definition=_travel_definition("workflow_travel_sellout"),
+    expected_terminal=(ExecutionStatus.COMPENSATED,),
+    check=_check_travel_compensated,
+))

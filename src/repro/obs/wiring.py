@@ -297,6 +297,59 @@ class ObservabilityKit:
         self.metrics.add_collector(collect)
         return self
 
+    def attach_workflow(self, engine, trace="workflow"):
+        """Wire a :class:`~repro.workflow.durable.DurableWorkflowEngine`.
+
+        Three hooks: live counters (``workflow.started`` and friends)
+        through the engine's ``metrics`` attribute, a collector
+        mirroring the engine's stats dict as gauges, and one span per
+        execution folded from the durable record stream — opened by the
+        ``started`` record, annotated with every step attempt / signal /
+        compensation, closed (with the outcome as its status) by the
+        ``finished`` record.
+        """
+        if not self._once(engine, "workflow"):
+            return self
+        engine.metrics = self.metrics
+
+        def collect(registry):
+            for name, value in engine.stats.items():
+                registry.set_gauge(f"workflow.stats.{name}", value)
+
+        self.metrics.add_collector(collect)
+        spans = self.spans.spans
+        annotated = ("definition", "step", "alt", "tid", "signal", "name",
+                     "outcome", "on_timeout")
+
+        def on_record(wid, kind, fields):
+            tick = engine.clock.peek()
+            key = (trace, wid)
+            span = spans.get(key)
+            if span is None:
+                span = spans[key] = {
+                    "trace": trace,
+                    "tid": wid,
+                    "start": tick,
+                    "end": None,
+                    "status": "open",
+                    "reason": None,
+                    "gid": None,
+                    "prepared": None,
+                    "origin_msg": None,
+                    "links": [],
+                }
+            span["links"].append({
+                "type": kind,
+                "tick": tick,
+                **{k: fields[k] for k in annotated if k in fields},
+            })
+            if kind == "finished":
+                span["end"] = tick
+                span["status"] = fields.get("outcome", "finished")
+
+        engine.on_record = on_record
+        return self
+
     # -- assemblies --------------------------------------------------------
 
     def attach_stack(self, stack):

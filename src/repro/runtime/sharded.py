@@ -252,6 +252,12 @@ class ParallelShardedRuntime:
     def abort(self, tid):
         return 1 if self.manager.abort(tid) else 0
 
+    def poll(self):
+        """Yield briefly to the shard workers; always reports progress
+        possible (the workers run on their own threads)."""
+        self._wait_a_moment()
+        return True
+
     def commit_all(self, tids):
         """Commit a batch in completion order, returning {tid: 0/1}."""
         outcomes = {}

@@ -35,6 +35,7 @@ _TYPE_DELEGATE = 5
 _TYPE_CHECKPOINT = 6
 _TYPE_PREPARE = 7
 _TYPE_DECISION = 8
+_TYPE_WORKFLOW = 9
 
 _ABSENT = 0xFFFFFFFF  # length marker: image of a not-yet-existing object
 
@@ -139,6 +140,28 @@ class DecisionRecord(LogRecord):
         return {self.tid, *self.group}
 
 
+@dataclass(frozen=True)
+class WorkflowRecord(LogRecord):
+    """One durable workflow-orchestration state transition.
+
+    ``wid`` names the workflow execution, ``kind`` the transition (the
+    vocabulary lives in :mod:`repro.workflow.records`), ``payload`` an
+    opaque encoded body.  ``tid`` is the step transaction the transition
+    concerns, or ``Tid(0)`` for transitions that involve none.
+
+    Workflow records are *orchestration* state: recovery's redo/undo and
+    the attribution index ignore them entirely (they carry no images),
+    and the workflow engine folds them back into
+    ``WorkflowExecution`` state after a restart.  They are always
+    force-flushed — the engine's resume protocol depends on every logged
+    transition being durable before the action it describes.
+    """
+
+    wid: int = 0
+    kind: str = ""
+    payload: bytes = b""
+
+
 def _pack_image(image):
     if image is None:
         return _U32.pack(_ABSENT)
@@ -224,6 +247,13 @@ def encode_record(record):
             + b"".join(_pack_str(p) for p in record.participants)
         )
         rtype = _TYPE_DECISION
+    elif isinstance(record, WorkflowRecord):
+        body = (
+            _U64.pack(record.wid)
+            + _pack_str(record.kind)
+            + _pack_image(record.payload)
+        )
+        rtype = _TYPE_WORKFLOW
     else:
         raise StorageError(f"unknown record type: {type(record).__name__}")
     return _HEADER.pack(rtype, record.lsn.value, record.tid.value) + body
@@ -299,6 +329,14 @@ def decode_record(raw):
             verdict=verdict,
             group=group,
             participants=tuple(participants),
+        )
+    if rtype == _TYPE_WORKFLOW:
+        (wid,) = _U64.unpack_from(raw, offset)
+        offset += _U64.size
+        kind, offset = _unpack_str(raw, offset)
+        payload, offset = _unpack_image(raw, offset)
+        return WorkflowRecord(
+            lsn=lsn, tid=tid, wid=wid, kind=kind, payload=payload
         )
     raise StorageError(f"unknown record type byte: {rtype}")
 
@@ -708,6 +746,27 @@ class WriteAheadLog:
                 verdict=verdict,
                 group=tuple(group),
                 participants=tuple(participants),
+            )
+        )
+        self.flush()
+        return record
+
+    def log_workflow(self, wid, kind, payload=b"", tid=None):
+        """Force-write a workflow state-transition record.
+
+        Always flushed immediately, like :meth:`log_prepare`: the
+        workflow engine acts on a transition only after it is durable
+        (an attempt record must be stable before the step transaction's
+        commit record can land), so the resume protocol never observes a
+        commit whose attempt evaporated with the crash.
+        """
+        record = self._append(
+            lambda lsn: WorkflowRecord(
+                lsn=lsn,
+                tid=tid if tid is not None else Tid(0),
+                wid=wid,
+                kind=kind,
+                payload=bytes(payload),
             )
         )
         self.flush()

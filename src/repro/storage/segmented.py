@@ -140,6 +140,20 @@ class SegmentedLog:
         """Abort-completion record (recovery's undo epilogue)."""
         return self._storage.shards[0].log.log_abort(tid)
 
+    def log_workflow(self, wid, kind, payload=b"", tid=None):
+        """Workflow transition record, routed to segment 0.
+
+        Workflow records have no object footprint, so they need a fixed
+        home; segment 0 plays the same role it does for abort records.
+        The segment writer force-flushes, which is what makes the
+        attempt-before-commit ordering hold across segments: the attempt
+        is durable in segment 0 before the step's commit record can even
+        be appended to its home segment.
+        """
+        return self._storage.shards[0].log.log_workflow(
+            wid, kind, payload=payload, tid=tid
+        )
+
     def flush(self):
         for segment in self.segments:
             segment.flush()
@@ -414,6 +428,10 @@ class ShardedStorageManager:
         if verdict == "commit":
             self._forget_footprints(tid, group)
         return record
+
+    def log_workflow(self, wid, kind, payload=b"", tid=None):
+        """Force-log a workflow transition (segment 0, always flushed)."""
+        return self.log.log_workflow(wid, kind, payload=payload, tid=tid)
 
     # -- durability control ------------------------------------------------
 

@@ -209,6 +209,10 @@ class StorageManager:
             tid, gid, verdict, group=group, participants=participants
         )
 
+    def log_workflow(self, wid, kind, payload=b"", tid=None):
+        """Force-log a workflow state transition (always flushed)."""
+        return self.log.log_workflow(wid, kind, payload=payload, tid=tid)
+
     # -- durability control --------------------------------------------------------
 
     def sync_log(self):

@@ -13,18 +13,36 @@ provides both:
   the same translation schemes as section 3;
 * :mod:`repro.workflow.travel` — the appendix scenario: inventory-backed
   flight/hotel/car reservations, plus :func:`x_conference`, a literal
-  transcription of the appendix program.
+  transcription of the appendix program;
+* :mod:`repro.workflow.definition` / :mod:`repro.workflow.execution` /
+  :mod:`repro.workflow.records` / :mod:`repro.workflow.durable` — the v2
+  durable orchestrator: named definitions with signal waits and timers,
+  WAL-persisted execution state, and a start/resume/cancel/signal/status
+  protocol whose in-flight executions survive site crashes.
 """
 
+from repro.workflow.definition import (
+    DefinitionRegistry,
+    SignalWait,
+    WorkflowDefinition,
+)
+from repro.workflow.durable import DurableWorkflowEngine
 from repro.workflow.engine import TaskStatus, WorkflowEngine, WorkflowResult
+from repro.workflow.execution import ExecutionStatus, WorkflowExecution
 from repro.workflow.spec import TaskSpec, WorkflowSpec
 from repro.workflow.travel import TravelAgency, x_conference
 
 __all__ = [
+    "DefinitionRegistry",
+    "DurableWorkflowEngine",
+    "ExecutionStatus",
+    "SignalWait",
     "TaskSpec",
     "TaskStatus",
     "TravelAgency",
+    "WorkflowDefinition",
     "WorkflowEngine",
+    "WorkflowExecution",
     "WorkflowResult",
     "WorkflowSpec",
     "x_conference",

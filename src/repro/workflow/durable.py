@@ -1,0 +1,538 @@
+"""The durable workflow engine (v2): executions that survive crashes.
+
+:class:`DurableWorkflowEngine` runs :class:`~repro.workflow.definition
+.WorkflowDefinition`\\ s with the same section 3 translation schemes as
+the in-memory engine, but every orchestration transition is force-logged
+through the WAL first (:mod:`repro.workflow.records`), so a site crash
+mid-workflow loses nothing: restart recovery replays the data log,
+:meth:`DurableWorkflowEngine.recover` folds the workflow records back
+into :class:`~repro.workflow.execution.WorkflowExecution` images, and
+:meth:`resume` continues each in-flight execution from its last durable
+step.
+
+The protocol is ``start`` / ``resume`` / ``cancel`` / ``signal`` /
+``status``:
+
+* ``start`` makes the execution durable and drives it until it reaches a
+  terminal status or parks on a signal wait;
+* ``signal`` durably delivers a named signal (and, by default, resumes a
+  parked execution);
+* ``resume`` continues forward progress — after recovery, or after a
+  caller chose ``signal(..., resume=False)``;
+* ``cancel`` durably accepts a cancel request, compensates every
+  committed step (saga discipline), and finishes ``cancelled``;
+* ``status`` reports the :class:`~repro.workflow.execution
+  .ExecutionStatus`.
+
+Crash-consistency contract (the part worth reading twice): a forward
+step logs a forced ``step_attempt`` record *before* committing its
+transaction, and recovery counts the step as committed **iff one of its
+attempt tids is a winner of the data-log replay**.  There is no separate
+"step committed" marker — a marker would need to be atomic with the
+commit record, and it cannot be; deriving the answer from the commit
+record itself closes that window.  A crash between attempt and commit
+leaves a dangling attempt naming a loser tid; restart recovery undoes
+that transaction's effects, the fold ignores the attempt, and resume
+re-issues the step from scratch.  Compensations follow the same
+discipline with ``comp_attempt`` records.
+
+Signal-wait timers are armed on an engine-owned
+:class:`~repro.resilience.deadlines.DeadlineTable` over the runtime's
+logical clock, and *re-armed with their full budget* on recovery (the
+logical clock restarts with the process; a fresh budget is the
+conservative reading of "the timer survives the crash").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.chaos.oracles import analyze_log
+from repro.common.clock import LogicalClock
+from repro.common.errors import AssetError, RetryExhausted, TransientError
+from repro.resilience.deadlines import DeadlineTable
+from repro.workflow import records as wrecords
+from repro.workflow.engine import TaskStatus
+from repro.workflow.execution import (
+    ExecutionStatus,
+    fold_all,
+)
+
+
+@dataclass(frozen=True)
+class _WaitToken:
+    """Deadline-table key for one execution's signal-wait timer."""
+
+    wid: int
+
+    @property
+    def value(self):
+        # DeadlineTable orders its keys by .value; reuse the wid.
+        return self.wid
+
+
+class DurableWorkflowEngine:
+    """Runs workflow definitions with WAL-persisted execution state."""
+
+    def __init__(self, runtime, registry, *, retry=None, watchdog=None,
+                 metrics=None, on_commit=None, max_compensation_retries=100,
+                 max_idle_polls=1000):
+        self.runtime = runtime
+        self.registry = registry
+        self.storage = runtime.manager.storage
+        self.retry = retry
+        self.watchdog = watchdog
+        self.metrics = metrics
+        # Called with the tid of every step/compensation transaction the
+        # engine successfully committed — the chaos harness's truthful
+        # acknowledgement hook.
+        self.on_commit = on_commit
+        self.max_compensation_retries = max_compensation_retries
+        self.max_idle_polls = max_idle_polls
+        clock = getattr(runtime.manager, "clock", None)
+        self.clock = clock if clock is not None else LogicalClock()
+        # Engine-owned timer table: workflow wait tokens are not
+        # transactions, so they must not share the resilience kit's
+        # table (the watchdog would prune them as unknown tids).
+        self.deadlines = DeadlineTable(self.clock)
+        self.orphaned = []  # race losers whose abort kept failing
+        self.stats = {
+            "started": 0,
+            "completed": 0,
+            "compensated": 0,
+            "cancelled": 0,
+            "recovered": 0,
+            "steps_committed": 0,
+            "compensations": 0,
+            "signals": 0,
+            "timeouts": 0,
+        }
+        self.timeline = []  # per-execution trace rows (obs export)
+        # Called with (wid, kind, fields) after every durable workflow
+        # record — the seam the observability kit hangs spans off.
+        self.on_record = None
+        self._executions = {}
+        self._next_wid = 1
+        for record in wrecords.workflow_records(self.storage.log.records()):
+            self._next_wid = max(self._next_wid, record.wid + 1)
+
+    # -- bookkeeping -------------------------------------------------------
+
+    def _count(self, key, amount=1):
+        self.stats[key] += amount
+        if self.metrics is not None:
+            self.metrics.inc(f"workflow.{key}", amount)
+
+    def _log(self, wid, kind, fields):
+        self.storage.log_workflow(
+            wid, kind, payload=wrecords.encode_payload(fields)
+        )
+        self.timeline.append(
+            {"tick": self.clock.peek(), "wid": wid, "kind": kind, **fields}
+        )
+        if self.on_record is not None:
+            self.on_record(wid, kind, fields)
+
+    def _require(self, wid):
+        if wid not in self._executions:
+            raise AssetError(f"unknown workflow execution: wid={wid}")
+        return self._executions[wid]
+
+    def _commit_step(self, tid, op):
+        if self.retry is None:
+            return self.runtime.commit(tid)
+        return self.retry.run(
+            lambda: self.runtime.commit(tid), op=op, tid=tid
+        )
+
+    def _abort_loser(self, tid, step_name):
+        """Abort a race loser; exhausted retries hand it to the watchdog."""
+        try:
+            if self.retry is None:
+                self.runtime.abort(tid)
+            else:
+                self.retry.run(
+                    lambda: self.runtime.abort(tid),
+                    op=f"workflow.{step_name}.abort_loser",
+                    tid=tid,
+                )
+        except (TransientError, RetryExhausted):
+            self.orphaned.append(tid)
+            watchdog = self.watchdog
+            if watchdog is None:
+                watchdog = getattr(self.runtime, "watchdog", None)
+            if watchdog is not None:
+                watchdog.table.set_deadline(tid, budget=0)
+
+    # -- the protocol ------------------------------------------------------
+
+    def start(self, definition_name, wid=None, context=None):
+        """Create a durable execution and drive it; returns its wid."""
+        self.registry.get(definition_name)  # fail fast on unknown names
+        if wid is None:
+            wid = self._next_wid
+        if wid in self._executions:
+            raise AssetError(f"workflow execution wid={wid} already exists")
+        self._next_wid = max(self._next_wid, wid + 1)
+        from repro.workflow.execution import WorkflowExecution
+
+        execution = WorkflowExecution(
+            wid=wid,
+            definition=definition_name,
+            context=dict(context or {}),
+        )
+        self._executions[wid] = execution
+        self._log(wid, wrecords.STARTED, {
+            "definition": definition_name,
+            "context": execution.context,
+        })
+        execution.status = ExecutionStatus.RUNNING
+        self._count("started")
+        self._drive(wid)
+        return wid
+
+    def status(self, wid):
+        """The execution's :class:`ExecutionStatus`."""
+        return self._require(wid).status
+
+    def execution(self, wid):
+        """The folded :class:`WorkflowExecution` image."""
+        return self._require(wid)
+
+    def executions(self):
+        """wid → execution, every execution this engine knows about."""
+        return dict(self._executions)
+
+    def resume(self, wid):
+        """Continue forward progress; no-op on terminal or parked runs."""
+        execution = self._require(wid)
+        if execution.status.is_terminal:
+            return execution.status
+        if execution.status is ExecutionStatus.WAITING_SIGNAL:
+            return execution.status
+        return self._drive(wid)
+
+    def signal(self, wid, name, payload=None, resume=True):
+        """Durably deliver signal ``name``; resumes a matching wait."""
+        execution = self._require(wid)
+        if execution.status.is_terminal:
+            return execution.status
+        self._log(wid, wrecords.SIGNAL, {"name": name, "payload": payload})
+        execution.signals[name] = payload
+        self._count("signals")
+        if (
+            execution.status is ExecutionStatus.WAITING_SIGNAL
+            and execution.waiting_signal == name
+        ):
+            self._unpark(execution)
+            if resume:
+                return self._drive(wid)
+        return execution.status
+
+    def cancel(self, wid):
+        """Durably accept a cancel: compensate and finish ``cancelled``."""
+        execution = self._require(wid)
+        if execution.status.is_terminal:
+            return execution.status
+        self._log(wid, wrecords.CANCELLED, {})
+        execution.cancel_requested = True
+        if execution.status is ExecutionStatus.WAITING_SIGNAL:
+            self._unpark(execution)
+        return self._finish_backward(execution, wrecords.OUTCOME_CANCELLED)
+
+    def expire_wait(self, wid):
+        """Fire a parked execution's wait timer (deterministic time travel).
+
+        Advances the logical clock to the armed deadline — the same
+        stall-rescue jump the watchdog performs — then applies the
+        wait's ``on_timeout`` policy.
+        """
+        execution = self._require(wid)
+        if execution.status is not ExecutionStatus.WAITING_SIGNAL:
+            return execution.status
+        if execution.wait_timeout is None:
+            raise AssetError(
+                f"wid={wid} waits on {execution.waiting_signal!r} with no"
+                " timeout; deliver the signal or cancel"
+            )
+        token = _WaitToken(wid)
+        deadline = self.deadlines.deadline_of(token)
+        if deadline is not None:
+            self.clock.advance_to(deadline)
+        step = execution.waiting_step
+        self._log(wid, wrecords.SIGNAL_TIMEOUT, {
+            "step": step, "signal": execution.waiting_signal,
+        })
+        on_timeout = execution.wait_on_timeout
+        self._unpark(execution)
+        self._count("timeouts")
+        definition = self.registry.get(execution.definition)
+        task = next(t for t in definition.spec if t.name == step)
+        if on_timeout == "skip":
+            self._log(wid, wrecords.STEP_SKIPPED, {"step": step})
+            execution.step(step).status = TaskStatus.SKIPPED
+            return self._drive(wid)
+        self._log(wid, wrecords.STEP_FAILED, {"step": step})
+        execution.step(step).status = TaskStatus.FAILED
+        if task.optional:
+            return self._drive(wid)
+        return self._finish_backward(execution, wrecords.OUTCOME_COMPENSATED)
+
+    # -- recovery ----------------------------------------------------------
+
+    def recover(self):
+        """Rebuild executions from the durable log; returns in-flight wids.
+
+        Call after storage restart recovery has run and the site's
+        definitions are re-registered.  Parked executions get their wait
+        timers re-armed with the full budget; callers then drive each
+        returned wid with :meth:`resume` / :meth:`signal` /
+        :meth:`expire_wait`.
+        """
+        log_records = list(self.storage.log.records())
+        analysis = analyze_log(log_records)
+        winners = {getattr(tid, "value", tid) for tid in analysis.winners}
+        recovered = []
+        for wid, execution in sorted(fold_all(log_records, winners).items()):
+            self._executions[wid] = execution
+            self._next_wid = max(self._next_wid, wid + 1)
+            if execution.status.is_terminal:
+                continue
+            if execution.definition:
+                self.registry.get(execution.definition)  # must be present
+            if (
+                execution.status is ExecutionStatus.WAITING_SIGNAL
+                and execution.wait_timeout is not None
+            ):
+                self.deadlines.set_deadline(
+                    _WaitToken(wid), budget=execution.wait_timeout
+                )
+            self._count("recovered")
+            recovered.append(wid)
+        return recovered
+
+    # -- driving -----------------------------------------------------------
+
+    def _drive(self, wid):
+        """Run forward from the last durable step; park, finish, or fail."""
+        execution = self._executions[wid]
+        if execution.cancel_requested:
+            # A durably accepted cancel interrupted by a crash must
+            # resume as a cancel: never make forward progress again.
+            return self._finish_backward(execution, wrecords.OUTCOME_CANCELLED)
+        definition = self.registry.get(execution.definition)
+        for task in definition.spec.ordered():
+            existing = execution.status_of(task.name)
+            if existing in (TaskStatus.COMMITTED, TaskStatus.COMPENSATED,
+                            TaskStatus.SKIPPED):
+                continue
+            if existing is TaskStatus.FAILED:
+                if task.optional:
+                    continue
+                return self._finish_backward(
+                    execution, wrecords.OUTCOME_COMPENSATED
+                )
+            unmet = [
+                dep for dep in task.depends_on
+                if execution.status_of(dep) is not TaskStatus.COMMITTED
+            ]
+            if unmet:
+                # A required step with unmet dependencies fails the
+                # workflow (durably, so a resume after the crash agrees).
+                if task.optional:
+                    self._log(wid, wrecords.STEP_SKIPPED, {"step": task.name})
+                    execution.step(task.name).status = TaskStatus.SKIPPED
+                    continue
+                self._log(wid, wrecords.STEP_FAILED, {"step": task.name})
+                execution.step(task.name).status = TaskStatus.FAILED
+                return self._finish_backward(
+                    execution, wrecords.OUTCOME_COMPENSATED
+                )
+            wait = definition.waits.get(task.name)
+            if wait is not None and wait.signal not in execution.signals:
+                self._park(execution, task.name, wait)
+                return execution.status
+            status = self._run_step(execution, task)
+            if status is TaskStatus.COMMITTED or task.optional:
+                continue
+            return self._finish_backward(
+                execution, wrecords.OUTCOME_COMPENSATED
+            )
+        self._log(wid, wrecords.FINISHED, {
+            "outcome": wrecords.OUTCOME_COMPLETED,
+        })
+        execution.status = ExecutionStatus.COMPLETED
+        self._count("completed")
+        return execution.status
+
+    def _park(self, execution, step, wait):
+        self._log(execution.wid, wrecords.SIGNAL_WAIT, {
+            "step": step,
+            "signal": wait.signal,
+            "timeout": wait.timeout,
+            "on_timeout": wait.on_timeout,
+        })
+        execution.status = ExecutionStatus.WAITING_SIGNAL
+        execution.waiting_step = step
+        execution.waiting_signal = wait.signal
+        execution.wait_timeout = wait.timeout
+        execution.wait_on_timeout = wait.on_timeout
+        if wait.timeout is not None:
+            self.deadlines.set_deadline(
+                _WaitToken(execution.wid), budget=wait.timeout
+            )
+
+    def _unpark(self, execution):
+        self.deadlines.forget(_WaitToken(execution.wid))
+        execution.status = ExecutionStatus.RUNNING
+        execution.waiting_step = ""
+        execution.waiting_signal = ""
+        execution.wait_timeout = None
+        execution.wait_on_timeout = "fail"
+
+    # -- step execution ----------------------------------------------------
+
+    def _run_step(self, execution, task):
+        if task.race:
+            status = self._run_race(execution, task)
+        else:
+            status = self._run_sequential(execution, task)
+        if status is not TaskStatus.COMMITTED:
+            self._log(execution.wid, wrecords.STEP_FAILED, {
+                "step": task.name,
+            })
+            execution.step(task.name).status = TaskStatus.FAILED
+        return status
+
+    def _note_commit(self, execution, task, alternative, tid):
+        state = execution.step(task.name)
+        state.status = TaskStatus.COMMITTED
+        state.alt = alternative.label
+        state.tid_value = tid.value
+        self._count("steps_committed")
+        if self.on_commit is not None:
+            self.on_commit(tid)
+
+    def _attempt(self, wid, task, alternative, tid):
+        # Forced to the log BEFORE the commit: see the module docstring.
+        self._log(wid, wrecords.STEP_ATTEMPT, {
+            "step": task.name,
+            "alt": alternative.label,
+            "tid": tid.value,
+        })
+
+    def _run_sequential(self, execution, task):
+        """Contingent semantics with durable attempt records."""
+        for alternative in task.alternatives:
+            tid = self.runtime.initiate(
+                alternative.body, args=alternative.args
+            )
+            if not tid or not self.runtime.begin(tid):
+                continue
+            self._attempt(execution.wid, task, alternative, tid)
+            try:
+                committed = self._commit_step(
+                    tid, op=f"workflow.{task.name}.{alternative.label}"
+                )
+            except RetryExhausted:
+                continue
+            if committed:
+                self._note_commit(execution, task, alternative, tid)
+                return TaskStatus.COMMITTED
+        return TaskStatus.FAILED
+
+    def _run_race(self, execution, task):
+        """First-completion-wins with durable attempt records."""
+        entries = []
+        for alternative in task.alternatives:
+            tid = self.runtime.initiate(
+                alternative.body, args=alternative.args
+            )
+            if tid and self.runtime.begin(tid):
+                entries.append((tid, alternative))
+        manager = self.runtime.manager
+        idle = 0
+        while entries:
+            winner = None
+            still_running = []
+            for tid, alternative in entries:
+                outcome = manager.wait_outcome(tid)
+                if (
+                    outcome is True
+                    and winner is None
+                    and not alternative.pacer
+                ):
+                    winner = (tid, alternative)
+                elif outcome is None:
+                    still_running.append((tid, alternative))
+                elif outcome is True:
+                    self._abort_loser(tid, task.name)
+            if winner is not None:
+                tid, alternative = winner
+                for other_tid, __ in still_running:
+                    self._abort_loser(other_tid, task.name)
+                self._attempt(execution.wid, task, alternative, tid)
+                if self.runtime.commit(tid):
+                    self._note_commit(execution, task, alternative, tid)
+                    return TaskStatus.COMMITTED
+                entries = []
+                break
+            entries = still_running
+            if entries:
+                if not self.runtime.poll():
+                    idle += 1
+                    if idle > self.max_idle_polls:
+                        raise AssetError(
+                            f"race in step {task.name!r} made no progress"
+                        )
+        return TaskStatus.FAILED
+
+    # -- backward recovery -------------------------------------------------
+
+    def _finish_backward(self, execution, outcome):
+        """Compensate every committed step (newest first), then finish."""
+        definition = self.registry.get(execution.definition)
+        order = [task.name for task in definition.spec.ordered()]
+        by_name = {task.name: task for task in definition.spec}
+        committed = [
+            name for name in order
+            if execution.status_of(name) is TaskStatus.COMMITTED
+        ]
+        for name in reversed(committed):
+            task = by_name[name]
+            state = execution.steps[name]
+            body, args = task.compensation_for(state.alt)
+            if body is None:
+                continue
+            attempts = 0
+            while True:
+                attempts += 1
+                if attempts > self.max_compensation_retries:
+                    raise AssetError(
+                        f"compensation of step {name!r} failed"
+                        f" {self.max_compensation_retries} times"
+                    )
+                ct = self.runtime.initiate(body, args=args)
+                if not ct:
+                    continue
+                self.runtime.begin(ct)
+                self._log(execution.wid, wrecords.COMP_ATTEMPT, {
+                    "step": name, "tid": ct.value,
+                })
+                try:
+                    if self._commit_step(ct, op=f"workflow.c.{name}"):
+                        if self.on_commit is not None:
+                            self.on_commit(ct)
+                        break
+                except RetryExhausted:
+                    continue
+            state.status = TaskStatus.COMPENSATED
+            self._count("compensations")
+        self._log(execution.wid, wrecords.FINISHED, {"outcome": outcome})
+        if outcome == wrecords.OUTCOME_CANCELLED:
+            execution.status = ExecutionStatus.CANCELLED
+            self._count("cancelled")
+        else:
+            execution.status = ExecutionStatus.COMPENSATED
+            self._count("compensated")
+        return execution.status

@@ -22,7 +22,7 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass, field
 
-from repro.common.errors import AssetError, RetryExhausted
+from repro.common.errors import AssetError, RetryExhausted, TransientError
 
 
 class TaskStatus(enum.Enum):
@@ -77,7 +77,8 @@ class WorkflowEngine:
     """
 
     def __init__(self, runtime, max_compensation_retries=100,
-                 max_idle_polls=1000, parallel=False, retry=None):
+                 max_idle_polls=1000, parallel=False, retry=None,
+                 watchdog=None):
         self.runtime = runtime
         self.max_compensation_retries = max_compensation_retries
         self.max_idle_polls = max_idle_polls
@@ -88,6 +89,11 @@ class WorkflowEngine:
         # behavior; an exhausted budget on an alternative moves to the
         # next alternative, on a compensation it raises RetryExhausted.
         self.retry = retry
+        # Race losers whose abort kept failing.  They are recorded here
+        # and handed to the watchdog (self.watchdog, or the runtime's if
+        # resilience is installed) as orphans instead of leaking.
+        self.watchdog = watchdog
+        self.orphaned = []
 
     def _commit_step(self, tid, op):
         """Commit one workflow step under the engine's retry policy."""
@@ -96,6 +102,32 @@ class WorkflowEngine:
         return self.retry.run(
             lambda: self.runtime.commit(tid), op=op, tid=tid
         )
+
+    def _abort_loser(self, tid, task_name):
+        """Abort a race loser without ever leaking it.
+
+        A transient abort failure is retried under the engine's retry
+        policy; if the budget runs out (or no policy is wired) the loser
+        is recorded as an orphan and handed to the watchdog with an
+        already-expired deadline, so the next scan reaps it rather than
+        letting a live transaction sit on its locks forever.
+        """
+        try:
+            if self.retry is None:
+                self.runtime.abort(tid)
+            else:
+                self.retry.run(
+                    lambda: self.runtime.abort(tid),
+                    op=f"workflow.{task_name}.abort_loser",
+                    tid=tid,
+                )
+        except (TransientError, RetryExhausted):
+            self.orphaned.append(tid)
+            watchdog = self.watchdog
+            if watchdog is None:
+                watchdog = getattr(self.runtime, "watchdog", None)
+            if watchdog is not None:
+                watchdog.table.set_deadline(tid, budget=0)
 
     # -- task strategies -----------------------------------------------------
 
@@ -135,17 +167,19 @@ class WorkflowEngine:
             still_running = []
             for tid, alternative in entries:
                 outcome = manager.wait_outcome(tid)
-                if outcome is True:
+                if outcome is True and winner is None and not alternative.pacer:
                     winner = (tid, alternative)
-                    break
-                if outcome is None:
+                elif outcome is None:
                     still_running.append((tid, alternative))
+                elif outcome is True:
+                    # Completed but barred from winning: a pacer, or a
+                    # second finisher.  Pure loser either way.
+                    self._abort_loser(tid, task.name)
                 # outcome False: that racer aborted; drop it.
             if winner is not None:
                 tid, alternative = winner
-                for other_tid, __ in entries:
-                    if other_tid != tid:
-                        self.runtime.abort(other_tid)
+                for other_tid, __ in still_running:
+                    self._abort_loser(other_tid, task.name)
                 if self.runtime.commit(tid):
                     return TaskOutcome(
                         name=task.name,
@@ -176,7 +210,7 @@ class WorkflowEngine:
         result = WorkflowResult(name=spec.name, success=True)
         committed = []  # (task, outcome) pairs, commit order
 
-        for task in spec:
+        for task in spec.ordered():
             unmet = [
                 dep
                 for dep in task.depends_on
@@ -243,16 +277,19 @@ class WorkflowEngine:
             winner = None
             for tid, alternative in run["tids"]:
                 ready = manager.wait_outcome(tid)
-                if ready is True and winner is None:
+                if ready is True and winner is None and not alternative.pacer:
                     winner = (tid, alternative)
                 elif ready is None:
                     still.append((tid, alternative))
+                elif ready is True:
+                    # Completed but barred from winning (pacer / second
+                    # finisher): pure loser, clean it up now.
+                    self._abort_loser(tid, task.name)
                 # ready False: that alternative aborted; drop it.
             if winner is not None:
                 tid, alternative = winner
-                for other_tid, __ in run["tids"]:
-                    if other_tid != tid:
-                        self.runtime.abort(other_tid)
+                for other_tid, __ in still:
+                    self._abort_loser(other_tid, task.name)
                 outcome_obj = manager.try_commit(tid)
                 if not outcome_obj.is_final:
                     return False  # commit blocked: try again next round
@@ -310,7 +347,7 @@ class WorkflowEngine:
                 abandoned = True
                 for run in pending:
                     for tid, __ in run.get("tids", ()):
-                        self.runtime.abort(tid)
+                        self._abort_loser(tid, run["task"].name)
                     if run["state"] in ("waiting", "running"):
                         run["state"] = "skipped"
                 break
@@ -358,7 +395,8 @@ class WorkflowEngine:
     def _compensate(self, result, committed):
         """Backward recovery: undo committed tasks, newest first."""
         for task, outcome in reversed(committed):
-            if task.compensation is None:
+            body, args = task.compensation_for(outcome.label)
+            if body is None:
                 continue
             attempts = 0
             while True:
@@ -368,9 +406,7 @@ class WorkflowEngine:
                         f"compensation of task {task.name!r} failed"
                         f" {self.max_compensation_retries} times"
                     )
-                ct = self.runtime.initiate(
-                    task.compensation, args=task.compensation_args
-                )
+                ct = self.runtime.initiate(body, args=args)
                 if not ct:
                     continue
                 self.runtime.begin(ct)

@@ -1,0 +1,188 @@
+"""Workflow execution state, folded from durable records.
+
+A :class:`WorkflowExecution` is the in-memory image of one running
+workflow.  It is *never* authoritative: every transition the durable
+engine makes is force-logged first (see :mod:`repro.workflow.records`),
+and :func:`fold_execution` rebuilds the exact same image from the log —
+that is what lets a crashed site resume in-flight workflows.
+
+The one transition the workflow log cannot answer alone is "did this
+step's transaction actually commit?": the attempt record is written
+*before* the commit record, so a crash can leave a dangling attempt.
+``fold_execution`` therefore takes the set of *winner* tids from the
+independent log-replay analysis (:func:`repro.chaos.oracles.analyze_log`
+computes the same thing the recovery manager does) and counts a step as
+committed iff one of its attempt tids won.  Dangling attempts name loser
+tids — recovery already undid them — so the step simply re-runs.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.workflow import records as wrecords
+from repro.workflow.engine import TaskStatus
+
+
+class ExecutionStatus(enum.Enum):
+    """Lifecycle of one workflow execution."""
+
+    PENDING = "pending"              # created, nothing durable yet
+    RUNNING = "running"              # forward progress in flight
+    WAITING_SIGNAL = "waiting_signal"  # parked on an external signal
+    COMPLETED = "completed"          # terminal: every required step committed
+    COMPENSATED = "compensated"      # terminal: failed, saga fully undone
+    CANCELLED = "cancelled"          # terminal: cancel accepted + undone
+
+    @property
+    def is_terminal(self):
+        return self in _TERMINAL
+
+
+_TERMINAL = frozenset({
+    ExecutionStatus.COMPLETED,
+    ExecutionStatus.COMPENSATED,
+    ExecutionStatus.CANCELLED,
+})
+
+
+@dataclass
+class StepState:
+    """What the log says about one step of one execution."""
+
+    name: str
+    status: object = None        # TaskStatus or None (not reached)
+    alt: str = ""                # winning alternative's label
+    tid_value: int = 0           # the committed forward transaction
+    attempts: list = field(default_factory=list)  # all attempt tid values
+    comp_attempts: list = field(default_factory=list)
+
+    @property
+    def committed(self):
+        return self.status in (TaskStatus.COMMITTED, TaskStatus.COMPENSATED)
+
+
+@dataclass
+class WorkflowExecution:
+    """The folded image of one execution (see module docstring)."""
+
+    wid: int
+    definition: str = ""
+    status: ExecutionStatus = ExecutionStatus.PENDING
+    steps: dict = field(default_factory=dict)      # name -> StepState
+    signals: dict = field(default_factory=dict)    # name -> payload
+    waiting_step: str = ""
+    waiting_signal: str = ""
+    wait_timeout: object = None
+    wait_on_timeout: str = "fail"
+    outcome: str = ""                              # finished record's verdict
+    cancel_requested: bool = False
+    context: dict = field(default_factory=dict)
+
+    def step(self, name):
+        if name not in self.steps:
+            self.steps[name] = StepState(name=name)
+        return self.steps[name]
+
+    def committed_steps(self):
+        """Names of steps whose forward work committed, in commit order."""
+        return [
+            state.name
+            for state in self.steps.values()
+            if state.status is TaskStatus.COMMITTED
+        ]
+
+    def status_of(self, step_name):
+        state = self.steps.get(step_name)
+        return None if state is None else state.status
+
+
+def fold_execution(wid, log_records, winners):
+    """Rebuild one execution from durable records.
+
+    ``log_records`` is the full durable record sequence (any record
+    types; non-workflow and other-wid records are skipped).  ``winners``
+    is the set of committed tid *values* per the log-replay analysis.
+    """
+    execution = WorkflowExecution(wid=wid)
+    for record in wrecords.workflow_records(log_records, wid=wid):
+        _apply(execution, record.kind, wrecords.decode_payload(record.payload),
+               winners)
+    return execution
+
+
+def fold_all(log_records, winners):
+    """Rebuild every execution present in ``log_records`` (wid -> image)."""
+    executions = {}
+    for record in wrecords.workflow_records(log_records):
+        if record.wid not in executions:
+            executions[record.wid] = WorkflowExecution(wid=record.wid)
+        _apply(
+            executions[record.wid],
+            record.kind,
+            wrecords.decode_payload(record.payload),
+            winners,
+        )
+    return executions
+
+
+def _apply(execution, kind, payload, winners):
+    if kind == wrecords.STARTED:
+        execution.definition = payload.get("definition", "")
+        execution.context = payload.get("context", {}) or {}
+        execution.status = ExecutionStatus.RUNNING
+    elif kind == wrecords.STEP_ATTEMPT:
+        state = execution.step(payload["step"])
+        tid_value = payload.get("tid", 0)
+        state.attempts.append(tid_value)
+        if tid_value in winners:
+            state.status = TaskStatus.COMMITTED
+            state.alt = payload.get("alt", "")
+            state.tid_value = tid_value
+        # A loser attempt is a crash shadow: recovery undid the
+        # transaction, so the step stays unreached and will re-run.
+    elif kind == wrecords.STEP_FAILED:
+        execution.step(payload["step"]).status = TaskStatus.FAILED
+    elif kind == wrecords.STEP_SKIPPED:
+        execution.step(payload["step"]).status = TaskStatus.SKIPPED
+    elif kind == wrecords.SIGNAL_WAIT:
+        execution.status = ExecutionStatus.WAITING_SIGNAL
+        execution.waiting_step = payload["step"]
+        execution.waiting_signal = payload["signal"]
+        execution.wait_timeout = payload.get("timeout")
+        execution.wait_on_timeout = payload.get("on_timeout", "fail")
+    elif kind == wrecords.SIGNAL:
+        execution.signals[payload["name"]] = payload.get("payload")
+        if execution.waiting_signal == payload["name"]:
+            _clear_wait(execution)
+    elif kind == wrecords.SIGNAL_TIMEOUT:
+        if execution.waiting_step == payload.get("step"):
+            _clear_wait(execution)
+    elif kind == wrecords.COMP_ATTEMPT:
+        state = execution.step(payload["step"])
+        tid_value = payload.get("tid", 0)
+        state.comp_attempts.append(tid_value)
+        if tid_value in winners:
+            state.status = TaskStatus.COMPENSATED
+    elif kind == wrecords.CANCELLED:
+        execution.cancel_requested = True
+        if not execution.status.is_terminal:
+            execution.status = ExecutionStatus.RUNNING
+            _clear_wait(execution)
+    elif kind == wrecords.FINISHED:
+        execution.outcome = payload.get("outcome", "")
+        execution.status = {
+            wrecords.OUTCOME_COMPLETED: ExecutionStatus.COMPLETED,
+            wrecords.OUTCOME_COMPENSATED: ExecutionStatus.COMPENSATED,
+            wrecords.OUTCOME_CANCELLED: ExecutionStatus.CANCELLED,
+        }.get(payload.get("outcome"), ExecutionStatus.COMPLETED)
+
+
+def _clear_wait(execution):
+    if not execution.status.is_terminal:
+        execution.status = ExecutionStatus.RUNNING
+    execution.waiting_step = ""
+    execution.waiting_signal = ""
+    execution.wait_timeout = None
+    execution.wait_on_timeout = "fail"

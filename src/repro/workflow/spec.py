@@ -8,9 +8,14 @@ A workflow is an ordered collection of tasks.  Each task has:
   (the appendix's National/Avis car rental);
 * an optional **compensation** — run if the workflow later fails after
   this task committed (the flight is cancelled when no hotel exists);
+  compensations may also be attached per-alternative, in which case the
+  winning alternative's compensation is preferred over the task-level one;
 * an **optional** flag — failure does not fail the workflow ("if a car
   cannot be rented, the trip can still proceed");
-* **depends_on** — names of tasks that must succeed first.
+* **depends_on** — names of tasks that must succeed first.  Dependencies
+  may name tasks declared later; :meth:`WorkflowSpec.ordered` computes a
+  stable topological order and :meth:`WorkflowSpec.validate` rejects
+  cycles.
 
 The engine (:mod:`repro.workflow.engine`) translates all of this into the
 primitives, exactly as the hand-written appendix program does.
@@ -25,11 +30,22 @@ from repro.common.errors import AssetError
 
 @dataclass(frozen=True)
 class Alternative:
-    """One way to accomplish a task: a body, its args, and a label."""
+    """One way to accomplish a task: a body, its args, and a label.
+
+    ``pacer`` marks an alternative that exists only to pace a race — it
+    may run, but is never allowed to *win* (commit).  The appendix uses
+    the shape for "try National, but give up when the meter transaction
+    finishes first"; a pacer in our model is a pure race loser.  Because
+    a pacer can never commit, attaching a ``compensation`` to one is a
+    spec error (there is never anything to compensate).
+    """
 
     body: object
     args: tuple = ()
     label: str = ""
+    compensation: object = None
+    compensation_args: tuple = ()
+    pacer: bool = False
 
 
 @dataclass
@@ -44,10 +60,18 @@ class TaskSpec:
     race: bool = False
     depends_on: tuple = ()
 
-    def alternative(self, body, args=(), label=""):
+    def alternative(self, body, args=(), label="", compensation=None,
+                    compensation_args=(), pacer=False):
         """Append an alternative (fluent: returns self)."""
         self.alternatives.append(
-            Alternative(body=body, args=tuple(args), label=label)
+            Alternative(
+                body=body,
+                args=tuple(args),
+                label=label,
+                compensation=compensation,
+                compensation_args=tuple(compensation_args),
+                pacer=pacer,
+            )
         )
         return self
 
@@ -56,6 +80,18 @@ class TaskSpec:
         self.compensation = body
         self.compensation_args = tuple(args)
         return self
+
+    def compensation_for(self, label):
+        """The (body, args) compensating the alternative named ``label``.
+
+        Prefers the winning alternative's own compensation; falls back
+        to the task-level one.  Returns ``(None, ())`` when neither is
+        attached.
+        """
+        for alternative in self.alternatives:
+            if alternative.label == label and alternative.compensation:
+                return alternative.compensation, alternative.compensation_args
+        return self.compensation, self.compensation_args
 
 
 class WorkflowSpec:
@@ -77,25 +113,92 @@ class WorkflowSpec:
         return spec
 
     def validate(self):
-        """Check names are unique, dependencies exist and look backwards.
+        """Structural checks; returns self so calls chain.
 
-        Tasks run in declaration order, so a dependency must name an
-        earlier task; that also rules out cycles.
+        Rejects duplicate task names, tasks with no alternatives,
+        dependencies on unknown tasks, dependency *cycles* (forward
+        references are legal — :meth:`ordered` resolves them), pacer
+        alternatives outside a race or filling a whole race, and
+        compensations attached to never-committing (pacer) alternatives.
         """
-        seen = set()
+        names = set()
         for task in self.tasks:
-            if task.name in seen:
+            if task.name in names:
                 raise AssetError(f"duplicate task name: {task.name!r}")
+            names.add(task.name)
             if not task.alternatives:
                 raise AssetError(f"task {task.name!r} has no alternatives")
-            for dep in task.depends_on:
-                if dep not in seen:
+            for alternative in task.alternatives:
+                if alternative.pacer and not task.race:
                     raise AssetError(
-                        f"task {task.name!r} depends on {dep!r}, which is"
-                        " not an earlier task"
+                        f"task {task.name!r}: pacer alternative"
+                        f" {alternative.label!r} outside a race"
                     )
-            seen.add(task.name)
+                if alternative.pacer and alternative.compensation:
+                    raise AssetError(
+                        f"task {task.name!r}: alternative"
+                        f" {alternative.label!r} never commits (pacer)"
+                        " but carries a compensation"
+                    )
+            if task.race and all(a.pacer for a in task.alternatives):
+                raise AssetError(
+                    f"task {task.name!r}: every race alternative is a"
+                    " pacer, so the task can never commit"
+                )
+            for dep in task.depends_on:
+                if dep == task.name:
+                    raise AssetError(
+                        f"task {task.name!r} depends on itself"
+                    )
+        for task in self.tasks:
+            for dep in task.depends_on:
+                if dep not in names:
+                    raise AssetError(
+                        f"task {task.name!r} depends on unknown task"
+                        f" {dep!r}"
+                    )
+        self._toposort(names)  # raises on cycles
         return self
+
+    def _toposort(self, names=None):
+        """Kahn's algorithm, stable on declaration order; raises on cycles."""
+        if names is None:
+            names = {task.name for task in self.tasks}
+        indegree = {task.name: len(set(task.depends_on)) for task in self.tasks}
+        dependants = {name: [] for name in names}
+        for task in self.tasks:
+            for dep in set(task.depends_on):
+                dependants[dep].append(task.name)
+        by_name = {task.name: task for task in self.tasks}
+        # Stable: among ready tasks, declaration order breaks ties.
+        order = []
+        ready = [task.name for task in self.tasks if indegree[task.name] == 0]
+        while ready:
+            name = ready.pop(0)
+            order.append(by_name[name])
+            freed = []
+            for succ in dependants[name]:
+                indegree[succ] -= 1
+                if indegree[succ] == 0:
+                    freed.append(succ)
+            if freed:
+                position = {t.name: i for i, t in enumerate(self.tasks)}
+                ready.extend(freed)
+                ready.sort(key=lambda n: position[n])
+        if len(order) < len(self.tasks):
+            stuck = sorted(
+                name for name, degree in indegree.items() if degree > 0
+            )
+            raise AssetError(
+                f"workflow {self.name!r} has a dependency cycle through"
+                f" {stuck}"
+            )
+        return order
+
+    def ordered(self):
+        """Tasks in a stable topological order (declaration order among
+        tasks whose dependencies are equally satisfied)."""
+        return self._toposort()
 
     def __iter__(self):
         return iter(self.tasks)

@@ -98,3 +98,49 @@ class TestModelConformance:
         result = run_atomic(rt, failing_parent)
         assert not result.committed
         assert [read_counter(rt, oid) for oid in oids] == [1, 1]
+
+
+class TestTravelWorkflowConformance:
+    """The appendix travel workflow must end identically on every runtime.
+
+    Happy path: flight (contingent over three airlines), hotel
+    (required), car (optional race) — all COMMITTED, exactly one booking
+    per resource class.  Sold-out hotel: the saga unwinds — the flight
+    is compensated and the inventory is untouched — on every runtime.
+    """
+
+    def _booked(self, agency, names):
+        return sum(len(agency.bookings(name)) for name in names)
+
+    def test_travel_workflow_terminal_outcomes_match(self, rt):
+        from repro.workflow import TravelAgency, WorkflowEngine
+        from repro.workflow.engine import TaskStatus
+        from repro.workflow.travel import AIRLINES, CAR_COMPANIES
+        from repro.workflow.travel import build_x_conference_spec
+
+        agency = TravelAgency(rt)
+        engine = WorkflowEngine(rt)
+        result = engine.execute(build_x_conference_spec(agency))
+        assert result.success
+        assert result.status_of("flight") is TaskStatus.COMMITTED
+        assert result.status_of("hotel") is TaskStatus.COMMITTED
+        assert result.status_of("car") is TaskStatus.COMMITTED
+        assert self._booked(agency, AIRLINES) == 1
+        assert self._booked(agency, ["Equator"]) == 1
+        assert self._booked(agency, CAR_COMPANIES) == 1
+
+    def test_travel_workflow_sellout_compensates_everywhere(self, rt):
+        from repro.workflow import TravelAgency, WorkflowEngine
+        from repro.workflow.engine import TaskStatus
+        from repro.workflow.travel import AIRLINES, CAR_COMPANIES
+        from repro.workflow.travel import build_x_conference_spec
+
+        agency = TravelAgency(rt, availability={"Equator": 0})
+        engine = WorkflowEngine(rt)
+        result = engine.execute(build_x_conference_spec(agency))
+        assert not result.success
+        assert result.status_of("hotel") is TaskStatus.FAILED
+        assert result.status_of("flight") is TaskStatus.COMPENSATED
+        assert self._booked(
+            agency, list(AIRLINES) + ["Equator"] + list(CAR_COMPANIES)
+        ) == 0

@@ -1,0 +1,327 @@
+"""The durable workflow engine: protocol, persistence, recovery.
+
+Unit-level companion to the chaos sweeps in
+``tests/chaos/test_workflow_crash.py``: no fault injection here, just
+the start/resume/cancel/signal/status protocol, the durable record
+stream it leaves behind, and engine hand-over — a second engine built
+over the same storage must ``recover()`` the first one's in-flight
+executions and finish them.
+"""
+
+import pytest
+
+from repro.chaos.oracles import analyze_log
+from repro.common.codec import decode_int, encode_int
+from repro.common.errors import AssetError
+from repro.core.manager import TransactionManager
+from repro.runtime.coop import CooperativeRuntime
+from repro.workflow.definition import DefinitionRegistry, WorkflowDefinition
+from repro.workflow.durable import DurableWorkflowEngine, _WaitToken
+from repro.workflow.engine import TaskStatus
+from repro.workflow.execution import ExecutionStatus, fold_all
+from repro.workflow.records import (
+    FINISHED,
+    STARTED,
+    STEP_ATTEMPT,
+    workflow_records,
+)
+from repro.workflow.spec import WorkflowSpec
+
+
+def _set_value(tx, oid, value):
+    yield tx.write(oid, encode_int(value))
+    return value
+
+
+def _make_oids(runtime, names):
+    def setup(tx):
+        oids = {}
+        for name in names:
+            oids[name] = yield tx.create(encode_int(0), name=name)
+        return oids
+
+    result = runtime.run(setup)
+    assert result.committed
+    return result.value
+
+
+def _value(runtime, oid):
+    def body(tx):
+        return decode_int((yield tx.read(oid)))
+
+    return runtime.run(body).value
+
+
+def _approval_definition(name, oids, timeout=None, on_timeout="fail"):
+    """place → (wait "approve") → confirm; place is compensable."""
+    spec = WorkflowSpec(name=f"{name}_spec")
+    place = spec.task("place")
+    place.alternative(_set_value, args=(oids["order"], 1), label="place")
+    place.compensate_with(_set_value, args=(oids["order"], 0))
+    confirm = spec.task("confirm", depends_on=("place",))
+    confirm.alternative(_set_value, args=(oids["audit"], 1), label="confirm")
+    return WorkflowDefinition(name, spec).wait_for(
+        "confirm", "approve", timeout=timeout, on_timeout=on_timeout
+    )
+
+
+def _engine(runtime, *definitions):
+    registry = DefinitionRegistry()
+    for definition in definitions:
+        registry.register(definition)
+    return DurableWorkflowEngine(runtime, registry)
+
+
+def _handover(engine):
+    """A fresh manager/runtime/engine over the same storage, recovered."""
+    storage = engine.runtime.manager.storage
+    runtime = CooperativeRuntime(TransactionManager(storage=storage))
+    successor = DurableWorkflowEngine(runtime, engine.registry)
+    return successor, successor.recover()
+
+
+class TestProtocol:
+    def test_straight_line_completes(self, rt):
+        oids = _make_oids(rt, ("order", "audit"))
+        spec = WorkflowSpec(name="line")
+        spec.task("a").alternative(_set_value, args=(oids["order"], 1))
+        spec.task("b", depends_on=("a",)).alternative(
+            _set_value, args=(oids["audit"], 2)
+        )
+        engine = _engine(rt, WorkflowDefinition("line", spec))
+        wid = engine.start("line")
+        assert engine.status(wid) is ExecutionStatus.COMPLETED
+        assert _value(rt, oids["order"]) == 1
+        assert _value(rt, oids["audit"]) == 2
+        assert engine.stats["started"] == 1
+        assert engine.stats["completed"] == 1
+        assert engine.stats["steps_committed"] == 2
+
+    def test_record_stream(self, rt):
+        oids = _make_oids(rt, ("order", "audit"))
+        spec = WorkflowSpec(name="line")
+        spec.task("a").alternative(_set_value, args=(oids["order"], 1))
+        engine = _engine(rt, WorkflowDefinition("line", spec))
+        wid = engine.start("line")
+        kinds = [
+            record.kind
+            for record in workflow_records(
+                engine.storage.log.records(), wid=wid
+            )
+        ]
+        assert kinds == [STARTED, STEP_ATTEMPT, FINISHED]
+
+    def test_unknown_definition_rejected(self, rt):
+        engine = _engine(rt)
+        with pytest.raises(AssetError):
+            engine.start("ghost")
+
+    def test_duplicate_wid_rejected(self, rt):
+        oids = _make_oids(rt, ("order", "audit"))
+        spec = WorkflowSpec(name="line")
+        spec.task("a").alternative(_set_value, args=(oids["order"], 1))
+        engine = _engine(rt, WorkflowDefinition("line", spec))
+        wid = engine.start("line", wid=7)
+        with pytest.raises(AssetError, match="already exists"):
+            engine.start("line", wid=wid)
+
+    def test_unknown_wid_rejected(self, rt):
+        engine = _engine(rt)
+        with pytest.raises(AssetError, match="unknown"):
+            engine.status(99)
+
+
+class TestSignals:
+    def test_park_then_deliver(self, rt):
+        oids = _make_oids(rt, ("order", "audit"))
+        engine = _engine(rt, _approval_definition("approval", oids))
+        wid = engine.start("approval")
+        assert engine.status(wid) is ExecutionStatus.WAITING_SIGNAL
+        assert engine.execution(wid).waiting_signal == "approve"
+        assert _value(rt, oids["order"]) == 1  # place committed
+        assert _value(rt, oids["audit"]) == 0  # confirm parked
+        assert engine.signal(wid, "approve", "qa") is (
+            ExecutionStatus.COMPLETED
+        )
+        assert _value(rt, oids["audit"]) == 1
+        assert engine.execution(wid).signals["approve"] == "qa"
+
+    def test_signal_without_resume(self, rt):
+        oids = _make_oids(rt, ("order", "audit"))
+        engine = _engine(rt, _approval_definition("approval", oids))
+        wid = engine.start("approval")
+        status = engine.signal(wid, "approve", resume=False)
+        assert status is ExecutionStatus.RUNNING
+        assert engine.resume(wid) is ExecutionStatus.COMPLETED
+
+    def test_unrelated_signal_keeps_waiting(self, rt):
+        oids = _make_oids(rt, ("order", "audit"))
+        engine = _engine(rt, _approval_definition("approval", oids))
+        wid = engine.start("approval")
+        assert engine.signal(wid, "noise") is ExecutionStatus.WAITING_SIGNAL
+        # The noise is still durably remembered for later waits.
+        assert "noise" in engine.execution(wid).signals
+
+    def test_pre_delivered_signal_never_parks(self, rt):
+        oids = _make_oids(rt, ("order", "audit"))
+        definition = _approval_definition("approval", oids)
+        spec = definition.spec
+        engine = _engine(rt, definition)
+        # Deliver before the wait is reached: start a wid, signal it
+        # while parked is the normal path; instead fold the signal in
+        # first by starting, signalling, and checking a *second* run of
+        # the same definition still parks (signals are per-execution).
+        first = engine.start("approval")
+        engine.signal(first, "approve")
+        second = engine.start("approval")
+        assert engine.status(second) is ExecutionStatus.WAITING_SIGNAL
+        assert spec is definition.spec  # definition untouched by runs
+
+
+class TestTimersAndCancel:
+    def test_timeout_fail_compensates(self, rt):
+        oids = _make_oids(rt, ("order", "audit"))
+        engine = _engine(
+            rt, _approval_definition("approval", oids, timeout=25)
+        )
+        wid = engine.start("approval")
+        assert engine.expire_wait(wid) is ExecutionStatus.COMPENSATED
+        assert _value(rt, oids["order"]) == 0  # place compensated
+        assert _value(rt, oids["audit"]) == 0
+        assert engine.execution(wid).status_of("place") is (
+            TaskStatus.COMPENSATED
+        )
+        assert engine.stats["timeouts"] == 1
+
+    def test_timeout_skip_continues(self, rt):
+        oids = _make_oids(rt, ("order", "audit"))
+        engine = _engine(
+            rt,
+            _approval_definition(
+                "approval", oids, timeout=25, on_timeout="skip"
+            ),
+        )
+        wid = engine.start("approval")
+        assert engine.expire_wait(wid) is ExecutionStatus.COMPLETED
+        assert engine.execution(wid).status_of("confirm") is (
+            TaskStatus.SKIPPED
+        )
+        assert _value(rt, oids["order"]) == 1  # place survives
+        assert _value(rt, oids["audit"]) == 0  # confirm never ran
+
+    def test_expire_without_timeout_rejected(self, rt):
+        oids = _make_oids(rt, ("order", "audit"))
+        engine = _engine(rt, _approval_definition("approval", oids))
+        wid = engine.start("approval")
+        with pytest.raises(AssetError, match="no"):
+            engine.expire_wait(wid)
+
+    def test_cancel_parked_run(self, rt):
+        oids = _make_oids(rt, ("order", "audit"))
+        engine = _engine(rt, _approval_definition("approval", oids))
+        wid = engine.start("approval")
+        assert engine.cancel(wid) is ExecutionStatus.CANCELLED
+        assert _value(rt, oids["order"]) == 0  # place undone
+        # The wait's timer is gone with the execution.
+        assert engine.deadlines.deadline_of(_WaitToken(wid)) is None
+
+    def test_cancel_terminal_is_noop(self, rt):
+        oids = _make_oids(rt, ("order", "audit"))
+        engine = _engine(rt, _approval_definition("approval", oids))
+        wid = engine.start("approval")
+        engine.signal(wid, "approve")
+        assert engine.cancel(wid) is ExecutionStatus.COMPLETED
+        assert _value(rt, oids["audit"]) == 1
+
+
+class TestHandover:
+    """A successor engine over the same storage picks up the pieces."""
+
+    def test_recover_parked_and_finish(self, rt):
+        oids = _make_oids(rt, ("order", "audit"))
+        engine = _engine(rt, _approval_definition("approval", oids))
+        wid = engine.start("approval")
+        successor, recovered = _handover(engine)
+        assert recovered == [wid]
+        image = successor.execution(wid)
+        assert image.status is ExecutionStatus.WAITING_SIGNAL
+        assert image.waiting_signal == "approve"
+        assert image.status_of("place") is TaskStatus.COMMITTED
+        status = successor.signal(wid, "approve")
+        assert status is ExecutionStatus.COMPLETED
+        assert _value(successor.runtime, oids["audit"]) == 1
+
+    def test_recover_rearms_timer(self, rt):
+        oids = _make_oids(rt, ("order", "audit"))
+        engine = _engine(
+            rt, _approval_definition("approval", oids, timeout=30)
+        )
+        wid = engine.start("approval")
+        successor, __ = _handover(engine)
+        assert successor.deadlines.deadline_of(_WaitToken(wid)) is not None
+        assert successor.expire_wait(wid) is ExecutionStatus.COMPENSATED
+        assert _value(successor.runtime, oids["order"]) == 0
+
+    def test_recover_skips_terminal(self, rt):
+        oids = _make_oids(rt, ("order", "audit"))
+        engine = _engine(rt, _approval_definition("approval", oids))
+        wid = engine.start("approval")
+        engine.signal(wid, "approve")
+        successor, recovered = _handover(engine)
+        assert recovered == []
+        assert successor.status(wid) is ExecutionStatus.COMPLETED
+
+    def test_recovered_signal_not_redelivered(self, rt):
+        oids = _make_oids(rt, ("order", "audit"))
+        engine = _engine(rt, _approval_definition("approval", oids))
+        wid = engine.start("approval")
+        engine.signal(wid, "approve", "qa", resume=False)
+        successor, recovered = _handover(engine)
+        assert recovered == [wid]
+        image = successor.execution(wid)
+        assert image.status is ExecutionStatus.RUNNING
+        assert image.signals["approve"] == "qa"
+        assert successor.resume(wid) is ExecutionStatus.COMPLETED
+
+    def test_wid_allocation_resumes_past_recovered(self, rt):
+        oids = _make_oids(rt, ("order", "audit"))
+        engine = _engine(rt, _approval_definition("approval", oids))
+        engine.start("approval", wid=5)
+        successor, __ = _handover(engine)
+        assert successor.start("approval") == 6
+
+
+class TestFoldOracle:
+    def test_fold_agrees_with_live_engine(self, rt):
+        oids = _make_oids(rt, ("order", "audit"))
+        engine = _engine(rt, _approval_definition("approval", oids))
+        wid = engine.start("approval")
+        engine.signal(wid, "approve", "qa")
+        log_records = list(engine.storage.log.records())
+        winners = {
+            getattr(tid, "value", tid)
+            for tid in analyze_log(log_records).winners
+        }
+        folded = fold_all(log_records, winners)[wid]
+        live = engine.execution(wid)
+        assert folded.status is live.status
+        assert folded.signals == live.signals
+        for name, state in live.steps.items():
+            assert folded.status_of(name) is state.status
+            assert folded.step(name).tid_value == state.tid_value
+
+    def test_fold_sees_compensations(self, rt):
+        oids = _make_oids(rt, ("order", "audit"))
+        engine = _engine(
+            rt, _approval_definition("approval", oids, timeout=25)
+        )
+        wid = engine.start("approval")
+        engine.expire_wait(wid)
+        log_records = list(engine.storage.log.records())
+        winners = {
+            getattr(tid, "value", tid)
+            for tid in analyze_log(log_records).winners
+        }
+        folded = fold_all(log_records, winners)[wid]
+        assert folded.status is ExecutionStatus.COMPENSATED
+        assert folded.status_of("place") is TaskStatus.COMPENSATED

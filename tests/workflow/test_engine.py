@@ -134,3 +134,81 @@ class TestRace:
         result = engine.execute(spec)
         assert not result.success
         assert result.status_of("race") is TaskStatus.FAILED
+
+
+class TestRaceLoserLeak:
+    """Regression: a loser whose abort keeps failing must not leak.
+
+    The engine used to call ``runtime.abort(loser)`` bare; a transient
+    device fault left the loser holding its locks forever.  Now the
+    abort runs under the engine's retry policy and an exhausted budget
+    hands the loser to the watchdog as an already-expired orphan.
+    """
+
+    def _race_spec(self, rt):
+        oids = make_counters(rt, 3)
+        spec = WorkflowSpec()
+        task = spec.task("race", race=True)
+        for index, oid in enumerate(oids):
+            task.alternative(incrementer(oid), label=f"r{index}")
+        return spec
+
+    def test_failing_abort_records_orphan(self, rt, monkeypatch):
+        from repro.common.errors import TransientIOError
+
+        engine = WorkflowEngine(rt)
+        spec = self._race_spec(rt)
+
+        def failing_abort(tid):
+            raise TransientIOError("abort device glitch")
+
+        monkeypatch.setattr(rt, "abort", failing_abort)
+        result = engine.execute(spec)
+        assert result.success  # the winner still commits
+        assert engine.orphaned  # ... and the losers are accounted for
+
+    def test_orphans_handed_to_watchdog(self, rt, monkeypatch):
+        from repro.common.errors import TransientIOError
+        from repro.resilience.deadlines import DeadlineTable
+        from repro.resilience.watchdog import Watchdog
+
+        table = DeadlineTable(rt.manager.clock)
+        watchdog = Watchdog(rt.manager, table)
+        engine = WorkflowEngine(rt, watchdog=watchdog)
+        spec = self._race_spec(rt)
+
+        def failing_abort(tid):
+            raise TransientIOError("abort device glitch")
+
+        monkeypatch.setattr(rt, "abort", failing_abort)
+        result = engine.execute(spec)
+        assert result.success
+        assert engine.orphaned
+        # Every orphan sits in the watchdog's table, already expired,
+        # so the next scan reaps it instead of leaking its locks.
+        for tid in engine.orphaned:
+            deadline = table.deadline_of(tid)
+            assert deadline is not None
+            assert deadline <= rt.manager.clock.peek()
+
+    def test_retry_rescues_a_flaky_abort(self, rt):
+        from repro.common.errors import TransientIOError
+        from repro.resilience import RetryPolicy
+
+        engine = WorkflowEngine(
+            rt, retry=RetryPolicy(max_attempts=3, clock=rt.manager.clock)
+        )
+        spec = self._race_spec(rt)
+        real_abort = rt.abort
+        calls = {"n": 0}
+
+        def flaky_abort(tid):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise TransientIOError("first abort attempt glitches")
+            return real_abort(tid)
+
+        rt.abort = flaky_abort
+        result = engine.execute(spec)
+        assert result.success
+        assert not engine.orphaned  # the retry absorbed the glitch

@@ -45,11 +45,32 @@ class TestWorkflowSpec:
         with pytest.raises(AssetError, match="no alternatives"):
             spec.validate()
 
-    def test_forward_dependency_rejected(self):
+    def test_forward_dependency_allowed_and_ordered(self):
+        # Dependencies may name later tasks; ordered() resolves them.
         spec = WorkflowSpec()
         spec.task("a", depends_on=("b",)).alternative(noop)
         spec.task("b").alternative(noop)
-        with pytest.raises(AssetError, match="not an earlier task"):
+        assert spec.validate() is spec
+        assert [task.name for task in spec.ordered()] == ["b", "a"]
+
+    def test_ordered_is_stable_on_declaration_order(self):
+        spec = WorkflowSpec()
+        spec.task("a").alternative(noop)
+        spec.task("b").alternative(noop)
+        spec.task("c", depends_on=("a", "b")).alternative(noop)
+        assert [task.name for task in spec.ordered()] == ["a", "b", "c"]
+
+    def test_dependency_cycle_rejected(self):
+        spec = WorkflowSpec()
+        spec.task("a", depends_on=("b",)).alternative(noop)
+        spec.task("b", depends_on=("a",)).alternative(noop)
+        with pytest.raises(AssetError, match="cycle"):
+            spec.validate()
+
+    def test_self_dependency_rejected(self):
+        spec = WorkflowSpec()
+        spec.task("a", depends_on=("a",)).alternative(noop)
+        with pytest.raises(AssetError, match="itself"):
             spec.validate()
 
     def test_unknown_dependency_rejected(self):
@@ -57,6 +78,41 @@ class TestWorkflowSpec:
         spec.task("a", depends_on=("ghost",)).alternative(noop)
         with pytest.raises(AssetError):
             spec.validate()
+
+    def test_pacer_outside_race_rejected(self):
+        spec = WorkflowSpec()
+        spec.task("a").alternative(noop, label="p", pacer=True)
+        with pytest.raises(AssetError, match="outside a race"):
+            spec.validate()
+
+    def test_pacer_with_compensation_rejected(self):
+        spec = WorkflowSpec()
+        task = spec.task("a", race=True)
+        task.alternative(noop, label="real")
+        task.alternative(noop, label="p", pacer=True, compensation=noop)
+        with pytest.raises(AssetError, match="never commits"):
+            spec.validate()
+
+    def test_all_pacer_race_rejected(self):
+        spec = WorkflowSpec()
+        task = spec.task("a", race=True)
+        task.alternative(noop, label="p1", pacer=True)
+        task.alternative(noop, label="p2", pacer=True)
+        with pytest.raises(AssetError, match="never commit"):
+            spec.validate()
+
+    def test_alternative_compensation_preferred(self):
+        def alt_comp(tx):
+            if False:  # pragma: no cover
+                yield None
+
+        task = TaskSpec(name="t").alternative(
+            noop, label="a", compensation=alt_comp, compensation_args=(2,)
+        ).alternative(noop, label="b")
+        task.compensate_with(noop, args=(1,))
+        assert task.compensation_for("a") == (alt_comp, (2,))
+        assert task.compensation_for("b") == (noop, (1,))
+        assert task.compensation_for("ghost") == (noop, (1,))
 
     def test_valid_spec_returns_self(self):
         spec = WorkflowSpec()
