@@ -13,8 +13,8 @@ The session-level hooks below additionally record every bench's wall
 time (and pytest-benchmark's calibrated ops/sec where available) into
 the shared :data:`repro.bench.report.RECORDER` and write the whole
 trajectory — one row per printed series plus one row per bench — to
-``BENCH_PR7.json`` at session end, so future PRs can diff perf against
-earlier trajectories (``BENCH_PR1.json`` through ``BENCH_PR5.json`` are
+``BENCH_PR9.json`` at session end, so future PRs can diff perf against
+earlier trajectories (``BENCH_PR1.json`` through ``BENCH_PR7.json`` are
 frozen baselines of the earlier PRs; do not regenerate them).
 """
 
@@ -27,7 +27,7 @@ from repro.common.codec import decode_int, encode_int
 from repro.core.manager import TransactionManager
 from repro.runtime.coop import CooperativeRuntime
 
-BENCH_TRAJECTORY_FILE = "BENCH_PR7.json"
+BENCH_TRAJECTORY_FILE = "BENCH_PR9.json"
 
 
 @pytest.hookimpl(hookwrapper=True)

@@ -104,7 +104,14 @@ class FaultPlan:
     # * ``partition_at`` / ``heal_at`` — from step k (until step h, or
     #   forever) the fabric severs links between ``partition_groups``;
     # * ``site_crash_at=(site, k)`` — the named site loses power when
-    #   message step k is sent (whichever site sent it).
+    #   message step k is sent (whichever site sent it);
+    # * ``kill_coordinator_at=k`` — whichever site the cluster last
+    #   installed as group-commit coordinator loses power at step k
+    #   (the sweep need not know coordinator names in advance);
+    # * ``join_site_at=(name, k)`` — a new site named ``name`` joins the
+    #   cluster at step k (executed at the next cluster tick boundary);
+    # * ``leave_site_at=(leaver, successor, k)`` — ``leaver`` begins an
+    #   object-range handoff to ``successor`` at step k.
     drop_msg_at: frozenset = frozenset()
     dup_msg_at: frozenset = frozenset()
     delay_msg_at: frozenset = frozenset()
@@ -112,6 +119,9 @@ class FaultPlan:
     heal_at: int = None
     partition_groups: tuple = ()
     site_crash_at: tuple = None  # (site name, step number)
+    kill_coordinator_at: int = None
+    join_site_at: tuple = None  # (site name, step number)
+    leave_site_at: tuple = None  # (leaver, successor, step number)
 
     def __post_init__(self):
         object.__setattr__(
@@ -144,6 +154,9 @@ class FaultPlan:
             and not self.delay_msg_at
             and self.partition_at is None
             and self.site_crash_at is None
+            and self.kill_coordinator_at is None
+            and self.join_site_at is None
+            and self.leave_site_at is None
         )
 
     def describe(self):
@@ -176,6 +189,12 @@ class FaultPlan:
             )
         if self.site_crash_at is not None:
             parts.append(f"site_crash_at={self.site_crash_at}")
+        if self.kill_coordinator_at is not None:
+            parts.append(f"kill_coordinator_at={self.kill_coordinator_at}")
+        if self.join_site_at is not None:
+            parts.append(f"join_site_at={self.join_site_at}")
+        if self.leave_site_at is not None:
+            parts.append(f"leave_site_at={self.leave_site_at}")
         return ", ".join(parts) if parts else "no faults"
 
     def to_dict(self):
@@ -205,12 +224,25 @@ class FaultPlan:
                 if self.site_crash_at is not None
                 else None
             ),
+            "kill_coordinator_at": self.kill_coordinator_at,
+            "join_site_at": (
+                list(self.join_site_at)
+                if self.join_site_at is not None
+                else None
+            ),
+            "leave_site_at": (
+                list(self.leave_site_at)
+                if self.leave_site_at is not None
+                else None
+            ),
         }
 
     @classmethod
     def from_dict(cls, data):
         failpoint = data.get("crash_at_failpoint")
         site_crash = data.get("site_crash_at")
+        join_site = data.get("join_site_at")
+        leave_site = data.get("leave_site_at")
         return cls(
             crash_at=data.get("crash_at"),
             torn_page_at=data.get("torn_page_at"),
@@ -228,6 +260,9 @@ class FaultPlan:
                 tuple(group) for group in data.get("partition_groups", ())
             ),
             site_crash_at=tuple(site_crash) if site_crash else None,
+            kill_coordinator_at=data.get("kill_coordinator_at"),
+            join_site_at=tuple(join_site) if join_site else None,
+            leave_site_at=tuple(leave_site) if leave_site else None,
         )
 
     def with_(self, **changes):

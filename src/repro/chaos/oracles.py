@@ -41,6 +41,7 @@ from repro.storage.log import (
     DecisionRecord,
     DelegateRecord,
     PrepareRecord,
+    TakeoverRecord,
 )
 
 
@@ -57,6 +58,11 @@ class LogAnalysis:
     commit_positions: dict = field(default_factory=dict)  # tid -> index
     prepares: dict = field(default_factory=dict)  # gid -> PrepareRecord
     decisions: dict = field(default_factory=dict)  # gid -> verdict
+    takeovers: dict = field(default_factory=dict)  # gid -> [TakeoverRecord]
+    # Every verdict this site durably claimed or decided for a group —
+    # a *set* per gid, because duplicates are legal (dueling same-epoch
+    # takers, a resumed claim) while *conflicting* verdicts never are.
+    group_verdicts: dict = field(default_factory=dict)  # gid -> {verdict}
 
     def fate(self, tid):
         """Durable fate of ``tid``: committed / aborted / in_doubt / active."""
@@ -87,10 +93,18 @@ def analyze_log(records):
                 analysis.commit_positions.setdefault(tid, index)
         elif isinstance(record, DecisionRecord):
             analysis.decisions[record.gid] = record.verdict
+            analysis.group_verdicts.setdefault(record.gid, set()).add(
+                record.verdict
+            )
             if record.verdict == "commit":
                 for tid in record.decided_tids():
                     analysis.winners.add(tid)
                     analysis.commit_positions.setdefault(tid, index)
+        elif isinstance(record, TakeoverRecord):
+            analysis.takeovers.setdefault(record.gid, []).append(record)
+            analysis.group_verdicts.setdefault(record.gid, set()).add(
+                record.verdict
+            )
         elif isinstance(record, PrepareRecord):
             prepares.append(record)
             analysis.prepares[record.gid] = record
@@ -337,6 +351,42 @@ def check_cluster_convergence(groups, site_analyses, report=None):
     return report
 
 
+def check_no_dual_decision(groups, site_analyses, report=None):
+    """No conflicting durable verdicts anywhere in the cluster for one gid.
+
+    Coordinator failover makes *duplicate* decision records normal: the
+    old coordinator may have logged ``commit``, and a recovery
+    coordinator that later derived the same verdict logs it again (as
+    may a dueling same-epoch taker, or a taker resuming a logged claim
+    after its own crash).  What must never exist — in any site's log, in
+    any takeover claim — is a ``commit`` *and* an ``abort`` for the same
+    group.  That would mean an old coordinator and a usurper released
+    opposite outcomes: split brain at the decision layer, even before
+    any member applies it (cross-site atomicity only sees *applied*
+    fates, so it can miss a dual decision whose loser side was never
+    delivered).
+    """
+    if report is None:
+        report = OracleReport(label="no-dual-decision")
+    merged = {}  # gid -> verdict -> sorted site list
+    for site in sorted(site_analyses):
+        for gid, verdicts in site_analyses[site].group_verdicts.items():
+            for verdict in verdicts:
+                merged.setdefault(gid, {}).setdefault(verdict, []).append(site)
+    for gid in sorted(merged):
+        by_verdict = merged[gid]
+        if len(by_verdict) > 1:
+            detail = ", ".join(
+                f"{verdict!r} at {sorted(set(sites))}"
+                for verdict, sites in sorted(by_verdict.items())
+            )
+            report.fail(
+                "no-dual-decision",
+                f"global {gid}: conflicting durable verdicts: {detail}",
+            )
+    return report
+
+
 def evaluate_cluster(groups, site_records, label="", converged=True):
     """Judge a whole cluster run from its durable logs.
 
@@ -350,6 +400,7 @@ def evaluate_cluster(groups, site_records, label="", converged=True):
         site: analyze_log(records) for site, records in site_records.items()
     }
     check_cross_site_atomicity(groups, analyses, report)
+    check_no_dual_decision(groups, analyses, report)
     if converged:
         check_cluster_convergence(groups, analyses, report)
     return report, analyses

@@ -67,6 +67,27 @@ def _write_obs(kit, args):
         print(f"spans: {args.trace_out} ({count} spans)")
 
 
+def _parse_join(text):
+    """``"delta@38"`` -> ``("delta", 38)``."""
+    name, sep, step = text.rpartition("@")
+    if not sep or not name:
+        raise argparse.ArgumentTypeError(
+            f"expected NAME@STEP, got {text!r}"
+        )
+    return (name, int(step))
+
+
+def _parse_leave(text):
+    """``"beta:gamma@38"`` -> ``("beta", "gamma", 38)``."""
+    pair, sep, step = text.rpartition("@")
+    leaver, sep2, successor = pair.partition(":")
+    if not sep or not sep2 or not leaver or not successor:
+        raise argparse.ArgumentTypeError(
+            f"expected LEAVER:SUCCESSOR@STEP, got {text!r}"
+        )
+    return (leaver, successor, int(step))
+
+
 def _parse_partition(text):
     """``"alpha|beta,gamma"`` -> ``(("alpha",), ("beta", "gamma"))``."""
     groups = tuple(
@@ -114,6 +135,12 @@ def build_plan(args):
     if args.site_crash is not None:
         site, step = args.site_crash
         overrides["site_crash_at"] = (site, int(step))
+    if args.kill_coordinator_at is not None:
+        overrides["kill_coordinator_at"] = args.kill_coordinator_at
+    if args.join_site is not None:
+        overrides["join_site_at"] = args.join_site
+    if args.leave_site is not None:
+        overrides["leave_site_at"] = args.leave_site
     return base.with_(**overrides) if overrides else base
 
 
@@ -272,6 +299,20 @@ def main(argv=None):
     parser.add_argument(
         "--site-crash", nargs=2, metavar=("SITE", "STEP"),
         help="power-cut SITE when message step STEP is reached",
+    )
+    parser.add_argument(
+        "--kill-coordinator-at", type=int, metavar="STEP",
+        help="power-cut whichever site is coordinating a group commit"
+             " at message step STEP (held until a coordinator exists)",
+    )
+    parser.add_argument(
+        "--join-site", type=_parse_join, metavar="NAME@STEP",
+        help="a new site NAME joins the cluster at message step STEP",
+    )
+    parser.add_argument(
+        "--leave-site", type=_parse_leave, metavar="LEAVER:SUCCESSOR@STEP",
+        help="LEAVER hands its ranges and live transactions to SUCCESSOR"
+             " at message step STEP",
     )
     parser.add_argument(
         "--signal-at", type=_parse_signal, action="append", default=[],

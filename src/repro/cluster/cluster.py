@@ -34,6 +34,7 @@ from repro.common.clock import LogicalClock
 from repro.common.errors import NetworkTimeout, RetryExhausted
 from repro.common.ids import Tid
 from repro.core.dependency import DependencyType
+from repro.core.sharding import ShardRouter
 from repro.net.fabric import NetworkFabric
 from repro.resilience.retry import RetryPolicy
 from repro.cluster import site as protocol
@@ -60,12 +61,15 @@ class GroupOutcome:
     ``resolved`` is False when the console lost contact before hearing
     the verdict — the group is in doubt *from the driver's view* only;
     the sites settle it themselves and :attr:`committed` then reflects
-    the pessimistic presumption, not the final fate.
+    the pessimistic presumption, not the final fate.  ``abort_reason``
+    records why a degraded outcome aborted (for the error paths that
+    never reach 2PC at all, e.g. a coordinator hosting no member).
     """
 
     gid: int
     committed: bool
     resolved: bool = True
+    abort_reason: str = ""
 
     def __bool__(self):
         return self.resolved and self.committed
@@ -110,11 +114,34 @@ class Cluster:
         self._gids = count(1)
         self.groups = {}
         self.rounds = 0
+        self._site_options = dict(site_options)
+        # Membership map + object-range placement.  ``membership`` is
+        # the set of sites accepting *new* placements (a left site stays
+        # in ``sites`` to serve 2PC duty for state it still holds); the
+        # router hashes keys into a fixed number of ranges and
+        # ``placement`` maps each range to its owning site.  Both carry
+        # the membership epoch so stale routes are rejected and retried.
+        self.membership = set(sites)
+        self.membership_epoch = 0
+        self.router = ShardRouter(n_shards=max(8, 2 * len(self.sites)))
+        self.placement = self._balanced_placement()
 
     # -- time --------------------------------------------------------------
 
     def tick(self):
         """One cluster round: deliver, then give every site a duty slice."""
+        # Planned membership churn fires on message-step numbers inside
+        # fabric.send; the fabric only queues the request (joining a
+        # site mid-send would recurse into the cluster), and the next
+        # tick boundary executes it deterministically.
+        for action, arg in self.fabric.take_churn():
+            if action == "join":
+                if arg not in self.sites:
+                    self.join_site(arg)
+            elif action == "leave":
+                leaver, successor = arg
+                if leaver in self.membership:
+                    self.leave_site(leaver, successor, wait=False)
         self.fabric.pump_round()
         for name in sorted(self.sites):
             self.sites[name].on_tick()
@@ -351,13 +378,31 @@ class Cluster:
                 )
             members[ref.site] = ref.tid.value
         coordinator = coordinator or refs[0].site
-        if coordinator not in members:
-            raise ValueError(f"coordinator {coordinator} hosts no member")
         gid = next(self._gids)
+        if coordinator not in members:
+            # Degrade like the other error paths instead of raising: the
+            # group never enters 2PC, so abort the members (best-effort)
+            # and hand back a resolved abort with the reason recorded.
+            reason = f"coordinator {coordinator} hosts no member"
+            self.groups[gid] = {
+                "coordinator": coordinator,
+                "members": {ref.site: ref.tid for ref in refs},
+            }
+            for ref in refs:
+                try:
+                    self.abort(ref, reason=reason)
+                except (NetworkTimeout, RetryExhausted):
+                    pass  # their sites settle the abort on their own
+            return GroupOutcome(
+                gid=gid, committed=False, abort_reason=reason
+            )
         self.groups[gid] = {
             "coordinator": coordinator,
             "members": {ref.site: ref.tid for ref in refs},
         }
+        # Tell the fabric who coordinates the group in flight, so a
+        # planned ``kill_coordinator_at`` mark knows whom to kill.
+        self.fabric.coordinator_name = coordinator
         try:
             reply = self.call(
                 coordinator,
@@ -389,6 +434,132 @@ class Cluster:
 
     def heal(self):
         self.fabric.heal()
+
+    # -- membership churn & object-range routing ---------------------------
+
+    def _balanced_placement(self):
+        members = sorted(self.membership)
+        return {
+            shard: members[shard % len(members)]
+            for shard in range(self.router.n_shards)
+        }
+
+    def _announce_epoch(self, event, site):
+        """Fire-and-forget the new membership epoch to every live site.
+
+        Loss is survivable: a site with a stale epoch merely rejects
+        nothing extra, and learns the truth from the next routed
+        request or churn event that reaches it.
+        """
+        for name in sorted(self.sites):
+            if self.sites[name].up:
+                self.fabric.send(
+                    "client",
+                    name,
+                    protocol.JOIN_ANNOUNCE,
+                    {
+                        "event": event,
+                        "site": site,
+                        "epoch": self.membership_epoch,
+                    },
+                )
+
+    def join_site(self, name, **site_options):
+        """Add a site to the cluster and rebalance placement ranges.
+
+        The joiner starts with the current membership epoch; every
+        other site learns the bumped epoch so routes resolved before
+        the join are rejected as stale and re-resolved.
+        """
+        if name in self.sites:
+            raise ValueError(f"site {name} already exists")
+        options = dict(self._site_options)
+        options.update(site_options)
+        self.membership_epoch += 1
+        self.router.bump_epoch()
+        site = Site(
+            name,
+            self.fabric,
+            clock=self.clock,
+            injector=self.injector,
+            **options,
+        )
+        site.membership_epoch = self.membership_epoch
+        self.sites[name] = site
+        self.membership.add(name)
+        self.placement = self._balanced_placement()
+        self._announce_epoch("join", name)
+        return site
+
+    def leave_site(self, name, successor, wait=True, timeout=None):
+        """Remove ``name`` from membership, handing its state over.
+
+        The leaver delegates its uncommitted transactions to adopted
+        receivers at ``successor`` (ASSET ``delegate`` as migration) and
+        its placement ranges move to the successor.  The site object
+        stays registered — it keeps serving 2PC duty for groups it
+        already voted in — but accepts no new placements.  With
+        ``wait`` the console blocks for the handoff result and returns
+        it ({'ok', 'moved', 'adopted'}); without, the handoff proceeds
+        in the background (planned-churn sweeps).
+        """
+        if name not in self.membership:
+            raise ValueError(f"site {name} is not a member")
+        if successor not in self.membership or successor == name:
+            raise ValueError(f"bad successor {successor} for {name}")
+        self.membership_epoch += 1
+        self.router.bump_epoch()
+        self.membership.discard(name)
+        self.placement = {
+            shard: (successor if owner == name else owner)
+            for shard, owner in self.placement.items()
+        }
+        self._announce_epoch("leave", name)
+        payload = {"successor": successor, "epoch": self.membership_epoch}
+        if not wait:
+            self.fabric.send("client", name, protocol.LEAVE_BEGIN, payload)
+            return None
+        reply = self.call(
+            name,
+            protocol.LEAVE_BEGIN,
+            payload,
+            timeout=timeout if timeout is not None else 4 * self.rpc_timeout,
+        )
+        return reply.payload
+
+    def route(self, key):
+        """The site owning ``key``'s placement range right now."""
+        return self.placement[self.router.shard_for_key(key)]
+
+    def spawn_placed(self, key, function, args=()):
+        """Spawn at the site owning ``key``, with stale-route retry.
+
+        The request carries the epoch it was routed under; a site that
+        has seen newer membership (or has left) rejects it, the console
+        re-resolves against its own placement, and retries once per
+        epoch step — the reject/retry loop the epoch exists for.
+        """
+        for __ in range(4):
+            site = self.route(key)
+            reply = self.call(
+                site,
+                protocol.SPAWN,
+                {
+                    "function": function,
+                    "args": tuple(args),
+                    "route_epoch": self.membership_epoch,
+                },
+            )
+            if not reply.payload.get("stale_route"):
+                value = reply.payload["tid"]
+                return SiteRef(site, Tid(value)) if value else None
+            # Adopt the owner's newer epoch and re-resolve.
+            self.membership_epoch = max(
+                self.membership_epoch, reply.payload.get("epoch", 0)
+            )
+        raise RetryExhausted(
+            f"route for {key!r} still stale after retries", attempts=4
+        )
 
     # -- verdicts ----------------------------------------------------------
 

@@ -151,3 +151,39 @@ def cluster_delegation_handoff(cluster):
     cluster.delegate(giver, receiver, oids=[oid])
     cluster.write_as(receiver, giver_site, oid, b"g2")
     return cluster.group_commit([giver, receiver], coordinator=receiver_site)
+
+
+# ---------------------------------------------------------------------------
+# EX21 scenario: membership churn under a placed workload
+# ---------------------------------------------------------------------------
+
+
+@register(
+    "cluster_membership_churn",
+    "a placed workload while membership churns: delta joins (epoch bump"
+    " rebalances the shard ranges), beta leaves handing its in-flight"
+    " transactions to delta by delegation, then one component per"
+    " surviving member group-commits across the new membership",
+    sites=("alpha", "beta", "gamma"),
+)
+def cluster_membership_churn(cluster):
+    # Routed work under the initial membership; acct-2/acct-3 place on
+    # beta, so the leave below has live transactions to hand over.
+    keys = [f"acct-{i}" for i in range(4)]
+    placed = [
+        cluster.spawn_placed(key, _account_body(key.encode())) for key in keys
+    ]
+    for ref in placed:
+        cluster.wait(ref)
+    cluster.join_site("delta")
+    cluster.leave_site("beta", "delta")
+    # Routes resolved before the churn are now stale; spawn_placed
+    # re-resolves against the bumped epoch.
+    post = cluster.spawn_placed("acct-post", _account_body(b"post"))
+    cluster.wait(post)
+    group = [
+        cluster.spawn_at(name, _account_body(name.encode() + b"!"))
+        for name in sorted(cluster.membership)
+    ]
+    cluster.link_group(group)
+    return cluster.group_commit(group)

@@ -48,7 +48,7 @@ from repro.core.outcomes import PrepareStatus
 from repro.core.status import TransactionStatus
 from repro.resilience.deadlines import DeadlineTable
 from repro.runtime.coop import CooperativeRuntime
-from repro.storage.log import DecisionRecord
+from repro.storage.log import DecisionRecord, TakeoverRecord
 from repro.storage.store import StorageManager
 
 __all__ = ["Site"]
@@ -78,6 +78,14 @@ DECISION = "decision"
 ACK = "ack"
 STATUS_REQ = "status_req"
 STATUS_REP = "status_rep"
+GC_HEARTBEAT = "gc_heartbeat"
+TAKEOVER_QUERY = "takeover_query"
+TAKEOVER_EVIDENCE = "takeover_evidence"
+JOIN_ANNOUNCE = "join_announce"
+LEAVE_BEGIN = "leave_begin"
+HANDOFF_OFFER = "handoff_offer"
+HANDOFF_ACCEPT = "handoff_accept"
+HANDOFF_DONE = "handoff_done"
 
 # The fault injector's contract (chaos/faults.py): injected faults must
 # propagate, never be converted into ordinary RPC error replies — a site
@@ -101,6 +109,10 @@ class Site:
         prepare_ttl=24,
         vote_ttl=48,
         inquiry_interval=8,
+        coordinator_lease=16,
+        heartbeat_interval=4,
+        takeover_grace=16,
+        handoff_ttl=32,
         capacity=256,
     ):
         self.name = name
@@ -110,9 +122,32 @@ class Site:
         self.prepare_ttl = prepare_ttl
         self.vote_ttl = vote_ttl
         self.inquiry_interval = inquiry_interval
+        # Failover knobs: the coordinator lease is how long a prepared
+        # participant trusts a silent coordinator before counting it
+        # overdue; takeover_grace paces the rank-staggered takeover
+        # threshold (rank r acts after grace*(r+1) overdue ticks, so the
+        # designated successor moves first and the rest are fallbacks).
+        self.coordinator_lease = coordinator_lease
+        self.heartbeat_interval = heartbeat_interval
+        self.takeover_grace = takeover_grace
+        self.handoff_ttl = handoff_ttl
         self.ticks = 0
         self.up = False
         self.crashes = 0
+        # Protocol counters, cumulative across crashes (the observer's
+        # view of the site, like ``crashes``); mirrored into repro.obs
+        # by the cluster stats collector when a kit is attached.
+        self.stats = {
+            "takeovers_started": 0,
+            "takeovers_decided": 0,
+            "takeovers_cancelled": 0,
+            "stale_epoch_rejects": 0,
+            "stale_route_rejects": 0,
+            "heartbeats_sent": 0,
+            "handoffs_completed": 0,
+            "handoffs_failed": 0,
+            "handoff_txs_moved": 0,
+        }
         # The durable half survives crashes; everything else is volatile
         # and rebuilt by :meth:`_boot`.
         self.storage = StorageManager(injector=injector, capacity=capacity)
@@ -147,6 +182,23 @@ class Site:
         self.coordinating = {}
         self.in_doubt = {}
         self.durable_decisions = {}
+        # Failover state.  ``group_epochs`` is the fencing epoch per gid
+        # (volatile: durable TakeoverRecords restore it on restart);
+        # every group message carries its sender's epoch and lower ones
+        # are rejected, so a reappearing old coordinator cannot undo a
+        # takeover.  ``settled_gids`` remembers terminal verdicts so
+        # takeover polls can be answered after the live entries are gone.
+        self.group_epochs = {}
+        self.taking_over = {}
+        self.settled_gids = {}
+        self.takeover_claims = {}
+        # Membership state: the cluster-wide membership epoch (stale
+        # routed requests are rejected against it), whether this site
+        # has left, and the in-flight leaver-side handoff, if any.
+        self.membership_epoch = 0
+        self.left = False
+        self.handoff = None
+        self._handoff_accepts = {}
         self.up = True
         self.fabric.register(self.name, self.on_message)
         self.fabric.mark_up(self.name)
@@ -201,21 +253,63 @@ class Site:
         self._boot()
         self.recovery_report = report
         self.in_doubt = {
-            gid: {"record": record, "next_ask": 0}
+            gid: {"record": record, "next_ask": 0, "overdue": 0}
             for gid, record in sorted(report.in_doubt_votes.items())
         }
+        claims = {}
+        decisions = {}
         for record in self.storage.log.records(durable_only=True):
-            if isinstance(record, DecisionRecord) and record.verdict == "commit":
-                self.durable_decisions[record.gid] = "commit"
-                # Re-announce: participants may have crashed or missed
-                # the COMMIT release.  Loss is fine — their own inquiry
-                # retries cover it; this is just the fast path.
-                for participant in record.participants:
-                    self._send(
-                        participant,
-                        DECISION,
-                        {"gid": record.gid, "verdict": "commit"},
-                    )
+            if isinstance(record, TakeoverRecord):
+                claims[record.gid] = record
+            elif isinstance(record, DecisionRecord):
+                decisions[record.gid] = record
+        self.takeover_claims = claims
+        # Durable takeover claims restore the fencing epoch: a reborn
+        # taker must never act below the authority it already asserted.
+        for gid, claim in claims.items():
+            self.group_epochs[gid] = max(
+                self.group_epochs.get(gid, 0), claim.epoch
+            )
+        for gid, record in sorted(decisions.items()):
+            if record.verdict == "commit":
+                self.durable_decisions[gid] = "commit"
+            if gid in self.in_doubt:
+                # A decision logged but not yet applied (crash between
+                # the force-log and the local settle): finish it now.
+                self._finish_in_doubt(gid, record.verdict)
+            self.settled_gids[gid] = record.verdict
+            # Re-announce: participants may have crashed or missed the
+            # release.  Loss is fine — their own inquiry retries cover
+            # it; this is just the fast path.
+            for participant in record.participants:
+                self._send(
+                    participant,
+                    DECISION,
+                    {
+                        "gid": gid,
+                        "verdict": record.verdict,
+                        "epoch": self.group_epochs.get(gid, 0),
+                    },
+                )
+        # A takeover claim without its decision record: the crash landed
+        # between the two force-logs.  The logged verdict was derived
+        # from durable evidence that only this claim could have changed,
+        # so adopting it is safe — finish the takeover it started.
+        for gid, claim in sorted(claims.items()):
+            if gid in decisions or gid not in self.in_doubt:
+                continue
+            record = self.in_doubt[gid]["record"]
+            self.taking_over[gid] = {
+                "epoch": claim.epoch,
+                "old": claim.old_coordinator,
+                "sites": tuple(sorted(record.sites)),
+                "tid": record.tid.value,
+                "evidence": {},
+                "tids": {},
+                "next_poll": 0,
+                "claimed": True,
+            }
+            self._complete_takeover(gid, claim.verdict)
         return report
 
     # -- small helpers -----------------------------------------------------
@@ -242,11 +336,90 @@ class Site:
             self.pending_prepares
             or self.prepared
             or self.in_doubt
+            or self.taking_over
+            or self.handoff is not None
             or any(
                 entry["state"] == "collecting"
                 for entry in self.coordinating.values()
             )
         )
+
+    # -- fencing epochs ----------------------------------------------------
+
+    def _epoch_of(self, gid):
+        return self.group_epochs.get(gid, 0)
+
+    def _fence(self, gid, epoch):
+        """Admit or reject a group message by fencing epoch.
+
+        Lower-than-known epochs are stale — a reappearing old
+        coordinator, or a delayed pre-takeover release — and are
+        dropped (counted).  Equal epochs pass (same-epoch dueling
+        takers derive the same verdict from the same durable evidence),
+        and higher epochs are adopted on the spot.
+        """
+        known = self.group_epochs.get(gid, 0)
+        if epoch < known:
+            self._stat("stale_epoch_rejects")
+            return False
+        if epoch > known:
+            self.group_epochs[gid] = epoch
+        return True
+
+    def _stat(self, name, amount=1):
+        self.stats[name] += amount
+        if self.obs is not None:
+            counter = self.obs.metrics.counter(
+                f"site.protocol.{name}", site=self.name
+            )
+            counter.value += amount
+
+    def _obs_mark(self, gid, kind, **fields):
+        """Annotate the local member transaction's span, if any.
+
+        Takeover and handoff transitions are group-level, not
+        transaction-level, so they surface as links on the span of the
+        member transaction they settle — visible in the same export as
+        the 2PC marks."""
+        if self.obs is None:
+            return
+        tick = self.ticks
+        for key, span in self.obs.spans.spans.items():
+            if key[0] == self.name and span.get("gid") == gid:
+                span["links"].append(
+                    {"type": kind, "tick": tick, "gid": gid, **fields}
+                )
+
+    def _note_coordinator_alive(self, gid, src=None):
+        """Evidence of a live deciding authority for ``gid``: refresh
+        the coordinator lease and reset the takeover countdown."""
+        entry = self.prepared.get(gid)
+        if entry is not None:
+            entry["overdue"] = 0
+            if src is not None:
+                entry["coordinator"] = src
+        doubt = self.in_doubt.get(gid)
+        if doubt is not None:
+            doubt["overdue"] = 0
+        if entry is not None or doubt is not None:
+            self.deadlines.grant_lease(("gcl", gid), self.coordinator_lease)
+
+    def _takeover_threshold(self, sites, coordinator):
+        """How many overdue ticks before *this* site takes over, or
+        ``None`` if it never should.
+
+        Successors are ranked by name among the members that are not the
+        old coordinator; rank r waits ``takeover_grace * (r + 1)`` ticks
+        so the designated successor acts first and the others are
+        deterministic fallbacks should it die too.  A coordinator reborn
+        in doubt about its own group (``coordinator == self.name``) is
+        rank 0: it cannot ask itself, so it re-derives by polling."""
+        if coordinator == self.name:
+            return self.takeover_grace
+        candidates = sorted(s for s in sites if s != coordinator)
+        if self.name not in candidates:
+            return None
+        return self.takeover_grace * (candidates.index(self.name) + 1)
 
     # -- proxies -----------------------------------------------------------
 
@@ -342,6 +515,24 @@ class Site:
         self._reply(msg, {"started": bool(started)})
 
     def _h_spawn(self, msg):
+        route_epoch = msg.payload.get("route_epoch")
+        if route_epoch is not None and (
+            self.left or route_epoch < self.membership_epoch
+        ):
+            # Routed work carrying a stale membership view: reject with
+            # the current epoch so the router refreshes and retries —
+            # a left site must never accept new placements.
+            self._stat("stale_route_rejects")
+            self._reply(
+                msg,
+                {
+                    "tid": 0,
+                    "stale_route": True,
+                    "epoch": self.membership_epoch,
+                    "left": self.left,
+                },
+            )
+            return
         tid = self.manager.initiate(
             function=msg.payload["function"],
             args=tuple(msg.payload.get("args", ())),
@@ -517,6 +708,7 @@ class Site:
                 entry["client"] = (msg.src, msg.msg_id)
             return
         members = dict(msg.payload["members"])
+        sites = tuple(sorted(members))
         entry = {
             "members": members,
             "votes": {},
@@ -525,16 +717,23 @@ class Site:
             "verdict": None,
             "client": (msg.src, msg.msg_id),
             "ttl": self.vote_ttl,
+            "next_beat": self.ticks + self.heartbeat_interval,
         }
         self.coordinating[gid] = entry
         for site, tid_value in sorted(members.items()):
             if site == self.name:
-                self._accept_prepare(gid, tid_value, self.name)
+                self._accept_prepare(gid, tid_value, self.name, sites=sites)
             else:
                 self._send(
                     site,
                     PREPARE,
-                    {"gid": gid, "tid": tid_value, "coordinator": self.name},
+                    {
+                        "gid": gid,
+                        "tid": tid_value,
+                        "coordinator": self.name,
+                        "sites": sites,
+                        "epoch": self._epoch_of(gid),
+                    },
                 )
 
     def _record_vote(self, gid, site, verdict):
@@ -548,19 +747,45 @@ class Site:
             self._decide(gid, "commit")
 
     def _decide(self, gid, verdict):
-        """Seal the global fate and release it.
+        """Seal the global fate and release it — witnesses first.
 
-        On commit the :class:`DecisionRecord` is force-logged *before*
-        anything else — that flush is the transaction's global commit
-        point.  Abort decisions are never logged (presumed abort: absence
-        of a decision *is* the abort record).
+        On commit the DECISION messages leave *before* the
+        :class:`DecisionRecord` is force-logged: every participant that
+        receives one becomes a durable commit witness, so the invariant
+        "a logged commit implies the release was already attempted"
+        holds even if this site dies permanently mid-decide.  That
+        invariant is what makes coordinator takeover safe: a taker that
+        finds no commit witness among the members may presume abort,
+        because a commit this coordinator logged but never started
+        releasing cannot exist.  (A crash *between* send and log leaves
+        no decision record; the restarted coordinator is then in doubt
+        about its own group and re-derives by polling — a witness that
+        did receive the commit answers for it.)  Abort decisions are
+        still never logged on this path (presumed abort: absence of a
+        decision *is* the abort record).
         """
         entry = self.coordinating[gid]
         entry["state"] = "decided"
         entry["verdict"] = verdict
+        epoch = self._epoch_of(gid)
         participants = sorted(s for s in entry["members"] if s != self.name)
         local_value = entry["members"].get(self.name)
         local_tid = Tid(local_value) if local_value is not None else None
+        for site in participants:
+            self._send(
+                site,
+                DECISION,
+                {
+                    "gid": gid,
+                    "verdict": verdict,
+                    "tid": entry["members"][site],
+                    "epoch": epoch,
+                },
+            )
+        if not self.up:
+            # A planned crash fired on one of those sends; the site is
+            # dead and must not touch its storage again.
+            return
         if verdict == "commit":
             anchor = local_tid if local_tid is not None else Tid(0)
             group = ()
@@ -578,12 +803,8 @@ class Site:
         # The coordinator is its own participant: apply the decision to
         # the local member through the same path a remote one would use.
         self._apply_decision_locally(gid, verdict, local_value)
-        for site in participants:
-            self._send(
-                site,
-                DECISION,
-                {"gid": gid, "verdict": verdict, "tid": entry["members"][site]},
-            )
+        if not self.up:
+            return
         client = entry.pop("client", None)
         if client is not None:
             src, msg_id = client
@@ -612,8 +833,14 @@ class Site:
         at all (a coordinator reborn after a crash) -> a logged commit
         decision says commit; *no information means abort* — the
         presumed-abort rule that makes coordinator amnesia safe.
+
+        One refinement under witness-first release: a site that is
+        itself in doubt about ``gid`` (a reborn coordinator before its
+        own re-derivation poll settles) answers *pending*, never abort —
+        a commit witness it has not heard from yet may exist.
         """
         gid = msg.payload["gid"]
+        self._fence(gid, msg.payload.get("epoch", 0))
         entry = self.coordinating.get(gid)
         if entry is not None and entry["state"] == "collecting":
             verdict = "pending"
@@ -621,18 +848,35 @@ class Site:
             verdict = entry["verdict"]
         elif gid in self.durable_decisions:
             verdict = "commit"
+        elif gid in self.settled_gids:
+            verdict = self.settled_gids[gid]
+        elif (
+            gid in self.in_doubt
+            or gid in self.taking_over
+            or gid in self.prepared
+        ):
+            verdict = "pending"
         else:
             verdict = "abort"
-        self._send(msg.src, STATUS_REP, {"gid": gid, "verdict": verdict})
+        self._send(
+            msg.src,
+            STATUS_REP,
+            {"gid": gid, "verdict": verdict, "epoch": self._epoch_of(gid)},
+        )
 
     # -- two-phase commit: participant ------------------------------------
 
     def _h_prepare(self, msg):
+        if not self._fence(msg.payload["gid"], msg.payload.get("epoch", 0)):
+            return
         self._accept_prepare(
-            msg.payload["gid"], msg.payload["tid"], msg.payload["coordinator"]
+            msg.payload["gid"],
+            msg.payload["tid"],
+            msg.payload["coordinator"],
+            sites=tuple(msg.payload.get("sites", ())),
         )
 
-    def _accept_prepare(self, gid, tid_value, coordinator):
+    def _accept_prepare(self, gid, tid_value, coordinator, sites=()):
         if gid in self.prepared or gid in self.pending_prepares:
             return  # duplicate PREPARE (at-least-once links)
         if gid in self.durable_decisions or gid in self.in_doubt:
@@ -640,6 +884,7 @@ class Site:
         self.pending_prepares[gid] = {
             "tid": Tid(tid_value),
             "coordinator": coordinator,
+            "sites": tuple(sites),
             "ttl": self.prepare_ttl,
         }
         self._attempt_prepare(gid)
@@ -649,18 +894,34 @@ class Site:
         entry = self.pending_prepares.get(gid)
         if entry is None:
             return
+        if self.handoff is not None:
+            # The member was gathered for migration before this PREPARE
+            # arrived.  The 2PC claim wins: voting yes *and* delegating
+            # it away would race the group verdict against the handoff.
+            # Keep it here for group duty (a leaving site still serves
+            # 2PC) and migrate only the rest.
+            self.handoff["txs"].pop(entry["tid"].value, None)
         outcome = self.manager.try_prepare(
-            entry["tid"], gid=gid, coordinator=entry["coordinator"]
+            entry["tid"],
+            gid=gid,
+            coordinator=entry["coordinator"],
+            sites=entry.get("sites", ()),
         )
         if outcome:
             del self.pending_prepares[gid]
             self.prepared[gid] = {
                 "tid": entry["tid"],
                 "coordinator": entry["coordinator"],
+                "sites": entry.get("sites", ()),
+                "overdue": 0,
             }
             # Pace decision inquiries with a lease: while it is live we
             # trust the decision is in flight, when it lapses we ask.
+            # A second lease tracks the *coordinator* itself: refreshed
+            # by its heartbeats; once it lapses the takeover countdown
+            # starts.
             self.deadlines.grant_lease(("gc", gid), self.inquiry_interval)
+            self.deadlines.grant_lease(("gcl", gid), self.coordinator_lease)
             self._cast_vote(gid, entry["coordinator"], "commit")
         elif outcome.status is PrepareStatus.ABORTED:
             del self.pending_prepares[gid]
@@ -674,19 +935,39 @@ class Site:
             self._send(
                 coordinator,
                 VOTE,
-                {"gid": gid, "site": self.name, "verdict": verdict},
+                {
+                    "gid": gid,
+                    "site": self.name,
+                    "verdict": verdict,
+                    "epoch": self._epoch_of(gid),
+                },
             )
 
     def _h_decision(self, msg):
         gid = msg.payload["gid"]
+        epoch = msg.payload.get("epoch", 0)
+        if not self._fence(gid, epoch):
+            return
+        # Whoever released this decision holds (at least) our epoch:
+        # any takeover of ours is superseded by it.
+        self.taking_over.pop(gid, None)
         verdict = msg.payload["verdict"]
         self._apply_decision_locally(gid, verdict, msg.payload.get("tid"))
-        self._send(msg.src, ACK, {"gid": gid, "site": self.name})
+        self._send(
+            msg.src, ACK, {"gid": gid, "site": self.name, "epoch": epoch}
+        )
 
     def _h_status_rep(self, msg):
+        gid = msg.payload["gid"]
+        if not self._fence(gid, msg.payload.get("epoch", 0)):
+            return
         verdict = msg.payload["verdict"]
-        if verdict != "pending":
-            self._apply_decision_locally(msg.payload["gid"], verdict, None)
+        if verdict == "pending":
+            # The coordinator answered: alive, still deciding.
+            self._note_coordinator_alive(gid, src=msg.src)
+            return
+        self.taking_over.pop(gid, None)
+        self._apply_decision_locally(gid, verdict, None)
 
     def _apply_decision_locally(self, gid, verdict, tid_value):
         """Finish the local member group per the global verdict.
@@ -698,6 +979,8 @@ class Site:
         self.pending_prepares.pop(gid, None)
         live = self.prepared.pop(gid, None)
         self.deadlines.forget(("gc", gid))
+        self.deadlines.forget(("gcl", gid))
+        self.settled_gids[gid] = verdict
         if live is not None:
             if verdict == "commit":
                 self.runtime.commit(live["tid"])
@@ -742,6 +1025,422 @@ class Site:
                 self.storage.log_abort(member)
         self.storage.sync_log()
 
+    # -- coordinator failover ----------------------------------------------
+
+    def _h_gc_heartbeat(self, msg):
+        """The coordinator's lease renewal for one of its groups."""
+        gid = msg.payload["gid"]
+        if not self._fence(gid, msg.payload.get("epoch", 0)):
+            return
+        self._note_coordinator_alive(gid, src=msg.src)
+
+    def _start_takeover(self, gid, old, sites, tid_value=None):
+        """Claim a wedged in-doubt group at the next fencing epoch.
+
+        The taker polls every member for durable evidence; the old
+        coordinator is polled too (it may be reborn holding the
+        verdict) but is the only member whose *silence* is eventually
+        presumed — any other silent member might be a commit witness.
+        """
+        if gid in self.taking_over:
+            return
+        epoch = self.group_epochs.get(gid, 0) + 1
+        claim = self.takeover_claims.get(gid)
+        if claim is not None and claim.epoch >= epoch:
+            epoch = claim.epoch
+        self.group_epochs[gid] = epoch
+        self._stat("takeovers_started")
+        self._obs_mark(gid, "takeover_started", epoch=epoch, old=old)
+        self.taking_over[gid] = {
+            "epoch": epoch,
+            "old": old,
+            "sites": tuple(sorted(sites)),
+            "tid": tid_value,
+            "evidence": {},
+            "tids": {},
+            "next_poll": 0,
+            "claimed": False,
+        }
+        self._poll_takeover(gid)
+
+    def _poll_takeover(self, gid):
+        entry = self.taking_over.get(gid)
+        if entry is None:
+            return
+        entry["next_poll"] = self.ticks + self.inquiry_interval
+        for site in entry["sites"]:
+            if site == self.name or site in entry["evidence"]:
+                continue
+            self._send(
+                site,
+                TAKEOVER_QUERY,
+                {"gid": gid, "epoch": entry["epoch"], "site": self.name},
+            )
+        self._maybe_conclude_takeover(gid)
+
+    def _takeover_evidence(self, gid):
+        """This site's durable verdict evidence for ``gid``:
+        ``committed`` / ``aborted`` / ``collecting`` / ``prepared`` /
+        ``none`` (never voted commit), plus the member tid if known."""
+        if gid in self.durable_decisions:
+            return "committed", None
+        verdict = self.settled_gids.get(gid)
+        if verdict is not None:
+            return ("committed" if verdict == "commit" else "aborted"), None
+        entry = self.coordinating.get(gid)
+        if entry is not None:
+            if entry["state"] == "collecting":
+                return "collecting", None
+            committed = entry["verdict"] == "commit"
+            return ("committed" if committed else "aborted"), None
+        live = self.prepared.get(gid)
+        if live is not None:
+            return "prepared", live["tid"].value
+        if gid in self.in_doubt:
+            return "prepared", self.in_doubt[gid]["record"].tid.value
+        pending = self.pending_prepares.get(gid)
+        if pending is not None:
+            return "none", pending["tid"].value
+        return "none", None
+
+    def _h_takeover_query(self, msg):
+        gid = msg.payload["gid"]
+        epoch = msg.payload["epoch"]
+        if not self._fence(gid, epoch):
+            # Teach the stale taker the newer epoch so it stands down.
+            self._send(
+                msg.src,
+                TAKEOVER_EVIDENCE,
+                {
+                    "gid": gid,
+                    "epoch": self._epoch_of(gid),
+                    "site": self.name,
+                    "state": "superseded",
+                },
+            )
+            return
+        mine = self.taking_over.get(gid)
+        if mine is not None and mine["epoch"] < epoch:
+            # A higher-epoch taker owns this group; abandon our claim.
+            self.taking_over.pop(gid, None)
+        # The querying taker is the acting authority now: inquiries go
+        # to it, and its poll counts as a heartbeat.
+        self._note_coordinator_alive(gid, src=msg.src)
+        state, tid_value = self._takeover_evidence(gid)
+        self._send(
+            msg.src,
+            TAKEOVER_EVIDENCE,
+            {
+                "gid": gid,
+                "epoch": self._epoch_of(gid),
+                "site": self.name,
+                "state": state,
+                "tid": tid_value,
+            },
+        )
+
+    def _h_takeover_evidence(self, msg):
+        gid = msg.payload["gid"]
+        entry = self.taking_over.get(gid)
+        if entry is None:
+            return
+        epoch = msg.payload["epoch"]
+        state = msg.payload["state"]
+        if epoch > entry["epoch"] or state == "superseded":
+            self.group_epochs[gid] = max(self.group_epochs.get(gid, 0), epoch)
+            self.taking_over.pop(gid, None)
+            self._stat("takeovers_cancelled")
+            return
+        site = msg.payload["site"]
+        if state == "collecting":
+            if site == entry["old"]:
+                # The old coordinator answered: alive and still
+                # deciding.  Cancel the coup, fall back to inquiries.
+                self._cancel_takeover(gid)
+                return
+            state = "prepared"  # a rival same-epoch taker mid-poll
+        entry["evidence"][site] = state
+        if msg.payload.get("tid") is not None:
+            entry["tids"][site] = msg.payload["tid"]
+        if state in ("committed", "aborted"):
+            # Someone already holds a durable outcome for this group —
+            # adopt it now instead of waiting out members that may never
+            # answer (a crashed rival taker whose decision this is, or a
+            # reborn old coordinator that settled before dying again).
+            self._complete_takeover(
+                gid, "commit" if state == "committed" else "abort"
+            )
+            return
+        self._maybe_conclude_takeover(gid)
+
+    def _cancel_takeover(self, gid):
+        if self.taking_over.pop(gid, None) is not None:
+            self._stat("takeovers_cancelled")
+        self._note_coordinator_alive(gid)
+
+    def _maybe_conclude_takeover(self, gid):
+        """Derive the verdict once every pollable member has answered.
+
+        Evidence from *all* members except the old coordinator is
+        required — a silent member could be a commit witness, and
+        presuming abort over it would split the group.  Only the old
+        coordinator's silence is presumed (abort), which the
+        witness-first release ordering in :meth:`_decide` makes safe.
+        Any commit evidence — including a reborn old coordinator's
+        durable decision — forces commit; otherwise abort.
+        """
+        entry = self.taking_over.get(gid)
+        if entry is None:
+            return
+        needed = [
+            s
+            for s in entry["sites"]
+            if s not in (self.name, entry["old"])
+        ]
+        if any(s not in entry["evidence"] for s in needed):
+            return
+        states = set(entry["evidence"].values())
+        own_state, __ = self._takeover_evidence(gid)
+        states.add(own_state)
+        verdict = "commit" if "committed" in states else "abort"
+        self._complete_takeover(gid, verdict)
+
+    def _complete_takeover(self, gid, verdict):
+        """Force-log the claim + decision, settle locally, release."""
+        entry = self.taking_over.pop(gid)
+        epoch = entry["epoch"]
+        self.group_epochs[gid] = max(self.group_epochs.get(gid, 0), epoch)
+        if not entry.get("claimed"):
+            votes = tuple(
+                f"{site}:{state}"
+                for site, state in sorted(entry["evidence"].items())
+            )
+            self.storage.log_takeover(
+                gid, epoch, entry["old"], verdict, votes=votes
+            )
+        if not self.up:
+            return
+        tid_value = entry.get("tid")
+        anchor = Tid(tid_value) if tid_value else Tid(0)
+        participants = tuple(
+            s for s in sorted(entry["sites"]) if s != self.name
+        )
+        # Unlike the primary path, *both* verdicts are force-logged:
+        # the decision record is the audit trail the no-dual-decision
+        # oracle (and any later taker) reads.
+        self.storage.log_decision(
+            anchor, gid, verdict, participants=participants
+        )
+        if not self.up:
+            return
+        if verdict == "commit":
+            self.durable_decisions[gid] = "commit"
+        self._stat("takeovers_decided")
+        self._obs_mark(gid, "takeover_decided", epoch=epoch, verdict=verdict)
+        members = {site: entry["tids"].get(site) for site in entry["sites"]}
+        members[self.name] = tid_value
+        self.coordinating[gid] = {
+            "members": members,
+            "votes": {},
+            "acks": set(),
+            "state": "decided",
+            "verdict": verdict,
+            "ttl": 0,
+        }
+        self._apply_decision_locally(gid, verdict, tid_value)
+        if not self.up:
+            return
+        for site in participants:
+            self._send(
+                site,
+                DECISION,
+                {
+                    "gid": gid,
+                    "verdict": verdict,
+                    "tid": entry["tids"].get(site),
+                    "epoch": epoch,
+                },
+            )
+
+    # -- membership churn: join, leave, object-range handoff ---------------
+
+    def _h_join_announce(self, msg):
+        """A new site joined: adopt the bumped membership epoch."""
+        epoch = msg.payload["epoch"]
+        self.membership_epoch = max(self.membership_epoch, epoch)
+        self._reply(msg, {"ok": True, "epoch": self.membership_epoch})
+
+    def _h_leave_begin(self, msg):
+        """Console request: leave the cluster, handing uncommitted state
+        to ``successor`` via delegation (the ASSET §4 primitive — the
+        migration *is* a delegation of responsibility).
+
+        Live, unprepared local transactions are offered to the
+        successor; 2PC members stay behind (their fate belongs to their
+        coordinator) and this site keeps serving protocol duty for
+        them.  The console reply is deferred until the handoff settles.
+        """
+        epoch = msg.payload["epoch"]
+        successor = msg.payload["successor"]
+        self.membership_epoch = max(self.membership_epoch, epoch)
+        if self.handoff is not None or self.left:
+            self._reply(msg, {"ok": False, "error": "already leaving"})
+            return
+        in_twophase = {
+            entry["tid"]
+            for entry in self.pending_prepares.values()
+        } | {entry["tid"] for entry in self.prepared.values()}
+        txs = {}
+        for td in self.manager.table:
+            tid = td.tid
+            if td.status.is_terminated or td.status is TransactionStatus.PREPARED:
+                continue
+            if tid in in_twophase or tid in self.proxy_owner:
+                continue
+            txs[tid.value] = sorted(
+                {
+                    record.oid.value
+                    for record in self.storage.log.updates_by(tid)
+                }
+            )
+        if not txs:
+            self.left = True
+            self._stat("handoffs_completed")
+            self._reply(msg, {"ok": True, "moved": 0, "adopted": {}})
+            return
+        self.handoff = {
+            "successor": successor,
+            "epoch": epoch,
+            "txs": txs,
+            "client": (msg.src, msg.msg_id),
+            "map": None,
+            "ttl": self.handoff_ttl,
+            "next_send": 0,
+        }
+        self._send_handoff_offer()
+
+    def _send_handoff_offer(self):
+        handoff = self.handoff
+        handoff["next_send"] = self.ticks + self.inquiry_interval
+        self._send(
+            handoff["successor"],
+            HANDOFF_OFFER,
+            {
+                "epoch": handoff["epoch"],
+                "txs": sorted(handoff["txs"].items()),
+            },
+        )
+
+    def _h_handoff_offer(self, msg):
+        """Successor side: adopt one receiver per offered transaction.
+
+        Idempotent per (leaver, epoch): the leaver retries the offer
+        until accepted, and a duplicate must map to the *same*
+        receivers, not a fresh batch.
+        """
+        epoch = msg.payload["epoch"]
+        if epoch < self.membership_epoch and (msg.src, epoch) not in self._handoff_accepts:
+            return  # stale offer from a superseded churn round
+        self.membership_epoch = max(self.membership_epoch, epoch)
+        key = (msg.src, epoch)
+        adopted = self._handoff_accepts.get(key)
+        if adopted is None:
+            adopted = {}
+            for tid_value, __ in msg.payload["txs"]:
+                receiver = self.manager.initiate(function=None)
+                self.runtime.begin(receiver)
+                adopted[tid_value] = receiver.value
+            self._handoff_accepts[key] = adopted
+        self._send(
+            msg.src,
+            HANDOFF_ACCEPT,
+            {"epoch": epoch, "map": sorted(adopted.items())},
+        )
+
+    def _h_handoff_accept(self, msg):
+        """Leaver side: delegate every offered transaction's state to
+        its adopted receiver (through the receiver's local proxy), then
+        finish the givers and report back to the console."""
+        handoff = self.handoff
+        if handoff is None or msg.payload["epoch"] != handoff["epoch"]:
+            return
+        if msg.src != handoff["successor"]:
+            return
+        moved = 0
+        mapping = dict(msg.payload["map"])
+        for tid_value in sorted(handoff["txs"]):
+            receiver_value = mapping.get(tid_value)
+            if receiver_value is None:
+                continue
+            giver = Tid(tid_value)
+            if self._live_td(giver) is None:
+                continue
+            td = self.manager.table.maybe_get(giver)
+            if td is not None and td.status is TransactionStatus.PREPARED:
+                continue  # claimed by 2PC after the gather; it stays
+            proxy = self.proxy_for(handoff["successor"], receiver_value)
+            try:
+                self.manager.delegate(giver, proxy, None)
+            except _INJECTED_FAULTS:
+                raise
+            except Exception:
+                self.manager.abort(giver, reason="handoff delegation failed")
+                continue
+            moved += 1
+            td = self.manager.table.maybe_get(giver)
+            if td is not None and td.status is TransactionStatus.COMPLETED:
+                self.runtime.commit(giver)
+            else:
+                self.manager.abort(
+                    giver, reason=f"handed off to {handoff['successor']}"
+                )
+        if not self.up:
+            return
+        self.handoff = None
+        self.left = True
+        self._stat("handoffs_completed")
+        self._stat("handoff_txs_moved", moved)
+        self._obs_mark(0, "handoff_done", moved=moved)
+        self._send(
+            handoff["successor"],
+            HANDOFF_DONE,
+            {"epoch": handoff["epoch"], "moved": moved},
+        )
+        src, msg_id = handoff["client"]
+        self._send(
+            src,
+            "leave_begin.reply",
+            {"ok": True, "moved": moved, "adopted": mapping},
+            reply_to=msg_id,
+        )
+
+    def _h_handoff_done(self, msg):
+        """Successor side: the leaver finished delegating.  Nothing to
+        unwind — the receivers simply hold whatever arrived."""
+        self.membership_epoch = max(
+            self.membership_epoch, msg.payload["epoch"]
+        )
+
+    def _abandon_handoff(self):
+        """The successor never answered within the handoff TTL: abort
+        the gathered transactions locally (a clean, consistent abort)
+        and report failure rather than wedging the leave forever."""
+        handoff = self.handoff
+        self.handoff = None
+        self.left = True
+        self._stat("handoffs_failed")
+        for tid_value in sorted(handoff["txs"]):
+            giver = Tid(tid_value)
+            if self._live_td(giver) is not None:
+                self.manager.abort(giver, reason="handoff successor lost")
+        src, msg_id = handoff["client"]
+        self._send(
+            src,
+            "leave_begin.reply",
+            {"ok": False, "moved": 0, "adopted": {}},
+            reply_to=msg_id,
+        )
+
     # -- the tick loop -----------------------------------------------------
 
     def on_tick(self):
@@ -763,7 +1462,9 @@ class Site:
             if entry is not None and entry["ttl"] <= 0:
                 del self.pending_prepares[gid]
                 self._cast_vote(gid, entry["coordinator"], "abort")
-        # Coordinator vote deadlines: silence is an abort vote.
+        # Coordinator vote deadlines: silence is an abort vote.  While
+        # collecting, heartbeat the members so their coordinator leases
+        # stay live (a slow vote must not look like a dead coordinator).
         for gid in sorted(self.coordinating):
             entry = self.coordinating[gid]
             if entry["state"] != "collecting":
@@ -771,24 +1472,95 @@ class Site:
             entry["ttl"] -= 1
             if entry["ttl"] <= 0:
                 self._decide(gid, "abort")
-        # Prepared but no decision: when the inquiry lease lapses, ask.
+                continue
+            if self.ticks >= entry.get("next_beat", 0):
+                entry["next_beat"] = self.ticks + self.heartbeat_interval
+                epoch = self._epoch_of(gid)
+                for site in sorted(entry["members"]):
+                    if site == self.name:
+                        continue
+                    self._stat("heartbeats_sent")
+                    self._send(
+                        site, GC_HEARTBEAT, {"gid": gid, "epoch": epoch}
+                    )
+        # Prepared but no decision: when the inquiry lease lapses, ask;
+        # when the *coordinator* lease lapses, count it overdue and —
+        # past this site's rank-staggered threshold — take over.
         for gid in sorted(self.prepared):
+            entry = self.prepared.get(gid)
+            if entry is None or gid in self.taking_over:
+                continue
             key = ("gc", gid)
             if not self.deadlines.lease_live(key):
                 self._send(
-                    self.prepared[gid]["coordinator"], STATUS_REQ,
-                    {"gid": gid, "site": self.name},
+                    entry["coordinator"], STATUS_REQ,
+                    {
+                        "gid": gid,
+                        "site": self.name,
+                        "epoch": self._epoch_of(gid),
+                    },
                 )
                 self.deadlines.grant_lease(key, self.inquiry_interval)
-        # In-doubt after restart: periodic inquiry until resolved.
-        for gid in sorted(self.in_doubt):
-            entry = self.in_doubt[gid]
-            if self.ticks >= entry["next_ask"]:
-                self._send(
-                    entry["record"].coordinator, STATUS_REQ,
-                    {"gid": gid, "site": self.name},
+            if entry["coordinator"] == self.name:
+                continue  # our own liveness is not in doubt
+            if self.deadlines.lease_live(("gcl", gid)):
+                entry["overdue"] = 0
+                continue
+            entry["overdue"] += 1
+            threshold = self._takeover_threshold(
+                entry.get("sites", ()), entry["coordinator"]
+            )
+            if threshold is not None and entry["overdue"] >= threshold:
+                self._start_takeover(
+                    gid,
+                    entry["coordinator"],
+                    entry.get("sites", ()),
+                    tid_value=entry["tid"].value,
                 )
+        # In-doubt after restart: periodic inquiry until resolved, with
+        # the same overdue countdown (the coordinator may be long gone).
+        for gid in sorted(self.in_doubt):
+            entry = self.in_doubt.get(gid)
+            if entry is None or gid in self.taking_over:
+                continue
+            record = entry["record"]
+            if self.ticks >= entry["next_ask"]:
                 entry["next_ask"] = self.ticks + self.inquiry_interval
+                if record.coordinator != self.name:
+                    self._send(
+                        record.coordinator, STATUS_REQ,
+                        {
+                            "gid": gid,
+                            "site": self.name,
+                            "epoch": self._epoch_of(gid),
+                        },
+                    )
+            if self.deadlines.lease_live(("gcl", gid)):
+                entry["overdue"] = 0
+                continue
+            entry["overdue"] = entry.get("overdue", 0) + 1
+            threshold = self._takeover_threshold(
+                record.sites, record.coordinator
+            )
+            if threshold is not None and entry["overdue"] >= threshold:
+                self._start_takeover(
+                    gid,
+                    record.coordinator,
+                    record.sites,
+                    tid_value=record.tid.value,
+                )
+        # Takeover polls: re-ask members that have not answered yet.
+        for gid in sorted(self.taking_over):
+            entry = self.taking_over.get(gid)
+            if entry is not None and self.ticks >= entry["next_poll"]:
+                self._poll_takeover(gid)
+        # Leaver-side handoff: retry the offer; give up past the TTL.
+        if self.handoff is not None:
+            self.handoff["ttl"] -= 1
+            if self.handoff["ttl"] <= 0:
+                self._abandon_handoff()
+            elif self.ticks >= self.handoff["next_send"]:
+                self._send_handoff_offer()
 
     _HANDLERS = {
         INITIATE: _h_initiate,
@@ -813,4 +1585,12 @@ class Site:
         ACK: _h_ack,
         STATUS_REQ: _h_status_req,
         STATUS_REP: _h_status_rep,
+        GC_HEARTBEAT: _h_gc_heartbeat,
+        TAKEOVER_QUERY: _h_takeover_query,
+        TAKEOVER_EVIDENCE: _h_takeover_evidence,
+        JOIN_ANNOUNCE: _h_join_announce,
+        LEAVE_BEGIN: _h_leave_begin,
+        HANDOFF_OFFER: _h_handoff_offer,
+        HANDOFF_ACCEPT: _h_handoff_accept,
+        HANDOFF_DONE: _h_handoff_done,
     }

@@ -27,11 +27,17 @@ from repro.common.errors import AssetError
 
 __all__ = [
     "ClusterRunResult",
+    "coordinator_death_sweep",
+    "join_sweep",
+    "leave_sweep",
     "message_fault_sweep",
     "probe_message_steps",
+    "probe_plan_steps",
     "run_cluster_plan",
+    "run_failover_plan",
     "partition_sweep",
     "site_crash_sweep",
+    "takeover_death_sweep",
 ]
 
 
@@ -119,6 +125,95 @@ def run_cluster_plan(
     )
 
 
+def probe_plan_steps(spec, plan, converge_rounds=240, **options):
+    """The message-step universe of a run under ``plan``.
+
+    Second-order sweeps need this: the steps after a coordinator kill
+    include the takeover traffic itself (heartbeat lapses, evidence
+    polls, the usurper's decision), which a fault-free probe never
+    sends.
+    """
+    cluster = spec.build(plan=plan, **options)
+    try:
+        spec.drive(cluster)
+    except AssetError:
+        pass
+    cluster.converge(converge_rounds)
+    return [
+        (step.number, step.detail)
+        for step in cluster.injector.trace
+        if step.kind == NET_MSG
+    ]
+
+
+def run_failover_plan(
+    spec, plan, converge_rounds=240, step=None, detail="",
+    instrument=None, restart_first=(), **options,
+):
+    """Judge a *permanent-death* plan in two phases.
+
+    Phase 1 — the killed site stays dead.  The survivors' lease-paced
+    takeover must settle every live member on its own: a coordinator
+    that will never answer must not leave a participant PREPARED past
+    the lease budget.  Any live site still holding prepared or
+    in-doubt state after the convergence budget is a liveness
+    violation, recorded on the report.  ``restart_first`` names sites
+    restarted *before* this phase (a second crash victim whose logged
+    takeover claim must resume) — everything else that is down stays
+    down.  Demanding settlement with two members permanently silent
+    would be wrong: the silent one may be a commit witness, which is
+    exactly the blocking case 2PC cannot decide safely.
+
+    Phase 2 — the operator restarts the dead sites; their durable logs
+    rejoin the judgment and the full oracles (cross-site atomicity, no
+    dual decision, convergence) run over everything.
+    """
+    cluster = spec.build(plan=plan, **options)
+    if instrument is not None:
+        instrument(cluster)
+    driver_error = ""
+    try:
+        spec.drive(cluster)
+    except AssetError as exc:
+        driver_error = f"{type(exc).__name__}: {exc}"
+    cluster.injector.disarm()
+    cluster.heal()
+    for name in restart_first:
+        if name in cluster.sites and not cluster.sites[name].up:
+            cluster.restart_site(name)
+    survivors_settled = cluster.converge(converge_rounds)
+    stranded = sorted(
+        name
+        for name, site in cluster.sites.items()
+        if site.up and (site.prepared or site.in_doubt)
+    )
+    cluster.restart_down_sites()
+    converged = cluster.converge(converge_rounds)
+    report, analyses = cluster.evaluate(label=plan.describe() or "no-fault")
+    if not survivors_settled:
+        report.fail(
+            "takeover-liveness",
+            "survivors did not quiesce before the dead sites were"
+            " restarted",
+        )
+    if stranded:
+        report.fail(
+            "takeover-liveness",
+            f"sites {stranded} still hold prepared/in-doubt members with"
+            f" the coordinator permanently dead",
+        )
+    return ClusterRunResult(
+        plan=plan,
+        report=report,
+        converged=converged,
+        driver_error=driver_error,
+        analyses=analyses,
+        step=step,
+        detail=detail,
+        cluster=cluster,
+    )
+
+
 def _swept(spec, steps, limit):
     if steps is None:
         steps = probe_message_steps(spec)
@@ -169,6 +264,112 @@ def site_crash_sweep(spec, victims=None, steps=None, limit=None, **options):
                     **options,
                 )
             )
+    return results
+
+
+def coordinator_death_sweep(spec, steps=None, limit=None, **options):
+    """Permanently kill whichever site is coordinating, at every step.
+
+    Uses the plan's ``kill_coordinator_at`` mark: the cluster installs
+    the current coordinator's name on the fabric before each group
+    commit, so the sweep covers scenarios where the coordinator varies
+    (or is chosen mid-run) without naming it.  Marks placed before any
+    coordinator exists hold their fire until one is installed — every
+    step of the sweep kills some coordinator.  Judged by the two-phase
+    failover runner: survivors must settle by takeover *before* the
+    dead site is restarted.
+    """
+    results = []
+    for number, detail in _swept(spec, steps, limit):
+        plan = FaultPlan(kill_coordinator_at=number)
+        results.append(
+            run_failover_plan(
+                spec,
+                plan,
+                step=number,
+                detail=f"kill coordinator at {detail}",
+                **options,
+            )
+        )
+    return results
+
+
+def takeover_death_sweep(
+    spec, wedge_step, victims=None, steps=None, limit=None, **options
+):
+    """Kill the coordinator at ``wedge_step``, then each other site later.
+
+    The wedge forces a takeover; the second kill sweeps every message
+    step *after* the wedge — including the takeover's own traffic — so
+    a recovery coordinator dying before or after its force-logged
+    claim is covered.  The step universe comes from a probe run under
+    the wedge plan (fault-free probes never see takeover messages).
+    For phase 1 the second victim restarts while the old coordinator
+    stays dead: a force-logged takeover claim must resume across the
+    crash, and when the victim *is* the dead coordinator the restart
+    exercises the reborn-coordinator self-takeover path instead.
+    """
+    base = FaultPlan(kill_coordinator_at=wedge_step)
+    if steps is None:
+        steps = probe_plan_steps(spec, base, **options)
+    steps = [(n, d) for n, d in steps if n > wedge_step]
+    if limit is not None:
+        steps = steps[:limit]
+    victims = tuple(victims) if victims is not None else tuple(spec.sites)
+    results = []
+    for number, detail in steps:
+        for victim in victims:
+            plan = base.with_(site_crash_at=(victim, number))
+            results.append(
+                run_failover_plan(
+                    spec,
+                    plan,
+                    step=number,
+                    detail=f"wedge@{wedge_step} then crash {victim} at {detail}",
+                    restart_first=(victim,),
+                    **options,
+                )
+            )
+    return results
+
+
+def join_sweep(spec, joiner, steps=None, limit=None, **options):
+    """A new site joins the cluster at every message step."""
+    results = []
+    for number, detail in _swept(spec, steps, limit):
+        plan = FaultPlan(join_site_at=(joiner, number))
+        results.append(
+            run_cluster_plan(
+                spec,
+                plan,
+                step=number,
+                detail=f"join {joiner} at {detail}",
+                **options,
+            )
+        )
+    return results
+
+
+def leave_sweep(spec, leaver, successor, steps=None, limit=None, **options):
+    """``leaver`` hands its ranges to ``successor`` at every message step.
+
+    The handoff (delegation of in-flight transactions, placement-range
+    transfer, epoch bump) lands mid-protocol at every point of the
+    scenario; the oracles demand the cluster still converges with
+    atomic groups and no dual decisions.
+    """
+    results = []
+    for number, detail in _swept(spec, steps, limit):
+        plan = FaultPlan(leave_site_at=(leaver, successor, number))
+        results.append(
+            run_cluster_plan(
+                spec,
+                plan,
+                step=number,
+                detail=f"leave {leaver}->{successor} at {detail}",
+                **options,
+            )
+        )
     return results
 
 

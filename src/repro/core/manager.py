@@ -699,7 +699,7 @@ class TransactionManager:
         return waiting
 
     @_observed("prepare")
-    def try_prepare(self, tid, gid=0, coordinator=""):
+    def try_prepare(self, tid, gid=0, coordinator="", sites=()):
         """One pass of a distributed-commit vote; never blocks.
 
         The participant half of presumed-abort two-phase commit: run the
@@ -764,7 +764,8 @@ class TransactionManager:
             others = tuple(t for t in ordered if t != tid)
             self.failpoint("prepare.log")
             self.storage.log_prepare(
-                tid, group=others, gid=gid, coordinator=coordinator
+                tid, group=others, gid=gid, coordinator=coordinator,
+                sites=sites,
             )
             self.failpoint("prepare.logged")
             for member in ordered:

@@ -346,14 +346,14 @@ class ShardedTransactionManager(TransactionManager):
             with self._latched(involved):
                 return super().try_commit(tid)
 
-    def try_prepare(self, tid, gid=0, coordinator=""):
+    def try_prepare(self, tid, gid=0, coordinator="", sites=()):
         with self._mutex:
             involved = set()
             for member in self.dependencies.gc_group(tid):
                 involved |= self._shards_of_transaction(member)
             with self._latched(involved):
                 return super().try_prepare(
-                    tid, gid=gid, coordinator=coordinator
+                    tid, gid=gid, coordinator=coordinator, sites=sites
                 )
 
     def abort(self, tid, reason=""):

@@ -68,6 +68,16 @@ class ShardRouter:
             raise ValueError(f"need at least one shard, got {n_shards}")
         self.n_shards = n_shards
         self._directory = {}  # oid value -> shard index
+        # Placement epoch: bumped whenever shard ownership changes
+        # (cluster membership churn).  Routed requests carry the epoch
+        # they were resolved under; an owner that has seen a newer one
+        # rejects the stale route and the caller re-resolves.
+        self.epoch = 0
+
+    def bump_epoch(self):
+        """A new placement generation; returns the new epoch."""
+        self.epoch += 1
+        return self.epoch
 
     def shard_for_key(self, key):
         """The home shard for a routing key (transaction or object name)."""

@@ -73,9 +73,19 @@ class NetworkFabric:
         # Installed by the cluster: called with a site name when the
         # plan's site power cut fires.
         self.crash_hook = None
+        # Installed by the cluster before each group commit: whom a
+        # planned ``kill_coordinator_at`` mark should kill.
+        self.coordinator_name = None
+        # Planned membership churn cannot execute mid-send (joining a
+        # site recurses into the cluster); the marks queue requests
+        # here and the cluster drains them at its next tick boundary.
+        self._churn_requests = []
         self._partition_applied = False
         self._healed = False
         self._site_crash_fired = False
+        self._kill_coordinator_fired = False
+        self._join_fired = False
+        self._leave_fired = False
         self._msg_ids = count(1)
         self.delivery_log = []  # (step, src, dst, kind, action)
         # Observability hook (repro.obs): a MetricsRegistry installed by
@@ -213,6 +223,44 @@ class NetworkFabric:
                 self.crash_hook(site)
             else:
                 self.mark_down(site)
+        if (
+            plan.kill_coordinator_at is not None
+            and not self._kill_coordinator_fired
+            and number >= plan.kill_coordinator_at
+        ):
+            # No coordinator installed yet (the group commit has not
+            # begun): hold the fire until one is, so every step of a
+            # sweep kills *some* coordinator.
+            target = self.coordinator_name
+            if target is not None:
+                self._kill_coordinator_fired = True
+                if self.crash_hook is not None:
+                    self.crash_hook(target)
+                else:
+                    self.mark_down(target)
+        if (
+            plan.join_site_at is not None
+            and not self._join_fired
+            and number >= plan.join_site_at[1]
+        ):
+            self._join_fired = True
+            self._churn_requests.append(("join", plan.join_site_at[0]))
+        if (
+            plan.leave_site_at is not None
+            and not self._leave_fired
+            and number >= plan.leave_site_at[2]
+        ):
+            self._leave_fired = True
+            self._churn_requests.append(
+                ("leave", (plan.leave_site_at[0], plan.leave_site_at[1]))
+            )
+
+    def take_churn(self):
+        """Drain queued planned-churn requests (cluster tick boundary)."""
+        if not self._churn_requests:
+            return ()
+        requests, self._churn_requests = self._churn_requests, []
+        return requests
 
     def _link_verdict(self, message, action):
         """Downgrade the injector's verdict with link-state realities."""

@@ -36,6 +36,7 @@ _TYPE_CHECKPOINT = 6
 _TYPE_PREPARE = 7
 _TYPE_DECISION = 8
 _TYPE_WORKFLOW = 9
+_TYPE_TAKEOVER = 10
 
 _ABSENT = 0xFFFFFFFF  # length marker: image of a not-yet-existing object
 
@@ -107,11 +108,17 @@ class PrepareRecord(LogRecord):
     participant's VOTE-COMMIT message leaves the site.  After a crash,
     a prepared-but-undecided transaction is *in doubt* — recovery keeps
     its updates and the site asks ``coordinator`` for the verdict.
+
+    ``sites`` records the full group membership (every participant site
+    plus the coordinator) so that an in-doubt participant can run the
+    takeover poll when the coordinator is permanently gone — without it,
+    a restarted site would only know whom to *ask*, not whom to *become*.
     """
 
     group: tuple = ()
     gid: int = 0
     coordinator: str = ""
+    sites: tuple = ()
 
     def prepared_tids(self):
         """All tids covered by this vote (the writer plus its group)."""
@@ -160,6 +167,28 @@ class WorkflowRecord(LogRecord):
     wid: int = 0
     kind: str = ""
     payload: bytes = b""
+
+
+@dataclass(frozen=True)
+class TakeoverRecord(LogRecord):
+    """A recovery coordinator's claim over in-doubt global ``gid``.
+
+    Force-written by the site that takes over a group whose coordinator
+    stopped heartbeating, *before* the re-derived decision record.  The
+    pair (takeover, decision) makes the handover auditable: the
+    ``epoch`` is the fencing epoch the new coordinator will stamp on
+    every message it sends for the group, and ``old_coordinator`` names
+    the site being fenced out.  ``votes`` snapshots the durable
+    prepare/decision evidence the taker collected (one ``site:verdict``
+    string per polled participant) so a post-mortem can re-check the
+    presumed-abort derivation without the other sites' logs.
+    """
+
+    gid: int = 0
+    epoch: int = 0
+    old_coordinator: str = ""
+    verdict: str = "abort"
+    votes: tuple = ()
 
 
 def _pack_image(image):
@@ -236,6 +265,8 @@ def encode_record(record):
             _pack_tids(record.group)
             + _U64.pack(record.gid)
             + _pack_str(record.coordinator)
+            + _U32.pack(len(record.sites))
+            + b"".join(_pack_str(s) for s in record.sites)
         )
         rtype = _TYPE_PREPARE
     elif isinstance(record, DecisionRecord):
@@ -254,6 +285,16 @@ def encode_record(record):
             + _pack_image(record.payload)
         )
         rtype = _TYPE_WORKFLOW
+    elif isinstance(record, TakeoverRecord):
+        body = (
+            _U64.pack(record.gid)
+            + _U64.pack(record.epoch)
+            + _pack_str(record.old_coordinator)
+            + _pack_str(record.verdict)
+            + _U32.pack(len(record.votes))
+            + b"".join(_pack_str(v) for v in record.votes)
+        )
+        rtype = _TYPE_TAKEOVER
     else:
         raise StorageError(f"unknown record type: {type(record).__name__}")
     return _HEADER.pack(rtype, record.lsn.value, record.tid.value) + body
@@ -308,8 +349,19 @@ def decode_record(raw):
         (gid,) = _U64.unpack_from(raw, offset)
         offset += _U64.size
         coordinator, offset = _unpack_str(raw, offset)
+        (count,) = _U32.unpack_from(raw, offset)
+        offset += _U32.size
+        sites = []
+        for __ in range(count):
+            site, offset = _unpack_str(raw, offset)
+            sites.append(site)
         return PrepareRecord(
-            lsn=lsn, tid=tid, group=group, gid=gid, coordinator=coordinator
+            lsn=lsn,
+            tid=tid,
+            group=group,
+            gid=gid,
+            coordinator=coordinator,
+            sites=tuple(sites),
         )
     if rtype == _TYPE_DECISION:
         (gid,) = _U64.unpack_from(raw, offset)
@@ -337,6 +389,28 @@ def decode_record(raw):
         payload, offset = _unpack_image(raw, offset)
         return WorkflowRecord(
             lsn=lsn, tid=tid, wid=wid, kind=kind, payload=payload
+        )
+    if rtype == _TYPE_TAKEOVER:
+        (gid,) = _U64.unpack_from(raw, offset)
+        offset += _U64.size
+        (epoch,) = _U64.unpack_from(raw, offset)
+        offset += _U64.size
+        old_coordinator, offset = _unpack_str(raw, offset)
+        verdict, offset = _unpack_str(raw, offset)
+        (count,) = _U32.unpack_from(raw, offset)
+        offset += _U32.size
+        votes = []
+        for __ in range(count):
+            vote, offset = _unpack_str(raw, offset)
+            votes.append(vote)
+        return TakeoverRecord(
+            lsn=lsn,
+            tid=tid,
+            gid=gid,
+            epoch=epoch,
+            old_coordinator=old_coordinator,
+            verdict=verdict,
+            votes=tuple(votes),
         )
     raise StorageError(f"unknown record type byte: {rtype}")
 
@@ -710,7 +784,7 @@ class WriteAheadLog:
             )
         )
 
-    def log_prepare(self, tid, group=(), gid=0, coordinator=""):
+    def log_prepare(self, tid, group=(), gid=0, coordinator="", sites=()):
         """Force-write a prepare (vote-commit) record.
 
         Always flushed immediately — the vote must be durable before it
@@ -725,6 +799,7 @@ class WriteAheadLog:
                 group=tuple(group),
                 gid=gid,
                 coordinator=coordinator,
+                sites=tuple(sites),
             )
         )
         self.flush()
@@ -746,6 +821,29 @@ class WriteAheadLog:
                 verdict=verdict,
                 group=tuple(group),
                 participants=tuple(participants),
+            )
+        )
+        self.flush()
+        return record
+
+    def log_takeover(self, gid, epoch, old_coordinator, verdict, votes=()):
+        """Force-write a takeover claim for an in-doubt group.
+
+        Must be durable before the new coordinator publishes the
+        re-derived decision: if the taker crashes between the two
+        records, restart sees the claim and re-runs the (idempotent)
+        derivation under the same fencing epoch instead of inventing a
+        fresh one.
+        """
+        record = self._append(
+            lambda lsn: TakeoverRecord(
+                lsn=lsn,
+                tid=Tid(0),
+                gid=gid,
+                epoch=epoch,
+                old_coordinator=old_coordinator,
+                verdict=verdict,
+                votes=tuple(votes),
             )
         )
         self.flush()

@@ -406,7 +406,7 @@ class ShardedStorageManager:
             self._note_touch(delegatee, shard)
         return records
 
-    def log_prepare(self, tid, group=(), gid=0, coordinator=""):
+    def log_prepare(self, tid, group=(), gid=0, coordinator="", sites=()):
         """Vote durability across segments: flush all touched, then the
         force-logged prepare record in the home segment."""
         home, touched = self._home_and_touched(tid, group)
@@ -414,7 +414,7 @@ class ShardedStorageManager:
             if shard != home:
                 self.shards[shard].log.flush()
         return self.shards[home].log.log_prepare(
-            tid, group=group, gid=gid, coordinator=coordinator
+            tid, group=group, gid=gid, coordinator=coordinator, sites=sites
         )
 
     def log_decision(self, tid, gid, verdict, group=(), participants=()):

@@ -197,16 +197,22 @@ class StorageManager:
         """Log a delegation so recovery attributes undo correctly."""
         return self.log.log_delegate(tid, delegatee, oids)
 
-    def log_prepare(self, tid, group=(), gid=0, coordinator=""):
+    def log_prepare(self, tid, group=(), gid=0, coordinator="", sites=()):
         """Force-log a distributed-commit vote (always flushed)."""
         return self.log.log_prepare(
-            tid, group=group, gid=gid, coordinator=coordinator
+            tid, group=group, gid=gid, coordinator=coordinator, sites=sites
         )
 
     def log_decision(self, tid, gid, verdict, group=(), participants=()):
         """Force-log a coordinator commit decision (always flushed)."""
         return self.log.log_decision(
             tid, gid, verdict, group=group, participants=participants
+        )
+
+    def log_takeover(self, gid, epoch, old_coordinator, verdict, votes=()):
+        """Force-log a recovery coordinator's takeover claim."""
+        return self.log.log_takeover(
+            gid, epoch, old_coordinator, verdict, votes=votes
         )
 
     def log_workflow(self, wid, kind, payload=b"", tid=None):

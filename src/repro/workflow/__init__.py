@@ -26,7 +26,7 @@ from repro.workflow.definition import (
     SignalWait,
     WorkflowDefinition,
 )
-from repro.workflow.durable import DurableWorkflowEngine
+from repro.workflow.durable import DurableWorkflowEngine, ExecutionLeaseBoard
 from repro.workflow.engine import TaskStatus, WorkflowEngine, WorkflowResult
 from repro.workflow.execution import ExecutionStatus, WorkflowExecution
 from repro.workflow.spec import TaskSpec, WorkflowSpec
@@ -35,6 +35,7 @@ from repro.workflow.travel import TravelAgency, x_conference
 __all__ = [
     "DefinitionRegistry",
     "DurableWorkflowEngine",
+    "ExecutionLeaseBoard",
     "ExecutionStatus",
     "SignalWait",
     "TaskSpec",

@@ -71,18 +71,78 @@ class _WaitToken:
         return self.wid
 
 
+class ExecutionLeaseBoard:
+    """Shared ownership leases over durable workflow executions.
+
+    One board per storage stack, shared by every engine instance that
+    can drive the stack's executions.  Whoever is driving an execution
+    heartbeats its lease (every durable record the engine writes counts
+    as a heartbeat — progress *is* liveness); a rival engine instance
+    may only claim the execution once that lease has lapsed, which is
+    the workflow-level analogue of the cluster's coordinator lease: a
+    crashed or wedged owner loses the execution to whoever calls
+    ``recover()``/``resume()`` next, and a live owner cannot be usurped.
+    """
+
+    def __init__(self, clock):
+        self.table = DeadlineTable(clock)
+        self._owners = {}  # wid -> engine owner name
+
+    def claim(self, wid, owner, ttl):
+        """Claim (or refresh) ownership; False while a rival lease lives."""
+        current = self._owners.get(wid)
+        if (
+            current is not None
+            and current != owner
+            and self.table.lease_live(_WaitToken(wid))
+        ):
+            return False
+        self._owners[wid] = owner
+        self.table.grant_lease(_WaitToken(wid), ttl)
+        return True
+
+    def heartbeat(self, wid, owner):
+        """Refresh the lease; False if ``owner`` no longer holds it."""
+        if self._owners.get(wid) != owner:
+            return False
+        return self.table.heartbeat(_WaitToken(wid))
+
+    def owner_of(self, wid):
+        return self._owners.get(wid)
+
+    def live(self, wid):
+        return self.table.lease_live(_WaitToken(wid))
+
+    def release(self, wid, owner):
+        """Let the lease go (terminal execution); no-op for non-owners.
+
+        The owner *name* stays on the board with a dead lease: a later
+        claimant can tell it is taking over from someone (and must
+        re-read the durable truth) rather than claiming fresh.
+        """
+        if self._owners.get(wid) == owner:
+            self.table.forget(_WaitToken(wid))
+
+
 class DurableWorkflowEngine:
     """Runs workflow definitions with WAL-persisted execution state."""
 
     def __init__(self, runtime, registry, *, retry=None, watchdog=None,
                  metrics=None, on_commit=None, max_compensation_retries=100,
-                 max_idle_polls=1000):
+                 max_idle_polls=1000, owner="engine", leases=None,
+                 execution_lease=32):
         self.runtime = runtime
         self.registry = registry
         self.storage = runtime.manager.storage
         self.retry = retry
         self.watchdog = watchdog
         self.metrics = metrics
+        # Execution-ownership leases (None = single-engine deployment,
+        # no fencing).  ``owner`` names this instance on the shared
+        # board; ``execution_lease`` is the heartbeat budget in ticks.
+        self.owner = owner
+        self.leases = leases
+        self.execution_lease = execution_lease
         # Called with the tid of every step/compensation transaction the
         # engine successfully committed — the chaos harness's truthful
         # acknowledgement hook.
@@ -123,10 +183,48 @@ class DurableWorkflowEngine:
         if self.metrics is not None:
             self.metrics.inc(f"workflow.{key}", amount)
 
+    def _claim(self, wid):
+        """Take (or refresh) the execution's ownership lease, or refuse.
+
+        Raises when another engine instance holds a live lease — the
+        double-resume guard: two engines recovering the same storage
+        cannot both drive one execution.  A successful claim that
+        *takes over* from another owner re-folds the execution from the
+        durable log first: the previous owner may have progressed past
+        this engine's in-memory image before going quiet.
+        """
+        if self.leases is None:
+            return
+        previous = self.leases.owner_of(wid)
+        if not self.leases.claim(wid, self.owner, self.execution_lease):
+            raise AssetError(
+                f"wid={wid} is owned by {self.leases.owner_of(wid)!r}"
+                f" under a live lease; this engine ({self.owner!r}) must"
+                f" wait for it to lapse"
+            )
+        if previous is not None and previous != self.owner:
+            self._refold(wid)
+
+    def _refold(self, wid):
+        """Replace the in-memory image with the durable log's truth."""
+        log_records = list(self.storage.log.records())
+        analysis = analyze_log(log_records)
+        winners = {getattr(tid, "value", tid) for tid in analysis.winners}
+        execution = fold_all(log_records, winners).get(wid)
+        if execution is not None:
+            self._executions[wid] = execution
+
+    def _release(self, wid):
+        if self.leases is not None:
+            self.leases.release(wid, self.owner)
+
     def _log(self, wid, kind, fields):
         self.storage.log_workflow(
             wid, kind, payload=wrecords.encode_payload(fields)
         )
+        if self.leases is not None:
+            # Durable progress doubles as the ownership heartbeat.
+            self.leases.heartbeat(wid, self.owner)
         self.timeline.append(
             {"tick": self.clock.peek(), "wid": wid, "kind": kind, **fields}
         )
@@ -174,6 +272,7 @@ class DurableWorkflowEngine:
         if wid in self._executions:
             raise AssetError(f"workflow execution wid={wid} already exists")
         self._next_wid = max(self._next_wid, wid + 1)
+        self._claim(wid)
         from repro.workflow.execution import WorkflowExecution
 
         execution = WorkflowExecution(
@@ -217,6 +316,10 @@ class DurableWorkflowEngine:
         execution = self._require(wid)
         if execution.status.is_terminal:
             return execution.status
+        self._claim(wid)
+        execution = self._require(wid)  # _claim may have re-folded
+        if execution.status.is_terminal:
+            return execution.status
         self._log(wid, wrecords.SIGNAL, {"name": name, "payload": payload})
         execution.signals[name] = payload
         self._count("signals")
@@ -232,6 +335,10 @@ class DurableWorkflowEngine:
     def cancel(self, wid):
         """Durably accept a cancel: compensate and finish ``cancelled``."""
         execution = self._require(wid)
+        if execution.status.is_terminal:
+            return execution.status
+        self._claim(wid)
+        execution = self._require(wid)  # _claim may have re-folded
         if execution.status.is_terminal:
             return execution.status
         self._log(wid, wrecords.CANCELLED, {})
@@ -255,6 +362,10 @@ class DurableWorkflowEngine:
                 f"wid={wid} waits on {execution.waiting_signal!r} with no"
                 " timeout; deliver the signal or cancel"
             )
+        self._claim(wid)
+        execution = self._require(wid)  # _claim may have re-folded
+        if execution.status is not ExecutionStatus.WAITING_SIGNAL:
+            return execution.status
         token = _WaitToken(wid)
         deadline = self.deadlines.deadline_of(token)
         if deadline is not None:
@@ -315,7 +426,10 @@ class DurableWorkflowEngine:
 
     def _drive(self, wid):
         """Run forward from the last durable step; park, finish, or fail."""
+        self._claim(wid)
         execution = self._executions[wid]
+        if execution.status.is_terminal:
+            return execution.status
         if execution.cancel_requested:
             # A durably accepted cancel interrupted by a crash must
             # resume as a cancel: never make forward progress again.
@@ -363,6 +477,7 @@ class DurableWorkflowEngine:
         })
         execution.status = ExecutionStatus.COMPLETED
         self._count("completed")
+        self._release(wid)
         return execution.status
 
     def _park(self, execution, step, wait):
@@ -535,4 +650,5 @@ class DurableWorkflowEngine:
         else:
             execution.status = ExecutionStatus.COMPENSATED
             self._count("compensated")
+        self._release(execution.wid)
         return execution.status

@@ -14,10 +14,14 @@ import pytest
 
 from repro.cluster import scenarios as cluster_scenarios
 from repro.cluster.sweep import (
+    coordinator_death_sweep,
+    join_sweep,
+    leave_sweep,
     message_fault_sweep,
     partition_sweep,
     probe_message_steps,
     site_crash_sweep,
+    takeover_death_sweep,
 )
 
 LONG = os.environ.get("CHAOS_BUDGET") == "long"
@@ -61,6 +65,50 @@ def test_crash_every_site_at_every_message(name):
 def test_partition_at_every_message_then_heal(name):
     spec = cluster_scenarios.get(name)
     results = partition_sweep(spec, limit=STEP_LIMIT)
+    assert results
+    assert not _failures(results)
+
+
+@pytest.mark.parametrize(
+    "name", ("cluster_group_commit", "cluster_membership_churn")
+)
+def test_kill_coordinator_at_every_message(name):
+    # Permanent coordinator death at every step: the survivors' takeover
+    # must settle every live member *before* the dead site restarts
+    # (the two-phase failover judgment), and the full oracles — no dual
+    # decision included — must hold after it does.
+    spec = cluster_scenarios.get(name)
+    results = coordinator_death_sweep(spec, limit=STEP_LIMIT)
+    assert results
+    assert not _failures(results)
+
+
+def test_takeover_traffic_survives_a_second_death():
+    # Wedge a takeover (kill the coordinator at the first vote), then
+    # kill each site at every later step — including the takeover's own
+    # queries, evidence, and usurper decision.  The second victim
+    # restarts while the coordinator stays dead: force-logged claims
+    # must resume, and a reborn-coordinator victim must self-takeover.
+    spec = cluster_scenarios.get("cluster_group_commit")
+    steps = probe_message_steps(spec)
+    wedge = next(n for n, d in steps if d.endswith(":vote"))
+    results = takeover_death_sweep(
+        spec, wedge, limit=None if LONG else 4
+    )
+    assert results
+    assert not _failures(results)
+
+
+def test_join_at_every_message():
+    spec = cluster_scenarios.get("cluster_group_commit")
+    results = join_sweep(spec, "delta", limit=STEP_LIMIT)
+    assert results
+    assert not _failures(results)
+
+
+def test_leave_at_every_message():
+    spec = cluster_scenarios.get("cluster_group_commit")
+    results = leave_sweep(spec, "beta", "gamma", limit=STEP_LIMIT)
     assert results
     assert not _failures(results)
 

@@ -1,0 +1,151 @@
+"""Coordinator failover: leases, fencing epochs, in-doubt takeover.
+
+Unit-level companions to the ``coordinator_death_sweep`` /
+``takeover_death_sweep`` acceptance runs in ``test_sweeps.py``: pinned
+kill points with named expectations, rather than every step with the
+generic oracles.
+"""
+
+from repro.chaos.faults import FaultPlan
+from repro.cluster import Cluster
+from repro.cluster import scenarios as cluster_scenarios
+from repro.cluster.sweep import probe_message_steps, run_failover_plan
+from repro.storage.log import CommitRecord, DecisionRecord, TakeoverRecord
+
+
+def _step(steps, kind, index=0):
+    """The ``index``-th message step whose detail ends with ``:kind``."""
+    matches = [n for n, d in steps if d.endswith(f":{kind}")]
+    return matches[index]
+
+
+def _takeover_records(cluster):
+    return [
+        record
+        for site in cluster.sites.values()
+        for record in site.durable_records()
+        if isinstance(record, TakeoverRecord)
+    ]
+
+
+def _merged_verdicts(analyses):
+    """gid -> set of verdicts across every site's durable log."""
+    merged = {}
+    for analysis in analyses.values():
+        for gid, verdicts in analysis.group_verdicts.items():
+            merged.setdefault(gid, set()).update(verdicts)
+    return merged
+
+
+class TestTakeover:
+    def test_death_before_decision_presumes_abort(self):
+        # Kill the coordinator the moment the first vote is sent: the
+        # participants are prepared, no decision exists anywhere, and
+        # the coordinator never answers another inquiry.  The survivors'
+        # lease-paced takeover must re-derive presumed abort and settle
+        # every live member without the operator's help.
+        spec = cluster_scenarios.get("cluster_group_commit")
+        steps = probe_message_steps(spec)
+        plan = FaultPlan(kill_coordinator_at=_step(steps, "vote"))
+        result = run_failover_plan(spec, plan)
+        assert result.ok, result.describe()
+        takeovers = _takeover_records(result.cluster)
+        assert takeovers, "a takeover claim must be force-logged"
+        assert {t.verdict for t in takeovers} == {"abort"}
+        assert all(t.epoch >= 1 for t in takeovers)
+        # Every claim names the same fenced-out old coordinator, and
+        # the collected evidence is snapshotted for audit.
+        assert len({t.old_coordinator for t in takeovers}) == 1
+        assert all(t.votes for t in takeovers)
+        assert {"abort"} in _merged_verdicts(result.analyses).values()
+
+    def test_death_after_decision_preserves_commit(self):
+        # Kill the coordinator at the first participant ack: by then the
+        # commit decision is durable and released.  A permanently dead
+        # coordinator must not undo it — the group stays committed with
+        # a single verdict across every log.
+        spec = cluster_scenarios.get("cluster_group_commit")
+        steps = probe_message_steps(spec)
+        plan = FaultPlan(kill_coordinator_at=_step(steps, "ack"))
+        result = run_failover_plan(spec, plan)
+        assert result.ok, result.describe()
+        verdicts = _merged_verdicts(result.analyses)
+        assert {"commit"} in verdicts.values()
+        assert {"abort", "commit"} not in verdicts.values()
+
+    def test_partial_release_takeover_derives_commit(self):
+        # Kill the coordinator at the *second* decision send: at least
+        # one participant holds the commit verdict, another may still be
+        # prepared.  Whatever takeover runs must find the durable
+        # "committed" evidence and conclude commit — never presume abort
+        # over a witness.
+        spec = cluster_scenarios.get("cluster_group_commit")
+        steps = probe_message_steps(spec)
+        plan = FaultPlan(kill_coordinator_at=_step(steps, "decision", 1))
+        result = run_failover_plan(spec, plan)
+        assert result.ok, result.describe()
+        for gid, verdicts in _merged_verdicts(result.analyses).items():
+            assert len(verdicts) == 1, f"gid {gid} split: {verdicts}"
+        takeovers = _takeover_records(result.cluster)
+        assert all(t.verdict == "commit" for t in takeovers)
+        commits = [
+            record.tid.value
+            for site in result.cluster.sites.values()
+            for record in site.durable_records()
+            if isinstance(record, CommitRecord)
+        ]
+        assert commits, "the released commit must survive the death"
+
+    def test_reborn_coordinator_is_fenced_not_split(self):
+        # The old coordinator restarts after a takeover settled the
+        # group.  Its log and the survivors' logs must agree on a single
+        # verdict per gid (the no-dual-decision oracle), and the usurper
+        # epoch must outrank the original epoch 0.
+        spec = cluster_scenarios.get("cluster_group_commit")
+        steps = probe_message_steps(spec)
+        plan = FaultPlan(kill_coordinator_at=_step(steps, "vote", 1))
+        result = run_failover_plan(spec, plan)
+        assert result.ok, result.describe()
+        takeovers = _takeover_records(result.cluster)
+        assert takeovers
+        old = takeovers[0].old_coordinator
+        reborn = result.cluster.sites[old]
+        assert reborn.up
+        merged = _merged_verdicts(result.analyses)
+        for gid, verdicts in merged.items():
+            assert len(verdicts) == 1
+        # The reborn site carries no conflicting decision of its own.
+        for record in reborn.durable_records():
+            if isinstance(record, DecisionRecord):
+                assert {record.verdict} <= merged.get(
+                    record.gid, {record.verdict}
+                )
+
+
+class TestFencing:
+    def test_lower_epochs_are_rejected_and_counted(self):
+        cluster = Cluster()
+        site = cluster.sites["alpha"]
+        assert site._fence(7, 0) is True  # epoch 0 is the default
+        assert site._fence(7, 2) is True  # higher: adopted on the spot
+        assert site.group_epochs[7] == 2
+        before = site.stats["stale_epoch_rejects"]
+        assert site._fence(7, 1) is False  # stale: fenced out
+        assert site.stats["stale_epoch_rejects"] == before + 1
+        assert site.group_epochs[7] == 2  # rejection never regresses
+
+    def test_equal_epochs_pass(self):
+        # Same-epoch duplicates are legal: dueling takers at one epoch
+        # derive the same verdict from the same durable evidence.
+        cluster = Cluster()
+        site = cluster.sites["alpha"]
+        site._fence(7, 3)
+        assert site._fence(7, 3) is True
+        assert site.group_epochs[7] == 3
+
+    def test_epochs_are_per_group(self):
+        cluster = Cluster()
+        site = cluster.sites["alpha"]
+        site._fence(7, 5)
+        assert site._fence(8, 1) is True  # other gid: independent fence
+        assert site.group_epochs == {7: 5, 8: 1}

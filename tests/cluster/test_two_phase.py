@@ -107,11 +107,21 @@ class TestHappyPath:
             raise AssertionError("two representatives on one site accepted")
         except ValueError:
             pass
-        try:
-            cluster.group_commit([a1], coordinator="beta")
-            raise AssertionError("memberless coordinator accepted")
-        except ValueError:
-            pass
+
+    def test_memberless_coordinator_degrades_to_abort(self):
+        # A coordinator hosting no member is a configuration the caller
+        # can reach mid-churn (the intended host just left); it must not
+        # blow up the console — the group degrades to a recorded abort.
+        cluster = Cluster(sites=("alpha", "beta"))
+        a1 = cluster.spawn_at("alpha", _account(b"x"))
+        outcome = cluster.group_commit([a1], coordinator="beta")
+        assert not outcome.committed
+        assert outcome.resolved
+        assert "beta" in outcome.abort_reason
+        cluster.converge()
+        assert a1.tid.value not in committed_values(cluster.sites["alpha"])
+        report, __ = cluster.evaluate(label="memberless coordinator")
+        assert report.ok
 
 
 class TestAbortPaths:

@@ -77,6 +77,59 @@ class TestLeases:
         assert [type(e) for e in errors] == [DeadlineExceeded, LeaseExpired]
 
 
+class TestLeaseEdges:
+    """The boundary cases the coordinator-failover protocol leans on."""
+
+    def test_exact_expiry_tick_is_dead_but_a_beat_revives(self, clock, table):
+        # ``lease_live`` is strict: at exactly last_beat + duration the
+        # lease is already dead (now < expires_at), matching the
+        # deadline convention where now == at has expired.
+        table.grant_lease(Tid(1), duration=10)
+        assert table.lease_live(Tid(1), now=9)
+        assert not table.lease_live(Tid(1), now=10)
+        # But the lease *record* survives until someone forgets it: a
+        # heartbeat landing on the exact expiry tick still renews, so a
+        # slow-but-alive owner that beats the watchdog to the tick
+        # keeps its lease.
+        clock.advance_to(10)
+        assert table.heartbeat(Tid(1)) is True
+        assert table.lease_live(Tid(1))
+        assert table.expired() == []
+
+    def test_regrant_after_expiry_rearms_with_full_budget(self, clock, table):
+        table.grant_lease(Tid(1), duration=10)
+        clock.advance_to(25)
+        assert not table.lease_live(Tid(1))
+        assert len(table.expired()) == 1
+        # Re-arming an expired lease (a reborn coordinator announcing
+        # itself again) starts a fresh full budget from *now*, not from
+        # the stale last beat.
+        lease = table.grant_lease(Tid(1), duration=10)
+        assert lease.last_beat == 25
+        assert table.lease_live(Tid(1))
+        assert table.expired() == []
+        assert not table.lease_live(Tid(1), now=35)
+
+    def test_release_races_the_ripe_check(self, clock, table):
+        # The watchdog snapshots ``expired()`` and then acts; a clean
+        # release (forget) can land in between.  The snapshot is stale
+        # by design — the table must simply report nothing afterwards,
+        # and late heartbeats for the forgotten lease must say False so
+        # the old owner learns it no longer holds anything.
+        table.grant_lease(Tid(1), duration=10)
+        clock.advance_to(12)
+        [ripe] = table.expired()
+        assert ripe.tid == Tid(1)
+        table.forget(Tid(1))
+        assert table.expired() == []
+        assert table.lease_of(Tid(1)) is None
+        assert table.heartbeat(Tid(1)) is False
+        assert not table.lease_live(Tid(1))
+        # The captured error still names the tid (the watchdog dedupes
+        # and tolerates victims that vanished under it).
+        assert ripe.tid == Tid(1)
+
+
 class TestNextExpiry:
     def test_none_when_nothing_armed(self, table):
         assert table.next_expiry() is None

@@ -16,7 +16,11 @@ from repro.common.errors import AssetError
 from repro.core.manager import TransactionManager
 from repro.runtime.coop import CooperativeRuntime
 from repro.workflow.definition import DefinitionRegistry, WorkflowDefinition
-from repro.workflow.durable import DurableWorkflowEngine, _WaitToken
+from repro.workflow.durable import (
+    DurableWorkflowEngine,
+    ExecutionLeaseBoard,
+    _WaitToken,
+)
 from repro.workflow.engine import TaskStatus
 from repro.workflow.execution import ExecutionStatus, fold_all
 from repro.workflow.records import (
@@ -325,3 +329,120 @@ class TestFoldOracle:
         folded = fold_all(log_records, winners)[wid]
         assert folded.status is ExecutionStatus.COMPENSATED
         assert folded.status_of("place") is TaskStatus.COMPENSATED
+
+
+class TestExecutionLeases:
+    """Workflow-level ownership leases: the coordinator-lease analogue.
+
+    Two engine instances over one storage stack share an
+    ``ExecutionLeaseBoard``; whoever drives an execution heartbeats its
+    lease through durable progress, a rival may claim it only after the
+    lease lapses, and a takeover re-reads the durable log so the new
+    owner never drives a stale image.
+    """
+
+    def _pair(self, rt, oids, lease=16):
+        board = ExecutionLeaseBoard(rt.manager.clock)
+        registry = DefinitionRegistry()
+        registry.register(_approval_definition("approval", oids))
+        first = DurableWorkflowEngine(
+            rt, registry, owner="first", leases=board,
+            execution_lease=lease,
+        )
+        # Same storage, same clock: a rival engine on the same site.
+        runtime = CooperativeRuntime(
+            TransactionManager(
+                storage=rt.manager.storage, clock=rt.manager.clock
+            )
+        )
+        second = DurableWorkflowEngine(
+            runtime, registry, owner="second", leases=board,
+            execution_lease=lease,
+        )
+        return board, first, second
+
+    def test_live_lease_blocks_double_resume(self, rt):
+        oids = _make_oids(rt, ("order", "audit"))
+        board, first, second = self._pair(rt, oids)
+        wid = first.start("approval")
+        assert first.status(wid) is ExecutionStatus.WAITING_SIGNAL
+        assert board.owner_of(wid) == "first"
+        assert board.live(wid)
+        recovered = second.recover()
+        assert recovered == [wid]
+        # The double-resume regression: while the owner's lease is
+        # live, a rival recovery must be refused, not raced.
+        with pytest.raises(AssetError, match="live lease"):
+            second.signal(wid, "approve")
+        with pytest.raises(AssetError, match="live lease"):
+            second.cancel(wid)
+        # resume() on a parked run is a no-op before it ever claims.
+        assert second.resume(wid) is ExecutionStatus.WAITING_SIGNAL
+        assert board.owner_of(wid) == "first"
+        assert second.status(wid) is ExecutionStatus.WAITING_SIGNAL
+        # The refused rival wrote nothing durable: the owner still
+        # drives its execution to completion untroubled.
+        assert first.signal(wid, "approve") is ExecutionStatus.COMPLETED
+
+    def test_lapsed_lease_is_taken_over(self, rt):
+        oids = _make_oids(rt, ("order", "audit"))
+        board, first, second = self._pair(rt, oids, lease=16)
+        wid = first.start("approval")
+        second.recover()
+        # The first engine goes quiet; its lease runs out.
+        rt.manager.clock.tick(17)
+        assert not board.live(wid)
+        status = second.signal(wid, "approve")
+        assert status is ExecutionStatus.COMPLETED
+        assert board.owner_of(wid) == "second"
+        assert _value(second.runtime, oids["audit"]) == 1
+        # Exactly one confirm attempt across both engines: the takeover
+        # resumed the run, it did not re-execute it.
+        attempts = [
+            record
+            for record in workflow_records(
+                second.storage.log.records(), wid=wid
+            )
+            if record.kind == STEP_ATTEMPT
+        ]
+        assert len(attempts) == 2  # place (first) + confirm (second)
+
+    def test_stale_owner_adopts_durable_truth(self, rt):
+        oids = _make_oids(rt, ("order", "audit"))
+        board, first, second = self._pair(rt, oids, lease=16)
+        wid = first.start("approval")
+        second.recover()
+        rt.manager.clock.tick(17)
+        assert second.signal(wid, "approve") is ExecutionStatus.COMPLETED
+        # A terminal run's lease is released, so the original owner's
+        # late signal is not refused — but its claim notices the board
+        # changed hands and re-folds the durable log first: the stale
+        # parked image is replaced by the finished one, and the signal
+        # lands on a terminal run and changes nothing.
+        assert first.status(wid) is ExecutionStatus.WAITING_SIGNAL  # stale
+        assert first.signal(wid, "approve") is ExecutionStatus.COMPLETED
+        assert first.status(wid) is ExecutionStatus.COMPLETED
+        finishes = [
+            record
+            for record in workflow_records(
+                first.storage.log.records(), wid=wid
+            )
+            if record.kind == FINISHED
+        ]
+        assert len(finishes) == 1
+
+    def test_owner_heartbeat_keeps_rivals_out(self, rt):
+        oids = _make_oids(rt, ("order", "audit"))
+        board, first, second = self._pair(rt, oids, lease=16)
+        wid = first.start("approval")
+        second.recover()
+        for _ in range(4):
+            rt.manager.clock.tick(10)
+            # Durable progress (here: a non-resuming signal delivery)
+            # doubles as the heartbeat, so the lease never lapses even
+            # though far more than one budget of ticks has passed.
+            first.signal(wid, "noise", resume=False)
+            assert board.live(wid)
+            with pytest.raises(AssetError, match="live lease"):
+                second.cancel(wid)
+        assert first.signal(wid, "approve") is ExecutionStatus.COMPLETED
