@@ -98,6 +98,10 @@ class FaultPlan:
     label: str = ""
     # Network faults (NET_MSG steps on the simulated fabric):
     # * ``drop_msg_at`` — the message sent at step k silently vanishes;
+    # * ``drop_msg_kinds`` — every message of the named kinds vanishes
+    #   (e.g. ``{"decision"}`` blacks out the whole commit release,
+    #   including heartbeat-paced resends at step numbers no probe of a
+    #   healthy run could predict) while the injector stays armed;
     # * ``dup_msg_at`` — it is delivered twice (at-least-once links);
     # * ``delay_msg_at`` — its delivery slips one pump round (reordering
     #   past everything sent in the same round);
@@ -113,6 +117,7 @@ class FaultPlan:
     # * ``leave_site_at=(leaver, successor, k)`` — ``leaver`` begins an
     #   object-range handoff to ``successor`` at step k.
     drop_msg_at: frozenset = frozenset()
+    drop_msg_kinds: frozenset = frozenset()
     dup_msg_at: frozenset = frozenset()
     delay_msg_at: frozenset = frozenset()
     partition_at: int = None
@@ -131,6 +136,9 @@ class FaultPlan:
             self, "fail_flush_at", frozenset(self.fail_flush_at)
         )
         object.__setattr__(self, "drop_msg_at", frozenset(self.drop_msg_at))
+        object.__setattr__(
+            self, "drop_msg_kinds", frozenset(self.drop_msg_kinds)
+        )
         object.__setattr__(self, "dup_msg_at", frozenset(self.dup_msg_at))
         object.__setattr__(
             self, "delay_msg_at", frozenset(self.delay_msg_at)
@@ -150,6 +158,7 @@ class FaultPlan:
             and not self.fail_flush_at
             and self.crash_at_failpoint is None
             and not self.drop_msg_at
+            and not self.drop_msg_kinds
             and not self.dup_msg_at
             and not self.delay_msg_at
             and self.partition_at is None
@@ -175,6 +184,8 @@ class FaultPlan:
             parts.append("keep_tail=True")
         if self.drop_msg_at:
             parts.append(f"drop_msg_at={sorted(self.drop_msg_at)}")
+        if self.drop_msg_kinds:
+            parts.append(f"drop_msg_kinds={sorted(self.drop_msg_kinds)}")
         if self.dup_msg_at:
             parts.append(f"dup_msg_at={sorted(self.dup_msg_at)}")
         if self.delay_msg_at:
@@ -212,6 +223,7 @@ class FaultPlan:
             "keep_tail": self.keep_tail,
             "label": self.label,
             "drop_msg_at": sorted(self.drop_msg_at),
+            "drop_msg_kinds": sorted(self.drop_msg_kinds),
             "dup_msg_at": sorted(self.dup_msg_at),
             "delay_msg_at": sorted(self.delay_msg_at),
             "partition_at": self.partition_at,
@@ -252,6 +264,7 @@ class FaultPlan:
             keep_tail=bool(data.get("keep_tail", False)),
             label=data.get("label", ""),
             drop_msg_at=frozenset(data.get("drop_msg_at", ())),
+            drop_msg_kinds=frozenset(data.get("drop_msg_kinds", ())),
             dup_msg_at=frozenset(data.get("dup_msg_at", ())),
             delay_msg_at=frozenset(data.get("delay_msg_at", ())),
             partition_at=data.get("partition_at"),
@@ -403,7 +416,7 @@ class FaultInjector:
             return "deliver", None
         step = self._next(NET_MSG, f"{src}->{dst}:{kind}")
         self._check_crash(step)
-        if step.number in self.plan.drop_msg_at:
+        if step.number in self.plan.drop_msg_at or kind in self.plan.drop_msg_kinds:
             return "drop", step
         if step.number in self.plan.dup_msg_at:
             return "duplicate", step

@@ -121,6 +121,8 @@ def build_plan(args):
     # Network faults (cluster scenarios).
     if args.drop_at:
         overrides["drop_msg_at"] = frozenset(args.drop_at)
+    if args.drop_kind:
+        overrides["drop_msg_kinds"] = frozenset(args.drop_kind)
     if args.dup_at:
         overrides["dup_msg_at"] = frozenset(args.dup_at)
     if args.delay_at:
@@ -276,6 +278,11 @@ def main(argv=None):
     parser.add_argument(
         "--drop-at", type=int, action="append", default=[],
         help="drop the message at step N (repeatable; cluster scenarios)",
+    )
+    parser.add_argument(
+        "--drop-kind", action="append", default=[], metavar="KIND",
+        help="drop every message of KIND, e.g. 'decision' (repeatable;"
+             " resends included — a full release blackout)",
     )
     parser.add_argument(
         "--dup-at", type=int, action="append", default=[],

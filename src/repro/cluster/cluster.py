@@ -140,7 +140,14 @@ class Cluster:
                     self.join_site(arg)
             elif action == "leave":
                 leaver, successor = arg
-                if leaver in self.membership:
+                if (
+                    leaver in self.membership
+                    and successor in self.membership
+                    and successor != leaver
+                ):
+                    # A plan naming an absent successor (typo, or its
+                    # join fires at a later step) is skipped, not a
+                    # ValueError out of the middle of the tick loop.
                     self.leave_site(leaver, successor, wait=False)
         self.fabric.pump_round()
         for name in sorted(self.sites):

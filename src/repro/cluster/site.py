@@ -22,9 +22,11 @@ The site is also both halves of presumed-abort two-phase commit:
   terminate only by the coordinator's decision; if the decision is slow
   the site inquires with ``status_req``, paced by a lease on the
   resilience :class:`~repro.resilience.deadlines.DeadlineTable`.
-* **coordinator** — collects votes under a deadline, force-logs a
-  :class:`~repro.storage.log.DecisionRecord` *before* releasing COMMIT
-  (that record is the global commit point), and answers in-doubt
+* **coordinator** — collects votes under a deadline, releases COMMIT
+  to the participants and force-logs the
+  :class:`~repro.storage.log.DecisionRecord` once the first participant
+  acknowledges (witness-confirmed release: a logged commit implies a
+  durable witness exists among the members), and answers in-doubt
   inquiries from its durable state: a logged commit decision says
   commit, anything else is presumed abort.
 
@@ -48,7 +50,7 @@ from repro.core.outcomes import PrepareStatus
 from repro.core.status import TransactionStatus
 from repro.resilience.deadlines import DeadlineTable
 from repro.runtime.coop import CooperativeRuntime
-from repro.storage.log import DecisionRecord, TakeoverRecord
+from repro.storage.log import DecisionRecord, PrepareRecord, TakeoverRecord
 from repro.storage.store import StorageManager
 
 __all__ = ["Site"]
@@ -192,6 +194,12 @@ class Site:
         self.taking_over = {}
         self.settled_gids = {}
         self.takeover_claims = {}
+        # Every gid this site ever force-logged a vote for.  Purely
+        # defensive: if a voted gid is somehow neither live, in doubt,
+        # nor settled, takeover evidence reports ``resolved_unknown``
+        # instead of "never prepared" — presuming abort over a member
+        # whose resolution was merely forgotten is the one unsafe guess.
+        self.voted_gids = set()
         # Membership state: the cluster-wide membership epoch (stale
         # routed requests are rejected against it), whether this site
         # has left, and the in-flight leaver-side handoff, if any.
@@ -258,12 +266,16 @@ class Site:
         }
         claims = {}
         decisions = {}
+        prepares = {}
         for record in self.storage.log.records(durable_only=True):
             if isinstance(record, TakeoverRecord):
                 claims[record.gid] = record
             elif isinstance(record, DecisionRecord):
                 decisions[record.gid] = record
+            elif isinstance(record, PrepareRecord):
+                prepares[record.gid] = record
         self.takeover_claims = claims
+        self.voted_gids = set(prepares)
         # Durable takeover claims restore the fencing epoch: a reborn
         # taker must never act below the authority it already asserted.
         for gid, claim in claims.items():
@@ -291,6 +303,22 @@ class Site:
                         "epoch": self.group_epochs.get(gid, 0),
                     },
                 )
+        # Reconstruct witness knowledge for every group this site voted
+        # in and later resolved.  The live maps (``settled_gids``,
+        # ``durable_decisions``) are volatile; only the log survives, and
+        # a restarted commit witness that answered a takeover poll (or a
+        # status inquiry) with "no information" would let a taker presume
+        # abort over a member this site durably committed — a cross-site
+        # atomicity violation.  A prepared gid absent from ``in_doubt``
+        # was resolved: its members are recovery winners iff the group
+        # committed, and all hold durable abort records otherwise.
+        for gid, record in sorted(prepares.items()):
+            if gid in self.settled_gids or gid in self.in_doubt:
+                continue
+            if record.prepared_tids() & report.winners:
+                self.settled_gids[gid] = "commit"
+            else:
+                self.settled_gids[gid] = "abort"
         # A takeover claim without its decision record: the crash landed
         # between the two force-logs.  The logged verdict was derived
         # from durable evidence that only this claim could have changed,
@@ -339,7 +367,7 @@ class Site:
             or self.taking_over
             or self.handoff is not None
             or any(
-                entry["state"] == "collecting"
+                entry["state"] in ("collecting", "releasing")
                 for entry in self.coordinating.values()
             )
         )
@@ -702,10 +730,12 @@ class Site:
         gid = msg.payload["gid"]
         entry = self.coordinating.get(gid)
         if entry is not None:
-            if entry["state"] != "collecting":
-                self._reply(msg, {"committed": entry["verdict"] == "commit"})
-            else:
+            if entry["state"] in ("collecting", "releasing"):
+                # Still collecting votes, or waiting for the witness ACK
+                # that seals the commit — answer when the fate is sealed.
                 entry["client"] = (msg.src, msg.msg_id)
+            else:
+                self._reply(msg, {"committed": entry["verdict"] == "commit"})
             return
         members = dict(msg.payload["members"])
         sites = tuple(sorted(members))
@@ -750,27 +780,34 @@ class Site:
         """Seal the global fate and release it — witnesses first.
 
         On commit the DECISION messages leave *before* the
-        :class:`DecisionRecord` is force-logged: every participant that
-        receives one becomes a durable commit witness, so the invariant
-        "a logged commit implies the release was already attempted"
-        holds even if this site dies permanently mid-decide.  That
-        invariant is what makes coordinator takeover safe: a taker that
-        finds no commit witness among the members may presume abort,
-        because a commit this coordinator logged but never started
-        releasing cannot exist.  (A crash *between* send and log leaves
-        no decision record; the restarted coordinator is then in doubt
+        :class:`DecisionRecord` is force-logged, and the force-log (plus
+        local apply and client reply, in :meth:`_seal_commit`) waits in
+        state ``releasing`` for the first participant ACK.  A send is
+        not a delivery: only an acknowledged DECISION proves a durable
+        commit witness exists among the members, so the invariant "a
+        logged commit implies a witness exists" holds even if every
+        fan-out message is dropped and this site then dies permanently.
+        That invariant is what makes coordinator takeover safe: a taker
+        that finds no commit witness among the members may presume
+        abort, because a commit this coordinator logged but never got
+        witnessed cannot exist.  (A crash while ``releasing`` leaves no
+        decision record; the restarted coordinator is then in doubt
         about its own group and re-derives by polling — a witness that
         did receive the commit answers for it.)  Abort decisions are
-        still never logged on this path (presumed abort: absence of a
-        decision *is* the abort record).
+        never logged on this path (presumed abort: absence of a
+        decision *is* the abort record), and a commit with no remote
+        participant seals immediately — its own log is the only truth
+        and no takeover can contradict it.
         """
         entry = self.coordinating[gid]
-        entry["state"] = "decided"
         entry["verdict"] = verdict
         epoch = self._epoch_of(gid)
         participants = sorted(s for s in entry["members"] if s != self.name)
-        local_value = entry["members"].get(self.name)
-        local_tid = Tid(local_value) if local_value is not None else None
+        if verdict == "commit" and participants:
+            entry["state"] = "releasing"
+            entry["next_release"] = self.ticks + self.heartbeat_interval
+        else:
+            entry["state"] = "decided"
         for site in participants:
             self._send(
                 site,
@@ -782,47 +819,87 @@ class Site:
                     "epoch": epoch,
                 },
             )
-        if not self.up:
-            # A planned crash fired on one of those sends; the site is
-            # dead and must not touch its storage again.
+        if not self.up or entry["state"] == "releasing":
+            # Dead (a planned crash fired on one of those sends — the
+            # site must not touch its storage again), or waiting for a
+            # witness ACK to seal the commit.
             return
         if verdict == "commit":
-            anchor = local_tid if local_tid is not None else Tid(0)
-            group = ()
-            if local_tid is not None:
-                group = tuple(
-                    sorted(
-                        self.manager.dependencies.gc_group(local_tid) - {local_tid},
-                        key=lambda t: t.value,
-                    )
-                )
-            self.storage.log_decision(
-                anchor, gid, "commit", group=group, participants=participants
-            )
-            self.durable_decisions[gid] = "commit"
+            self._log_commit_decision(gid, entry, participants)
+            if not self.up:
+                return
         # The coordinator is its own participant: apply the decision to
         # the local member through the same path a remote one would use.
-        self._apply_decision_locally(gid, verdict, local_value)
+        self._apply_decision_locally(gid, verdict, entry["members"].get(self.name))
         if not self.up:
             return
+        self._answer_group_client(gid, entry)
+
+    def _log_commit_decision(self, gid, entry, participants):
+        """Force-log the commit :class:`DecisionRecord` for ``gid``."""
+        local_value = entry["members"].get(self.name)
+        local_tid = Tid(local_value) if local_value is not None else None
+        anchor = local_tid if local_tid is not None else Tid(0)
+        group = ()
+        if local_tid is not None:
+            group = tuple(
+                sorted(
+                    self.manager.dependencies.gc_group(local_tid) - {local_tid},
+                    key=lambda t: t.value,
+                )
+            )
+        self.storage.log_decision(
+            anchor, gid, "commit", group=group, participants=participants
+        )
+        self.durable_decisions[gid] = "commit"
+
+    def _answer_group_client(self, gid, entry):
+        """Reply to the console waiting on ``gc_begin``, if any."""
         client = entry.pop("client", None)
         if client is not None:
             src, msg_id = client
             self._send(
                 src,
                 "gc_begin.reply",
-                {"gid": gid, "committed": verdict == "commit"},
+                {"gid": gid, "committed": entry["verdict"] == "commit"},
                 reply_to=msg_id,
             )
+
+    def _seal_commit(self, gid):
+        """First witness ACK arrived: make the commit decision durable.
+
+        The acknowledging participant has durably applied the commit,
+        so force-logging the :class:`DecisionRecord` now preserves the
+        takeover invariant — any taker polling the members will find at
+        least one ``committed`` witness.  Local apply and the client
+        reply were deferred with the log for the same reason: nothing
+        observable may claim commit while no witness exists.
+        """
+        entry = self.coordinating[gid]
+        entry["state"] = "decided"
+        participants = sorted(s for s in entry["members"] if s != self.name)
+        self._log_commit_decision(gid, entry, participants)
+        if not self.up:
+            return
+        self._apply_decision_locally(gid, "commit", entry["members"].get(self.name))
+        if not self.up:
+            return
+        self._answer_group_client(gid, entry)
 
     def _h_vote(self, msg):
         self._record_vote(msg.payload["gid"], msg.payload["site"], msg.payload["verdict"])
 
     def _h_ack(self, msg):
-        entry = self.coordinating.get(msg.payload["gid"])
-        if entry is None or entry["state"] != "decided":
+        gid = msg.payload["gid"]
+        entry = self.coordinating.get(gid)
+        if entry is None or entry["state"] not in ("releasing", "decided"):
             return
         entry["acks"].add(msg.payload["site"])
+        if entry["state"] == "releasing":
+            # First acknowledged witness: the commit may now be sealed.
+            self._seal_commit(gid)
+            if not self.up:
+                return
         if entry["acks"] >= {s for s in entry["members"] if s != self.name}:
             entry["state"] = "done"
 
@@ -834,15 +911,21 @@ class Site:
         decision says commit; *no information means abort* — the
         presumed-abort rule that makes coordinator amnesia safe.
 
-        One refinement under witness-first release: a site that is
+        One refinement under witness-confirmed release: a site that is
         itself in doubt about ``gid`` (a reborn coordinator before its
-        own re-derivation poll settles) answers *pending*, never abort —
-        a commit witness it has not heard from yet may exist.
+        own re-derivation poll settles), or that voted but cannot place
+        the resolution, answers *pending*, never abort — a commit
+        witness it has not heard from yet may exist.
         """
         gid = msg.payload["gid"]
         self._fence(gid, msg.payload.get("epoch", 0))
         entry = self.coordinating.get(gid)
-        if entry is not None and entry["state"] == "collecting":
+        if entry is not None and entry["state"] in ("collecting", "releasing"):
+            # Releasing: the commit verdict is volatile until a witness
+            # ACK seals it.  Answering "commit" here would let the asker
+            # durably apply it — including *this site's own member* via
+            # a self-inquiry — minting a witness the takeover derivation
+            # does not know can exist.  DECISION resends carry liveness.
             verdict = "pending"
         elif entry is not None:
             verdict = entry["verdict"]
@@ -854,6 +937,7 @@ class Site:
             gid in self.in_doubt
             or gid in self.taking_over
             or gid in self.prepared
+            or gid in self.voted_gids
         ):
             verdict = "pending"
         else:
@@ -909,6 +993,7 @@ class Site:
         )
         if outcome:
             del self.pending_prepares[gid]
+            self.voted_gids.add(gid)
             self.prepared[gid] = {
                 "tid": entry["tid"],
                 "coordinator": entry["coordinator"],
@@ -952,7 +1037,19 @@ class Site:
         # any takeover of ours is superseded by it.
         self.taking_over.pop(gid, None)
         verdict = msg.payload["verdict"]
+        entry = self.coordinating.get(gid)
+        if entry is not None and entry["state"] in ("collecting", "releasing"):
+            # A usurper sealed the fate while this (superseded, fenced
+            # past) coordinator was still collecting votes or waiting
+            # for its witness ACK.  Adopt the verdict — the usurper's
+            # log is the durable truth now — and answer the client.
+            entry["state"] = "decided"
+            entry["verdict"] = verdict
         self._apply_decision_locally(gid, verdict, msg.payload.get("tid"))
+        if not self.up:
+            return
+        if entry is not None and entry["state"] == "decided":
+            self._answer_group_client(gid, entry)
         self._send(
             msg.src, ACK, {"gid": gid, "site": self.name, "epoch": epoch}
         )
@@ -1081,7 +1178,11 @@ class Site:
     def _takeover_evidence(self, gid):
         """This site's durable verdict evidence for ``gid``:
         ``committed`` / ``aborted`` / ``collecting`` / ``prepared`` /
-        ``none`` (never voted commit), plus the member tid if known."""
+        ``pending_prepare`` (accepted but not yet voted) /
+        ``never_prepared`` (no trace of the group at all) /
+        ``resolved_unknown`` (voted, later resolved, resolution lost —
+        defensive, should be unreachable after log reconstruction),
+        plus the member tid if known."""
         if gid in self.durable_decisions:
             return "committed", None
         verdict = self.settled_gids.get(gid)
@@ -1089,7 +1190,10 @@ class Site:
             return ("committed" if verdict == "commit" else "aborted"), None
         entry = self.coordinating.get(gid)
         if entry is not None:
-            if entry["state"] == "collecting":
+            if entry["state"] in ("collecting", "releasing"):
+                # Releasing is still "deciding" to the outside world:
+                # the commit is volatile until a witness ACK seals it,
+                # so it must not be offered as durable evidence.
                 return "collecting", None
             committed = entry["verdict"] == "commit"
             return ("committed" if committed else "aborted"), None
@@ -1100,8 +1204,14 @@ class Site:
             return "prepared", self.in_doubt[gid]["record"].tid.value
         pending = self.pending_prepares.get(gid)
         if pending is not None:
-            return "none", pending["tid"].value
-        return "none", None
+            return "pending_prepare", pending["tid"].value
+        if gid in self.voted_gids:
+            # The vote was force-logged but its resolution is in no live
+            # or reconstructed map.  Never report "no trace" here:
+            # presuming abort over a member whose resolution was merely
+            # forgotten is the one unsafe guess a taker could make.
+            return "resolved_unknown", None
+        return "never_prepared", None
 
     def _h_takeover_query(self, msg):
         gid = msg.payload["gid"]
@@ -1185,9 +1295,14 @@ class Site:
         required — a silent member could be a commit witness, and
         presuming abort over it would split the group.  Only the old
         coordinator's silence is presumed (abort), which the
-        witness-first release ordering in :meth:`_decide` makes safe.
-        Any commit evidence — including a reborn old coordinator's
-        durable decision — forces commit; otherwise abort.
+        witness-confirmed release in :meth:`_decide` makes safe: a
+        commit the old coordinator logged without any member holding it
+        cannot exist.  Any commit evidence — including a reborn old
+        coordinator's durable decision — forces commit.  Abort is
+        presumed only over states that provably never held a commit
+        (``prepared`` / ``pending_prepare`` / ``never_prepared`` /
+        ``aborted``); a ``resolved_unknown`` answer blocks the
+        conclusion rather than risk a dual durable verdict.
         """
         entry = self.taking_over.get(gid)
         if entry is None:
@@ -1202,8 +1317,16 @@ class Site:
         states = set(entry["evidence"].values())
         own_state, __ = self._takeover_evidence(gid)
         states.add(own_state)
-        verdict = "commit" if "committed" in states else "abort"
-        self._complete_takeover(gid, verdict)
+        if "committed" in states:
+            self._complete_takeover(gid, "commit")
+            return
+        if "resolved_unknown" in states:
+            # Some member voted and later resolved but lost track of
+            # which way — a recovery defect surfaced loudly.  Concluding
+            # either verdict would be a guess; leave the group open (the
+            # quiescence oracle will flag it) instead of gambling.
+            return
+        self._complete_takeover(gid, "abort")
 
     def _complete_takeover(self, gid, verdict):
         """Force-log the claim + decision, settle locally, release."""
@@ -1467,6 +1590,29 @@ class Site:
         # stay live (a slow vote must not look like a dead coordinator).
         for gid in sorted(self.coordinating):
             entry = self.coordinating[gid]
+            if entry["state"] == "releasing":
+                # Un-witnessed commit: keep re-releasing to members that
+                # have not acknowledged (DECISION is idempotent and
+                # always ACKed) until the first ACK seals it.
+                if self.ticks >= entry.get("next_release", 0):
+                    entry["next_release"] = (
+                        self.ticks + self.heartbeat_interval
+                    )
+                    epoch = self._epoch_of(gid)
+                    for site in sorted(entry["members"]):
+                        if site == self.name or site in entry["acks"]:
+                            continue
+                        self._send(
+                            site,
+                            DECISION,
+                            {
+                                "gid": gid,
+                                "verdict": "commit",
+                                "tid": entry["members"][site],
+                                "epoch": epoch,
+                            },
+                        )
+                continue
             if entry["state"] != "collecting":
                 continue
             entry["ttl"] -= 1

@@ -33,6 +33,7 @@ __all__ = [
     "message_fault_sweep",
     "probe_message_steps",
     "probe_plan_steps",
+    "release_blackout_sweep",
     "run_cluster_plan",
     "run_failover_plan",
     "partition_sweep",
@@ -330,6 +331,47 @@ def takeover_death_sweep(
                     **options,
                 )
             )
+    return results
+
+
+def release_blackout_sweep(spec, steps=None, limit=None, **options):
+    """Black out every DECISION message, then kill the coordinator.
+
+    The window the plain sweeps never compose: sends are not
+    deliveries, so the fabric drops the *entire* commit release —
+    fan-out and every heartbeat-paced resend — while the coordinator
+    dies permanently at each step from the first (dropped) release
+    attempt onward.  Witness-confirmed release is what makes this
+    survivable: with no acknowledged witness the commit is never
+    force-logged, so the survivors' presumed-abort takeover cannot
+    contradict the dead coordinator's durable log.  Judged by the
+    two-phase failover runner (takeover liveness + no dual decision).
+    """
+    blackout = FaultPlan(drop_msg_kinds=frozenset({"decision"}))
+    if steps is None:
+        steps = probe_plan_steps(spec, blackout, **options)
+    # Kills before any release attempt are the plain death sweep's
+    # territory; start the marks at the first blacked-out DECISION.
+    first = next(
+        (n for n, d in steps if d.endswith(":decision")), None
+    )
+    if first is None:
+        return []
+    steps = [(n, d) for n, d in steps if n >= first]
+    if limit is not None:
+        steps = steps[:limit]
+    results = []
+    for number, detail in steps:
+        plan = blackout.with_(kill_coordinator_at=number)
+        results.append(
+            run_failover_plan(
+                spec,
+                plan,
+                step=number,
+                detail=f"decision blackout, kill coordinator at {detail}",
+                **options,
+            )
+        )
     return results
 
 

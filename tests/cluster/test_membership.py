@@ -124,6 +124,18 @@ class TestLeave:
         with pytest.raises(ValueError):
             cluster.leave_site("beta", "nobody")
 
+    def test_planned_leave_with_absent_successor_is_skipped(self):
+        # A churn plan naming a successor that is not (yet) a member —
+        # a typo, or a join that fires at a later step — must be
+        # skipped at the tick boundary, not explode out of the tick
+        # loop as a ValueError and abort the whole faulted run.
+        cluster = Cluster()
+        cluster.fabric._churn_requests.append(("leave", ("beta", "nobody")))
+        cluster.fabric._churn_requests.append(("leave", ("beta", "beta")))
+        cluster.tick()
+        assert "beta" in cluster.membership
+        assert not cluster.sites["beta"].left
+
     def test_group_commit_across_churned_membership(self):
         # After a join and a leave, one member per surviving site still
         # group-commits atomically and the oracles hold.

@@ -20,6 +20,7 @@ from repro.cluster.sweep import (
     message_fault_sweep,
     partition_sweep,
     probe_message_steps,
+    release_blackout_sweep,
     site_crash_sweep,
     takeover_death_sweep,
 )
@@ -95,6 +96,19 @@ def test_takeover_traffic_survives_a_second_death():
     results = takeover_death_sweep(
         spec, wedge, limit=None if LONG else 4
     )
+    assert results
+    assert not _failures(results)
+
+
+def test_decision_blackout_then_coordinator_death():
+    # The drops-compose-with-kills window: every DECISION (fan-out and
+    # heartbeat resends) vanishes while the coordinator dies
+    # permanently at each step from its first release attempt onward.
+    # Witness-confirmed release means no commit is ever force-logged
+    # without an acknowledged witness, so the takeover's presumed abort
+    # can never contradict the dead coordinator's log.
+    spec = cluster_scenarios.get("cluster_group_commit")
+    results = release_blackout_sweep(spec, limit=None if LONG else 6)
     assert results
     assert not _failures(results)
 

@@ -9,8 +9,32 @@ generic oracles.
 from repro.chaos.faults import FaultPlan
 from repro.cluster import Cluster
 from repro.cluster import scenarios as cluster_scenarios
-from repro.cluster.sweep import probe_message_steps, run_failover_plan
+from repro.cluster.sweep import (
+    probe_message_steps,
+    probe_plan_steps,
+    run_cluster_plan,
+    run_failover_plan,
+)
 from repro.storage.log import CommitRecord, DecisionRecord, TakeoverRecord
+
+
+def _account(tag):
+    def body(tx):
+        oid = yield tx.create(tag + b"0")
+        yield tx.write(oid, tag + b"1")
+        return oid
+
+    return body
+
+
+def _spawn_group(cluster):
+    refs = [
+        cluster.spawn_at(site, _account(site.encode()))
+        for site in sorted(cluster.sites)
+    ]
+    for ref in refs:
+        cluster.wait(ref)
+    return cluster.link_group(refs)
 
 
 def _step(steps, kind, index=0):
@@ -120,6 +144,132 @@ class TestTakeover:
                 assert {record.verdict} <= merged.get(
                     record.gid, {record.verdict}
                 )
+
+
+class TestWitnessReconstruction:
+    def test_restarted_commit_witness_still_testifies(self):
+        # A participant applies the commit, then power-cycles.  Its
+        # settled map is volatile; only the log survives — and the log
+        # holds a PrepareRecord whose tids are recovery winners.  The
+        # restart must reconstruct "this group committed", or a taker
+        # polling it would read silence as presumed abort and split the
+        # group against this site's durable commit.
+        cluster = Cluster()
+        refs = _spawn_group(cluster)
+        outcome = cluster.group_commit(refs)
+        assert outcome and outcome.committed
+        cluster.converge()
+        cluster.crash_site("beta")
+        cluster.restart_site("beta")
+        beta = cluster.sites["beta"]
+        assert beta.settled_gids.get(outcome.gid) == "commit"
+        assert beta._takeover_evidence(outcome.gid) == ("committed", None)
+
+    def test_restarted_abort_participant_still_testifies(self):
+        # Same reconstruction, abort side: a participant that voted
+        # commit and then resolved abort (its coordinator died before
+        # deciding; the takeover presumed abort) must, after its own
+        # power-cycle, still answer "aborted" — not "no trace".
+        spec = cluster_scenarios.get("cluster_group_commit")
+        steps = probe_message_steps(spec)
+        plan = FaultPlan(kill_coordinator_at=_step(steps, "vote"))
+        result = run_failover_plan(spec, plan)
+        assert result.ok, result.describe()
+        cluster = result.cluster
+        old = _takeover_records(cluster)[0].old_coordinator
+        witness = next(
+            name
+            for name, site in sorted(cluster.sites.items())
+            if name != old and site.voted_gids
+        )
+        site = cluster.sites[witness]
+        (gid,) = site.voted_gids
+        assert site.settled_gids.get(gid) == "abort"
+        cluster.crash_site(witness)
+        cluster.restart_site(witness)
+        site = cluster.sites[witness]
+        assert site.settled_gids.get(gid) == "abort"
+        assert site._takeover_evidence(gid) == ("aborted", None)
+
+
+class TestEvidenceStates:
+    def test_never_prepared_vs_resolved_unknown(self):
+        cluster = Cluster()
+        site = cluster.sites["alpha"]
+        assert site._takeover_evidence(99) == ("never_prepared", None)
+        # A voted gid whose resolution is in no map must never read as
+        # "no trace" — that is the one unsafe guess a taker could make.
+        site.voted_gids.add(99)
+        assert site._takeover_evidence(99) == ("resolved_unknown", None)
+
+    def _taking_over_entry(self, site, gid, evidence):
+        site.taking_over[gid] = {
+            "epoch": 1,
+            "old": "beta",
+            "sites": ("alpha", "beta", "gamma"),
+            "tid": None,
+            "evidence": dict(evidence),
+            "tids": {},
+            "next_poll": 0,
+            "claimed": False,
+        }
+
+    def test_abort_is_presumed_over_never_prepared(self):
+        cluster = Cluster()
+        site = cluster.sites["alpha"]
+        self._taking_over_entry(site, 7, {"gamma": "never_prepared"})
+        site._maybe_conclude_takeover(7)
+        assert 7 not in site.taking_over
+        decisions = [
+            record
+            for record in site.durable_records()
+            if isinstance(record, DecisionRecord)
+        ]
+        assert [record.verdict for record in decisions] == ["abort"]
+
+    def test_resolved_unknown_blocks_the_conclusion(self):
+        cluster = Cluster()
+        site = cluster.sites["alpha"]
+        self._taking_over_entry(site, 7, {"gamma": "resolved_unknown"})
+        site._maybe_conclude_takeover(7)
+        assert 7 in site.taking_over  # blocked: never guess a verdict
+        assert not any(
+            isinstance(record, DecisionRecord)
+            for record in site.durable_records()
+        )
+
+
+class TestReleaseBlackout:
+    def test_blackout_with_permanent_death_presumes_abort(self):
+        # Every DECISION vanishes (fan-out and resends) and the
+        # coordinator dies at its first release attempt.  With the
+        # commit gated on a witness ACK, no commit record exists
+        # anywhere, so the survivors' presumed-abort takeover and the
+        # reborn coordinator's log agree: abort, everywhere.
+        spec = cluster_scenarios.get("cluster_group_commit")
+        blackout = FaultPlan(drop_msg_kinds=frozenset({"decision"}))
+        steps = probe_plan_steps(spec, blackout)
+        kill = next(n for n, d in steps if d.endswith(":decision"))
+        result = run_failover_plan(
+            spec, blackout.with_(kill_coordinator_at=kill)
+        )
+        assert result.ok, result.describe()
+        verdicts = _merged_verdicts(result.analyses)
+        assert verdicts
+        for gid, seen in verdicts.items():
+            assert seen == {"abort"}, f"gid {gid} split: {seen}"
+
+    def test_blackout_without_death_heals_to_commit(self):
+        # Liveness side of the same gate: while the blackout holds the
+        # coordinator parks in "releasing"; once the fabric heals, a
+        # heartbeat-paced resend gets through, a witness acks, and the
+        # commit seals — the gate defers the decision, never loses it.
+        spec = cluster_scenarios.get("cluster_group_commit")
+        plan = FaultPlan(drop_msg_kinds=frozenset({"decision"}))
+        result = run_cluster_plan(spec, plan)
+        assert result.ok, result.describe()
+        verdicts = _merged_verdicts(result.analyses)
+        assert {"commit"} in verdicts.values()
 
 
 class TestFencing:

@@ -189,11 +189,49 @@ class TestCrashRecovery:
             )
 
     def test_coordinator_crash_after_decision_resolves_commit(self):
-        # Force the commit decision to disk, then kill the coordinator
-        # before (re)announcing: restart re-reads the DecisionRecord and
-        # the in-doubt participants learn "commit" from the reborn
-        # coordinator.
-        cluster = Cluster(sites=("alpha", "beta"))
+        # Witness-confirmed release: the decision reaches disk only
+        # once one participant acknowledged it.  Let beta's ack seal
+        # the commit while gamma never hears the release; then kill
+        # the coordinator.  Restart re-reads the DecisionRecord and
+        # the still-prepared participant learns "commit" from the
+        # reborn coordinator's re-announce (or its own inquiry).
+        cluster = Cluster()
+        refs = spawn_group(cluster)
+        coordinator = cluster.sites["alpha"]
+
+        original = coordinator._send
+
+        def send_muting_gamma_decisions(dst, kind, payload, reply_to=None):
+            if kind == "decision" and dst == "gamma":
+                return None
+            return original(dst, kind, payload, reply_to=reply_to)
+
+        coordinator._send = send_muting_gamma_decisions
+        outcome = cluster.group_commit(refs, timeout=8)
+        assert outcome  # beta witnessed, so the commit sealed
+        assert cluster.sites["gamma"].prepared  # still awaiting release
+        decisions = [
+            record
+            for record in coordinator.durable_records()
+            if isinstance(record, DecisionRecord)
+        ]
+        assert [record.verdict for record in decisions] == ["commit"]
+        coordinator._send = original
+        cluster.crash_site("alpha")
+        cluster.restart_site("alpha")
+        assert cluster.converge()
+        report, __ = cluster.evaluate(label="decided then crashed")
+        assert report.ok
+        for ref in refs:
+            assert ref.tid.value in committed_values(cluster.sites[ref.site])
+
+    def test_commit_is_not_logged_until_a_witness_acks(self):
+        # Mute *every* DECISION: the coordinator must park in the
+        # releasing state — no DecisionRecord, no client verdict, no
+        # locally committed member — because a logged commit with no
+        # witness is the one state takeover cannot re-derive.  Unmuting
+        # lets a heartbeat-paced resend through; the first ack seals.
+        cluster = Cluster()
         refs = spawn_group(cluster)
         coordinator = cluster.sites["alpha"]
 
@@ -206,13 +244,17 @@ class TestCrashRecovery:
 
         coordinator._send = send_muting_decisions
         outcome = cluster.group_commit(refs, timeout=8)
-        assert outcome  # the console heard; the participant did not
-        assert cluster.sites["beta"].prepared  # still awaiting release
+        assert not outcome.resolved  # console heard nothing
+        assert not any(
+            isinstance(record, DecisionRecord)
+            for record in coordinator.durable_records()
+        )
+        entry = coordinator.coordinating[outcome.gid]
+        assert entry["state"] == "releasing"
+        assert committed_values(coordinator) == []
         coordinator._send = original
-        cluster.crash_site("alpha")
-        cluster.restart_site("alpha")
         assert cluster.converge()
-        report, __ = cluster.evaluate(label="decided then crashed")
+        report, __ = cluster.evaluate(label="blackout then heal")
         assert report.ok
         for ref in refs:
             assert ref.tid.value in committed_values(cluster.sites[ref.site])
